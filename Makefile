@@ -1,0 +1,26 @@
+.PHONY: install test bench experiments export examples all
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro all
+
+export:
+	python -m repro export results
+
+examples:
+	python examples/quickstart.py
+	python examples/application_mapping.py
+	python examples/svm_inference.py
+	python examples/bnn_inference.py
+	python examples/energy_harvesting_sweep.py
+	python examples/deployment_pipeline.py
+
+all: test bench experiments

@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+Each module regenerates one paper table/figure (see DESIGN.md's
+experiment index) under pytest-benchmark, asserting the paper's
+qualitative shape on the produced data.  Heavy regenerations run with
+``rounds=1`` — the timing of interest is "how long does the experiment
+take to regenerate", not micro-op throughput.
+"""
+
+import pytest
+
+
+def one_shot(benchmark, fn, *args, **kwargs):
+    """Run a regeneration exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def regen():
+    return one_shot

@@ -1,0 +1,36 @@
+"""Bench — ablation studies for DESIGN.md's called-out design choices."""
+
+from repro.experiments import ablations
+
+
+def test_adder_ablation(benchmark, regen):
+    rows = regen(benchmark, ablations.adders)
+    for row in rows:
+        assert row.min3_instructions == row.nand_instructions  # parity wash
+        assert row.min3_energy < row.nand_energy
+
+
+def test_power_budget_ablation(benchmark, regen):
+    points = regen(benchmark, ablations.power_budget)
+    assert points[0].serial_latency > points[-1].serial_latency
+    for p in points:
+        assert p.average_power <= p.budget_watts * 1.05
+
+
+def test_checkpoint_ablation(benchmark, regen):
+    points = regen(benchmark, ablations.checkpoint_frequency)
+    energies = [p.total_energy for p in points]
+    # The paper's every-instruction checkpointing is optimal at 60 uW.
+    assert energies[0] == min(energies)
+
+
+def test_issue_strategy_ablation(benchmark, regen):
+    rows = regen(benchmark, ablations.issue_strategy)
+    for row in rows:
+        assert 1.0 < row.speedup < 5.0
+
+
+def test_capacitor_ablation(benchmark, regen):
+    points = regen(benchmark, ablations.capacitor_sizing)
+    restarts = [p.restarts for p in points]
+    assert restarts == sorted(restarts, reverse=True)

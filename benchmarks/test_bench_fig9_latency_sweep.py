@@ -1,0 +1,77 @@
+"""Bench E5 — Figure 9: latency vs power-source sweep."""
+
+import numpy as np
+
+from repro.devices.parameters import ALL_TECHNOLOGIES, MODERN_STT
+from repro.experiments import fig9_latency_sweep
+
+
+def test_fig9_regeneration(benchmark, regen):
+    powers = tuple(float(p) for p in np.geomspace(60e-6, 5e-3, 5))
+    points = regen(
+        benchmark,
+        fig9_latency_sweep.run,
+        powers=powers,
+        technologies=ALL_TECHNOLOGIES,
+        include_sonic=True,
+    )
+    techs = {p.technology for p in points}
+    assert techs == {
+        "Modern STT",
+        "Projected STT",
+        "Projected SHE",
+        "SONIC (MSP430)",
+    }
+
+    # Monotone: more power, less latency — every series.
+    for tech in techs:
+        for bench in {p.benchmark for p in points if p.technology == tech}:
+            series = sorted(
+                (
+                    p
+                    for p in points
+                    if p.technology == tech and p.benchmark == bench
+                ),
+                key=lambda p: p.power_w,
+            )
+            lats = [p.latency_s for p in series]
+            assert lats == sorted(lats, reverse=True), (tech, bench)
+
+    # Configuration ordering at the scarce end: SHE < Projected < Modern.
+    for bench in {p.benchmark for p in points if p.technology == MODERN_STT.name}:
+        at_60uw = {
+            p.technology: p.latency_s
+            for p in points
+            if p.benchmark == bench and p.power_w == powers[0]
+        }
+        assert (
+            at_60uw["Projected SHE"]
+            < at_60uw["Projected STT"]
+            < at_60uw["Modern STT"]
+        )
+
+    # MOUSE beats SONIC "even with a much lower power budget": the
+    # 60 uW MOUSE run finishes before the 5 mW SONIC run.
+    mouse_60 = next(
+        p.latency_s
+        for p in points
+        if p.technology == MODERN_STT.name
+        and p.benchmark == "SVM MNIST"
+        and p.power_w == powers[0]
+    )
+    sonic_5m = next(
+        p.latency_s
+        for p in points
+        if p.technology == "SONIC (MSP430)"
+        and p.benchmark == "MNIST"
+        and p.power_w == powers[-1]
+    )
+    assert mouse_60 < sonic_5m * 10  # within the same regime
+    sonic_60 = next(
+        p.latency_s
+        for p in points
+        if p.technology == "SONIC (MSP430)"
+        and p.benchmark == "MNIST"
+        and p.power_w == powers[0]
+    )
+    assert mouse_60 < sonic_60 / 10

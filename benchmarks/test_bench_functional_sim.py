@@ -1,0 +1,62 @@
+"""Throughput benchmarks of the functional substrate itself: tile-level
+column-parallel gates, controller microstepping, and the compiler.
+Not a paper artifact — a performance guardrail for the simulator."""
+
+import numpy as np
+
+from repro.array.tile import Tile
+from repro.compile import arith
+from repro.compile.builder import ProgramBuilder
+from repro.core.accelerator import Mouse
+from repro.devices.parameters import MODERN_STT
+from repro.isa.assembler import assemble
+from repro.logic.library import NAND
+
+
+def test_tile_logic_op_throughput(benchmark):
+    tile = Tile(MODERN_STT, rows=1024, cols=1024)
+    tile.activate_column_range(0, 1023)
+    tile.state[0] = np.random.default_rng(0).integers(0, 2, 1024).astype(bool)
+    tile.state[2] = np.random.default_rng(1).integers(0, 2, 1024).astype(bool)
+
+    def op():
+        tile.preset_row(1, NAND.preset)
+        return tile.logic_op(NAND, [0, 2], 1)
+
+    result = benchmark(op)
+    assert result.n_columns == 1024
+
+
+def test_controller_instruction_throughput(benchmark):
+    m = Mouse(MODERN_STT, rows=64, cols=64)
+    m.load(
+        assemble(
+            """
+            ACTIVATE t0 cols 0..63
+            PRESET0  t0 row 1
+            NAND     t0 in 0,2 out 1
+            HALT
+            """
+        )
+    )
+
+    def run():
+        m.reset_for_rerun()
+        m.run()
+        return m
+
+    machine = benchmark(run)
+    assert machine.controller.halted
+
+
+def test_compiler_multiply_emission(benchmark):
+    def emit():
+        b = ProgramBuilder(rows=2048, cols=8, reserved_rows=32)
+        b.activate((0,))
+        x = b.alloc_word(8)
+        y = b.alloc_word(8)
+        arith.multiply(b, x, y)
+        return b.finish()
+
+    program = benchmark(emit)
+    assert len(program) > 1000

@@ -1,0 +1,18 @@
+"""Bench — device-variation robustness Monte Carlo."""
+
+from repro.experiments import robustness
+
+
+def test_robustness_regeneration(benchmark, regen):
+    rows = regen(benchmark, robustness.run, trials=50_000)
+    by_key = {(r.technology, r.gate): r for r in rows}
+
+    # Modern STT's AND gate (smallest design margin) is the first to
+    # fail; SHE tolerates the most spread on every gate.
+    assert by_key[("Modern STT", "AND")].error_at_5pct > 0.01
+    for gate in ("NOT", "NAND", "AND"):
+        assert (
+            by_key[("Projected SHE", gate)].tolerated_sigma
+            >= by_key[("Projected STT", gate)].tolerated_sigma
+            > by_key[("Modern STT", gate)].tolerated_sigma
+        )

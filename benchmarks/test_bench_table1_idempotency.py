@@ -1,0 +1,13 @@
+"""Bench E1 — Table I: the interrupted-AND case analysis."""
+
+from repro.experiments import table1_idempotency
+
+
+def test_table1_regeneration(benchmark, regen):
+    results = regen(benchmark, table1_idempotency.run)
+    assert len(results) == 4
+    assert all(case.correct for case in results)
+    unreachable = [r for r in results if not r.reachable]
+    assert len(unreachable) == 1
+    assert unreachable[0].should_switch is False
+    assert unreachable[0].switched_before_interrupt is True

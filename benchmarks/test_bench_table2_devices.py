@@ -1,0 +1,18 @@
+"""Bench E2 — Table II: device parameters and derived gate designs."""
+
+from repro.experiments import table2_devices
+
+
+def test_table2_regeneration(benchmark, regen):
+    rows = regen(benchmark, table2_devices.run)
+    assert [r["technology"] for r in rows] == [
+        "Modern STT",
+        "Projected STT",
+        "Projected SHE",
+    ]
+    # Projected devices: faster, lower current, bigger TMR.
+    modern, projected, she = rows
+    assert projected["switching_time"] < modern["switching_time"]
+    assert projected["switching_current"] < modern["switching_current"]
+    assert she["nand_energy"] < projected["nand_energy"] < modern["nand_energy"]
+    assert she["nand_margin"] > projected["nand_margin"] > modern["nand_margin"]

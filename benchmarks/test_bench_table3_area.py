@@ -1,0 +1,24 @@
+"""Bench E3 — Table III: area per benchmark and configuration."""
+
+import pytest
+
+from repro.experiments import table3_area
+
+
+def test_table3_regeneration(benchmark, regen):
+    rows = regen(benchmark, table3_area.run)
+    assert len(rows) == 6
+    by_name = {r["benchmark"]: r for r in rows}
+
+    # Paper-matched cells (capacity agrees) within 5 %.
+    for name, (cap, modern, projected, she) in table3_area.PAPER_AREAS.items():
+        row = by_name[name]
+        if row["capacity_mb"] == cap:
+            assert row["modern_stt"] == pytest.approx(modern, rel=0.05)
+            assert row["projected_stt"] == pytest.approx(projected, rel=0.05)
+            assert row["she"] == pytest.approx(she, rel=0.05)
+
+    # Structural shape: SHE ~ 2x projected STT < modern STT everywhere.
+    for row in rows:
+        assert row["she"] == pytest.approx(2 * row["projected_stt"], rel=0.02)
+        assert row["projected_stt"] < row["modern_stt"] < row["she"]

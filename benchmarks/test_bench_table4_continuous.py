@@ -1,0 +1,38 @@
+"""Bench E4 — Table IV: the continuous-power comparison."""
+
+from repro.experiments import table4_continuous
+
+
+def test_table4_regeneration(benchmark, regen):
+    rows = regen(benchmark, table4_continuous.run)
+    mouse = {r.benchmark: r for r in rows if r.system == "MOUSE"}
+    cpu = {r.benchmark: r for r in rows if r.system == "CPU"}
+    libsvm = {r.benchmark: r for r in rows if r.system == "libSVM"}
+    sonic = {r.benchmark: r for r in rows if r.system == "SONIC"}
+
+    assert len(mouse) == 6 and len(cpu) == 4 and len(libsvm) == 4 and len(sonic) == 2
+
+    # Headline: MOUSE energy advantage of orders of magnitude.
+    for bench, cpu_row in cpu.items():
+        assert mouse[bench].energy_uj * 100 < cpu_row.energy_uj
+    for bench, lib_row in libsvm.items():
+        assert mouse[bench].energy_uj * 50 < lib_row.energy_uj
+    assert mouse["SVM MNIST"].energy_uj * 5 < sonic["MNIST"].energy_uj
+
+    # MOUSE latency is competitive (beats the CPU R implementation and
+    # SONIC on every shared benchmark).
+    for bench, cpu_row in cpu.items():
+        assert mouse[bench].latency_us < cpu_row.latency_us
+    assert mouse["SVM MNIST"].latency_us < sonic["MNIST"].latency_us / 10
+
+    # Within-MOUSE ordering: binarised MNIST beats full MNIST on both
+    # axes (the Section IX binarisation claim).
+    assert (
+        mouse["SVM MNIST (Bin)"].energy_uj < mouse["SVM MNIST"].energy_uj / 10
+    )
+    assert mouse["SVM MNIST (Bin)"].latency_us < mouse["SVM MNIST"].latency_us
+
+    # Every MOUSE row lands within an order of magnitude of the paper.
+    for bench, row in mouse.items():
+        assert 0.1 < row.latency_us / row.paper_latency_us < 10
+        assert 0.1 < row.energy_uj / row.paper_energy_uj < 10

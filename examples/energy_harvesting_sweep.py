@@ -1,0 +1,54 @@
+"""Energy-harvesting sweep: the Figure 9 story in one script.
+
+Sweeps the harvested power from a body-heat thermoelectric level
+(60 uW) to SONIC's RF harvester (5 mW) for a chosen benchmark across
+the three MOUSE configurations and SONIC, printing latency, restart
+counts, and the Backup/Dead/Restore shares — the paper's Figures 9-12
+as one table each.
+
+Run:  python examples/energy_harvesting_sweep.py [benchmark]
+      (default benchmark: "SVM MNIST (Bin)")
+"""
+
+import sys
+
+import numpy as np
+
+from repro.baselines.sonic import SONIC_MNIST
+from repro.devices.parameters import ALL_TECHNOLOGIES
+from repro.energy.model import InstructionCostModel
+from repro.harvest import HarvestingConfig, ProfileRun
+from repro.ml.benchmarks import workload_by_name
+
+POWERS = tuple(float(p) for p in np.geomspace(60e-6, 5e-3, 6))
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "SVM MNIST (Bin)"
+    workload = workload_by_name(name)
+    print(f"benchmark: {workload.name}")
+    print(f"{'power':>8s}  {'config':14s} {'latency':>12s} {'restarts':>8s} "
+          f"{'dead%':>7s} {'restore%':>8s} {'backup%':>8s}")
+    for tech in ALL_TECHNOLOGIES:
+        cost = InstructionCostModel(tech)
+        profile = workload.profile(cost)
+        for power in POWERS:
+            config = HarvestingConfig.paper(tech, power)
+            b = ProfileRun(profile, cost, config).run()
+            total = b.total_energy
+            print(f"{power * 1e6:6.0f}uW  {tech.name:14s} "
+                  f"{b.total_latency * 1e3:10.2f}ms {b.restarts:8d} "
+                  f"{b.dead_energy / total * 100:6.2f}% "
+                  f"{b.restore_energy / total * 100:7.2f}% "
+                  f"{b.backup_energy / total * 100:7.3f}%")
+        print()
+
+    print("SONIC (MSP430) reference on MNIST:")
+    for power in POWERS:
+        b = SONIC_MNIST.run(power)
+        print(f"{power * 1e6:6.0f}uW  {'SONIC':14s} "
+              f"{b.total_latency * 1e3:10.1f}ms {b.restarts:8d}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""repro — a behavioural reproduction of MOUSE (MICRO 2020).
+
+MOUSE (Minimal Overhead accelerator Utilizing Spintronic ram for Energy
+harvesting applications) is an in-memory machine-learning inference
+accelerator built on the CRAM spintronic processing-in-memory substrate.
+This package reproduces the full system described in the paper:
+
+* :mod:`repro.devices` — magnetic tunnel junction (MTJ) device physics,
+  including the direction-dependent switching that makes every in-memory
+  logic gate idempotent, for both 1T1M STT and 2T1M SHE cells.
+* :mod:`repro.logic` — CRAM threshold-logic gates realised as resistor
+  networks of MTJs (NAND/AND/OR/NOR/NOT/BUF/MAJ...).
+* :mod:`repro.array` — the MOUSE tile (1024x1024 cells, bitline-parity
+  rule, column-parallel logic ops) and the multi-tile bank.
+* :mod:`repro.isa` — the 64-bit instruction formats of the paper's
+  Figure 6 with binary encode/decode and a small assembler.
+* :mod:`repro.core` — the memory controller with its dual non-volatile
+  program counter + parity-bit commit protocol (Figure 7) and instant
+  restartability.
+* :mod:`repro.compile` — application mapping: row/column allocation,
+  gate macros (full-add = 9 NANDs, ripple arithmetic, XNOR, popcount),
+  dot products, greedy minimal-column scheduling.
+* :mod:`repro.energy` — energy / latency / area models (Tables II & III).
+* :mod:`repro.harvest` — the energy-harvesting environment: capacitor
+  buffer, voltage windows, switched-capacitor converter, and the
+  event-driven intermittent-execution engine with Backup / Dead /
+  Restore accounting.
+* :mod:`repro.ml` — SVM (poly-2 kernel, one-vs-rest) and BNN (FINN,
+  FP-BNN) case studies with synthetic dataset twins.
+* :mod:`repro.baselines` — CPU and SONIC comparison models.
+* :mod:`repro.experiments` — one regeneration entry point per paper
+  table and figure (see DESIGN.md for the index).
+"""
+
+from repro.devices.parameters import (
+    MODERN_STT,
+    PROJECTED_SHE,
+    PROJECTED_STT,
+    DeviceParameters,
+)
+from repro.devices.mtj import MTJ, MTJState
+from repro.logic.library import GATE_LIBRARY, GateSpec
+from repro.array.tile import Tile
+from repro.array.bank import Bank
+from repro.core.accelerator import Mouse
+from repro.isa.instruction import (
+    ActivateColumnsInstruction,
+    Instruction,
+    LogicInstruction,
+    MemoryInstruction,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MODERN_STT",
+    "PROJECTED_SHE",
+    "PROJECTED_STT",
+    "DeviceParameters",
+    "MTJ",
+    "MTJState",
+    "GATE_LIBRARY",
+    "GateSpec",
+    "Tile",
+    "Bank",
+    "Mouse",
+    "Instruction",
+    "LogicInstruction",
+    "MemoryInstruction",
+    "ActivateColumnsInstruction",
+    "__version__",
+]

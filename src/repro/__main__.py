@@ -1,0 +1,111 @@
+"""Command-line entry point.
+
+    python -m repro list                 # available experiments
+    python -m repro run <name> [...]     # run selected experiments
+    python -m repro all [--skip-accuracy]
+    python -m repro info                 # technologies and gate designs
+    python -m repro export [directory]   # write every artifact as CSV
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.runner import EXPERIMENTS
+
+
+def _experiment_map() -> dict[str, object]:
+    out = {}
+    for label, entry in EXPERIMENTS:
+        key = label.split(" ")[0].lower().rstrip(":")
+        # e.g. "table" collides; use the full slug too.
+        slug = (
+            label.lower()
+            .replace(" ", "-")
+            .replace("(", "")
+            .replace(")", "")
+        )
+        out[slug] = entry
+        out.setdefault(key, entry)
+    return out
+
+
+def cmd_list() -> int:
+    print("available experiments (python -m repro run <slug>):")
+    for label, _ in EXPERIMENTS:
+        slug = (
+            label.lower().replace(" ", "-").replace("(", "").replace(")", "")
+        )
+        print(f"  {slug}")
+    return 0
+
+
+def cmd_run(names: list[str]) -> int:
+    table = _experiment_map()
+    status = 0
+    for name in names:
+        entry = table.get(name.lower())
+        if entry is None:
+            print(f"unknown experiment {name!r}; try 'python -m repro list'")
+            status = 2
+            continue
+        entry()
+    return status
+
+
+def cmd_all(skip_accuracy: bool) -> int:
+    from repro.experiments import accuracy
+
+    for label, entry in EXPERIMENTS:
+        if skip_accuracy and entry is accuracy.main:
+            continue
+        print(f"\n=== {label} ===")
+        entry()
+    return 0
+
+
+def cmd_info() -> int:
+    from repro.experiments import table2_devices
+
+    table2_devices.main()
+    return 0
+
+
+def cmd_export(directory: str) -> int:
+    from repro.experiments.export import export_all
+
+    for name, count in export_all(directory).items():
+        print(f"  {name}.csv: {count} rows")
+    print(f"wrote CSVs to {directory}/")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiment slugs")
+    run_p = sub.add_parser("run", help="run selected experiments")
+    run_p.add_argument("names", nargs="+")
+    all_p = sub.add_parser("all", help="run every experiment")
+    all_p.add_argument("--skip-accuracy", action="store_true")
+    sub.add_parser("info", help="device technologies and gate designs")
+    export_p = sub.add_parser("export", help="write every artifact as CSV")
+    export_p.add_argument("directory", nargs="?", default="results")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "run":
+        return cmd_run(args.names)
+    if args.command == "all":
+        return cmd_all(args.skip_accuracy)
+    if args.command == "info":
+        return cmd_info()
+    if args.command == "export":
+        return cmd_export(args.directory)
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

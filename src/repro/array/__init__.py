@@ -1,0 +1,24 @@
+"""The MOUSE array: tiles of MTJ cells with in-array logic.
+
+A tile is a 1024x1024 STT-MRAM (or SHE-MRAM) array with the CRAM
+modifications: two bitlines per column (even/odd row parity), a logic
+line, and a column-activation latch.  One logic gate executes per
+active column per cycle — the same gate in every active column
+simultaneously (column-level parallelism), and in every tile
+simultaneously (tile-level parallelism).
+"""
+
+from repro.array.tile import Tile, OpResult, TILE_ROWS, TILE_COLS
+from repro.array.bank import Bank, SensorBuffer
+from repro.array.lines import row_parity, check_logic_rows
+
+__all__ = [
+    "Tile",
+    "OpResult",
+    "TILE_ROWS",
+    "TILE_COLS",
+    "Bank",
+    "SensorBuffer",
+    "row_parity",
+    "check_logic_rows",
+]

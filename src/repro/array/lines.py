@@ -1,0 +1,49 @@
+"""Bitline-parity rules for in-array logic.
+
+Each column carries two bitlines — bit line even (BLE) and bit line odd
+(BLO) — plus a logic line (LL).  Cells in even rows hang off BLE, odd
+rows off BLO (Figure 2).  A logic operation drives current from one
+bitline, through the input MTJs, onto the LL, through the output MTJ,
+and back out the other bitline (Figure 3).  This is only electrically
+possible if **all input rows share one parity and the output row has
+the opposite parity** — the constraint the compiler's row allocator
+must honour and the array enforces.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def row_parity(row: int) -> int:
+    """0 for even rows (BLE side), 1 for odd rows (BLO side)."""
+    return row & 1
+
+
+def check_logic_rows(input_rows: Sequence[int], output_row: int) -> None:
+    """Validate the parity constraint of a logic operation.
+
+    Raises
+    ------
+    ValueError
+        If the input rows are not all of one parity, the output row does
+        not have the opposite parity, or rows are duplicated.
+    """
+    if not input_rows:
+        raise ValueError("logic operation needs at least one input row")
+    parities = {row_parity(r) for r in input_rows}
+    if len(parities) != 1:
+        raise ValueError(
+            f"input rows {list(input_rows)} must all share one bitline parity"
+        )
+    (in_parity,) = parities
+    if row_parity(output_row) == in_parity:
+        raise ValueError(
+            f"output row {output_row} must have opposite parity to inputs "
+            f"{list(input_rows)}"
+        )
+    seen = set(input_rows)
+    if len(seen) != len(input_rows):
+        raise ValueError(f"duplicate input rows in {list(input_rows)}")
+    if output_row in seen:
+        raise ValueError("output row cannot also be an input row")

@@ -1,0 +1,255 @@
+"""One MOUSE tile: a 1024x1024 CRAM array with column-parallel logic.
+
+The tile is the unit of storage and compute.  Its simulator is
+vectorised over columns with NumPy but is electrically faithful: for
+every active column the actual resistor network (input cells in
+parallel, output cell in series) is solved against the designed gate
+voltage, and the output switches only if the resulting current clears
+the device's critical current *and* the switch direction allows it.
+The threshold never disagrees with the ideal truth table — that is the
+point of the gate design — but computing it electrically means tests
+can perturb device parameters and watch gates fail for physical
+reasons.
+
+Interruption semantics: a logic operation may be executed *partially*
+(`switch_mask`), modelling a power cut mid-pulse where some columns'
+output MTJs had already accumulated enough fluence to switch and others
+had not (paper Table I).  Re-performing the operation always converges
+to the uninterrupted result because switching is unidirectional.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.devices.parameters import DeviceParameters
+from repro.logic.gates import GateSpec, design_voltage, gate_energy, write_energy, read_energy
+from repro.logic.resistance import total_path_resistance
+from repro.array.lines import check_logic_rows
+
+TILE_ROWS = 1024
+TILE_COLS = 1024
+ROW_BYTES = TILE_COLS // 8  # 128 B — the controller buffer size
+
+
+@dataclass(frozen=True)
+class OpResult:
+    """Outcome of one tile-level operation, for the energy ledger."""
+
+    energy: float  # joules consumed in this tile
+    n_columns: int  # columns the operation touched
+    switched: int  # output cells that changed state
+
+
+class Tile:
+    """A single CRAM tile.
+
+    Parameters
+    ----------
+    params:
+        Device technology point (resistances, thresholds, cell kind).
+    rows, cols:
+        Array geometry; defaults to the paper's 1024x1024 (128 KB).
+    """
+
+    def __init__(
+        self,
+        params: DeviceParameters,
+        rows: int = TILE_ROWS,
+        cols: int = TILE_COLS,
+    ) -> None:
+        if rows < 2 or cols < 1:
+            raise ValueError("tile needs at least 2 rows and 1 column")
+        self.params = params
+        self.rows = rows
+        self.cols = cols
+        self.state = np.zeros((rows, cols), dtype=bool)
+        # Column-activation latch (Section IV-B): set by Activate Columns,
+        # held across instructions, non-volatile *only* via the
+        # controller's duplicated Activate-Columns register — the latch
+        # itself is peripheral circuitry and is lost on power-off.
+        self.active_columns = np.zeros(cols, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # Column activation
+    # ------------------------------------------------------------------
+
+    def activate_columns(self, columns: Sequence[int]) -> OpResult:
+        """Latch a new set of active columns (replaces the previous set)."""
+        cols = list(columns)
+        for c in cols:
+            if not 0 <= c < self.cols:
+                raise IndexError(f"column {c} out of range 0..{self.cols - 1}")
+        self.active_columns[:] = False
+        self.active_columns[cols] = True
+        # Peripheral-only action: decoder + latch energy, charged by the
+        # controller's energy model; the tile reports zero array energy.
+        return OpResult(energy=0.0, n_columns=len(set(cols)), switched=0)
+
+    def activate_column_range(self, first: int, last: int) -> OpResult:
+        """Bulk activation of an inclusive column range (Section IV-B)."""
+        if not 0 <= first <= last < self.cols:
+            raise IndexError(f"bad column range {first}..{last}")
+        self.active_columns[:] = False
+        self.active_columns[first : last + 1] = True
+        return OpResult(energy=0.0, n_columns=last - first + 1, switched=0)
+
+    def deactivate_all(self) -> None:
+        """Power-off: the volatile peripheral latch clears."""
+        self.active_columns[:] = False
+
+    @property
+    def n_active(self) -> int:
+        return int(self.active_columns.sum())
+
+    # ------------------------------------------------------------------
+    # Memory operations
+    # ------------------------------------------------------------------
+
+    def read_row(self, row: int) -> np.ndarray:
+        """Read a full row into the (controller's) buffer. Non-destructive."""
+        self._check_row(row)
+        return self.state[row].copy()
+
+    def write_row(self, row: int, values: np.ndarray) -> OpResult:
+        """Write a full row from the buffer."""
+        self._check_row(row)
+        values = np.asarray(values, dtype=bool)
+        if values.shape != (self.cols,):
+            raise ValueError(f"row write needs {self.cols} bits, got {values.shape}")
+        self.state[row] = values
+        return OpResult(
+            energy=write_energy(self.params) * self.cols,
+            n_columns=self.cols,
+            switched=self.cols,
+        )
+
+    def read_row_energy(self) -> float:
+        """Array energy of one full-row read."""
+        return read_energy(self.params) * self.cols
+
+    def preset_row(self, row: int, value: bool) -> OpResult:
+        """Write ``value`` into ``row`` in the *active* columns only.
+
+        This is the gate-output preset step (paper Figure 8 discussion:
+        presets "consist only of write instructions").
+        """
+        self._check_row(row)
+        mask = self.active_columns
+        n = int(mask.sum())
+        self.state[row, mask] = value
+        return OpResult(
+            energy=write_energy(self.params) * n, n_columns=n, switched=n
+        )
+
+    def get_bit(self, row: int, col: int) -> int:
+        self._check_row(row)
+        return int(self.state[row, col])
+
+    def set_bit(self, row: int, col: int, value: int) -> None:
+        """Test/setup convenience; not reachable through the ISA."""
+        self._check_row(row)
+        self.state[row, col] = bool(value)
+
+    # ------------------------------------------------------------------
+    # Logic operations
+    # ------------------------------------------------------------------
+
+    def logic_op(
+        self,
+        spec: GateSpec,
+        input_rows: Sequence[int],
+        output_row: int,
+        switch_mask: Optional[np.ndarray] = None,
+    ) -> OpResult:
+        """Execute one gate in every active column.
+
+        Parameters
+        ----------
+        spec:
+            Gate from the library (fixes preset, direction, threshold).
+        input_rows:
+            2 or 3 input rows, all one parity.
+        output_row:
+            Output row, opposite parity.  Must have been preset.
+        switch_mask:
+            Optional boolean per-column mask modelling an interrupted
+            pulse: only columns where the mask is True complete their
+            switching.  ``None`` (default) = uninterrupted operation.
+
+        Returns
+        -------
+        OpResult
+            Energy across active columns and the number of outputs that
+            switched.
+        """
+        rows = list(input_rows)
+        if len(rows) != spec.n_inputs:
+            raise ValueError(
+                f"{spec.name} takes {spec.n_inputs} input rows, got {len(rows)}"
+            )
+        for r in rows + [output_row]:
+            self._check_row(r)
+        check_logic_rows(rows, output_row)
+
+        active = self.active_columns
+        if not active.any():
+            return OpResult(energy=0.0, n_columns=0, switched=0)
+
+        inputs = self.state[rows][:, active]  # (n_inputs, n_active)
+        n_ones = inputs.sum(axis=0)  # per active column
+
+        # Electrical solve, vectorised by table lookup over n_ones.
+        voltage = design_voltage(self.params, spec)
+        r_total = np.array(
+            [
+                total_path_resistance(self.params, spec.n_inputs, k, spec.preset)
+                for k in range(spec.n_inputs + 1)
+            ]
+        )
+        currents = voltage / r_total[n_ones]
+        will_switch = currents >= self.params.switching_current
+
+        if switch_mask is not None:
+            switch_mask = np.asarray(switch_mask, dtype=bool)
+            if switch_mask.shape != (self.cols,):
+                raise ValueError("switch_mask must cover every column")
+            will_switch &= switch_mask[active]
+
+        target = bool(spec.direction.target_state)
+        out = self.state[output_row]
+        active_idx = np.flatnonzero(active)
+        switch_idx = active_idx[will_switch]
+        # Unidirectional switching: cells already at the target state
+        # stay there; cells at the preset move to the target.  A cell at
+        # the target can never be moved back by this current direction.
+        before = out[switch_idx].copy()
+        out[switch_idx] = target
+
+        energy = np.array(
+            [gate_energy(self.params, spec, int(k)) for k in range(spec.n_inputs + 1)]
+        )[n_ones].sum()
+        return OpResult(
+            energy=float(energy),
+            n_columns=int(active.sum()),
+            switched=int((before != target).sum()),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} out of range 0..{self.rows - 1}")
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the full non-volatile array state."""
+        return self.state.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Tile({self.params.name}, {self.rows}x{self.cols}, "
+            f"{self.n_active} active cols)"
+        )

@@ -1,0 +1,21 @@
+"""Comparison baselines from Table IV / Figure 9.
+
+* :mod:`repro.baselines.cpu` — the paper's CPU rows: their custom R SVM
+  and libSVM on an Intel Haswell E5-2680v3, charged at idle power.
+* :mod:`repro.baselines.sonic` — SONIC (Gobieski et al., ASPLOS'19), an
+  MSP430FR5994-based intermittent inference system, modelled through
+  the same burst simulation as MOUSE so the Figure 9 latency-vs-power
+  comparison is apples-to-apples.
+"""
+
+from repro.baselines.cpu import CpuSvmModel, CUSTOM_R_SVM, LIBSVM
+from repro.baselines.sonic import SonicModel, SONIC_MNIST, SONIC_HAR
+
+__all__ = [
+    "CpuSvmModel",
+    "CUSTOM_R_SVM",
+    "LIBSVM",
+    "SonicModel",
+    "SONIC_MNIST",
+    "SONIC_HAR",
+]

@@ -1,0 +1,64 @@
+"""CPU SVM baselines (Table IV's "SVM (CPU)" and "libSVM" sections).
+
+The paper runs both its custom (R) SVM and libSVM on an Intel Haswell
+E5-2680v3 and — conservatively — charges only the processor's *idle*
+power (Section IX).  Dividing the published energy by latency confirms
+the constant: exactly 30 W for every row.
+
+Inference latency is modelled as
+
+    latency = n_sv * (a + b * d)
+
+(a per-support-vector overhead plus a per-element MAC cost).  For
+libSVM the fit is excellent (a ~ 7 ns, b ~ 1.1 ns: ~0.9 GMAC/s); the
+custom R implementation is noisier — interpreter overhead does not
+scale cleanly — so its constants are a least-squares fit over the
+published rows, and tests assert order-of-magnitude agreement only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The idle-power constant implied by every CPU row of Table IV.
+CPU_IDLE_POWER_W = 30.0
+
+
+@dataclass(frozen=True)
+class CpuSvmModel:
+    """latency = n_sv * (per_sv + per_element * d); energy = P_idle * t."""
+
+    name: str
+    per_sv_seconds: float
+    per_element_seconds: float
+    idle_power: float = CPU_IDLE_POWER_W
+
+    def latency(self, n_sv: int, dimensions: int) -> float:
+        """Inference latency in seconds."""
+        if n_sv < 0 or dimensions < 0:
+            raise ValueError("counts cannot be negative")
+        return n_sv * (self.per_sv_seconds + self.per_element_seconds * dimensions)
+
+    def energy(self, n_sv: int, dimensions: int) -> float:
+        """Energy in joules at idle power."""
+        return self.idle_power * self.latency(n_sv, dimensions)
+
+
+#: libSVM fit: a ~ 7 ns per SV, b ~ 1.12 ns per element.  Reproduces the
+#: published MNIST/HAR/ADULT/binarised-MNIST rows within ~15 %.
+LIBSVM = CpuSvmModel(
+    name="libSVM (CPU)",
+    per_sv_seconds=7.0e-9,
+    per_element_seconds=1.12e-9,
+)
+
+#: Custom R implementation: a ~ 2 us interpreter overhead per SV plus
+#: ~16 ns per element reproduces the MNIST (plain and binarised) and
+#: ADULT rows within a few percent; the published HAR row sits ~4x
+#: above any (n_sv, d)-consistent model and is documented as the
+#: calibration outlier in EXPERIMENTS.md.
+CUSTOM_R_SVM = CpuSvmModel(
+    name="custom SVM (CPU, R)",
+    per_sv_seconds=2.0e-6,
+    per_element_seconds=1.6e-8,
+)

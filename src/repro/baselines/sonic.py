@@ -1,0 +1,137 @@
+"""SONIC (Gobieski, Lucia, Beckmann — ASPLOS 2019) baseline model.
+
+SONIC runs DNN inference on a TI MSP430FR5994 microcontroller powered
+by a Powercast P2110B RF harvester, using loop-continuation for
+intermittence safety.  Table IV gives its continuous-power anchor
+points (MNIST: 2.74 s / 27 mJ; HAR: 1.1 s / 12.5 mJ), from which the
+model derives an instruction stream at the MSP430's clock and an
+average active power of ~10 mW.
+
+Under energy harvesting SONIC is simulated with the same burst engine
+as MOUSE (:class:`repro.harvest.intermittent.ProfileRun`), with the
+crucial differences the paper highlights (Section X): SONIC runs from
+*volatile* SRAM state, so every outage loses the work since the last
+task boundary (a much larger Dead cost than MOUSE's single
+instruction), and each reboot pays a software restore, not a one-cycle
+column re-activation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.metrics import Breakdown, Category, EnergyLedger
+from repro.harvest.capacitor import EnergyBuffer
+from repro.harvest.source import ConstantPowerSource
+
+#: MSP430FR5994 system clock SONIC runs at.
+MSP430_CLOCK_HZ = 16e6
+
+
+@dataclass(frozen=True)
+class SonicModel:
+    """A SONIC benchmark anchored to its continuous-power numbers."""
+
+    name: str
+    continuous_latency: float  # seconds (Table IV)
+    continuous_energy: float  # joules (Table IV)
+    accuracy: float  # percent, as reported
+    #: Fraction of work re-executed per reboot: SONIC's loop
+    #: continuation bounds loss to one loop tile (~1 ms of work).
+    task_tile_seconds: float = 1e-3
+    #: Reboot restore: rebuilding volatile state from FRAM.
+    restore_seconds: float = 2e-3
+    #: SONIC's capacitor bank (Capybara-style, volts are post-boost).
+    capacitance: float = 100e-6
+    v_off: float = 1.8
+    v_on: float = 2.4
+
+    @property
+    def instructions(self) -> int:
+        return int(self.continuous_latency * MSP430_CLOCK_HZ)
+
+    @property
+    def active_power(self) -> float:
+        """Average power while running (~10 mW for the MSP430FR)."""
+        return self.continuous_energy / self.continuous_latency
+
+    @property
+    def energy_per_instruction(self) -> float:
+        return self.continuous_energy / self.instructions
+
+    # ------------------------------------------------------------------
+
+    def run(self, source_watts: float) -> Breakdown:
+        """Burst-simulate one inference at a harvested power level."""
+        if source_watts <= 0:
+            raise ValueError("power must be positive")
+        source = ConstantPowerSource(source_watts)
+        buffer = EnergyBuffer(
+            capacitance=self.capacitance, v_off=self.v_off, v_on=self.v_on
+        )
+        ledger = EnergyLedger()
+        cycle = 1.0 / MSP430_CLOCK_HZ
+        per_instr = self.energy_per_instruction
+        restore_energy = self.active_power * self.restore_seconds
+        dead_instr = int(self.task_tile_seconds * MSP430_CLOCK_HZ / 2)
+
+        time = 0.0
+
+        def charge() -> None:
+            nonlocal time
+            needed = buffer.energy_to_reach(buffer.v_on)
+            wait = source.time_to_harvest(needed)
+            buffer.add_energy(source.energy(time, wait))
+            time += wait
+            ledger.charge(Category.CHARGING, 0.0, wait)
+
+        charge()
+        remaining = self.instructions
+        while remaining > 0:
+            net = per_instr - source_watts * cycle
+            if net <= 0:
+                burst = remaining
+            else:
+                burst = min(remaining, max(1, int(buffer.headroom // net)))
+            buffer.add_energy(source_watts * burst * cycle)
+            buffer.draw_energy(burst * per_instr)
+            time += burst * cycle
+            ledger.charge(Category.COMPUTE, burst * per_instr, burst * cycle)
+            ledger.breakdown.instructions += burst
+            remaining -= burst
+            if buffer.must_shut_down and remaining > 0:
+                ledger.count_restart()
+                charge()
+                # Restore: rebuild state from FRAM.
+                ledger.charge(
+                    Category.RESTORE, restore_energy, self.restore_seconds
+                )
+                buffer.draw_energy(restore_energy)
+                buffer.add_energy(source_watts * self.restore_seconds)
+                time += self.restore_seconds
+                # Dead: re-run the half task-tile lost on average.
+                lost = min(dead_instr, self.instructions - remaining)
+                ledger.charge(Category.DEAD, lost * per_instr, lost * cycle)
+                buffer.draw_energy(lost * per_instr)
+                buffer.add_energy(source_watts * lost * cycle)
+                time += lost * cycle
+        return ledger.breakdown
+
+    def latency(self, source_watts: float) -> float:
+        return self.run(source_watts).total_latency
+
+
+#: Table IV anchor rows.
+SONIC_MNIST = SonicModel(
+    name="SONIC MNIST",
+    continuous_latency=2.74,
+    continuous_energy=27_000e-6,
+    accuracy=99.0,
+)
+
+SONIC_HAR = SonicModel(
+    name="SONIC HAR",
+    continuous_latency=1.10,
+    continuous_energy=12_500e-6,
+    accuracy=88.0,
+)

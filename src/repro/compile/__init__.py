@@ -1,0 +1,54 @@
+"""Application mapping: from arithmetic to MOUSE instruction sequences.
+
+The compilation model follows the paper's Sections VI-VII: values are
+bit-vectors laid out *vertically* in a column (one bit per row); a gate
+sequence computes within the column, and the Activate Columns mask
+replays that same sequence across many columns at once (SIMD).  The
+scheduler is the paper's greedy minimal-column policy: use as few
+columns as possible, at some cost in latency.
+
+Layers:
+
+* :mod:`repro.compile.allocator` — parity-aware row allocation.
+* :mod:`repro.compile.builder` — instruction emission (preset + gate
+  pairing, activate-columns management).
+* :mod:`repro.compile.macros` — single-bit macros (copy, xor, half/full
+  add — the full adder is the paper's 9-NAND construction).
+* :mod:`repro.compile.arith` — word-level arithmetic (ripple add/sub,
+  shift-add multiply, square, popcount, comparisons) with closed-form
+  gate-count formulas the cost model shares.
+* :mod:`repro.compile.dot` — fixed-point and binary dot products, the
+  inner loops of SVM and BNN inference.
+"""
+
+from repro.compile.allocator import RowAllocator
+from repro.compile.builder import ProgramBuilder, Bit, Word
+from repro.compile.classifier import (
+    CompiledBnnLayer,
+    CompiledBnnOutput,
+    CompiledMulticlassSvm,
+    CompiledSvm,
+    compile_bnn_layer,
+    compile_bnn_output,
+    compile_multiclass_svm,
+    compile_svm_decision,
+)
+from repro.compile import macros, arith, dot
+
+__all__ = [
+    "RowAllocator",
+    "ProgramBuilder",
+    "Bit",
+    "Word",
+    "macros",
+    "arith",
+    "dot",
+    "CompiledSvm",
+    "CompiledMulticlassSvm",
+    "CompiledBnnLayer",
+    "CompiledBnnOutput",
+    "compile_svm_decision",
+    "compile_multiclass_svm",
+    "compile_bnn_layer",
+    "compile_bnn_output",
+]

@@ -1,0 +1,67 @@
+"""Parity-aware row allocation.
+
+Logic operations require all input rows on one bitline parity and the
+output row on the other (:mod:`repro.array.lines`).  The allocator
+hands out scratch rows by parity and recycles freed ones, implementing
+the paper's layout discipline: operands low, workspace rows interleaved
+"picked based on availability" (Section VII).
+"""
+
+from __future__ import annotations
+
+
+class RowAllocator:
+    """Allocates rows of a tile, tracked separately per parity."""
+
+    def __init__(self, rows: int, reserved: int = 0) -> None:
+        """``reserved`` rows at the bottom are never handed out (they
+        hold program inputs/outputs placed by the caller)."""
+        if rows < 2:
+            raise ValueError("need at least two rows")
+        if reserved >= rows:
+            raise ValueError("cannot reserve every row")
+        self.rows = rows
+        self._free: dict[int, list[int]] = {0: [], 1: []}
+        # Prefer low row numbers: pop from the end of a reversed list.
+        for row in range(rows - 1, reserved - 1, -1):
+            self._free[row & 1].append(row)
+        self._allocated: set[int] = set()
+        self.high_water = 0
+
+    def alloc(self, parity: int) -> int:
+        """Allocate one row of the given parity (0 even, 1 odd)."""
+        if parity not in (0, 1):
+            raise ValueError("parity must be 0 or 1")
+        stack = self._free[parity]
+        if not stack:
+            raise MemoryError(f"out of parity-{parity} rows")
+        row = stack.pop()
+        self._allocated.add(row)
+        self.high_water = max(self.high_water, len(self._allocated))
+        return row
+
+    def alloc_opposite(self, rows) -> int:
+        """Allocate a row of the parity opposite to existing ``rows``
+        (which must all share one parity)."""
+        parities = {r & 1 for r in rows}
+        if len(parities) != 1:
+            raise ValueError(f"rows {list(rows)} do not share a parity")
+        (p,) = parities
+        return self.alloc(1 - p)
+
+    def free(self, row: int) -> None:
+        if row not in self._allocated:
+            raise ValueError(f"row {row} is not allocated")
+        self._allocated.discard(row)
+        self._free[row & 1].append(row)
+
+    def free_many(self, rows) -> None:
+        for row in rows:
+            self.free(row)
+
+    @property
+    def in_use(self) -> int:
+        return len(self._allocated)
+
+    def available(self, parity: int) -> int:
+        return len(self._free[parity])

@@ -1,0 +1,402 @@
+"""Word-level arithmetic on MOUSE.
+
+All routines emit straight-line gate sequences through a
+:class:`~repro.compile.builder.ProgramBuilder` and follow the paper's
+decomposition: n-bit addition = a half-add plus (n-1) full-adds
+(Section VI), multiplication = shift-and-add over AND partial products,
+popcount = a pairwise adder tree.  Signed values use two's complement;
+signed multiplication is sign-magnitude (conditional negate around an
+unsigned core).
+
+``instruction_count(op, ...)`` returns the *exact* instruction count of
+each routine by building it once against a scratch builder and
+memoising — the workload cost models use these, so the aggregate
+simulation can never drift from what the compiler actually emits.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+from repro.compile.builder import Bit, ProgramBuilder, Word
+from repro.compile.macros import (
+    and_bit,
+    full_add,
+    full_add_min3,
+    half_add,
+    mux_bit,
+    not_bit,
+    or_bit,
+    xnor_bit,
+    xor_bit,
+)
+
+
+def _pad(b: ProgramBuilder, word: Word, n_bits: int) -> Word:
+    """Zero-extend a word to ``n_bits`` (constant-0 rows)."""
+    if len(word) >= n_bits:
+        return word
+    parity = word[0].parity if len(word) else 0
+    extra = tuple(b.constant(0, parity) for _ in range(n_bits - len(word)))
+    return Word(word.bits + extra)
+
+
+def ripple_add(
+    b: ProgramBuilder,
+    x: Word,
+    y: Word,
+    carry_in: Bit | None = None,
+    adder=full_add,
+) -> Word:
+    """x + y (+ carry_in), producing max(len)+1 bits (no overflow).
+
+    ``adder`` selects the full-adder implementation: the paper's 9-NAND
+    construction (default) or :func:`~repro.compile.macros.full_add_min3`.
+    """
+    n = max(len(x), len(y))
+    nx, ny = len(x), len(y)
+    x = _pad(b, x, n)
+    y = _pad(b, y, n)
+    bits: list[Bit] = []
+    carry = carry_in
+    for i in range(n):
+        if carry is None:
+            s, carry = half_add(b, x[i], y[i])
+        else:
+            s, new_carry = adder(b, x[i], y[i], carry)
+            if carry is not carry_in:
+                # Intermediate carries are ours; the caller's carry_in
+                # is not.
+                b.release(carry)
+            carry = new_carry
+        bits.append(s)
+    bits.append(carry)  # type: ignore[arg-type]
+    # Zero-extension constants are internal scratch; recycle their rows
+    # (safe in a straight-line program: later reuse cannot affect the
+    # already-emitted gates that read them).
+    b.release(*x.bits[nx:], *y.bits[ny:])
+    return Word(tuple(bits))
+
+
+def ripple_add_mod(b: ProgramBuilder, x: Word, y: Word, n_bits: int) -> Word:
+    """(x + y) mod 2**n_bits — fixed-width accumulate."""
+    full = ripple_add(b, _pad(b, x, n_bits), _pad(b, y, n_bits))
+    keep = Word(full.bits[:n_bits])
+    b.release(*full.bits[n_bits:])
+    return keep
+
+
+def invert(b: ProgramBuilder, x: Word) -> Word:
+    """Bitwise NOT of every bit."""
+    return Word(tuple(not_bit(b, bit) for bit in x))
+
+
+def negate(b: ProgramBuilder, x: Word) -> Word:
+    """Two's-complement negation at the same width: ~x + 1."""
+    inv = invert(b, x)
+    one = b.constant(1, inv[0].parity)
+    out = ripple_add_mod(b, inv, Word((one,) + tuple()), len(x))
+    b.release(inv, one)
+    return out
+
+
+def ripple_sub(b: ProgramBuilder, x: Word, y: Word, n_bits: int | None = None) -> Word:
+    """(x - y) mod 2**n at width n = n_bits or max(len x, len y).
+
+    Two's complement: x + ~y + 1; the +1 enters as the carry-in of the
+    first full adder.
+    """
+    n = n_bits or max(len(x), len(y))
+    nx_orig, ny_orig = len(x), len(y)
+    x = _pad(b, x, n)
+    y = _pad(b, y, n)
+    inv = invert(b, y)
+    one = b.constant(1, x[0].parity)
+    total = ripple_add(b, x, inv, carry_in=one)
+    keep = Word(total.bits[:n])
+    b.release(
+        inv, one, *total.bits[n:], *x.bits[nx_orig:], *y.bits[ny_orig:]
+    )
+    return keep
+
+
+def sign_extend(b: ProgramBuilder, x: Word, n_bits: int) -> Word:
+    """Two's-complement extension: replicate the sign bit upward.
+
+    Each extension bit is a BUF copy (chained, so one gate per bit);
+    their bitline parity alternates, which is fine — adders harmonise
+    operands themselves.
+    """
+    if n_bits <= len(x):
+        return Word(x.bits[:n_bits])
+    ext: list[Bit] = []
+    source = x[-1]
+    for _ in range(n_bits - len(x)):
+        source = b.copy(source)
+        ext.append(source)
+    return Word(x.bits + tuple(ext))
+
+
+def conditional_negate(b: ProgramBuilder, x: Word, sign: Bit) -> Word:
+    """sign ? -x : x  (XOR every bit with sign, add sign as carry-in)."""
+    flipped = Word(tuple(xor_bit(b, bit, sign) for bit in x))
+    zero = Word(tuple(b.constant(0, flipped[0].parity) for _ in x))
+    sign_m = b.copy(sign, parity=flipped[0].parity)
+    total = ripple_add(b, flipped, zero, carry_in=sign_m)
+    keep = Word(total.bits[: len(x)])
+    b.release(flipped, zero, sign_m, *total.bits[len(x) :])
+    return keep
+
+
+def multiply(b: ProgramBuilder, x: Word, y: Word) -> Word:
+    """Unsigned shift-and-add multiply: len(x)+len(y) result bits."""
+    n, m = len(x), len(y)
+    acc: Word | None = None
+    for j in range(m):
+        partial = Word(tuple(and_bit(b, x[i], y[j]) for i in range(n)))
+        if acc is None:
+            acc = partial
+        else:
+            # Add the partial into acc[j:]; lower bits are settled.
+            upper = Word(acc.bits[j:])
+            summed = ripple_add(b, upper, partial)
+            b.release(*upper.bits, *partial.bits)
+            acc = Word(acc.bits[:j] + summed.bits)
+    assert acc is not None
+    # Result width n+m (the last ripple_add appended its carry).
+    return Word(acc.bits[: n + m])
+
+
+def square(b: ProgramBuilder, x: Word) -> Word:
+    """x*x — needs an explicit operand duplicate (a row cannot feed a
+    gate twice), which the builder's harmonise provides per-gate; a
+    single up-front copy of the word is cheaper."""
+    mirror = Word(tuple(b.copy(bit, parity=bit.parity) for bit in x))
+    out = multiply(b, x, mirror)
+    b.release(*mirror.bits)
+    return out
+
+
+def multiply_signed(b: ProgramBuilder, x: Word, y: Word) -> Word:
+    """Signed (two's complement) multiply via sign-magnitude."""
+    sx, sy = x[-1], y[-1]
+    ax = conditional_negate(b, x, sx)
+    ay = conditional_negate(b, y, sy)
+    mag = multiply(b, ax, ay)
+    sign = xor_bit(b, sx, sy)
+    out = conditional_negate(b, mag, sign)
+    b.release(*ax.bits, *ay.bits, *mag.bits, sign)
+    return out
+
+
+def popcount(b: ProgramBuilder, bits: list[Bit]) -> Word:
+    """Number of set bits, as a word — the BNN accumulation primitive.
+
+    Pairwise adder tree: words of growing width are summed until one
+    remains; 0 bits in -> empty result is an error.
+    """
+    if not bits:
+        raise ValueError("popcount needs at least one bit")
+    level: list[Word] = [Word((bit,)) for bit in bits]
+    owned = [False] * len(level)  # level-0 bits belong to the caller
+    while len(level) > 1:
+        nxt: list[Word] = []
+        nxt_owned: list[bool] = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(ripple_add(b, level[i], level[i + 1]))
+            nxt_owned.append(True)
+            if owned[i]:
+                b.release(*level[i].bits)
+            if owned[i + 1]:
+                b.release(*level[i + 1].bits)
+        if len(level) % 2:
+            nxt.append(level[-1])
+            nxt_owned.append(owned[-1])
+        level = nxt
+        owned = nxt_owned
+    return level[0]
+
+
+def xnor_word(b: ProgramBuilder, x: Word, y: Word) -> list[Bit]:
+    """Element-wise XNOR of two equal-length bit vectors."""
+    if len(x) != len(y):
+        raise ValueError("xnor_word needs equal lengths")
+    return [xnor_bit(b, x[i], y[i]) for i in range(len(x))]
+
+
+def greater_equal(b: ProgramBuilder, x: Word, y: Word) -> Bit:
+    """Unsigned x >= y: the no-borrow (carry-out) of x + ~y + 1."""
+    n = max(len(x), len(y))
+    nx_orig, ny_orig = len(x), len(y)
+    x = _pad(b, x, n)
+    y = _pad(b, y, n)
+    inv = invert(b, y)
+    one = b.constant(1, x[0].parity)
+    total = ripple_add(b, x, inv, carry_in=one)
+    carry = total.bits[-1]
+    b.release(
+        inv, one, *total.bits[:-1], *x.bits[nx_orig:], *y.bits[ny_orig:]
+    )
+    return carry
+
+
+def select_word(b: ProgramBuilder, sel: Bit, when0: Word, when1: Word) -> Word:
+    """Word-level 2:1 mux."""
+    n = max(len(when0), len(when1))
+    n0, n1 = len(when0), len(when1)
+    when0 = _pad(b, when0, n)
+    when1 = _pad(b, when1, n)
+    out = Word(tuple(mux_bit(b, sel, when0[i], when1[i]) for i in range(n)))
+    b.release(*when0.bits[n0:], *when1.bits[n1:])
+    return out
+
+
+def word_max(b: ProgramBuilder, words: list[Word]) -> Word:
+    """Unsigned maximum of several words (compare + mux reduction)."""
+    if not words:
+        raise ValueError("word_max needs at least one word")
+    best = words[0]
+    owned = False  # words[0] belongs to the caller; later bests are ours
+    for challenger in words[1:]:
+        ge = greater_equal(b, challenger, best)
+        winner = select_word(b, ge, best, challenger)
+        if owned:
+            b.release(*best.bits)
+        b.release(ge)
+        best, owned = winner, True
+    return best
+
+
+def constant_word(b: ProgramBuilder, value: int, n_bits: int, parity: int = 0) -> Word:
+    """A word of preset constants (one PRESET instruction per bit)."""
+    if value < 0 or value >= 1 << n_bits:
+        raise ValueError(f"{value} does not fit in {n_bits} bits")
+    return Word(
+        tuple(b.constant((value >> i) & 1, parity) for i in range(n_bits))
+    )
+
+
+def word_argmax(b: ProgramBuilder, words: list[Word]) -> tuple[Word, Word]:
+    """(index, value) of the unsigned maximum — the one-vs-rest
+    classification step ("we take the highest-score output of the 10
+    classifiers to be the final classification", Section III).
+
+    Ties resolve to the *later* index (>= comparison), which is
+    deterministic and matches ``np.argmax`` only when values are
+    distinct; classifiers' integer scores collide with negligible
+    probability.
+    """
+    if not words:
+        raise ValueError("word_argmax needs at least one word")
+    index_bits = max(1, math.ceil(math.log2(max(2, len(words)))))
+    best = words[0]
+    owned = False
+    best_index = constant_word(b, 0, index_bits)
+    for i, challenger in enumerate(words[1:], start=1):
+        ge = greater_equal(b, challenger, best)
+        winner = select_word(b, ge, best, challenger)
+        if owned:
+            b.release(*best.bits)
+        best, owned = winner, True
+        candidate_index = constant_word(b, i, index_bits)
+        new_index = select_word(b, ge, best_index, candidate_index)
+        b.release(*best_index.bits, *candidate_index.bits, ge)
+        best_index = new_index
+    return best_index, best
+
+
+# ----------------------------------------------------------------------
+# Exact instruction counts (memoised measurement of the real emitter)
+# ----------------------------------------------------------------------
+
+
+def _scratch_builder(rows: int = 8192) -> tuple[ProgramBuilder, int]:
+    b = ProgramBuilder(rows=rows, cols=8)
+    b.activate((0,))
+    return b, b.instruction_count
+
+
+@lru_cache(maxsize=None)
+def instruction_count(op: str, *args: int) -> int:
+    """Instructions emitted by an arithmetic routine (excl. ACTIVATE).
+
+    ``op`` is one of ``full_add``, ``half_add``, ``xor``, ``xnor``,
+    ``and``, ``add(n)``, ``sub(n)``, ``mul(n, m)``, ``mul_signed(n, m)``,
+    ``square(n)``, ``popcount(n)``, ``ge(n)``, ``word_max(k, n)``.
+    """
+    return sum(count for _, count in instruction_histogram(op, *args))
+
+
+@lru_cache(maxsize=None)
+def instruction_histogram(op: str, *args: int) -> "tuple[tuple[str, int], ...]":
+    """Instruction mix of a routine: ((kind, count), ...) sorted pairs.
+
+    Kinds are gate names (``NAND``, ``BUF``, ...) and ``PRESET``.  The
+    workload cost models price each kind separately, so aggregate
+    energy is computed from exactly the instructions the compiler
+    emits.
+    """
+    b, base = _scratch_builder()
+
+    def wordp(n: int, parity: int = 0) -> Word:
+        return Word(tuple(Bit(b.alloc.alloc(parity)) for _ in range(n)))
+
+    if op == "full_add":
+        full_add(b, Bit(b.alloc.alloc(0)), Bit(b.alloc.alloc(0)), Bit(b.alloc.alloc(0)))
+    elif op == "full_add_min3":
+        full_add_min3(
+            b, Bit(b.alloc.alloc(0)), Bit(b.alloc.alloc(0)), Bit(b.alloc.alloc(0))
+        )
+    elif op == "add_min3":
+        (n,) = args
+        ripple_add(b, wordp(n), wordp(n), adder=full_add_min3)
+    elif op == "half_add":
+        half_add(b, Bit(b.alloc.alloc(0)), Bit(b.alloc.alloc(0)))
+    elif op == "xor":
+        xor_bit(b, Bit(b.alloc.alloc(0)), Bit(b.alloc.alloc(0)))
+    elif op == "xnor":
+        xnor_bit(b, Bit(b.alloc.alloc(0)), Bit(b.alloc.alloc(0)))
+    elif op == "and":
+        and_bit(b, Bit(b.alloc.alloc(0)), Bit(b.alloc.alloc(0)))
+    elif op == "add":
+        (n,) = args
+        ripple_add(b, wordp(n), wordp(n))
+    elif op == "sub":
+        (n,) = args
+        ripple_sub(b, wordp(n), wordp(n))
+    elif op == "mul":
+        n, m = args
+        multiply(b, wordp(n), wordp(m))
+    elif op == "mul_signed":
+        n, m = args
+        multiply_signed(b, wordp(n), wordp(m))
+    elif op == "square":
+        (n,) = args
+        square(b, wordp(n))
+    elif op == "popcount":
+        (n,) = args
+        popcount(b, [Bit(b.alloc.alloc(0)) for _ in range(n)])
+    elif op == "ge":
+        (n,) = args
+        greater_equal(b, wordp(n), wordp(n))
+    elif op == "word_max":
+        k, n = args
+        word_max(b, [wordp(n) for _ in range(k)])
+    else:
+        raise ValueError(f"unknown op {op!r}")
+
+    from collections import Counter
+
+    from repro.isa.instruction import LogicInstruction, MemoryInstruction
+
+    mix: Counter = Counter()
+    for instr in list(b.program)[base:]:
+        if isinstance(instr, LogicInstruction):
+            mix[instr.gate.upper()] += 1
+        elif isinstance(instr, MemoryInstruction):
+            if instr.op.upper().startswith("PRESET"):
+                mix["PRESET"] += 1
+            else:  # pragma: no cover - arithmetic emits no READ/WRITE
+                mix[instr.op.upper()] += 1
+    return tuple(sorted(mix.items()))

@@ -1,0 +1,235 @@
+"""Instruction emission: the bridge between macros and the ISA.
+
+`ProgramBuilder` produces a straight-line MOUSE program.  It owns a
+:class:`~repro.compile.allocator.RowAllocator`, pairs every logic gate
+with the preset write its output row needs, tracks the active-column
+set so redundant Activate Columns instructions are not emitted, and
+handles the bitline-parity discipline (inserting BUF copies when a
+gate's operands sit on different parities).
+
+Values are :class:`Bit` (one row) and :class:`Word` (little-endian
+tuple of Bits).  The same emitted program computes in *every* active
+column simultaneously — columns are the SIMD dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.compile.allocator import RowAllocator
+from repro.core.program import Program
+from repro.isa.encoding import MAX_ACTIVATE_COLUMNS
+from repro.isa.instruction import (
+    ActivateColumnsInstruction,
+    LogicInstruction,
+    MemoryInstruction,
+)
+from repro.logic.library import gate_by_name
+
+
+@dataclass(frozen=True)
+class Bit:
+    """A single-bit value living at a row (within the active columns)."""
+
+    row: int
+
+    @property
+    def parity(self) -> int:
+        return self.row & 1
+
+
+@dataclass(frozen=True)
+class Word:
+    """A little-endian multi-bit value, one bit per row."""
+
+    bits: tuple[Bit, ...]
+
+    def __len__(self) -> int:
+        return len(self.bits)
+
+    def __getitem__(self, index: int) -> Bit:
+        return self.bits[index]
+
+    def __iter__(self):
+        return iter(self.bits)
+
+    @property
+    def rows(self) -> tuple[int, ...]:
+        return tuple(b.row for b in self.bits)
+
+
+class ProgramBuilder:
+    """Builds one tile's instruction stream (greedy minimal-column
+    scheduling: the column set is chosen once by the caller and the
+    whole computation runs within it)."""
+
+    def __init__(
+        self,
+        tile: int = 0,
+        rows: int = 1024,
+        cols: int = 1024,
+        reserved_rows: int = 0,
+        name: str = "program",
+    ) -> None:
+        self.tile = tile
+        self.rows = rows
+        self.cols = cols
+        self.program = Program(name=name)
+        self.alloc = RowAllocator(rows, reserved=reserved_rows)
+        self._active: Optional[tuple] = None
+
+    # ------------------------------------------------------------------
+    # Columns
+    # ------------------------------------------------------------------
+
+    def activate(self, columns: Sequence[int]) -> None:
+        """Activate an explicit column set (chunked into instructions of
+        <=5 addresses as the ISA requires).
+
+        Note: multi-instruction activations replace the latch, so only
+        the *final* chunk would survive a literal replay; the builder
+        therefore requires explicit sets to fit one instruction and
+        callers with more columns must use :meth:`activate_range`.
+        """
+        cols = tuple(sorted(set(columns)))
+        if not cols:
+            raise ValueError("need at least one column")
+        if len(cols) > MAX_ACTIVATE_COLUMNS:
+            raise ValueError(
+                f"{len(cols)} columns exceed one Activate Columns "
+                "instruction; use activate_range"
+            )
+        key = ("set", cols)
+        if self._active == key:
+            return
+        self.program.append(
+            ActivateColumnsInstruction(tile=self.tile, columns=cols)
+        )
+        self._active = key
+
+    def activate_range(self, first: int, last: int) -> None:
+        """Bulk-activate an inclusive column range."""
+        key = ("range", first, last)
+        if self._active == key:
+            return
+        self.program.append(
+            ActivateColumnsInstruction(
+                tile=self.tile, columns=(first, last), bulk=True
+            )
+        )
+        self._active = key
+
+    # ------------------------------------------------------------------
+    # Gates
+    # ------------------------------------------------------------------
+
+    def emit_gate(self, gate: str, inputs: Sequence[Bit], output: Bit) -> None:
+        """Preset the output row, then execute the gate."""
+        spec = gate_by_name(gate)
+        if len(inputs) != spec.n_inputs:
+            raise ValueError(f"{gate} takes {spec.n_inputs} inputs")
+        preset_op = "PRESET1" if spec.preset else "PRESET0"
+        self.program.append(
+            MemoryInstruction(op=preset_op, tile=self.tile, row=output.row)
+        )
+        self.program.append(
+            LogicInstruction(
+                gate=spec.name,
+                tile=self.tile,
+                input_rows=tuple(b.row for b in inputs),
+                output_row=output.row,
+            )
+        )
+
+    def gate(self, gate: str, *inputs: Bit) -> Bit:
+        """Run a gate on (parity-harmonised) inputs into a fresh row.
+
+        Parity copies harmonise creates here are single-use scratch and
+        are recycled immediately after the gate is emitted.
+        """
+        ins = self.harmonise(list(inputs))
+        out = Bit(self.alloc.alloc_opposite([b.row for b in ins]))
+        self.emit_gate(gate, ins, out)
+        original_rows = {b.row for b in inputs}
+        for bit in ins:
+            if bit.row not in original_rows:
+                self.release(bit)
+        return out
+
+    # ------------------------------------------------------------------
+    # Parity management
+    # ------------------------------------------------------------------
+
+    def copy(self, source: Bit, parity: Optional[int] = None) -> Bit:
+        """Copy a bit through a BUF gate (output parity flips; copying
+        to the same parity takes two BUFs through a temporary)."""
+        if parity is None or parity != source.parity:
+            out = Bit(self.alloc.alloc(1 - source.parity))
+            self.emit_gate("BUF", [source], out)
+            return out
+        middle = self.copy(source)
+        out = self.copy(middle)
+        self.release(middle)
+        return out
+
+    def harmonise(self, bits: list[Bit]) -> list[Bit]:
+        """Return versions of ``bits`` that share one parity, copying
+        the minority side.  Copies are fresh scratch rows; the originals
+        are left untouched (and not freed)."""
+        if len({b.row for b in bits}) != len(bits):
+            # A gate cannot read one row twice; duplicate via a copy.
+            seen: set[int] = set()
+            deduped: list[Bit] = []
+            for b in bits:
+                if b.row in seen:
+                    b = self.copy(b, parity=b.parity)  # duplicate the row
+                seen.add(b.row)
+                deduped.append(b)
+            bits = deduped
+        parities = {b.parity for b in bits}
+        if len(parities) == 1:
+            return bits
+        even = [b for b in bits if b.parity == 0]
+        odd = [b for b in bits if b.parity == 1]
+        majority, minority = (even, odd) if len(even) >= len(odd) else (odd, even)
+        target = majority[0].parity
+        moved = {b.row: self.copy(b, parity=target) for b in minority}
+        return [moved.get(b.row, b) for b in bits]
+
+    # ------------------------------------------------------------------
+    # Constants and words
+    # ------------------------------------------------------------------
+
+    def constant(self, value: int, parity: int = 0) -> Bit:
+        """A bit holding a constant in every active column (one preset)."""
+        out = Bit(self.alloc.alloc(parity))
+        op = "PRESET1" if value else "PRESET0"
+        self.program.append(MemoryInstruction(op=op, tile=self.tile, row=out.row))
+        return out
+
+    def word_at(self, rows: Sequence[int]) -> Word:
+        """Wrap existing (caller-placed) rows as a Word, LSB first."""
+        return Word(tuple(Bit(r) for r in rows))
+
+    def alloc_word(self, n_bits: int, parity: int = 0) -> Word:
+        """Allocate a fresh word with all bits on one parity."""
+        return Word(tuple(Bit(self.alloc.alloc(parity)) for _ in range(n_bits)))
+
+    def release(self, *values: Bit | Word) -> None:
+        """Return scratch rows to the allocator."""
+        for value in values:
+            if isinstance(value, Word):
+                self.alloc.free_many(value.rows)
+            else:
+                self.alloc.free(value.row)
+
+    # ------------------------------------------------------------------
+
+    def finish(self) -> Program:
+        """Seal and return the program."""
+        return self.program.ensure_halt()
+
+    @property
+    def instruction_count(self) -> int:
+        return len(self.program)

@@ -1,0 +1,615 @@
+"""Whole-classifier compilation: trained models to single MOUSE programs.
+
+Two compilers, both producing straight-line programs for the functional
+machine plus the metadata needed to load operands and read results:
+
+* :func:`compile_svm_decision` — a complete binary SVM decision
+  (Section III pipeline): per support vector, dot(x, sv) + offset,
+  square, multiply by |dual coefficient|, conditionally negate by the
+  coefficient's sign, and accumulate; the classification is the sign
+  bit of the final score.  Support vectors and coefficients are *baked
+  into the program's data layout* (written at load time); the input
+  vector is the only runtime operand.
+
+* :func:`compile_bnn_layer` — one binary layer with neurons mapped to
+  columns: the weight bits and the per-neuron integer threshold live in
+  each neuron's column, the activation vector is broadcast to all
+  columns, and a single shared instruction stream (XNOR, popcount,
+  compare) fires every neuron simultaneously — the column-parallelism
+  the paper's Section VI mapping describes, end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.compile import arith
+from repro.compile.builder import Bit, ProgramBuilder, Word
+from repro.core.accelerator import Mouse
+from repro.core.program import Program
+from repro.devices.parameters import DeviceParameters, MODERN_STT
+
+
+def _place_word(mouse: Mouse, tile: int, word: Word, column: int, value: int) -> None:
+    masked = value & ((1 << len(word)) - 1)
+    for index, bit in enumerate(word):
+        mouse.tile(tile).set_bit(bit.row, column, (masked >> index) & 1)
+
+
+def _read_word(mouse: Mouse, tile: int, word: Word, column: int, signed: bool) -> int:
+    value = 0
+    for index, bit in enumerate(word):
+        value |= mouse.tile(tile).get_bit(bit.row, column) << index
+    if signed and value >= 1 << (len(word) - 1):
+        value -= 1 << len(word)
+    return value
+
+
+# ----------------------------------------------------------------------
+# SVM
+# ----------------------------------------------------------------------
+
+
+def _emit_score(
+    builder: ProgramBuilder,
+    input_words: list[Word],
+    sv_words: list[list[Word]],
+    coef_words: list[Word],
+    coef_signs: list[Bit],
+    offset_word: Word,
+    kernel_bits: int,
+    score_bits: int,
+) -> Word:
+    """One classifier's decision value: sum_k coef_k * (x . sv_k + c)^2.
+
+    Shared by the binary and multi-class compilers.  Two's-complement
+    accumulation at ``score_bits`` so the sign (and ordering) is exact.
+    """
+    acc: Word | None = None
+    for k in range(len(sv_words)):
+        dot: Word | None = None
+        for d, x_word in enumerate(input_words):
+            term = arith.multiply(builder, x_word, sv_words[k][d])
+            if dot is None:
+                dot = term
+            else:
+                merged = arith.ripple_add(builder, dot, term)
+                builder.release(*dot.bits, *term.bits)
+                dot = merged
+        assert dot is not None
+        shifted = arith.ripple_add(builder, dot, offset_word)
+        builder.release(*dot.bits)
+        shifted = Word(shifted.bits[:kernel_bits])
+        kernel = arith.square(builder, shifted)
+        builder.release(*shifted.bits)
+        product = arith.multiply(builder, kernel, coef_words[k])
+        builder.release(*kernel.bits)
+        signed = arith.conditional_negate(builder, product, coef_signs[k])
+        builder.release(*product.bits)
+        wide = arith.sign_extend(builder, signed, score_bits)
+        if acc is None:
+            acc = wide
+        else:
+            total = arith.ripple_add_mod(builder, acc, wide, score_bits)
+            builder.release(*acc.bits, *wide.bits)
+            acc = total
+    assert acc is not None
+    return acc
+
+
+@dataclass
+class CompiledSvm:
+    """A compiled binary SVM decision.
+
+    The same instruction stream classifies one input per *active
+    column* simultaneously (the paper's column parallelism): the model
+    data is replicated into every column at load time, each column gets
+    its own input vector, and one program execution produces a batch of
+    decisions.
+    """
+
+    program: Program
+    input_words: list[Word]  # one per dimension (runtime operand)
+    sv_words: list[list[Word]]  # [sv][dimension] (baked data)
+    coef_words: list[Word]  # |coefficient| magnitudes
+    coef_signs: list[Bit]
+    offset_word: Word
+    score: Word  # two's-complement final score
+    input_bits: int
+    rows: int
+    n_columns: int = 1
+
+    def machine(
+        self,
+        sv_int: np.ndarray,
+        coef_int: np.ndarray,
+        offset: int,
+        tech: DeviceParameters = MODERN_STT,
+    ) -> Mouse:
+        """Instantiate a machine with the model data written in (to
+        every column — the model is shared, inputs differ)."""
+        mouse = Mouse(tech, rows=self.rows, cols=self.n_columns)
+        for column in range(self.n_columns):
+            for k, sv in enumerate(sv_int):
+                for d, value in enumerate(sv):
+                    _place_word(mouse, 0, self.sv_words[k][d], column, int(value))
+            for k, coef in enumerate(coef_int):
+                _place_word(mouse, 0, self.coef_words[k], column, abs(int(coef)))
+                mouse.tile(0).set_bit(
+                    self.coef_signs[k].row, column, int(coef < 0)
+                )
+            _place_word(mouse, 0, self.offset_word, column, int(offset))
+        mouse.load(self.program)
+        return mouse
+
+    def set_input(
+        self, mouse: Mouse, x_int: Sequence[int], column: int = 0
+    ) -> None:
+        for d, value in enumerate(x_int):
+            _place_word(mouse, 0, self.input_words[d], column, int(value))
+
+    def set_batch(self, mouse: Mouse, batch: np.ndarray) -> None:
+        """One input vector per column."""
+        batch = np.asarray(batch)
+        if batch.shape[0] > self.n_columns:
+            raise ValueError("batch larger than the compiled column count")
+        for column, x in enumerate(batch):
+            self.set_input(mouse, x, column)
+
+    def read_score(self, mouse: Mouse, column: int = 0) -> int:
+        return _read_word(mouse, 0, self.score, column, signed=True)
+
+    def classify(self, mouse: Mouse, column: int = 0) -> int:
+        """1 if the decision value is >= 0 (the paper's sign decision)."""
+        return int(self.read_score(mouse, column) >= 0)
+
+    def classify_batch(self, mouse: Mouse, n: int | None = None) -> np.ndarray:
+        n = self.n_columns if n is None else n
+        return np.array([self.classify(mouse, c) for c in range(n)])
+
+    @staticmethod
+    def reference_score(
+        x_int: Sequence[int], sv_int: np.ndarray, coef_int: np.ndarray, offset: int
+    ) -> int:
+        """The integer pipeline in plain Python (for verification)."""
+        total = 0
+        for sv, coef in zip(sv_int, coef_int):
+            kernel = (int(np.dot(x_int, sv)) + offset) ** 2
+            total += int(coef) * kernel
+        return total
+
+
+def compile_svm_decision(
+    n_support: int,
+    dimensions: int,
+    input_bits: int = 4,
+    sv_bits: int = 4,
+    coef_bits: int = 4,
+    offset_bits: int = 4,
+    rows: int = 1024,
+    n_columns: int = 1,
+) -> CompiledSvm:
+    """Emit the full binary-SVM decision pipeline.
+
+    Accumulation is two's-complement at a width covering the worst-case
+    score magnitude, so the final sign bit is exact.  With
+    ``n_columns > 1`` the single instruction stream classifies one
+    input per column simultaneously.
+    """
+    if n_support < 1 or dimensions < 1:
+        raise ValueError("need at least one support vector and dimension")
+    if n_columns < 1:
+        raise ValueError("need at least one column")
+    builder = ProgramBuilder(
+        tile=0, rows=rows, cols=n_columns, reserved_rows=0, name="svm"
+    )
+    builder.activate_range(0, n_columns - 1)
+
+    # Reserve explicit operand rows up front (parity 0), so nothing the
+    # compiler allocates can clobber pre-loaded data.
+    def fresh_word(bits: int) -> Word:
+        return Word(tuple(Bit(builder.alloc.alloc(0)) for _ in range(bits)))
+
+    input_words = [fresh_word(input_bits) for _ in range(dimensions)]
+    sv_words = [
+        [fresh_word(sv_bits) for _ in range(dimensions)] for _ in range(n_support)
+    ]
+    coef_words = [fresh_word(coef_bits) for _ in range(n_support)]
+    coef_signs = [Bit(builder.alloc.alloc(0)) for _ in range(n_support)]
+    offset_word = fresh_word(offset_bits)
+
+    kernel_bits = (
+        input_bits
+        + sv_bits
+        + max(1, int(np.ceil(np.log2(max(2, dimensions)))))
+        + 1  # + offset headroom
+    )
+    squared_bits = 2 * kernel_bits
+    product_bits = squared_bits + coef_bits
+    score_bits = product_bits + max(1, int(np.ceil(np.log2(max(2, n_support))))) + 1
+
+    acc = _emit_score(
+        builder,
+        input_words,
+        sv_words,
+        coef_words,
+        coef_signs,
+        offset_word,
+        kernel_bits,
+        score_bits,
+    )
+
+    return CompiledSvm(
+        program=builder.finish(),
+        input_words=input_words,
+        sv_words=sv_words,
+        coef_words=coef_words,
+        coef_signs=coef_signs,
+        offset_word=offset_word,
+        score=acc,
+        input_bits=input_bits,
+        rows=rows,
+        n_columns=n_columns,
+    )
+
+
+# ----------------------------------------------------------------------
+# Multi-class SVM (one-vs-rest + in-array argmax)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CompiledMulticlassSvm:
+    """One-vs-rest classification ending in an in-array argmax.
+
+    Implements the paper's Section III multi-class extension literally:
+    one score pipeline per class over the shared input, the classifier
+    index with the highest score is the prediction — computed by the
+    compare/mux argmax reduction, so the *class index* is read out of
+    the array, not derived host-side.
+    """
+
+    program: Program
+    input_words: list[Word]
+    class_models: list[dict]  # per class: sv/coef/sign/offset words
+    index_word: Word  # the argmax result (class index)
+    scores: list[Word]  # per-class signed scores (for inspection)
+    input_bits: int
+    rows: int
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.class_models)
+
+    def machine(
+        self,
+        sv_int: Sequence[np.ndarray],  # per class: (k, d)
+        coef_int: Sequence[np.ndarray],  # per class: (k,)
+        offsets: Sequence[int],
+        tech: DeviceParameters = MODERN_STT,
+    ) -> Mouse:
+        # Multi-class programs are long; provision enough instruction
+        # tiles (each 1024-row tile holds 16 K instruction words).
+        per_tile = self.rows * (1024 // 64)
+        n_instruction_tiles = -(-len(self.program) // per_tile)
+        mouse = Mouse(
+            tech,
+            rows=self.rows,
+            cols=1,
+            n_instruction_tiles=n_instruction_tiles,
+        )
+        for cls, model in enumerate(self.class_models):
+            for k, sv in enumerate(sv_int[cls]):
+                for d, value in enumerate(sv):
+                    _place_word(mouse, 0, model["sv"][k][d], 0, int(value))
+            for k, coef in enumerate(coef_int[cls]):
+                _place_word(mouse, 0, model["coef"][k], 0, abs(int(coef)))
+                mouse.tile(0).set_bit(model["sign"][k].row, 0, int(coef < 0))
+            _place_word(mouse, 0, model["offset"], 0, int(offsets[cls]))
+        mouse.load(self.program)
+        return mouse
+
+    def set_input(self, mouse: Mouse, x_int: Sequence[int]) -> None:
+        for d, value in enumerate(x_int):
+            _place_word(mouse, 0, self.input_words[d], 0, int(value))
+
+    def predict(self, mouse: Mouse) -> int:
+        return _read_word(mouse, 0, self.index_word, 0, signed=False)
+
+    def read_scores(self, mouse: Mouse) -> list[int]:
+        return [_read_word(mouse, 0, s, 0, signed=True) for s in self.scores]
+
+    @staticmethod
+    def reference_prediction(
+        x_int: Sequence[int],
+        sv_int: Sequence[np.ndarray],
+        coef_int: Sequence[np.ndarray],
+        offsets: Sequence[int],
+    ) -> int:
+        scores = [
+            CompiledSvm.reference_score(x_int, sv_int[c], coef_int[c], offsets[c])
+            for c in range(len(sv_int))
+        ]
+        # Ties resolve to the later index, matching the circuit.
+        best = 0
+        for c in range(1, len(scores)):
+            if scores[c] >= scores[best]:
+                best = c
+        return best
+
+
+def compile_multiclass_svm(
+    n_classes: int,
+    n_support_per_class: int,
+    dimensions: int,
+    input_bits: int = 3,
+    sv_bits: int = 3,
+    coef_bits: int = 3,
+    offset_bits: int = 3,
+    rows: int = 1024,
+) -> CompiledMulticlassSvm:
+    """Emit the full one-vs-rest pipeline, argmax included."""
+    if n_classes < 2:
+        raise ValueError("need at least two classes")
+    if n_support_per_class < 1 or dimensions < 1:
+        raise ValueError("need at least one support vector and dimension")
+    builder = ProgramBuilder(
+        tile=0, rows=rows, cols=1, reserved_rows=0, name="svm-ovr"
+    )
+    builder.activate((0,))
+
+    def fresh_word(bits: int) -> Word:
+        return Word(tuple(Bit(builder.alloc.alloc(0)) for _ in range(bits)))
+
+    input_words = [fresh_word(input_bits) for _ in range(dimensions)]
+    class_models = []
+    for _ in range(n_classes):
+        class_models.append(
+            {
+                "sv": [
+                    [fresh_word(sv_bits) for _ in range(dimensions)]
+                    for _ in range(n_support_per_class)
+                ],
+                "coef": [fresh_word(coef_bits) for _ in range(n_support_per_class)],
+                "sign": [
+                    Bit(builder.alloc.alloc(0)) for _ in range(n_support_per_class)
+                ],
+                "offset": fresh_word(offset_bits),
+            }
+        )
+
+    kernel_bits = (
+        input_bits
+        + sv_bits
+        + max(1, int(np.ceil(np.log2(max(2, dimensions)))))
+        + 1
+    )
+    score_bits = (
+        2 * kernel_bits
+        + coef_bits
+        + max(1, int(np.ceil(np.log2(max(2, n_support_per_class)))))
+        + 1
+    )
+
+    scores = [
+        _emit_score(
+            builder,
+            input_words,
+            model["sv"],
+            model["coef"],
+            model["sign"],
+            model["offset"],
+            kernel_bits,
+            score_bits,
+        )
+        for model in class_models
+    ]
+
+    # Signed -> order-preserving unsigned: flip each score's sign bit.
+    biased = []
+    for score in scores:
+        msb = builder.gate("NOT", score[-1])
+        biased.append(Word(score.bits[:-1] + (msb,)))
+    index_word, best = arith.word_argmax(builder, biased)
+    builder.release(*best.bits)
+
+    return CompiledMulticlassSvm(
+        program=builder.finish(),
+        input_words=input_words,
+        class_models=class_models,
+        index_word=index_word,
+        scores=scores,
+        input_bits=input_bits,
+        rows=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# BNN layer
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CompiledBnnLayer:
+    """One binary layer: neuron j in column j, shared instruction stream."""
+
+    program: Program
+    activation_word: Word  # broadcast input bits (runtime operand)
+    weight_word: Word  # per-column weight bits (baked data)
+    threshold_word: Word  # per-column integer thresholds (baked data)
+    fire: Bit  # per-column output bit
+    n_neurons: int
+    fan_in: int
+    rows: int
+
+    def machine(
+        self,
+        weights01: np.ndarray,
+        thresholds: np.ndarray,
+        tech: DeviceParameters = MODERN_STT,
+    ) -> Mouse:
+        if weights01.shape != (self.fan_in, self.n_neurons):
+            raise ValueError("weights shape mismatch")
+        mouse = Mouse(tech, rows=self.rows, cols=self.n_neurons)
+        for neuron in range(self.n_neurons):
+            for i, bit in enumerate(self.weight_word):
+                mouse.tile(0).set_bit(bit.row, neuron, int(weights01[i, neuron]))
+            t = int(np.clip(thresholds[neuron], 0, 2 ** len(self.threshold_word) - 1))
+            for i, bit in enumerate(self.threshold_word):
+                mouse.tile(0).set_bit(bit.row, neuron, (t >> i) & 1)
+        mouse.load(self.program)
+        return mouse
+
+    def set_input(self, mouse: Mouse, bits: Sequence[int]) -> None:
+        """Broadcast the activation vector into every neuron's column."""
+        for neuron in range(self.n_neurons):
+            for i, bit in enumerate(self.activation_word):
+                mouse.tile(0).set_bit(bit.row, neuron, int(bits[i]))
+
+    def read_fires(self, mouse: Mouse) -> np.ndarray:
+        return np.array(
+            [mouse.tile(0).get_bit(self.fire.row, n) for n in range(self.n_neurons)]
+        )
+
+
+@dataclass
+class CompiledBnnOutput:
+    """The BNN output layer: per-class popcount scores + in-array argmax.
+
+    With +/-1 weights the class score is ``2*popcount(xnor) - n + b``;
+    for fixed fan-in the ordering equals that of ``popcount + b'`` with
+    ``b' = (b + n) / 2`` shifted to be non-negative, so the circuit
+    ranks ``popcount(xnor(a, w_c)) + bias_c`` with an unsigned argmax.
+    Classes are evaluated serially in one column (the activation vector
+    and every class's weights share the column), ending with the class
+    index in the array.
+    """
+
+    program: Program
+    activation_word: Word
+    weight_words: list[Word]  # per class
+    bias_words: list[Word]  # per class, non-negative integers
+    index_word: Word
+    fan_in: int
+    n_classes: int
+    rows: int
+
+    def machine(
+        self,
+        weights01: np.ndarray,  # (fan_in, n_classes)
+        biases: np.ndarray,  # (n_classes,) non-negative ints
+        tech: DeviceParameters = MODERN_STT,
+    ) -> Mouse:
+        if weights01.shape != (self.fan_in, self.n_classes):
+            raise ValueError("weights shape mismatch")
+        if np.any(np.asarray(biases) < 0):
+            raise ValueError("biases must be shifted non-negative")
+        mouse = Mouse(tech, rows=self.rows, cols=1)
+        for cls in range(self.n_classes):
+            for i, bit in enumerate(self.weight_words[cls]):
+                mouse.tile(0).set_bit(bit.row, 0, int(weights01[i, cls]))
+            _place_word(mouse, 0, self.bias_words[cls], 0, int(biases[cls]))
+        mouse.load(self.program)
+        return mouse
+
+    def set_input(self, mouse: Mouse, bits: Sequence[int]) -> None:
+        for i, bit in enumerate(self.activation_word):
+            mouse.tile(0).set_bit(bit.row, 0, int(bits[i]))
+
+    def predict(self, mouse: Mouse) -> int:
+        return _read_word(mouse, 0, self.index_word, 0, signed=False)
+
+    @staticmethod
+    def reference_prediction(
+        bits: Sequence[int], weights01: np.ndarray, biases: np.ndarray
+    ) -> int:
+        x = np.asarray(bits, dtype=np.int64)
+        w = weights01.astype(np.int64)
+        matches = x @ w + (1 - x) @ (1 - w)
+        scores = matches + np.asarray(biases, dtype=np.int64)
+        best = 0
+        for cls in range(1, len(scores)):
+            if scores[cls] >= scores[best]:  # ties to the later index
+                best = cls
+        return int(best)
+
+
+def compile_bnn_output(
+    fan_in: int, n_classes: int, bias_bits: int = 4, rows: int = 1024
+) -> CompiledBnnOutput:
+    """Emit the output layer: per-class scores and the final argmax."""
+    if fan_in < 1 or n_classes < 2:
+        raise ValueError("need at least one input and two classes")
+    builder = ProgramBuilder(
+        tile=0, rows=rows, cols=1, reserved_rows=0, name="bnn-output"
+    )
+    builder.activate((0,))
+
+    def fresh_word(bits: int) -> Word:
+        return Word(tuple(Bit(builder.alloc.alloc(0)) for _ in range(bits)))
+
+    activation = fresh_word(fan_in)
+    weight_words = [fresh_word(fan_in) for _ in range(n_classes)]
+    bias_words = [fresh_word(bias_bits) for _ in range(n_classes)]
+
+    scores = []
+    for cls in range(n_classes):
+        matches = arith.xnor_word(builder, activation, weight_words[cls])
+        count = arith.popcount(builder, matches)
+        builder.release(*matches)
+        total = arith.ripple_add(builder, count, bias_words[cls])
+        builder.release(*count.bits)
+        scores.append(total)
+    index_word, best = arith.word_argmax(builder, scores)
+    builder.release(*best.bits)
+
+    return CompiledBnnOutput(
+        program=builder.finish(),
+        activation_word=activation,
+        weight_words=weight_words,
+        bias_words=bias_words,
+        index_word=index_word,
+        fan_in=fan_in,
+        n_classes=n_classes,
+        rows=rows,
+    )
+
+
+def compile_bnn_layer(
+    fan_in: int, n_neurons: int, rows: int = 2048
+) -> CompiledBnnLayer:
+    """Emit one XNOR-popcount-threshold layer over ``n_neurons`` columns."""
+    if fan_in < 1 or n_neurons < 1:
+        raise ValueError("need at least one input and neuron")
+    builder = ProgramBuilder(
+        tile=0, rows=rows, cols=n_neurons, reserved_rows=0, name="bnn-layer"
+    )
+    builder.activate_range(0, n_neurons - 1)
+
+    def fresh_word(bits: int) -> Word:
+        return Word(tuple(Bit(builder.alloc.alloc(0)) for _ in range(bits)))
+
+    activation = fresh_word(fan_in)
+    weights = fresh_word(fan_in)
+    count_bits = max(1, int(np.ceil(np.log2(fan_in + 1))))
+    thresholds = fresh_word(count_bits)
+
+    matches = arith.xnor_word(builder, activation, weights)
+    count = arith.popcount(builder, matches)
+    builder.release(*matches)
+    count = Word(count.bits[:count_bits]) if len(count) > count_bits else count
+    fire = arith.greater_equal(builder, count, thresholds)
+
+    return CompiledBnnLayer(
+        program=builder.finish(),
+        activation_word=activation,
+        weight_word=weights,
+        threshold_word=thresholds,
+        fire=fire,
+        n_neurons=n_neurons,
+        fan_in=fan_in,
+        rows=rows,
+    )

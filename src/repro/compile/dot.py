@@ -1,0 +1,97 @@
+"""Dot products — the inner loops of SVM and BNN inference.
+
+Per the paper's Section VI mapping, the elements of the two vectors
+share a column; they are element-wise multiplied and summed by a gate
+sequence, and partial results from different columns are later combined
+through reads and writes.  This module emits the *in-column* part
+bit-exactly (used by tests and the small end-to-end demos); the
+column/tile-level scaling arithmetic lives with the workload models in
+:mod:`repro.ml.mapping`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.compile.arith import (
+    multiply,
+    multiply_signed,
+    popcount,
+    ripple_add,
+    ripple_add_mod,
+    sign_extend,
+    xnor_word,
+)
+from repro.compile.builder import Bit, ProgramBuilder, Word
+
+
+def emit_dot_product(
+    b: ProgramBuilder, xs: list[Word], ys: list[Word], signed: bool = False
+) -> Word:
+    """Sum of element-wise products of two placed vectors (one column).
+
+    Unsigned products accumulate with a growing carry-out; signed
+    products are sign-extended to the full accumulator width and summed
+    modulo 2**width (two's complement).  Intermediate products are
+    freed as the accumulation proceeds, so the peak scratch usage stays
+    near one product plus the accumulator.
+    """
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("vectors must be equal, non-zero length")
+    if not signed:
+        acc: Word | None = None
+        for x, y in zip(xs, ys):
+            product = multiply(b, x, y)
+            if acc is None:
+                acc = product
+            else:
+                total = ripple_add(b, acc, product)
+                b.release(*acc.bits, *product.bits)
+                acc = total
+        assert acc is not None
+        return acc
+
+    width = (
+        max(len(x) for x in xs)
+        + max(len(y) for y in ys)
+        + max(1, math.ceil(math.log2(len(xs))))
+    )
+    acc = None
+    for x, y in zip(xs, ys):
+        product = multiply_signed(b, x, y)
+        extended = sign_extend(b, product, width)
+        if acc is None:
+            acc = extended
+        else:
+            total = ripple_add_mod(b, acc, extended, width)
+            b.release(*acc.bits, *extended.bits)
+            acc = total
+    assert acc is not None
+    return acc
+
+
+def emit_binary_dot(b: ProgramBuilder, x: Word, w: Word) -> Word:
+    """BNN dot product: popcount(XNOR(x, w)).
+
+    With +1/-1 encoding the signed dot product is
+    ``2 * popcount(xnor) - n``; the affine correction is folded into the
+    layer threshold at training time, so hardware only needs this count.
+    """
+    matches = xnor_word(b, x, w)
+    count = popcount(b, matches)
+    b.release(*matches)
+    return count
+
+
+def emit_and_dot(b: ProgramBuilder, x: Word, w: Word) -> Word:
+    """Binarised-input SVM dot product: popcount(AND(x, w)).
+
+    Binarising MNIST lets multiplications become AND gates
+    (Section VIII) — this is that code path.
+    """
+    if len(x) != len(w):
+        raise ValueError("vectors must be equal length")
+    hits = [b.gate("AND", x[i], w[i]) for i in range(len(x))]
+    count = popcount(b, hits)
+    b.release(*hits)
+    return count

@@ -1,0 +1,161 @@
+"""Single-bit gate macros.
+
+Everything here emits *physical* gate sequences — including the BUF
+copies the bitline-parity rule forces when a value produced on one
+parity feeds a gate together with a value on the other.  The paper's
+full adder is "9 NAND gates ... using spare MTJs to hold 7 temporary
+bits" (Section II-B); the physical sequence below is exactly those nine
+NANDs plus the parity copies their placement requires.
+
+Every macro frees its own scratch rows before returning, so long
+ripple chains run in O(word size) rows, not O(gates).
+"""
+
+from __future__ import annotations
+
+from repro.compile.builder import Bit, ProgramBuilder
+
+
+def not_bit(b: ProgramBuilder, a: Bit) -> Bit:
+    """Logical NOT (output lands on the opposite parity)."""
+    return b.gate("NOT", a)
+
+
+def and_bit(b: ProgramBuilder, x: Bit, y: Bit) -> Bit:
+    return b.gate("AND", x, y)
+
+
+def or_bit(b: ProgramBuilder, x: Bit, y: Bit) -> Bit:
+    return b.gate("OR", x, y)
+
+
+def nand_bit(b: ProgramBuilder, x: Bit, y: Bit) -> Bit:
+    return b.gate("NAND", x, y)
+
+
+def nor_bit(b: ProgramBuilder, x: Bit, y: Bit) -> Bit:
+    return b.gate("NOR", x, y)
+
+
+def _release_copies(b: ProgramBuilder, originals, harmonised) -> None:
+    """Free the parity copies harmonise created (not the originals)."""
+    original_rows = {bit.row for bit in originals}
+    for bit in harmonised:
+        if bit.row not in original_rows:
+            b.release(bit)
+
+
+def xor_bit(b: ProgramBuilder, x: Bit, y: Bit) -> Bit:
+    """XOR from four NANDs (plus the two parity copies of the operands
+    that feeding ``t1`` back alongside them requires)."""
+    hx, hy = b.harmonise([x, y])
+    t1 = b.gate("NAND", hx, hy)  # opposite parity to the operands
+    x_m = b.copy(hx)  # mirror onto t1's parity
+    y_m = b.copy(hy)
+    t2 = b.gate("NAND", x_m, t1)
+    t3 = b.gate("NAND", y_m, t1)
+    out = b.gate("NAND", t2, t3)
+    b.release(t1, x_m, y_m, t2, t3)
+    _release_copies(b, (x, y), (hx, hy))
+    return out
+
+
+def xnor_bit(b: ProgramBuilder, x: Bit, y: Bit) -> Bit:
+    """XNOR — the BNN "multiplication" — as XOR followed by NOT."""
+    t = xor_bit(b, x, y)
+    out = b.gate("NOT", t)
+    b.release(t)
+    return out
+
+
+def mux_bit(b: ProgramBuilder, select: Bit, when0: Bit, when1: Bit) -> Bit:
+    """2:1 multiplexer: out = select ? when1 : when0."""
+    ns = b.gate("NOT", select)
+    a = b.gate("AND", select, when1)
+    c = b.gate("AND", ns, when0)
+    out = b.gate("OR", a, c)
+    b.release(ns, a, c)
+    return out
+
+
+def half_add(b: ProgramBuilder, x: Bit, y: Bit) -> tuple[Bit, Bit]:
+    """(sum, carry): sum = x ^ y (4 NANDs), carry = x & y (1 AND)."""
+    hx, hy = b.harmonise([x, y])
+    s = xor_bit(b, hx, hy)
+    c = b.gate("AND", hx, hy)
+    _release_copies(b, (x, y), (hx, hy))
+    return s, c
+
+
+def full_add(b: ProgramBuilder, x: Bit, y: Bit, cin: Bit) -> tuple[Bit, Bit]:
+    """(sum, carry-out) via the paper's nine-NAND full adder.
+
+    With x, y, cin on parity p the outputs both land on parity p, so
+    ripple chains need no extra copies between stages::
+
+        t1   = NAND(x, y)            t5 = NAND(axb, cin')
+        t2   = NAND(x', t1)          t6 = NAND(axb', t5)
+        t3   = NAND(y', t1)          t7 = NAND(cin, t5)
+        axb  = NAND(t2, t3)          s  = NAND(t6, t7)
+                                     cout = NAND(t1, t5')
+
+    Primed values are BUF mirrors demanded by the parity rule.
+    """
+    originals = (x, y, cin)
+    x, y, cin = b.harmonise([x, y, cin])
+    t1 = b.gate("NAND", x, y)
+    x_m = b.copy(x)
+    y_m = b.copy(y)
+    t2 = b.gate("NAND", x_m, t1)
+    t3 = b.gate("NAND", y_m, t1)
+    axb = b.gate("NAND", t2, t3)  # x ^ y, on parity 1-p
+    cin_m = b.copy(cin)  # mirror cin onto 1-p to meet axb
+    t5 = b.gate("NAND", axb, cin_m)  # parity p
+    axb_m = b.copy(axb)
+    t6 = b.gate("NAND", axb_m, t5)
+    t7 = b.gate("NAND", cin, t5)
+    s = b.gate("NAND", t6, t7)
+    t5_m = b.copy(t5)
+    cout = b.gate("NAND", t1, t5_m)
+    b.release(t1, x_m, y_m, t2, t3, axb, cin_m, axb_m, t6, t7, t5, t5_m)
+    _release_copies(b, originals, (x, y, cin))
+    return s, cout
+
+
+def full_add_min3(b: ProgramBuilder, x: Bit, y: Bit, cin: Bit) -> tuple[Bit, Bit]:
+    """Alternative full adder using the 3-input minority gate.
+
+    The CRAM literature (Zabihi et al.) builds adders from majority
+    logic; with MOUSE's 3-input ISA the carry is
+    ``cout = NOT(MIN3(x, y, cin))``, replacing the 9-NAND adder's final
+    NAND and its mirror copy.  Reproduction finding (see the ablation
+    experiment): on CRAM the swap is an instruction-count *wash* — both
+    constructions need 14 gates — because the bitline-parity rule costs
+    a gate either way (a mirror copy there, an inversion here); only a
+    ~1% energy edge remains (MIN3+NOT draw slightly less than
+    NAND+BUF).  A single-gate ``MAJ3`` carry exists but lands on the
+    wrong parity for the ripple chain *and* is a preset-1 gate, which
+    the voltage-delivery analysis shows is unreachable on Projected STT
+    (EXPERIMENTS.md, finding 2) — MIN3 is the inverting-family choice.
+    """
+    originals = (x, y, cin)
+    x, y, cin = b.harmonise([x, y, cin])
+    # Carry: MIN3 + NOT (inputs already share a parity).
+    n1 = b.gate("MIN3", x, y, cin)
+    cout = b.gate("NOT", n1)
+    # Sum: (x ^ y) ^ cin with explicit parity mirrors, as in full_add.
+    t1 = b.gate("NAND", x, y)
+    x_m = b.copy(x)
+    y_m = b.copy(y)
+    t2 = b.gate("NAND", x_m, t1)
+    t3 = b.gate("NAND", y_m, t1)
+    axb = b.gate("NAND", t2, t3)  # parity 1-p
+    cin_m = b.copy(cin)
+    t5 = b.gate("NAND", axb, cin_m)  # parity p
+    axb_m = b.copy(axb)
+    t6 = b.gate("NAND", axb_m, t5)
+    t7 = b.gate("NAND", cin, t5)
+    s = b.gate("NAND", t6, t7)  # parity p, same as cout
+    b.release(n1, t1, x_m, y_m, t2, t3, axb, cin_m, t5, axb_m, t6, t7)
+    _release_copies(b, originals, (x, y, cin))
+    return s, cout

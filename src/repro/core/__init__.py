@@ -1,0 +1,25 @@
+"""The MOUSE core: memory controller, non-volatile state, accelerator.
+
+Only five components of MOUSE are not memory arrays (Section IV-A):
+the memory controller, a 128 B buffer, a non-volatile PC register, a
+non-volatile instruction register, and voltage sensing.  This package
+implements the first four (voltage sensing lives with the harvester in
+:mod:`repro.harvest`), including the dual-register + parity-bit commit
+protocol of Figure 7 that makes the architectural state itself safe
+against arbitrarily-timed power loss.
+"""
+
+from repro.core.registers import DualRegister, NonVolatileBit
+from repro.core.controller import MemoryController, Phase
+from repro.core.program import Program
+from repro.core.accelerator import Mouse, RunResult
+
+__all__ = [
+    "DualRegister",
+    "NonVolatileBit",
+    "MemoryController",
+    "Phase",
+    "Program",
+    "Mouse",
+    "RunResult",
+]

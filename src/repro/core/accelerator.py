@@ -1,0 +1,159 @@
+"""The top-level MOUSE machine: bank + controller + energy accounting.
+
+`Mouse` is the main user-facing entry point for functional simulation:
+
+>>> from repro import Mouse, MODERN_STT
+>>> from repro.isa import assemble
+>>> m = Mouse(MODERN_STT, n_data_tiles=1, rows=16, cols=8)
+>>> m.load(assemble('''
+...     ACTIVATE t0 cols 0
+...     PRESET0  t0 row 1
+...     NAND     t0 in 0,2 out 1
+...     HALT
+... '''))
+>>> m.tile(0).set_bit(0, 0, 1); m.tile(0).set_bit(2, 0, 1)
+>>> result = m.run()
+>>> m.tile(0).get_bit(1, 0)
+0
+
+For intermittent execution under an energy harvester, wrap the machine
+in :class:`repro.harvest.intermittent.IntermittentRun`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.array.bank import Bank
+from repro.array.tile import Tile
+from repro.core.controller import MemoryController
+from repro.core.program import Program
+from repro.devices.parameters import DeviceParameters
+from repro.energy.metrics import Breakdown, EnergyLedger
+from repro.energy.model import InstructionCostModel
+from repro.isa.instruction import Instruction
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of a (continuous-power) run."""
+
+    breakdown: Breakdown
+
+    @property
+    def latency(self) -> float:
+        return self.breakdown.total_latency
+
+    @property
+    def energy(self) -> float:
+        return self.breakdown.total_energy
+
+    @property
+    def instructions(self) -> int:
+        return self.breakdown.instructions
+
+
+class Mouse:
+    """A complete MOUSE accelerator instance.
+
+    Parameters
+    ----------
+    params:
+        Device technology (Modern STT / Projected STT / Projected SHE).
+    n_data_tiles, n_instruction_tiles:
+        Bank shape.
+    rows, cols:
+        Tile geometry; tests use small tiles, the paper's is 1024x1024.
+    """
+
+    def __init__(
+        self,
+        params: DeviceParameters,
+        n_data_tiles: int = 1,
+        n_instruction_tiles: int = 1,
+        rows: int = 1024,
+        cols: int = 1024,
+    ) -> None:
+        self.params = params
+        self.bank = Bank(
+            params,
+            n_data_tiles=n_data_tiles,
+            n_instruction_tiles=n_instruction_tiles,
+            rows=rows,
+            cols=cols,
+        )
+        self.cost = InstructionCostModel(params)
+        self.ledger = EnergyLedger()
+        self.controller = MemoryController(self.bank, self.cost, self.ledger)
+        self._program: Optional[Program] = None
+
+    # ------------------------------------------------------------------
+
+    def load(self, program: Program | Sequence[Instruction]) -> None:
+        """Validate a program and write it into the instruction tiles."""
+        if not isinstance(program, Program):
+            program = Program(list(program))
+        program.ensure_halt()
+        program.validate(
+            n_data_tiles=len(self.bank.data_tiles),
+            rows=self.bank.rows,
+            cols=self.bank.cols,
+        )
+        self.bank.load_program(program.words())
+        self._program = program
+        self.controller.pc.initialise(0)
+
+    @property
+    def program(self) -> Program:
+        if self._program is None:
+            raise RuntimeError("no program loaded")
+        return self._program
+
+    def tile(self, index: int) -> Tile:
+        return self.bank.data_tile(index)
+
+    # ------------------------------------------------------------------
+
+    def run(self, max_instructions: int = 10_000_000) -> RunResult:
+        """Execute to HALT under continuous power."""
+        self.controller.run(max_instructions=max_instructions)
+        return RunResult(breakdown=self.ledger.breakdown)
+
+    def reset_for_rerun(self) -> None:
+        """Rewind the PC and the ledger, keeping array contents.
+
+        Used when replaying the same program on new inputs (inference
+        loops) or comparing continuous vs intermittent executions.
+        """
+        self.controller.pc.initialise(0)
+        self.controller.halted = False
+        self.ledger.breakdown = Breakdown()
+
+    # -- convenient data access (not ISA paths; test/host-side) --------
+
+    def write_bits(self, tile: int, row: int, col: int, bits: Sequence[int]) -> None:
+        """Deposit bits vertically starting at (row, col), one per row
+        step of 2 (so consecutive bits share a bitline parity)."""
+        t = self.tile(tile)
+        for offset, bit in enumerate(bits):
+            t.set_bit(row + 2 * offset, col, int(bit))
+
+    def read_bits(self, tile: int, row: int, col: int, count: int) -> list[int]:
+        t = self.tile(tile)
+        return [t.get_bit(row + 2 * offset, col) for offset in range(count)]
+
+    def read_value(self, tile: int, row: int, col: int, bits: int) -> int:
+        """Read a little-endian integer laid out by :meth:`write_value`."""
+        out = 0
+        for index, bit in enumerate(self.read_bits(tile, row, col, bits)):
+            out |= bit << index
+        return out
+
+    def write_value(self, tile: int, row: int, col: int, bits: int, value: int) -> None:
+        """Write a little-endian integer vertically at (row, col)."""
+        if value < 0 or value >= 1 << bits:
+            raise ValueError(f"value {value} does not fit in {bits} bits")
+        self.write_bits(tile, row, col, [(value >> b) & 1 for b in range(bits)])

@@ -1,0 +1,133 @@
+"""Program container: an instruction sequence plus static validation.
+
+Because MOUSE performs inference only, "the sequence of instructions
+performed doesn't change as a function of inputs at runtime"
+(Section IV-B) — a program is a straight line of instructions ending in
+HALT, executed one per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.array.bank import BROADCAST_TILE, SENSOR_TILE
+from repro.array.lines import check_logic_rows
+from repro.isa.instruction import (
+    ActivateColumnsInstruction,
+    HaltInstruction,
+    Instruction,
+    LogicInstruction,
+    MemoryInstruction,
+    encode,
+)
+
+
+@dataclass
+class Program:
+    """An executable MOUSE program."""
+
+    instructions: list[Instruction] = field(default_factory=list)
+    name: str = "program"
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def append(self, instr: Instruction) -> None:
+        self.instructions.append(instr)
+
+    def extend(self, instrs: Sequence[Instruction]) -> None:
+        self.instructions.extend(instrs)
+
+    def words(self) -> list[int]:
+        """Encoded 64-bit words, ready for the instruction tiles."""
+        return [encode(i) for i in self.instructions]
+
+    @property
+    def halts(self) -> bool:
+        return bool(self.instructions) and isinstance(
+            self.instructions[-1], HaltInstruction
+        )
+
+    def ensure_halt(self) -> "Program":
+        if not self.halts:
+            self.append(HaltInstruction())
+        return self
+
+    # ------------------------------------------------------------------
+    # Static checks (compile-time, not runtime)
+    # ------------------------------------------------------------------
+
+    def validate(self, n_data_tiles: int, rows: int = 1024, cols: int = 1024) -> None:
+        """Check addresses and parity constraints against a bank shape.
+
+        Raises ``ValueError`` naming the offending instruction index.
+        """
+        for index, instr in enumerate(self.instructions):
+            try:
+                self._validate_one(instr, n_data_tiles, rows, cols)
+            except (ValueError, IndexError) as exc:
+                raise ValueError(f"instruction {index} ({instr}): {exc}") from exc
+        if not self.halts:
+            raise ValueError("program does not end in HALT")
+
+    @staticmethod
+    def _validate_one(
+        instr: Instruction, n_data_tiles: int, rows: int, cols: int
+    ) -> None:
+        def check_tile(tile: int, allow_sensor: bool = False) -> None:
+            if tile == BROADCAST_TILE:
+                return
+            if allow_sensor and tile == SENSOR_TILE:
+                return
+            if not 0 <= tile < n_data_tiles:
+                raise ValueError(f"tile {tile} out of range")
+
+        if isinstance(instr, LogicInstruction):
+            check_tile(instr.tile)
+            for row in (*instr.input_rows, instr.output_row):
+                if not 0 <= row < rows:
+                    raise ValueError(f"row {row} out of range")
+            check_logic_rows(instr.input_rows, instr.output_row)
+        elif isinstance(instr, MemoryInstruction):
+            check_tile(instr.tile, allow_sensor=instr.op.upper() == "READ")
+            if instr.tile == BROADCAST_TILE and instr.op.upper() == "READ":
+                raise ValueError("cannot READ from the broadcast address")
+            if not 0 <= instr.row < rows:
+                raise ValueError(f"row {instr.row} out of range")
+        elif isinstance(instr, ActivateColumnsInstruction):
+            check_tile(instr.tile)
+            last = instr.columns[1] if instr.bulk else max(instr.columns)
+            if last >= cols:
+                raise ValueError(f"column {last} out of range")
+        elif isinstance(instr, HaltInstruction):
+            pass
+        else:
+            raise ValueError(f"unknown instruction type {type(instr).__name__}")
+
+    # ------------------------------------------------------------------
+    # Statistics (used by cost analyses and tests)
+    # ------------------------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        """Instruction counts by kind."""
+        out = {"logic": 0, "memory": 0, "preset": 0, "activate": 0, "halt": 0}
+        for instr in self.instructions:
+            if isinstance(instr, LogicInstruction):
+                out["logic"] += 1
+            elif isinstance(instr, MemoryInstruction):
+                if instr.op.upper().startswith("PRESET"):
+                    out["preset"] += 1
+                else:
+                    out["memory"] += 1
+            elif isinstance(instr, ActivateColumnsInstruction):
+                out["activate"] += 1
+            else:
+                out["halt"] += 1
+        return out

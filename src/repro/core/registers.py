@@ -1,0 +1,92 @@
+"""Non-volatile registers with the duplicated-register commit protocol.
+
+Writing a multi-bit non-volatile register is not atomic: power cut
+mid-write leaves it corrupt.  MOUSE therefore keeps *two* copies plus a
+single parity bit (Section V-B): the parity bit names the valid copy;
+updates always write the *invalid* copy and then flip the parity bit
+(a single-bit, hence atomic, operation).  The valid copy is never
+written, so a valid value exists at every instant.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class NonVolatileBit:
+    """A single non-volatile bit; writes are atomic (single-cell)."""
+
+    value: bool = False
+
+    def flip(self) -> None:
+        self.value = not self.value
+
+    def set(self, value: bool) -> None:
+        self.value = bool(value)
+
+
+@dataclass
+class DualRegister:
+    """Two non-volatile registers + a parity bit (Figure 7 protocol).
+
+    ``read`` returns the valid copy.  An update is two separately
+    interruptible steps: :meth:`stage` writes the new value into the
+    invalid copy, then :meth:`commit` flips the parity bit.  Power loss
+    between (or during) the steps leaves the old value valid; only a
+    completed commit publishes the new one.
+
+    ``corrupt_staged`` models power dying *during* the stage write: the
+    invalid copy becomes garbage, which the protocol tolerates because
+    the parity bit still names the untouched valid copy.
+    """
+
+    name: str = "reg"
+    _values: list[Optional[int]] = field(default_factory=lambda: [None, None])
+    parity: NonVolatileBit = field(default_factory=NonVolatileBit)
+    _staged: bool = field(default=False, repr=False)
+
+    @property
+    def valid_index(self) -> int:
+        return 1 if self.parity.value else 0
+
+    @property
+    def invalid_index(self) -> int:
+        return 0 if self.parity.value else 1
+
+    def read(self) -> Optional[int]:
+        """Value of the valid copy (None if never initialised)."""
+        return self._values[self.valid_index]
+
+    def initialise(self, value: int) -> None:
+        """Pre-deployment initialisation of both copies."""
+        self._values = [value, value]
+        self.parity.set(False)
+        self._staged = False
+
+    def stage(self, value: int) -> None:
+        """Step 1: write the new value into the invalid copy."""
+        self._values[self.invalid_index] = value
+        self._staged = True
+
+    def corrupt_staged(self, rng: Optional[random.Random] = None) -> None:
+        """Power died mid-stage: the invalid copy holds garbage."""
+        rng = rng or random
+        self._values[self.invalid_index] = rng.getrandbits(24)
+        self._staged = False
+
+    def commit(self) -> None:
+        """Step 2: atomically flip the parity bit, publishing the staged
+        value.  Committing without a complete stage is a protocol bug —
+        the hardware sequencer never does it, so we assert."""
+        if not self._staged:
+            raise RuntimeError(f"{self.name}: commit without a staged value")
+        self.parity.flip()
+        self._staged = False
+
+    def update(self, value: int) -> None:
+        """Uninterrupted stage + commit (for code paths tests don't cut)."""
+        self.stage(value)
+        self.commit()

@@ -1,0 +1,38 @@
+"""Spintronic device models.
+
+This package models the magnetic tunnel junction (MTJ), the elementary
+storage and compute device of MOUSE, together with the two cell
+organisations evaluated in the paper:
+
+* 1T1M STT cell (one access transistor, one MTJ) — Figure 2.
+* 2T1M SHE cell (two access transistors, one MTJ on a spin-hall-effect
+  channel, separating read and write paths) — Figure 4.
+
+All quantities are SI: ohms, amperes, volts, seconds, joules, farads.
+"""
+
+from repro.devices.mtj import MTJ, MTJState, SwitchDirection
+from repro.devices.parameters import (
+    MODERN_STT,
+    PROJECTED_SHE,
+    PROJECTED_STT,
+    ALL_TECHNOLOGIES,
+    CellKind,
+    DeviceParameters,
+)
+from repro.devices.cell import SttCell, SheCell, make_cell
+
+__all__ = [
+    "MTJ",
+    "MTJState",
+    "SwitchDirection",
+    "MODERN_STT",
+    "PROJECTED_STT",
+    "PROJECTED_SHE",
+    "ALL_TECHNOLOGIES",
+    "CellKind",
+    "DeviceParameters",
+    "SttCell",
+    "SheCell",
+    "make_cell",
+]

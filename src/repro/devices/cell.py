@@ -1,0 +1,138 @@
+"""Memory-cell organisations: 1T1M STT and 2T1M SHE.
+
+A *cell* wraps one MTJ with its access circuitry and defines how the
+cell participates in the current path of an in-array logic operation:
+
+* **STT (1T1M, Figure 2)** — one access transistor.  Both reads and
+  writes/logic drive current through the MTJ itself.  When the cell is
+  the *output* of a logic gate its (preset-state) resistance sits in
+  series with the inputs, coupling read and write optimisation.
+* **SHE (2T1M, Figure 4)** — a read transistor and a write transistor
+  around a spin-hall-effect channel.  As a logic *input* the current
+  passes through the MTJ and the channel (state-dependent resistance);
+  as the logic *output* the current passes through the channel only, so
+  the output resistance is state-independent and the switching current
+  can be lower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.devices.mtj import MTJ, MTJState, SwitchDirection
+from repro.devices.parameters import CellKind, DeviceParameters
+
+
+@dataclass
+class SttCell:
+    """1T1M cell: one access transistor, one MTJ (paper Figure 2)."""
+
+    params: DeviceParameters
+    mtj: MTJ = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.mtj is None:
+            self.mtj = MTJ(self.params)
+
+    @property
+    def state(self) -> MTJState:
+        return self.mtj.state
+
+    def write(self, value: int) -> None:
+        """Memory write: drive a large current of the proper direction."""
+        self.mtj.set_state(value)
+
+    def input_path_resistance(self) -> float:
+        """Series resistance this cell contributes as a logic-gate input."""
+        return self.mtj.resistance + self.params.access_resistance
+
+    def output_path_resistance(self) -> float:
+        """Series resistance this cell contributes as the logic-gate output.
+
+        For STT the write current passes through the junction, so the
+        output's own (preset) state raises or lowers the gate current.
+        """
+        return self.mtj.resistance + self.params.access_resistance
+
+    def drive_output(
+        self, magnitude: float, direction: SwitchDirection, duration: float | None = None
+    ) -> bool:
+        """Apply the gate current to the output MTJ; returns True on switch."""
+        return self.mtj.apply_current(magnitude, direction, duration)
+
+
+@dataclass
+class SheCell:
+    """2T1M cell: MTJ on a spin-hall channel with split read/write paths
+    (paper Figure 4).
+
+    ``t_read`` routes current through channel *and* MTJ (state observable),
+    ``t_write`` routes current through the channel only (state switchable
+    at lower critical current, resistance state-independent).
+    """
+
+    params: DeviceParameters
+    mtj: MTJ = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.mtj is None:
+            self.mtj = MTJ(self.params)
+
+    @property
+    def state(self) -> MTJState:
+        return self.mtj.state
+
+    def write(self, value: int) -> None:
+        self.mtj.set_state(value)
+
+    def input_path_resistance(self) -> float:
+        """Read path: access transistor + SHE channel + MTJ."""
+        return (
+            self.mtj.resistance
+            + self.params.she_resistance
+            + self.params.access_resistance
+        )
+
+    def output_path_resistance(self) -> float:
+        """Write path: access transistor + SHE channel only.
+
+        The output MTJ resistance is *not* in the current path — the key
+        SHE benefit (Section II-D): input values stay distinguishable
+        regardless of the output preset, and reads/writes optimise
+        independently.
+        """
+        return self.params.she_resistance + self.params.access_resistance
+
+    def drive_output(
+        self, magnitude: float, direction: SwitchDirection, duration: float | None = None
+    ) -> bool:
+        return self.mtj.apply_current(magnitude, direction, duration)
+
+
+Cell = SttCell | SheCell
+
+
+def make_cell(params: DeviceParameters) -> Cell:
+    """Instantiate the cell type matching ``params.cell_kind``."""
+    if params.cell_kind is CellKind.SHE:
+        return SheCell(params)
+    return SttCell(params)
+
+
+def input_resistance(params: DeviceParameters, state: bool) -> float:
+    """Stateless input-path resistance of a cell holding ``state``.
+
+    Used by the vectorised array simulator and the analytic gate design
+    so they share one formula with the object-level cells.
+    """
+    r = params.resistance(state) + params.access_resistance
+    if params.cell_kind is CellKind.SHE:
+        r += params.she_resistance
+    return r
+
+
+def output_resistance(params: DeviceParameters, preset_state: bool) -> float:
+    """Stateless output-path resistance given the output's preset state."""
+    if params.cell_kind is CellKind.SHE:
+        return params.she_resistance + params.access_resistance
+    return params.resistance(preset_state) + params.access_resistance

@@ -1,0 +1,164 @@
+"""The magnetic tunnel junction (MTJ) device model.
+
+An MTJ stores one bit as the relative orientation of two magnetic
+layers:
+
+* **P** (parallel) — low resistance — logic ``0``.
+* **AP** (anti-parallel) — high resistance — logic ``1``.
+
+Driving a current of sufficient magnitude through the junction switches
+it, and — crucially for MOUSE — *the state it switches to depends only on
+the direction of the current* (paper Section II-A):
+
+* current from free layer to fixed layer switches the device **to AP**;
+* current from fixed layer to free layer switches the device **to P**.
+
+A current in the to-AP direction can therefore never produce a P state,
+no matter its magnitude or how many times it is applied, and vice versa.
+This unidirectionality is the physical root of the idempotency of every
+MOUSE logic operation (paper Table I and Section V-A): repeating an
+interrupted gate is indistinguishable from applying the gate pulse for
+longer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.devices.parameters import DeviceParameters
+
+
+class MTJState(enum.IntEnum):
+    """Magnetisation state.  Integer values double as logic values."""
+
+    P = 0  # parallel, low resistance, logic 0
+    AP = 1  # anti-parallel, high resistance, logic 1
+
+    @property
+    def logic(self) -> int:
+        return int(self)
+
+
+class SwitchDirection(enum.IntEnum):
+    """Direction of current through the junction.
+
+    ``TO_AP`` is current flowing free layer -> fixed layer (can only set
+    the device); ``TO_P`` is fixed -> free (can only reset it).
+    """
+
+    TO_P = -1
+    TO_AP = +1
+
+    @property
+    def target_state(self) -> MTJState:
+        return MTJState.AP if self is SwitchDirection.TO_AP else MTJState.P
+
+
+@dataclass
+class MTJ:
+    """A single magnetic tunnel junction.
+
+    The device integrates *fluence*: a switching event requires the
+    critical current to be sustained for the switching time.  Partial
+    pulses accumulate, which lets tests interrupt an operation midway
+    (power outage) and resume it, exactly as the architecture must
+    tolerate.
+
+    Parameters
+    ----------
+    params:
+        Technology point providing resistances and switching threshold.
+    state:
+        Initial magnetisation state.
+    """
+
+    params: DeviceParameters
+    state: MTJState = MTJState.P
+    # Fraction (0..1) of the switching process completed in the current
+    # direction; reset whenever the drive direction changes or a switch
+    # completes.  Sub-threshold currents contribute nothing.
+    _progress: float = field(default=0.0, repr=False)
+    _progress_direction: SwitchDirection | None = field(default=None, repr=False)
+
+    @property
+    def resistance(self) -> float:
+        """Present resistance in ohms."""
+        return self.params.resistance(bool(self.state))
+
+    @property
+    def logic_value(self) -> int:
+        return int(self.state)
+
+    def set_state(self, state: MTJState | int | bool) -> None:
+        """Force a state (models a completed memory write)."""
+        self.state = MTJState(int(bool(int(state))))
+        self._progress = 0.0
+        self._progress_direction = None
+
+    def apply_current(
+        self,
+        magnitude: float,
+        direction: SwitchDirection,
+        duration: float | None = None,
+    ) -> bool:
+        """Drive a current pulse through the junction.
+
+        Parameters
+        ----------
+        magnitude:
+            Current magnitude in amperes (non-negative).
+        direction:
+            Direction of flow; determines the *only* state the device
+            may switch to.
+        duration:
+            Pulse duration in seconds.  Defaults to one full switching
+            time (a complete, uninterrupted operation).
+
+        Returns
+        -------
+        bool
+            True if the device switched state during this pulse.
+        """
+        if magnitude < 0:
+            raise ValueError("current magnitude must be non-negative")
+        if duration is None:
+            duration = self.params.switching_time
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+
+        if self.state is direction.target_state:
+            # Already in the terminal state for this direction: by MTJ
+            # physics the current cannot switch it back (Table I,
+            # bottom-right cell).  Any accumulated progress is moot.
+            self._progress = 0.0
+            self._progress_direction = None
+            return False
+
+        if magnitude < self.params.switching_current:
+            # Sub-critical current cannot induce switching regardless of
+            # duration (first-order threshold model).
+            return False
+
+        if self._progress_direction is not direction:
+            self._progress = 0.0
+            self._progress_direction = direction
+
+        self._progress += duration / self.params.switching_time
+        if self._progress >= 1.0 - 1e-12:
+            self.state = direction.target_state
+            self._progress = 0.0
+            self._progress_direction = None
+            return True
+        return False
+
+    def power_cycle(self) -> None:
+        """Model a power outage: the magnetisation state is non-volatile
+        and survives, but partial switching fluence does not persist —
+        an interrupted pulse must start over on restart."""
+        self._progress = 0.0
+        self._progress_direction = None
+
+    def read_current(self, voltage: float) -> float:
+        """Current drawn when ``voltage`` is applied for a (non-destructive) read."""
+        return voltage / (self.resistance + self.params.access_resistance)

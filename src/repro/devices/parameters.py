@@ -1,0 +1,133 @@
+"""Device parameter sets (paper Table II) and technology configurations.
+
+The paper evaluates three configurations:
+
+* **Modern STT** — MTJ parameters demonstrated in fabricated devices
+  today (Saida et al. 2016): 3 ns switching at 40 uA.
+* **Projected STT** — parameters projected for the next device
+  generations (Zabihi et al. 2018): 1 ns switching at 3 uA, with a much
+  larger tunnelling-magnetoresistance ratio.
+* **Projected SHE** — the projected MTJ placed on a spin-hall-effect
+  channel (2T1M cell).  The SHE channel separates the read path (through
+  the MTJ) from the write path (through the channel only), which lowers
+  the critical switching current and removes the output MTJ resistance
+  from the logic-operation current path.
+
+All values are SI units.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+
+class CellKind(enum.Enum):
+    """Physical cell organisation."""
+
+    STT = "stt"  # 1T1M: one access transistor, one MTJ (Figure 2)
+    SHE = "she"  # 2T1M: read + write transistors, SHE channel (Figure 4)
+
+
+@dataclass(frozen=True)
+class DeviceParameters:
+    """Electrical parameters of one MTJ technology point.
+
+    Attributes mirror paper Table II plus the cell-level quantities the
+    evaluation section specifies (SHE channel resistance, access
+    transistor resistance bound, clock frequency).
+    """
+
+    name: str
+    cell_kind: CellKind
+    r_p: float  # parallel (logic 0) resistance, ohms
+    r_ap: float  # anti-parallel (logic 1) resistance, ohms
+    switching_time: float  # seconds
+    switching_current: float  # amperes (critical current magnitude)
+    access_resistance: float  # access transistor on-resistance, ohms
+    she_resistance: float  # SHE channel resistance (0 for STT), ohms
+    clock_hz: float  # controller issue clock (paper Section VIII)
+
+    @property
+    def tmr(self) -> float:
+        """Tunnelling magnetoresistance ratio (R_AP - R_P) / R_P."""
+        return (self.r_ap - self.r_p) / self.r_p
+
+    def resistance(self, state: bool) -> float:
+        """Resistance of an MTJ holding ``state`` (True = AP = logic 1)."""
+        return self.r_ap if state else self.r_p
+
+    @property
+    def cycle_time(self) -> float:
+        """One controller cycle in seconds."""
+        return 1.0 / self.clock_hz
+
+    def with_overrides(self, **kwargs) -> "DeviceParameters":
+        """Return a copy with selected fields replaced (for sweeps)."""
+        return replace(self, **kwargs)
+
+
+# Paper Table II, "Modern" column.  Switching time/current from [65],[72];
+# 30.3 MHz clock from Section VIII.
+MODERN_STT = DeviceParameters(
+    name="Modern STT",
+    cell_kind=CellKind.STT,
+    r_p=3.15e3,
+    r_ap=7.34e3,
+    switching_time=3e-9,
+    switching_current=40e-6,
+    access_resistance=1.0e3,
+    she_resistance=0.0,
+    clock_hz=30.3e6,
+)
+
+# Paper Table II, "Projected" column; 90.9 MHz clock from Section VIII.
+PROJECTED_STT = DeviceParameters(
+    name="Projected STT",
+    cell_kind=CellKind.STT,
+    r_p=7.34e3,
+    r_ap=76.39e3,
+    switching_time=1e-9,
+    switching_current=3e-6,
+    access_resistance=1.0e3,
+    she_resistance=0.0,
+    clock_hz=90.9e6,
+)
+
+# Projected MTJ on a SHE channel (Section II-D / VIII).  The paper assumes
+# a conservative 1 kOhm SHE channel in series with the input MTJs, and the
+# write path through the channel needs a lower critical current than
+# spin-transfer torque through the junction.
+PROJECTED_SHE = DeviceParameters(
+    name="Projected SHE",
+    cell_kind=CellKind.SHE,
+    r_p=7.34e3,
+    r_ap=76.39e3,
+    switching_time=1e-9,
+    switching_current=1.5e-6,
+    access_resistance=1.0e3,
+    she_resistance=1.0e3,
+    clock_hz=90.9e6,
+)
+
+ALL_TECHNOLOGIES = (MODERN_STT, PROJECTED_STT, PROJECTED_SHE)
+
+
+def technology_by_name(name: str) -> DeviceParameters:
+    """Look up one of the three paper configurations by (loose) name."""
+    key = name.strip().lower()
+    for tech in ALL_TECHNOLOGIES:
+        if tech.name.lower() == key:
+            return tech
+    aliases = {
+        "modern": MODERN_STT,
+        "modern stt": MODERN_STT,
+        "stt": MODERN_STT,
+        "projected": PROJECTED_STT,
+        "projected stt": PROJECTED_STT,
+        "she": PROJECTED_SHE,
+        "projected she": PROJECTED_SHE,
+    }
+    if key in aliases:
+        return aliases[key]
+    raise KeyError(f"unknown technology {name!r}")

@@ -1,0 +1,64 @@
+"""SHE-specific helpers.
+
+The 2T1M spin-hall cell itself lives in :mod:`repro.devices.cell`
+(:class:`~repro.devices.cell.SheCell`); this module collects the
+SHE-channel electrical analysis used by the energy model and by tests:
+robustness margins of logic operations with and without the channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.cell import input_resistance, output_resistance
+from repro.devices.parameters import DeviceParameters
+
+
+@dataclass(frozen=True)
+class LogicMargin:
+    """Separation between switching and non-switching input cases.
+
+    ``r_switch_max`` is the largest input-network resistance among input
+    combinations whose output must switch; ``r_hold_min`` the smallest
+    among those whose output must not.  A gate is realisable iff
+    ``r_switch_max < r_hold_min``; the relative gap is its robustness.
+    """
+
+    r_switch_max: float
+    r_hold_min: float
+
+    @property
+    def feasible(self) -> bool:
+        return self.r_switch_max < self.r_hold_min
+
+    @property
+    def relative_margin(self) -> float:
+        """(r_hold_min - r_switch_max) / midpoint — larger is more robust."""
+        mid = 0.5 * (self.r_hold_min + self.r_switch_max)
+        return (self.r_hold_min - self.r_switch_max) / mid
+
+
+def parallel(resistances: list[float]) -> float:
+    """Parallel combination of resistances."""
+    if not resistances:
+        raise ValueError("need at least one resistance")
+    return 1.0 / sum(1.0 / r for r in resistances)
+
+
+def two_input_margin(params: DeviceParameters, preset_state: bool) -> LogicMargin:
+    """Margin of a 2-input threshold gate that switches when >=1 input is 0.
+
+    This is the NAND/AND discrimination problem: the gate must tell the
+    "both inputs 1" case apart from every case with at least one 0 input.
+    The SHE channel widens this margin because the (state-independent)
+    output path no longer compresses the relative resistance spread —
+    quantifying the paper's Section II-D robustness claim.
+    """
+    r0 = input_resistance(params, False)
+    r1 = input_resistance(params, True)
+    r_out = output_resistance(params, preset_state)
+    # Total path resistance for each input combination.
+    r_both_one = parallel([r1, r1]) + r_out  # must NOT switch
+    r_mixed = parallel([r0, r1]) + r_out  # must switch
+    r_both_zero = parallel([r0, r0]) + r_out  # must switch
+    return LogicMargin(r_switch_max=max(r_mixed, r_both_zero), r_hold_min=r_both_one)

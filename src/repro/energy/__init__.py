@@ -1,0 +1,24 @@
+"""Energy, latency, and area models.
+
+Per-gate array energy comes from the resistor network in
+:mod:`repro.logic.gates`; this package layers on top of it the
+peripheral circuitry shares (calibrated the way the paper calibrates to
+NVSIM — as a fixed percentage of instruction cost), the per-instruction
+cycle timing, the EH-model metric breakdown (Backup / Dead / Restore),
+and the area model behind Table III.
+"""
+
+from repro.energy.metrics import Breakdown, EnergyLedger, Category
+from repro.energy.peripheral import PeripheralModel
+from repro.energy.model import InstructionCostModel
+from repro.energy.area import AreaModel, area_table
+
+__all__ = [
+    "Breakdown",
+    "EnergyLedger",
+    "Category",
+    "PeripheralModel",
+    "InstructionCostModel",
+    "AreaModel",
+    "area_table",
+]

@@ -1,0 +1,139 @@
+"""Area model (paper Table III).
+
+The paper's estimate chain: the access transistors dominate cell area
+(the MTJs and SHE channel live on a separate layer); transistors are
+sized to keep on-resistance under 1 kOhm while sourcing the switching
+current, so lower-current projected devices get smaller cells; the SHE
+cell has two access transistors, hence ~2x the area; peripheral area
+is folded in via NVSIM's area-efficiency ratio for the same-capacity
+array, and every benchmark is assigned the smallest power-of-two
+capacity it fits in.
+
+We reproduce that chain with a transistor-sizing model calibrated so
+the constants line up with the numbers Table III reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.devices.parameters import (
+    CellKind,
+    DeviceParameters,
+    MODERN_STT,
+    PROJECTED_SHE,
+    PROJECTED_STT,
+)
+
+#: Feature size used for cell-area accounting (22 nm class).
+FEATURE_NM = 22.0
+
+#: Access-transistor sizing: area in F^2 = BASE + SLOPE * I_c[uA].
+#: The floor is the minimum-size device plus cell wiring; the slope is
+#: the width increase needed to source higher switching currents at
+#: under 1 kOhm on-resistance.  Calibrated against Table III.
+TRANSISTOR_BASE_F2 = 115.9
+TRANSISTOR_SLOPE_F2_PER_UA = 1.027
+
+#: NVSIM area efficiency (array area / total area) by capacity in MB.
+#: Efficiency peaks at mid-size arrays; small arrays amortise decoders
+#: poorly, very large ones spend area on H-tree routing.
+_AREA_EFFICIENCY = {
+    1: 0.90,
+    2: 0.92,
+    4: 0.93,
+    8: 0.94,
+    16: 0.94,
+    32: 0.87,
+    64: 0.80,
+    128: 0.74,
+    256: 0.68,
+}
+
+
+def nvsim_capacity_mb(required_bytes: int) -> int:
+    """Smallest power-of-two capacity (MB) the benchmark fits in.
+
+    NVSIM only models power-of-two capacities, so the paper sizes each
+    MOUSE instance the same way (e.g. SVM MNIST needs 34.5 MB and is
+    charged for 64 MB).
+    """
+    if required_bytes <= 0:
+        raise ValueError("required_bytes must be positive")
+    mb = max(1, math.ceil(required_bytes / 2**20))
+    return 1 << max(0, (mb - 1).bit_length())
+
+
+def area_efficiency(capacity_mb: int) -> float:
+    """NVSIM-style array-area efficiency for a given capacity."""
+    if capacity_mb in _AREA_EFFICIENCY:
+        return _AREA_EFFICIENCY[capacity_mb]
+    # Clamp outside the calibrated range.
+    keys = sorted(_AREA_EFFICIENCY)
+    if capacity_mb < keys[0]:
+        return _AREA_EFFICIENCY[keys[0]]
+    if capacity_mb > keys[-1]:
+        return _AREA_EFFICIENCY[keys[-1]]
+    # Geometric interpolation between neighbouring powers of two.
+    lo = max(k for k in keys if k <= capacity_mb)
+    hi = min(k for k in keys if k >= capacity_mb)
+    if lo == hi:
+        return _AREA_EFFICIENCY[lo]
+    t = (math.log2(capacity_mb) - math.log2(lo)) / (math.log2(hi) - math.log2(lo))
+    return _AREA_EFFICIENCY[lo] * (_AREA_EFFICIENCY[hi] / _AREA_EFFICIENCY[lo]) ** t
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Area estimates for one technology point."""
+
+    params: DeviceParameters
+
+    def cell_area_f2(self) -> float:
+        """Cell area in F^2: the access transistor(s); MTJ + SHE channel
+        sit on a separate layer and do not add footprint."""
+        transistor = (
+            TRANSISTOR_BASE_F2
+            + TRANSISTOR_SLOPE_F2_PER_UA * self.params.switching_current * 1e6
+        )
+        if self.params.cell_kind is CellKind.SHE:
+            # Two access transistors (read + write paths, Figure 4); the
+            # paper approximates the SHE cell as twice the projected STT
+            # cell, which we match by doubling the STT-sized transistor.
+            stt_equivalent = (
+                TRANSISTOR_BASE_F2
+                + TRANSISTOR_SLOPE_F2_PER_UA * PROJECTED_STT.switching_current * 1e6
+            )
+            return 2.0 * stt_equivalent
+        return transistor
+
+    def cell_area_mm2(self) -> float:
+        f_mm = FEATURE_NM * 1e-6
+        return self.cell_area_f2() * f_mm**2
+
+    def array_area_mm2(self, capacity_mb: int) -> float:
+        """Raw cell-array area for a capacity (no peripherals)."""
+        bits = capacity_mb * 2**20 * 8
+        return bits * self.cell_area_mm2()
+
+    def total_area_mm2(self, capacity_mb: int) -> float:
+        """Array + peripherals via the NVSIM area-efficiency ratio."""
+        return self.array_area_mm2(capacity_mb) / area_efficiency(capacity_mb)
+
+    def area_for_bytes(self, required_bytes: int) -> tuple[int, float]:
+        """(assigned power-of-two capacity MB, total area mm^2)."""
+        capacity = nvsim_capacity_mb(required_bytes)
+        return capacity, self.total_area_mm2(capacity)
+
+
+def area_table(capacities_mb) -> dict[int, dict[str, float]]:
+    """Areas for a list of capacities across the three technologies —
+    the raw material of Table III."""
+    out: dict[int, dict[str, float]] = {}
+    for capacity in capacities_mb:
+        out[capacity] = {
+            tech.name: AreaModel(tech).total_area_mm2(capacity)
+            for tech in (MODERN_STT, PROJECTED_STT, PROJECTED_SHE)
+        }
+    return out

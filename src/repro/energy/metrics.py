@@ -1,0 +1,156 @@
+"""Intermittent-computing metrics (after the EH model, San Miguel et al.).
+
+The paper reports, besides total energy and latency:
+
+* **Backup** — energy spent saving state while running: for MOUSE, the
+  continual checkpoint of the PC + parity bit and the copy of each
+  Activate Columns instruction into its register.  Backup has *no*
+  latency: it happens within each instruction's cycle.
+* **Dead** — energy (and latency) spent re-performing work lost at a
+  power outage: for MOUSE, at most the single in-flight instruction
+  repeated on restart.
+* **Restore** — energy (and latency) of preparing for computation after
+  a restart: for MOUSE, re-issuing the last Activate Columns
+  instruction.
+* **Compute** — everything else (the forward progress itself).
+
+Both the cycle-accurate functional simulator and the event-driven
+harvest engine accumulate into this same ledger so their numbers are
+directly comparable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Category(enum.Enum):
+    COMPUTE = "compute"
+    BACKUP = "backup"
+    DEAD = "dead"
+    RESTORE = "restore"
+    CHARGING = "charging"  # latency-only: waiting for the capacitor
+
+
+@dataclass
+class Breakdown:
+    """Energy (J) and latency (s) by category, plus event counts."""
+
+    compute_energy: float = 0.0
+    backup_energy: float = 0.0
+    dead_energy: float = 0.0
+    restore_energy: float = 0.0
+    compute_latency: float = 0.0
+    dead_latency: float = 0.0
+    restore_latency: float = 0.0
+    charging_latency: float = 0.0
+    instructions: int = 0
+    restarts: int = 0
+
+    @property
+    def total_energy(self) -> float:
+        return (
+            self.compute_energy
+            + self.backup_energy
+            + self.dead_energy
+            + self.restore_energy
+        )
+
+    @property
+    def total_latency(self) -> float:
+        return (
+            self.compute_latency
+            + self.dead_latency
+            + self.restore_latency
+            + self.charging_latency
+        )
+
+    @property
+    def on_latency(self) -> float:
+        """Powered-on execution time (total minus charging)."""
+        return self.compute_latency + self.dead_latency + self.restore_latency
+
+    def energy_fraction(self, category: Category) -> float:
+        """Share of total energy in a category (0 if nothing consumed)."""
+        total = self.total_energy
+        if total == 0:
+            return 0.0
+        value = {
+            Category.COMPUTE: self.compute_energy,
+            Category.BACKUP: self.backup_energy,
+            Category.DEAD: self.dead_energy,
+            Category.RESTORE: self.restore_energy,
+        }.get(category)
+        if value is None:
+            raise ValueError(f"{category} has no energy component")
+        return value / total
+
+    def latency_fraction(self, category: Category) -> float:
+        total = self.total_latency
+        if total == 0:
+            return 0.0
+        value = {
+            Category.COMPUTE: self.compute_latency,
+            Category.DEAD: self.dead_latency,
+            Category.RESTORE: self.restore_latency,
+            Category.CHARGING: self.charging_latency,
+        }.get(category)
+        if value is None:
+            raise ValueError(f"{category} has no latency component")
+        return value / total
+
+    def merged(self, other: "Breakdown") -> "Breakdown":
+        """Sum of two breakdowns (e.g. across program phases)."""
+        return Breakdown(
+            compute_energy=self.compute_energy + other.compute_energy,
+            backup_energy=self.backup_energy + other.backup_energy,
+            dead_energy=self.dead_energy + other.dead_energy,
+            restore_energy=self.restore_energy + other.restore_energy,
+            compute_latency=self.compute_latency + other.compute_latency,
+            dead_latency=self.dead_latency + other.dead_latency,
+            restore_latency=self.restore_latency + other.restore_latency,
+            charging_latency=self.charging_latency + other.charging_latency,
+            instructions=self.instructions + other.instructions,
+            restarts=self.restarts + other.restarts,
+        )
+
+
+@dataclass
+class EnergyLedger:
+    """Mutable accumulator used during simulation."""
+
+    breakdown: Breakdown = field(default_factory=Breakdown)
+
+    def charge(
+        self, category: Category, energy: float, latency: float = 0.0
+    ) -> None:
+        """Record ``energy`` joules and ``latency`` seconds to a category."""
+        if energy < 0 or latency < 0:
+            raise ValueError("energy and latency must be non-negative")
+        b = self.breakdown
+        if category is Category.COMPUTE:
+            b.compute_energy += energy
+            b.compute_latency += latency
+        elif category is Category.BACKUP:
+            if latency:
+                raise ValueError("backup has no latency (same-cycle checkpoint)")
+            b.backup_energy += energy
+        elif category is Category.DEAD:
+            b.dead_energy += energy
+            b.dead_latency += latency
+        elif category is Category.RESTORE:
+            b.restore_energy += energy
+            b.restore_latency += latency
+        elif category is Category.CHARGING:
+            if energy:
+                raise ValueError("charging consumes no device energy")
+            b.charging_latency += latency
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unknown category {category}")
+
+    def count_instruction(self) -> None:
+        self.breakdown.instructions += 1
+
+    def count_restart(self) -> None:
+        self.breakdown.restarts += 1

@@ -1,0 +1,44 @@
+"""Experiment regeneration — one module per paper table/figure.
+
+========================  ==========================================
+module                    paper artifact
+========================  ==========================================
+table1_idempotency        Table I (interrupted-AND case analysis)
+table2_devices            Table II (device parameters)
+table3_area               Table III (area per benchmark x technology)
+table4_continuous         Table IV (continuous-power comparison)
+fig9_latency_sweep        Figure 9 (latency vs power source)
+breakdown                 Figures 10-12 (latency/energy breakdown)
+accuracy                  Table IV accuracy column (synthetic twins)
+========================  ==========================================
+
+Each module exposes ``run()`` returning structured rows and ``main()``
+printing the table the paper reports.  ``repro.experiments.runner``
+executes everything and assembles the EXPERIMENTS.md comparison.
+"""
+
+from repro.experiments import (  # noqa: F401
+    ablations,
+    robustness,
+    throughput,
+    accuracy,
+    breakdown,
+    fig9_latency_sweep,
+    table1_idempotency,
+    table2_devices,
+    table3_area,
+    table4_continuous,
+)
+
+__all__ = [
+    "table1_idempotency",
+    "table2_devices",
+    "table3_area",
+    "table4_continuous",
+    "fig9_latency_sweep",
+    "breakdown",
+    "ablations",
+    "robustness",
+    "throughput",
+    "accuracy",
+]

@@ -1,0 +1,47 @@
+"""Tiny ASCII table formatter shared by the experiment scripts."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Left-align text, right-align numbers, pad to column width."""
+    cells = [[_render(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row, rendered in zip(rows, cells):
+        parts = []
+        for i, (value, text) in enumerate(zip(row, rendered)):
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                parts.append(text.rjust(widths[i]))
+            else:
+                parts.append(text.ljust(widths[i]))
+        lines.append("  ".join(parts))
+    return "\n".join(lines)
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-2:
+            return f"{value:.3g}"
+        return f"{value:,.2f}"
+    if isinstance(value, int) and not isinstance(value, bool):
+        return f"{value:,}"
+    return str(value)
+
+
+def si(value: float, unit: str) -> str:
+    """Human scale: si(2.4e-6, 'J') -> '2.40 uJ'."""
+    for factor, prefix in ((1.0, ""), (1e-3, "m"), (1e-6, "u"), (1e-9, "n"), (1e-12, "p"), (1e-15, "f")):
+        if abs(value) >= factor:
+            return f"{value / factor:.2f} {prefix}{unit}"
+    return f"{value:.3g} {unit}"

@@ -1,0 +1,326 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Four knobs the paper discusses qualitatively, quantified here:
+
+* **Adder construction** — the paper's 9-NAND full adder vs a
+  MIN3-based variant (Section II-B notes other gates exist; the CRAM
+  literature favours majority logic).
+* **Power-budget parallelism** (Section IV-C) — capping active columns
+  to a sustained power budget trades latency for draw.
+* **Checkpoint frequency** (Section IV-D) — checkpointing every N
+  instructions: Backup shrinks by 1/N while Dead grows ~N/2 per
+  restart; the paper argues N = 1 is right for MOUSE.
+* **Capacitor sizing** (Section VIII / Capybara) — buffer size trades
+  initial-charge latency against restart count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+
+import numpy as np
+
+from repro.compile.arith import instruction_count, instruction_histogram
+from repro.devices.parameters import ALL_TECHNOLOGIES, MODERN_STT, DeviceParameters
+from repro.energy.model import InstructionCostModel
+from repro.experiments._format import format_table, si
+from repro.harvest import HarvestingConfig, ProfileRun
+from repro.harvest.budget import PowerBudgetPlanner
+from repro.harvest.capacitor import EnergyBuffer, buffer_for
+from repro.harvest.source import ConstantPowerSource
+from repro.ml.benchmarks import SVM_ADULT, SVM_MNIST_BIN
+
+
+# ----------------------------------------------------------------------
+# 1. Adder construction
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AdderComparison:
+    technology: str
+    nand_instructions: int
+    min3_instructions: int
+    nand_energy: float  # one 8-bit ripple add, one column, joules
+    min3_energy: float
+
+    @property
+    def instruction_saving(self) -> float:
+        return 1.0 - self.min3_instructions / self.nand_instructions
+
+
+def adders() -> list[AdderComparison]:
+    """Compare the two full-adder constructions per technology."""
+    out = []
+    for tech in ALL_TECHNOLOGIES:
+        cost = InstructionCostModel(tech)
+
+        def stream_energy(op: str) -> float:
+            total = 0.0
+            for kind, count in instruction_histogram(op, 8):
+                if kind == "PRESET":
+                    total += count * cost.preset_energy(1)
+                else:
+                    total += count * cost.logic_energy(kind, 1)
+            return total
+
+        out.append(
+            AdderComparison(
+                technology=tech.name,
+                nand_instructions=instruction_count("add", 8),
+                min3_instructions=instruction_count("add_min3", 8),
+                nand_energy=stream_energy("add"),
+                min3_energy=stream_energy("add_min3"),
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# 2. Power-budget parallelism
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BudgetPoint:
+    budget_watts: float
+    max_columns: int
+    serial_latency: float
+    average_power: float
+
+
+def power_budget(
+    workload=SVM_ADULT, tech: DeviceParameters = MODERN_STT, budgets=None
+) -> list[BudgetPoint]:
+    """Latency/draw trade-off as the sustained power budget varies."""
+    cost = InstructionCostModel(tech)
+    planner = PowerBudgetPlanner(cost)
+    if budgets is None:
+        budgets = tuple(float(b) for b in np.geomspace(60e-6, 20e-3, 7))
+    points = []
+    for budget in budgets:
+        plan = planner.plan(workload, budget)
+        points.append(
+            BudgetPoint(
+                budget_watts=budget,
+                max_columns=plan.max_columns,
+                serial_latency=plan.serial_latency,
+                average_power=plan.average_power,
+            )
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# 3. Checkpoint frequency
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CheckpointPoint:
+    period: int
+    total_energy: float
+    backup_energy: float
+    dead_energy: float
+
+
+def checkpoint_frequency(
+    workload=SVM_MNIST_BIN,
+    tech: DeviceParameters = MODERN_STT,
+    source_watts: float = 60e-6,
+    periods=(1, 2, 4, 8, 16, 64, 256),
+) -> list[CheckpointPoint]:
+    """Total energy vs checkpoint period under a scarce source."""
+    cost = InstructionCostModel(tech)
+    profile = workload.profile(cost)
+    points = []
+    for period in periods:
+        config = HarvestingConfig.paper(tech, source_watts)
+        breakdown = ProfileRun(
+            profile, cost, config, checkpoint_period=period
+        ).run()
+        points.append(
+            CheckpointPoint(
+                period=period,
+                total_energy=breakdown.total_energy,
+                backup_energy=breakdown.backup_energy,
+                dead_energy=breakdown.dead_energy,
+            )
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# 4. Issue strategy: conservative fixed cycle vs event-driven
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IssueComparison:
+    benchmark: str
+    fixed_latency: float
+    event_driven_latency: float
+
+    @property
+    def speedup(self) -> float:
+        return self.fixed_latency / self.event_driven_latency
+
+
+def issue_strategy(
+    tech: DeviceParameters = MODERN_STT, workloads=None
+) -> list[IssueComparison]:
+    """Quantify Section IV-B's simplicity-for-performance trade.
+
+    The controller "waits longer than the longest taking instruction
+    needs" — a fixed cycle sized for 5 addresses.  An event-driven
+    issuer would wait only t_switch + k * t_addr for a k-address
+    instruction; this study prices both from the profiles' recorded
+    address counts.
+    """
+    from repro.ml.benchmarks import ALL_WORKLOADS
+
+    cost = InstructionCostModel(tech)
+    t_cycle = cost.cycle_time
+    t_switch = tech.switching_time
+    t_addr = (t_cycle - t_switch) / 5.0
+    out = []
+    for workload in workloads or ALL_WORKLOADS:
+        profile = workload.profile(cost)
+        fixed = profile.instructions * t_cycle
+        event = sum(
+            s.count * (t_switch + s.addresses * t_addr) for s in profile.segments
+        )
+        out.append(
+            IssueComparison(
+                benchmark=workload.name,
+                fixed_latency=fixed,
+                event_driven_latency=event,
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# 5. Capacitor sizing
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CapacitorPoint:
+    capacitance: float
+    total_latency: float
+    restarts: int
+    dead_energy: float
+
+
+def capacitor_sizing(
+    workload=SVM_MNIST_BIN,
+    tech: DeviceParameters = MODERN_STT,
+    source_watts: float = 60e-6,
+    scales=(0.1, 0.3, 1.0, 3.0, 10.0),
+) -> list[CapacitorPoint]:
+    """Sweep the buffer size around the paper's value.
+
+    Bigger buffers mean fewer restarts (less Dead/Restore) but a longer
+    initial charge; the paper notes the optimum is technology- and
+    program-dependent (a Capybara-style system would tune it).
+    """
+    cost = InstructionCostModel(tech)
+    profile = workload.profile(cost)
+    base = buffer_for(tech)
+    points = []
+    for scale in scales:
+        buffer = EnergyBuffer(
+            capacitance=base.capacitance * scale,
+            v_off=base.v_off,
+            v_on=base.v_on,
+        )
+        config = HarvestingConfig(
+            source=ConstantPowerSource(source_watts), buffer=buffer
+        )
+        breakdown = ProfileRun(profile, cost, config).run()
+        points.append(
+            CapacitorPoint(
+                capacitance=buffer.capacitance,
+                total_latency=breakdown.total_latency,
+                restarts=breakdown.restarts,
+                dead_energy=breakdown.dead_energy,
+            )
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+
+
+def main() -> None:
+    print("Ablation 1 — full-adder construction (8-bit ripple add)")
+    rows = [
+        (
+            c.technology,
+            c.nand_instructions,
+            c.min3_instructions,
+            f"{c.instruction_saving * 100:.1f}%",
+            si(c.nand_energy, "J"),
+            si(c.min3_energy, "J"),
+        )
+        for c in adders()
+    ]
+    print(
+        format_table(
+            ["technology", "9-NAND instrs", "MIN3 instrs", "saved", "E(9-NAND)", "E(MIN3)"],
+            rows,
+        )
+    )
+
+    print("\nAblation 2 — power-budget parallelism (SVM ADULT, Modern STT)")
+    rows = [
+        (
+            f"{p.budget_watts * 1e6:.0f} uW",
+            p.max_columns,
+            si(p.serial_latency, "s"),
+            si(p.average_power, "W"),
+        )
+        for p in power_budget()
+    ]
+    print(format_table(["budget", "max columns", "serial latency", "avg draw"], rows))
+
+    print("\nAblation 3 — checkpoint period (SVM MNIST (Bin), 60 uW)")
+    rows = [
+        (
+            p.period,
+            si(p.total_energy, "J"),
+            si(p.backup_energy, "J"),
+            si(p.dead_energy, "J"),
+        )
+        for p in checkpoint_frequency()
+    ]
+    print(format_table(["period", "total E", "backup E", "dead E"], rows))
+
+    print("\nAblation 4 — issue strategy (fixed worst-case cycle vs event-driven)")
+    rows = [
+        (
+            c.benchmark,
+            si(c.fixed_latency, "s"),
+            si(c.event_driven_latency, "s"),
+            f"{c.speedup:.2f}x",
+        )
+        for c in issue_strategy()
+    ]
+    print(format_table(["benchmark", "fixed", "event-driven", "speedup"], rows))
+
+    print("\nAblation 5 — capacitor sizing (SVM MNIST (Bin), 60 uW)")
+    rows = [
+        (
+            si(p.capacitance, "F"),
+            si(p.total_latency, "s"),
+            p.restarts,
+            si(p.dead_energy, "J"),
+        )
+        for p in capacitor_sizing()
+    ]
+    print(format_table(["capacitance", "latency", "restarts", "dead E"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,133 @@
+"""Figures 10-12 — latency & energy breakdown at the 60 uW source.
+
+For each configuration (Modern STT / Projected STT / SHE) and
+benchmark, reports Total, Backup, Dead, and Restore energy plus Dead,
+Restore, and charging latency, and evaluates the paper's Section IX
+prose claims:
+
+* Dead energy share shrinks with energy efficiency
+  (Modern > Projected > SHE);
+* Backup / Dead / Restore are small fractions of the total;
+* under continuous power, Dead and Restore are exactly zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.parameters import ALL_TECHNOLOGIES, DeviceParameters
+from repro.energy.metrics import Breakdown
+from repro.energy.model import InstructionCostModel
+from repro.experiments._format import format_table, si
+from repro.harvest import HarvestingConfig, ProfileRun
+from repro.ml.benchmarks import ALL_WORKLOADS
+
+SOURCE_W = 60e-6  # the breakdown figures' operating point
+
+
+@dataclass(frozen=True)
+class BreakdownRow:
+    technology: str
+    benchmark: str
+    breakdown: Breakdown
+
+    @property
+    def dead_energy_pct(self) -> float:
+        return 100.0 * self.breakdown.dead_energy / self.breakdown.total_energy
+
+    @property
+    def restore_energy_pct(self) -> float:
+        return 100.0 * self.breakdown.restore_energy / self.breakdown.total_energy
+
+    @property
+    def backup_energy_pct(self) -> float:
+        return 100.0 * self.breakdown.backup_energy / self.breakdown.total_energy
+
+    @property
+    def dead_latency_pct(self) -> float:
+        return 100.0 * self.breakdown.dead_latency / self.breakdown.total_latency
+
+    @property
+    def restore_latency_pct(self) -> float:
+        return 100.0 * self.breakdown.restore_latency / self.breakdown.total_latency
+
+
+def run(source_watts: float = SOURCE_W) -> list[BreakdownRow]:
+    rows = []
+    for tech in ALL_TECHNOLOGIES:
+        cost = InstructionCostModel(tech)
+        for workload in ALL_WORKLOADS:
+            profile = workload.profile(cost)
+            config = HarvestingConfig.paper(tech, source_watts)
+            breakdown = ProfileRun(profile, cost, config).run()
+            rows.append(BreakdownRow(tech.name, workload.name, breakdown))
+    return rows
+
+
+def average_shares(rows: list[BreakdownRow]) -> dict[str, dict[str, float]]:
+    """Mean Dead/Restore/Backup shares per technology (the paper's
+    'on average, across all benchmarks' numbers)."""
+    out: dict[str, dict[str, float]] = {}
+    for tech in {r.technology for r in rows}:
+        subset = [r for r in rows if r.technology == tech]
+        out[tech] = {
+            "dead_energy_pct": sum(r.dead_energy_pct for r in subset) / len(subset),
+            "restore_energy_pct": sum(r.restore_energy_pct for r in subset)
+            / len(subset),
+            "backup_energy_pct": sum(r.backup_energy_pct for r in subset)
+            / len(subset),
+            "dead_latency_pct": sum(r.dead_latency_pct for r in subset) / len(subset),
+            "restore_latency_pct": sum(r.restore_latency_pct for r in subset)
+            / len(subset),
+        }
+    return out
+
+
+def main() -> None:
+    rows = run()
+    for tech in ALL_TECHNOLOGIES:
+        subset = [r for r in rows if r.technology == tech.name]
+        print(f"\nFigures 10-12 — breakdown at 60 uW: {tech.name}")
+        table = []
+        for row in subset:
+            b = row.breakdown
+            table.append(
+                (
+                    row.benchmark,
+                    si(b.total_energy, "J"),
+                    f"{row.backup_energy_pct:.3f}%",
+                    f"{row.dead_energy_pct:.3f}%",
+                    f"{row.restore_energy_pct:.3f}%",
+                    si(b.total_latency, "s"),
+                    f"{row.dead_latency_pct:.4f}%",
+                    f"{row.restore_latency_pct:.4f}%",
+                    b.restarts,
+                )
+            )
+        print(
+            format_table(
+                [
+                    "benchmark",
+                    "total E",
+                    "backup",
+                    "dead",
+                    "restore",
+                    "total lat",
+                    "dead lat",
+                    "restore lat",
+                    "restarts",
+                ],
+                table,
+            )
+        )
+    print("\naverage shares per technology (paper: Dead 7.4%/2.52%/0.61%):")
+    for tech, shares in sorted(average_shares(rows).items()):
+        print(
+            f"  {tech}: dead={shares['dead_energy_pct']:.2f}% "
+            f"restore={shares['restore_energy_pct']:.2f}% "
+            f"backup={shares['backup_energy_pct']:.3f}%"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""CSV export of every experiment's structured results.
+
+``python -m repro.experiments.export [directory]`` writes one CSV per
+paper artifact into ``results/`` (default), so the tables and figure
+series can be consumed by external plotting tools.
+"""
+
+from __future__ import annotations
+
+import csv
+import sys
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.experiments import (
+    ablations,
+    throughput,
+    breakdown,
+    fig9_latency_sweep,
+    robustness,
+    table1_idempotency,
+    table2_devices,
+    table3_area,
+    table4_continuous,
+)
+
+
+def _rows_to_dicts(rows: Iterable) -> list[dict]:
+    out = []
+    for row in rows:
+        if is_dataclass(row):
+            record = asdict(row)
+            # Flatten nested Breakdown-style dataclasses one level.
+            flat = {}
+            for key, value in record.items():
+                if isinstance(value, dict):
+                    for sub_key, sub_value in value.items():
+                        flat[f"{key}.{sub_key}"] = sub_value
+                else:
+                    flat[key] = value
+            out.append(flat)
+        elif isinstance(row, dict):
+            out.append(dict(row))
+        else:
+            raise TypeError(f"cannot export row of type {type(row).__name__}")
+    return out
+
+
+def write_csv(path: Path, rows: Iterable) -> int:
+    """Write structured rows to a CSV; returns the row count."""
+    records = _rows_to_dicts(rows)
+    if not records:
+        raise ValueError(f"no rows to write for {path.name}")
+    fieldnames = list(records[0].keys())
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(records)
+    return len(records)
+
+
+#: artifact name -> zero-argument producer of structured rows.
+EXPORTS = {
+    "table1_idempotency": table1_idempotency.run,
+    "table2_devices": table2_devices.run,
+    "table3_area": table3_area.run,
+    "table4_continuous": table4_continuous.run,
+    "fig9_latency_sweep": fig9_latency_sweep.run,
+    "fig10_12_breakdown": breakdown.run,
+    "ablation_adders": ablations.adders,
+    "ablation_power_budget": ablations.power_budget,
+    "ablation_checkpoint": ablations.checkpoint_frequency,
+    "ablation_issue_strategy": ablations.issue_strategy,
+    "ablation_capacitor": ablations.capacitor_sizing,
+    "robustness": robustness.run,
+    "throughput": throughput.run,
+}
+
+
+def export_all(directory: str | Path = "results") -> dict[str, int]:
+    """Run every exportable experiment and write its CSV.
+
+    Returns {artifact name: row count}.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = {}
+    for name, producer in EXPORTS.items():
+        rows = producer()
+        written[name] = write_csv(directory / f"{name}.csv", rows)
+    return written
+
+
+def main() -> None:
+    directory = sys.argv[1] if len(sys.argv) > 1 else "results"
+    for name, count in export_all(directory).items():
+        print(f"  {name}.csv: {count} rows")
+    print(f"wrote CSVs to {directory}/")
+
+
+if __name__ == "__main__":
+    main()

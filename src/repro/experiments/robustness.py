@@ -1,0 +1,76 @@
+"""Robustness study: gate error rates under device variation.
+
+Quantifies two of the paper's qualitative claims with Monte Carlo:
+
+* projected devices' larger TMR makes logic decisions far more robust
+  than modern devices (Table II margins: 9.6% vs 72%);
+* the SHE cell — output MTJ out of the current path — tolerates the
+  most variation (Section II-D).
+
+Reported as (a) error rate at a representative 5% variation point and
+(b) the largest variation each configuration tolerates at a 0.1%
+error budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.parameters import ALL_TECHNOLOGIES
+from repro.devices.variation import VariationModel, critical_sigma, gate_error_rate
+from repro.experiments._format import format_table
+from repro.logic.library import AND, NAND, NOT
+
+
+@dataclass(frozen=True)
+class RobustnessRow:
+    technology: str
+    gate: str
+    error_at_5pct: float
+    tolerated_sigma: float
+
+
+def run(trials: int = 100_000) -> list[RobustnessRow]:
+    rows = []
+    for tech in ALL_TECHNOLOGIES:
+        for spec in (NOT, NAND, AND):
+            rate = gate_error_rate(
+                tech, spec, VariationModel(0.05, 0.05), trials=trials
+            ).error_rate
+            sigma = critical_sigma(tech, spec, target_error=1e-3)
+            rows.append(
+                RobustnessRow(
+                    technology=tech.name,
+                    gate=spec.name,
+                    error_at_5pct=rate,
+                    tolerated_sigma=sigma,
+                )
+            )
+    return rows
+
+
+def main() -> None:
+    print("Gate error rates under device variation (Monte Carlo)")
+    table = [
+        (
+            row.technology,
+            row.gate,
+            f"{row.error_at_5pct * 100:.3f}%",
+            f"{row.tolerated_sigma * 100:.1f}%",
+        )
+        for row in run()
+    ]
+    print(
+        format_table(
+            ["technology", "gate", "error @ 5% sigma", "sigma @ 0.1% errors"],
+            table,
+        )
+    )
+    print(
+        "\n(expected shape: Modern STT fails first; Projected STT's larger\n"
+        "TMR and the SHE cell's decoupled output tolerate far more spread)"
+    )
+
+
+if __name__ == "__main__":
+    main()

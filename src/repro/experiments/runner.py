@@ -1,0 +1,59 @@
+"""Run every experiment and print the full regeneration report.
+
+Usage::
+
+    python -m repro.experiments.runner [--fast]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments import (
+    ablations,
+    robustness,
+    throughput,
+    accuracy,
+    breakdown,
+    fig9_latency_sweep,
+    table1_idempotency,
+    table2_devices,
+    table3_area,
+    table4_continuous,
+)
+
+EXPERIMENTS = (
+    ("Table I (idempotency)", table1_idempotency.main),
+    ("Table II (devices)", table2_devices.main),
+    ("Table III (area)", table3_area.main),
+    ("Table IV (continuous power)", table4_continuous.main),
+    ("Figure 9 (latency vs power)", fig9_latency_sweep.main),
+    ("Figures 10-12 (breakdown)", breakdown.main),
+    ("Ablations (design-choice studies)", ablations.main),
+    ("Robustness (device-variation Monte Carlo)", robustness.main),
+    ("Throughput (inferences/hour by harvester)", throughput.main),
+    ("Accuracy (synthetic twins)", accuracy.main),
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--skip-accuracy",
+        action="store_true",
+        help="skip the (slowest) model-training experiment",
+    )
+    args = parser.parse_args()
+    for name, entry in EXPERIMENTS:
+        if args.skip_accuracy and entry is accuracy.main:
+            continue
+        banner = f"=== {name} "
+        print("\n" + banner + "=" * max(0, 72 - len(banner)))
+        start = time.time()
+        entry()
+        print(f"[{name} finished in {time.time() - start:.1f}s]")
+
+
+if __name__ == "__main__":
+    main()

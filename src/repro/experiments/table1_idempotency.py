@@ -1,0 +1,109 @@
+"""Table I — the four cases of re-performing an interrupted AND gate.
+
+For each combination of (output should switch?, output did switch
+before the interrupt?), the experiment drives a real AND gate on the
+device simulator, cuts power at the corresponding pulse stage, then
+re-performs the whole operation and checks the final output equals the
+uninterrupted gate's result.  The (should-not-switch, did-switch) cell
+is shown to be physically unreachable: no prefix of the pulse can
+switch the output when the inputs do not provide critical current.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.mtj import MTJ, MTJState
+from repro.devices.parameters import MODERN_STT, DeviceParameters
+from repro.experiments._format import format_table
+from repro.logic.gates import design_voltage, operation_current
+from repro.logic.library import AND
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    inputs: tuple[int, int]
+    should_switch: bool
+    switched_before_interrupt: bool
+    reachable: bool
+    final_output: int
+    expected_output: int
+
+    @property
+    def correct(self) -> bool:
+        return not self.reachable or self.final_output == self.expected_output
+
+
+def _drive(output: MTJ, inputs: tuple[int, int], fraction: float) -> None:
+    """Apply the AND-gate pulse for ``fraction`` of the switching time."""
+    current = operation_current(MODERN_STT, AND, sum(inputs))
+    output.apply_current(
+        current, AND.direction, duration=fraction * MODERN_STT.switching_time
+    )
+
+
+def run(params: DeviceParameters = MODERN_STT) -> list[CaseResult]:
+    results = []
+    for inputs in ((1, 1), (0, 1)):  # should-switch = at least one 0
+        should = AND.switches(sum(inputs))
+        expected = AND.evaluate(inputs)
+        for switched_before in (False, True):
+            output = MTJ(params, MTJState(int(AND.preset)))
+            # Phase 1: run until the interrupt.  "Switched before" means
+            # the pulse ran long enough to complete the switch.
+            _drive(output, inputs, 1.0 if switched_before else 0.4)
+            reachable = True
+            if switched_before and not should:
+                # Physically impossible: sub-critical current cannot
+                # have switched the output at any prefix.
+                reachable = output.state is not MTJState(int(AND.preset))
+            # Power outage here. Phase 2: restart re-performs the whole
+            # gate (the paper's recovery rule).
+            output.power_cycle()
+            _drive(output, inputs, 1.0)
+            results.append(
+                CaseResult(
+                    inputs=inputs,
+                    should_switch=should,
+                    switched_before_interrupt=switched_before,
+                    reachable=reachable,
+                    final_output=output.logic_value,
+                    expected_output=expected,
+                )
+            )
+    return results
+
+
+def main() -> None:
+    rows = []
+    for case in run():
+        rows.append(
+            (
+                f"inputs={case.inputs}",
+                "yes" if case.should_switch else "no",
+                "yes" if case.switched_before_interrupt else "no",
+                "n/a (unreachable)" if not case.reachable else str(case.final_output),
+                str(case.expected_output),
+                "OK" if case.correct else "WRONG",
+            )
+        )
+    print("Table I — re-performing an interrupted AND gate")
+    print(
+        format_table(
+            [
+                "case",
+                "should switch",
+                "switched before cut",
+                "output after re-run",
+                "expected",
+                "verdict",
+            ],
+            rows,
+        )
+    )
+    voltage = design_voltage(MODERN_STT, AND)
+    print(f"\n(gate voltage {voltage * 1e3:.1f} mV; Modern STT devices)")
+
+
+if __name__ == "__main__":
+    main()

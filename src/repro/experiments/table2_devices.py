@@ -1,0 +1,78 @@
+"""Table II — MTJ device parameters, plus the derived gate designs.
+
+Regenerates the parameter table and appends what the electrical model
+derives from it: designed gate voltages, per-gate energies, and logic
+margins for the three configurations — the quantities every downstream
+result depends on.
+"""
+
+from __future__ import annotations
+
+from repro.devices.parameters import ALL_TECHNOLOGIES
+from repro.experiments._format import format_table, si
+from repro.logic.gates import design_voltage, gate_energy, gate_margin
+from repro.logic.library import AND, NAND, NOT
+
+
+def run() -> list[dict]:
+    rows = []
+    for tech in ALL_TECHNOLOGIES:
+        rows.append(
+            {
+                "technology": tech.name,
+                "r_p": tech.r_p,
+                "r_ap": tech.r_ap,
+                "switching_time": tech.switching_time,
+                "switching_current": tech.switching_current,
+                "clock_hz": tech.clock_hz,
+                "nand_voltage": design_voltage(tech, NAND),
+                "nand_energy": gate_energy(tech, NAND, 0),
+                "nand_margin": gate_margin(tech, NAND),
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    print("Table II — MTJ device parameters (and derived gate designs)")
+    table_rows = []
+    for row in run():
+        table_rows.append(
+            (
+                row["technology"],
+                f"{row['r_p'] / 1e3:.2f} k",
+                f"{row['r_ap'] / 1e3:.2f} k",
+                si(row["switching_time"], "s"),
+                si(row["switching_current"], "A"),
+                f"{row['clock_hz'] / 1e6:.1f} MHz",
+                si(row["nand_voltage"], "V"),
+                si(row["nand_energy"], "J"),
+                f"{row['nand_margin'] * 100:.1f}%",
+            )
+        )
+    print(
+        format_table(
+            [
+                "technology",
+                "R_P",
+                "R_AP",
+                "t_sw",
+                "I_c",
+                "clock",
+                "V(NAND)",
+                "E(NAND)",
+                "margin",
+            ],
+            table_rows,
+        )
+    )
+    print("\nper-gate margins (NOT / NAND / AND):")
+    for tech in ALL_TECHNOLOGIES:
+        margins = ", ".join(
+            f"{g.name}={gate_margin(tech, g) * 100:.1f}%" for g in (NOT, NAND, AND)
+        )
+        print(f"  {tech.name}: {margins}")
+
+
+if __name__ == "__main__":
+    main()

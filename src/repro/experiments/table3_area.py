@@ -1,0 +1,69 @@
+"""Table III — area per benchmark and memory configuration.
+
+Regenerates the table from the workload memory requirements (smallest
+power-of-two capacity each fits in) and the transistor-sizing +
+NVSIM-ratio area model.  The paper also lists SVM MNIST at its
+binarised 8 MB point; we emit one row per workload.
+"""
+
+from __future__ import annotations
+
+from repro.devices.parameters import MODERN_STT, PROJECTED_SHE, PROJECTED_STT
+from repro.energy.area import AreaModel
+from repro.experiments._format import format_table
+from repro.ml.benchmarks import ALL_WORKLOADS
+
+#: Table III, for the EXPERIMENTS.md comparison (mm^2).
+PAPER_AREAS = {
+    "SVM MNIST": (64, 50.98, 38.67, 77.35),
+    "SVM MNIST (Bin)": (8, 5.43, 4.13, 8.24),
+    "SVM HAR": (16, 10.86, 8.24, 16.48),
+    "SVM ADULT": (1, 0.71, 0.53, 1.06),
+    "BNN FINN": (8, 5.43, 4.13, 8.24),
+    "BNN FP-BNN": (16, 10.86, 8.24, 16.48),
+}
+
+
+def run() -> list[dict]:
+    rows = []
+    for workload in ALL_WORKLOADS:
+        capacity = workload.capacity_mb()
+        rows.append(
+            {
+                "benchmark": workload.name,
+                "capacity_mb": capacity,
+                "modern_stt": AreaModel(MODERN_STT).total_area_mm2(capacity),
+                "projected_stt": AreaModel(PROJECTED_STT).total_area_mm2(capacity),
+                "she": AreaModel(PROJECTED_SHE).total_area_mm2(capacity),
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    print("Table III — MOUSE area (mm^2) per benchmark and configuration")
+    table_rows = []
+    for row in run():
+        paper = PAPER_AREAS.get(row["benchmark"])
+        table_rows.append(
+            (
+                row["benchmark"],
+                row["capacity_mb"],
+                round(row["modern_stt"], 2),
+                round(row["projected_stt"], 2),
+                round(row["she"], 2),
+                f"paper: {paper[0]}MB / {paper[1]} / {paper[2]} / {paper[3]}"
+                if paper
+                else "",
+            )
+        )
+    print(
+        format_table(
+            ["benchmark", "MB", "Modern STT", "Projected STT", "SHE", "reference"],
+            table_rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

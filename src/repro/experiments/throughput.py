@@ -1,0 +1,92 @@
+"""Application-level throughput: inferences per hour on harvested power.
+
+The paper's introduction motivates batteryless sensor networks,
+wearables, and implants; the operational question for those deployments
+is *how often can the device classify?*  Steady state is recharge-
+dominated, so the sustainable rate is set almost entirely by energy per
+inference — this experiment turns the Figure 9 machinery into that
+deployment-facing number for each benchmark, configuration, and
+harvester class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.parameters import ALL_TECHNOLOGIES, DeviceParameters
+from repro.energy.model import InstructionCostModel
+from repro.experiments._format import format_table
+from repro.harvest import HarvestingConfig, ProfileRun
+from repro.ml.benchmarks import ALL_WORKLOADS
+
+#: Representative harvester classes (Section VIII / [43], [48]).
+HARVESTERS = {
+    "body heat (60 uW)": 60e-6,
+    "indoor light (250 uW)": 250e-6,
+    "RF, SONIC-class (5 mW)": 5e-3,
+}
+
+
+@dataclass(frozen=True)
+class ThroughputPoint:
+    technology: str
+    benchmark: str
+    harvester: str
+    power_w: float
+    seconds_per_inference: float
+
+    @property
+    def inferences_per_hour(self) -> float:
+        return 3600.0 / self.seconds_per_inference
+
+
+def run(technologies=ALL_TECHNOLOGIES) -> list[ThroughputPoint]:
+    points = []
+    for tech in technologies:
+        cost = InstructionCostModel(tech)
+        for workload in ALL_WORKLOADS:
+            profile = workload.profile(cost)
+            for label, power in HARVESTERS.items():
+                config = HarvestingConfig.paper(tech, power)
+                breakdown = ProfileRun(profile, cost, config).run()
+                points.append(
+                    ThroughputPoint(
+                        technology=tech.name,
+                        benchmark=workload.name,
+                        harvester=label,
+                        power_w=power,
+                        seconds_per_inference=breakdown.total_latency,
+                    )
+                )
+    return points
+
+
+def main() -> None:
+    points = run()
+    for tech in sorted({p.technology for p in points}):
+        print(f"\nSustainable inference rate — {tech} (inferences/hour)")
+        subset = [p for p in points if p.technology == tech]
+        harvesters = list(HARVESTERS)
+        rows = []
+        for bench in sorted({p.benchmark for p in subset}):
+            by_harvester = {
+                p.harvester: p for p in subset if p.benchmark == bench
+            }
+            rows.append(
+                (
+                    bench,
+                    *[
+                        round(by_harvester[h].inferences_per_hour, 1)
+                        for h in harvesters
+                    ],
+                )
+            )
+        print(format_table(["benchmark", *harvesters], rows))
+    print(
+        "\n(steady state is recharge-dominated: rate ~ harvested power /"
+        " energy per inference)"
+    )
+
+
+if __name__ == "__main__":
+    main()

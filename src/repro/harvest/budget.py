@@ -1,0 +1,106 @@
+"""Power-budget planning (paper Section IV-C).
+
+"It is possible to reconfigure MOUSE to consume a specified power ...
+By adjusting the amount of parallelism in the computation, the power
+consumption of MOUSE can be finely tuned.  This enables a trade-off
+between latency and power draw."
+
+The planner computes, for a given technology and power budget, the
+largest number of simultaneously-active columns whose sustained
+instruction-stream draw stays within budget, and re-plans a workload
+profile under that cap (time-multiplexing wider phases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.model import InstructionCostModel
+from repro.harvest.intermittent import InstructionProfile
+
+#: The gate used as the worst-case power reference when sizing
+#: parallelism (the widest-drawing 2-input gate family).
+REFERENCE_GATE = "NAND"
+
+
+@dataclass(frozen=True)
+class BudgetPlan:
+    """Result of planning a workload against a power budget."""
+
+    budget_watts: float
+    max_columns: int
+    profile: InstructionProfile
+    cycle_time: float
+
+    @property
+    def serial_latency(self) -> float:
+        """Execution (power-on) time under the cap."""
+        return self.profile.instructions * self.cycle_time
+
+    @property
+    def average_power(self) -> float:
+        """Sustained draw while executing under the cap."""
+        if self.profile.instructions == 0:
+            return 0.0
+        return self.profile.total_energy / self.serial_latency
+
+
+class PowerBudgetPlanner:
+    """Sizes column parallelism to a sustained power budget."""
+
+    def __init__(self, cost: InstructionCostModel) -> None:
+        self.cost = cost
+
+    def instruction_power(self, n_columns: int, gate: str = REFERENCE_GATE) -> float:
+        """Sustained draw of a stream of ``gate`` instructions."""
+        return self.cost.instruction_power(gate, n_columns)
+
+    def max_columns(
+        self, budget_watts: float, gate: str = REFERENCE_GATE, ceiling: int = 1 << 20
+    ) -> int:
+        """Largest column count whose sustained draw fits the budget.
+
+        Returns at least 1 even for budgets below a single column's
+        draw — the device then relies on the capacitor's burst buffering
+        (Section IV-C), consuming harvested energy in bursts.
+        """
+        if budget_watts <= 0:
+            raise ValueError("budget must be positive")
+        if self.instruction_power(1, gate) >= budget_watts:
+            return 1
+        lo, hi = 1, 2
+        while hi < ceiling and self.instruction_power(hi, gate) < budget_watts:
+            lo, hi = hi, hi * 2
+        while lo + 1 < hi:
+            mid = (lo + hi) // 2
+            if self.instruction_power(mid, gate) < budget_watts:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    def plan(self, workload, budget_watts: float, refine: int = 6) -> BudgetPlan:
+        """Re-plan a workload so its sustained draw fits the budget.
+
+        The reference-gate sizing is a first guess; the actual workload
+        mix (presets, fetches, wide reductions) draws somewhat more, so
+        the cap is refined against the planned profile's measured
+        average power until it fits (or a single column remains).
+        """
+        cap = self.max_columns(budget_watts)
+        plan = self._plan_at(workload, budget_watts, cap)
+        for _ in range(refine):
+            if plan.average_power <= budget_watts or cap == 1:
+                break
+            cap = max(1, int(cap * budget_watts / plan.average_power))
+            plan = self._plan_at(workload, budget_watts, cap)
+        return plan
+
+    def _plan_at(self, workload, budget_watts: float, cap: int) -> BudgetPlan:
+        profile = workload.profile(self.cost, max_columns=cap)
+        return BudgetPlan(
+            budget_watts=budget_watts,
+            max_columns=cap,
+            profile=profile,
+            cycle_time=self.cost.cycle_time,
+        )

@@ -1,0 +1,107 @@
+"""The on-chip energy buffer (capacitor).
+
+MOUSE executes while the capacitor voltage sits inside a window —
+[320 mV, 340 mV] for Modern MTJs, [100 mV, 120 mV] for Projected —
+shutting down at the lower bound and restarting at the upper
+(Section VIII).  The buffer decouples instantaneous power draw from
+the harvester: energy accumulates slowly, then is consumed in bursts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.devices.parameters import CellKind, DeviceParameters
+
+
+@dataclass
+class EnergyBuffer:
+    """A capacitor with an operating-voltage window.
+
+    Parameters
+    ----------
+    capacitance:
+        Farads (paper: 100 uF for Modern MTJs, 10 uF for Projected).
+    v_off:
+        Shutdown threshold; execution stops when voltage reaches it.
+    v_on:
+        Restart threshold; execution resumes when voltage recovers.
+    voltage:
+        Present voltage; benchmarks start below ``v_off`` so every run
+        pays an initial charging period (Section VIII).
+    """
+
+    capacitance: float
+    v_off: float
+    v_on: float
+    voltage: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacitance <= 0:
+            raise ValueError("capacitance must be positive")
+        if not 0 <= self.v_off < self.v_on:
+            raise ValueError("need 0 <= v_off < v_on")
+        if self.voltage < 0:
+            raise ValueError("voltage cannot be negative")
+
+    # -- energy bookkeeping ---------------------------------------------
+
+    @staticmethod
+    def _energy_at(capacitance: float, voltage: float) -> float:
+        return 0.5 * capacitance * voltage * voltage
+
+    @property
+    def energy(self) -> float:
+        """Stored energy, joules."""
+        return self._energy_at(self.capacitance, self.voltage)
+
+    @property
+    def window_energy(self) -> float:
+        """Usable energy between the on and off thresholds."""
+        return self._energy_at(self.capacitance, self.v_on) - self._energy_at(
+            self.capacitance, self.v_off
+        )
+
+    @property
+    def headroom(self) -> float:
+        """Energy available before shutdown triggers."""
+        return max(0.0, self.energy - self._energy_at(self.capacitance, self.v_off))
+
+    @property
+    def must_shut_down(self) -> bool:
+        """Voltage sensor says the window's lower bound was reached."""
+        return self.voltage <= self.v_off + 1e-15
+
+    @property
+    def ready_to_start(self) -> bool:
+        return self.voltage >= self.v_on - 1e-15
+
+    # -- state changes ----------------------------------------------------
+
+    def add_energy(self, energy: float) -> None:
+        if energy < 0:
+            raise ValueError("cannot add negative energy")
+        total = self.energy + energy
+        self.voltage = (2.0 * total / self.capacitance) ** 0.5
+
+    def draw_energy(self, energy: float) -> None:
+        """Consume energy; clamps at zero (brown-out)."""
+        if energy < 0:
+            raise ValueError("cannot draw negative energy")
+        total = max(0.0, self.energy - energy)
+        self.voltage = (2.0 * total / self.capacitance) ** 0.5
+
+    def energy_to_reach(self, voltage: float) -> float:
+        """Joules needed to lift the buffer to ``voltage``."""
+        return max(
+            0.0, self._energy_at(self.capacitance, voltage) - self.energy
+        )
+
+
+def buffer_for(params: DeviceParameters) -> EnergyBuffer:
+    """The paper's buffer configuration for a technology point:
+    100 uF / 320-340 mV for Modern MTJs, 10 uF / 100-120 mV for
+    Projected (both STT and SHE)."""
+    if params.switching_current >= 10e-6:  # modern-class devices
+        return EnergyBuffer(capacitance=100e-6, v_off=0.320, v_on=0.340)
+    return EnergyBuffer(capacitance=10e-6, v_off=0.100, v_on=0.120)

@@ -1,0 +1,312 @@
+"""Intermittent-execution engines.
+
+Two engines share a common configuration and metric ledger:
+
+* :class:`IntermittentRun` wraps a functional :class:`repro.core.Mouse`
+  and executes it instruction by instruction against the capacitor.
+  Outages arise naturally from energy depletion (and, optionally, from
+  an injected outage schedule so property tests can cut power at
+  arbitrary microsteps).  Used for correctness work and small programs.
+
+* :class:`ProfileRun` executes an :class:`InstructionProfile` — run-
+  length-encoded (count, energy/instruction) segments produced by the
+  workload mappings — burst by burst with closed-form window crossing.
+  Used for the paper-scale sweeps of Figures 9-12, where a single
+  benchmark is ~10^5-10^6 instructions and the sweep covers dozens of
+  power levels.
+
+Both charge Backup continuously, Dead on every re-performed
+instruction, and Restore on every restart, per the EH-model metrics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.accelerator import Mouse
+from repro.devices.parameters import DeviceParameters
+from repro.energy.metrics import Breakdown, Category, EnergyLedger
+from repro.energy.model import InstructionCostModel
+from repro.harvest.capacitor import EnergyBuffer, buffer_for
+from repro.harvest.source import ConstantPowerSource, PowerSource
+
+
+class NonTerminationError(RuntimeError):
+    """A single instruction needs more energy than one full capacitor
+    window can supply: the program would repeat it forever (the paper's
+    forward-progress / non-termination condition, Section I)."""
+
+
+@dataclass
+class HarvestingConfig:
+    """Source + buffer for one experiment point."""
+
+    source: PowerSource
+    buffer: EnergyBuffer
+
+    @classmethod
+    def paper(cls, params: DeviceParameters, source_watts: float) -> "HarvestingConfig":
+        """The paper's configuration: constant source, per-technology
+        capacitor and voltage window, starting discharged."""
+        return cls(
+            source=ConstantPowerSource(source_watts),
+            buffer=buffer_for(params),
+        )
+
+
+# ----------------------------------------------------------------------
+# Functional (cycle-accurate) engine
+# ----------------------------------------------------------------------
+
+
+class IntermittentRun:
+    """Drive a functional Mouse under an energy harvester.
+
+    The run starts with the capacitor below the restart threshold, so
+    it begins with a charging period, exactly as in the paper's
+    evaluation.  Each executed instruction draws its (measured) energy
+    from the buffer while the source keeps charging it; when the
+    voltage sensor hits the shutdown bound, power is cut *without
+    warning* to the controller, and the engine waits for the recharge.
+    """
+
+    def __init__(self, mouse: Mouse, config: HarvestingConfig) -> None:
+        self.mouse = mouse
+        self.config = config
+        self.time = 0.0
+
+    def run(self, max_instructions: int = 10_000_000) -> Breakdown:
+        controller = self.mouse.controller
+        ledger = self.mouse.ledger
+        buffer = self.config.buffer
+        source = self.config.source
+        cycle = self.mouse.cost.cycle_time
+
+        self._charge_until_ready(first=True)
+        if not controller.powered:
+            controller.power_on()
+
+        # Power is cut at *microstep* granularity: an outage can land
+        # between fetch, execute, PC-stage and commit, so the dual-PC
+        # protocol and Dead accounting are exercised exactly as in
+        # Figure 7 (worst case: executed but uncommitted work).
+        from repro.core.controller import Phase
+
+        executed = 0
+        while not controller.halted:
+            if executed >= max_instructions:
+                raise RuntimeError("instruction budget exhausted")
+            energy_before = ledger.breakdown.total_energy
+            phase = controller.step()
+            consumed = ledger.breakdown.total_energy - energy_before
+            if phase is Phase.COMMIT or controller.halted:
+                executed += 1
+                harvested = source.energy(self.time, cycle)
+                self.time += cycle
+                buffer.add_energy(harvested)
+            buffer.draw_energy(consumed)
+            if buffer.must_shut_down and not controller.halted:
+                controller.power_off()
+                self._charge_until_ready()
+                controller.power_on()
+        return ledger.breakdown
+
+    def _charge_until_ready(self, first: bool = False) -> None:
+        buffer = self.config.buffer
+        source = self.config.source
+        needed = buffer.energy_to_reach(buffer.v_on)
+        wait = source.time_to_harvest(needed, start=self.time)
+        buffer.add_energy(source.energy(self.time, wait))
+        self.time += wait
+        self.mouse.ledger.charge(Category.CHARGING, 0.0, wait)
+
+
+# ----------------------------------------------------------------------
+# Aggregate (profile) engine
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A run of identical instructions in a workload's stream.
+
+    ``energy`` is the full per-instruction energy (array + peripheral +
+    fetch); ``backup`` the per-instruction checkpoint energy; ``label``
+    is for reporting only.  ``addresses`` records how many row/column
+    addresses the instruction specifies (the paper's conservative fixed
+    cycle waits for the worst case of 5; the event-driven-issue
+    ablation uses this field to price a variable-latency alternative).
+    """
+
+    count: int
+    energy: float
+    backup: float
+    label: str = ""
+    addresses: int = 5
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError("segment count cannot be negative")
+        if self.energy < 0 or self.backup < 0:
+            raise ValueError("segment energies cannot be negative")
+        if not 0 <= self.addresses <= 5:
+            raise ValueError("instructions carry 0-5 addresses")
+
+
+@dataclass
+class InstructionProfile:
+    """Run-length-encoded instruction stream of one workload."""
+
+    segments: list[Segment] = field(default_factory=list)
+    name: str = "workload"
+    #: Columns the restart re-activation must drive (restore cost).
+    active_columns: int = 1
+
+    def add(
+        self,
+        count: int,
+        energy: float,
+        backup: float,
+        label: str = "",
+        addresses: int = 5,
+    ) -> None:
+        if count:
+            self.segments.append(Segment(count, energy, backup, label, addresses))
+
+    @property
+    def instructions(self) -> int:
+        return sum(s.count for s in self.segments)
+
+    @property
+    def total_energy(self) -> float:
+        """Compute + backup energy under continuous power."""
+        return sum(s.count * (s.energy + s.backup) for s in self.segments)
+
+    def peak_instruction_energy(self) -> float:
+        return max((s.energy + s.backup) for s in self.segments) if self.segments else 0.0
+
+
+class ProfileRun:
+    """Event-driven intermittent execution of an instruction profile.
+
+    Within a segment every instruction costs the same, so the number of
+    instructions until the buffer hits the shutdown bound has a closed
+    form; the engine hops from burst boundary to burst boundary instead
+    of ticking cycles.  On each restart it charges Restore (activate
+    re-issue) and Dead (the expected re-performed instruction — the
+    paper's worst case is the full instruction, the best case nothing;
+    ``dead_fraction`` sets the expectation, default 1.0 = conservative
+    worst case, matching "the maximum penalty is repeating the last
+    instruction").
+    """
+
+    def __init__(
+        self,
+        profile: InstructionProfile,
+        cost: InstructionCostModel,
+        config: HarvestingConfig,
+        dead_fraction: float = 1.0,
+        checkpoint_period: int = 1,
+    ) -> None:
+        """``checkpoint_period`` — checkpoint the PC every N instructions
+        instead of every instruction (the Section IV-D frequency
+        trade-off): Backup energy scales by 1/N, but a restart
+        re-performs on average (N-1)/2 + 1 instructions instead of at
+        most one.  The paper picks N = 1 for simplicity; the ablation
+        experiment sweeps this knob.
+        """
+        if not 0.0 <= dead_fraction <= 1.0:
+            raise ValueError("dead_fraction must be in [0, 1]")
+        if checkpoint_period < 1:
+            raise ValueError("checkpoint_period must be >= 1")
+        self.profile = profile
+        self.cost = cost
+        self.config = config
+        self.dead_fraction = dead_fraction
+        self.checkpoint_period = checkpoint_period
+
+    def run(self) -> Breakdown:
+        ledger = EnergyLedger()
+        buffer = self.config.buffer
+        source = self.config.source
+        cycle = self.cost.cycle_time
+        time = 0.0
+
+        def charge_until_ready() -> None:
+            nonlocal time
+            needed = buffer.energy_to_reach(buffer.v_on)
+            wait = source.time_to_harvest(needed, start=time)
+            buffer.add_energy(source.energy(time, wait))
+            time += wait
+            ledger.charge(Category.CHARGING, 0.0, wait)
+
+        def restart() -> None:
+            nonlocal time
+            charge_until_ready()
+            ledger.count_restart()
+            restore = self.cost.restore_energy(self.profile.active_columns)
+            ledger.charge(Category.RESTORE, restore, self.cost.restore_latency())
+            harvested = source.energy(time, self.cost.restore_latency())
+            time += self.cost.restore_latency()
+            buffer.add_energy(harvested)
+            buffer.draw_energy(restore)
+
+        # Initial charge (capacitor starts discharged).
+        charge_until_ready()
+
+        period = self.checkpoint_period
+        for segment in self.profile.segments:
+            remaining = segment.count
+            # Backup is paid once per checkpoint, i.e. every `period`
+            # instructions (amortised here; exact within a segment).
+            backup_per_instr = segment.backup / period
+            per_instr = segment.energy + backup_per_instr
+            while remaining > 0:
+                harvested_per_cycle = source.energy(time, cycle)
+                net = per_instr - harvested_per_cycle
+                if net <= 0:
+                    # Source outruns consumption: the whole segment
+                    # completes without an outage.
+                    burst = remaining
+                else:
+                    if net > buffer.window_energy:
+                        raise NonTerminationError(
+                            f"{self.profile.name}: instruction needs "
+                            f"{net:.3e} J net but the capacitor window "
+                            f"holds {buffer.window_energy:.3e} J — no "
+                            "forward progress is possible; reduce the "
+                            "active-column parallelism or enlarge the "
+                            "buffer"
+                        )
+                    burst = min(remaining, max(1, int(buffer.headroom // net)))
+                consumed = burst * per_instr
+                harvested = source.energy(time, burst * cycle)
+                time += burst * cycle
+                buffer.add_energy(harvested)
+                buffer.draw_energy(consumed)
+                ledger.charge(
+                    Category.COMPUTE, burst * segment.energy, burst * cycle
+                )
+                ledger.charge(Category.BACKUP, burst * backup_per_instr)
+                ledger.breakdown.instructions += burst
+                remaining -= burst
+                if buffer.must_shut_down and remaining > 0:
+                    # Unexpected outage mid-stream: restart, re-perform
+                    # the work since the last checkpoint (Dead).  With
+                    # per-instruction checkpointing that is at most one
+                    # instruction; with period N, (N-1)/2 + 1 expected.
+                    restart()
+                    replayed = self.dead_fraction * ((period - 1) / 2.0 + 1.0)
+                    dead = per_instr * replayed
+                    dead_latency = cycle * replayed
+                    harvested = source.energy(time, dead_latency)
+                    time += dead_latency
+                    buffer.add_energy(harvested)
+                    buffer.draw_energy(dead)
+                    ledger.charge(
+                        Category.DEAD, segment.energy * replayed, dead_latency
+                    )
+                    ledger.charge(Category.BACKUP, backup_per_instr * replayed)
+        return ledger.breakdown

@@ -1,0 +1,33 @@
+"""The MOUSE instruction set (paper Figure 6).
+
+Instructions are 64-bit words of three kinds: logic operations
+(gate + tile + 2-3 input rows + output row), memory operations
+(read / write / output presets, tile + row), and *Activate Columns*
+(tile + up to five column addresses, or a bulk range).  Opcodes are
+4 bits; tile addresses 9 bits; row and column addresses 10 bits.
+"""
+
+from repro.isa.opcodes import Opcode
+from repro.isa.instruction import (
+    ActivateColumnsInstruction,
+    HaltInstruction,
+    Instruction,
+    LogicInstruction,
+    MemoryInstruction,
+    decode,
+    encode,
+)
+from repro.isa.assembler import assemble, disassemble
+
+__all__ = [
+    "Opcode",
+    "Instruction",
+    "LogicInstruction",
+    "MemoryInstruction",
+    "ActivateColumnsInstruction",
+    "HaltInstruction",
+    "encode",
+    "decode",
+    "assemble",
+    "disassemble",
+]

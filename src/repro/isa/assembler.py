@@ -1,0 +1,133 @@
+"""A small textual assembler for MOUSE programs.
+
+Syntax, one instruction per line (``;`` or ``#`` start a comment)::
+
+    ACTIVATE t0 cols 0,1            ; explicit column list (1-5)
+    ACTIVATE t0 cols 0..511         ; bulk range
+    PRESET0  t0 row 9
+    NAND     t0 in 0,4 out 9
+    MAJ3     t0 in 0,2,4 out 9
+    READ     t0 row 8
+    WRITE    t1 row 8
+    HALT
+
+``disassemble`` renders instruction objects back into this syntax, and
+``assemble(disassemble(p)) == p`` for every program.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.isa.instruction import (
+    ActivateColumnsInstruction,
+    HaltInstruction,
+    Instruction,
+    LogicInstruction,
+    MemoryInstruction,
+)
+from repro.isa.opcodes import Opcode
+
+
+class AssemblerError(ValueError):
+    """Raised with the line number on any malformed source line."""
+
+
+def _parse_tile(token: str, line_no: int) -> int:
+    if not token.startswith("t"):
+        raise AssemblerError(f"line {line_no}: expected tile 't<n>', got {token!r}")
+    try:
+        return int(token[1:])
+    except ValueError:
+        raise AssemblerError(f"line {line_no}: bad tile {token!r}") from None
+
+
+def _parse_int_list(token: str, line_no: int) -> tuple[int, ...]:
+    try:
+        return tuple(int(part) for part in token.split(","))
+    except ValueError:
+        raise AssemblerError(f"line {line_no}: bad address list {token!r}") from None
+
+
+def assemble_line(line: str, line_no: int = 0) -> Instruction | None:
+    """Assemble one source line; returns None for blanks/comments."""
+    code = line.split(";")[0].split("#")[0].strip()
+    if not code:
+        return None
+    tokens = code.split()
+    mnemonic = tokens[0].upper()
+    try:
+        opcode = Opcode[mnemonic]
+    except KeyError:
+        raise AssemblerError(f"line {line_no}: unknown mnemonic {mnemonic!r}") from None
+
+    if opcode is Opcode.HALT:
+        if len(tokens) != 1:
+            raise AssemblerError(f"line {line_no}: HALT takes no operands")
+        return HaltInstruction()
+
+    if len(tokens) < 2:
+        raise AssemblerError(f"line {line_no}: missing tile operand")
+    tile = _parse_tile(tokens[1], line_no)
+
+    if opcode is Opcode.ACTIVATE:
+        if len(tokens) != 4 or tokens[2].lower() != "cols":
+            raise AssemblerError(f"line {line_no}: ACTIVATE t<n> cols <list|a..b>")
+        spec = tokens[3]
+        if ".." in spec:
+            first_s, last_s = spec.split("..")
+            return ActivateColumnsInstruction(
+                tile=tile, columns=(int(first_s), int(last_s)), bulk=True
+            )
+        return ActivateColumnsInstruction(
+            tile=tile, columns=_parse_int_list(spec, line_no)
+        )
+
+    if opcode.is_memory:
+        if len(tokens) != 4 or tokens[2].lower() != "row":
+            raise AssemblerError(f"line {line_no}: {mnemonic} t<n> row <r>")
+        return MemoryInstruction(op=mnemonic, tile=tile, row=int(tokens[3]))
+
+    # Logic format: <GATE> t<n> in a,b[,c] out r
+    if (
+        len(tokens) != 6
+        or tokens[2].lower() != "in"
+        or tokens[4].lower() != "out"
+    ):
+        raise AssemblerError(f"line {line_no}: {mnemonic} t<n> in <rows> out <row>")
+    return LogicInstruction(
+        gate=mnemonic,
+        tile=tile,
+        input_rows=_parse_int_list(tokens[3], line_no),
+        output_row=int(tokens[5]),
+    )
+
+
+def assemble(source: str | Iterable[str]) -> list[Instruction]:
+    """Assemble a program from source text (or an iterable of lines)."""
+    lines = source.splitlines() if isinstance(source, str) else list(source)
+    program: list[Instruction] = []
+    for line_no, line in enumerate(lines, start=1):
+        instr = assemble_line(line, line_no)
+        if instr is not None:
+            program.append(instr)
+    return program
+
+
+def disassemble_one(instr: Instruction) -> str:
+    """Render one instruction in assembler syntax."""
+    if isinstance(instr, HaltInstruction):
+        return "HALT"
+    if isinstance(instr, ActivateColumnsInstruction):
+        if instr.bulk:
+            return f"ACTIVATE t{instr.tile} cols {instr.columns[0]}..{instr.columns[1]}"
+        return f"ACTIVATE t{instr.tile} cols {','.join(map(str, instr.columns))}"
+    if isinstance(instr, MemoryInstruction):
+        return f"{instr.op.upper()} t{instr.tile} row {instr.row}"
+    rows = ",".join(str(r) for r in instr.input_rows)
+    return f"{instr.gate.upper()} t{instr.tile} in {rows} out {instr.output_row}"
+
+
+def disassemble(program: Sequence[Instruction]) -> str:
+    """Render a program, one instruction per line."""
+    return "\n".join(disassemble_one(i) for i in program)

@@ -1,0 +1,124 @@
+"""Bit-level packing of 64-bit MOUSE instruction words.
+
+Field layout (LSB first):
+
+====================  ==========================================
+bits                  field
+====================  ==========================================
+0-3                   opcode (4 bits)
+4-12                  tile address (9 bits)
+*logic format*
+13-22 / 23-32 /33-42  input rows 1-3 (10 bits each; unused = 0)
+43-52                 output row (10 bits)
+*memory format*
+13-22                 row (10 bits)
+*activate-columns format*
+13                    bulk flag (1 = slots 0/1 are a column range)
+14-63                 five 10-bit column slots; unused slots
+                      duplicate slot 0 (decode de-duplicates)
+====================  ==========================================
+
+Bits not listed for a format are don't-care and encode as zero, per
+the paper ("a number of bits remain as don't care").
+"""
+
+from __future__ import annotations
+
+OPCODE_BITS = 4
+TILE_BITS = 9
+ROW_BITS = 10
+COL_BITS = 10
+MAX_TILE = (1 << TILE_BITS) - 1
+MAX_ROW = (1 << ROW_BITS) - 1
+MAX_COL = (1 << COL_BITS) - 1
+MAX_ACTIVATE_COLUMNS = 5
+
+_TILE_SHIFT = OPCODE_BITS
+_BODY_SHIFT = OPCODE_BITS + TILE_BITS  # 13
+
+
+def _check(value: int, limit: int, label: str) -> int:
+    if not 0 <= value <= limit:
+        raise ValueError(f"{label} {value} out of range 0..{limit}")
+    return value
+
+
+def pack_header(opcode: int, tile: int) -> int:
+    _check(opcode, (1 << OPCODE_BITS) - 1, "opcode")
+    _check(tile, MAX_TILE, "tile")
+    return opcode | (tile << _TILE_SHIFT)
+
+
+def unpack_header(word: int) -> tuple[int, int]:
+    return word & ((1 << OPCODE_BITS) - 1), (word >> _TILE_SHIFT) & MAX_TILE
+
+
+def pack_logic(opcode: int, tile: int, input_rows: tuple[int, ...], output_row: int) -> int:
+    if not 1 <= len(input_rows) <= 3:
+        raise ValueError("logic format carries 1-3 input rows")
+    word = pack_header(opcode, tile)
+    for slot, row in enumerate(input_rows):
+        _check(row, MAX_ROW, "input row")
+        word |= row << (_BODY_SHIFT + slot * ROW_BITS)
+    _check(output_row, MAX_ROW, "output row")
+    word |= output_row << (_BODY_SHIFT + 3 * ROW_BITS)
+    return word
+
+
+def unpack_logic(word: int, arity: int) -> tuple[tuple[int, ...], int]:
+    rows = tuple(
+        (word >> (_BODY_SHIFT + slot * ROW_BITS)) & MAX_ROW for slot in range(arity)
+    )
+    output_row = (word >> (_BODY_SHIFT + 3 * ROW_BITS)) & MAX_ROW
+    return rows, output_row
+
+
+def pack_memory(opcode: int, tile: int, row: int) -> int:
+    _check(row, MAX_ROW, "row")
+    return pack_header(opcode, tile) | (row << _BODY_SHIFT)
+
+
+def unpack_memory(word: int) -> int:
+    return (word >> _BODY_SHIFT) & MAX_ROW
+
+
+_BULK_SHIFT = _BODY_SHIFT  # bit 13
+_COL_SHIFT = _BODY_SHIFT + 1  # bit 14
+
+
+def pack_activate(opcode: int, tile: int, columns: tuple[int, ...], bulk: bool) -> int:
+    if bulk:
+        if len(columns) != 2:
+            raise ValueError("bulk activation carries exactly (first, last)")
+        first, last = columns
+        if first > last:
+            raise ValueError(f"bulk range {first}..{last} is empty")
+    elif not 1 <= len(columns) <= MAX_ACTIVATE_COLUMNS:
+        raise ValueError(
+            f"activate columns carries 1-{MAX_ACTIVATE_COLUMNS} addresses"
+        )
+    word = pack_header(opcode, tile)
+    if bulk:
+        word |= 1 << _BULK_SHIFT
+    slots = list(columns) + [columns[0]] * (MAX_ACTIVATE_COLUMNS - len(columns))
+    for slot, col in enumerate(slots):
+        _check(col, MAX_COL, "column")
+        word |= col << (_COL_SHIFT + slot * COL_BITS)
+    return word
+
+
+def unpack_activate(word: int) -> tuple[tuple[int, ...], bool]:
+    bulk = bool((word >> _BULK_SHIFT) & 1)
+    slots = [
+        (word >> (_COL_SHIFT + slot * COL_BITS)) & MAX_COL
+        for slot in range(MAX_ACTIVATE_COLUMNS)
+    ]
+    if bulk:
+        return (slots[0], slots[1]), True
+    # Unused slots duplicate slot 0; preserve order, drop duplicates.
+    seen: list[int] = []
+    for col in slots:
+        if col not in seen:
+            seen.append(col)
+    # All-duplicate encodings collapse to the single real column.
+    return tuple(seen), False

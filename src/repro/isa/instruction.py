@@ -1,0 +1,177 @@
+"""Instruction objects and their 64-bit encodings.
+
+Three instruction kinds exist (paper Figure 6 / Section IV-B):
+logic, memory (including the explicit gate-output presets), and
+Activate Columns.  ``encode``/``decode`` round-trip every instruction
+through the exact bit layout in :mod:`repro.isa.encoding`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.isa import encoding
+from repro.isa.opcodes import Opcode
+from repro.logic.gates import GateSpec
+from repro.logic.library import gate_by_name
+
+
+@dataclass(frozen=True)
+class LogicInstruction:
+    """One gate, executed in every active column of the target tile(s)."""
+
+    gate: str  # library gate name == opcode name
+    tile: int
+    input_rows: tuple[int, ...]
+    output_row: int
+
+    def __post_init__(self) -> None:
+        opcode = self.opcode  # validates the gate name
+        if len(self.input_rows) != opcode.gate_arity:
+            raise ValueError(
+                f"{self.gate} takes {opcode.gate_arity} input rows, "
+                f"got {len(self.input_rows)}"
+            )
+
+    @property
+    def opcode(self) -> Opcode:
+        try:
+            op = Opcode[self.gate.upper()]
+        except KeyError:
+            raise ValueError(f"gate {self.gate!r} has no opcode") from None
+        if not op.is_logic:
+            raise ValueError(f"{self.gate!r} is not a logic opcode")
+        return op
+
+    @property
+    def spec(self) -> GateSpec:
+        return gate_by_name(self.gate)
+
+    def __str__(self) -> str:
+        rows = ",".join(str(r) for r in self.input_rows)
+        return f"{self.gate.upper()} t{self.tile} in[{rows}] out {self.output_row}"
+
+
+@dataclass(frozen=True)
+class MemoryInstruction:
+    """Buffer-mediated read/write, or an active-column preset write."""
+
+    op: str  # READ | WRITE | PRESET0 | PRESET1
+    tile: int
+    row: int
+
+    def __post_init__(self) -> None:
+        if self.opcode not in (
+            Opcode.READ,
+            Opcode.WRITE,
+            Opcode.PRESET0,
+            Opcode.PRESET1,
+        ):
+            raise ValueError(f"{self.op!r} is not a memory opcode")
+
+    @property
+    def opcode(self) -> Opcode:
+        try:
+            return Opcode[self.op.upper()]
+        except KeyError:
+            raise ValueError(f"unknown memory op {self.op!r}") from None
+
+    def __str__(self) -> str:
+        return f"{self.op.upper()} t{self.tile} row {self.row}"
+
+
+@dataclass(frozen=True)
+class ActivateColumnsInstruction:
+    """Latch the set of active columns in the target tile(s).
+
+    Either up to five explicit column addresses, or — with
+    ``bulk=True`` — an inclusive ``(first, last)`` range (the bulk
+    addressing of Section IV-B).
+    """
+
+    tile: int
+    columns: tuple[int, ...]
+    bulk: bool = False
+
+    def __post_init__(self) -> None:
+        if self.bulk:
+            if len(self.columns) != 2:
+                raise ValueError("bulk activation takes (first, last)")
+            if self.columns[0] > self.columns[1]:
+                raise ValueError("empty bulk column range")
+        else:
+            if not 1 <= len(self.columns) <= encoding.MAX_ACTIVATE_COLUMNS:
+                raise ValueError(
+                    "activate columns takes 1-"
+                    f"{encoding.MAX_ACTIVATE_COLUMNS} addresses"
+                )
+            if len(set(self.columns)) != len(self.columns):
+                raise ValueError("duplicate column addresses")
+
+    @property
+    def opcode(self) -> Opcode:
+        return Opcode.ACTIVATE
+
+    @property
+    def column_count(self) -> int:
+        """Number of columns this instruction activates."""
+        if self.bulk:
+            return self.columns[1] - self.columns[0] + 1
+        return len(self.columns)
+
+    def __str__(self) -> str:
+        if self.bulk:
+            return f"ACTIVATE t{self.tile} cols {self.columns[0]}..{self.columns[1]}"
+        return f"ACTIVATE t{self.tile} cols {','.join(map(str, self.columns))}"
+
+
+@dataclass(frozen=True)
+class HaltInstruction:
+    """End of program (the inference result is in the tiles)."""
+
+    @property
+    def opcode(self) -> Opcode:
+        return Opcode.HALT
+
+    def __str__(self) -> str:
+        return "HALT"
+
+
+Instruction = Union[
+    LogicInstruction, MemoryInstruction, ActivateColumnsInstruction, HaltInstruction
+]
+
+
+def encode(instr: Instruction) -> int:
+    """Encode an instruction into its 64-bit word."""
+    op = instr.opcode
+    if isinstance(instr, LogicInstruction):
+        return encoding.pack_logic(op, instr.tile, instr.input_rows, instr.output_row)
+    if isinstance(instr, MemoryInstruction):
+        return encoding.pack_memory(op, instr.tile, instr.row)
+    if isinstance(instr, ActivateColumnsInstruction):
+        return encoding.pack_activate(op, instr.tile, instr.columns, instr.bulk)
+    if isinstance(instr, HaltInstruction):
+        return encoding.pack_header(op, 0)
+    raise TypeError(f"cannot encode {type(instr).__name__}")
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 64-bit word back into an instruction object."""
+    if not 0 <= word < 2**64:
+        raise ValueError("instruction words are 64 bits")
+    opcode_value, tile = encoding.unpack_header(word)
+    opcode = Opcode(opcode_value)
+    if opcode is Opcode.HALT:
+        return HaltInstruction()
+    if opcode is Opcode.ACTIVATE:
+        columns, bulk = encoding.unpack_activate(word)
+        return ActivateColumnsInstruction(tile=tile, columns=columns, bulk=bulk)
+    if opcode.is_memory:
+        row = encoding.unpack_memory(word)
+        return MemoryInstruction(op=opcode.name, tile=tile, row=row)
+    input_rows, output_row = encoding.unpack_logic(word, opcode.gate_arity)
+    return LogicInstruction(
+        gate=opcode.name, tile=tile, input_rows=input_rows, output_row=output_row
+    )

@@ -1,0 +1,53 @@
+"""Opcode assignments.
+
+Sixteen 4-bit opcodes: two buffer-mediated memory operations, two
+preset writes (the gate-output presets the paper's Figure 8 discussion
+leaves implicit are explicit write instructions here), the Activate
+Columns configuration instruction, ten logic gates, and HALT.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Opcode(enum.IntEnum):
+    READ = 0  # tile row -> controller buffer
+    WRITE = 1  # controller buffer -> tile row
+    ACTIVATE = 2  # latch active columns
+    PRESET0 = 3  # write logic 0 into row, active columns only
+    PRESET1 = 4  # write logic 1 into row, active columns only
+    NOT = 5
+    BUF = 6
+    NAND = 7
+    AND = 8
+    NOR = 9
+    OR = 10
+    NAND3 = 11
+    AND3 = 12
+    MIN3 = 13
+    MAJ3 = 14
+    HALT = 15
+
+    @property
+    def is_logic(self) -> bool:
+        return Opcode.NOT <= self <= Opcode.MAJ3
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (Opcode.READ, Opcode.WRITE, Opcode.PRESET0, Opcode.PRESET1)
+
+    @property
+    def gate_arity(self) -> int:
+        """Number of input rows for logic opcodes."""
+        if self in (Opcode.NOT, Opcode.BUF):
+            return 1
+        if self in (Opcode.NAND, Opcode.AND, Opcode.NOR, Opcode.OR):
+            return 2
+        if self in (Opcode.NAND3, Opcode.AND3, Opcode.MIN3, Opcode.MAJ3):
+            return 3
+        raise ValueError(f"{self.name} is not a logic opcode")
+
+
+#: Logic opcodes <-> library gate names (identical by construction).
+LOGIC_OPCODES = tuple(op for op in Opcode if op.is_logic)

@@ -1,0 +1,184 @@
+"""Gate specification, electrical design, and per-gate energy.
+
+A CRAM gate is fully described by four numbers (Section II-B):
+
+* the number of input MTJs wired in parallel,
+* the preset value written into the output MTJ beforehand,
+* the direction of the drive current (which fixes the only state the
+  output can switch *to* — the opposite of the preset), and
+* the switching threshold: the output switches iff at most
+  ``ones_threshold`` of the inputs hold logic 1 (more 1s = higher
+  parallel resistance = less current).
+
+The drive voltage realising a given threshold is computed analytically
+from the device parameters (:func:`design_voltage`), placing the
+critical current at the geometric mean of the two boundary resistances
+so both the switch and hold cases have symmetric relative margin.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.devices.mtj import SwitchDirection
+from repro.devices.parameters import DeviceParameters
+from repro.logic.resistance import total_path_resistance
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """A threshold gate realisable in one MOUSE logic instruction.
+
+    Attributes
+    ----------
+    name:
+        Library name, e.g. ``"NAND"``.
+    n_inputs:
+        Number of parallel input cells (1-5 supported by the ISA).
+    ones_threshold:
+        Output switches iff the number of logic-1 inputs is <= this.
+    preset:
+        Value the output row must be preset to (by a write) before the
+        logic instruction executes.
+    """
+
+    name: str
+    n_inputs: int
+    ones_threshold: int
+    preset: bool
+
+    def __post_init__(self) -> None:
+        if self.n_inputs < 1:
+            raise ValueError("gate needs at least one input")
+        if not 0 <= self.ones_threshold < self.n_inputs:
+            raise ValueError(
+                "ones_threshold must be in [0, n_inputs): switching on all "
+                "combinations would make the gate a constant"
+            )
+
+    @property
+    def direction(self) -> SwitchDirection:
+        """Drive-current direction: always toward the non-preset state."""
+        return SwitchDirection.TO_P if self.preset else SwitchDirection.TO_AP
+
+    def switches(self, n_ones: int) -> bool:
+        """Whether the output should switch for ``n_ones`` logic-1 inputs."""
+        return n_ones <= self.ones_threshold
+
+    def evaluate(self, inputs) -> int:
+        """Ideal Boolean output of the gate for concrete inputs."""
+        bits = [int(bool(b)) for b in inputs]
+        if len(bits) != self.n_inputs:
+            raise ValueError(
+                f"{self.name} takes {self.n_inputs} inputs, got {len(bits)}"
+            )
+        if self.switches(sum(bits)):
+            return int(self.direction.target_state)
+        return int(self.preset)
+
+    def truth_table(self):
+        """Yield ``(inputs_tuple, output)`` over all input combinations."""
+        for code in range(2**self.n_inputs):
+            bits = tuple((code >> i) & 1 for i in range(self.n_inputs))
+            yield bits, self.evaluate(bits)
+
+
+@lru_cache(maxsize=None)
+def design_voltage(params: DeviceParameters, spec: GateSpec) -> float:
+    """Drive voltage placing the switching threshold between the boundary
+    input combinations.
+
+    With ``k = ones_threshold``, the hardest case that must switch has
+    ``k`` ones (highest resistance among switching cases) and the easiest
+    case that must hold has ``k + 1`` ones.  The voltage is chosen so the
+    critical current falls at the geometric mean of those two total path
+    resistances.
+    """
+    r_switch = total_path_resistance(
+        params, spec.n_inputs, spec.ones_threshold, spec.preset
+    )
+    r_hold = total_path_resistance(
+        params, spec.n_inputs, spec.ones_threshold + 1, spec.preset
+    )
+    if not r_switch < r_hold:
+        raise ValueError(
+            f"gate {spec.name} infeasible at {params.name}: switching case "
+            f"resistance {r_switch:.1f} not below hold case {r_hold:.1f}"
+        )
+    return params.switching_current * math.sqrt(r_switch * r_hold)
+
+
+@lru_cache(maxsize=None)
+def gate_margin(params: DeviceParameters, spec: GateSpec) -> float:
+    """Relative current margin of the gate (same on both sides by the
+    geometric-mean voltage choice).  Larger = more robust."""
+    r_switch = total_path_resistance(
+        params, spec.n_inputs, spec.ones_threshold, spec.preset
+    )
+    r_hold = total_path_resistance(
+        params, spec.n_inputs, spec.ones_threshold + 1, spec.preset
+    )
+    return math.sqrt(r_hold / r_switch) - 1.0
+
+
+def operation_current(params: DeviceParameters, spec: GateSpec, n_ones: int) -> float:
+    """Current through the output cell for a concrete input combination
+    (with the output still at its preset value)."""
+    voltage = design_voltage(params, spec)
+    return voltage / total_path_resistance(params, spec.n_inputs, n_ones, spec.preset)
+
+
+def gate_energy(params: DeviceParameters, spec: GateSpec, n_ones: int) -> float:
+    """Energy of one gate execution in one column, joules.
+
+    First-order model: the designed voltage is applied across the path
+    for one switching time, E = V^2 / R_total * t_switch.  (The real
+    pulse is applied for the full window regardless of whether the
+    output switches — the array has no feedback — so energy does not
+    depend on the outcome, only on the input resistances.)
+    """
+    voltage = design_voltage(params, spec)
+    r_total = total_path_resistance(params, spec.n_inputs, n_ones, spec.preset)
+    return voltage**2 / r_total * params.switching_time
+
+
+@lru_cache(maxsize=None)
+def mean_gate_energy(params: DeviceParameters, spec: GateSpec) -> float:
+    """Gate energy averaged over uniformly random inputs (cost model)."""
+    n = spec.n_inputs
+    total = 0.0
+    for n_ones in range(n + 1):
+        weight = math.comb(n, n_ones) / 2**n
+        total += weight * gate_energy(params, spec, n_ones)
+    return total
+
+
+def write_energy(params: DeviceParameters) -> float:
+    """Energy of writing one cell (also the preset cost per column).
+
+    A write drives the switching current through the cell's write path
+    for one switching time with the required overdrive voltage.
+    """
+    from repro.devices.cell import output_resistance
+
+    # Worst-case path resistance (AP state for STT; channel for SHE).
+    r = output_resistance(params, True)
+    v = params.switching_current * r * 1.2  # 20% write overdrive
+    return v**2 / r * params.switching_time
+
+
+def read_energy(params: DeviceParameters) -> float:
+    """Energy of (non-destructively) reading one cell.
+
+    Reads sense with a voltage low enough to keep the current well under
+    the switching threshold (1/3 of critical) for a third of the
+    switching time.
+    """
+    from repro.devices.cell import input_resistance
+
+    r = input_resistance(params, False)  # worst case: low-resistance state
+    i_read = params.switching_current / 3.0
+    v = i_read * r
+    return v * i_read * (params.switching_time / 3.0)

@@ -1,0 +1,59 @@
+"""The standard MOUSE gate library.
+
+Every entry is a threshold gate per :class:`repro.logic.gates.GateSpec`.
+Derivations (k = ones_threshold; output switches iff #ones <= k; the
+switched value is the complement of the preset):
+
+=========  ========  ===  ======  =========================================
+gate       n_inputs   k   preset  output
+=========  ========  ===  ======  =========================================
+NOT            1      0     0     1 iff input 0
+BUF            1      0     1     input (copy through the array)
+NAND           2      1     0     0 iff both inputs 1
+AND            2      1     1     1 iff both inputs 1
+NOR            2      0     0     1 iff both inputs 0
+OR             2      0     1     0 iff both inputs 0
+NAND3          3      2     0     0 iff all three 1
+AND3           3      2     1     1 iff all three 1
+NOR3           3      0     0     1 iff all three 0
+OR3            3      0     1     0 iff all three 0
+MIN3           3      1     0     complement of 3-input majority
+MAJ3           3      1     1     3-input majority
+=========  ========  ===  ======  =========================================
+
+The set {NAND} alone is universal; MOUSE programs in this repo compile
+mostly to NAND (the paper's full adder is 9 NANDs) but the richer
+library is available to the compiler and is exercised by tests.
+"""
+
+from __future__ import annotations
+
+from repro.logic.gates import GateSpec
+
+NOT = GateSpec("NOT", n_inputs=1, ones_threshold=0, preset=False)
+BUF = GateSpec("BUF", n_inputs=1, ones_threshold=0, preset=True)
+NAND = GateSpec("NAND", n_inputs=2, ones_threshold=1, preset=False)
+AND = GateSpec("AND", n_inputs=2, ones_threshold=1, preset=True)
+NOR = GateSpec("NOR", n_inputs=2, ones_threshold=0, preset=False)
+OR = GateSpec("OR", n_inputs=2, ones_threshold=0, preset=True)
+NAND3 = GateSpec("NAND3", n_inputs=3, ones_threshold=2, preset=False)
+AND3 = GateSpec("AND3", n_inputs=3, ones_threshold=2, preset=True)
+NOR3 = GateSpec("NOR3", n_inputs=3, ones_threshold=0, preset=False)
+OR3 = GateSpec("OR3", n_inputs=3, ones_threshold=0, preset=True)
+MIN3 = GateSpec("MIN3", n_inputs=3, ones_threshold=1, preset=False)
+MAJ3 = GateSpec("MAJ3", n_inputs=3, ones_threshold=1, preset=True)
+
+GATE_LIBRARY: dict[str, GateSpec] = {
+    spec.name: spec
+    for spec in (NOT, BUF, NAND, AND, NOR, OR, NAND3, AND3, NOR3, OR3, MIN3, MAJ3)
+}
+
+
+def gate_by_name(name: str) -> GateSpec:
+    """Look up a gate, case-insensitively."""
+    try:
+        return GATE_LIBRARY[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown gate {name!r}; library has {sorted(GATE_LIBRARY)}"
+        ) from None

@@ -1,0 +1,102 @@
+"""Interconnect-parasitic analysis (after Zabihi et al. [95]).
+
+The paper's companion work analyses how bitline / logic-line wire
+resistance erodes CRAM logic margins as the operands' rows move apart.
+This module provides that first-order analysis on top of the gate
+designs here: wire resistance proportional to the row span of the
+operation is inserted in series with the operation path, and the
+remaining current margin is computed.  It is analysis-only — the
+functional tile keeps the ideal model, as the paper's own evaluation
+does — but it quantifies how far apart a mapper may place operands
+before a gate's decision flips, and the maximum safe span per gate.
+
+Wire resistance per row pitch: with ~45 ohm/um copper at beyond-22 nm
+pitches and a ~0.1 um row pitch, a few ohms per row; the default 5
+ohm/row is deliberately pessimistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.parameters import DeviceParameters
+from repro.logic.gates import GateSpec, design_voltage
+from repro.logic.resistance import total_path_resistance
+
+#: Default wire resistance per row of separation, ohms (pessimistic).
+DEFAULT_OHMS_PER_ROW = 5.0
+
+
+@dataclass(frozen=True)
+class SpanAnalysis:
+    """Margin of one gate at one operand row span."""
+
+    technology: str
+    gate: str
+    span_rows: int
+    switch_current_ratio: float  # worst switching case current / I_c
+    hold_current_ratio: float  # worst hold case current / I_c
+
+    @property
+    def functional(self) -> bool:
+        """Both decisions still on the right side of the threshold."""
+        return self.switch_current_ratio >= 1.0 > self.hold_current_ratio
+
+
+def margin_at_span(
+    params: DeviceParameters,
+    spec: GateSpec,
+    span_rows: int,
+    ohms_per_row: float = DEFAULT_OHMS_PER_ROW,
+) -> SpanAnalysis:
+    """Gate currents with wire resistance for a given operand span.
+
+    The span is the distance (in rows) between the furthest input and
+    the output; the wire resistance sits in series with the whole
+    operation path (logic line + bitline segments).
+    """
+    if span_rows < 0:
+        raise ValueError("span cannot be negative")
+    wire = span_rows * ohms_per_row
+    voltage = design_voltage(params, spec)  # designed for the ideal path
+    k = spec.ones_threshold
+    r_switch = total_path_resistance(params, spec.n_inputs, k, spec.preset) + wire
+    r_hold = (
+        total_path_resistance(params, spec.n_inputs, k + 1, spec.preset) + wire
+    )
+    i_c = params.switching_current
+    return SpanAnalysis(
+        technology=params.name,
+        gate=spec.name,
+        span_rows=span_rows,
+        switch_current_ratio=(voltage / r_switch) / i_c,
+        hold_current_ratio=(voltage / r_hold) / i_c,
+    )
+
+
+def max_functional_span(
+    params: DeviceParameters,
+    spec: GateSpec,
+    ohms_per_row: float = DEFAULT_OHMS_PER_ROW,
+    ceiling: int = 1 << 16,
+) -> int:
+    """Largest operand row span at which the gate still works.
+
+    Wire resistance only ever *reduces* current, so the hold case can
+    never break; the failure mode is the switching case dropping under
+    the critical current.  Binary search on the span.
+    """
+    if not margin_at_span(params, spec, 0, ohms_per_row).functional:
+        return 0
+    lo, hi = 0, 1
+    while hi < ceiling and margin_at_span(params, spec, hi, ohms_per_row).functional:
+        lo, hi = hi, hi * 2
+    if hi >= ceiling:
+        return ceiling
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        if margin_at_span(params, spec, mid, ohms_per_row).functional:
+            lo = mid
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,46 @@
+"""Machine-learning case studies (paper Section III).
+
+The paper evaluates SVMs (polynomial kernel, degree 2, one-vs-rest)
+and binary neural networks (FINN and FP-BNN topologies) on MNIST,
+HAR and ADULT.  Those datasets cannot ship in this offline repo, so
+:mod:`repro.ml.datasets` provides deterministic synthetic twins with
+identical shapes, dtypes, and class structure; training is from-scratch
+NumPy (SMO for SVMs, straight-through-estimator for BNNs), mirroring
+the paper's offline training / on-MOUSE inference split.
+
+:mod:`repro.ml.mapping` turns a trained model into (a) bit-exact MOUSE
+programs for small instances and (b) exact instruction-stream profiles
+for the paper-scale benchmarks, built from the very same compiler
+macros so the two can never disagree.
+"""
+
+from repro.ml.datasets import Dataset, synthetic_mnist, synthetic_har, synthetic_adult, binarize
+from repro.ml.fixedpoint import FixedPointFormat, quantize, dequantize
+from repro.ml.svm import PolySVM, OneVsRestSVM
+from repro.ml.bnn import BNN, BNNConfig, FINN_MNIST, FPBNN_MNIST
+from repro.ml.io import load_bnn, load_svm, save_bnn, save_svm
+from repro.ml.mapping import SvmWorkload, BnnWorkload, Workload
+
+__all__ = [
+    "Dataset",
+    "synthetic_mnist",
+    "synthetic_har",
+    "synthetic_adult",
+    "binarize",
+    "FixedPointFormat",
+    "quantize",
+    "dequantize",
+    "PolySVM",
+    "OneVsRestSVM",
+    "BNN",
+    "BNNConfig",
+    "FINN_MNIST",
+    "FPBNN_MNIST",
+    "SvmWorkload",
+    "BnnWorkload",
+    "Workload",
+    "save_svm",
+    "load_svm",
+    "save_bnn",
+    "load_bnn",
+]

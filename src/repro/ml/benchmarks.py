@@ -1,0 +1,70 @@
+"""The paper's benchmark suite, with the support-vector counts and
+topologies reported in Table IV / Section VIII.
+
+Accuracy comes from the trained models on the synthetic dataset twins
+(see :mod:`repro.experiments.accuracy`); the cost/memory/area numbers
+come from these workload descriptors, which use the published model
+sizes so Tables III-IV and Figures 9-12 are regenerated at the paper's
+scale.
+"""
+
+from __future__ import annotations
+
+from repro.ml.bnn import FINN_MNIST, FPBNN_MNIST
+from repro.ml.mapping import BnnWorkload, SvmWorkload, Workload
+
+SVM_MNIST = SvmWorkload(
+    name="SVM MNIST",
+    dimensions=784,
+    input_bits=8,
+    sv_bits=8,
+    n_support=11_813,
+    n_classes=10,
+)
+
+SVM_MNIST_BIN = SvmWorkload(
+    name="SVM MNIST (Bin)",
+    dimensions=784,
+    input_bits=1,
+    sv_bits=1,
+    n_support=12_214,
+    n_classes=10,
+    binarized=True,
+)
+
+SVM_HAR = SvmWorkload(
+    name="SVM HAR",
+    dimensions=561,
+    input_bits=8,
+    sv_bits=8,
+    n_support=2_809,
+    n_classes=6,
+)
+
+SVM_ADULT = SvmWorkload(
+    name="SVM ADULT",
+    dimensions=15,
+    input_bits=8,
+    sv_bits=8,
+    n_support=1_909,
+    n_classes=2,
+)
+
+BNN_FINN = BnnWorkload.from_config(FINN_MNIST)
+BNN_FPBNN = BnnWorkload.from_config(FPBNN_MNIST)
+
+ALL_WORKLOADS: tuple[Workload, ...] = (
+    SVM_MNIST,
+    SVM_MNIST_BIN,
+    SVM_HAR,
+    SVM_ADULT,
+    BNN_FINN,
+    BNN_FPBNN,
+)
+
+
+def workload_by_name(name: str) -> Workload:
+    for workload in ALL_WORKLOADS:
+        if workload.name.lower() == name.strip().lower():
+            return workload
+    raise KeyError(f"unknown workload {name!r}")

@@ -1,0 +1,253 @@
+"""Binary neural networks (Courbariaux et al. style, as used by FINN
+and FP-BNN, whose topologies the paper adopts).
+
+Weights and hidden activations are single bits (+1/-1); hidden-layer
+multiplication becomes XNOR and accumulation becomes popcount
+(Section III).  Training is straight-through-estimator SGD over latent
+real weights, in pure NumPy; inference has two paths that must agree
+bit-for-bit:
+
+* ``forward`` — float path used during training;
+* ``predict_int`` — the integer popcount/threshold pipeline that MOUSE
+  executes, with per-neuron integer thresholds derived exactly from the
+  trained biases.
+
+Topologies: ``FINN_MNIST`` (binary input, 3 x 1024 hidden, 10 outputs)
+and ``FPBNN_MNIST`` (8-bit input, 3 x 2048 hidden, 10 outputs), as in
+the paper's Section VIII.  ``BNNConfig.scaled`` shrinks them for tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BNNConfig:
+    """A BNN topology, mirroring the paper's two configurations."""
+
+    name: str
+    input_size: int
+    hidden_sizes: tuple[int, ...]
+    n_classes: int
+    input_bits: int  # 1 for FINN (binarised input), 8 for FP-BNN
+    output_bits: int  # accumulator precision of the output layer
+
+    def scaled(self, factor: float) -> "BNNConfig":
+        """Proportionally smaller config (for fast tests/examples)."""
+        hidden = tuple(max(8, int(h * factor)) for h in self.hidden_sizes)
+        return replace(self, name=f"{self.name}-x{factor}", hidden_sizes=hidden)
+
+    @property
+    def layer_shapes(self) -> list[tuple[int, int]]:
+        sizes = [self.input_size, *self.hidden_sizes, self.n_classes]
+        return list(zip(sizes[:-1], sizes[1:]))
+
+    @property
+    def weight_bits(self) -> int:
+        """Total single-bit weights (memory sizing)."""
+        return sum(i * o for i, o in self.layer_shapes)
+
+
+FINN_MNIST = BNNConfig(
+    name="FINN",
+    input_size=784,
+    hidden_sizes=(1024, 1024, 1024),
+    n_classes=10,
+    input_bits=1,
+    output_bits=10,
+)
+
+FPBNN_MNIST = BNNConfig(
+    name="FP-BNN",
+    input_size=784,
+    hidden_sizes=(2048, 2048, 2048),
+    n_classes=10,
+    input_bits=8,
+    output_bits=16,
+)
+
+
+def _sign(x: np.ndarray) -> np.ndarray:
+    """sign with sign(0) = +1, the BNN convention."""
+    return np.where(x >= 0, 1.0, -1.0)
+
+
+class BNN:
+    """A trainable binary MLP."""
+
+    def __init__(self, config: BNNConfig, seed: int = 0) -> None:
+        self.config = config
+        rng = np.random.default_rng(seed)
+        self.latent = [
+            rng.normal(scale=0.1, size=shape) for shape in config.layer_shapes
+        ]
+        self.bias = [np.zeros(shape[1]) for shape in config.layer_shapes]
+
+    # ------------------------------------------------------------------
+    # Float path (training-time semantics)
+    # ------------------------------------------------------------------
+
+    def _input_pm(self, x: np.ndarray) -> np.ndarray:
+        """Map raw inputs to the first layer's domain: +/-1 for binary
+        input configs, raw integers (as floats) for 8-bit input."""
+        x = np.asarray(x, dtype=float)
+        if self.config.input_bits == 1:
+            return np.where(x > 0, 1.0, -1.0)
+        return x
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Class scores (pre-softmax) through the binarised network."""
+        a = self._input_pm(x)
+        for index, (latent, bias) in enumerate(zip(self.latent, self.bias)):
+            w = _sign(latent)
+            h = a @ w / math.sqrt(latent.shape[0]) + bias
+            if index < len(self.latent) - 1:
+                a = _sign(h)
+            else:
+                return h
+        raise AssertionError("unreachable")
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return np.argmax(self.forward(x), axis=1)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.predict(x) == np.asarray(y)))
+
+    # ------------------------------------------------------------------
+    # Training (straight-through estimator)
+    # ------------------------------------------------------------------
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 20,
+        lr: float = 2.0,
+        batch_size: int = 64,
+        seed: int = 1,
+    ) -> "BNN":
+        """Train with STE SGD.
+
+        The default learning rate looks large: gradients pass through
+        sign() and a 1/sqrt(fan_in) scale, so their magnitude is tiny
+        relative to the [-1, 1] latent-weight range; latent weights
+        only act when they cross zero.
+        """
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y)
+        rng = np.random.default_rng(seed)
+        n = len(x)
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, batch_size):
+                batch = order[start : start + batch_size]
+                self._sgd_step(x[batch], y[batch], lr)
+        return self
+
+    def _sgd_step(self, x: np.ndarray, y: np.ndarray, lr: float) -> None:
+        # Forward, caching pre-activations for the backward pass.
+        a = self._input_pm(x)
+        activations = [a]
+        pre = []
+        for index, (latent, bias) in enumerate(zip(self.latent, self.bias)):
+            w = _sign(latent)
+            h = a @ w / math.sqrt(latent.shape[0]) + bias
+            pre.append(h)
+            if index < len(self.latent) - 1:
+                a = _sign(h)
+                activations.append(a)
+
+        # Softmax cross-entropy at the output.
+        logits = pre[-1]
+        logits = logits - logits.max(axis=1, keepdims=True)
+        probs = np.exp(logits)
+        probs /= probs.sum(axis=1, keepdims=True)
+        grad = probs
+        grad[np.arange(len(y)), y] -= 1.0
+        grad /= len(y)
+
+        # Backward with the straight-through estimator: d sign(h)/dh ~
+        # 1{|h| <= 1}; latent weights updated through the sign as
+        # identity, then clipped to [-1, 1].
+        for index in reversed(range(len(self.latent))):
+            latent = self.latent[index]
+            scale = 1.0 / math.sqrt(latent.shape[0])
+            a_in = activations[index]
+            grad_w = a_in.T @ grad * scale
+            grad_b = grad.sum(axis=0)
+            if index > 0:
+                w = _sign(latent)
+                grad_a = grad @ w.T * scale
+                ste_mask = (np.abs(pre[index - 1]) <= 1.0).astype(float)
+                grad = grad_a * ste_mask
+            self.latent[index] = np.clip(latent - lr * grad_w, -1.0, 1.0)
+            self.bias[index] -= lr * grad_b
+
+    # ------------------------------------------------------------------
+    # Integer (MOUSE) inference path
+    # ------------------------------------------------------------------
+
+    def binary_weights(self) -> list[np.ndarray]:
+        """Weights as {0, 1} bit matrices (1 encodes +1)."""
+        return [(latent >= 0).astype(np.uint8) for latent in self.latent]
+
+    def hidden_thresholds(self) -> list[np.ndarray]:
+        """Integer popcount thresholds for each hidden layer.
+
+        Neuron fires (outputs bit 1) iff popcount(xnor(a, w)) >= t.
+        Derived so the integer decision equals the float path exactly:
+        h >= 0  <=>  2p - n >= -b sqrt(n)  <=>  p >= (n - b sqrt(n)) / 2.
+        """
+        out = []
+        for latent, bias in zip(self.latent[:-1], self.bias[:-1]):
+            n = latent.shape[0]
+            threshold = np.ceil((n - bias * math.sqrt(n)) / 2.0 - 1e-9)
+            out.append(threshold.astype(np.int64))
+        return out
+
+    def predict_int(self, x: np.ndarray) -> np.ndarray:
+        """Bit/popcount inference, as compiled onto MOUSE.
+
+        First layer: XNOR-popcount for binary input, or signed +/-x
+        accumulation for 8-bit input.  Hidden layers: XNOR-popcount
+        against integer thresholds.  Output layer: integer scores with
+        quantised biases, argmax.
+        """
+        x = np.asarray(x)
+        weights = self.binary_weights()
+        thresholds = self.hidden_thresholds()
+
+        if self.config.input_bits == 1:
+            bits = (x > 0).astype(np.int64)
+        else:
+            bits = None  # 8-bit path handled below
+
+        for index, w01 in enumerate(weights[:-1]):
+            w_pm = w01.astype(np.int64) * 2 - 1
+            n = w01.shape[0]
+            if index == 0 and self.config.input_bits != 1:
+                acc = x.astype(np.int64) @ w_pm  # +/- integer adds
+                b = self.bias[0]
+                fire = acc >= np.ceil(-b * math.sqrt(n) - 1e-9).astype(np.int64)
+            else:
+                # popcount(xnor) = matches of the two bit-vectors
+                matches = bits @ w01.astype(np.int64) + (1 - bits) @ (
+                    1 - w01.astype(np.int64)
+                )
+                fire = matches >= thresholds[index]
+            bits = fire.astype(np.int64)
+
+        # Output layer: integer +/- accumulation plus quantised bias.
+        w_out = weights[-1].astype(np.int64) * 2 - 1
+        n = w_out.shape[0]
+        bias_int = np.round(self.bias[-1] * math.sqrt(n)).astype(np.int64)
+        pm = bits * 2 - 1
+        scores = pm @ w_out + bias_int
+        return np.argmax(scores, axis=1)
+
+    def accuracy_int(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.predict_int(x) == np.asarray(y)))

@@ -1,0 +1,79 @@
+"""Fixed-point quantisation.
+
+The paper's custom SVMs avoid "any operations that would be inefficient
+in MOUSE; all programs consist of bit-wise and integer arithmetic"
+(Section VIII).  This module provides the float <-> integer bridge:
+models are trained in floating point and their parameters quantised to
+the formats MOUSE computes in (8-bit inputs/support vectors, wider
+accumulators and coefficients).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed/unsigned integer format with a power-of-two-free scale.
+
+    value_float ~= value_int * scale
+    """
+
+    bits: int
+    signed: bool
+    scale: float
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError("need at least one bit")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+
+    @property
+    def min_int(self) -> int:
+        return -(1 << (self.bits - 1)) if self.signed else 0
+
+    @property
+    def max_int(self) -> int:
+        return (1 << (self.bits - 1)) - 1 if self.signed else (1 << self.bits) - 1
+
+    @classmethod
+    def for_range(
+        cls, values: np.ndarray, bits: int, signed: bool | None = None
+    ) -> "FixedPointFormat":
+        """Pick a scale covering the observed value range."""
+        values = np.asarray(values, dtype=float)
+        if signed is None:
+            signed = bool((values < 0).any())
+        peak = float(np.max(np.abs(values))) or 1.0
+        top = (1 << (bits - 1)) - 1 if signed else (1 << bits) - 1
+        return cls(bits=bits, signed=signed, scale=peak / top)
+
+
+def quantize(values: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Round to the nearest representable integer, saturating."""
+    ints = np.round(np.asarray(values, dtype=float) / fmt.scale)
+    return np.clip(ints, fmt.min_int, fmt.max_int).astype(np.int64)
+
+
+def dequantize(ints: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    return np.asarray(ints, dtype=float) * fmt.scale
+
+
+def to_twos_complement(value: int, bits: int) -> int:
+    """Encode a (possibly negative) int into its unsigned bit pattern."""
+    if not -(1 << (bits - 1)) <= value < (1 << bits):
+        raise ValueError(f"{value} does not fit in {bits} bits")
+    return value & ((1 << bits) - 1)
+
+
+def from_twos_complement(pattern: int, bits: int) -> int:
+    """Decode an unsigned bit pattern as a signed integer."""
+    if not 0 <= pattern < (1 << bits):
+        raise ValueError(f"{pattern} is not a {bits}-bit pattern")
+    if pattern >= 1 << (bits - 1):
+        return pattern - (1 << bits)
+    return pattern

@@ -1,0 +1,99 @@
+"""Model persistence.
+
+Trained models are produced offline and written into MOUSE before
+deployment (Section IV-B: "The instructions are written into these
+tiles before deployment") — so a deployment flow needs durable model
+artifacts.  NumPy ``.npz`` files hold everything needed to rebuild the
+inference pipeline: support vectors / dual coefficients / kernel
+parameters for SVMs, latent weights and biases for BNNs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.ml.bnn import BNN, BNNConfig
+from repro.ml.svm import OneVsRestSVM, PolyKernel, PolySVM
+
+
+def save_svm(path: str | Path, model: OneVsRestSVM) -> None:
+    """Persist a trained one-vs-rest SVM."""
+    if not model.machines:
+        raise ValueError("model is not fitted")
+    payload: dict[str, np.ndarray] = {
+        "format": np.array(["ovr-svm"]),
+        "n_classes": np.array([model.n_classes]),
+    }
+    for index, machine in enumerate(model.machines):
+        if machine.kernel_ is None:
+            raise ValueError(f"classifier {index} is not fitted")
+        payload[f"sv_{index}"] = machine.support_vectors_
+        payload[f"coef_{index}"] = machine.dual_coef_
+        payload[f"bias_{index}"] = np.array([machine.bias_])
+        payload[f"kernel_{index}"] = np.array(
+            [machine.kernel_.degree, machine.kernel_.gamma, machine.kernel_.coef0]
+        )
+    np.savez_compressed(path, **payload)
+
+
+def load_svm(path: str | Path) -> OneVsRestSVM:
+    """Rebuild a one-vs-rest SVM saved by :func:`save_svm`."""
+    with np.load(path, allow_pickle=False) as data:
+        if str(data["format"][0]) != "ovr-svm":
+            raise ValueError("not an ovr-svm artifact")
+        n_classes = int(data["n_classes"][0])
+        model = OneVsRestSVM(n_classes)
+        for index in range(n_classes):
+            machine = PolySVM()
+            machine.support_vectors_ = data[f"sv_{index}"]
+            machine.dual_coef_ = data[f"coef_{index}"]
+            machine.bias_ = float(data[f"bias_{index}"][0])
+            degree, gamma, coef0 = data[f"kernel_{index}"]
+            machine.kernel_ = PolyKernel(
+                degree=int(degree), gamma=float(gamma), coef0=float(coef0)
+            )
+            model.machines.append(machine)
+    return model
+
+
+def save_bnn(path: str | Path, model: BNN) -> None:
+    """Persist a trained BNN (latent weights, biases, topology)."""
+    config = model.config
+    payload: dict[str, np.ndarray] = {
+        "format": np.array(["bnn"]),
+        "name": np.array([config.name]),
+        "input_size": np.array([config.input_size]),
+        "hidden_sizes": np.array(config.hidden_sizes),
+        "n_classes": np.array([config.n_classes]),
+        "input_bits": np.array([config.input_bits]),
+        "output_bits": np.array([config.output_bits]),
+    }
+    for index, (latent, bias) in enumerate(zip(model.latent, model.bias)):
+        payload[f"latent_{index}"] = latent
+        payload[f"bias_{index}"] = bias
+    np.savez_compressed(path, **payload)
+
+
+def load_bnn(path: str | Path) -> BNN:
+    """Rebuild a BNN saved by :func:`save_bnn`."""
+    with np.load(path, allow_pickle=False) as data:
+        if str(data["format"][0]) != "bnn":
+            raise ValueError("not a bnn artifact")
+        config = BNNConfig(
+            name=str(data["name"][0]),
+            input_size=int(data["input_size"][0]),
+            hidden_sizes=tuple(int(h) for h in data["hidden_sizes"]),
+            n_classes=int(data["n_classes"][0]),
+            input_bits=int(data["input_bits"][0]),
+            output_bits=int(data["output_bits"][0]),
+        )
+        model = BNN(config)
+        model.latent = [
+            np.array(data[f"latent_{i}"]) for i in range(len(config.layer_shapes))
+        ]
+        model.bias = [
+            np.array(data[f"bias_{i}"]) for i in range(len(config.layer_shapes))
+        ]
+    return model

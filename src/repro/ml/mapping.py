@@ -1,0 +1,480 @@
+"""Workload mapping: trained models -> MOUSE cost profiles and memory.
+
+Scheduling policy (paper Sections VI-VIII): *greedy minimal columns*.
+Each independent work unit — an (input x support-vector) dot product
+for SVM, a neuron for BNN — packs as many vector elements into one
+column as the 1024 rows allow (element storage lives on both bitline
+parities so gate operands are always reachable, plus accumulator and
+scratch headroom); elements that do not fit spill into further columns,
+whose partial results are merged by a log-depth read/write + add
+reduction.  All units compute simultaneously (column + tile
+parallelism) while the instruction *stream* is shared — columns are the
+SIMD dimension.
+
+Every phase's instruction counts come from
+:func:`repro.compile.arith.instruction_histogram`, i.e. from the real
+emitter, and are priced per active-column count through the
+:class:`repro.energy.model.InstructionCostModel` — the aggregate
+numbers cannot drift from the functional compiler.
+
+Memory accounting mirrors the paper's: every column a unit occupies is
+charged for the full tile height, instructions cost 8 bytes each, and
+the benchmark is assigned the smallest power-of-two capacity that fits
+(Table III's "total memory" column).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.compile.arith import instruction_count, instruction_histogram
+from repro.devices.parameters import DeviceParameters
+from repro.energy.area import AreaModel, nvsim_capacity_mb
+from repro.energy.model import InstructionCostModel
+from repro.harvest.intermittent import InstructionProfile
+
+TILE_ROWS = 1024
+TILE_COLS = 1024
+TILE_BYTES = TILE_ROWS * TILE_COLS // 8  # 128 KB
+#: Rows reserved per column for accumulators, the squared kernel /
+#: coefficient pipeline, carries, and gate scratch.
+WORKSPACE_ROWS = 256
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def _acc_bits(element_bits: int, weight_bits: int, length: int) -> int:
+    """Accumulator width for a dot product of ``length`` products."""
+    return element_bits + weight_bits + max(1, math.ceil(math.log2(max(2, length))))
+
+
+# ----------------------------------------------------------------------
+# Profile assembly helpers
+# ----------------------------------------------------------------------
+
+
+class _ProfileBuilder:
+    """Accumulates phases into an InstructionProfile with per-kind
+    instruction pricing.
+
+    ``max_columns`` implements the paper's Section IV-C power-budget
+    knob: when a phase wants more simultaneously-active columns than
+    the cap, it is time-multiplexed — the same instruction stream is
+    repeated over column groups of at most the cap, trading latency for
+    power draw.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        cost: InstructionCostModel,
+        max_columns: Optional[int] = None,
+    ) -> None:
+        if max_columns is not None and max_columns < 1:
+            raise ValueError("max_columns must be at least 1")
+        self.profile = InstructionProfile(name=name)
+        self.cost = cost
+        self.max_columns = max_columns
+        self._backup = cost.backup_energy()
+        self._fetch = cost.fetch_energy()
+
+    def _price(self, kind: str, n_columns: int) -> float:
+        if kind == "PRESET":
+            body = self.cost.preset_energy(n_columns)
+        elif kind in ("READ",):
+            body = self.cost.row_read_energy(TILE_COLS)
+        elif kind in ("WRITE",):
+            body = self.cost.row_write_energy(TILE_COLS)
+        elif kind == "ACTIVATE":
+            body = self.cost.activate_energy(n_columns)
+        else:
+            body = self.cost.logic_energy(kind, n_columns)
+        return body + self._fetch
+
+    @staticmethod
+    def _addresses(kind: str) -> int:
+        """Row/column addresses one instruction of this kind carries."""
+        if kind in ("PRESET", "READ", "WRITE"):
+            return 1
+        if kind == "ACTIVATE":
+            return 5
+        from repro.logic.library import gate_by_name
+
+        return gate_by_name(kind).n_inputs + 1
+
+    def add_kind(self, kind: str, count: int, n_columns: int, label: str) -> None:
+        if count <= 0:
+            return
+        if self.max_columns is not None and n_columns > self.max_columns:
+            groups = _ceil_div(n_columns, self.max_columns)
+            count *= groups
+            n_columns = self.max_columns
+        self.profile.add(
+            count,
+            self._price(kind, n_columns),
+            self._backup,
+            label,
+            addresses=self._addresses(kind),
+        )
+        self.profile.active_columns = max(self.profile.active_columns, 1)
+
+    def add_op(self, op: str, args: tuple, repeat: int, n_columns: int, label: str) -> None:
+        """Add ``repeat`` executions of an arithmetic routine, all
+        running SIMD across ``n_columns`` columns."""
+        if repeat <= 0 or n_columns <= 0:
+            return
+        for kind, count in instruction_histogram(op, *args):
+            self.add_kind(kind, count * repeat, n_columns, label)
+
+    def add_moves(self, count: int, label: str) -> None:
+        """Buffer-mediated row moves (READ + WRITE pairs)."""
+        if count <= 0:
+            return
+        self.add_kind("READ", count, TILE_COLS, label)
+        self.add_kind("WRITE", count, TILE_COLS, label)
+
+    def add_activate(self, count: int, n_columns: int, label: str) -> None:
+        if count <= 0:
+            return
+        energy = self.cost.activate_energy(n_columns) + self._fetch
+        backup = self._backup + self.cost.activate_backup_energy()
+        self.profile.add(count, energy, backup, label)
+
+    def done(self, active_columns: int) -> InstructionProfile:
+        self.profile.active_columns = max(1, active_columns)
+        return self.profile
+
+
+def _reduction(
+    pb: _ProfileBuilder,
+    columns_per_unit: int,
+    units: int,
+    value_bits: int,
+    label: str,
+) -> None:
+    """Log-depth merge of per-column partials down to one column per
+    unit: each step moves one operand row-set and adds."""
+    remaining = columns_per_unit
+    active = units * columns_per_unit
+    while remaining > 1:
+        pairs = remaining // 2
+        pb.add_moves(value_bits, f"{label}:move")
+        pb.add_op("add", (value_bits,), 1, max(1, active // 2), f"{label}:add")
+        remaining = remaining - pairs
+        active = units * remaining
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Base: things every benchmark exposes to the experiment harness."""
+
+    name: str
+
+    def memory_bytes(self) -> tuple[int, int]:
+        """(instruction bytes, data bytes)."""
+        raise NotImplementedError
+
+    def capacity_mb(self) -> int:
+        instr, data = self.memory_bytes()
+        return nvsim_capacity_mb(instr + data)
+
+    def area_mm2(self, params: DeviceParameters) -> float:
+        return AreaModel(params).total_area_mm2(self.capacity_mb())
+
+    def profile(
+        self, cost: InstructionCostModel, max_columns: Optional[int] = None
+    ) -> InstructionProfile:
+        """Instruction-stream cost profile; ``max_columns`` caps the
+        simultaneously-active columns (the Section IV-C power knob)."""
+        raise NotImplementedError
+
+    # Convenience: continuous-power latency/energy (Table IV numbers).
+    def continuous(self, cost: InstructionCostModel) -> tuple[float, float]:
+        p = self.profile(cost)
+        return p.instructions * cost.cycle_time, p.total_energy
+
+
+@dataclass(frozen=True)
+class SvmWorkload(Workload):
+    """One-vs-rest polynomial-degree-2 SVM inference (Section III).
+
+    Per class: dot(input, sv) for each SV, +offset, square, multiply by
+    the dual coefficient, accumulate; argmax across classes.
+    """
+
+    dimensions: int
+    input_bits: int
+    sv_bits: int
+    n_support: int  # total across all classifiers (paper's #SV)
+    n_classes: int
+    binarized: bool = False
+
+    @classmethod
+    def from_model(
+        cls,
+        model,
+        name: str = "SVM (custom)",
+        input_bits: int = 8,
+        sv_bits: int = 8,
+        binarized: bool = False,
+    ) -> "SvmWorkload":
+        """Cost-model a *trained* :class:`repro.ml.svm.OneVsRestSVM` —
+        the support-vector count and dimensionality come from the model
+        itself, so training decisions (C, tolerance) flow straight into
+        the latency/energy/area estimates."""
+        if not getattr(model, "machines", None):
+            raise ValueError("model is not fitted")
+        return cls(
+            name=name,
+            dimensions=model.machines[0].support_vectors_.shape[1],
+            input_bits=1 if binarized else input_bits,
+            sv_bits=1 if binarized else sv_bits,
+            n_support=model.total_support_vectors,
+            n_classes=model.n_classes,
+            binarized=binarized,
+        )
+    coef_bits: int = 16
+    #: Kernel values are truncated to this width before squaring
+    #: (standard fixed-point practice; the paper's pipeline likewise
+    #: keeps intermediate precision bounded).
+    kernel_keep_bits: int = 16
+    #: Class-score accumulator cap.
+    score_cap_bits: int = 32
+
+    # -- layout ---------------------------------------------------------
+
+    def _rows_per_element(self) -> int:
+        if self.binarized:
+            return 4  # x bit + w bit, each with its parity mirror
+        return 2 * (self.input_bits + self.sv_bits)
+
+    def elements_per_column(self) -> int:
+        usable = TILE_ROWS - WORKSPACE_ROWS
+        return max(1, min(self.dimensions, usable // self._rows_per_element()))
+
+    def columns_per_unit(self) -> int:
+        return _ceil_div(self.dimensions, self.elements_per_column())
+
+    def total_columns(self) -> int:
+        return self.n_support * self.columns_per_unit()
+
+    def kernel_bits(self) -> int:
+        """Width of one dot-product result."""
+        if self.binarized:
+            return max(1, math.ceil(math.log2(self.dimensions + 1)))
+        return _acc_bits(self.input_bits, self.sv_bits, self.dimensions)
+
+    def kernel_kept_bits(self) -> int:
+        """Dot-product width after truncation, entering the square."""
+        return min(self.kernel_bits(), self.kernel_keep_bits)
+
+    def squared_bits(self) -> int:
+        """Width kept after squaring, entering the coefficient multiply."""
+        return min(2 * self.kernel_kept_bits(), self.kernel_keep_bits + 8)
+
+    def score_bits(self) -> int:
+        """Width of a per-class accumulated score."""
+        per_sv = self.squared_bits() + self.coef_bits
+        wide = per_sv + max(
+            1, math.ceil(math.log2(max(2, self.n_support // max(1, self.n_classes))))
+        )
+        return min(wide, self.score_cap_bits)
+
+    # -- memory -----------------------------------------------------------
+
+    def memory_bytes(self) -> tuple[int, int]:
+        data = self.total_columns() * TILE_ROWS // 8  # full columns charged
+        instr = 8 * self._instruction_estimate()
+        return instr, data
+
+    def _instruction_estimate(self) -> int:
+        e = self.elements_per_column()
+        kb = self.kernel_bits()
+        if self.binarized:
+            per_col = e * instruction_count("and") + instruction_count("popcount", e)
+        else:
+            per_col = e * (
+                instruction_count("mul", self.input_bits, self.sv_bits)
+                + instruction_count("add", kb)
+            )
+        post = (
+            instruction_count("square", self.kernel_kept_bits())
+            + instruction_count("mul", self.squared_bits(), self.coef_bits)
+            + 12 * instruction_count("add", self.score_bits())
+        )
+        return per_col + post
+
+    # -- cost profile -----------------------------------------------------
+
+    def profile(
+        self, cost: InstructionCostModel, max_columns: Optional[int] = None
+    ) -> InstructionProfile:
+        pb = _ProfileBuilder(self.name, cost, max_columns=max_columns)
+        e = self.elements_per_column()
+        cpu = self.columns_per_unit()
+        units = self.n_support
+        active = units * cpu
+        kb = self.kernel_bits()
+
+        # Configuration: bulk activations, a handful per tile group.
+        pb.add_activate(_ceil_div(active, TILE_COLS), TILE_COLS, "configure")
+
+        # Phase 1: in-column element-wise MAC (all unit columns active).
+        # Signed support vectors are stored offset-binary (+2^(b-1)) so
+        # the per-element multiply is *unsigned*; a single per-unit
+        # subtraction of 2^(b-1) * sum(x) (computed once, shared) undoes
+        # the offset after the reduction.
+        if self.binarized:
+            pb.add_op("and", (), e, active, "mac:and")
+            pb.add_op("popcount", (e,), 1, active, "mac:popcount")
+        else:
+            pb.add_op("mul", (self.input_bits, self.sv_bits), e, active, "mac:mul")
+            pb.add_op("add", (kb,), e, active, "mac:acc")
+
+        # Phase 2: merge per-column partials into one column per SV.
+        _reduction(pb, cpu, units, kb, "reduce")
+        if not self.binarized:
+            pb.add_op("sub", (kb,), 1, units, "mac:unoffset")
+
+        # Phase 3: kernel post-processing, SIMD across all SVs.
+        pb.add_op("square", (self.kernel_kept_bits(),), 1, units, "post:square")
+        pb.add_op(
+            "mul", (self.squared_bits(), self.coef_bits), 1, units, "post:coef"
+        )
+
+        # Phase 4: per-class accumulation of n_support/n_classes values.
+        per_class = max(1, units // max(1, self.n_classes))
+        sb = self.score_bits()
+        steps = max(1, math.ceil(math.log2(max(2, per_class))))
+        remaining = units
+        for _ in range(steps):
+            pb.add_moves(sb, "classsum:move")
+            remaining = max(self.n_classes, remaining // 2)
+            pb.add_op("add", (sb,), 1, remaining, "classsum:add")
+
+        # Phase 5: argmax over class scores.
+        pb.add_op("word_max", (self.n_classes, sb), 1, 1, "argmax")
+        if max_columns is not None:
+            active = min(active, max_columns)
+        return pb.done(active)
+
+
+@dataclass(frozen=True)
+class BnnWorkload(Workload):
+    """Binary MLP inference: XNOR + popcount + threshold per neuron,
+    with an integer (+/- x) first layer when inputs are 8-bit."""
+
+    layer_sizes: tuple[int, ...]  # (input, hidden..., classes)
+    input_bits: int
+    output_bits: int
+
+    @classmethod
+    def from_model(cls, model) -> "BnnWorkload":
+        """Cost-model a trained :class:`repro.ml.bnn.BNN`."""
+        return cls.from_config(model.config)
+
+    @classmethod
+    def from_config(cls, config) -> "BnnWorkload":
+        return cls(
+            name=f"BNN {config.name}",
+            layer_sizes=(config.input_size, *config.hidden_sizes, config.n_classes),
+            input_bits=config.input_bits,
+            output_bits=config.output_bits,
+        )
+
+    # -- layout ---------------------------------------------------------
+
+    def _rows_per_element(self, layer: int) -> int:
+        if layer == 0 and self.input_bits > 1:
+            return 2 * (self.input_bits + 1)  # 8-bit activation + 1-bit weight
+        return 4  # weight bit + activation bit, with parity mirrors
+
+    def _layer_geometry(self, layer: int) -> tuple[int, int, int]:
+        """(elements_per_column, columns_per_neuron, fan_in)."""
+        fan_in = self.layer_sizes[layer]
+        usable = TILE_ROWS - WORKSPACE_ROWS
+        e = max(1, min(fan_in, usable // self._rows_per_element(layer)))
+        return e, _ceil_div(fan_in, e), fan_in
+
+    def total_columns(self) -> int:
+        total = 0
+        for layer in range(len(self.layer_sizes) - 1):
+            _, cpu, _ = self._layer_geometry(layer)
+            total += self.layer_sizes[layer + 1] * cpu
+        return total
+
+    def memory_bytes(self) -> tuple[int, int]:
+        data = self.total_columns() * TILE_ROWS // 8
+        instr = 8 * self._instruction_estimate()
+        return instr, data
+
+    def _instruction_estimate(self) -> int:
+        total = 0
+        for layer in range(len(self.layer_sizes) - 1):
+            e, cpu, fan_in = self._layer_geometry(layer)
+            acc = _acc_bits(self.input_bits if layer == 0 else 1, 1, fan_in)
+            if layer == 0 and self.input_bits > 1:
+                total += e * instruction_count("add", acc)
+            else:
+                total += e * instruction_count("xnor") + instruction_count(
+                    "popcount", e
+                )
+            total += instruction_count("ge", acc) + 2 * fan_in  # threshold + transpose
+        return total
+
+    # -- cost profile -----------------------------------------------------
+
+    def profile(
+        self, cost: InstructionCostModel, max_columns: Optional[int] = None
+    ) -> InstructionProfile:
+        pb = _ProfileBuilder(self.name, cost, max_columns=max_columns)
+        n_layers = len(self.layer_sizes) - 1
+        peak_active = 1
+        pb.add_activate(
+            _ceil_div(self.total_columns(), TILE_COLS), TILE_COLS, "configure"
+        )
+        for layer in range(n_layers):
+            e, cpu, fan_in = self._layer_geometry(layer)
+            neurons = self.layer_sizes[layer + 1]
+            active = neurons * cpu
+            peak_active = max(peak_active, active)
+            acc = _acc_bits(self.input_bits if layer == 0 else 1, 1, fan_in)
+            tag = f"L{layer}"
+
+            if layer == 0 and self.input_bits > 1:
+                # Integer +/- accumulation of 8-bit inputs.
+                pb.add_op("add", (acc,), e, active, f"{tag}:acc")
+            else:
+                pb.add_op("xnor", (), e, active, f"{tag}:xnor")
+                pb.add_op("popcount", (e,), 1, active, f"{tag}:popcount")
+
+            _reduction(pb, cpu, neurons, acc, f"{tag}:reduce")
+
+            if layer < n_layers - 1:
+                # Threshold compare -> activation bit.
+                pb.add_op("ge", (acc,), 1, neurons, f"{tag}:threshold")
+                # Transpose: broadcast this layer's activation bits into
+                # the next layer's columns through the buffer.
+                pb.add_moves(self.layer_sizes[layer + 1], f"{tag}:transpose")
+            else:
+                # Output scores: add the quantised bias, then argmax.
+                pb.add_op("add", (self.output_bits,), 1, neurons, f"{tag}:bias")
+                pb.add_op(
+                    "word_max",
+                    (self.layer_sizes[-1], self.output_bits),
+                    1,
+                    1,
+                    "argmax",
+                )
+        if max_columns is not None:
+            peak_active = min(peak_active, max_columns)
+        return pb.done(peak_active)

@@ -1,0 +1,256 @@
+"""Support vector machines with the paper's polynomial kernel.
+
+"For all SVM benchmarks we use a polynomial kernel with a degree of 2"
+(Section III); inference is dot products against every support vector,
+squaring, coefficient multiply, and a sum, with the sign (binary) or
+one-vs-rest argmax (multi-class) as the decision.  Training happens
+offline in software — here a from-scratch simplified-SMO solver — and
+only inference maps onto MOUSE.
+
+The integer inference path (`decision_values_int`) mirrors exactly the
+arithmetic the MOUSE programs perform: 8-bit dot products, squaring,
+fixed-point coefficient multiply, integer accumulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.fixedpoint import FixedPointFormat, quantize
+
+
+@dataclass
+class PolyKernel:
+    """K(x, y) = (gamma * <x, y> + coef0) ** degree."""
+
+    degree: int = 2
+    gamma: float = 1.0
+    coef0: float = 1.0
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return (self.gamma * (a @ b.T) + self.coef0) ** self.degree
+
+
+class PolySVM:
+    """Binary SVM trained by simplified SMO (Platt's heuristic-free
+    variant: random second choice, tolerance-based KKT check).
+
+    Parameters mirror libSVM's: ``c`` is the box constraint, ``tol``
+    the KKT tolerance, ``max_passes`` how many consecutive full sweeps
+    without an update end training.
+    """
+
+    def __init__(
+        self,
+        c: float = 1.0,
+        degree: int = 2,
+        gamma: Optional[float] = None,
+        coef0: float = 1.0,
+        tol: float = 1e-3,
+        max_passes: int = 3,
+        max_iter: int = 2000,
+        seed: int = 0,
+    ) -> None:
+        self.c = c
+        self.degree = degree
+        self.gamma = gamma
+        self.coef0 = coef0
+        self.tol = tol
+        self.max_passes = max_passes
+        self.max_iter = max_iter
+        self.seed = seed
+        self.support_vectors_: Optional[np.ndarray] = None
+        self.dual_coef_: Optional[np.ndarray] = None
+        self.bias_: float = 0.0
+        self.kernel_: Optional[PolyKernel] = None
+
+    # ------------------------------------------------------------------
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "PolySVM":
+        """Train on features ``x`` and labels in {-1, +1} (or {0, 1})."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        y = np.where(y > 0, 1.0, -1.0)
+        n = len(x)
+        if n == 0:
+            raise ValueError("empty training set")
+        if self.gamma is not None:
+            gamma = self.gamma
+        else:
+            # libSVM's 'scale' default: 1 / (d * Var[x]) keeps kernel
+            # values O(1) for raw 8-bit integer features.
+            variance = float(x.var()) or 1.0
+            gamma = 1.0 / (x.shape[1] * variance)
+        kernel = PolyKernel(self.degree, gamma, self.coef0)
+        gram = kernel(x, x)
+
+        rng = np.random.default_rng(self.seed)
+        alpha = np.zeros(n)
+        bias = 0.0
+        passes = 0
+        iters = 0
+        while passes < self.max_passes and iters < self.max_iter:
+            changed = 0
+            for i in range(n):
+                err_i = (alpha * y) @ gram[:, i] + bias - y[i]
+                if (y[i] * err_i < -self.tol and alpha[i] < self.c) or (
+                    y[i] * err_i > self.tol and alpha[i] > 0
+                ):
+                    j = int(rng.integers(0, n - 1))
+                    if j >= i:
+                        j += 1
+                    err_j = (alpha * y) @ gram[:, j] + bias - y[j]
+                    ai_old, aj_old = alpha[i], alpha[j]
+                    if y[i] != y[j]:
+                        lo = max(0.0, aj_old - ai_old)
+                        hi = min(self.c, self.c + aj_old - ai_old)
+                    else:
+                        lo = max(0.0, ai_old + aj_old - self.c)
+                        hi = min(self.c, ai_old + aj_old)
+                    if lo >= hi:
+                        continue
+                    eta = 2 * gram[i, j] - gram[i, i] - gram[j, j]
+                    if eta >= 0:
+                        continue
+                    aj = np.clip(aj_old - y[j] * (err_i - err_j) / eta, lo, hi)
+                    if abs(aj - aj_old) < 1e-7:
+                        continue
+                    ai = ai_old + y[i] * y[j] * (aj_old - aj)
+                    alpha[i], alpha[j] = ai, aj
+                    b1 = (
+                        bias
+                        - err_i
+                        - y[i] * (ai - ai_old) * gram[i, i]
+                        - y[j] * (aj - aj_old) * gram[i, j]
+                    )
+                    b2 = (
+                        bias
+                        - err_j
+                        - y[i] * (ai - ai_old) * gram[i, j]
+                        - y[j] * (aj - aj_old) * gram[j, j]
+                    )
+                    if 0 < ai < self.c:
+                        bias = b1
+                    elif 0 < aj < self.c:
+                        bias = b2
+                    else:
+                        bias = 0.5 * (b1 + b2)
+                    changed += 1
+            passes = passes + 1 if changed == 0 else 0
+            iters += 1
+
+        keep = alpha > 1e-8
+        self.support_vectors_ = x[keep]
+        self.dual_coef_ = alpha[keep] * y[keep]
+        self.bias_ = float(bias)
+        self.kernel_ = kernel
+        return self
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_support_(self) -> int:
+        if self.support_vectors_ is None:
+            raise RuntimeError("not fitted")
+        return len(self.support_vectors_)
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        if self.kernel_ is None:
+            raise RuntimeError("not fitted")
+        k = self.kernel_(np.asarray(x, dtype=float), self.support_vectors_)
+        return k @ self.dual_coef_ + self.bias_
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return (self.decision_function(x) >= 0).astype(int)
+
+    # -- integer (MOUSE) inference path --------------------------------
+
+    def decision_values_int(
+        self, x_int: np.ndarray, sv_bits: int = 8, coef_bits: int = 16
+    ) -> np.ndarray:
+        """Decision values via the integer pipeline MOUSE executes.
+
+        dot (integer) -> add integer coef0' -> square -> multiply by
+        quantised dual coefficient -> accumulate.  ``x_int`` must
+        already be integers in the input format (e.g. 0..255 pixels).
+        Returns integer scores whose *ordering* matches the float path
+        up to quantisation error.
+        """
+        if self.kernel_ is None:
+            raise RuntimeError("not fitted")
+        sv_fmt = FixedPointFormat.for_range(self.support_vectors_, sv_bits)
+        sv_int = quantize(self.support_vectors_, sv_fmt)
+        coef_fmt = FixedPointFormat.for_range(self.dual_coef_, coef_bits, signed=True)
+        coef_int = quantize(self.dual_coef_, coef_fmt)
+        x_int = np.asarray(x_int, dtype=np.int64)
+        dots = x_int @ sv_int.T  # integer dot products
+        # (gamma * dot + coef0)^2 with gamma/coef0 folded into an
+        # integer offset: coef0' = coef0 / (gamma * sv_scale * x_scale).
+        offset = round(self.kernel_.coef0 / (self.kernel_.gamma * sv_fmt.scale))
+        kernel_int = (dots + offset) ** 2
+        return kernel_int @ coef_int
+
+
+class OneVsRestSVM:
+    """The paper's multi-class extension: one binary SVM per class,
+    argmax of the decision scores (Section III)."""
+
+    def __init__(self, n_classes: int, **svm_kwargs) -> None:
+        if n_classes < 2:
+            raise ValueError("need at least two classes")
+        self.n_classes = n_classes
+        self.svm_kwargs = svm_kwargs
+        self.machines: list[PolySVM] = []
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "OneVsRestSVM":
+        y = np.asarray(y)
+        self.machines = []
+        for cls in range(self.n_classes):
+            machine = PolySVM(**self.svm_kwargs)
+            machine.fit(x, (y == cls).astype(float) * 2 - 1)
+            self.machines.append(machine)
+        return self
+
+    @property
+    def total_support_vectors(self) -> int:
+        """Total #SV across classifiers (the paper's #SV column)."""
+        return sum(m.n_support_ for m in self.machines)
+
+    def decision_matrix(self, x: np.ndarray) -> np.ndarray:
+        if not self.machines:
+            raise RuntimeError("not fitted")
+        return np.stack([m.decision_function(x) for m in self.machines], axis=1)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return np.argmax(self.decision_matrix(x), axis=1)
+
+    def predict_int(self, x_int: np.ndarray, **int_kwargs) -> np.ndarray:
+        """Multi-class prediction through the integer pipeline.
+
+        Scores from different binary machines have different quantiser
+        scales; normalise each machine's integer score by its scale so
+        the argmax compares like with like (on MOUSE this is a
+        per-machine constant shift folded into the coefficients).
+        """
+        if not self.machines:
+            raise RuntimeError("not fitted")
+        columns = []
+        for machine in self.machines:
+            raw = machine.decision_values_int(x_int, **int_kwargs).astype(float)
+            sv_fmt = FixedPointFormat.for_range(
+                machine.support_vectors_, int_kwargs.get("sv_bits", 8)
+            )
+            coef_fmt = FixedPointFormat.for_range(
+                machine.dual_coef_, int_kwargs.get("coef_bits", 16), signed=True
+            )
+            scale = (
+                (machine.kernel_.gamma * sv_fmt.scale) ** 2 * coef_fmt.scale
+            )
+            columns.append(raw * scale + machine.bias_)
+        return np.argmax(np.stack(columns, axis=1), axis=1)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.predict(x) == np.asarray(y)))

@@ -1,0 +1,18 @@
+"""System integration (paper Section IV-E).
+
+MOUSE in a deployed device sits between an energy harvester, a sensor,
+and a transmitter: the sensor deposits samples into its non-volatile
+buffer (valid bit raised when complete), MOUSE transfers them in with
+ordinary READ/WRITE instructions at the start of its program, infers,
+and the controller reads the result out for the transmitter.  This
+package provides that loop — including sensor-corruption handling
+across outages — on top of the functional machine.
+"""
+
+from repro.system.pipeline import (
+    InferenceOutcome,
+    SensorDrivenPipeline,
+    transfer_prologue,
+)
+
+__all__ = ["SensorDrivenPipeline", "InferenceOutcome", "transfer_prologue"]

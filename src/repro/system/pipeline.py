@@ -1,0 +1,140 @@
+"""The sensor -> inference -> readout loop.
+
+``SensorDrivenPipeline`` runs a compiled program over a stream of
+sensor samples.  Each iteration:
+
+1. the sensor deposits the sample into its non-volatile buffer and
+   raises the valid bit (``SensorBuffer.fill``);
+2. the program's *transfer prologue* — plain READ (sensor tile) /
+   WRITE (data tile) instruction pairs — moves the sample into the
+   compute tile, protected by the controller's sensor-PC register: if
+   power dies while the sensor is refilling, restart rewinds to the
+   prologue (Section IV-E);
+3. the inference body executes (intermittently, if a harvesting
+   config is given);
+4. the result rows are read out for the "transmitter" and the machine
+   is rewound for the next sample.
+
+The pipeline can inject sensor corruption: with probability
+``corruption_rate`` an outage during the transfer invalidates the
+buffer, forcing the re-transfer path the paper describes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.array.bank import SENSOR_TILE
+from repro.core.accelerator import Mouse
+from repro.core.program import Program
+from repro.energy.metrics import Breakdown
+from repro.harvest.intermittent import HarvestingConfig, IntermittentRun
+from repro.isa.instruction import Instruction, MemoryInstruction
+
+
+def transfer_prologue(n_rows: int, data_tile: int = 0) -> list[Instruction]:
+    """READ-from-sensor / WRITE-to-tile pairs moving ``n_rows`` rows.
+
+    Row i of the sensor buffer lands in row i of the data tile; place
+    program operands accordingly (or remap with extra WRITEs).
+    """
+    if n_rows < 1:
+        raise ValueError("need at least one transfer row")
+    instructions: list[Instruction] = []
+    for row in range(n_rows):
+        instructions.append(MemoryInstruction("READ", SENSOR_TILE, row))
+        instructions.append(MemoryInstruction("WRITE", data_tile, row))
+    return instructions
+
+
+@dataclass(frozen=True)
+class InferenceOutcome:
+    """One processed sample."""
+
+    sample_index: int
+    result_bits: tuple[int, ...]
+    breakdown: Breakdown
+    retransfers: int  # sensor-corruption rewinds observed
+
+
+@dataclass
+class SensorDrivenPipeline:
+    """Run a program over a stream of sensor samples.
+
+    Parameters
+    ----------
+    mouse:
+        Machine with the program (prologue + body) already loaded.
+    result_rows:
+        (row, column) addresses of the output bits to read per sample.
+    harvesting:
+        Optional harvesting configuration; None = continuous power.
+    corruption_rate:
+        Probability that an outage interrupts the *sensor* mid-refill
+        right after each sample's first transfer (exercises the
+        rewind protocol).  Only meaningful with harvesting disabled —
+        the corruption is injected deterministically as a power cycle.
+    """
+
+    mouse: Mouse
+    result_rows: Sequence[tuple[int, int]]
+    harvesting: Optional[HarvestingConfig] = None
+    corruption_rate: float = 0.0
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.corruption_rate <= 1.0:
+            raise ValueError("corruption_rate must be a probability")
+        self._rng = random.Random(self.seed)
+
+    # ------------------------------------------------------------------
+
+    def process(self, samples: Sequence[np.ndarray]) -> list[InferenceOutcome]:
+        """Run every sample through the machine, returning outcomes."""
+        outcomes = []
+        for index, sample in enumerate(samples):
+            outcomes.append(self._process_one(index, np.asarray(sample, bool)))
+        return outcomes
+
+    def _process_one(self, index: int, sample: np.ndarray) -> InferenceOutcome:
+        mouse = self.mouse
+        controller = mouse.controller
+        mouse.reset_for_rerun()
+        mouse.bank.sensor.fill(sample)
+
+        retransfers = 0
+        if self.corruption_rate and self._rng.random() < self.corruption_rate:
+            # Let the transfer begin, then cut power while the sensor
+            # is (re)filling — its valid bit is down, so restart must
+            # rewind the PC to the prologue (Section IV-E).
+            controller.step_instruction()  # first sensor READ
+            pc_before = controller.pc.read()
+            controller.power_off()
+            mouse.bank.sensor.invalidate()
+            controller.power_on()
+            if controller.pc.read() > pc_before:
+                raise AssertionError("sensor rewind did not happen")
+            retransfers += 1
+            mouse.bank.sensor.fill(sample)  # sensor redeposits
+
+        if self.harvesting is None:
+            controller.run()
+            breakdown = mouse.ledger.breakdown
+        else:
+            run = IntermittentRun(mouse, self.harvesting)
+            breakdown = run.run()
+
+        bits = tuple(
+            mouse.tile(0).get_bit(row, col) for row, col in self.result_rows
+        )
+        return InferenceOutcome(
+            sample_index=index,
+            result_bits=bits,
+            breakdown=breakdown,
+            retransfers=retransfers,
+        )

@@ -1,0 +1,5 @@
+"""Developer tooling around the functional simulator."""
+
+from repro.tools.trace import InstructionRecord, TraceRecorder
+
+__all__ = ["TraceRecorder", "InstructionRecord"]

@@ -1,0 +1,77 @@
+"""Shared harness: run compiler emissions bit-exactly on the machine.
+
+Each active column is one test vector (the SIMD dimension), so a single
+program execution checks many operand combinations at once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.compile.builder import Bit, ProgramBuilder, Word
+from repro.core.accelerator import Mouse
+from repro.devices.parameters import DeviceParameters, MODERN_STT
+
+
+class ColumnHarness:
+    """Builds a program over vertical operands and runs it per-column."""
+
+    def __init__(
+        self,
+        n_columns: int,
+        rows: int = 1024,
+        reserved_rows: int = 64,
+        tech: DeviceParameters = MODERN_STT,
+    ) -> None:
+        self.tech = tech
+        self.rows = rows
+        self.cols = n_columns
+        self.builder = ProgramBuilder(
+            tile=0, rows=rows, cols=n_columns, reserved_rows=reserved_rows
+        )
+        self.builder.activate_range(0, n_columns - 1)
+        self._next_reserved = 0
+        self._inputs: list[tuple[Word, Sequence[int]]] = []
+
+    def input_word(self, n_bits: int, values: Sequence[int]) -> Word:
+        """Reserve rows for an n-bit operand; ``values[c]`` goes to
+        column c (little-endian, two's-complement-wrapped)."""
+        if len(values) != self.cols:
+            raise ValueError("one value per column required")
+        rows = []
+        for _ in range(n_bits):
+            if self._next_reserved + 2 > 64:
+                raise MemoryError("out of reserved input rows")
+            rows.append(self._next_reserved)
+            self._next_reserved += 2
+        word = self.builder.word_at(rows)
+        self._inputs.append((word, values))
+        return word
+
+    def input_bit(self, values: Sequence[int]) -> Bit:
+        return self.input_word(1, values)[0]
+
+    def run(self) -> Mouse:
+        program = self.builder.finish()
+        mouse = Mouse(self.tech, rows=self.rows, cols=self.cols)
+        for word, values in self._inputs:
+            for col, value in enumerate(values):
+                masked = value & ((1 << len(word)) - 1)
+                for index, bit in enumerate(word):
+                    mouse.tile(0).set_bit(bit.row, col, (masked >> index) & 1)
+        mouse.load(program)
+        mouse.run(max_instructions=20_000_000)
+        return mouse
+
+    @staticmethod
+    def read_word(mouse: Mouse, word: Word, column: int, signed: bool = False) -> int:
+        value = 0
+        for index, bit in enumerate(word):
+            value |= mouse.tile(0).get_bit(bit.row, column) << index
+        if signed and value >= 1 << (len(word) - 1):
+            value -= 1 << len(word)
+        return value
+
+    @staticmethod
+    def read_bit(mouse: Mouse, bit: Bit, column: int) -> int:
+        return mouse.tile(0).get_bit(bit.row, column)

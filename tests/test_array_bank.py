@@ -1,0 +1,112 @@
+"""Bank: tile addressing, program storage, sensor buffer, power events."""
+
+import numpy as np
+import pytest
+
+from repro.array.bank import BROADCAST_TILE, SENSOR_TILE, Bank, SensorBuffer
+from repro.devices.parameters import MODERN_STT
+from repro.isa.instruction import HaltInstruction, LogicInstruction, encode
+
+
+def make_bank(n_data=2, rows=16, cols=8) -> Bank:
+    return Bank(MODERN_STT, n_data_tiles=n_data, rows=rows, cols=cols)
+
+
+class TestAddressing:
+    def test_data_tile_lookup(self):
+        bank = make_bank()
+        assert bank.data_tile(0) is bank.data_tiles[0]
+        with pytest.raises(IndexError):
+            bank.data_tile(2)
+
+    def test_broadcast_targets_all_data_tiles(self):
+        bank = make_bank()
+        assert bank.target_tiles(BROADCAST_TILE) == bank.data_tiles
+
+    def test_single_target(self):
+        bank = make_bank()
+        assert bank.target_tiles(1) == [bank.data_tiles[1]]
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Bank(MODERN_STT, n_data_tiles=0)
+        with pytest.raises(ValueError):
+            Bank(MODERN_STT, n_data_tiles=SENSOR_TILE, n_instruction_tiles=1)
+
+
+class TestProgramStorage:
+    def test_load_and_fetch_round_trip(self):
+        bank = make_bank()
+        words = [
+            encode(LogicInstruction("NAND", 0, (0, 2), 1)),
+            encode(HaltInstruction()),
+        ]
+        bank.load_program(words)
+        assert bank.program_length == 2
+        assert [bank.fetch_word(i) for i in range(2)] == words
+
+    def test_many_instructions_cross_rows(self):
+        bank = make_bank()
+        words = [encode(LogicInstruction("NOT", 0, (i % 1024,), (i % 1024) ^ 1)) for i in range(40)]
+        bank.load_program(words)
+        assert [bank.fetch_word(i) for i in range(40)] == words
+
+    def test_fetch_out_of_range(self):
+        bank = make_bank()
+        bank.load_program([encode(HaltInstruction())])
+        with pytest.raises(IndexError):
+            bank.fetch_word(1)
+
+    def test_capacity_enforced(self):
+        bank = Bank(MODERN_STT, n_data_tiles=1, rows=2, cols=8)
+        too_many = [encode(HaltInstruction())] * (bank.instruction_capacity + 1)
+        with pytest.raises(ValueError):
+            bank.load_program(too_many)
+
+    def test_non_word_rejected(self):
+        bank = make_bank()
+        with pytest.raises(ValueError):
+            bank.load_program([2**64])
+
+    def test_capacity_bytes(self):
+        bank = make_bank(n_data=2, rows=16, cols=8)
+        # 2 data tiles of 16x8 bits + 1 instruction tile of 16x1024.
+        assert bank.capacity_bytes == 3 * 16 * 8 // 8
+
+
+class TestSensorBuffer:
+    def test_fill_sets_valid(self):
+        sensor = SensorBuffer(rows=4, cols=8)
+        assert not sensor.valid
+        sensor.fill(np.ones((2, 8), dtype=bool))
+        assert sensor.valid
+        assert sensor.read_row(0).all()
+
+    def test_invalidate(self):
+        sensor = SensorBuffer(rows=4, cols=8)
+        sensor.fill(np.ones((1, 8), dtype=bool))
+        sensor.invalidate()
+        assert not sensor.valid
+
+    def test_shape_checked(self):
+        sensor = SensorBuffer(rows=2, cols=8)
+        with pytest.raises(ValueError):
+            sensor.fill(np.ones((3, 8), dtype=bool))
+        with pytest.raises(IndexError):
+            sensor.read_row(5)
+
+
+class TestPowerEvents:
+    def test_power_off_clears_latches_keeps_data(self):
+        bank = make_bank()
+        bank.data_tiles[0].activate_columns([0, 1])
+        bank.data_tiles[0].set_bit(0, 0, 1)
+        bank.power_off()
+        assert bank.data_tiles[0].n_active == 0
+        assert bank.data_tiles[0].get_bit(0, 0) == 1
+
+    def test_snapshot_copies(self):
+        bank = make_bank()
+        snaps = bank.snapshot()
+        snaps[0][:] = True
+        assert not bank.data_tiles[0].state.any()

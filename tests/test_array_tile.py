@@ -1,0 +1,231 @@
+"""Tile simulator: memory ops, column latch, column-parallel logic."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.array.lines import check_logic_rows, row_parity
+from repro.array.tile import Tile
+from repro.devices.parameters import MODERN_STT, PROJECTED_SHE
+from repro.logic.library import GATE_LIBRARY, gate_by_name
+
+
+def make_tile(params=MODERN_STT, rows=16, cols=8) -> Tile:
+    return Tile(params, rows=rows, cols=cols)
+
+
+class TestLines:
+    def test_row_parity(self):
+        assert row_parity(0) == 0
+        assert row_parity(7) == 1
+
+    def test_inputs_must_share_parity(self):
+        with pytest.raises(ValueError):
+            check_logic_rows([0, 1], 2)
+
+    def test_output_opposite_parity(self):
+        with pytest.raises(ValueError):
+            check_logic_rows([0, 2], 4)
+        check_logic_rows([0, 2], 5)  # fine
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            check_logic_rows([0, 0], 1)
+        with pytest.raises(ValueError):
+            check_logic_rows([1, 1, 3], 2)
+
+    def test_output_cannot_be_input(self):
+        with pytest.raises(ValueError):
+            check_logic_rows([1, 3], 3)
+
+    def test_empty_inputs(self):
+        with pytest.raises(ValueError):
+            check_logic_rows([], 1)
+
+
+class TestMemoryOps:
+    def test_read_write_row(self):
+        tile = make_tile()
+        values = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=bool)
+        tile.write_row(3, values)
+        assert np.array_equal(tile.read_row(3), values)
+
+    def test_read_returns_copy(self):
+        tile = make_tile()
+        row = tile.read_row(0)
+        row[:] = True
+        assert not tile.read_row(0).any()
+
+    def test_write_shape_checked(self):
+        tile = make_tile()
+        with pytest.raises(ValueError):
+            tile.write_row(0, np.zeros(4, dtype=bool))
+
+    def test_row_bounds(self):
+        tile = make_tile()
+        with pytest.raises(IndexError):
+            tile.read_row(16)
+        with pytest.raises(IndexError):
+            tile.get_bit(-1, 0)
+
+    def test_preset_touches_active_columns_only(self):
+        tile = make_tile()
+        tile.write_row(5, np.ones(8, dtype=bool))
+        tile.activate_columns([1, 4])
+        tile.preset_row(5, False)
+        expected = np.ones(8, dtype=bool)
+        expected[[1, 4]] = False
+        assert np.array_equal(tile.read_row(5), expected)
+
+    def test_write_energy_reported(self):
+        tile = make_tile()
+        result = tile.write_row(0, np.ones(8, dtype=bool))
+        assert result.energy > 0
+        assert result.n_columns == 8
+
+
+class TestActivation:
+    def test_activate_replaces_latch(self):
+        tile = make_tile()
+        tile.activate_columns([0, 1])
+        tile.activate_columns([5])
+        assert tile.n_active == 1
+        assert tile.active_columns[5]
+
+    def test_bulk_range(self):
+        tile = make_tile()
+        tile.activate_column_range(2, 6)
+        assert tile.n_active == 5
+
+    def test_bounds(self):
+        tile = make_tile()
+        with pytest.raises(IndexError):
+            tile.activate_columns([8])
+        with pytest.raises(IndexError):
+            tile.activate_column_range(5, 2)
+
+    def test_power_off_clears_latch(self):
+        tile = make_tile()
+        tile.activate_columns([0, 3])
+        tile.deactivate_all()
+        assert tile.n_active == 0
+
+    def test_minimum_geometry(self):
+        with pytest.raises(ValueError):
+            Tile(MODERN_STT, rows=1, cols=4)
+
+
+class TestColumnParallelLogic:
+    @pytest.mark.parametrize("gate", sorted(GATE_LIBRARY))
+    @pytest.mark.parametrize("params", [MODERN_STT, PROJECTED_SHE], ids=["stt", "she"])
+    def test_gate_matches_truth_table_in_all_columns(self, gate, params):
+        spec = gate_by_name(gate)
+        combos = list(itertools.product((0, 1), repeat=spec.n_inputs))
+        tile = Tile(params, rows=16, cols=len(combos))
+        input_rows = [0, 2, 4][: spec.n_inputs]
+        output_row = 1
+        for col, combo in enumerate(combos):
+            for row, bit in zip(input_rows, combo):
+                tile.set_bit(row, col, bit)
+        tile.activate_columns(range(len(combos)))
+        tile.preset_row(output_row, spec.preset)
+        result = tile.logic_op(spec, input_rows, output_row)
+        assert result.n_columns == len(combos)
+        for col, combo in enumerate(combos):
+            assert tile.get_bit(output_row, col) == spec.evaluate(combo), combo
+
+    def test_inactive_columns_untouched(self):
+        tile = make_tile()
+        spec = gate_by_name("NAND")
+        # Inputs 0,0 everywhere -> output would switch to 1 if active.
+        tile.activate_columns([0, 1])
+        tile.preset_row(1, spec.preset)
+        tile.logic_op(spec, [0, 2], 1)
+        assert tile.get_bit(1, 0) == 1
+        assert tile.get_bit(1, 2) == 0  # column 2 was inactive
+
+    def test_no_active_columns_is_noop(self):
+        tile = make_tile()
+        result = tile.logic_op(gate_by_name("NAND"), [0, 2], 1)
+        assert result.n_columns == 0
+        assert result.energy == 0
+
+    def test_parity_enforced(self):
+        tile = make_tile()
+        tile.activate_columns([0])
+        with pytest.raises(ValueError):
+            tile.logic_op(gate_by_name("NAND"), [0, 1], 2)
+
+    def test_arity_enforced(self):
+        tile = make_tile()
+        tile.activate_columns([0])
+        with pytest.raises(ValueError):
+            tile.logic_op(gate_by_name("NAND"), [0, 2, 4], 1)
+
+    def test_energy_scales_with_columns(self):
+        spec = gate_by_name("NAND")
+        tile = make_tile(cols=8)
+        tile.activate_columns(range(8))
+        tile.preset_row(1, spec.preset)
+        wide = tile.logic_op(spec, [0, 2], 1).energy
+        tile2 = make_tile(cols=8)
+        tile2.activate_columns([0])
+        tile2.preset_row(1, spec.preset)
+        narrow = tile2.logic_op(spec, [0, 2], 1).energy
+        assert wide == pytest.approx(8 * narrow)
+
+
+class TestPartialExecution:
+    """switch_mask models a pulse interrupted mid-flight (Table I)."""
+
+    def test_masked_columns_switch_later(self):
+        spec = gate_by_name("NAND")
+        tile = make_tile(cols=4)
+        # All columns have inputs (0, 0): all should switch to 1.
+        tile.activate_columns(range(4))
+        tile.preset_row(1, spec.preset)
+        mask = np.array([True, False, True, False])
+        tile.logic_op(spec, [0, 2], 1, switch_mask=mask)
+        assert [tile.get_bit(1, c) for c in range(4)] == [1, 0, 1, 0]
+        # Restart: re-perform the full gate; all columns converge.
+        tile.logic_op(spec, [0, 2], 1)
+        assert [tile.get_bit(1, c) for c in range(4)] == [1, 1, 1, 1]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        data=st.integers(0, 2**8 - 1),
+        mask_bits=st.integers(0, 2**4 - 1),
+        gate=st.sampled_from(["NAND", "AND", "NOR", "OR"]),
+    )
+    def test_partial_then_full_equals_full(self, data, mask_bits, gate):
+        spec = gate_by_name(gate)
+        cols = 4
+
+        def build():
+            tile = make_tile(cols=cols)
+            for col in range(cols):
+                tile.set_bit(0, col, (data >> col) & 1)
+                tile.set_bit(2, col, (data >> (col + 4)) & 1)
+            tile.activate_columns(range(cols))
+            tile.preset_row(1, spec.preset)
+            return tile
+
+        interrupted = build()
+        mask = np.array([(mask_bits >> c) & 1 == 1 for c in range(cols)])
+        interrupted.logic_op(spec, [0, 2], 1, switch_mask=mask)
+        interrupted.logic_op(spec, [0, 2], 1)  # re-performed on restart
+
+        clean = build()
+        clean.logic_op(spec, [0, 2], 1)
+        assert np.array_equal(interrupted.snapshot(), clean.snapshot())
+
+    def test_mask_shape_checked(self):
+        tile = make_tile()
+        tile.activate_columns([0])
+        with pytest.raises(ValueError):
+            tile.logic_op(
+                gate_by_name("NAND"), [0, 2], 1, switch_mask=np.ones(3, dtype=bool)
+            )

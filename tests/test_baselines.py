@@ -1,0 +1,110 @@
+"""CPU and SONIC baselines against their Table IV anchors."""
+
+import pytest
+
+from repro.baselines.cpu import CPU_IDLE_POWER_W, CUSTOM_R_SVM, LIBSVM, CpuSvmModel
+from repro.baselines.sonic import MSP430_CLOCK_HZ, SONIC_HAR, SONIC_MNIST
+
+
+class TestCpuModels:
+    def test_energy_is_idle_power_times_latency(self):
+        latency = LIBSVM.latency(1000, 100)
+        assert LIBSVM.energy(1000, 100) == pytest.approx(
+            CPU_IDLE_POWER_W * latency
+        )
+
+    @pytest.mark.parametrize(
+        "n_sv, d, paper_us",
+        [
+            (8_652, 784, 7_830),
+            (23_672, 784, 19_037),
+            (2_632, 561, 1_701),
+            (15_792, 15, 379),
+        ],
+    )
+    def test_libsvm_rows_within_15_percent(self, n_sv, d, paper_us):
+        assert LIBSVM.latency(n_sv, d) * 1e6 == pytest.approx(paper_us, rel=0.15)
+
+    @pytest.mark.parametrize(
+        "n_sv, d, paper_us",
+        [
+            (11_813, 784, 169_824),
+            (12_214, 784, 192_370),
+            (1_909, 15, 4_368),
+        ],
+    )
+    def test_custom_r_rows_within_15_percent(self, n_sv, d, paper_us):
+        assert CUSTOM_R_SVM.latency(n_sv, d) * 1e6 == pytest.approx(
+            paper_us, rel=0.15
+        )
+
+    def test_har_is_the_documented_outlier(self):
+        """The published custom-R HAR row is ~4x any (n_sv, d) model."""
+        model = CUSTOM_R_SVM.latency(2_809, 561) * 1e6
+        assert model < 127_494 / 2
+
+    def test_binarisation_does_not_help_cpu(self):
+        """Paper: the CPU 'does not benefit from MNIST binarization' —
+        more SVs, same per-element cost, so latency goes up."""
+        assert LIBSVM.latency(23_672, 784) > LIBSVM.latency(8_652, 784)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LIBSVM.latency(-1, 10)
+
+    def test_mouse_beats_cpu_by_orders_of_magnitude(self):
+        from repro.devices.parameters import MODERN_STT
+        from repro.energy.model import InstructionCostModel
+        from repro.ml.benchmarks import SVM_MNIST
+
+        _, mouse_energy = SVM_MNIST.continuous(InstructionCostModel(MODERN_STT))
+        cpu_energy = CUSTOM_R_SVM.energy(11_813, 784)
+        assert cpu_energy / mouse_energy > 100
+
+
+class TestSonicModel:
+    def test_anchor_points(self):
+        assert SONIC_MNIST.continuous_latency == pytest.approx(2.74)
+        assert SONIC_MNIST.continuous_energy == pytest.approx(27e-3)
+        assert SONIC_MNIST.accuracy == 99.0
+        assert SONIC_HAR.accuracy == 88.0
+
+    def test_active_power_is_msp430_class(self):
+        """~10 mW — a realistic MSP430FR5994 system draw."""
+        assert 5e-3 < SONIC_MNIST.active_power < 15e-3
+        assert 5e-3 < SONIC_HAR.active_power < 15e-3
+
+    def test_instruction_stream(self):
+        assert SONIC_MNIST.instructions == int(2.74 * MSP430_CLOCK_HZ)
+        assert SONIC_MNIST.energy_per_instruction > 0
+
+    def test_latency_monotone_in_power(self):
+        latencies = [SONIC_MNIST.latency(p) for p in (60e-6, 500e-6, 5e-3)]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_restarts_under_scarce_power(self):
+        b = SONIC_MNIST.run(60e-6)
+        assert b.restarts > 0
+        assert b.dead_energy > 0
+        assert b.restore_energy > 0
+
+    def test_power_validation(self):
+        with pytest.raises(ValueError):
+            SONIC_MNIST.run(0.0)
+
+    def test_mouse_beats_sonic_under_harvesting(self):
+        """Figure 9's headline: MOUSE completes orders of magnitude
+        faster than SONIC at every harvested power level."""
+        from repro.devices.parameters import MODERN_STT
+        from repro.energy.model import InstructionCostModel
+        from repro.harvest import HarvestingConfig, ProfileRun
+        from repro.ml.benchmarks import SVM_MNIST
+
+        cost = InstructionCostModel(MODERN_STT)
+        profile = SVM_MNIST.profile(cost)
+        mouse = ProfileRun(
+            profile, cost, HarvestingConfig.paper(MODERN_STT, 60e-6)
+        ).run()
+        sonic = SONIC_MNIST.run(60e-6)
+        assert sonic.total_latency / mouse.total_latency > 5
+        assert sonic.total_energy / mouse.total_energy > 5

@@ -1,0 +1,35 @@
+"""The `python -m repro` command-line interface."""
+
+import pytest
+
+from repro.__main__ import cmd_list, cmd_run, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cmd_list() == 0
+        out = capsys.readouterr().out
+        assert "table-i-idempotency" in out
+        assert "figure-9-latency-vs-power" in out
+
+    def test_run_known(self, capsys):
+        assert main(["run", "table-i-idempotency"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_run_unknown(self, capsys):
+        assert main(["run", "nonsense"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        assert "Modern STT" in capsys.readouterr().out
+
+    def test_export(self, tmp_path, capsys):
+        assert main(["export", str(tmp_path / "out")]) == 0
+        out = capsys.readouterr().out
+        assert "table3_area.csv" in out
+        assert (tmp_path / "out" / "table3_area.csv").exists()
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

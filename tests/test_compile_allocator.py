@@ -1,0 +1,76 @@
+"""Parity-aware row allocator."""
+
+import pytest
+
+from repro.compile.allocator import RowAllocator
+
+
+class TestAllocation:
+    def test_alloc_respects_parity(self):
+        alloc = RowAllocator(16)
+        even = alloc.alloc(0)
+        odd = alloc.alloc(1)
+        assert even % 2 == 0
+        assert odd % 2 == 1
+
+    def test_prefers_low_rows(self):
+        alloc = RowAllocator(16)
+        assert alloc.alloc(0) == 0
+        assert alloc.alloc(0) == 2
+        assert alloc.alloc(1) == 1
+
+    def test_reserved_rows_not_handed_out(self):
+        alloc = RowAllocator(16, reserved=4)
+        assert alloc.alloc(0) == 4
+        assert alloc.alloc(1) == 5
+
+    def test_exhaustion(self):
+        alloc = RowAllocator(4)
+        alloc.alloc(0)
+        alloc.alloc(0)
+        with pytest.raises(MemoryError):
+            alloc.alloc(0)
+
+    def test_free_and_reuse(self):
+        alloc = RowAllocator(4)
+        row = alloc.alloc(0)
+        alloc.free(row)
+        assert alloc.alloc(0) == row
+
+    def test_double_free_rejected(self):
+        alloc = RowAllocator(4)
+        row = alloc.alloc(0)
+        alloc.free(row)
+        with pytest.raises(ValueError):
+            alloc.free(row)
+
+    def test_alloc_opposite(self):
+        alloc = RowAllocator(16)
+        row = alloc.alloc_opposite([0, 2, 4])
+        assert row % 2 == 1
+        with pytest.raises(ValueError):
+            alloc.alloc_opposite([0, 1])
+
+    def test_counters(self):
+        alloc = RowAllocator(8)
+        a = alloc.alloc(0)
+        b = alloc.alloc(1)
+        assert alloc.in_use == 2
+        assert alloc.high_water == 2
+        alloc.free_many([a, b])
+        assert alloc.in_use == 0
+        assert alloc.high_water == 2
+
+    def test_available(self):
+        alloc = RowAllocator(8)
+        assert alloc.available(0) == 4
+        alloc.alloc(0)
+        assert alloc.available(0) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RowAllocator(1)
+        with pytest.raises(ValueError):
+            RowAllocator(8, reserved=8)
+        with pytest.raises(ValueError):
+            RowAllocator(8).alloc(2)

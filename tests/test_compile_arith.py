@@ -1,0 +1,303 @@
+"""Word-level arithmetic: bit-exact against Python integers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compile import arith
+from repro.compile.arith import instruction_count, instruction_histogram
+from tests._harness import ColumnHarness
+
+
+class TestRippleAdd:
+    @pytest.mark.parametrize(
+        "cases",
+        [[(0, 0), (1, 1), (7, 9)], [(15, 15), (8, 8), (12, 5)]],
+    )
+    def test_add_4bit(self, cases):
+        h = ColumnHarness(len(cases))
+        x = h.input_word(4, [a for a, _ in cases])
+        y = h.input_word(4, [b for _, b in cases])
+        total = arith.ripple_add(h.builder, x, y)
+        assert len(total) == 5
+        mouse = h.run()
+        for col, (a, b) in enumerate(cases):
+            assert h.read_word(mouse, total, col) == a + b
+
+    def test_add_uneven_widths(self):
+        h = ColumnHarness(2)
+        x = h.input_word(6, [40, 63])
+        y = h.input_word(2, [3, 3])
+        total = arith.ripple_add(h.builder, x, y)
+        mouse = h.run()
+        assert h.read_word(mouse, total, 0) == 43
+        assert h.read_word(mouse, total, 1) == 66
+
+    def test_add_mod(self):
+        h = ColumnHarness(2)
+        x = h.input_word(4, [9, 15])
+        y = h.input_word(4, [9, 1])
+        total = arith.ripple_add_mod(h.builder, x, y, 4)
+        assert len(total) == 4
+        mouse = h.run()
+        assert h.read_word(mouse, total, 0) == (9 + 9) % 16
+        assert h.read_word(mouse, total, 1) == 0
+
+
+class TestSubNegate:
+    def test_sub(self):
+        cases = [(9, 3), (3, 9), (15, 15)]
+        h = ColumnHarness(len(cases))
+        x = h.input_word(4, [a for a, _ in cases])
+        y = h.input_word(4, [b for _, b in cases])
+        diff = arith.ripple_sub(h.builder, x, y)
+        mouse = h.run()
+        for col, (a, b) in enumerate(cases):
+            assert h.read_word(mouse, diff, col) == (a - b) % 16
+
+    def test_negate(self):
+        h = ColumnHarness(3)
+        x = h.input_word(4, [0, 1, 7])
+        neg = arith.negate(h.builder, x)
+        mouse = h.run()
+        for col, value in enumerate([0, 1, 7]):
+            assert h.read_word(mouse, neg, col) == (-value) % 16
+
+    def test_invert(self):
+        h = ColumnHarness(2)
+        x = h.input_word(4, [0b1010, 0b0001])
+        inv = arith.invert(h.builder, x)
+        mouse = h.run()
+        assert h.read_word(mouse, inv, 0) == 0b0101
+        assert h.read_word(mouse, inv, 1) == 0b1110
+
+    def test_conditional_negate(self):
+        h = ColumnHarness(4)
+        x = h.input_word(4, [5, 5, 0, 3])
+        sign = h.input_bit([0, 1, 1, 1])
+        out = arith.conditional_negate(h.builder, x, sign)
+        mouse = h.run()
+        assert h.read_word(mouse, out, 0) == 5
+        assert h.read_word(mouse, out, 1) == (-5) % 16
+        assert h.read_word(mouse, out, 2) == 0
+        assert h.read_word(mouse, out, 3) == (-3) % 16
+
+
+class TestMultiply:
+    def test_unsigned(self):
+        cases = [(0, 7), (3, 5), (15, 15), (12, 10)]
+        h = ColumnHarness(len(cases))
+        x = h.input_word(4, [a for a, _ in cases])
+        y = h.input_word(4, [b for _, b in cases])
+        product = arith.multiply(h.builder, x, y)
+        assert len(product) == 8
+        mouse = h.run()
+        for col, (a, b) in enumerate(cases):
+            assert h.read_word(mouse, product, col) == a * b
+
+    def test_signed(self):
+        cases = [(-3, 5), (7, -8), (-8, -8), (0, -1)]
+        h = ColumnHarness(len(cases))
+        x = h.input_word(4, [a for a, _ in cases])
+        y = h.input_word(4, [b for _, b in cases])
+        product = arith.multiply_signed(h.builder, x, y)
+        mouse = h.run()
+        for col, (a, b) in enumerate(cases):
+            assert h.read_word(mouse, product, col, signed=True) == a * b
+
+    def test_square(self):
+        h = ColumnHarness(3)
+        x = h.input_word(4, [0, 5, 15])
+        sq = arith.square(h.builder, x)
+        mouse = h.run()
+        for col, value in enumerate([0, 5, 15]):
+            assert h.read_word(mouse, sq, col) == value * value
+
+    @settings(max_examples=15, deadline=None)
+    @given(a=st.integers(0, 31), b=st.integers(0, 31))
+    def test_unsigned_property(self, a, b):
+        h = ColumnHarness(1)
+        x = h.input_word(5, [a])
+        y = h.input_word(5, [b])
+        product = arith.multiply(h.builder, x, y)
+        mouse = h.run()
+        assert h.read_word(mouse, product, 0) == a * b
+
+
+class TestPopcountAndCompare:
+    def test_popcount(self):
+        patterns = [0b0, 0b1011, 0b1111, 0b0100]
+        h = ColumnHarness(len(patterns))
+        bits = [h.input_bit([(p >> i) & 1 for p in patterns]) for i in range(4)]
+        count = arith.popcount(h.builder, bits)
+        mouse = h.run()
+        for col, pattern in enumerate(patterns):
+            assert h.read_word(mouse, count, col) == bin(pattern).count("1")
+
+    def test_popcount_single_bit(self):
+        h = ColumnHarness(2)
+        bit = h.input_bit([0, 1])
+        count = arith.popcount(h.builder, [bit])
+        mouse = h.run()
+        assert h.read_word(mouse, count, 0) == 0
+        assert h.read_word(mouse, count, 1) == 1
+
+    def test_popcount_empty_rejected(self):
+        h = ColumnHarness(1)
+        with pytest.raises(ValueError):
+            arith.popcount(h.builder, [])
+
+    def test_greater_equal(self):
+        cases = [(5, 3), (3, 5), (7, 7), (0, 1)]
+        h = ColumnHarness(len(cases))
+        x = h.input_word(3, [a for a, _ in cases])
+        y = h.input_word(3, [b for _, b in cases])
+        ge = arith.greater_equal(h.builder, x, y)
+        mouse = h.run()
+        for col, (a, b) in enumerate(cases):
+            assert h.read_bit(mouse, ge, col) == int(a >= b), (a, b)
+
+    def test_xnor_word(self):
+        h = ColumnHarness(1)
+        x = h.input_word(4, [0b1100])
+        y = h.input_word(4, [0b1010])
+        matches = arith.xnor_word(h.builder, x, y)
+        mouse = h.run()
+        got = [h.read_bit(mouse, m, 0) for m in matches]
+        assert got == [1, 0, 0, 1]
+
+    def test_xnor_word_length_mismatch(self):
+        h = ColumnHarness(1)
+        with pytest.raises(ValueError):
+            arith.xnor_word(h.builder, h.input_word(2, [0]), h.input_word(3, [0]))
+
+
+class TestSelectAndMax:
+    def test_select_word(self):
+        h = ColumnHarness(2)
+        sel = h.input_bit([0, 1])
+        a = h.input_word(4, [3, 3])
+        b = h.input_word(4, [12, 12])
+        out = arith.select_word(h.builder, sel, a, b)
+        mouse = h.run()
+        assert h.read_word(mouse, out, 0) == 3
+        assert h.read_word(mouse, out, 1) == 12
+
+    def test_word_max(self):
+        h = ColumnHarness(1)
+        words = [h.input_word(4, [v]) for v in (3, 9, 6)]
+        best = arith.word_max(h.builder, words)
+        mouse = h.run()
+        assert h.read_word(mouse, best, 0) == 9
+
+    def test_word_max_empty(self):
+        h = ColumnHarness(1)
+        with pytest.raises(ValueError):
+            arith.word_max(h.builder, [])
+
+    def test_word_argmax(self):
+        h = ColumnHarness(1)
+        words = [h.input_word(4, [v]) for v in (3, 11, 6, 11)]
+        index, best = arith.word_argmax(h.builder, words)
+        mouse = h.run()
+        # Ties resolve to the later index (>= comparison).
+        assert h.read_word(mouse, index, 0) == 3
+        assert h.read_word(mouse, best, 0) == 11
+
+    def test_word_argmax_single(self):
+        h = ColumnHarness(1)
+        index, best = arith.word_argmax(h.builder, [h.input_word(3, [5])])
+        mouse = h.run()
+        assert h.read_word(mouse, index, 0) == 0
+        assert h.read_word(mouse, best, 0) == 5
+
+    def test_word_argmax_empty(self):
+        h = ColumnHarness(1)
+        with pytest.raises(ValueError):
+            arith.word_argmax(h.builder, [])
+
+    def test_constant_word(self):
+        h = ColumnHarness(1)
+        word = arith.constant_word(h.builder, 0b1011, 4)
+        mouse = h.run()
+        assert h.read_word(mouse, word, 0) == 0b1011
+        with pytest.raises(ValueError):
+            arith.constant_word(h.builder, 16, 4)
+
+    def test_sign_extend_roundtrip(self):
+        h = ColumnHarness(1)
+        x = h.input_word(3, [-2])
+        wide = arith.sign_extend(h.builder, x, 7)
+        mouse = h.run()
+        assert h.read_word(mouse, wide, 0, signed=True) == -2
+
+
+class TestScratchDiscipline:
+    """Arithmetic routines recycle all internal scratch rows — long
+    straight-line programs must run in O(operand width) rows, not
+    O(gate count) (this is what lets a whole classifier fit the
+    1024-row tile)."""
+
+    @pytest.mark.parametrize(
+        "label, build, n_inputs",
+        [
+            ("add", lambda b, w: arith.ripple_add(b, w(8), w(8)), 16),
+            ("sub", lambda b, w: arith.ripple_sub(b, w(8), w(8)), 16),
+            ("mul", lambda b, w: arith.multiply(b, w(4), w(4)), 8),
+            ("mul_signed", lambda b, w: arith.multiply_signed(b, w(4), w(4)), 8),
+            ("square", lambda b, w: arith.square(b, w(6)), 6),
+            ("popcount", lambda b, w: arith.popcount(
+                b, [bit for word in [w(16)] for bit in word]
+            ), 16),
+        ],
+    )
+    def test_no_leaked_rows(self, label, build, n_inputs):
+        from repro.compile.builder import Bit, ProgramBuilder, Word
+
+        b = ProgramBuilder(tile=0, rows=8192, cols=1, reserved_rows=0)
+        b.activate((0,))
+
+        def w(n):
+            return Word(tuple(Bit(b.alloc.alloc(0)) for _ in range(n)))
+
+        base = b.alloc.in_use
+        out = build(b, w)
+        n_out = len(out) if hasattr(out, "__len__") else 1
+        leaked = b.alloc.in_use - base - n_inputs - n_out
+        assert leaked == 0, f"{label} leaked {leaked} rows"
+
+
+class TestInstructionCounts:
+    def test_counts_match_histograms(self):
+        for op, args in [
+            ("full_add", ()),
+            ("add", (8,)),
+            ("mul", (4, 4)),
+            ("popcount", (16,)),
+        ]:
+            total = instruction_count(op, *args)
+            assert total == sum(c for _, c in instruction_histogram(op, *args))
+            assert total > 0
+
+    def test_counts_are_deterministic(self):
+        assert instruction_count("mul", 8, 8) == instruction_count("mul", 8, 8)
+
+    def test_counts_grow_with_width(self):
+        assert instruction_count("add", 16) > instruction_count("add", 8)
+        assert instruction_count("mul", 8, 8) > instruction_count("mul", 4, 4)
+        assert instruction_count("popcount", 64) > instruction_count("popcount", 16)
+
+    def test_signed_mul_costs_more(self):
+        assert instruction_count("mul_signed", 4, 4) > instruction_count("mul", 4, 4)
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            instruction_count("divide", 8)
+
+    def test_count_matches_emission_for_add(self):
+        """The memoised count equals what a fresh builder emits."""
+        h = ColumnHarness(1)
+        before = h.builder.instruction_count
+        arith.ripple_add(h.builder, h.builder.alloc_word(6), h.builder.alloc_word(6))
+        emitted = h.builder.instruction_count - before
+        assert emitted == instruction_count("add", 6)

@@ -1,0 +1,156 @@
+"""ProgramBuilder: gate emission, parity harmonisation, activation."""
+
+import pytest
+
+from repro.compile.builder import Bit, ProgramBuilder, Word
+from repro.isa.instruction import (
+    ActivateColumnsInstruction,
+    LogicInstruction,
+    MemoryInstruction,
+)
+
+
+def builder(**kwargs) -> ProgramBuilder:
+    # Rows 0-7 are reserved for caller-placed operands (Bit(0)..Bit(7));
+    # the allocator must never clobber them.
+    kwargs.setdefault("reserved_rows", 8)
+    return ProgramBuilder(rows=64, cols=8, **kwargs)
+
+
+class TestActivation:
+    def test_activate_emits_once_for_same_set(self):
+        b = builder()
+        b.activate([0, 1])
+        b.activate([1, 0])  # same set, different order
+        assert b.instruction_count == 1
+
+    def test_activate_changes_emit_again(self):
+        b = builder()
+        b.activate([0])
+        b.activate([1])
+        assert b.instruction_count == 2
+
+    def test_activate_range(self):
+        b = builder()
+        b.activate_range(0, 7)
+        b.activate_range(0, 7)
+        instr = b.program[0]
+        assert isinstance(instr, ActivateColumnsInstruction) and instr.bulk
+        assert b.instruction_count == 1
+
+    def test_too_many_explicit_columns(self):
+        b = builder()
+        with pytest.raises(ValueError, match="activate_range"):
+            b.activate(list(range(6)))
+
+    def test_empty_columns(self):
+        b = builder()
+        with pytest.raises(ValueError):
+            b.activate([])
+
+
+class TestGateEmission:
+    def test_gate_emits_preset_then_logic(self):
+        b = builder()
+        b.activate([0])
+        out = b.gate("NAND", Bit(0), Bit(2))
+        preset, logic = b.program[1], b.program[2]
+        assert isinstance(preset, MemoryInstruction)
+        assert preset.op == "PRESET0"  # NAND preset is 0
+        assert preset.row == out.row
+        assert isinstance(logic, LogicInstruction)
+        assert logic.input_rows == (0, 2)
+        assert logic.output_row == out.row
+
+    def test_preset_value_follows_gate(self):
+        b = builder()
+        b.activate([0])
+        b.gate("AND", Bit(0), Bit(2))
+        assert b.program[1].op == "PRESET1"
+
+    def test_output_parity_opposite(self):
+        b = builder()
+        b.activate([0])
+        out = b.gate("NOT", Bit(0))
+        assert out.parity == 1
+
+    def test_arity_checked(self):
+        b = builder()
+        b.activate([0])
+        with pytest.raises(ValueError):
+            b.emit_gate("NAND", [Bit(0)], Bit(1))
+
+
+class TestParityManagement:
+    def test_copy_flips_parity(self):
+        b = builder()
+        b.activate([0])
+        copy = b.copy(Bit(0))
+        assert copy.parity == 1
+
+    def test_copy_to_same_parity_uses_two_bufs(self):
+        b = builder()
+        b.activate([0])
+        before = b.instruction_count
+        copy = b.copy(Bit(0), parity=0)
+        assert copy.parity == 0
+        assert b.instruction_count - before == 4  # 2 x (preset + BUF)
+
+    def test_harmonise_noop_when_aligned(self):
+        b = builder()
+        b.activate([0])
+        bits = [Bit(0), Bit(2)]
+        assert b.harmonise(bits) == bits
+        assert b.instruction_count == 1  # just the ACTIVATE
+
+    def test_harmonise_copies_minority(self):
+        b = builder()
+        b.activate([0])
+        out = b.harmonise([Bit(0), Bit(2), Bit(1)])
+        assert len({bit.parity for bit in out}) == 1
+        assert out[0] == Bit(0) and out[1] == Bit(2)
+        assert out[2].parity == 0 and out[2].row != 1
+
+    def test_harmonise_duplicates_same_row(self):
+        b = builder()
+        b.activate([0])
+        out = b.harmonise([Bit(0), Bit(0)])
+        assert out[0].row != out[1].row
+        assert out[0].parity == out[1].parity
+
+    def test_gate_auto_harmonises(self):
+        b = builder()
+        b.activate([0])
+        out = b.gate("NAND", Bit(0), Bit(1))  # mixed parity operands
+        assert isinstance(out, Bit)
+
+
+class TestWordsAndConstants:
+    def test_constant_emits_single_preset(self):
+        b = builder()
+        b.activate([0])
+        bit = b.constant(1)
+        assert b.program[-1].op == "PRESET1"
+        assert bit.parity == 0
+
+    def test_word_at_and_alloc_word(self):
+        b = builder()
+        w = b.word_at([0, 2, 4])
+        assert w.rows == (0, 2, 4)
+        fresh = b.alloc_word(3, parity=1)
+        assert all(bit.parity == 1 for bit in fresh)
+        assert len(fresh) == 3
+
+    def test_release_word_and_bit(self):
+        b = builder()
+        w = b.alloc_word(2)
+        bit = Bit(b.alloc.alloc(1))
+        used = b.alloc.in_use
+        b.release(w, bit)
+        assert b.alloc.in_use == used - 3
+
+    def test_finish_appends_halt(self):
+        b = builder()
+        b.activate([0])
+        program = b.finish()
+        assert program.halts

@@ -1,0 +1,309 @@
+"""Whole-classifier compilation: complete SVM decisions and BNN layers
+as single MOUSE programs, verified against Python, with outages."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compile.classifier import (
+    CompiledBnnOutput,
+    CompiledMulticlassSvm,
+    CompiledSvm,
+    compile_bnn_layer,
+    compile_bnn_output,
+    compile_multiclass_svm,
+    compile_svm_decision,
+)
+from repro.devices.parameters import MODERN_STT
+from repro.harvest import HarvestingConfig, IntermittentRun
+from repro.harvest.capacitor import EnergyBuffer
+from repro.harvest.source import ConstantPowerSource
+from repro.ml.bnn import BNN, BNNConfig
+
+
+class TestCompiledSvm:
+    def compiled(self):
+        return compile_svm_decision(
+            n_support=2, dimensions=3, input_bits=3, sv_bits=3, coef_bits=3
+        )
+
+    def test_score_matches_reference(self):
+        c = self.compiled()
+        rng = np.random.default_rng(1)
+        sv = rng.integers(0, 8, size=(2, 3))
+        coef = np.array([3, -2])
+        offset = 2
+        machine = c.machine(sv, coef, offset)
+        x = rng.integers(0, 8, size=3)
+        c.set_input(machine, x)
+        machine.run(max_instructions=50_000_000)
+        assert c.read_score(machine) == CompiledSvm.reference_score(
+            x, sv, coef, offset
+        )
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        offset=st.integers(0, 7),
+    )
+    def test_random_models_and_inputs(self, seed, offset):
+        c = self.compiled()
+        rng = np.random.default_rng(seed)
+        sv = rng.integers(0, 8, size=(2, 3))
+        coef = rng.integers(-4, 4, size=2)
+        machine = c.machine(sv, coef, offset)
+        x = rng.integers(0, 8, size=3)
+        c.set_input(machine, x)
+        machine.run(max_instructions=50_000_000)
+        reference = CompiledSvm.reference_score(x, sv, coef, offset)
+        assert c.read_score(machine) == reference
+        assert c.classify(machine) == int(reference >= 0)
+
+    def test_negative_score_sign(self):
+        c = self.compiled()
+        sv = np.array([[7, 7, 7], [1, 0, 0]])
+        coef = np.array([-1, 0])  # pure negative contribution
+        machine = c.machine(sv, coef, offset=0)
+        c.set_input(machine, [7, 7, 7])
+        machine.run(max_instructions=50_000_000)
+        assert c.read_score(machine) < 0
+        assert c.classify(machine) == 0
+
+    def test_survives_outages(self):
+        """A full classifier, thousands of instructions, dozens of
+        unexpected power cuts — same score."""
+        c = self.compiled()
+        sv = np.array([[1, 2, 3], [3, 1, 0]])
+        coef = np.array([2, -3])
+        machine = c.machine(sv, coef, offset=1)
+        x = [4, 0, 2]
+        c.set_input(machine, x)
+        config = HarvestingConfig(
+            source=ConstantPowerSource(5e-9),
+            buffer=EnergyBuffer(capacitance=100e-6, v_off=0.00030, v_on=0.00034),
+        )
+        breakdown = IntermittentRun(machine, config).run(
+            max_instructions=50_000_000
+        )
+        assert breakdown.restarts > 5
+        assert c.read_score(machine) == CompiledSvm.reference_score(
+            x, sv, coef, offset=1
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compile_svm_decision(n_support=0, dimensions=3)
+        with pytest.raises(ValueError):
+            compile_svm_decision(n_support=1, dimensions=0)
+        with pytest.raises(ValueError):
+            compile_svm_decision(n_support=1, dimensions=1, n_columns=0)
+
+    def test_batch_classification_across_columns(self):
+        """One instruction stream, one input per column — the paper's
+        column parallelism on a complete classifier."""
+        c = compile_svm_decision(
+            n_support=2, dimensions=3, input_bits=3, sv_bits=3, coef_bits=3,
+            n_columns=4,
+        )
+        rng = np.random.default_rng(11)
+        sv = rng.integers(0, 8, size=(2, 3))
+        coef = np.array([2, -3])
+        machine = c.machine(sv, coef, offset=1)
+        batch = rng.integers(0, 8, size=(4, 3))
+        c.set_batch(machine, batch)
+        machine.run(max_instructions=50_000_000)
+        for column in range(4):
+            expected = CompiledSvm.reference_score(batch[column], sv, coef, 1)
+            assert c.read_score(machine, column) == expected
+        assert np.array_equal(
+            c.classify_batch(machine),
+            np.array(
+                [
+                    int(CompiledSvm.reference_score(x, sv, coef, 1) >= 0)
+                    for x in batch
+                ]
+            ),
+        )
+
+    def test_batch_size_checked(self):
+        c = compile_svm_decision(
+            n_support=1, dimensions=2, input_bits=2, sv_bits=2, n_columns=2
+        )
+        machine = c.machine(np.ones((1, 2)), np.ones(1), offset=0)
+        with pytest.raises(ValueError):
+            c.set_batch(machine, np.zeros((3, 2)))
+
+
+class TestCompiledMulticlassSvm:
+    """One-vs-rest with the in-array argmax (Section III)."""
+
+    def setup_model(self, seed=0):
+        c = compile_multiclass_svm(
+            n_classes=3, n_support_per_class=2, dimensions=2
+        )
+        rng = np.random.default_rng(seed)
+        sv = [rng.integers(0, 8, size=(2, 2)) for _ in range(3)]
+        coef = [rng.integers(-4, 4, size=2) for _ in range(3)]
+        offsets = [1, 2, 0]
+        return c, sv, coef, offsets, rng
+
+    def test_prediction_matches_reference(self):
+        c, sv, coef, offsets, rng = self.setup_model()
+        machine = c.machine(sv, coef, offsets)
+        x = rng.integers(0, 8, size=2)
+        c.set_input(machine, x)
+        machine.run(max_instructions=100_000_000)
+        assert c.predict(machine) == CompiledMulticlassSvm.reference_prediction(
+            x, sv, coef, offsets
+        )
+        # Per-class scores are also exact.
+        assert c.read_scores(machine) == [
+            CompiledSvm.reference_score(x, sv[cls], coef[cls], offsets[cls])
+            for cls in range(3)
+        ]
+
+    def test_multiple_inputs_reuse_the_machine(self):
+        c, sv, coef, offsets, rng = self.setup_model(seed=4)
+        machine = c.machine(sv, coef, offsets)
+        for _ in range(2):
+            x = rng.integers(0, 8, size=2)
+            c.set_input(machine, x)
+            machine.reset_for_rerun()
+            machine.run(max_instructions=100_000_000)
+            assert c.predict(machine) == (
+                CompiledMulticlassSvm.reference_prediction(x, sv, coef, offsets)
+            )
+
+    def test_fits_a_real_tile(self):
+        """Everything — operands, per-class scratch, argmax — must fit
+        the paper's 1024-row tile height."""
+        from repro.isa.instruction import LogicInstruction, MemoryInstruction
+
+        c = compile_multiclass_svm(
+            n_classes=3, n_support_per_class=2, dimensions=2
+        )
+        max_row = 0
+        for instr in c.program:
+            if isinstance(instr, LogicInstruction):
+                max_row = max(max_row, instr.output_row, *instr.input_rows)
+            elif isinstance(instr, MemoryInstruction):
+                max_row = max(max_row, instr.row)
+        assert max_row < 1024
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compile_multiclass_svm(n_classes=1, n_support_per_class=1, dimensions=1)
+        with pytest.raises(ValueError):
+            compile_multiclass_svm(n_classes=2, n_support_per_class=0, dimensions=1)
+
+
+class TestCompiledBnnLayer:
+    def test_fires_match_reference(self):
+        layer = compile_bnn_layer(fan_in=8, n_neurons=4)
+        rng = np.random.default_rng(3)
+        weights = rng.integers(0, 2, size=(8, 4))
+        thresholds = np.array([2, 4, 6, 8])
+        machine = layer.machine(weights, thresholds)
+        x = rng.integers(0, 2, size=8)
+        layer.set_input(machine, x)
+        machine.run()
+        matches = (x[:, None] == weights).sum(axis=0)
+        expected = (matches >= thresholds).astype(int)
+        assert np.array_equal(layer.read_fires(machine), expected)
+        assert 0 < expected.sum() < 4  # mixed outcome, a real test
+
+    def test_matches_trained_model_layer(self):
+        """The compiled layer agrees with BNN.predict_int's first layer
+        for a trained network."""
+        config = BNNConfig("tiny", 8, (4,), 2, 1, 6)
+        bnn = BNN(config, seed=5)
+        bnn.bias[0] = np.array([0.4, -0.3, 0.1, 0.0])
+        weights = bnn.binary_weights()[0]
+        thresholds = bnn.hidden_thresholds()[0]
+        layer = compile_bnn_layer(fan_in=8, n_neurons=4)
+        machine = layer.machine(weights, thresholds)
+
+        rng = np.random.default_rng(6)
+        for _ in range(3):
+            x = rng.integers(0, 2, size=8)
+            layer.set_input(machine, x)
+            machine.reset_for_rerun()
+            machine.run()
+            # Python integer path for layer 0.
+            w01 = weights.astype(np.int64)
+            matches = x @ w01 + (1 - x) @ (1 - w01)
+            expected = (matches >= thresholds).astype(int)
+            assert np.array_equal(layer.read_fires(machine), expected)
+
+    def test_column_parallelism_is_real(self):
+        """All neurons execute from one shared instruction stream."""
+        layer = compile_bnn_layer(fan_in=6, n_neurons=8)
+        counts = layer.program.counts()
+        # Instruction count is independent of neuron count (columns).
+        layer_wide = compile_bnn_layer(fan_in=6, n_neurons=32)
+        assert layer_wide.program.counts() == counts
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compile_bnn_layer(fan_in=0, n_neurons=2)
+        layer = compile_bnn_layer(fan_in=4, n_neurons=2)
+        with pytest.raises(ValueError):
+            layer.machine(np.zeros((3, 2), dtype=int), np.zeros(2))
+
+
+class TestCompiledBnnOutput:
+    def test_prediction_matches_reference(self):
+        output = compile_bnn_output(fan_in=8, n_classes=3)
+        rng = np.random.default_rng(1)
+        weights = rng.integers(0, 2, size=(8, 3))
+        biases = rng.integers(0, 8, size=3)
+        machine = output.machine(weights, biases)
+        for _ in range(4):
+            x = rng.integers(0, 2, size=8)
+            output.set_input(machine, x)
+            machine.reset_for_rerun()
+            machine.run(max_instructions=10_000_000)
+            assert output.predict(machine) == (
+                CompiledBnnOutput.reference_prediction(x, weights, biases)
+            )
+
+    def test_full_bnn_pipeline_layer_then_output(self):
+        """Hidden layer (neurons in columns) feeding the output layer
+        (argmax in-array) — a complete binary network on MOUSE, with
+        the host mediating the inter-layer transpose (Section IV-E
+        style readout/write, as in the pipeline package)."""
+        rng = np.random.default_rng(9)
+        hidden = compile_bnn_layer(fan_in=8, n_neurons=4)
+        w1 = rng.integers(0, 2, size=(8, 4))
+        t1 = rng.integers(2, 7, size=4)
+        m1 = hidden.machine(w1, t1)
+        x = rng.integers(0, 2, size=8)
+        hidden.set_input(m1, x)
+        m1.run()
+        activations = hidden.read_fires(m1)
+
+        output = compile_bnn_output(fan_in=4, n_classes=3)
+        w2 = rng.integers(0, 2, size=(4, 3))
+        b2 = rng.integers(0, 4, size=3)
+        m2 = output.machine(w2, b2)
+        output.set_input(m2, activations)
+        m2.run(max_instructions=10_000_000)
+        predicted = output.predict(m2)
+
+        # Full python reference.
+        matches1 = (x[:, None] == w1).sum(axis=0)
+        ref_act = (matches1 >= t1).astype(int)
+        assert np.array_equal(activations, ref_act)
+        assert predicted == CompiledBnnOutput.reference_prediction(
+            ref_act, w2, b2
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compile_bnn_output(fan_in=0, n_classes=3)
+        with pytest.raises(ValueError):
+            compile_bnn_output(fan_in=4, n_classes=1)
+        output = compile_bnn_output(fan_in=4, n_classes=2)
+        with pytest.raises(ValueError):
+            output.machine(np.zeros((4, 2), dtype=int), np.array([-1, 0]))

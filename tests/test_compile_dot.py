@@ -1,0 +1,97 @@
+"""Dot products — the SVM/BNN inner loops — bit-exact on the machine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compile.dot import emit_and_dot, emit_binary_dot, emit_dot_product
+from tests._harness import ColumnHarness
+
+
+class TestFixedPointDot:
+    def test_unsigned_dot(self):
+        xs_vals = [3, 1, 2]
+        ys_vals = [4, 5, 6]
+        h = ColumnHarness(1)
+        xs = [h.input_word(4, [v]) for v in xs_vals]
+        ys = [h.input_word(4, [v]) for v in ys_vals]
+        out = emit_dot_product(h.builder, xs, ys)
+        mouse = h.run()
+        assert h.read_word(mouse, out, 0) == int(np.dot(xs_vals, ys_vals))
+
+    def test_signed_dot(self):
+        xs_vals = [-3, 1, 2]
+        ys_vals = [4, -5, 6]
+        h = ColumnHarness(1)
+        xs = [h.input_word(4, [v]) for v in xs_vals]
+        ys = [h.input_word(4, [v]) for v in ys_vals]
+        out = emit_dot_product(h.builder, xs, ys, signed=True)
+        mouse = h.run()
+        expected = int(np.dot(xs_vals, ys_vals))
+        # Signed products accumulate in two's complement at the running
+        # width; reduce modulo the output width.
+        got = h.read_word(mouse, out, 0)
+        width = len(out)
+        if got >= 1 << (width - 1):
+            got -= 1 << width
+        assert got == expected
+
+    def test_simd_across_columns(self):
+        h = ColumnHarness(3)
+        xs = [h.input_word(3, [1, 2, 3]), h.input_word(3, [4, 5, 6])]
+        ys = [h.input_word(3, [7, 1, 2]), h.input_word(3, [1, 1, 1])]
+        out = emit_dot_product(h.builder, xs, ys)
+        mouse = h.run()
+        for col in range(3):
+            expected = (1, 2, 3)[col] * (7, 1, 2)[col] + (4, 5, 6)[col] * (1, 1, 1)[col]
+            assert h.read_word(mouse, out, col) == expected
+
+    def test_length_mismatch(self):
+        h = ColumnHarness(1)
+        with pytest.raises(ValueError):
+            emit_dot_product(h.builder, [h.input_word(2, [0])], [])
+
+
+class TestBinaryDot:
+    @settings(max_examples=20, deadline=None)
+    @given(x=st.integers(0, 255), w=st.integers(0, 255))
+    def test_xnor_popcount_matches_reference(self, x, w):
+        h = ColumnHarness(1)
+        xw = h.input_word(8, [x])
+        ww = h.input_word(8, [w])
+        count = emit_binary_dot(h.builder, xw, ww)
+        mouse = h.run()
+        expected = sum(
+            1 for i in range(8) if ((x >> i) & 1) == ((w >> i) & 1)
+        )
+        assert h.read_word(mouse, count, 0) == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(x=st.integers(0, 255), w=st.integers(0, 255))
+    def test_and_popcount_matches_reference(self, x, w):
+        h = ColumnHarness(1)
+        xw = h.input_word(8, [x])
+        ww = h.input_word(8, [w])
+        count = emit_and_dot(h.builder, xw, ww)
+        mouse = h.run()
+        assert h.read_word(mouse, count, 0) == bin(x & w).count("1")
+
+    def test_and_dot_length_mismatch(self):
+        h = ColumnHarness(1)
+        with pytest.raises(ValueError):
+            emit_and_dot(h.builder, h.input_word(2, [0]), h.input_word(3, [0]))
+
+    def test_bnn_sign_identity(self):
+        """2 * popcount(xnor) - n equals the +/-1 dot product, the
+        identity the BNN mapping relies on (Section III)."""
+        rng = np.random.default_rng(3)
+        x = rng.integers(0, 2, size=8)
+        w = rng.integers(0, 2, size=8)
+        h = ColumnHarness(1)
+        xw = h.input_word(8, [int(sum(b << i for i, b in enumerate(x)))])
+        ww = h.input_word(8, [int(sum(b << i for i, b in enumerate(w)))])
+        count = emit_binary_dot(h.builder, xw, ww)
+        mouse = h.run()
+        pm_dot = int(np.dot(2 * x - 1, 2 * w - 1))
+        assert 2 * h.read_word(mouse, count, 0) - 8 == pm_dot

@@ -1,0 +1,130 @@
+"""Bit-exactness of every single-bit macro on the functional machine."""
+
+import itertools
+
+import pytest
+
+from repro.compile import macros
+from repro.compile.arith import instruction_count
+from tests._harness import ColumnHarness
+
+
+def exhaustive_cases(n_operands):
+    combos = list(itertools.product((0, 1), repeat=n_operands))
+    return [tuple(c[i] for c in combos) for i in range(n_operands)], combos
+
+
+class TestTwoOperandMacros:
+    @pytest.mark.parametrize(
+        "name, fn, ref",
+        [
+            ("xor", macros.xor_bit, lambda a, b: a ^ b),
+            ("xnor", macros.xnor_bit, lambda a, b: 1 - (a ^ b)),
+            ("and", macros.and_bit, lambda a, b: a & b),
+            ("or", macros.or_bit, lambda a, b: a | b),
+            ("nand", macros.nand_bit, lambda a, b: 1 - (a & b)),
+            ("nor", macros.nor_bit, lambda a, b: 1 - (a | b)),
+        ],
+    )
+    def test_exhaustive(self, name, fn, ref):
+        (col_a, col_b), combos = exhaustive_cases(2)
+        h = ColumnHarness(len(combos), rows=128)
+        a = h.input_bit(col_a)
+        b = h.input_bit(col_b)
+        out = fn(h.builder, a, b)
+        mouse = h.run()
+        for col, (va, vb) in enumerate(combos):
+            assert h.read_bit(mouse, out, col) == ref(va, vb), (name, va, vb)
+
+
+class TestNotAndMux:
+    def test_not(self):
+        h = ColumnHarness(2, rows=128)
+        a = h.input_bit([0, 1])
+        out = macros.not_bit(h.builder, a)
+        mouse = h.run()
+        assert [h.read_bit(mouse, out, c) for c in range(2)] == [1, 0]
+
+    def test_mux_exhaustive(self):
+        combos = list(itertools.product((0, 1), repeat=3))
+        h = ColumnHarness(len(combos), rows=128)
+        sel = h.input_bit([c[0] for c in combos])
+        w0 = h.input_bit([c[1] for c in combos])
+        w1 = h.input_bit([c[2] for c in combos])
+        out = macros.mux_bit(h.builder, sel, w0, w1)
+        mouse = h.run()
+        for col, (s, v0, v1) in enumerate(combos):
+            assert h.read_bit(mouse, out, col) == (v1 if s else v0)
+
+
+class TestAdders:
+    def test_half_add_exhaustive(self):
+        (col_a, col_b), combos = exhaustive_cases(2)
+        h = ColumnHarness(len(combos), rows=128)
+        a = h.input_bit(col_a)
+        b = h.input_bit(col_b)
+        s, c = macros.half_add(h.builder, a, b)
+        mouse = h.run()
+        for col, (va, vb) in enumerate(combos):
+            assert h.read_bit(mouse, s, col) == (va ^ vb)
+            assert h.read_bit(mouse, c, col) == (va & vb)
+
+    def test_full_add_exhaustive(self):
+        combos = list(itertools.product((0, 1), repeat=3))
+        h = ColumnHarness(len(combos), rows=256)
+        a = h.input_bit([c[0] for c in combos])
+        b = h.input_bit([c[1] for c in combos])
+        cin = h.input_bit([c[2] for c in combos])
+        s, cout = macros.full_add(h.builder, a, b, cin)
+        mouse = h.run()
+        for col, (va, vb, vc) in enumerate(combos):
+            total = va + vb + vc
+            assert h.read_bit(mouse, s, col) == total % 2, (va, vb, vc)
+            assert h.read_bit(mouse, cout, col) == total // 2, (va, vb, vc)
+
+    def test_full_add_outputs_share_input_parity(self):
+        """Ripple chains rely on s/cout landing back on the operand
+        parity (see the macro's docstring)."""
+        h = ColumnHarness(1, rows=256)
+        a = h.input_bit([0])
+        b = h.input_bit([0])
+        cin = h.input_bit([0])
+        s, cout = macros.full_add(h.builder, a, b, cin)
+        assert s.parity == a.parity
+        assert cout.parity == a.parity
+
+
+class TestPaperGateCounts:
+    def test_full_adder_is_nine_nands(self):
+        """Section II-B: a full-add is 9 NAND gates (plus the parity
+        mirror BUFs its physical placement needs)."""
+        from repro.compile.arith import instruction_histogram
+
+        mix = dict(instruction_histogram("full_add"))
+        assert mix["NAND"] == 9
+        assert mix["BUF"] == 5
+        assert mix["PRESET"] == 14  # one preset per gate
+
+    def test_full_adder_uses_seven_logical_temporaries(self):
+        # 9 gates minus the 2 outputs = 7 temporary values, as stated
+        # in the paper.
+        from repro.compile.arith import instruction_histogram
+
+        mix = dict(instruction_histogram("full_add"))
+        assert mix["NAND"] - 2 == 7
+
+    def test_xor_is_four_nands(self):
+        from repro.compile.arith import instruction_histogram
+
+        mix = dict(instruction_histogram("xor"))
+        assert mix["NAND"] == 4
+
+    def test_macros_free_their_scratch(self):
+        h = ColumnHarness(1, rows=512)
+        base = h.builder.alloc.in_use
+        a = h.input_bit([0])
+        b = h.input_bit([1])
+        cin = h.input_bit([1])
+        s, cout = macros.full_add(h.builder, a, b, cin)
+        # Only the two outputs remain allocated.
+        assert h.builder.alloc.in_use == base + 2

@@ -1,0 +1,126 @@
+"""The Mouse facade: loading, data helpers, broadcast semantics."""
+
+import numpy as np
+import pytest
+
+from repro.array.bank import BROADCAST_TILE
+from repro.core.accelerator import Mouse
+from repro.core.program import Program
+from repro.devices.parameters import MODERN_STT
+from repro.isa.assembler import assemble
+from repro.isa.instruction import (
+    ActivateColumnsInstruction,
+    LogicInstruction,
+    MemoryInstruction,
+)
+
+
+class TestLoading:
+    def test_load_validates(self):
+        m = Mouse(MODERN_STT, rows=16, cols=8)
+        with pytest.raises(ValueError):
+            m.load([MemoryInstruction("READ", 5, 0)])  # bad tile
+
+    def test_load_appends_halt(self):
+        m = Mouse(MODERN_STT, rows=16, cols=8)
+        m.load([MemoryInstruction("READ", 0, 0)])
+        assert m.program.halts
+
+    def test_program_property_requires_load(self):
+        m = Mouse(MODERN_STT, rows=16, cols=8)
+        with pytest.raises(RuntimeError):
+            _ = m.program
+
+    def test_load_accepts_program_object(self):
+        m = Mouse(MODERN_STT, rows=16, cols=8)
+        m.load(Program([MemoryInstruction("READ", 0, 0)]))
+        m.run()
+
+    def test_reset_for_rerun(self):
+        m = Mouse(MODERN_STT, rows=16, cols=8)
+        m.load(assemble("ACTIVATE t0 cols 0\nPRESET1 t0 row 2\nHALT"))
+        m.run()
+        first = m.ledger.breakdown.instructions
+        m.reset_for_rerun()
+        assert m.ledger.breakdown.instructions == 0
+        m.run()
+        assert m.ledger.breakdown.instructions == first
+        assert m.tile(0).get_bit(2, 0) == 1  # array state persisted
+
+
+class TestValueHelpers:
+    def test_write_read_value_round_trip(self):
+        m = Mouse(MODERN_STT, rows=32, cols=4)
+        m.write_value(0, 0, 2, bits=6, value=45)
+        assert m.read_value(0, 0, 2, bits=6) == 45
+
+    def test_write_value_range_check(self):
+        m = Mouse(MODERN_STT, rows=32, cols=4)
+        with pytest.raises(ValueError):
+            m.write_value(0, 0, 0, bits=3, value=8)
+        with pytest.raises(ValueError):
+            m.write_value(0, 0, 0, bits=3, value=-1)
+
+    def test_bits_are_vertical_same_parity(self):
+        m = Mouse(MODERN_STT, rows=32, cols=4)
+        m.write_value(0, 0, 1, bits=4, value=0b1010)
+        assert m.tile(0).get_bit(0, 1) == 0
+        assert m.tile(0).get_bit(2, 1) == 1
+        assert m.tile(0).get_bit(4, 1) == 0
+        assert m.tile(0).get_bit(6, 1) == 1
+
+    def test_read_bits(self):
+        m = Mouse(MODERN_STT, rows=32, cols=4)
+        m.write_bits(0, 4, 0, [1, 0, 1])
+        assert m.read_bits(0, 4, 0, 3) == [1, 0, 1]
+
+
+class TestBroadcast:
+    def test_logic_broadcast_hits_every_tile(self):
+        m = Mouse(MODERN_STT, rows=16, cols=8, n_data_tiles=3)
+        program = Program(
+            [
+                ActivateColumnsInstruction(BROADCAST_TILE, (0, 1)),
+                MemoryInstruction("PRESET0", BROADCAST_TILE, 1),
+                LogicInstruction("NAND", BROADCAST_TILE, (0, 2), 1),
+            ]
+        )
+        m.load(program)
+        for t in range(3):
+            m.tile(t).set_bit(0, 0, 0)  # NAND(0, 0) -> 1
+            m.tile(t).set_bit(2, 0, 0)
+        m.run()
+        for t in range(3):
+            assert m.tile(t).get_bit(1, 0) == 1, t
+
+    def test_write_broadcast(self):
+        m = Mouse(MODERN_STT, rows=16, cols=8, n_data_tiles=2)
+        program = Program(
+            [
+                MemoryInstruction("READ", 0, 4),
+                MemoryInstruction("WRITE", BROADCAST_TILE, 6),
+            ]
+        )
+        m.load(program)
+        pattern = np.array([1, 0, 1, 0, 1, 0, 1, 0], dtype=bool)
+        m.tile(0).write_row(4, pattern)
+        m.run()
+        for t in range(2):
+            assert np.array_equal(m.tile(t).read_row(6), pattern)
+
+    def test_broadcast_energy_scales_with_tiles(self):
+        def energy(n_tiles):
+            m = Mouse(MODERN_STT, rows=16, cols=8, n_data_tiles=n_tiles)
+            m.load(
+                Program(
+                    [
+                        ActivateColumnsInstruction(BROADCAST_TILE, (0, 1, 2)),
+                        MemoryInstruction("PRESET0", BROADCAST_TILE, 1),
+                        LogicInstruction("NAND", BROADCAST_TILE, (0, 2), 1),
+                    ]
+                )
+            )
+            m.run()
+            return m.ledger.breakdown.compute_energy
+
+        assert energy(4) > energy(1)

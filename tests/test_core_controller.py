@@ -1,0 +1,294 @@
+"""Memory controller: instruction semantics, the Figure 7 microstep
+protocol, and power cuts at every possible boundary."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.array.bank import SENSOR_TILE
+from repro.core.accelerator import Mouse
+from repro.core.controller import Phase
+from repro.devices.parameters import MODERN_STT
+from repro.isa.assembler import assemble
+
+NAND_DEMO = """
+ACTIVATE t0 cols 0,1,2,3
+PRESET0  t0 row 1
+NAND     t0 in 0,4 out 1
+HALT
+"""
+
+
+def nand_machine() -> Mouse:
+    m = Mouse(MODERN_STT, rows=16, cols=8)
+    m.load(assemble(NAND_DEMO))
+    for col, (a, b) in enumerate([(1, 1), (1, 0), (0, 1), (0, 0)]):
+        m.tile(0).set_bit(0, col, a)
+        m.tile(0).set_bit(4, col, b)
+    return m
+
+
+class TestContinuousExecution:
+    def test_nand_program(self):
+        m = nand_machine()
+        m.run()
+        assert [m.tile(0).get_bit(1, c) for c in range(4)] == [0, 1, 1, 1]
+
+    def test_microstep_order(self):
+        m = nand_machine()
+        phases = [m.controller.step() for _ in range(5)]
+        assert phases == [
+            Phase.FETCH,
+            Phase.DECODE,
+            Phase.EXECUTE,
+            Phase.PC_STAGE,
+            Phase.COMMIT,
+        ]
+
+    def test_instruction_count_and_metrics(self):
+        m = nand_machine()
+        result = m.run()
+        assert result.instructions == 4
+        b = result.breakdown
+        assert b.dead_energy == 0  # never interrupted
+        assert b.restore_energy == 0
+        assert b.backup_energy > 0
+        assert b.total_latency == pytest.approx(4 * m.cost.cycle_time)
+
+    def test_halted_controller_refuses_steps(self):
+        m = nand_machine()
+        m.run()
+        with pytest.raises(RuntimeError):
+            m.controller.step()
+
+    def test_run_caps_instructions(self):
+        m = nand_machine()
+        with pytest.raises(RuntimeError):
+            m.controller.run(max_instructions=2)
+
+    def test_preset_writes_preset_value(self):
+        m = Mouse(MODERN_STT, rows=16, cols=8)
+        m.load(
+            assemble(
+                """
+                ACTIVATE t0 cols 0,1
+                PRESET1  t0 row 3
+                HALT
+                """
+            )
+        )
+        m.run()
+        assert m.tile(0).get_bit(3, 0) == 1
+        assert m.tile(0).get_bit(3, 2) == 0  # inactive column untouched
+
+    def test_read_write_moves_rows_between_tiles(self):
+        m = Mouse(MODERN_STT, rows=16, cols=8, n_data_tiles=2)
+        m.load(
+            assemble(
+                """
+                READ  t0 row 2
+                WRITE t1 row 6
+                HALT
+                """
+            )
+        )
+        pattern = np.array([1, 0, 1, 1, 0, 1, 0, 0], dtype=bool)
+        m.tile(0).write_row(2, pattern)
+        m.run()
+        assert np.array_equal(m.tile(1).read_row(6), pattern)
+
+
+class TestPowerCutEverywhere:
+    """Cut power between every pair of microsteps of the NAND demo and
+    check the final memory state is identical to the continuous run —
+    the paper's Section V guarantee, exhaustively."""
+
+    def reference_state(self):
+        m = nand_machine()
+        m.run()
+        return m.bank.snapshot()
+
+    def total_microsteps(self):
+        m = nand_machine()
+        count = 0
+        while not m.controller.halted:
+            m.controller.step()
+            count += 1
+        return count
+
+    def test_single_cut_at_every_boundary(self):
+        reference = self.reference_state()
+        for cut_at in range(self.total_microsteps()):
+            m = nand_machine()
+            for _ in range(cut_at):
+                m.controller.step()
+            m.controller.power_off()
+            m.controller.power_on()
+            m.controller.run()
+            assert all(
+                np.array_equal(a, b)
+                for a, b in zip(m.bank.snapshot(), reference)
+            ), f"divergence after cut at microstep {cut_at}"
+
+    def test_dead_energy_charged_iff_work_was_lost(self):
+        # Cut right after EXECUTE (work done, uncommitted) -> Dead.
+        m = nand_machine()
+        for _ in range(3):  # FETCH, DECODE, EXECUTE of instruction 0
+            m.controller.step()
+        m.controller.power_off()
+        m.controller.power_on()
+        m.controller.run()
+        assert m.ledger.breakdown.dead_energy > 0
+
+        # Cut right after COMMIT -> no dead work.
+        m2 = nand_machine()
+        for _ in range(5):
+            m2.controller.step()
+        m2.controller.power_off()
+        m2.controller.power_on()
+        m2.controller.run()
+        assert m2.ledger.breakdown.dead_energy == 0
+
+    def test_restore_reissues_active_columns(self):
+        m = nand_machine()
+        m.controller.step_instruction()  # the ACTIVATE
+        assert m.tile(0).n_active == 4
+        m.controller.power_off()
+        assert m.tile(0).n_active == 0  # volatile latch lost
+        m.controller.power_on()
+        assert m.tile(0).n_active == 4  # restored from the NV register
+        assert m.ledger.breakdown.restore_energy > 0
+        assert m.ledger.breakdown.restarts == 1
+
+    def test_restart_before_any_activate_is_fine(self):
+        m = nand_machine()
+        m.controller.power_off()
+        m.controller.power_on()
+        m.controller.run()
+        assert [m.tile(0).get_bit(1, c) for c in range(4)] == [0, 1, 1, 1]
+
+    def test_power_on_when_powered_raises(self):
+        m = nand_machine()
+        with pytest.raises(RuntimeError):
+            m.controller.power_on()
+
+    def test_step_while_off_raises(self):
+        m = nand_machine()
+        m.controller.power_off()
+        with pytest.raises(RuntimeError):
+            m.controller.step()
+
+    def test_double_power_off_is_noop(self):
+        m = nand_machine()
+        m.controller.power_off()
+        m.controller.power_off()
+        m.controller.power_on()
+        m.controller.run()
+
+    @settings(max_examples=50, deadline=None)
+    @given(cuts=st.lists(st.integers(0, 25), min_size=1, max_size=12))
+    def test_random_multi_cut_schedules(self, cuts):
+        reference = self.reference_state()
+        m = nand_machine()
+        for cut in cuts:
+            for _ in range(cut):
+                if m.controller.halted:
+                    break
+                m.controller.step()
+            if m.controller.halted:
+                break
+            m.controller.power_off()
+            m.controller.power_on()
+        if not m.controller.halted:
+            m.controller.run()
+        assert all(
+            np.array_equal(a, b) for a, b in zip(m.bank.snapshot(), reference)
+        )
+
+
+class TestMidPulseInterruption:
+    def test_partial_execute_then_restart(self):
+        reference = self.reference()
+        m = nand_machine()
+        # Advance into the NAND's EXECUTE phase (instruction 2).
+        for _ in range(2 * 5 + 2):  # two instructions + FETCH, DECODE
+            m.controller.step()
+        assert m.controller.phase is Phase.EXECUTE
+        mask = np.array([False, True, False, True] + [False] * 4)
+        m.controller.partial_execute(mask)
+        m.controller.power_off()
+        m.controller.power_on()
+        m.controller.run()
+        assert all(
+            np.array_equal(a, b) for a, b in zip(m.bank.snapshot(), reference)
+        )
+
+    def reference(self):
+        m = nand_machine()
+        m.run()
+        return m.bank.snapshot()
+
+    def test_partial_execute_requires_execute_phase(self):
+        m = nand_machine()
+        with pytest.raises(RuntimeError):
+            m.controller.partial_execute(np.zeros(8, dtype=bool))
+
+
+class TestSensorOrchestration:
+    def sensor_machine(self) -> Mouse:
+        m = Mouse(MODERN_STT, rows=16, cols=8)
+        m.load(
+            assemble(
+                f"""
+                ACTIVATE t0 cols 0,1,2,3
+                READ  t{SENSOR_TILE} row 0
+                WRITE t0 row 0
+                READ  t{SENSOR_TILE} row 1
+                WRITE t0 row 4
+                PRESET0 t0 row 1
+                NAND  t0 in 0,4 out 1
+                HALT
+                """
+            )
+        )
+        return m
+
+    def test_sensor_transfer(self):
+        m = self.sensor_machine()
+        sample = np.zeros((2, 8), dtype=bool)
+        sample[0, :4] = [1, 1, 0, 0]
+        sample[1, :4] = [1, 0, 1, 0]
+        m.bank.sensor.fill(sample)
+        m.run()
+        assert [m.tile(0).get_bit(1, c) for c in range(4)] == [0, 1, 1, 1]
+
+    def test_corrupted_sensor_restarts_transfer(self):
+        m = self.sensor_machine()
+        sample = np.zeros((2, 8), dtype=bool)
+        sample[0, :4] = [1, 1, 0, 0]
+        sample[1, :4] = [1, 0, 1, 0]
+        m.bank.sensor.fill(sample)
+        # Run through the first sensor READ + WRITE, then lose power
+        # while the *sensor* is refilling (valid bit down).
+        for _ in range(3):
+            m.controller.step_instruction()
+        m.controller.power_off()
+        m.bank.sensor.invalidate()
+        m.controller.power_on()
+        # The controller must have rewound the PC to the transfer start.
+        assert m.controller.pc.read() == 1
+        m.bank.sensor.fill(sample)  # sensor finishes redepositing
+        m.controller.run()
+        assert [m.tile(0).get_bit(1, c) for c in range(4)] == [0, 1, 1, 1]
+
+    def test_valid_sensor_does_not_rewind(self):
+        m = self.sensor_machine()
+        sample = np.zeros((2, 8), dtype=bool)
+        m.bank.sensor.fill(sample)
+        for _ in range(3):
+            m.controller.step_instruction()
+        pc_before = m.controller.pc.read()
+        m.controller.power_off()
+        m.controller.power_on()
+        assert m.controller.pc.read() == pc_before

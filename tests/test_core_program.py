@@ -1,0 +1,102 @@
+"""Program container: validation, encoding, statistics."""
+
+import pytest
+
+from repro.core.program import Program
+from repro.isa.instruction import (
+    ActivateColumnsInstruction,
+    HaltInstruction,
+    LogicInstruction,
+    MemoryInstruction,
+    decode,
+)
+
+
+def demo_program() -> Program:
+    return Program(
+        [
+            ActivateColumnsInstruction(0, (0, 1)),
+            MemoryInstruction("PRESET0", 0, 1),
+            LogicInstruction("NAND", 0, (0, 2), 1),
+            HaltInstruction(),
+        ],
+        name="demo",
+    )
+
+
+class TestBasics:
+    def test_len_iter_getitem(self):
+        p = demo_program()
+        assert len(p) == 4
+        assert list(p)[0] == p[0]
+
+    def test_ensure_halt_appends_once(self):
+        p = Program([MemoryInstruction("READ", 0, 0)])
+        p.ensure_halt()
+        p.ensure_halt()
+        assert len(p) == 2
+        assert p.halts
+
+    def test_words_round_trip(self):
+        p = demo_program()
+        assert [decode(w) for w in p.words()] == p.instructions
+
+    def test_counts(self):
+        counts = demo_program().counts()
+        assert counts == {
+            "logic": 1,
+            "memory": 0,
+            "preset": 1,
+            "activate": 1,
+            "halt": 1,
+        }
+
+
+class TestValidation:
+    def test_valid_program_passes(self):
+        demo_program().validate(n_data_tiles=1, rows=16, cols=8)
+
+    def test_missing_halt(self):
+        p = Program([MemoryInstruction("READ", 0, 0)])
+        with pytest.raises(ValueError, match="HALT"):
+            p.validate(n_data_tiles=1, rows=16, cols=8)
+
+    def test_tile_out_of_range(self):
+        p = Program([MemoryInstruction("READ", 3, 0)]).ensure_halt()
+        with pytest.raises(ValueError, match="instruction 0"):
+            p.validate(n_data_tiles=1, rows=16, cols=8)
+
+    def test_row_out_of_range(self):
+        p = Program([LogicInstruction("NAND", 0, (0, 2), 17)]).ensure_halt()
+        with pytest.raises(ValueError):
+            p.validate(n_data_tiles=1, rows=16, cols=8)
+
+    def test_parity_violation_caught_statically(self):
+        p = Program([LogicInstruction("NAND", 0, (0, 3), 2)]).ensure_halt()
+        with pytest.raises(ValueError, match="parity"):
+            p.validate(n_data_tiles=1, rows=16, cols=8)
+
+    def test_column_out_of_range(self):
+        p = Program([ActivateColumnsInstruction(0, (9,))]).ensure_halt()
+        with pytest.raises(ValueError):
+            p.validate(n_data_tiles=1, rows=16, cols=8)
+
+    def test_broadcast_read_rejected(self):
+        from repro.array.bank import BROADCAST_TILE
+
+        p = Program([MemoryInstruction("READ", BROADCAST_TILE, 0)]).ensure_halt()
+        with pytest.raises(ValueError, match="broadcast"):
+            p.validate(n_data_tiles=1, rows=16, cols=8)
+
+    def test_sensor_read_allowed(self):
+        from repro.array.bank import SENSOR_TILE
+
+        p = Program([MemoryInstruction("READ", SENSOR_TILE, 0)]).ensure_halt()
+        p.validate(n_data_tiles=1, rows=16, cols=8)
+
+    def test_sensor_write_rejected(self):
+        from repro.array.bank import SENSOR_TILE
+
+        p = Program([MemoryInstruction("WRITE", SENSOR_TILE, 0)]).ensure_halt()
+        with pytest.raises(ValueError):
+            p.validate(n_data_tiles=1, rows=16, cols=8)

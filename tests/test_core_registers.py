@@ -1,0 +1,101 @@
+"""Dual non-volatile register + parity-bit commit protocol (Fig. 7)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.registers import DualRegister, NonVolatileBit
+
+
+class TestNonVolatileBit:
+    def test_flip_and_set(self):
+        bit = NonVolatileBit()
+        assert not bit.value
+        bit.flip()
+        assert bit.value
+        bit.set(False)
+        assert not bit.value
+
+
+class TestDualRegister:
+    def test_initialise_and_read(self):
+        reg = DualRegister("PC")
+        reg.initialise(7)
+        assert reg.read() == 7
+
+    def test_uninitialised_reads_none(self):
+        assert DualRegister().read() is None
+
+    def test_update_publishes(self):
+        reg = DualRegister()
+        reg.initialise(0)
+        reg.update(5)
+        assert reg.read() == 5
+        reg.update(9)
+        assert reg.read() == 9
+
+    def test_stage_without_commit_preserves_old_value(self):
+        reg = DualRegister()
+        reg.initialise(3)
+        reg.stage(4)
+        assert reg.read() == 3  # power could die here: 3 stays valid
+
+    def test_commit_flips_validity(self):
+        reg = DualRegister()
+        reg.initialise(3)
+        before = reg.valid_index
+        reg.stage(4)
+        reg.commit()
+        assert reg.read() == 4
+        assert reg.valid_index != before
+
+    def test_corrupt_staged_is_harmless(self):
+        reg = DualRegister()
+        reg.initialise(11)
+        reg.stage(12)
+        reg.corrupt_staged(random.Random(0))
+        assert reg.read() == 11  # the valid copy was never written
+
+    def test_commit_without_stage_is_a_protocol_bug(self):
+        reg = DualRegister()
+        reg.initialise(0)
+        with pytest.raises(RuntimeError):
+            reg.commit()
+
+    def test_valid_invalid_indices_complementary(self):
+        reg = DualRegister()
+        reg.initialise(0)
+        for _ in range(4):
+            assert reg.valid_index != reg.invalid_index
+            reg.update(reg.read() + 1)
+
+
+class TestProtocolProperty:
+    """Under any interleaving of interrupted updates, read() always
+    returns some previously committed value, never garbage."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        script=st.lists(
+            st.sampled_from(["full", "stage_only", "corrupt"]), min_size=1, max_size=30
+        )
+    )
+    def test_reads_are_always_committed_values(self, script):
+        reg = DualRegister()
+        reg.initialise(0)
+        committed = {0}
+        next_value = 1
+        for action in script:
+            if action == "full":
+                reg.stage(next_value)
+                reg.commit()
+                committed.add(next_value)
+            elif action == "stage_only":
+                reg.stage(next_value)  # power dies before commit
+            else:
+                reg.stage(next_value)
+                reg.corrupt_staged(random.Random(next_value))
+            next_value += 1
+            assert reg.read() in committed

@@ -1,0 +1,114 @@
+"""Cell organisations: 1T1M STT vs 2T1M SHE electrical paths."""
+
+import pytest
+
+from repro.devices.cell import (
+    SheCell,
+    SttCell,
+    input_resistance,
+    make_cell,
+    output_resistance,
+)
+from repro.devices.mtj import MTJState, SwitchDirection
+from repro.devices.parameters import MODERN_STT, PROJECTED_SHE, PROJECTED_STT
+from repro.devices.she import LogicMargin, parallel, two_input_margin
+
+
+class TestSttCell:
+    def test_write_and_state(self):
+        cell = SttCell(MODERN_STT)
+        cell.write(1)
+        assert cell.state is MTJState.AP
+
+    def test_input_path_includes_mtj_and_access(self):
+        cell = SttCell(MODERN_STT)
+        assert cell.input_path_resistance() == pytest.approx(
+            MODERN_STT.r_p + MODERN_STT.access_resistance
+        )
+
+    def test_output_path_depends_on_state(self):
+        cell = SttCell(MODERN_STT)
+        low = cell.output_path_resistance()
+        cell.write(1)
+        high = cell.output_path_resistance()
+        assert high > low
+
+    def test_drive_output_switches(self):
+        cell = SttCell(MODERN_STT)
+        assert cell.drive_output(MODERN_STT.switching_current, SwitchDirection.TO_AP)
+        assert cell.state is MTJState.AP
+
+
+class TestSheCell:
+    def test_output_path_is_state_independent(self):
+        cell = SheCell(PROJECTED_SHE)
+        r0 = cell.output_path_resistance()
+        cell.write(1)
+        assert cell.output_path_resistance() == pytest.approx(r0)
+        assert r0 == pytest.approx(
+            PROJECTED_SHE.she_resistance + PROJECTED_SHE.access_resistance
+        )
+
+    def test_input_path_includes_channel(self):
+        cell = SheCell(PROJECTED_SHE)
+        assert cell.input_path_resistance() == pytest.approx(
+            PROJECTED_SHE.r_p
+            + PROJECTED_SHE.she_resistance
+            + PROJECTED_SHE.access_resistance
+        )
+
+    def test_lower_switching_current_than_stt(self):
+        assert PROJECTED_SHE.switching_current < PROJECTED_STT.switching_current
+
+
+class TestFactoryAndHelpers:
+    def test_make_cell_dispatch(self):
+        assert isinstance(make_cell(MODERN_STT), SttCell)
+        assert isinstance(make_cell(PROJECTED_SHE), SheCell)
+
+    def test_stateless_matches_object_paths(self):
+        for params in (MODERN_STT, PROJECTED_SHE):
+            cell = make_cell(params)
+            assert input_resistance(params, False) == pytest.approx(
+                cell.input_path_resistance()
+            )
+            cell.write(1)
+            assert input_resistance(params, True) == pytest.approx(
+                cell.input_path_resistance()
+            )
+            assert output_resistance(params, True) == pytest.approx(
+                cell.output_path_resistance()
+            )
+
+    def test_parallel_resistance(self):
+        assert parallel([2.0, 2.0]) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            parallel([])
+
+
+class TestSheRobustnessClaim:
+    """Section II-D: the SHE channel makes input values easier to
+    distinguish because the output MTJ leaves the series path."""
+
+    def test_margin_is_feasible_everywhere(self):
+        for params in (MODERN_STT, PROJECTED_STT, PROJECTED_SHE):
+            for preset in (False, True):
+                margin = two_input_margin(params, preset)
+                assert margin.feasible
+
+    def test_she_margin_beats_projected_stt(self):
+        worst_stt = min(
+            two_input_margin(PROJECTED_STT, preset).relative_margin
+            for preset in (False, True)
+        )
+        worst_she = min(
+            two_input_margin(PROJECTED_SHE, preset).relative_margin
+            for preset in (False, True)
+        )
+        assert worst_she > worst_stt
+
+    def test_margin_dataclass(self):
+        margin = LogicMargin(r_switch_max=1.0, r_hold_min=2.0)
+        assert margin.feasible
+        assert margin.relative_margin == pytest.approx(2.0 / 3.0)
+        assert not LogicMargin(3.0, 2.0).feasible

@@ -1,0 +1,160 @@
+"""MTJ device model: states, thresholds, and directional switching."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.mtj import MTJ, MTJState, SwitchDirection
+from repro.devices.parameters import ALL_TECHNOLOGIES, MODERN_STT
+
+
+class TestStates:
+    def test_initial_state_is_parallel(self):
+        assert MTJ(MODERN_STT).state is MTJState.P
+
+    def test_logic_values(self):
+        assert MTJState.P.logic == 0
+        assert MTJState.AP.logic == 1
+
+    def test_resistance_tracks_state(self, tech):
+        device = MTJ(tech)
+        assert device.resistance == tech.r_p
+        device.set_state(MTJState.AP)
+        assert device.resistance == tech.r_ap
+
+    def test_set_state_accepts_ints_and_bools(self):
+        device = MTJ(MODERN_STT)
+        device.set_state(1)
+        assert device.state is MTJState.AP
+        device.set_state(False)
+        assert device.state is MTJState.P
+
+    def test_direction_targets(self):
+        assert SwitchDirection.TO_AP.target_state is MTJState.AP
+        assert SwitchDirection.TO_P.target_state is MTJState.P
+
+
+class TestSwitching:
+    def test_critical_current_switches(self, tech):
+        device = MTJ(tech)
+        switched = device.apply_current(tech.switching_current, SwitchDirection.TO_AP)
+        assert switched
+        assert device.state is MTJState.AP
+
+    def test_subcritical_current_never_switches(self, tech):
+        device = MTJ(tech)
+        below = tech.switching_current * 0.99
+        for _ in range(100):
+            assert not device.apply_current(below, SwitchDirection.TO_AP)
+        assert device.state is MTJState.P
+
+    def test_direction_is_absolute(self, tech):
+        """A to-AP current cannot reset, no matter its magnitude."""
+        device = MTJ(tech, MTJState.AP)
+        huge = tech.switching_current * 1000
+        assert not device.apply_current(huge, SwitchDirection.TO_AP)
+        assert device.state is MTJState.AP
+
+    def test_reverse_direction_switches_back(self, tech):
+        device = MTJ(tech, MTJState.AP)
+        assert device.apply_current(tech.switching_current, SwitchDirection.TO_P)
+        assert device.state is MTJState.P
+
+    def test_negative_current_rejected(self):
+        with pytest.raises(ValueError):
+            MTJ(MODERN_STT).apply_current(-1e-6, SwitchDirection.TO_AP)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            MTJ(MODERN_STT).apply_current(1e-3, SwitchDirection.TO_AP, duration=-1.0)
+
+
+class TestFluenceAccumulation:
+    """Partial pulses model mid-operation power cuts."""
+
+    def test_partial_pulse_does_not_switch(self, tech):
+        device = MTJ(tech)
+        i = tech.switching_current
+        assert not device.apply_current(i, SwitchDirection.TO_AP, 0.5 * tech.switching_time)
+        assert device.state is MTJState.P
+
+    def test_accumulated_pulses_complete_the_switch(self, tech):
+        device = MTJ(tech)
+        i = tech.switching_current
+        half = 0.5 * tech.switching_time
+        device.apply_current(i, SwitchDirection.TO_AP, half)
+        assert device.apply_current(i, SwitchDirection.TO_AP, half)
+        assert device.state is MTJState.AP
+
+    def test_power_cycle_clears_fluence(self, tech):
+        device = MTJ(tech)
+        i = tech.switching_current
+        device.apply_current(i, SwitchDirection.TO_AP, 0.9 * tech.switching_time)
+        device.power_cycle()
+        assert not device.apply_current(
+            i, SwitchDirection.TO_AP, 0.9 * tech.switching_time
+        )
+        # A full fresh pulse still completes the operation.
+        assert device.apply_current(i, SwitchDirection.TO_AP)
+
+    def test_direction_change_resets_progress(self, tech):
+        device = MTJ(tech)
+        i = tech.switching_current
+        device.apply_current(i, SwitchDirection.TO_AP, 0.9 * tech.switching_time)
+        device.apply_current(i, SwitchDirection.TO_P, 0.2 * tech.switching_time)
+        # Progress toward AP was lost; partial AP pulse cannot finish it.
+        assert not device.apply_current(
+            i, SwitchDirection.TO_AP, 0.5 * tech.switching_time
+        )
+
+
+class TestIdempotencyProperty:
+    """The paper's core physics claim, as a hypothesis property: for any
+    sequence of same-direction pulses, the final state equals the state
+    after one full uninterrupted pulse (if total fluence suffices) or
+    the initial state (if not) — never anything else."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        fractions=st.lists(st.floats(0.05, 1.5), min_size=1, max_size=8),
+        start=st.sampled_from([MTJState.P, MTJState.AP]),
+        to_ap=st.booleans(),
+        cut_power=st.lists(st.booleans(), min_size=1, max_size=8),
+    )
+    def test_pulse_trains_are_idempotent(self, fractions, start, to_ap, cut_power):
+        tech = MODERN_STT
+        direction = SwitchDirection.TO_AP if to_ap else SwitchDirection.TO_P
+        device = MTJ(tech, start)
+        for fraction, cut in zip(fractions, cut_power):
+            device.apply_current(
+                tech.switching_current, direction, fraction * tech.switching_time
+            )
+            if cut:
+                device.power_cycle()
+        # Finish with one guaranteed-complete pulse (the re-performed
+        # instruction on restart).
+        device.apply_current(tech.switching_current, direction)
+        assert device.state is direction.target_state
+
+    @settings(max_examples=100, deadline=None)
+    @given(fractions=st.lists(st.floats(0.0, 2.0), min_size=0, max_size=10))
+    def test_wrong_direction_never_reverts(self, fractions):
+        tech = MODERN_STT
+        device = MTJ(tech, MTJState.AP)
+        for fraction in fractions:
+            device.apply_current(
+                tech.switching_current * 5,
+                SwitchDirection.TO_AP,
+                fraction * tech.switching_time,
+            )
+        assert device.state is MTJState.AP
+
+
+class TestReadPath:
+    def test_read_current_distinguishes_states(self, tech):
+        device = MTJ(tech)
+        v = 0.1
+        i_p = device.read_current(v)
+        device.set_state(MTJState.AP)
+        i_ap = device.read_current(v)
+        assert i_p > i_ap > 0

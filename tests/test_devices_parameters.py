@@ -1,0 +1,78 @@
+"""Technology parameter sets (paper Table II)."""
+
+import pytest
+
+from repro.devices.parameters import (
+    ALL_TECHNOLOGIES,
+    CellKind,
+    MODERN_STT,
+    PROJECTED_SHE,
+    PROJECTED_STT,
+    technology_by_name,
+)
+
+
+class TestTableII:
+    def test_modern_values(self):
+        assert MODERN_STT.r_p == pytest.approx(3.15e3)
+        assert MODERN_STT.r_ap == pytest.approx(7.34e3)
+        assert MODERN_STT.switching_time == pytest.approx(3e-9)
+        assert MODERN_STT.switching_current == pytest.approx(40e-6)
+
+    def test_projected_values(self):
+        assert PROJECTED_STT.r_p == pytest.approx(7.34e3)
+        assert PROJECTED_STT.r_ap == pytest.approx(76.39e3)
+        assert PROJECTED_STT.switching_time == pytest.approx(1e-9)
+        assert PROJECTED_STT.switching_current == pytest.approx(3e-6)
+
+    def test_clock_rates_match_section_viii(self):
+        assert MODERN_STT.clock_hz == pytest.approx(30.3e6)
+        assert PROJECTED_STT.clock_hz == pytest.approx(90.9e6)
+        assert PROJECTED_SHE.clock_hz == pytest.approx(90.9e6)
+
+    def test_she_channel_resistance(self):
+        assert PROJECTED_SHE.she_resistance == pytest.approx(1e3)
+        assert MODERN_STT.she_resistance == 0.0
+
+    def test_cell_kinds(self):
+        assert MODERN_STT.cell_kind is CellKind.STT
+        assert PROJECTED_SHE.cell_kind is CellKind.SHE
+
+    def test_tmr_improves_with_projection(self):
+        assert PROJECTED_STT.tmr > MODERN_STT.tmr
+
+
+class TestHelpers:
+    def test_resistance_lookup(self, tech):
+        assert tech.resistance(False) == tech.r_p
+        assert tech.resistance(True) == tech.r_ap
+
+    def test_cycle_time(self, tech):
+        assert tech.cycle_time == pytest.approx(1.0 / tech.clock_hz)
+
+    def test_with_overrides(self):
+        doubled = MODERN_STT.with_overrides(r_ap=2 * MODERN_STT.r_ap)
+        assert doubled.r_ap == pytest.approx(2 * MODERN_STT.r_ap)
+        assert doubled.r_p == MODERN_STT.r_p
+        assert MODERN_STT.r_ap == pytest.approx(7.34e3)  # original untouched
+
+    @pytest.mark.parametrize(
+        "name, expected",
+        [
+            ("modern", MODERN_STT),
+            ("Modern STT", MODERN_STT),
+            ("projected", PROJECTED_STT),
+            ("she", PROJECTED_SHE),
+            ("Projected SHE", PROJECTED_SHE),
+        ],
+    )
+    def test_lookup_by_name(self, name, expected):
+        assert technology_by_name(name) is expected
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            technology_by_name("quantum")
+
+    def test_three_technologies(self):
+        assert len(ALL_TECHNOLOGIES) == 3
+        assert len({t.name for t in ALL_TECHNOLOGIES}) == 3

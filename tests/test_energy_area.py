@@ -1,0 +1,84 @@
+"""Area model vs paper Table III."""
+
+import pytest
+
+from repro.devices.parameters import MODERN_STT, PROJECTED_SHE, PROJECTED_STT
+from repro.energy.area import (
+    AreaModel,
+    area_efficiency,
+    area_table,
+    nvsim_capacity_mb,
+)
+
+#: Paper Table III (capacity MB -> (modern, projected, she) mm^2).
+PAPER = {
+    64: (50.98, 38.67, 77.35),
+    16: (10.86, 8.24, 16.48),
+    8: (5.43, 4.13, 8.24),
+    1: (0.71, 0.53, 1.06),
+}
+
+
+class TestCapacityAssignment:
+    def test_power_of_two_roundup(self):
+        mb = 2**20
+        assert nvsim_capacity_mb(1) == 1
+        assert nvsim_capacity_mb(mb) == 1
+        assert nvsim_capacity_mb(mb + 1) == 2
+        assert nvsim_capacity_mb(int(34.5 * mb)) == 64  # the paper's example
+        assert nvsim_capacity_mb(3 * mb) == 4
+
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            nvsim_capacity_mb(0)
+
+
+class TestEfficiency:
+    def test_calibrated_points(self):
+        assert area_efficiency(8) == pytest.approx(0.94)
+        assert area_efficiency(64) == pytest.approx(0.80)
+
+    def test_interpolation_and_clamping(self):
+        mid = area_efficiency(48)
+        assert area_efficiency(64) < mid < area_efficiency(16)
+        assert area_efficiency(512) == area_efficiency(256)
+
+
+class TestTableIII:
+    @pytest.mark.parametrize("capacity", sorted(PAPER))
+    def test_all_cells_within_five_percent(self, capacity):
+        modern, projected, she = PAPER[capacity]
+        assert AreaModel(MODERN_STT).total_area_mm2(capacity) == pytest.approx(
+            modern, rel=0.05
+        )
+        assert AreaModel(PROJECTED_STT).total_area_mm2(capacity) == pytest.approx(
+            projected, rel=0.05
+        )
+        assert AreaModel(PROJECTED_SHE).total_area_mm2(capacity) == pytest.approx(
+            she, rel=0.05
+        )
+
+    def test_she_is_double_projected_stt(self):
+        """Paper: the SHE cell has twice the access transistors, hence
+        ~2x the area of the projected STT cell."""
+        for capacity in PAPER:
+            ratio = AreaModel(PROJECTED_SHE).total_area_mm2(
+                capacity
+            ) / AreaModel(PROJECTED_STT).total_area_mm2(capacity)
+            assert ratio == pytest.approx(2.0, rel=0.01)
+
+    def test_projected_smaller_than_modern(self):
+        """Lower switching current -> smaller access transistor."""
+        assert AreaModel(PROJECTED_STT).cell_area_f2() < AreaModel(
+            MODERN_STT
+        ).cell_area_f2()
+
+    def test_area_table_helper(self):
+        table = area_table([8, 64])
+        assert set(table) == {8, 64}
+        assert table[64]["Modern STT"] == pytest.approx(50.98, rel=0.05)
+
+    def test_area_for_bytes(self):
+        capacity, area = AreaModel(MODERN_STT).area_for_bytes(int(34.5 * 2**20))
+        assert capacity == 64
+        assert area == pytest.approx(50.98, rel=0.05)

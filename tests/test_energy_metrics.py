@@ -1,0 +1,89 @@
+"""EH-model metric ledger: Backup / Dead / Restore accounting."""
+
+import pytest
+
+from repro.energy.metrics import Breakdown, Category, EnergyLedger
+
+
+class TestBreakdown:
+    def test_totals(self):
+        b = Breakdown(
+            compute_energy=3.0,
+            backup_energy=1.0,
+            dead_energy=0.5,
+            restore_energy=0.5,
+            compute_latency=2.0,
+            dead_latency=0.5,
+            restore_latency=0.5,
+            charging_latency=7.0,
+        )
+        assert b.total_energy == pytest.approx(5.0)
+        assert b.total_latency == pytest.approx(10.0)
+        assert b.on_latency == pytest.approx(3.0)
+
+    def test_fractions(self):
+        b = Breakdown(compute_energy=3.0, dead_energy=1.0)
+        assert b.energy_fraction(Category.DEAD) == pytest.approx(0.25)
+        assert b.energy_fraction(Category.COMPUTE) == pytest.approx(0.75)
+
+    def test_fraction_of_empty_breakdown(self):
+        assert Breakdown().energy_fraction(Category.DEAD) == 0.0
+        assert Breakdown().latency_fraction(Category.CHARGING) == 0.0
+
+    def test_charging_has_no_energy_fraction(self):
+        b = Breakdown(compute_energy=1.0)
+        with pytest.raises(ValueError):
+            b.energy_fraction(Category.CHARGING)
+
+    def test_backup_has_no_latency_fraction(self):
+        b = Breakdown(compute_latency=1.0)
+        with pytest.raises(ValueError):
+            b.latency_fraction(Category.BACKUP)
+
+    def test_merged(self):
+        a = Breakdown(compute_energy=1.0, instructions=5, restarts=1)
+        b = Breakdown(compute_energy=2.0, dead_energy=1.0, instructions=3)
+        m = a.merged(b)
+        assert m.compute_energy == pytest.approx(3.0)
+        assert m.dead_energy == pytest.approx(1.0)
+        assert m.instructions == 8
+        assert m.restarts == 1
+
+
+class TestLedger:
+    def test_charge_routes_categories(self):
+        ledger = EnergyLedger()
+        ledger.charge(Category.COMPUTE, 1.0, 2.0)
+        ledger.charge(Category.BACKUP, 0.5)
+        ledger.charge(Category.DEAD, 0.25, 0.5)
+        ledger.charge(Category.RESTORE, 0.125, 0.25)
+        ledger.charge(Category.CHARGING, 0.0, 10.0)
+        b = ledger.breakdown
+        assert b.compute_energy == 1.0 and b.compute_latency == 2.0
+        assert b.backup_energy == 0.5
+        assert b.dead_energy == 0.25 and b.dead_latency == 0.5
+        assert b.restore_energy == 0.125 and b.restore_latency == 0.25
+        assert b.charging_latency == 10.0
+
+    def test_backup_latency_rejected(self):
+        ledger = EnergyLedger()
+        with pytest.raises(ValueError):
+            ledger.charge(Category.BACKUP, 1.0, 1.0)
+
+    def test_charging_energy_rejected(self):
+        ledger = EnergyLedger()
+        with pytest.raises(ValueError):
+            ledger.charge(Category.CHARGING, 1.0, 1.0)
+
+    def test_negative_rejected(self):
+        ledger = EnergyLedger()
+        with pytest.raises(ValueError):
+            ledger.charge(Category.COMPUTE, -1.0)
+
+    def test_counters(self):
+        ledger = EnergyLedger()
+        ledger.count_instruction()
+        ledger.count_instruction()
+        ledger.count_restart()
+        assert ledger.breakdown.instructions == 2
+        assert ledger.breakdown.restarts == 1

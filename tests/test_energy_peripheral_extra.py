@@ -1,0 +1,76 @@
+"""Additional peripheral-model and profile-bookkeeping coverage."""
+
+import pytest
+
+from repro.devices.parameters import MODERN_STT, PROJECTED_SHE
+from repro.energy.model import InstructionCostModel
+from repro.energy.peripheral import (
+    ACTIVATE_REGISTER_BITS,
+    PC_BITS,
+    PeripheralModel,
+)
+from repro.harvest.intermittent import InstructionProfile
+
+
+class TestPeripheralDetails:
+    def test_fetch_includes_decode_overhead(self):
+        p = PeripheralModel(MODERN_STT)
+        from repro.logic.gates import read_energy
+
+        assert p.instruction_fetch_energy() > 64 * read_energy(MODERN_STT)
+
+    def test_checkpoint_bit_counts(self):
+        p = PeripheralModel(MODERN_STT)
+        assert p.pc_checkpoint_energy() == pytest.approx(
+            (PC_BITS + 1) * p.register_bit_energy()
+        )
+        assert p.activate_register_energy() == pytest.approx(
+            (ACTIVATE_REGISTER_BITS + 1) * p.register_bit_energy()
+        )
+        assert p.activate_register_energy() > p.pc_checkpoint_energy()
+
+    def test_address_energy_adds_per_address(self):
+        p = PeripheralModel(MODERN_STT, energy_share=0.5, address_energy=0.25)
+        base = p.with_array_energy(1e-12, n_addresses=0)
+        with_addrs = p.with_array_energy(1e-12, n_addresses=4)
+        assert with_addrs > base
+
+    def test_custom_peripheral_flows_through_cost_model(self):
+        lean = InstructionCostModel(
+            MODERN_STT, peripheral=PeripheralModel(MODERN_STT, energy_share=0.1)
+        )
+        fat = InstructionCostModel(
+            MODERN_STT, peripheral=PeripheralModel(MODERN_STT, energy_share=0.7)
+        )
+        assert lean.logic_energy("NAND", 64) < fat.logic_energy("NAND", 64)
+
+    def test_she_registers_cheaper_than_modern(self):
+        """Register checkpointing inherits the technology's write path:
+        the SHE configuration backs up more cheaply (why its Backup
+        share in Figures 10-12 is the smallest)."""
+        assert (
+            PeripheralModel(PROJECTED_SHE).pc_checkpoint_energy()
+            < PeripheralModel(MODERN_STT).pc_checkpoint_energy()
+        )
+
+
+class TestProfileBookkeeping:
+    def test_labels_preserved(self):
+        profile = InstructionProfile(name="w")
+        profile.add(3, 1e-12, 1e-13, label="mac:mul", addresses=3)
+        profile.add(2, 2e-12, 1e-13, label="reduce:add", addresses=3)
+        assert [s.label for s in profile.segments] == ["mac:mul", "reduce:add"]
+        assert profile.instructions == 5
+
+    def test_workload_profiles_carry_phase_labels(self):
+        from repro.ml.benchmarks import SVM_MNIST_BIN
+
+        cost = InstructionCostModel(MODERN_STT)
+        profile = SVM_MNIST_BIN.profile(cost)
+        labels = {s.label.split(":")[0] for s in profile.segments if s.label}
+        assert "mac" in labels
+        assert "classsum" in labels
+        assert "argmax" in labels
+
+    def test_empty_profile_peak(self):
+        assert InstructionProfile().peak_instruction_energy() == 0.0

@@ -1,0 +1,56 @@
+"""Smoke tests: every example script runs to completion and reports
+correct results (they self-assert / print OK markers)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "final memory identical to continuous run: True" in out
+        assert "NAND(1, 1) = 0" in out
+
+    def test_application_mapping(self):
+        out = run_example("application_mapping.py")
+        assert "x = a + b = 5  [ok]" in out
+        assert "y = c + d = 4  [ok]" in out
+        assert "ACTIVATE" in out
+
+    def test_svm_inference(self):
+        out = run_example("svm_inference.py")
+        assert "[ok]" in out
+        assert "WRONG" not in out
+        assert "paper-scale SVM ADULT" in out
+
+    def test_bnn_inference(self):
+        out = run_example("bnn_inference.py")
+        assert "[ok]" in out
+        assert "WRONG" not in out
+
+    @pytest.mark.parametrize("bench_name", ["SVM ADULT"])
+    def test_energy_harvesting_sweep(self, bench_name):
+        out = run_example("energy_harvesting_sweep.py", bench_name)
+        assert "Modern STT" in out
+        assert "SONIC" in out
+
+    def test_deployment_pipeline(self):
+        out = run_example("deployment_pipeline.py")
+        assert "retransfers=1" in out
+        assert "support vectors ->" in out

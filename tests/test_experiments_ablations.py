@@ -1,0 +1,117 @@
+"""Ablation studies: adders, power budget, checkpoint period, capacitor."""
+
+import pytest
+
+from repro.devices.parameters import MODERN_STT
+from repro.energy.model import InstructionCostModel
+from repro.experiments import ablations
+from repro.harvest import HarvestingConfig, ProfileRun
+from repro.ml.benchmarks import SVM_ADULT
+
+
+class TestAdderAblation:
+    def test_parity_wash_finding(self):
+        """Reproduction finding: MIN3 carry saves no instructions (the
+        parity rule costs a gate either way) but trims energy slightly."""
+        rows = ablations.adders()
+        assert len(rows) == 3
+        for row in rows:
+            assert row.min3_instructions == row.nand_instructions
+            assert row.min3_energy < row.nand_energy
+            assert row.instruction_saving == pytest.approx(0.0)
+
+
+class TestPowerBudgetAblation:
+    def test_tradeoff_shape(self):
+        points = ablations.power_budget(budgets=(60e-6, 1e-3, 10e-3))
+        assert [p.max_columns for p in points] == sorted(
+            p.max_columns for p in points
+        )
+        latencies = [p.serial_latency for p in points]
+        assert latencies == sorted(latencies, reverse=True)
+        for p in points:
+            assert p.average_power <= p.budget_watts * 1.05
+
+
+class TestCheckpointAblation:
+    def test_per_instruction_checkpointing_is_near_optimal(self):
+        """The paper's choice (N = 1) minimises total energy at the
+        60 uW operating point: Backup is already negligible, so longer
+        periods only grow Dead."""
+        points = ablations.checkpoint_frequency(periods=(1, 4, 16, 64))
+        energies = [p.total_energy for p in points]
+        assert energies[0] == min(energies)
+        assert energies == sorted(energies)
+        # The mechanism: backup shrinks, dead grows.
+        assert points[-1].backup_energy < points[0].backup_energy
+        assert points[-1].dead_energy > points[0].dead_energy
+
+    def test_checkpoint_period_validation(self):
+        cost = InstructionCostModel(MODERN_STT)
+        profile = SVM_ADULT.profile(cost)
+        config = HarvestingConfig.paper(MODERN_STT, 60e-6)
+        with pytest.raises(ValueError):
+            ProfileRun(profile, cost, config, checkpoint_period=0)
+
+    def test_period_reduces_backup_under_ample_power(self):
+        """With no outages, a longer period is a pure Backup saving —
+        the paper's 'if power interruptions are less frequent, it is
+        possible that MOUSE would be more energy efficient
+        checkpointing less often'."""
+        cost = InstructionCostModel(MODERN_STT)
+        profile = SVM_ADULT.profile(cost)
+
+        def total(period):
+            config = HarvestingConfig.paper(MODERN_STT, 1.0)  # ample
+            return ProfileRun(
+                profile, cost, config, checkpoint_period=period
+            ).run()
+
+        every = total(1)
+        sparse = total(16)
+        assert sparse.restarts == every.restarts == 0
+        assert sparse.backup_energy < every.backup_energy
+        assert sparse.total_energy < every.total_energy
+
+
+class TestIssueStrategyAblation:
+    def test_event_driven_is_faster_but_bounded(self):
+        """Variable-latency issue beats the conservative fixed cycle by
+        a bounded factor (instructions carry 1-5 addresses, so the
+        speedup must sit between 1x and 5x)."""
+        rows = ablations.issue_strategy()
+        assert len(rows) == 6
+        for row in rows:
+            assert 1.0 < row.speedup < 5.0
+            assert row.event_driven_latency < row.fixed_latency
+
+    def test_segment_addresses_recorded(self):
+        from repro.ml.benchmarks import SVM_ADULT
+
+        cost = InstructionCostModel(MODERN_STT)
+        profile = SVM_ADULT.profile(cost)
+        addresses = {s.addresses for s in profile.segments}
+        assert 1 in addresses  # presets / moves
+        assert 3 in addresses  # 2-input gates
+        assert addresses <= {1, 2, 3, 4, 5}
+
+    def test_segment_address_validation(self):
+        from repro.harvest.intermittent import Segment
+
+        with pytest.raises(ValueError):
+            Segment(1, 1e-12, 0.0, addresses=6)
+
+
+class TestCapacitorAblation:
+    def test_restart_count_falls_with_capacitance(self):
+        points = ablations.capacitor_sizing(scales=(0.1, 1.0, 10.0))
+        restarts = [p.restarts for p in points]
+        assert restarts == sorted(restarts, reverse=True)
+
+    def test_papers_choice_is_near_the_optimum(self):
+        """The paper's 100 uF (scale 1.0) should be within ~25% of the
+        best latency across a wide sweep — supporting its choice."""
+        points = ablations.capacitor_sizing(scales=(0.1, 0.3, 1.0, 3.0, 10.0))
+        by_scale = {round(p.capacitance / 100e-6, 2): p for p in points}
+        best = min(p.total_latency for p in points)
+        assert by_scale[1.0].total_latency <= best * 1.25

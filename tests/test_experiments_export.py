@@ -1,0 +1,57 @@
+"""CSV export of experiment artifacts."""
+
+import csv
+
+import pytest
+
+from repro.experiments import export, table3_area
+
+
+class TestWriteCsv:
+    def test_dataclass_rows(self, tmp_path):
+        rows = table3_area.run()
+        path = tmp_path / "t3.csv"
+        count = export.write_csv(path, rows)
+        assert count == 6
+        with open(path) as handle:
+            parsed = list(csv.DictReader(handle))
+        assert len(parsed) == 6
+        assert "modern_stt" in parsed[0]
+
+    def test_empty_rows_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            export.write_csv(tmp_path / "x.csv", [])
+
+    def test_non_exportable_rows_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            export.write_csv(tmp_path / "x.csv", [object()])
+
+    def test_nested_dataclasses_flattened(self, tmp_path):
+        from repro.experiments import breakdown
+
+        rows = breakdown.run(source_watts=60e-6)[:2]
+        export.write_csv(tmp_path / "b.csv", rows)
+        with open(tmp_path / "b.csv") as handle:
+            parsed = list(csv.DictReader(handle))
+        assert "breakdown.dead_energy" in parsed[0]
+
+
+class TestExportRegistry:
+    def test_registry_covers_every_paper_artifact(self):
+        names = set(export.EXPORTS)
+        for required in (
+            "table1_idempotency",
+            "table2_devices",
+            "table3_area",
+            "table4_continuous",
+            "fig9_latency_sweep",
+            "fig10_12_breakdown",
+            "robustness",
+        ):
+            assert required in names
+
+    def test_export_selected(self, tmp_path):
+        count = export.write_csv(
+            tmp_path / "devices.csv", export.EXPORTS["table2_devices"]()
+        )
+        assert count == 3

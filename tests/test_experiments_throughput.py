@@ -1,0 +1,44 @@
+"""Application-throughput experiment."""
+
+from repro.devices.parameters import MODERN_STT, PROJECTED_SHE
+from repro.experiments import throughput
+
+
+class TestThroughput:
+    def test_structure(self):
+        points = throughput.run(technologies=(MODERN_STT,))
+        assert len(points) == 6 * len(throughput.HARVESTERS)
+        for p in points:
+            assert p.seconds_per_inference > 0
+            assert p.inferences_per_hour > 0
+
+    def test_more_power_more_inferences(self):
+        points = throughput.run(technologies=(MODERN_STT,))
+        for bench in {p.benchmark for p in points}:
+            series = sorted(
+                (p for p in points if p.benchmark == bench),
+                key=lambda p: p.power_w,
+            )
+            rates = [p.inferences_per_hour for p in series]
+            assert rates == sorted(rates), bench
+
+    def test_she_sustains_more_than_modern(self):
+        modern = throughput.run(technologies=(MODERN_STT,))
+        she = throughput.run(technologies=(PROJECTED_SHE,))
+        for m, s in zip(modern, she):
+            assert s.inferences_per_hour > m.inferences_per_hour
+
+    def test_rate_tracks_energy_at_scarce_power(self):
+        """At 60 uW the rate is ~ power / energy-per-inference."""
+        from repro.energy.model import InstructionCostModel
+        from repro.ml.benchmarks import SVM_MNIST
+
+        cost = InstructionCostModel(MODERN_STT)
+        _, energy = SVM_MNIST.continuous(cost)
+        points = [
+            p
+            for p in throughput.run(technologies=(MODERN_STT,))
+            if p.benchmark == "SVM MNIST" and p.power_w == 60e-6
+        ]
+        analytic = 3600.0 * 60e-6 / energy
+        assert 0.5 < points[0].inferences_per_hour / analytic < 1.5

@@ -1,0 +1,126 @@
+"""Program-level fuzzing: random valid programs, random outage points,
+always the continuous-power result.
+
+This is the broadest correctness net in the suite: instead of compiler-
+generated programs (which have regular structure), hypothesis composes
+arbitrary instruction sequences — activations, presets, gates of every
+arity, row moves — and the invariant must still hold.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accelerator import Mouse
+from repro.core.program import Program
+from repro.devices.parameters import MODERN_STT, PROJECTED_SHE
+from repro.isa.instruction import (
+    ActivateColumnsInstruction,
+    LogicInstruction,
+    MemoryInstruction,
+)
+
+ROWS, COLS = 16, 8
+ONE_IN = ["NOT", "BUF"]
+TWO_IN = ["NAND", "AND", "NOR", "OR"]
+THREE_IN = ["NAND3", "AND3", "MIN3", "MAJ3"]
+
+
+@st.composite
+def random_program(draw):
+    """A random, statically-valid MOUSE program for a 16x8 tile."""
+    instructions = [
+        ActivateColumnsInstruction(
+            0, tuple(draw(st.sets(st.integers(0, COLS - 1), min_size=1, max_size=5)))
+        )
+    ]
+    n_ops = draw(st.integers(1, 12))
+    for _ in range(n_ops):
+        kind = draw(st.sampled_from(["gate1", "gate2", "gate3", "move", "activate"]))
+        if kind == "activate":
+            cols = draw(st.sets(st.integers(0, COLS - 1), min_size=1, max_size=5))
+            instructions.append(ActivateColumnsInstruction(0, tuple(cols)))
+            continue
+        if kind == "move":
+            src = draw(st.integers(0, ROWS - 1))
+            dst = draw(st.integers(0, ROWS - 1))
+            instructions.append(MemoryInstruction("READ", 0, src))
+            instructions.append(MemoryInstruction("WRITE", 0, dst))
+            continue
+        arity = {"gate1": 1, "gate2": 2, "gate3": 3}[kind]
+        gate = draw(st.sampled_from({1: ONE_IN, 2: TWO_IN, 3: THREE_IN}[arity]))
+        parity = draw(st.integers(0, 1))
+        candidates = list(range(parity, ROWS, 2))
+        inputs = tuple(
+            sorted(draw(st.sets(st.sampled_from(candidates), min_size=arity, max_size=arity)))
+        )
+        out_candidates = list(range(1 - parity, ROWS, 2))
+        output = draw(st.sampled_from(out_candidates))
+        preset = "PRESET1" if gate in ("BUF", "AND", "OR", "AND3", "MAJ3") else "PRESET0"
+        instructions.append(MemoryInstruction(preset, 0, output))
+        instructions.append(LogicInstruction(gate, 0, inputs, output))
+    return Program(instructions).ensure_halt()
+
+
+@st.composite
+def initial_state(draw):
+    """Random initial array contents."""
+    return draw(
+        st.lists(
+            st.lists(st.booleans(), min_size=COLS, max_size=COLS),
+            min_size=ROWS,
+            max_size=ROWS,
+        )
+    )
+
+
+def run_program(program, state, tech, cuts=None):
+    mouse = Mouse(tech, rows=ROWS, cols=COLS)
+    mouse.tile(0).state[:] = np.array(state, dtype=bool)
+    mouse.load(program)
+    controller = mouse.controller
+    if cuts:
+        steps = 0
+        cut_set = set(cuts)
+        while not controller.halted:
+            if steps in cut_set:
+                controller.power_off()
+                controller.power_on()
+            if controller.halted:
+                break
+            controller.step()
+            steps += 1
+            if steps > 20_000:  # safety net
+                raise AssertionError("fuzz program did not halt")
+    if not controller.halted:
+        controller.run()
+    return mouse.bank.snapshot()
+
+
+class TestProgramFuzz:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        program=random_program(),
+        state=initial_state(),
+        cuts=st.sets(st.integers(0, 120), max_size=6),
+    )
+    def test_outages_never_change_the_result(self, program, state, cuts):
+        program.validate(n_data_tiles=1, rows=ROWS, cols=COLS)
+        reference = run_program(program, state, MODERN_STT)
+        disturbed = run_program(program, state, MODERN_STT, cuts=cuts)
+        assert all(np.array_equal(a, b) for a, b in zip(reference, disturbed))
+
+    @settings(max_examples=15, deadline=None)
+    @given(program=random_program(), state=initial_state())
+    def test_she_and_stt_agree_functionally(self, program, state):
+        """The two cell technologies implement identical logic."""
+        stt = run_program(program, state, MODERN_STT)
+        she = run_program(program, state, PROJECTED_SHE)
+        assert all(np.array_equal(a, b) for a, b in zip(stt, she))
+
+    @settings(max_examples=20, deadline=None)
+    @given(program=random_program(), state=initial_state())
+    def test_rerun_is_deterministic(self, program, state):
+        first = run_program(program, state, MODERN_STT)
+        second = run_program(program, state, MODERN_STT)
+        assert all(np.array_equal(a, b) for a, b in zip(first, second))

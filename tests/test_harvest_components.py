@@ -1,0 +1,169 @@
+"""Harvesting substrate: sources, capacitor, converter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.parameters import MODERN_STT, PROJECTED_SHE, PROJECTED_STT
+from repro.harvest.capacitor import EnergyBuffer, buffer_for
+from repro.harvest.converter import CONVERSION_RATIOS, SwitchedCapacitorConverter
+from repro.harvest.source import ConstantPowerSource, SolarProfileSource
+
+
+class TestConstantSource:
+    def test_energy_and_power(self):
+        src = ConstantPowerSource(60e-6)
+        assert src.power(0.0) == 60e-6
+        assert src.energy(0.0, 2.0) == pytest.approx(120e-6)
+
+    def test_time_to_harvest(self):
+        src = ConstantPowerSource(1e-3)
+        assert src.time_to_harvest(2e-3) == pytest.approx(2.0)
+        assert src.time_to_harvest(0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConstantPowerSource(0.0)
+        with pytest.raises(ValueError):
+            ConstantPowerSource(1e-3).energy(0.0, -1.0)
+
+
+class TestSolarSource:
+    def test_mean_energy_over_full_period(self):
+        src = SolarProfileSource(mean_watts=1e-3, depth=0.5, period=2.0)
+        assert src.energy(0.0, 2.0) == pytest.approx(2e-3, rel=1e-6)
+
+    def test_power_never_negative(self):
+        src = SolarProfileSource(mean_watts=1e-3, depth=1.0, period=1.0)
+        for t in (0.0, 0.25, 0.5, 0.75, 0.9):
+            assert src.power(t) >= 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(energy=st.floats(1e-9, 1e-3))
+    def test_time_to_harvest_inverts_energy(self, energy):
+        src = SolarProfileSource(mean_watts=1e-3, depth=0.7, period=0.5)
+        t = src.time_to_harvest(energy)
+        assert src.energy(0.0, t) == pytest.approx(energy, rel=1e-3, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SolarProfileSource(0.0)
+        with pytest.raises(ValueError):
+            SolarProfileSource(1e-3, depth=2.0)
+        with pytest.raises(ValueError):
+            SolarProfileSource(1e-3, period=0.0)
+
+
+class TestEnergyBuffer:
+    def test_window_energy(self):
+        buf = EnergyBuffer(capacitance=100e-6, v_off=0.32, v_on=0.34)
+        expected = 0.5 * 100e-6 * (0.34**2 - 0.32**2)
+        assert buf.window_energy == pytest.approx(expected)
+
+    def test_charge_discharge_round_trip(self):
+        buf = EnergyBuffer(capacitance=10e-6, v_off=0.1, v_on=0.12)
+        buf.add_energy(1e-6)
+        before = buf.energy
+        buf.draw_energy(0.4e-6)
+        assert buf.energy == pytest.approx(before - 0.4e-6)
+
+    def test_draw_clamps_at_zero(self):
+        buf = EnergyBuffer(capacitance=10e-6, v_off=0.1, v_on=0.12)
+        buf.draw_energy(1.0)
+        assert buf.energy == 0.0
+        assert buf.voltage == 0.0
+
+    def test_thresholds(self):
+        buf = EnergyBuffer(capacitance=10e-6, v_off=0.1, v_on=0.12, voltage=0.1)
+        assert buf.must_shut_down
+        assert not buf.ready_to_start
+        buf.add_energy(buf.energy_to_reach(0.12))
+        assert buf.ready_to_start
+
+    def test_headroom(self):
+        buf = EnergyBuffer(capacitance=10e-6, v_off=0.1, v_on=0.12, voltage=0.12)
+        assert buf.headroom == pytest.approx(buf.window_energy)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyBuffer(capacitance=0.0, v_off=0.1, v_on=0.2)
+        with pytest.raises(ValueError):
+            EnergyBuffer(capacitance=1e-6, v_off=0.3, v_on=0.2)
+        with pytest.raises(ValueError):
+            EnergyBuffer(capacitance=1e-6, v_off=0.1, v_on=0.2, voltage=-1.0)
+
+    def test_paper_configurations(self):
+        modern = buffer_for(MODERN_STT)
+        assert modern.capacitance == pytest.approx(100e-6)
+        assert (modern.v_off, modern.v_on) == (0.320, 0.340)
+        for params in (PROJECTED_STT, PROJECTED_SHE):
+            proj = buffer_for(params)
+            assert proj.capacitance == pytest.approx(10e-6)
+            assert (proj.v_off, proj.v_on) == (0.100, 0.120)
+
+
+class TestConverter:
+    def test_paper_ratios_plus_doubler(self):
+        # The paper's four ratios, plus the 2:1 doubler our BUF gate on
+        # Modern STT requires (see converter module docstring).
+        assert CONVERSION_RATIOS == (0.75, 1.0, 1.5, 1.75, 2.0)
+
+    def test_best_ratio_covers_target(self):
+        conv = SwitchedCapacitorConverter()
+        assert conv.best_ratio(0.33, 0.30) == 1.0
+        assert conv.best_ratio(0.33, 0.40) == 1.5
+        assert conv.best_ratio(0.33, 0.24) == 0.75
+
+    def test_unreachable_target_uses_max_ratio(self):
+        conv = SwitchedCapacitorConverter()
+        assert conv.best_ratio(0.1, 10.0) == 2.0
+        assert not conv.can_supply(0.1, 10.0)
+
+    def test_gate_voltages_reachable_from_buffer(self):
+        """Voltage-delivery consistency check (Section VIII).
+
+        Reproduction finding (recorded in EXPERIMENTS.md): from the
+        paper's voltage windows and conversion ratios, the *inverting*
+        (preset-0) gate family is always reachable, and on SHE — where
+        the output MTJ leaves the current path — every gate is.  But on
+        Projected STT the non-inverting (preset-1) gates need ~250-350
+        mV, beyond any listed ratio from the 100 mV window: an STT
+        compiler should stick to the NAND/NOR/NOT family the paper
+        emphasises.
+        """
+        from repro.devices.parameters import (
+            ALL_TECHNOLOGIES,
+            CellKind,
+            PROJECTED_STT,
+        )
+        from repro.harvest.capacitor import buffer_for
+        from repro.logic.gates import design_voltage
+        from repro.logic.library import GATE_LIBRARY
+
+        conv = SwitchedCapacitorConverter()
+        for tech in ALL_TECHNOLOGIES:
+            v_min = buffer_for(tech).v_off
+            for spec in GATE_LIBRARY.values():
+                v = design_voltage(tech, spec)
+                if tech.cell_kind is CellKind.SHE or not spec.preset:
+                    assert conv.can_supply(v_min, v), (tech.name, spec.name, v)
+        # Pin the finding itself: preset-1 gates on Projected STT are
+        # out of reach of the listed ratios.
+        v_and = design_voltage(PROJECTED_STT, GATE_LIBRARY["AND"])
+        assert not conv.can_supply(buffer_for(PROJECTED_STT).v_off, v_and)
+
+    def test_source_energy_required(self):
+        conv = SwitchedCapacitorConverter(efficiency=0.5)
+        assert conv.source_energy_required(1.0) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            conv.source_energy_required(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SwitchedCapacitorConverter(efficiency=0.0)
+        with pytest.raises(ValueError):
+            SwitchedCapacitorConverter(ratios=())
+
+    def test_voltage_levels(self):
+        conv = SwitchedCapacitorConverter()
+        assert conv.voltage_levels(0.2) == tuple(r * 0.2 for r in CONVERSION_RATIOS)

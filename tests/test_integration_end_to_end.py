@@ -1,0 +1,184 @@
+"""End-to-end integration: real ML kernels compiled to MOUSE programs,
+executed on the functional machine, under continuous and harvested
+power, checked bit-for-bit against the Python models."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compile import arith
+from repro.compile.dot import emit_and_dot, emit_binary_dot, emit_dot_product
+from repro.core.accelerator import Mouse
+from repro.devices.parameters import MODERN_STT, PROJECTED_SHE
+from repro.harvest import HarvestingConfig, IntermittentRun
+from repro.harvest.capacitor import EnergyBuffer
+from repro.harvest.source import ConstantPowerSource, SolarProfileSource
+from repro.ml.bnn import BNN, BNNConfig
+from tests._harness import ColumnHarness
+
+
+class TestSvmKernelOnMouse:
+    """One binary-SVM kernel evaluation — dot product, +offset,
+    square — executed in-array, matching the integer model."""
+
+    def test_kernel_value_bit_exact(self):
+        rng = np.random.default_rng(5)
+        x = rng.integers(0, 8, size=4)
+        sv = rng.integers(0, 8, size=4)
+        offset = 3
+
+        h = ColumnHarness(1, rows=2048)
+        xs = [h.input_word(3, [int(v)]) for v in x]
+        ws = [h.input_word(3, [int(v)]) for v in sv]
+        dot = emit_dot_product(h.builder, xs, ws)
+        off = h.input_word(2, [offset])
+        shifted = arith.ripple_add(h.builder, dot, off)
+        kernel = arith.square(h.builder, shifted)
+        mouse = h.run()
+        expected = (int(np.dot(x, sv)) + offset) ** 2
+        assert h.read_word(mouse, kernel, 0) == expected
+
+    def test_binarized_kernel_uses_and_dot(self):
+        rng = np.random.default_rng(9)
+        x = rng.integers(0, 2, size=8)
+        w = rng.integers(0, 2, size=8)
+        h = ColumnHarness(1, rows=1024)
+        xw = h.input_word(8, [int(sum(b << i for i, b in enumerate(x)))])
+        ww = h.input_word(8, [int(sum(b << i for i, b in enumerate(w)))])
+        count = emit_and_dot(h.builder, xw, ww)
+        mouse = h.run()
+        assert h.read_word(mouse, count, 0) == int(np.dot(x, w))
+
+
+class TestBnnNeuronOnMouse:
+    """One BNN hidden neuron: xnor-popcount against the integer
+    threshold, matching the trained Python model exactly."""
+
+    def test_neuron_fires_like_the_model(self):
+        config = BNNConfig("tiny", 8, (4,), 2, 1, 6)
+        bnn = BNN(config, seed=2)
+        bnn.bias[0] = np.array([0.3, -0.2, 0.0, 0.7])
+        weights = bnn.binary_weights()[0]  # (8, 4)
+        thresholds = bnn.hidden_thresholds()[0]
+
+        rng = np.random.default_rng(1)
+        x = rng.integers(0, 2, size=8)
+
+        for neuron in range(4):
+            h = ColumnHarness(1, rows=1024)
+            xw = h.input_word(8, [int(sum(b << i for i, b in enumerate(x)))])
+            ww = h.input_word(
+                8, [int(sum(int(w) << i for i, w in enumerate(weights[:, neuron])))]
+            )
+            count = emit_binary_dot(h.builder, xw, ww)
+            thr = h.input_word(
+                len(count), [int(min(max(thresholds[neuron], 0), 2 ** len(count) - 1))]
+            )
+            fire = arith.greater_equal(h.builder, count, thr)
+            mouse = h.run()
+            # Reference from the float model.
+            a = np.where(x > 0, 1.0, -1.0)
+            w_pm = weights[:, neuron].astype(float) * 2 - 1
+            expected = int(a @ w_pm / math.sqrt(8) + bnn.bias[0][neuron] >= 0)
+            assert h.read_bit(mouse, fire, 0) == expected, neuron
+
+
+class TestIntermittentEquivalence:
+    """The headline property: any compiled program, any outage pattern,
+    same final state as continuous power."""
+
+    def build_program(self, seed):
+        rng = np.random.default_rng(seed)
+        h = ColumnHarness(4, rows=1024)
+        a_vals = [int(v) for v in rng.integers(0, 16, size=4)]
+        b_vals = [int(v) for v in rng.integers(0, 16, size=4)]
+        a = h.input_word(4, a_vals)
+        b = h.input_word(4, b_vals)
+        total = arith.ripple_add(h.builder, a, b)
+        product = arith.multiply(h.builder, a, b)
+        return h, a_vals, b_vals, total, product
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_random_program_random_outages(self, seed):
+        h, a_vals, b_vals, total, product = self.build_program(seed)
+        mouse = h.run()  # continuous reference
+        reference = mouse.bank.snapshot()
+
+        h2, *_ = self.build_program(seed)
+        program = h2.builder.finish()
+        m2 = Mouse(MODERN_STT, rows=1024, cols=4)
+        for word, values in h2._inputs:
+            for col, value in enumerate(values):
+                masked = value & ((1 << len(word)) - 1)
+                for index, bit in enumerate(word):
+                    m2.tile(0).set_bit(bit.row, col, (masked >> index) & 1)
+        m2.load(program)
+        config = HarvestingConfig(
+            source=ConstantPowerSource(2e-9),
+            buffer=EnergyBuffer(capacitance=100e-6, v_off=0.00030, v_on=0.00034),
+        )
+        breakdown = IntermittentRun(m2, config).run()
+        assert breakdown.restarts > 0
+        assert all(
+            np.array_equal(x, y) for x, y in zip(m2.bank.snapshot(), reference)
+        )
+        for col in range(4):
+            assert (
+                ColumnHarness.read_word(m2, total, col)
+                == a_vals[col] + b_vals[col]
+            )
+            assert (
+                ColumnHarness.read_word(m2, product, col)
+                == a_vals[col] * b_vals[col]
+            )
+
+    def test_fluctuating_solar_source(self):
+        """The correctness protocol is independent of the constant-
+        power assumption (robustness extension)."""
+        h, a_vals, b_vals, total, product = self.build_program(7)
+        mouse = h.run()
+        reference = mouse.bank.snapshot()
+
+        h2, *_ = self.build_program(7)
+        m2 = Mouse(MODERN_STT, rows=1024, cols=4)
+        for word, values in h2._inputs:
+            for col, value in enumerate(values):
+                for index, bit in enumerate(word):
+                    m2.tile(0).set_bit(bit.row, col, (value >> index) & 1)
+        m2.load(h2.builder.finish())
+        config = HarvestingConfig(
+            source=SolarProfileSource(mean_watts=3e-9, depth=0.9, period=0.01),
+            buffer=EnergyBuffer(capacitance=100e-6, v_off=0.00030, v_on=0.00034),
+        )
+        breakdown = IntermittentRun(m2, config).run()
+        assert breakdown.restarts > 0
+        assert all(
+            np.array_equal(x, y) for x, y in zip(m2.bank.snapshot(), reference)
+        )
+
+
+class TestShePathEndToEnd:
+    def test_arithmetic_on_she_technology(self):
+        """The whole stack also runs on the 2T1M SHE configuration."""
+        h = ColumnHarness(2, rows=512, tech=PROJECTED_SHE)
+        x = h.input_word(4, [9, 14])
+        y = h.input_word(4, [6, 3])
+        total = arith.ripple_add(h.builder, x, y)
+        mouse = h.run()
+        assert h.read_word(mouse, total, 0) == 15
+        assert h.read_word(mouse, total, 1) == 17
+
+    def test_she_run_consumes_less_energy_than_modern(self):
+        def energy(tech):
+            h = ColumnHarness(2, rows=512, tech=tech)
+            x = h.input_word(4, [9, 14])
+            y = h.input_word(4, [6, 3])
+            arith.ripple_add(h.builder, x, y)
+            mouse = h.run()
+            return mouse.ledger.breakdown.total_energy
+
+        assert energy(PROJECTED_SHE) < energy(MODERN_STT)

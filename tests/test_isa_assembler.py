@@ -1,0 +1,93 @@
+"""Assembler: text <-> instruction round trips and diagnostics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.assembler import (
+    AssemblerError,
+    assemble,
+    assemble_line,
+    disassemble,
+    disassemble_one,
+)
+from repro.isa.instruction import (
+    ActivateColumnsInstruction,
+    HaltInstruction,
+    LogicInstruction,
+    MemoryInstruction,
+)
+
+SAMPLE = """
+; parallel NAND demo
+ACTIVATE t0 cols 0,1,2   ; three columns
+PRESET0  t0 row 1
+NAND     t0 in 0,4 out 1
+READ     t0 row 1
+WRITE    t1 row 8        # move the result
+ACTIVATE t1 cols 0..511
+MAJ3     t1 in 0,2,4 out 9
+HALT
+"""
+
+
+class TestAssemble:
+    def test_sample_program(self):
+        program = assemble(SAMPLE)
+        assert len(program) == 8
+        assert isinstance(program[0], ActivateColumnsInstruction)
+        assert program[0].columns == (0, 1, 2)
+        assert isinstance(program[1], MemoryInstruction)
+        assert program[2] == LogicInstruction("NAND", 0, (0, 4), 1)
+        assert program[5].bulk and program[5].columns == (0, 511)
+        assert isinstance(program[-1], HaltInstruction)
+
+    def test_comments_and_blanks_skipped(self):
+        assert assemble("; nothing\n\n# nope\n") == []
+
+    def test_case_insensitive_mnemonics(self):
+        instr = assemble_line("nand t0 in 0,2 out 1")
+        assert instr == LogicInstruction("NAND", 0, (0, 2), 1)
+
+    def test_accepts_iterable_of_lines(self):
+        program = assemble(["HALT"])
+        assert program == [HaltInstruction()]
+
+
+class TestRoundTrip:
+    def test_disassemble_then_assemble(self):
+        program = assemble(SAMPLE)
+        again = assemble(disassemble(program))
+        assert again == program
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        tile=st.integers(0, 511),
+        a=st.integers(0, 1023),
+        out=st.integers(0, 1023),
+    )
+    def test_logic_line_round_trip(self, tile, a, out):
+        instr = LogicInstruction("NOT", tile, (a,), out)
+        assert assemble_line(disassemble_one(instr)) == instr
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "FROB t0 in 0 out 1",
+            "NAND t0 in 0,2",
+            "NAND x0 in 0,2 out 1",
+            "READ t0 0",
+            "ACTIVATE t0 0,1",
+            "HALT now",
+            "ACTIVATE t0 cols a,b",
+        ],
+    )
+    def test_malformed_lines(self, line):
+        with pytest.raises(AssemblerError):
+            assemble_line(line, line_no=3)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError, match="line 2"):
+            assemble("HALT\nBOGUS t0 row 1\n")

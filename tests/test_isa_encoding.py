@@ -1,0 +1,175 @@
+"""64-bit instruction encoding: round trips and field limits."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import encoding
+from repro.isa.instruction import (
+    ActivateColumnsInstruction,
+    HaltInstruction,
+    LogicInstruction,
+    MemoryInstruction,
+    decode,
+    encode,
+)
+from repro.isa.opcodes import LOGIC_OPCODES, Opcode
+
+GATES_BY_ARITY = {
+    1: ["NOT", "BUF"],
+    2: ["NAND", "AND", "NOR", "OR"],
+    3: ["NAND3", "AND3", "MIN3", "MAJ3"],
+}
+
+
+class TestOpcodes:
+    def test_sixteen_opcodes(self):
+        assert len(Opcode) == 16
+
+    def test_classification(self):
+        assert Opcode.READ.is_memory and not Opcode.READ.is_logic
+        assert Opcode.NAND.is_logic and not Opcode.NAND.is_memory
+        assert not Opcode.ACTIVATE.is_logic and not Opcode.ACTIVATE.is_memory
+        assert not Opcode.HALT.is_logic
+
+    def test_arity(self):
+        assert Opcode.NOT.gate_arity == 1
+        assert Opcode.NAND.gate_arity == 2
+        assert Opcode.MAJ3.gate_arity == 3
+        with pytest.raises(ValueError):
+            Opcode.READ.gate_arity
+
+    def test_logic_opcode_names_exist_in_library(self):
+        from repro.logic.library import GATE_LIBRARY
+
+        for op in LOGIC_OPCODES:
+            assert op.name in GATE_LIBRARY
+
+
+class TestRoundTrips:
+    def test_halt(self):
+        word = encode(HaltInstruction())
+        assert decode(word) == HaltInstruction()
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        arity=st.sampled_from([1, 2, 3]),
+        tile=st.integers(0, encoding.MAX_TILE),
+        rows=st.lists(st.integers(0, encoding.MAX_ROW), min_size=4, max_size=4),
+        pick=st.integers(0, 3),
+    )
+    def test_logic_round_trip(self, arity, tile, rows, pick):
+        gate = GATES_BY_ARITY[arity][pick % len(GATES_BY_ARITY[arity])]
+        instr = LogicInstruction(
+            gate=gate,
+            tile=tile,
+            input_rows=tuple(rows[:arity]),
+            output_row=rows[3],
+        )
+        assert decode(encode(instr)) == instr
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        op=st.sampled_from(["READ", "WRITE", "PRESET0", "PRESET1"]),
+        tile=st.integers(0, encoding.MAX_TILE),
+        row=st.integers(0, encoding.MAX_ROW),
+    )
+    def test_memory_round_trip(self, op, tile, row):
+        instr = MemoryInstruction(op=op, tile=tile, row=row)
+        assert decode(encode(instr)) == instr
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        tile=st.integers(0, encoding.MAX_TILE),
+        columns=st.lists(
+            st.integers(0, encoding.MAX_COL), min_size=1, max_size=5, unique=True
+        ),
+    )
+    def test_activate_round_trip(self, tile, columns):
+        instr = ActivateColumnsInstruction(tile=tile, columns=tuple(columns))
+        decoded = decode(encode(instr))
+        assert decoded.tile == tile
+        assert set(decoded.columns) == set(columns)
+        assert not decoded.bulk
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        tile=st.integers(0, encoding.MAX_TILE),
+        first=st.integers(0, encoding.MAX_COL),
+        span=st.integers(0, 100),
+    )
+    def test_bulk_activate_round_trip(self, tile, first, span):
+        last = min(first + span, encoding.MAX_COL)
+        instr = ActivateColumnsInstruction(
+            tile=tile, columns=(first, last), bulk=True
+        )
+        assert decode(encode(instr)) == instr
+
+    def test_words_are_64_bit(self):
+        samples = [
+            HaltInstruction(),
+            LogicInstruction("MAJ3", 511, (1021, 1019, 1023), 1022),
+            MemoryInstruction("WRITE", 511, 1023),
+            ActivateColumnsInstruction(0, (1019, 1020, 1021, 1022, 1023)),
+        ]
+        for instr in samples:
+            word = encode(instr)
+            assert 0 <= word < 2**64
+
+
+class TestFieldLimits:
+    def test_row_out_of_range(self):
+        with pytest.raises(ValueError):
+            encoding.pack_logic(Opcode.NAND, 0, (1024, 0), 1)
+
+    def test_tile_out_of_range(self):
+        with pytest.raises(ValueError):
+            encoding.pack_memory(Opcode.READ, 512, 0)
+
+    def test_activate_column_count(self):
+        with pytest.raises(ValueError):
+            encoding.pack_activate(Opcode.ACTIVATE, 0, tuple(range(6)), bulk=False)
+        with pytest.raises(ValueError):
+            encoding.pack_activate(Opcode.ACTIVATE, 0, (), bulk=False)
+
+    def test_bulk_needs_ordered_pair(self):
+        with pytest.raises(ValueError):
+            encoding.pack_activate(Opcode.ACTIVATE, 0, (5, 2), bulk=True)
+        with pytest.raises(ValueError):
+            encoding.pack_activate(Opcode.ACTIVATE, 0, (1, 2, 3), bulk=True)
+
+    def test_decode_rejects_oversized_words(self):
+        with pytest.raises(ValueError):
+            decode(2**64)
+
+
+class TestInstructionValidation:
+    def test_logic_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            LogicInstruction("NAND", 0, (1,), 2)
+
+    def test_unknown_gate(self):
+        with pytest.raises(ValueError):
+            LogicInstruction("XOR", 0, (1, 3), 2)
+
+    def test_memory_op_validation(self):
+        with pytest.raises(ValueError):
+            MemoryInstruction("ERASE", 0, 0)
+        with pytest.raises(ValueError):
+            MemoryInstruction("NAND", 0, 0)
+
+    def test_activate_duplicate_columns(self):
+        with pytest.raises(ValueError):
+            ActivateColumnsInstruction(0, (3, 3))
+
+    def test_activate_column_count_property(self):
+        assert ActivateColumnsInstruction(0, (1, 2, 3)).column_count == 3
+        assert (
+            ActivateColumnsInstruction(0, (10, 19), bulk=True).column_count == 10
+        )
+
+    def test_str_renders(self):
+        assert "NAND" in str(LogicInstruction("NAND", 1, (0, 2), 3))
+        assert "READ" in str(MemoryInstruction("READ", 0, 5))
+        assert ".." in str(ActivateColumnsInstruction(0, (0, 7), bulk=True))
+        assert str(HaltInstruction()) == "HALT"

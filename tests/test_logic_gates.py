@@ -1,0 +1,201 @@
+"""Threshold-gate design: truth tables realised electrically, margins,
+voltages, energies, and gate-level idempotency."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.mtj import MTJ, MTJState
+from repro.devices.parameters import ALL_TECHNOLOGIES, MODERN_STT, PROJECTED_SHE
+from repro.logic.gates import (
+    GateSpec,
+    design_voltage,
+    gate_energy,
+    gate_margin,
+    mean_gate_energy,
+    operation_current,
+    read_energy,
+    write_energy,
+)
+from repro.logic.library import GATE_LIBRARY, gate_by_name
+from repro.logic.resistance import (
+    input_network_resistance,
+    total_path_resistance,
+)
+
+REFERENCE_TABLES = {
+    "NOT": {(0,): 1, (1,): 0},
+    "BUF": {(0,): 0, (1,): 1},
+    "NAND": {(0, 0): 1, (0, 1): 1, (1, 0): 1, (1, 1): 0},
+    "AND": {(0, 0): 0, (0, 1): 0, (1, 0): 0, (1, 1): 1},
+    "NOR": {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 0},
+    "OR": {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 1},
+}
+
+
+def electrical_output(params, spec, inputs) -> int:
+    """Run the gate on actual MTJ devices and return the output bit."""
+    output = MTJ(params, MTJState(int(spec.preset)))
+    current = operation_current(params, spec, sum(inputs))
+    output.apply_current(current, spec.direction)
+    return output.logic_value
+
+
+class TestTruthTables:
+    @pytest.mark.parametrize("name", sorted(REFERENCE_TABLES))
+    def test_reference_tables(self, name):
+        spec = gate_by_name(name)
+        for inputs, expected in REFERENCE_TABLES[name].items():
+            assert spec.evaluate(inputs) == expected, (name, inputs)
+
+    def test_three_input_gates(self):
+        for inputs in itertools.product((0, 1), repeat=3):
+            ones = sum(inputs)
+            assert gate_by_name("NAND3").evaluate(inputs) == (0 if ones == 3 else 1)
+            assert gate_by_name("AND3").evaluate(inputs) == (1 if ones == 3 else 0)
+            assert gate_by_name("MAJ3").evaluate(inputs) == (1 if ones >= 2 else 0)
+            assert gate_by_name("MIN3").evaluate(inputs) == (0 if ones >= 2 else 1)
+            assert gate_by_name("NOR3").evaluate(inputs) == (1 if ones == 0 else 0)
+            assert gate_by_name("OR3").evaluate(inputs) == (0 if ones == 0 else 1)
+
+    def test_truth_table_iterator_is_complete(self):
+        for spec in GATE_LIBRARY.values():
+            rows = list(spec.truth_table())
+            assert len(rows) == 2**spec.n_inputs
+
+
+class TestElectricalRealisation:
+    """The designed voltage must realise the ideal table on real
+    devices, for every gate, technology, and input combination."""
+
+    def test_every_gate_everywhere(self, tech):
+        for spec in GATE_LIBRARY.values():
+            for inputs, expected in spec.truth_table():
+                got = electrical_output(tech, spec, inputs)
+                assert got == expected, (tech.name, spec.name, inputs)
+
+    def test_margins_positive(self, tech):
+        for spec in GATE_LIBRARY.values():
+            assert gate_margin(tech, spec) > 0, (tech.name, spec.name)
+
+    def test_she_complementary_gates_share_voltage(self):
+        """With the output out of the path, NAND/AND (etc.) need the
+        same drive — the SHE symmetry."""
+        for a, b in (("NAND", "AND"), ("NOR", "OR"), ("NOT", "BUF")):
+            va = design_voltage(PROJECTED_SHE, gate_by_name(a))
+            vb = design_voltage(PROJECTED_SHE, gate_by_name(b))
+            assert va == pytest.approx(vb)
+
+    def test_stt_complementary_gates_differ(self):
+        va = design_voltage(MODERN_STT, gate_by_name("NAND"))
+        vb = design_voltage(MODERN_STT, gate_by_name("AND"))
+        assert va != pytest.approx(vb)
+
+
+class TestGateIdempotency:
+    """Repeating any gate (with any interruption pattern) cannot change
+    the already-correct output — paper Section V-A, generalised."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        name=st.sampled_from(sorted(GATE_LIBRARY)),
+        code=st.integers(0, 7),
+        cut_fraction=st.floats(0.05, 0.95),
+        repeats=st.integers(1, 4),
+    )
+    def test_interrupt_anywhere_then_repeat(self, name, code, cut_fraction, repeats):
+        params = MODERN_STT
+        spec = GATE_LIBRARY[name]
+        inputs = tuple((code >> i) & 1 for i in range(spec.n_inputs))
+        expected = spec.evaluate(inputs)
+        output = MTJ(params, MTJState(int(spec.preset)))
+        current = operation_current(params, spec, sum(inputs))
+        # Interrupted first attempt.
+        output.apply_current(
+            current, spec.direction, cut_fraction * params.switching_time
+        )
+        output.power_cycle()
+        # Re-perform the full operation one or more times.
+        for _ in range(repeats):
+            output.apply_current(current, spec.direction)
+        assert output.logic_value == expected
+
+    def test_longer_pulse_equivalence(self, tech):
+        """Repeating a gate is the same as a longer pulse (Section V-A)."""
+        spec = GATE_LIBRARY["NAND"]
+        inputs = (0, 1)
+        current = operation_current(tech, spec, sum(inputs))
+        once = MTJ(tech, MTJState(int(spec.preset)))
+        once.apply_current(current, spec.direction, 3 * tech.switching_time)
+        thrice = MTJ(tech, MTJState(int(spec.preset)))
+        for _ in range(3):
+            thrice.apply_current(current, spec.direction)
+        assert once.state is thrice.state
+
+
+class TestDesignValidation:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            GateSpec("BAD", n_inputs=0, ones_threshold=0, preset=False)
+        with pytest.raises(ValueError):
+            GateSpec("BAD", n_inputs=2, ones_threshold=2, preset=False)
+        with pytest.raises(ValueError):
+            GateSpec("BAD", n_inputs=2, ones_threshold=-1, preset=False)
+
+    def test_evaluate_arity_checked(self):
+        with pytest.raises(ValueError):
+            gate_by_name("NAND").evaluate((1,))
+
+    def test_unknown_gate(self):
+        with pytest.raises(KeyError):
+            gate_by_name("XNOR17")
+
+    def test_library_names_match(self):
+        for name, spec in GATE_LIBRARY.items():
+            assert spec.name == name
+
+
+class TestEnergies:
+    def test_gate_energy_positive_and_input_dependent(self, tech):
+        spec = GATE_LIBRARY["NAND"]
+        energies = [gate_energy(tech, spec, k) for k in range(3)]
+        assert all(e > 0 for e in energies)
+        # More 1-inputs -> higher resistance -> lower energy at fixed V.
+        assert energies[0] > energies[2]
+
+    def test_mean_energy_between_extremes(self, tech):
+        spec = GATE_LIBRARY["NAND"]
+        mean = mean_gate_energy(tech, spec)
+        assert gate_energy(tech, spec, 2) < mean < gate_energy(tech, spec, 0)
+
+    def test_technology_ordering(self):
+        """Projected beats modern; SHE beats projected (Section IX)."""
+        modern, projected, she = ALL_TECHNOLOGIES
+        for name in ("NAND", "NOT", "AND"):
+            spec = GATE_LIBRARY[name]
+            e = [mean_gate_energy(t, spec) for t in (modern, projected, she)]
+            assert e[0] > e[1] > e[2], name
+
+    def test_write_and_read_energies(self, tech):
+        assert write_energy(tech) > 0
+        assert read_energy(tech) > 0
+        assert read_energy(tech) < write_energy(tech)
+
+
+class TestResistanceNetwork:
+    def test_input_network_monotone_in_ones(self, tech):
+        for n in (1, 2, 3):
+            rs = [input_network_resistance(tech, n, k) for k in range(n + 1)]
+            assert rs == sorted(rs)
+            assert rs[0] > 0
+
+    def test_bad_ones_count(self):
+        with pytest.raises(ValueError):
+            input_network_resistance(MODERN_STT, 2, 3)
+
+    def test_total_path_includes_output(self, tech):
+        base = input_network_resistance(tech, 2, 1)
+        total = total_path_resistance(tech, 2, 1, preset=False)
+        assert total > base

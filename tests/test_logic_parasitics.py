@@ -1,0 +1,67 @@
+"""Interconnect-parasitic margin analysis."""
+
+import pytest
+
+from repro.devices.parameters import MODERN_STT, PROJECTED_SHE, PROJECTED_STT
+from repro.logic.library import AND, NAND, NOT
+from repro.logic.parasitics import (
+    DEFAULT_OHMS_PER_ROW,
+    margin_at_span,
+    max_functional_span,
+)
+
+
+class TestMarginAtSpan:
+    def test_zero_span_matches_design(self):
+        analysis = margin_at_span(MODERN_STT, NAND, 0)
+        assert analysis.functional
+        assert analysis.switch_current_ratio > 1.0 > analysis.hold_current_ratio
+
+    def test_wire_only_reduces_current(self):
+        near = margin_at_span(MODERN_STT, NAND, 0)
+        far = margin_at_span(MODERN_STT, NAND, 100)
+        assert far.switch_current_ratio < near.switch_current_ratio
+        assert far.hold_current_ratio < near.hold_current_ratio
+
+    def test_failure_mode_is_missed_switch(self):
+        """At huge spans the switching case starves; the hold case can
+        never break (less current cannot cause a spurious switch)."""
+        broken = margin_at_span(MODERN_STT, NAND, 10_000)
+        assert not broken.functional
+        assert broken.switch_current_ratio < 1.0
+        assert broken.hold_current_ratio < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            margin_at_span(MODERN_STT, NAND, -1)
+
+
+class TestMaxFunctionalSpan:
+    def test_boundary_is_tight(self):
+        span = max_functional_span(MODERN_STT, NAND)
+        assert margin_at_span(MODERN_STT, NAND, span).functional
+        assert not margin_at_span(MODERN_STT, NAND, span + 1).functional
+
+    def test_modern_nand_is_constrained_within_a_tile(self):
+        """Reproduction finding: at a pessimistic 5 ohm/row, Modern STT
+        NAND operands must stay within ~130 rows of each other — a real
+        placement constraint inside the 1024-row tile, consistent with
+        the paper's example layouts keeping operands adjacent."""
+        span = max_functional_span(MODERN_STT, NAND)
+        assert 50 < span < 1024
+
+    def test_projected_devices_span_the_whole_tile(self):
+        for tech in (PROJECTED_STT, PROJECTED_SHE):
+            for gate in (NOT, NAND, AND):
+                assert max_functional_span(tech, gate) > 1024, (tech.name, gate.name)
+
+    def test_cleaner_wires_extend_the_span(self):
+        tight = max_functional_span(MODERN_STT, NAND, ohms_per_row=5.0)
+        loose = max_functional_span(MODERN_STT, NAND, ohms_per_row=1.0)
+        assert loose > tight
+
+    def test_margin_ordering_matches_gate_design(self):
+        """Gates with bigger design margins tolerate longer wires."""
+        assert max_functional_span(MODERN_STT, NOT) > max_functional_span(
+            MODERN_STT, NAND
+        )

@@ -1,0 +1,120 @@
+"""BNN: topologies, STE training, and exactness of the integer path."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ml.bnn import BNN, BNNConfig, FINN_MNIST, FPBNN_MNIST, _sign
+from repro.ml.datasets import binarize, synthetic_mnist
+
+
+class TestConfigs:
+    def test_paper_topologies(self):
+        assert FINN_MNIST.hidden_sizes == (1024, 1024, 1024)
+        assert FINN_MNIST.input_bits == 1
+        assert FINN_MNIST.output_bits == 10
+        assert FPBNN_MNIST.hidden_sizes == (2048, 2048, 2048)
+        assert FPBNN_MNIST.input_bits == 8
+        assert FPBNN_MNIST.output_bits == 16
+
+    def test_layer_shapes(self):
+        shapes = FINN_MNIST.layer_shapes
+        assert shapes[0] == (784, 1024)
+        assert shapes[-1] == (1024, 10)
+
+    def test_scaled(self):
+        small = FINN_MNIST.scaled(0.125)
+        assert small.hidden_sizes == (128, 128, 128)
+        assert small.input_size == 784
+
+    def test_weight_bits(self):
+        cfg = BNNConfig("t", 4, (8,), 2, 1, 8)
+        assert cfg.weight_bits == 4 * 8 + 8 * 2
+
+
+class TestSign:
+    def test_sign_zero_is_positive(self):
+        assert _sign(np.array([0.0]))[0] == 1.0
+        assert _sign(np.array([-0.1]))[0] == -1.0
+
+
+class TestTraining:
+    def small_setup(self):
+        ds = synthetic_mnist(300, 100)
+        cfg = FINN_MNIST.scaled(0.0625)  # 64-neuron hiddens
+        return ds, cfg
+
+    def test_training_beats_chance(self):
+        ds, cfg = self.small_setup()
+        bnn = BNN(cfg, seed=0)
+        xb, xbt = binarize(ds.x_train), binarize(ds.x_test)
+        bnn.fit(xb, ds.y_train, epochs=15)
+        assert bnn.accuracy(xbt, ds.y_test) > 0.4  # chance = 0.1
+
+    def test_training_improves_over_init(self):
+        ds, cfg = self.small_setup()
+        xb, xbt = binarize(ds.x_train), binarize(ds.x_test)
+        bnn = BNN(cfg, seed=0)
+        before = bnn.accuracy(xbt, ds.y_test)
+        bnn.fit(xb, ds.y_train, epochs=8)
+        assert bnn.accuracy(xbt, ds.y_test) > before
+
+    def test_latent_weights_stay_clipped(self):
+        ds, cfg = self.small_setup()
+        bnn = BNN(cfg, seed=0)
+        bnn.fit(binarize(ds.x_train), ds.y_train, epochs=3)
+        for latent in bnn.latent:
+            assert np.all(np.abs(latent) <= 1.0 + 1e-12)
+
+
+class TestIntegerPath:
+    def test_binary_weights_are_bits(self):
+        bnn = BNN(FINN_MNIST.scaled(0.03125))
+        for w in bnn.binary_weights():
+            assert set(np.unique(w)) <= {0, 1}
+
+    def test_hidden_threshold_identity(self):
+        """p >= t  <=>  h >= 0, bit-for-bit on random networks."""
+        rng = np.random.default_rng(0)
+        cfg = BNNConfig("t", 16, (12, 8), 4, 1, 8)
+        bnn = BNN(cfg, seed=1)
+        for layer in range(2):
+            bnn.bias[layer] = rng.normal(scale=0.3, size=bnn.bias[layer].shape)
+        x = rng.integers(0, 2, size=(40, 16))
+        # Float reference for layer 0.
+        a = np.where(x > 0, 1.0, -1.0)
+        w = _sign(bnn.latent[0])
+        h = a @ w / math.sqrt(16) + bnn.bias[0]
+        fire_float = h >= 0
+        # Integer path for layer 0.
+        w01 = bnn.binary_weights()[0].astype(np.int64)
+        matches = x @ w01 + (1 - x) @ (1 - w01)
+        fire_int = matches >= bnn.hidden_thresholds()[0]
+        assert np.array_equal(fire_float, fire_int)
+
+    def test_predict_int_matches_float_binary_input(self):
+        ds = synthetic_mnist(200, 80)
+        cfg = FINN_MNIST.scaled(0.0625)
+        bnn = BNN(cfg, seed=0)
+        xb = binarize(ds.x_train)
+        bnn.fit(xb, ds.y_train, epochs=6)
+        xbt = binarize(ds.x_test)
+        agreement = np.mean(bnn.predict(xbt) == bnn.predict_int(xbt))
+        assert agreement > 0.95  # only output-bias rounding can differ
+
+    def test_predict_int_matches_float_8bit_input(self):
+        ds = synthetic_mnist(150, 60)
+        cfg = FPBNN_MNIST.scaled(0.03125)
+        bnn = BNN(cfg, seed=0)
+        bnn.fit(ds.x_train, ds.y_train, epochs=4)
+        agreement = np.mean(
+            bnn.predict(ds.x_test) == bnn.predict_int(ds.x_test)
+        )
+        assert agreement > 0.9
+
+    def test_accuracy_int_helper(self):
+        ds = synthetic_mnist(100, 40)
+        bnn = BNN(FINN_MNIST.scaled(0.03125), seed=0)
+        acc = bnn.accuracy_int(binarize(ds.x_test), ds.y_test)
+        assert 0.0 <= acc <= 1.0

@@ -1,0 +1,93 @@
+"""Synthetic dataset twins: shape contracts and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.ml.datasets import (
+    Dataset,
+    binarize,
+    synthetic_adult,
+    synthetic_har,
+    synthetic_mnist,
+)
+
+
+class TestShapes:
+    def test_mnist_contract(self):
+        ds = synthetic_mnist(100, 40)
+        assert ds.n_classes == 10
+        assert ds.n_features == 784  # 28 x 28, row-wise
+        assert ds.x_train.shape == (100, 784)
+        assert ds.x_test.shape == (40, 784)
+        assert ds.x_train.dtype == np.uint8
+        assert set(np.unique(ds.y_train)) <= set(range(10))
+
+    def test_har_contract(self):
+        ds = synthetic_har(80, 30)
+        assert ds.n_classes == 6
+        assert ds.n_features == 561
+        assert ds.x_train.dtype == np.uint8
+
+    def test_adult_contract(self):
+        ds = synthetic_adult(80, 30)
+        assert ds.n_classes == 2
+        assert ds.n_features == 15
+        assert set(np.unique(ds.y_train)) <= {0, 1}
+
+    def test_all_classes_present(self):
+        ds = synthetic_mnist(400, 100)
+        assert len(np.unique(ds.y_train)) == 10
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory", [synthetic_mnist, synthetic_har, synthetic_adult]
+    )
+    def test_same_seed_same_data(self, factory):
+        a = factory(50, 20, seed=42)
+        b = factory(50, 20, seed=42)
+        assert np.array_equal(a.x_train, b.x_train)
+        assert np.array_equal(a.y_test, b.y_test)
+
+    def test_different_seed_different_data(self):
+        a = synthetic_mnist(50, 20, seed=1)
+        b = synthetic_mnist(50, 20, seed=2)
+        assert not np.array_equal(a.x_train, b.x_train)
+
+
+class TestLearnability:
+    def test_classes_are_separated(self):
+        """A nearest-class-mean classifier must beat chance soundly —
+        otherwise accuracy experiments would be meaningless."""
+        ds = synthetic_mnist(300, 100)
+        means = np.stack(
+            [ds.x_train[ds.y_train == c].mean(axis=0) for c in range(10)]
+        )
+        dists = ((ds.x_test[:, None, :] - means[None]) ** 2).sum(axis=2)
+        accuracy = np.mean(np.argmin(dists, axis=1) == ds.y_test)
+        assert accuracy > 0.5  # chance is 0.1
+
+
+class TestBinarize:
+    def test_threshold(self):
+        x = np.array([[0, 127, 128, 255]], dtype=np.uint8)
+        assert binarize(x).tolist() == [[0, 0, 1, 1]]
+
+    def test_custom_threshold(self):
+        x = np.array([[10, 20]], dtype=np.uint8)
+        assert binarize(x, threshold=15).tolist() == [[0, 1]]
+
+    def test_output_is_uint8_bits(self):
+        out = binarize(np.random.default_rng(0).integers(0, 256, (5, 7)))
+        assert out.dtype == np.uint8
+        assert set(np.unique(out)) <= {0, 1}
+
+
+class TestValidation:
+    def test_dataset_shape_checks(self):
+        x = np.zeros((4, 3), dtype=np.uint8)
+        y = np.zeros(4, dtype=int)
+        with pytest.raises(ValueError):
+            Dataset("bad", x, y, np.zeros((2, 5), dtype=np.uint8), np.zeros(2), 2)
+        with pytest.raises(ValueError):
+            Dataset("bad", x, np.zeros(3), x, y, 2)

@@ -1,0 +1,78 @@
+"""Fixed-point quantisation and two's-complement codecs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.fixedpoint import (
+    FixedPointFormat,
+    dequantize,
+    from_twos_complement,
+    quantize,
+    to_twos_complement,
+)
+
+
+class TestFormat:
+    def test_ranges(self):
+        signed = FixedPointFormat(bits=8, signed=True, scale=1.0)
+        assert (signed.min_int, signed.max_int) == (-128, 127)
+        unsigned = FixedPointFormat(bits=8, signed=False, scale=1.0)
+        assert (unsigned.min_int, unsigned.max_int) == (0, 255)
+
+    def test_for_range_covers_peak(self):
+        values = np.array([-3.0, 2.0, 0.5])
+        fmt = FixedPointFormat.for_range(values, bits=8)
+        assert fmt.signed
+        assert quantize(values, fmt).max() <= fmt.max_int
+        assert quantize(values, fmt).min() >= fmt.min_int
+
+    def test_for_range_detects_unsigned(self):
+        fmt = FixedPointFormat.for_range(np.array([0.0, 3.0]), bits=8)
+        assert not fmt.signed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(bits=0, signed=True, scale=1.0)
+        with pytest.raises(ValueError):
+            FixedPointFormat(bits=8, signed=True, scale=0.0)
+
+
+class TestQuantise:
+    def test_round_trip_error_bounded(self):
+        values = np.linspace(-1.0, 1.0, 101)
+        fmt = FixedPointFormat.for_range(values, bits=8)
+        error = np.abs(dequantize(quantize(values, fmt), fmt) - values)
+        assert error.max() <= fmt.scale / 2 + 1e-12
+
+    def test_saturation(self):
+        fmt = FixedPointFormat(bits=4, signed=True, scale=1.0)
+        assert quantize(np.array([100.0]), fmt)[0] == 7
+        assert quantize(np.array([-100.0]), fmt)[0] == -8
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(-1e3, 1e3))
+    def test_quantise_idempotent(self, value):
+        fmt = FixedPointFormat(bits=10, signed=True, scale=0.37)
+        once = quantize(np.array([value]), fmt)
+        twice = quantize(dequantize(once, fmt), fmt)
+        assert once[0] == twice[0]
+
+
+class TestTwosComplement:
+    @settings(max_examples=200, deadline=None)
+    @given(value=st.integers(-128, 127))
+    def test_round_trip(self, value):
+        assert from_twos_complement(to_twos_complement(value, 8), 8) == value
+
+    def test_known_patterns(self):
+        assert to_twos_complement(-1, 8) == 0xFF
+        assert to_twos_complement(-128, 8) == 0x80
+        assert from_twos_complement(0x7F, 8) == 127
+
+    def test_range_checks(self):
+        with pytest.raises(ValueError):
+            to_twos_complement(-129, 8)
+        with pytest.raises(ValueError):
+            from_twos_complement(256, 8)

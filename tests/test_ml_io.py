@@ -1,0 +1,65 @@
+"""Model persistence round trips."""
+
+import numpy as np
+import pytest
+
+from repro.ml.bnn import BNN, FINN_MNIST
+from repro.ml.datasets import binarize, synthetic_adult, synthetic_mnist
+from repro.ml.io import load_bnn, load_svm, save_bnn, save_svm
+from repro.ml.svm import OneVsRestSVM
+
+
+class TestSvmPersistence:
+    def trained(self):
+        ds = synthetic_adult(150, 50)
+        model = OneVsRestSVM(2, c=1.0, max_iter=30)
+        model.fit(ds.x_train.astype(float), ds.y_train)
+        return ds, model
+
+    def test_round_trip_predictions_identical(self, tmp_path):
+        ds, model = self.trained()
+        path = tmp_path / "svm.npz"
+        save_svm(path, model)
+        loaded = load_svm(path)
+        x = ds.x_test.astype(float)
+        assert np.array_equal(model.predict(x), loaded.predict(x))
+        assert np.allclose(model.decision_matrix(x), loaded.decision_matrix(x))
+
+    def test_integer_pipeline_survives(self, tmp_path):
+        ds, model = self.trained()
+        path = tmp_path / "svm.npz"
+        save_svm(path, model)
+        loaded = load_svm(path)
+        assert np.array_equal(
+            model.predict_int(ds.x_test), loaded.predict_int(ds.x_test)
+        )
+
+    def test_unfitted_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_svm(tmp_path / "x.npz", OneVsRestSVM(3))
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, format=np.array(["bnn"]))
+        with pytest.raises(ValueError):
+            load_svm(path)
+
+
+class TestBnnPersistence:
+    def test_round_trip_predictions_identical(self, tmp_path):
+        ds = synthetic_mnist(150, 60)
+        model = BNN(FINN_MNIST.scaled(0.03125), seed=0)
+        model.fit(binarize(ds.x_train), ds.y_train, epochs=3)
+        path = tmp_path / "bnn.npz"
+        save_bnn(path, model)
+        loaded = load_bnn(path)
+        x = binarize(ds.x_test)
+        assert np.array_equal(model.predict(x), loaded.predict(x))
+        assert np.array_equal(model.predict_int(x), loaded.predict_int(x))
+        assert loaded.config.hidden_sizes == model.config.hidden_sizes
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, format=np.array(["ovr-svm"]))
+        with pytest.raises(ValueError):
+            load_bnn(path)

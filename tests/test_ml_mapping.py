@@ -1,0 +1,189 @@
+"""Workload mapping: memory sizing, profiles, and paper consistency."""
+
+import pytest
+
+from repro.devices.parameters import MODERN_STT, PROJECTED_SHE, PROJECTED_STT
+from repro.energy.model import InstructionCostModel
+from repro.ml.benchmarks import (
+    ALL_WORKLOADS,
+    BNN_FINN,
+    BNN_FPBNN,
+    SVM_ADULT,
+    SVM_HAR,
+    SVM_MNIST,
+    SVM_MNIST_BIN,
+    workload_by_name,
+)
+from repro.ml.mapping import BnnWorkload, SvmWorkload
+
+
+class TestBenchmarkSuite:
+    def test_paper_model_sizes(self):
+        assert SVM_MNIST.n_support == 11_813
+        assert SVM_MNIST_BIN.n_support == 12_214
+        assert SVM_HAR.n_support == 2_809
+        assert SVM_ADULT.n_support == 1_909
+        assert BNN_FINN.layer_sizes == (784, 1024, 1024, 1024, 10)
+        assert BNN_FPBNN.layer_sizes == (784, 2048, 2048, 2048, 10)
+
+    def test_lookup(self):
+        assert workload_by_name("svm mnist") is SVM_MNIST
+        with pytest.raises(KeyError):
+            workload_by_name("nope")
+
+
+class TestMemorySizing:
+    """Table III 'Total Memory' column: our sizing must land on the
+    paper's power-of-two bins (FINN is the single known deviation,
+    documented in EXPERIMENTS.md: 4 MB here vs 8 MB in the paper)."""
+
+    @pytest.mark.parametrize(
+        "workload, capacity",
+        [
+            (SVM_MNIST, 64),
+            (SVM_MNIST_BIN, 8),
+            (SVM_HAR, 16),
+            (SVM_ADULT, 1),
+            (BNN_FPBNN, 16),
+        ],
+    )
+    def test_capacity_matches_paper(self, workload, capacity):
+        assert workload.capacity_mb() == capacity
+
+    def test_finn_capacity_within_one_bin(self):
+        assert BNN_FINN.capacity_mb() in (4, 8)
+
+    def test_memory_parts_positive(self):
+        for workload in ALL_WORKLOADS:
+            instr, data = workload.memory_bytes()
+            assert instr > 0 and data > 0
+
+    def test_area_uses_capacity(self):
+        area = SVM_MNIST.area_mm2(MODERN_STT)
+        assert area == pytest.approx(50.98, rel=0.05)
+
+
+class TestLayoutPolicy:
+    def test_elements_respect_row_budget(self):
+        for workload in (SVM_MNIST, SVM_MNIST_BIN, SVM_HAR, SVM_ADULT):
+            e = workload.elements_per_column()
+            assert 1 <= e <= workload.dimensions
+            assert e * workload._rows_per_element() <= 1024
+
+    def test_columns_cover_dimensions(self):
+        for workload in (SVM_MNIST, SVM_HAR, SVM_ADULT):
+            assert (
+                workload.columns_per_unit() * workload.elements_per_column()
+                >= workload.dimensions
+            )
+
+    def test_binarized_packs_denser(self):
+        assert (
+            SVM_MNIST_BIN.elements_per_column() > SVM_MNIST.elements_per_column()
+        )
+
+    def test_adult_fits_one_column(self):
+        assert SVM_ADULT.columns_per_unit() == 1
+
+    def test_accumulator_widths(self):
+        assert SVM_MNIST.kernel_bits() == 8 + 8 + 10  # log2(784) -> 10
+        assert SVM_MNIST_BIN.kernel_bits() == 10
+        assert SVM_MNIST.score_bits() <= SVM_MNIST.score_cap_bits
+
+
+class TestProfiles:
+    def cost(self, tech=MODERN_STT):
+        return InstructionCostModel(tech)
+
+    def test_profiles_nonempty_and_positive(self):
+        cost = self.cost()
+        for workload in ALL_WORKLOADS:
+            profile = workload.profile(cost)
+            assert profile.instructions > 1000
+            assert profile.total_energy > 0
+            assert profile.active_columns >= 1
+
+    def test_energy_ordering_matches_table_iv(self):
+        """The paper's energy ranking: ADULT < FINN < MNIST(Bin) <
+        FP-BNN < HAR < MNIST."""
+        cost = self.cost()
+        energy = {w.name: w.profile(cost).total_energy for w in ALL_WORKLOADS}
+        ordered = [
+            "SVM ADULT",
+            "BNN FINN",
+            "SVM MNIST (Bin)",
+            "BNN FP-BNN",
+            "SVM HAR",
+            "SVM MNIST",
+        ]
+        values = [energy[name] for name in ordered]
+        assert values == sorted(values)
+
+    def test_binarization_pays_off(self):
+        """Binarised MNIST must be far cheaper (paper: 21x energy)."""
+        cost = self.cost()
+        full = SVM_MNIST.profile(cost).total_energy
+        binary = SVM_MNIST_BIN.profile(cost).total_energy
+        assert full / binary > 10
+
+    def test_technology_scaling(self):
+        """Every workload: Modern > Projected STT > SHE total energy."""
+        for workload in ALL_WORKLOADS:
+            energies = [
+                workload.profile(InstructionCostModel(t)).total_energy
+                for t in (MODERN_STT, PROJECTED_STT, PROJECTED_SHE)
+            ]
+            assert energies[0] > energies[1] > energies[2], workload.name
+
+    def test_latency_within_paper_band(self):
+        """Continuous-power latency within ~an order of magnitude of
+        Table IV (exact scheduling is not published)."""
+        paper_us = {
+            "SVM MNIST": 23_936,
+            "SVM MNIST (Bin)": 6_575,
+            "SVM HAR": 11_805,
+            "SVM ADULT": 1_189,
+            "BNN FINN": 1_485,
+            "BNN FP-BNN": 2_007,
+        }
+        cost = self.cost()
+        for workload in ALL_WORKLOADS:
+            latency, _ = workload.continuous(cost)
+            ratio = latency * 1e6 / paper_us[workload.name]
+            assert 0.1 < ratio < 10, (workload.name, ratio)
+
+    def test_energy_within_factor_two_of_paper(self):
+        paper_uj = {
+            "SVM MNIST": 1_384,
+            "SVM MNIST (Bin)": 65.49,
+            "SVM HAR": 468.6,
+            "SVM ADULT": 7.24,
+            "BNN FINN": 14.33,
+            "BNN FP-BNN": 99.9,
+        }
+        cost = self.cost()
+        for workload in ALL_WORKLOADS:
+            _, energy = workload.continuous(cost)
+            ratio = energy * 1e6 / paper_uj[workload.name]
+            assert 0.4 < ratio < 2.5, (workload.name, ratio)
+
+    def test_profile_scales_with_model_size(self):
+        small = SvmWorkload(
+            name="small",
+            dimensions=784,
+            input_bits=8,
+            sv_bits=8,
+            n_support=1_000,
+            n_classes=10,
+        )
+        cost = self.cost()
+        assert (
+            small.profile(cost).total_energy
+            < SVM_MNIST.profile(cost).total_energy
+        )
+
+    def test_bnn_geometry(self):
+        e, cpu, fan_in = BNN_FINN._layer_geometry(1)
+        assert fan_in == 1024
+        assert cpu * e >= fan_in
+        assert BNN_FINN.total_columns() > 0

@@ -1,0 +1,57 @@
+"""Model-to-workload glue: pricing trained models."""
+
+import pytest
+
+from repro.devices.parameters import MODERN_STT
+from repro.energy.model import InstructionCostModel
+from repro.ml.bnn import BNN, FINN_MNIST
+from repro.ml.datasets import synthetic_adult
+from repro.ml.mapping import BnnWorkload, SvmWorkload
+from repro.ml.svm import OneVsRestSVM
+
+
+class TestSvmFromModel:
+    def trained(self):
+        ds = synthetic_adult(150, 50)
+        model = OneVsRestSVM(2, c=1.0, max_iter=30)
+        model.fit(ds.x_train.astype(float), ds.y_train)
+        return model
+
+    def test_dimensions_and_counts_from_model(self):
+        model = self.trained()
+        workload = SvmWorkload.from_model(model)
+        assert workload.dimensions == 15
+        assert workload.n_support == model.total_support_vectors
+        assert workload.n_classes == 2
+
+    def test_priced_through_the_cost_model(self):
+        workload = SvmWorkload.from_model(self.trained())
+        cost = InstructionCostModel(MODERN_STT)
+        latency, energy = workload.continuous(cost)
+        assert latency > 0 and energy > 0
+        assert workload.capacity_mb() >= 1
+
+    def test_binarized_flag(self):
+        workload = SvmWorkload.from_model(self.trained(), binarized=True)
+        assert workload.input_bits == 1
+        assert workload.sv_bits == 1
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ValueError):
+            SvmWorkload.from_model(OneVsRestSVM(2))
+
+
+class TestBnnFromModel:
+    def test_topology_from_model(self):
+        model = BNN(FINN_MNIST.scaled(0.0625))
+        workload = BnnWorkload.from_model(model)
+        assert workload.layer_sizes == (784, 64, 64, 64, 10)
+        assert workload.input_bits == 1
+
+    def test_smaller_model_costs_less(self):
+        cost = InstructionCostModel(MODERN_STT)
+        small = BnnWorkload.from_model(BNN(FINN_MNIST.scaled(0.0625)))
+        large = BnnWorkload.from_config(FINN_MNIST)
+        assert (
+            small.profile(cost).total_energy < large.profile(cost).total_energy
+        )

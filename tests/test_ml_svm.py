@@ -1,0 +1,128 @@
+"""SVM: SMO training, poly-2 kernel, one-vs-rest, integer pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.ml.datasets import synthetic_adult, synthetic_mnist
+from repro.ml.svm import OneVsRestSVM, PolyKernel, PolySVM
+
+
+def ring_dataset(n=120, seed=0):
+    """A radially-separable binary problem a poly-2 kernel nails and a
+    linear model cannot."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 2))
+    radius = np.linalg.norm(x, axis=1)
+    y = (radius > 1.0).astype(float) * 2 - 1
+    return x, y
+
+
+class TestKernel:
+    def test_poly2_values(self):
+        k = PolyKernel(degree=2, gamma=1.0, coef0=1.0)
+        a = np.array([[1.0, 2.0]])
+        b = np.array([[3.0, 4.0]])
+        assert k(a, b)[0, 0] == pytest.approx((1 * 3 + 2 * 4 + 1) ** 2)
+
+    def test_gram_symmetry(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(10, 4))
+        gram = PolyKernel()(x, x)
+        assert np.allclose(gram, gram.T)
+
+
+class TestBinaryTraining:
+    def test_learns_ring(self):
+        x, y = ring_dataset()
+        svm = PolySVM(c=5.0, gamma=1.0, max_iter=300, max_passes=5)
+        svm.fit(x, y)
+        accuracy = np.mean((svm.decision_function(x) >= 0) == (y > 0))
+        assert accuracy > 0.9
+
+    def test_accepts_01_labels(self):
+        x, y = ring_dataset()
+        svm = PolySVM(c=5.0, gamma=1.0, max_iter=100)
+        svm.fit(x, (y > 0).astype(int))
+        assert svm.n_support_ > 0
+
+    def test_unfitted_raises(self):
+        svm = PolySVM()
+        with pytest.raises(RuntimeError):
+            svm.decision_function(np.zeros((1, 2)))
+        with pytest.raises(RuntimeError):
+            _ = svm.n_support_
+
+    def test_empty_training_set(self):
+        with pytest.raises(ValueError):
+            PolySVM().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_support_vectors_subset_of_training(self):
+        x, y = ring_dataset()
+        svm = PolySVM(c=1.0, gamma=1.0, max_iter=100).fit(x, y)
+        assert svm.n_support_ <= len(x)
+        assert svm.support_vectors_.shape[1] == 2
+
+    def test_deterministic_given_seed(self):
+        x, y = ring_dataset()
+        a = PolySVM(c=1.0, gamma=1.0, max_iter=50, seed=3).fit(x, y)
+        b = PolySVM(c=1.0, gamma=1.0, max_iter=50, seed=3).fit(x, y)
+        assert np.array_equal(a.support_vectors_, b.support_vectors_)
+        assert np.allclose(a.dual_coef_, b.dual_coef_)
+
+
+class TestIntegerPipeline:
+    def test_int_scores_track_float(self):
+        """The integer MOUSE pipeline must preserve decision ordering."""
+        ds = synthetic_adult(200, 80)
+        svm = PolySVM(c=1.0, max_iter=80)
+        svm.fit(ds.x_train.astype(float), ds.y_train.astype(float) * 2 - 1)
+        float_pred = svm.predict(ds.x_test.astype(float))
+        raw = svm.decision_values_int(ds.x_test)
+        int_pred = (raw >= round(-svm.bias_ / _int_scale(svm))).astype(int)
+        agreement = np.mean(float_pred == int_pred)
+        assert agreement > 0.9
+
+    def test_multiclass_int_agreement(self):
+        ds = synthetic_mnist(250, 80)
+        ovr = OneVsRestSVM(10, c=1.0, max_iter=40)
+        ovr.fit(ds.x_train.astype(float), ds.y_train)
+        float_pred = ovr.predict(ds.x_test.astype(float))
+        int_pred = ovr.predict_int(ds.x_test)
+        assert np.mean(float_pred == int_pred) > 0.85
+
+
+def _int_scale(svm: PolySVM) -> float:
+    from repro.ml.fixedpoint import FixedPointFormat
+
+    sv_fmt = FixedPointFormat.for_range(svm.support_vectors_, 8)
+    coef_fmt = FixedPointFormat.for_range(svm.dual_coef_, 16, signed=True)
+    return (svm.kernel_.gamma * sv_fmt.scale) ** 2 * coef_fmt.scale
+
+
+class TestOneVsRest:
+    def test_trains_per_class(self):
+        ds = synthetic_mnist(150, 50)
+        ovr = OneVsRestSVM(10, c=1.0, max_iter=20)
+        ovr.fit(ds.x_train.astype(float), ds.y_train)
+        assert len(ovr.machines) == 10
+        assert ovr.total_support_vectors == sum(
+            m.n_support_ for m in ovr.machines
+        )
+
+    def test_beats_chance_clearly(self):
+        ds = synthetic_mnist(400, 150)
+        ovr = OneVsRestSVM(10, c=1.0, max_iter=60)
+        ovr.fit(ds.x_train.astype(float), ds.y_train)
+        assert ovr.accuracy(ds.x_test.astype(float), ds.y_test) > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OneVsRestSVM(1)
+        with pytest.raises(RuntimeError):
+            OneVsRestSVM(3).predict(np.zeros((1, 4)))
+
+    def test_decision_matrix_shape(self):
+        ds = synthetic_adult(100, 30)
+        ovr = OneVsRestSVM(2, c=1.0, max_iter=20)
+        ovr.fit(ds.x_train.astype(float), ds.y_train)
+        assert ovr.decision_matrix(ds.x_test.astype(float)).shape == (30, 2)

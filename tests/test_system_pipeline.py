@@ -1,0 +1,100 @@
+"""Sensor-driven inference pipeline (Section IV-E integration)."""
+
+import numpy as np
+import pytest
+
+from repro.core.program import Program
+from repro.devices.parameters import MODERN_STT
+from repro.harvest import HarvestingConfig
+from repro.harvest.capacitor import EnergyBuffer
+from repro.harvest.source import ConstantPowerSource
+from repro.isa.assembler import assemble
+from repro.system import SensorDrivenPipeline, transfer_prologue
+from tests.conftest import make_mouse
+
+
+def build_pipeline(harvesting=None, corruption_rate=0.0):
+    """Transfer 3 sensor rows, then NAND rows 0 and 2 into row 3."""
+    mouse = make_mouse(MODERN_STT, rows=16, cols=8)
+    program = Program(transfer_prologue(3))
+    program.extend(
+        assemble(
+            """
+            ACTIVATE t0 cols 0,1,2,3
+            PRESET0  t0 row 3
+            NAND     t0 in 0,2 out 3
+            HALT
+            """
+        )
+    )
+    mouse.load(program)
+    pipeline = SensorDrivenPipeline(
+        mouse=mouse,
+        result_rows=[(3, c) for c in range(4)],
+        harvesting=harvesting,
+        corruption_rate=corruption_rate,
+        seed=3,
+    )
+    return mouse, pipeline
+
+
+def make_sample(a_bits, b_bits):
+    sample = np.zeros((3, 8), dtype=bool)
+    sample[0, : len(a_bits)] = a_bits
+    sample[2, : len(b_bits)] = b_bits
+    return sample
+
+
+REFERENCE = [
+    ([1, 1, 0, 0], [1, 0, 1, 0], (0, 1, 1, 1)),
+    ([1, 1, 1, 1], [1, 1, 1, 1], (0, 0, 0, 0)),
+    ([0, 0, 0, 0], [0, 1, 0, 1], (1, 1, 1, 1)),
+]
+
+
+class TestContinuousPipeline:
+    def test_stream_of_samples(self):
+        _, pipeline = build_pipeline()
+        samples = [make_sample(a, b) for a, b, _ in REFERENCE]
+        outcomes = pipeline.process(samples)
+        assert [o.result_bits for o in outcomes] == [r for *_, r in REFERENCE]
+        for o in outcomes:
+            assert o.retransfers == 0
+            assert o.breakdown.instructions > 0
+
+    def test_prologue_validation(self):
+        with pytest.raises(ValueError):
+            transfer_prologue(0)
+
+    def test_corruption_rate_validation(self):
+        with pytest.raises(ValueError):
+            build_pipeline(corruption_rate=1.5)
+
+
+class TestCorruptionRecovery:
+    def test_sensor_corruption_forces_retransfer(self):
+        _, pipeline = build_pipeline(corruption_rate=1.0)
+        samples = [make_sample(a, b) for a, b, _ in REFERENCE]
+        outcomes = pipeline.process(samples)
+        # Every sample was corrupted once, re-transferred, and still
+        # produced the right answer.
+        assert all(o.retransfers == 1 for o in outcomes)
+        assert [o.result_bits for o in outcomes] == [r for *_, r in REFERENCE]
+
+    def test_restart_counted(self):
+        _, pipeline = build_pipeline(corruption_rate=1.0)
+        outcomes = pipeline.process([make_sample(*REFERENCE[0][:2])])
+        assert outcomes[0].breakdown.restarts >= 1
+
+
+class TestHarvestedPipeline:
+    def test_intermittent_inference_stream(self):
+        config = HarvestingConfig(
+            source=ConstantPowerSource(2e-9),
+            buffer=EnergyBuffer(capacitance=100e-6, v_off=0.00030, v_on=0.00034),
+        )
+        _, pipeline = build_pipeline(harvesting=config)
+        samples = [make_sample(a, b) for a, b, _ in REFERENCE]
+        outcomes = pipeline.process(samples)
+        assert [o.result_bits for o in outcomes] == [r for *_, r in REFERENCE]
+        assert sum(o.breakdown.restarts for o in outcomes) > 0
