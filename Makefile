@@ -1,10 +1,13 @@
-.PHONY: install test bench experiments export examples all
+.PHONY: install test trace-smoke bench experiments export examples all
 
 install:
 	pip install -e . --no-build-isolation
 
-test:
+test: trace-smoke
 	pytest tests/
+
+trace-smoke:
+	PYTHONPATH=src python -m repro.obs.smoke
 
 bench:
 	pytest benchmarks/ --benchmark-only

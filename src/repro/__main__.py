@@ -2,56 +2,137 @@
 
     python -m repro list                 # available experiments
     python -m repro run <name> [...]     # run selected experiments
+    python -m repro run <name> --events ev.jsonl --trace t.json --manifest
     python -m repro all [--skip-accuracy]
     python -m repro info                 # technologies and gate designs
     python -m repro export [directory]   # write every artifact as CSV
+    python -m repro stats ev.jsonl       # replay a telemetry event log
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.experiments.runner import EXPERIMENTS
 
 
+def _slug(label: str) -> str:
+    return label.lower().replace(" ", "-").replace("(", "").replace(")", "")
+
+
+@dataclass(frozen=True)
+class AmbiguousSlug:
+    """A short name matched by several experiments."""
+
+    key: str
+    candidates: tuple[str, ...]
+
+
 def _experiment_map() -> dict[str, object]:
-    out = {}
+    out: dict[str, object] = {}
+    short: dict[str, list[str]] = {}
     for label, entry in EXPERIMENTS:
-        key = label.split(" ")[0].lower().rstrip(":")
-        # e.g. "table" collides; use the full slug too.
-        slug = (
-            label.lower()
-            .replace(" ", "-")
-            .replace("(", "")
-            .replace(")", "")
-        )
+        slug = _slug(label)
         out[slug] = entry
-        out.setdefault(key, entry)
+        key = label.split(" ")[0].lower().rstrip(":")
+        short.setdefault(key, []).append(slug)
+    # Short names are conveniences; one that fans out to several
+    # experiments ("table") is an error listing the candidates rather
+    # than a silent pick of whichever came first.
+    for key, slugs in short.items():
+        if key in out:
+            continue
+        if len(slugs) == 1:
+            out[key] = out[slugs[0]]
+        else:
+            out[key] = AmbiguousSlug(key, tuple(slugs))
     return out
 
 
 def cmd_list() -> int:
     print("available experiments (python -m repro run <slug>):")
     for label, _ in EXPERIMENTS:
-        slug = (
-            label.lower().replace(" ", "-").replace("(", "").replace(")", "")
-        )
-        print(f"  {slug}")
+        print(f"  {_slug(label)}")
     return 0
 
 
-def cmd_run(names: list[str]) -> int:
+def cmd_run(
+    names: list[str],
+    events: Optional[str] = None,
+    trace: Optional[str] = None,
+    manifest: Optional[str] = None,
+) -> int:
+    from repro import obs
+
     table = _experiment_map()
+    try:
+        telemetry = obs.from_paths(events=events, trace=trace)
+    except OSError as exc:
+        print(f"cannot open telemetry output: {exc}")
+        return 2
     status = 0
-    for name in names:
-        entry = table.get(name.lower())
-        if entry is None:
-            print(f"unknown experiment {name!r}; try 'python -m repro list'")
-            status = 2
-            continue
-        entry()
+    started = time.perf_counter()
+    ran: list[str] = []
+    with obs.use(telemetry):
+        for name in names:
+            entry = table.get(name.lower())
+            if entry is None:
+                print(f"unknown experiment {name!r}; try 'python -m repro list'")
+                status = 2
+                continue
+            if isinstance(entry, AmbiguousSlug):
+                print(
+                    f"ambiguous experiment {name!r}; candidates: "
+                    + ", ".join(entry.candidates)
+                )
+                status = 2
+                continue
+            with telemetry.span(name.lower()):
+                entry()
+            ran.append(name.lower())
+    wall = time.perf_counter() - started
+    telemetry.close()
+
+    if telemetry.enabled:
+        _print_telemetry_summary(telemetry, events, trace)
+    if manifest is not None:
+        from repro.obs.manifest import write_manifest
+
+        path = write_manifest(
+            manifest,
+            command=["python", "-m", "repro", "run"] + names,
+            config={
+                "experiments": ran,
+                "events": events,
+                "trace": trace,
+            },
+            wall_time_s=wall,
+            metrics=telemetry.snapshot() if telemetry.enabled else None,
+        )
+        print(f"manifest: {path}")
     return status
+
+
+def _print_telemetry_summary(telemetry, events, trace) -> None:
+    print(f"\ntelemetry: {telemetry.events_emitted:,} events emitted")
+    if trace:
+        print(f"  perfetto trace: {trace} (open in https://ui.perfetto.dev)")
+    if events:
+        from repro.obs.replay import replay
+
+        stats = replay(events, top=0)
+        print(f"  event log: {events}")
+        if stats.energy_by_category:
+            print("  per-category energy sums from the event log (J):")
+            for category in sorted(stats.energy_by_category):
+                print(
+                    f"    {category:10s} {stats.energy_by_category[category]!r}"
+                )
+            print(f"    {'TOTAL':10s} {stats.total_energy!r}")
 
 
 def cmd_all(skip_accuracy: bool) -> int:
@@ -81,29 +162,68 @@ def cmd_export(directory: str) -> int:
     return 0
 
 
+def cmd_stats(path: str, top: int) -> int:
+    from repro.obs.replay import render, replay
+
+    try:
+        stats = replay(path, top=top)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {path}: {exc}")
+        return 2
+    print(render(stats, top=top))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list experiment slugs")
     run_p = sub.add_parser("run", help="run selected experiments")
     run_p.add_argument("names", nargs="+")
+    run_p.add_argument(
+        "--events", metavar="PATH", help="write a JSONL telemetry event log"
+    )
+    run_p.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a Chrome-trace JSON loadable in Perfetto",
+    )
+    run_p.add_argument(
+        "--manifest",
+        nargs="?",
+        const="runs",
+        metavar="DIR",
+        help="write a run manifest (default directory: runs/)",
+    )
     all_p = sub.add_parser("all", help="run every experiment")
     all_p.add_argument("--skip-accuracy", action="store_true")
     sub.add_parser("info", help="device technologies and gate designs")
     export_p = sub.add_parser("export", help="write every artifact as CSV")
     export_p.add_argument("directory", nargs="?", default="results")
+    stats_p = sub.add_parser(
+        "stats", help="replay a JSONL event log into aggregate views"
+    )
+    stats_p.add_argument("path")
+    stats_p.add_argument("--top", type=int, default=10)
 
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
     if args.command == "run":
-        return cmd_run(args.names)
+        return cmd_run(
+            args.names,
+            events=args.events,
+            trace=args.trace,
+            manifest=args.manifest,
+        )
     if args.command == "all":
         return cmd_all(args.skip_accuracy)
     if args.command == "info":
         return cmd_info()
     if args.command == "export":
         return cmd_export(args.directory)
+    if args.command == "stats":
+        return cmd_stats(args.path, args.top)
     return 2  # pragma: no cover
 
 

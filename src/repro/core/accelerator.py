@@ -89,8 +89,22 @@ class Mouse:
         self.ledger = EnergyLedger()
         self.controller = MemoryController(self.bank, self.cost, self.ledger)
         self._program: Optional[Program] = None
+        self.telemetry = None
 
     # ------------------------------------------------------------------
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Attach a :class:`repro.obs.Telemetry` hub to the machine.
+
+        The controller then emits ``instr.commit`` / power events and
+        the ledger mirrors every charge as an ``energy`` event.  Pass
+        None (or a disabled hub) to detach; the simulation hot path is
+        unaffected when detached.
+        """
+        self.telemetry = telemetry
+        active = telemetry if (telemetry is not None and telemetry.enabled) else None
+        self.controller.attach_obs(active)
+        self.ledger.obs = active
 
     def load(self, program: Program | Sequence[Instruction]) -> None:
         """Validate a program and write it into the instruction tiles."""

@@ -31,6 +31,7 @@ from repro.array.bank import BROADCAST_TILE, SENSOR_TILE, Bank
 from repro.core.registers import DualRegister
 from repro.energy.metrics import Category, EnergyLedger
 from repro.energy.model import InstructionCostModel
+from repro.isa.assembler import disassemble_one
 from repro.isa.instruction import (
     ActivateColumnsInstruction,
     HaltInstruction,
@@ -43,6 +44,10 @@ from repro.isa.instruction import (
 
 #: Sentinel stored in dual registers that hold "nothing yet".
 _NONE = (1 << 24) - 1
+
+
+class InstructionBudgetExceeded(RuntimeError):
+    """A run exceeded its ``max_instructions`` budget before HALT."""
 
 
 class Phase(enum.Enum):
@@ -89,6 +94,27 @@ class MemoryController:
         self._dead_replay = False
         self._lost_work = False
 
+        # Telemetry (repro.obs).  None = disabled: the hot path pays a
+        # single `is None` check per microstep and allocates nothing.
+        self._obs = None
+        self._obs_pc = 0
+        self._obs_text = ""
+        self._obs_e0 = 0.0
+        self._obs_t0 = 0.0
+        self._obs_steps = 0
+        self._obs_dead = False
+
+    def attach_obs(self, telemetry) -> None:
+        """Attach a :class:`repro.obs.Telemetry` hub (None detaches).
+
+        A disabled hub (no sink) is treated as detached so the
+        per-microstep guard stays a single pointer comparison.
+        """
+        if telemetry is not None and telemetry.enabled:
+            self._obs = telemetry
+        else:
+            self._obs = None
+
     # ------------------------------------------------------------------
     # Microstep execution
     # ------------------------------------------------------------------
@@ -107,7 +133,13 @@ class MemoryController:
             Phase.PC_STAGE: self._do_pc_stage,
             Phase.COMMIT: self._do_commit,
         }[phase]
-        handler()
+        if self._obs is None:
+            handler()
+        else:
+            if phase is Phase.FETCH:
+                self._obs_begin()
+            handler()
+            self._obs_after(phase)
         return phase
 
     def step_instruction(self) -> None:
@@ -125,11 +157,43 @@ class MemoryController:
         executed = 0
         while not self.halted:
             if executed >= max_instructions:
-                raise RuntimeError(
+                raise InstructionBudgetExceeded(
                     f"program did not halt within {max_instructions} instructions"
                 )
             self.step_instruction()
             executed += 1
+
+    # ------------------------------------------------------------------
+    # Telemetry (only reached when a hub with a live sink is attached)
+    # ------------------------------------------------------------------
+
+    def _obs_begin(self) -> None:
+        """Snapshot per-instruction state at the start of FETCH."""
+        b = self.ledger.breakdown
+        self._obs_pc = self.pc.read()
+        self._obs_e0 = b.total_energy
+        self._obs_t0 = b.total_latency
+        self._obs_steps = 0
+        self._obs_dead = self._dead_replay
+
+    def _obs_after(self, phase: Phase) -> None:
+        """Count the microstep; emit ``instr.commit`` when it retires."""
+        self._obs_steps += 1
+        if phase is Phase.DECODE:
+            # _instr is live between DECODE and COMMIT only.
+            self._obs_text = disassemble_one(self._instr)
+        if phase is Phase.COMMIT or self.halted:
+            b = self.ledger.breakdown
+            self._obs.emit(
+                "instr.commit",
+                self._obs_t0,
+                pc=self._obs_pc,
+                text=self._obs_text,
+                energy=b.total_energy - self._obs_e0,
+                latency=b.total_latency - self._obs_t0,
+                microsteps=self._obs_steps,
+                dead=self._obs_dead,
+            )
 
     # ------------------------------------------------------------------
     # Microstep handlers
@@ -297,6 +361,7 @@ class MemoryController:
         """
         if not self.powered:
             return
+        interrupted = self.phase
         self._lost_work = self._executed_uncommitted
         self.powered = False
         self.phase = Phase.OFF
@@ -304,6 +369,13 @@ class MemoryController:
         self._word = None
         self._instr = None
         self._executed_uncommitted = False
+        if self._obs is not None:
+            self._obs.emit(
+                "power.off",
+                self.ledger.breakdown.total_latency,
+                phase=interrupted.value,
+                lost_work=self._lost_work,
+            )
 
     def power_on(self) -> None:
         """Restart: restore active columns, resume from the valid PC."""
@@ -341,3 +413,10 @@ class MemoryController:
         self._dead_replay = self._lost_work
         self._lost_work = False
         self.phase = Phase.FETCH
+        if self._obs is not None:
+            self._obs.emit(
+                "power.restore",
+                self.ledger.breakdown.total_latency,
+                pc=self.pc.read(),
+                dead_replay=self._dead_replay,
+            )

@@ -118,9 +118,17 @@ class Breakdown:
 
 @dataclass
 class EnergyLedger:
-    """Mutable accumulator used during simulation."""
+    """Mutable accumulator used during simulation.
+
+    ``obs`` optionally points at a :class:`repro.obs.Telemetry` hub
+    with a live sink; every :meth:`charge` then mirrors itself as an
+    ``energy`` event, so summing an event log per category reproduces
+    the breakdown bit-exactly.  When ``obs`` is None (the default) the
+    hot path pays a single pointer comparison.
+    """
 
     breakdown: Breakdown = field(default_factory=Breakdown)
+    obs: object = field(default=None, repr=False, compare=False)
 
     def charge(
         self, category: Category, energy: float, latency: float = 0.0
@@ -148,6 +156,14 @@ class EnergyLedger:
             b.charging_latency += latency
         else:  # pragma: no cover - exhaustive enum
             raise ValueError(f"unknown category {category}")
+        if self.obs is not None:
+            self.obs.emit(
+                "energy",
+                b.total_latency,
+                category=category.value,
+                energy=energy,
+                latency=latency,
+            )
 
     def count_instruction(self) -> None:
         self.breakdown.instructions += 1

@@ -2,7 +2,14 @@
 
 Usage::
 
-    python -m repro.experiments.runner [--fast]
+    python -m repro.experiments.runner [--skip-accuracy]
+        [--events ev.jsonl] [--trace trace.json] [--manifest DIR]
+
+Each experiment executes inside a telemetry span, so with ``--trace``
+the regeneration shows up in Perfetto as one slice per experiment
+(with the simulator's own events nested on the simulated-time track),
+and ``--manifest`` records the whole session — git SHA, config,
+device parameters, wall time, peak metrics — for reproducibility.
 """
 
 from __future__ import annotations
@@ -37,6 +44,52 @@ EXPERIMENTS = (
 )
 
 
+def run_all(
+    skip_accuracy: bool = False,
+    events: str | None = None,
+    trace: str | None = None,
+    manifest: str | None = None,
+) -> None:
+    """Run the full suite under one telemetry session."""
+    from repro import obs
+
+    try:
+        telemetry = obs.from_paths(events=events, trace=trace)
+    except OSError as exc:
+        raise SystemExit(f"cannot open telemetry output: {exc}")
+    started = time.perf_counter()
+    ran: list[str] = []
+    with obs.use(telemetry):
+        for name, entry in EXPERIMENTS:
+            if skip_accuracy and entry is accuracy.main:
+                continue
+            banner = f"=== {name} "
+            print("\n" + banner + "=" * max(0, 72 - len(banner)))
+            start = time.time()
+            with telemetry.span(name):
+                entry()
+            ran.append(name)
+            print(f"[{name} finished in {time.time() - start:.1f}s]")
+    wall = time.perf_counter() - started
+    telemetry.close()
+    if manifest is not None:
+        from repro.obs.manifest import write_manifest
+
+        path = write_manifest(
+            manifest,
+            command=["python", "-m", "repro.experiments.runner"],
+            config={
+                "experiments": ran,
+                "skip_accuracy": skip_accuracy,
+                "events": events,
+                "trace": trace,
+            },
+            wall_time_s=wall,
+            metrics=telemetry.snapshot() if telemetry.enabled else None,
+        )
+        print(f"\nmanifest: {path}")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -44,15 +97,28 @@ def main() -> None:
         action="store_true",
         help="skip the (slowest) model-training experiment",
     )
+    parser.add_argument(
+        "--events", metavar="PATH", help="write a JSONL telemetry event log"
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a Chrome-trace JSON loadable in Perfetto",
+    )
+    parser.add_argument(
+        "--manifest",
+        nargs="?",
+        const="runs",
+        metavar="DIR",
+        help="write a run manifest (default directory: runs/)",
+    )
     args = parser.parse_args()
-    for name, entry in EXPERIMENTS:
-        if args.skip_accuracy and entry is accuracy.main:
-            continue
-        banner = f"=== {name} "
-        print("\n" + banner + "=" * max(0, 72 - len(banner)))
-        start = time.time()
-        entry()
-        print(f"[{name} finished in {time.time() - start:.1f}s]")
+    run_all(
+        skip_accuracy=args.skip_accuracy,
+        events=args.events,
+        trace=args.trace,
+        manifest=args.manifest,
+    )
 
 
 if __name__ == "__main__":

@@ -72,10 +72,36 @@ class IntermittentRun:
     warning* to the controller, and the engine waits for the recharge.
     """
 
-    def __init__(self, mouse: Mouse, config: HarvestingConfig) -> None:
+    def __init__(
+        self,
+        mouse: Mouse,
+        config: HarvestingConfig,
+        telemetry=None,
+        vcap_sample_period: int = 64,
+    ) -> None:
+        """``telemetry`` — an optional :class:`repro.obs.Telemetry`;
+        when omitted the ambient hub (:func:`repro.obs.current`) is
+        used, which is disabled by default.  ``vcap_sample_period``
+        sets how many committed instructions elapse between samples of
+        the capacitor-voltage timeline (only when telemetry is on).
+        """
         self.mouse = mouse
         self.config = config
         self.time = 0.0
+        self.telemetry = telemetry
+        if vcap_sample_period < 1:
+            raise ValueError("vcap_sample_period must be >= 1")
+        self.vcap_sample_period = vcap_sample_period
+        self._obs = None  # resolved per run()
+
+    def _resolve_obs(self):
+        if self.telemetry is not None:
+            t = self.telemetry
+        else:
+            from repro.obs import current
+
+            t = current()
+        return t if t.enabled else None
 
     def run(self, max_instructions: int = 10_000_000) -> Breakdown:
         controller = self.mouse.controller
@@ -83,6 +109,12 @@ class IntermittentRun:
         buffer = self.config.buffer
         source = self.config.source
         cycle = self.mouse.cost.cycle_time
+
+        obs = self._obs = self._resolve_obs()
+        if obs is not None:
+            self.mouse.attach_telemetry(obs)
+            vcap = obs.gauge("harvest.vcap")
+            vcap.set(buffer.voltage, ts=self.time)
 
         self._charge_until_ready(first=True)
         if not controller.powered:
@@ -106,11 +138,26 @@ class IntermittentRun:
                 harvested = source.energy(self.time, cycle)
                 self.time += cycle
                 buffer.add_energy(harvested)
+                if obs is not None and executed % self.vcap_sample_period == 0:
+                    vcap.set(buffer.voltage, ts=self.time)
             buffer.draw_energy(consumed)
             if buffer.must_shut_down and not controller.halted:
+                if obs is not None:
+                    obs.counter("harvest.outages").inc()
+                    obs.emit(
+                        "harvest.outage",
+                        self.time,
+                        voltage=buffer.voltage,
+                        instructions=executed,
+                    )
                 controller.power_off()
                 self._charge_until_ready()
                 controller.power_on()
+                if obs is not None:
+                    obs.emit("harvest.restore", self.time, voltage=buffer.voltage)
+                    vcap.set(buffer.voltage, ts=self.time)
+        if obs is not None:
+            vcap.set(buffer.voltage, ts=self.time)
         return ledger.breakdown
 
     def _charge_until_ready(self, first: bool = False) -> None:
@@ -118,9 +165,14 @@ class IntermittentRun:
         source = self.config.source
         needed = buffer.energy_to_reach(buffer.v_on)
         wait = source.time_to_harvest(needed, start=self.time)
+        start = self.time
         buffer.add_energy(source.energy(self.time, wait))
         self.time += wait
         self.mouse.ledger.charge(Category.CHARGING, 0.0, wait)
+        obs = self._obs
+        if obs is not None:
+            obs.histogram("harvest.off_time").observe(wait)
+            obs.emit("harvest.charge", start, dur=wait, initial=first)
 
 
 # ----------------------------------------------------------------------
@@ -209,6 +261,7 @@ class ProfileRun:
         config: HarvestingConfig,
         dead_fraction: float = 1.0,
         checkpoint_period: int = 1,
+        telemetry=None,
     ) -> None:
         """``checkpoint_period`` — checkpoint the PC every N instructions
         instead of every instruction (the Section IV-D frequency
@@ -226,24 +279,48 @@ class ProfileRun:
         self.config = config
         self.dead_fraction = dead_fraction
         self.checkpoint_period = checkpoint_period
+        self.telemetry = telemetry
+
+    def _resolve_obs(self):
+        if self.telemetry is not None:
+            t = self.telemetry
+        else:
+            from repro.obs import current
+
+            t = current()
+        return t if t.enabled else None
 
     def run(self) -> Breakdown:
-        ledger = EnergyLedger()
+        obs = self._resolve_obs()
+        ledger = EnergyLedger(obs=obs)
         buffer = self.config.buffer
         source = self.config.source
         cycle = self.cost.cycle_time
         time = 0.0
+        vcap = obs.gauge("harvest.vcap") if obs is not None else None
 
-        def charge_until_ready() -> None:
+        def charge_until_ready(initial: bool = False) -> None:
             nonlocal time
             needed = buffer.energy_to_reach(buffer.v_on)
             wait = source.time_to_harvest(needed, start=time)
+            start = time
             buffer.add_energy(source.energy(time, wait))
             time += wait
             ledger.charge(Category.CHARGING, 0.0, wait)
+            if obs is not None:
+                obs.histogram("harvest.off_time").observe(wait)
+                obs.emit("harvest.charge", start, dur=wait, initial=initial)
 
         def restart() -> None:
             nonlocal time
+            if obs is not None:
+                obs.counter("harvest.outages").inc()
+                obs.emit(
+                    "harvest.outage",
+                    time,
+                    voltage=buffer.voltage,
+                    instructions=ledger.breakdown.instructions,
+                )
             charge_until_ready()
             ledger.count_restart()
             restore = self.cost.restore_energy(self.profile.active_columns)
@@ -252,9 +329,11 @@ class ProfileRun:
             time += self.cost.restore_latency()
             buffer.add_energy(harvested)
             buffer.draw_energy(restore)
+            if obs is not None:
+                obs.emit("harvest.restore", time, voltage=buffer.voltage)
 
         # Initial charge (capacitor starts discharged).
-        charge_until_ready()
+        charge_until_ready(initial=True)
 
         period = self.checkpoint_period
         for segment in self.profile.segments:
@@ -282,6 +361,7 @@ class ProfileRun:
                         )
                     burst = min(remaining, max(1, int(buffer.headroom // net)))
                 consumed = burst * per_instr
+                burst_start = time
                 harvested = source.energy(time, burst * cycle)
                 time += burst * cycle
                 buffer.add_energy(harvested)
@@ -292,6 +372,15 @@ class ProfileRun:
                 ledger.charge(Category.BACKUP, burst * backup_per_instr)
                 ledger.breakdown.instructions += burst
                 remaining -= burst
+                if obs is not None:
+                    obs.emit(
+                        "profile.burst",
+                        burst_start,
+                        label=segment.label or self.profile.name,
+                        count=burst,
+                        energy=burst * segment.energy,
+                    )
+                    vcap.set(buffer.voltage, ts=time)
                 if buffer.must_shut_down and remaining > 0:
                     # Unexpected outage mid-stream: restart, re-perform
                     # the work since the last checkpoint (Dead).  With

@@ -1,0 +1,90 @@
+"""The telemetry event taxonomy.
+
+Every event is a ``(kind, ts, data)`` triple.  ``kind`` is a dotted
+string from the vocabulary below, ``ts`` is a timestamp in **seconds**
+on the clock of the emitting layer (simulated time for the machine and
+harvester, host wall-clock for experiment spans), and ``data`` is a
+flat JSON-serialisable mapping.
+
+Kinds
+-----
+
+``instr.commit``
+    One committed (or halting) instruction of the functional machine:
+    ``pc``, ``text`` (disassembly), ``energy`` (J, all categories),
+    ``latency`` (s), ``microsteps``, ``dead`` (replay of lost work).
+``energy``
+    One :meth:`~repro.energy.metrics.EnergyLedger.charge` call:
+    ``category``, ``energy`` (J), ``latency`` (s).  Summing these per
+    category reproduces the run's :class:`Breakdown` exactly.
+``power.off`` / ``power.restore``
+    Controller power events: the microstep ``phase`` the outage landed
+    on and whether uncommitted work was lost; the restored ``pc`` and
+    whether the next instruction is a dead replay.
+``harvest.outage`` / ``harvest.charge`` / ``harvest.restore``
+    Harvester-level events: capacitor ``voltage`` at shutdown, the
+    charging-window duration ``dur`` (s), and the voltage at restart.
+``profile.burst``
+    One closed-form burst of the aggregate engine: segment ``label``,
+    instruction ``count``, forward-progress ``energy`` (J).
+``gauge``
+    A sampled metric value (e.g. the capacitor-voltage timeline):
+    ``name``, ``value``.
+``span``
+    A wall-clock phase of the host program, emitted at exit with its
+    start time as ``ts``: ``name``, ``dur`` (s), plus free-form
+    attributes.
+
+Unknown kinds are allowed — sinks and the replayer pass them through —
+but the fields above are validated by :mod:`repro.obs.schema`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+INSTR_COMMIT = "instr.commit"
+ENERGY = "energy"
+POWER_OFF = "power.off"
+POWER_RESTORE = "power.restore"
+HARVEST_OUTAGE = "harvest.outage"
+HARVEST_CHARGE = "harvest.charge"
+HARVEST_RESTORE = "harvest.restore"
+PROFILE_BURST = "profile.burst"
+GAUGE = "gauge"
+SPAN = "span"
+
+#: Required ``data`` fields per known kind (used by the schema check).
+KNOWN_KINDS: dict[str, frozenset[str]] = {
+    INSTR_COMMIT: frozenset({"pc", "text", "energy", "latency", "microsteps"}),
+    ENERGY: frozenset({"category", "energy", "latency"}),
+    POWER_OFF: frozenset({"phase", "lost_work"}),
+    POWER_RESTORE: frozenset({"pc"}),
+    HARVEST_OUTAGE: frozenset({"voltage"}),
+    HARVEST_CHARGE: frozenset({"dur"}),
+    HARVEST_RESTORE: frozenset({"voltage"}),
+    PROFILE_BURST: frozenset({"label", "count", "energy"}),
+    GAUGE: frozenset({"name", "value"}),
+    SPAN: frozenset({"name", "dur"}),
+}
+
+
+@dataclass(frozen=True)
+class Event:
+    """One telemetry event."""
+
+    kind: str
+    ts: float
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_json_obj(self) -> dict[str, Any]:
+        """Flat dict form used by the JSONL wire format."""
+        out: dict[str, Any] = {"kind": self.kind, "ts": self.ts}
+        out.update(self.data)
+        return out
+
+    @classmethod
+    def from_json_obj(cls, obj: Mapping[str, Any]) -> "Event":
+        data = {k: v for k, v in obj.items() if k not in ("kind", "ts")}
+        return cls(kind=str(obj["kind"]), ts=float(obj["ts"]), data=data)

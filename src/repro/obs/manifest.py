@@ -1,0 +1,99 @@
+"""Run manifests: the reproducibility record of one invocation.
+
+A manifest is a single ``manifest.json`` capturing everything needed
+to re-run and audit an experiment: the exact command and config, the
+git commit (and whether the tree was dirty), interpreter/platform
+versions, the device-parameter tables the numbers came from, the seed,
+wall time, and the peak metrics of the attached telemetry hub.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.devices.parameters import ALL_TECHNOLOGIES, DeviceParameters
+
+SCHEMA = "repro.obs.manifest/v1"
+
+
+def _repo_root() -> Path:
+    # src/repro/obs/manifest.py -> repo root is four levels up.
+    return Path(__file__).resolve().parents[3]
+
+
+def git_state() -> dict:
+    """Current commit SHA and dirty flag; {} when git is unavailable."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=_repo_root(),
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=_repo_root(),
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout
+        return {"sha": sha, "dirty": bool(status.strip())}
+    except (OSError, subprocess.SubprocessError):
+        return {}
+
+
+def _device_params(params: DeviceParameters) -> dict:
+    out = dataclasses.asdict(params)
+    out["cell_kind"] = params.cell_kind.value
+    return out
+
+
+def build_manifest(
+    *,
+    command: list[str],
+    config: Optional[dict] = None,
+    seed: Optional[int] = None,
+    wall_time_s: Optional[float] = None,
+    metrics: Optional[dict] = None,
+    extra: Optional[dict] = None,
+) -> dict[str, Any]:
+    """The manifest payload as a plain dict (not yet written)."""
+    manifest: dict[str, Any] = {
+        "schema": SCHEMA,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "command": command,
+        "config": config or {},
+        "seed": seed,
+        "git": git_state(),
+        "python": sys.version,
+        "platform": platform.platform(),
+        "device_parameters": [_device_params(p) for p in ALL_TECHNOLOGIES],
+    }
+    if wall_time_s is not None:
+        manifest["wall_time_s"] = wall_time_s
+    if metrics is not None:
+        manifest["metrics"] = metrics
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def write_manifest(directory: str | Path, **kwargs) -> Path:
+    """Build and write ``<directory>/manifest.json``; returns its path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / "manifest.json"
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(build_manifest(**kwargs), f, indent=2, default=str)
+        f.write("\n")
+    return path

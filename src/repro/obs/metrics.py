@@ -1,0 +1,114 @@
+"""Metric primitives: counters, gauges, histograms.
+
+These aggregate in-process regardless of whether a sink is attached —
+they are cheap (a few attribute updates) and feed the run manifest's
+"peak metrics" section.  A :class:`Gauge` additionally emits a
+``gauge`` event per sample when its owning telemetry hub has a sink,
+so sampled timelines (the capacitor voltage) appear as counter tracks
+in Perfetto.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.telemetry import Telemetry
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A sampled value with last/min/max tracking."""
+
+    __slots__ = ("name", "last", "min", "max", "samples", "_telemetry")
+
+    def __init__(self, name: str, telemetry: "Optional[Telemetry]" = None) -> None:
+        self.name = name
+        self.last: Optional[float] = None
+        self.min = math.inf
+        self.max = -math.inf
+        self.samples = 0
+        self._telemetry = telemetry
+
+    def set(self, value: float, ts: float = 0.0) -> None:
+        self.last = value
+        self.samples += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        t = self._telemetry
+        if t is not None:
+            t.emit("gauge", ts, name=self.name, value=value)
+
+    def snapshot(self) -> dict:
+        return {
+            "last": self.last,
+            "min": None if self.samples == 0 else self.min,
+            "max": None if self.samples == 0 else self.max,
+            "samples": self.samples,
+        }
+
+
+class Histogram:
+    """Log2-bucketed histogram of positive observations.
+
+    Bucket ``e`` counts observations ``v`` with ``2**e <= v < 2**(e+1)``
+    (zero and negative values land in a dedicated underflow bucket).
+    Log2 buckets suit the quantities observed here — outage durations
+    and span times span many orders of magnitude.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        exponent = (
+            -1075 if value <= 0.0 else int(math.floor(math.log2(value)))
+        )
+        self.buckets[exponent] = self.buckets.get(exponent, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": None if self.count == 0 else self.min,
+            "max": None if self.count == 0 else self.max,
+            "mean": self.mean,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }

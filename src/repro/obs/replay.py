@@ -1,0 +1,184 @@
+"""Replay a JSONL event log into aggregate views.
+
+The offline half of the telemetry layer: ``python -m repro stats
+events.jsonl`` reads a log produced with ``--events`` and rebuilds the
+aggregates that used to require re-running the simulation —
+per-category energy/latency sums (bit-exact against the run's
+:class:`Breakdown`, because ``energy`` events mirror every ledger
+charge in order), energy by mnemonic, the hottest instructions, and
+the outage-duration histogram.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Union
+
+from repro.experiments._format import format_table, si
+from repro.obs import events as ev
+from repro.obs.metrics import Histogram
+
+
+@dataclass
+class ReplayStats:
+    """Aggregates reconstructed from one event log."""
+
+    events: int = 0
+    energy_by_category: dict[str, float] = field(default_factory=dict)
+    latency_by_category: dict[str, float] = field(default_factory=dict)
+    energy_by_mnemonic: dict[str, float] = field(default_factory=dict)
+    instructions_by_mnemonic: dict[str, int] = field(default_factory=dict)
+    hottest: list[dict] = field(default_factory=list)
+    outages: int = 0
+    restarts: int = 0
+    charging_windows: Histogram = field(
+        default_factory=lambda: Histogram("harvest.off_time")
+    )
+    spans: dict[str, float] = field(default_factory=dict)
+    vcap_min: float = float("inf")
+    vcap_max: float = float("-inf")
+
+    @property
+    def total_energy(self) -> float:
+        return sum(
+            v for k, v in self.energy_by_category.items() if k != "charging"
+        )
+
+    @property
+    def total_latency(self) -> float:
+        return sum(self.latency_by_category.values())
+
+
+def replay(path: Union[str, Path], top: int = 10) -> ReplayStats:
+    """Stream the log once, accumulating every aggregate view."""
+    stats = ReplayStats()
+    hottest: list[tuple[float, int, dict]] = []  # (energy, order, record)
+    with open(path, "r", encoding="utf-8") as f:
+        for order, line in enumerate(f):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"line {order + 1}: not JSON ({exc})") from exc
+            if not isinstance(obj, dict):
+                raise ValueError(f"line {order + 1}: not a JSON object")
+            stats.events += 1
+            kind = obj.get("kind")
+            if kind == ev.ENERGY:
+                category = obj["category"]
+                stats.energy_by_category[category] = (
+                    stats.energy_by_category.get(category, 0.0) + obj["energy"]
+                )
+                stats.latency_by_category[category] = (
+                    stats.latency_by_category.get(category, 0.0) + obj["latency"]
+                )
+            elif kind == ev.INSTR_COMMIT:
+                mnemonic = str(obj["text"]).split()[0]
+                stats.energy_by_mnemonic[mnemonic] = (
+                    stats.energy_by_mnemonic.get(mnemonic, 0.0) + obj["energy"]
+                )
+                stats.instructions_by_mnemonic[mnemonic] = (
+                    stats.instructions_by_mnemonic.get(mnemonic, 0) + 1
+                )
+                hottest.append((obj["energy"], order, obj))
+                if len(hottest) > 4 * max(top, 1):
+                    hottest.sort(key=lambda t: (-t[0], t[1]))
+                    del hottest[max(top, 1):]
+            elif kind == ev.PROFILE_BURST:
+                label = obj["label"] or "(unlabelled)"
+                stats.energy_by_mnemonic[label] = (
+                    stats.energy_by_mnemonic.get(label, 0.0) + obj["energy"]
+                )
+                stats.instructions_by_mnemonic[label] = (
+                    stats.instructions_by_mnemonic.get(label, 0) + obj["count"]
+                )
+            elif kind == ev.HARVEST_OUTAGE:
+                stats.outages += 1
+            elif kind == ev.HARVEST_RESTORE:
+                stats.restarts += 1
+            elif kind == ev.HARVEST_CHARGE:
+                stats.charging_windows.observe(obj["dur"])
+            elif kind == ev.GAUGE and obj.get("name") == "harvest.vcap":
+                value = obj["value"]
+                stats.vcap_min = min(stats.vcap_min, value)
+                stats.vcap_max = max(stats.vcap_max, value)
+            elif kind == ev.SPAN:
+                name = obj["name"]
+                stats.spans[name] = stats.spans.get(name, 0.0) + obj["dur"]
+    hottest.sort(key=lambda t: (-t[0], t[1]))
+    stats.hottest = [record for _, _, record in hottest[:top]]
+    return stats
+
+
+def render(stats: ReplayStats, top: int = 10) -> str:
+    """Human-readable report of the replayed aggregates."""
+    out = [f"{stats.events:,} events replayed"]
+
+    if stats.energy_by_category:
+        out.append("\nenergy / latency by category:")
+        rows = []
+        for category in sorted(
+            stats.energy_by_category, key=stats.energy_by_category.get, reverse=True
+        ):
+            rows.append(
+                (
+                    category,
+                    repr(stats.energy_by_category[category]),
+                    si(stats.latency_by_category.get(category, 0.0), "s"),
+                )
+            )
+        rows.append(("TOTAL", repr(stats.total_energy), si(stats.total_latency, "s")))
+        out.append(format_table(["category", "energy (J, exact)", "latency"], rows))
+
+    if stats.energy_by_mnemonic:
+        out.append("\nenergy by mnemonic / segment:")
+        rows = [
+            (
+                name,
+                stats.instructions_by_mnemonic.get(name, 0),
+                si(stats.energy_by_mnemonic[name], "J"),
+            )
+            for name in sorted(
+                stats.energy_by_mnemonic,
+                key=stats.energy_by_mnemonic.get,
+                reverse=True,
+            )
+        ]
+        out.append(format_table(["mnemonic", "instructions", "energy"], rows))
+
+    if stats.hottest:
+        out.append(f"\nhottest {len(stats.hottest)} instructions:")
+        rows = [
+            (r["pc"], r["text"], si(r["energy"], "J"), r["microsteps"])
+            for r in stats.hottest
+        ]
+        out.append(format_table(["pc", "text", "energy", "microsteps"], rows))
+
+    if stats.charging_windows.count:
+        h = stats.charging_windows
+        out.append(
+            f"\noutage/charging histogram: {h.count} windows, "
+            f"mean {si(h.mean, 's')}, min {si(h.min, 's')}, max {si(h.max, 's')}"
+        )
+        rows = [
+            (f"[2^{e}, 2^{e + 1}) s", count)
+            for e, count in sorted(h.buckets.items())
+        ]
+        out.append(format_table(["off-time bucket", "windows"], rows))
+
+    if stats.outages or stats.restarts:
+        out.append(f"\noutages: {stats.outages}   restarts: {stats.restarts}")
+    if stats.vcap_min != float("inf"):
+        out.append(
+            f"capacitor voltage: min {stats.vcap_min * 1e3:.1f} mV, "
+            f"max {stats.vcap_max * 1e3:.1f} mV"
+        )
+    if stats.spans:
+        out.append("\nwall-clock spans:")
+        rows = [(name, f"{dur:.3f} s") for name, dur in stats.spans.items()]
+        out.append(format_table(["span", "wall time"], rows))
+    return "\n".join(out)

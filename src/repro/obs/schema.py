@@ -1,0 +1,99 @@
+"""Schema validation for emitted telemetry artifacts.
+
+Hand-rolled (no external dependency): validates the JSONL event wire
+format against the taxonomy in :mod:`repro.obs.events`, and the
+Chrome-trace JSON against the subset of the Trace Event Format that
+Perfetto requires (``traceEvents`` array; every event has ``ph`` and a
+numeric ``ts``; complete events carry a non-negative ``dur``).
+"""
+
+from __future__ import annotations
+
+import json
+from numbers import Number
+from pathlib import Path
+from typing import Union
+
+from repro.obs.events import KNOWN_KINDS
+
+#: Trace-event phases we emit / accept.
+_VALID_PHASES = {"B", "E", "X", "i", "I", "C", "M", "b", "e", "n", "s", "t", "f"}
+
+
+class SchemaError(ValueError):
+    """An artifact does not conform to its schema."""
+
+
+def validate_event_obj(obj: object, where: str = "event") -> None:
+    """Validate one decoded JSONL event object."""
+    if not isinstance(obj, dict):
+        raise SchemaError(f"{where}: expected a JSON object, got {type(obj).__name__}")
+    kind = obj.get("kind")
+    if not isinstance(kind, str) or not kind:
+        raise SchemaError(f"{where}: missing or non-string 'kind'")
+    ts = obj.get("ts")
+    if not isinstance(ts, Number) or isinstance(ts, bool):
+        raise SchemaError(f"{where}: missing or non-numeric 'ts'")
+    required = KNOWN_KINDS.get(kind)
+    if required is not None:
+        missing = required - obj.keys()
+        if missing:
+            raise SchemaError(
+                f"{where}: kind {kind!r} is missing fields {sorted(missing)}"
+            )
+
+
+def validate_events_jsonl(path: Union[str, Path]) -> int:
+    """Validate a JSONL event log; returns the number of events."""
+    count = 0
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SchemaError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
+            validate_event_obj(obj, where=f"{path}:{lineno}")
+            count += 1
+    return count
+
+
+def validate_trace_event(obj: object, where: str = "traceEvent") -> None:
+    if not isinstance(obj, dict):
+        raise SchemaError(f"{where}: expected a JSON object")
+    ph = obj.get("ph")
+    if not isinstance(ph, str) or ph not in _VALID_PHASES:
+        raise SchemaError(f"{where}: missing or invalid 'ph' {ph!r}")
+    if ph == "M":
+        return  # metadata events carry no timestamp
+    ts = obj.get("ts")
+    if not isinstance(ts, Number) or isinstance(ts, bool):
+        raise SchemaError(f"{where}: missing or non-numeric 'ts'")
+    if ph == "X":
+        dur = obj.get("dur")
+        if not isinstance(dur, Number) or isinstance(dur, bool) or dur < 0:
+            raise SchemaError(f"{where}: complete event needs 'dur' >= 0")
+    if "name" in obj and not isinstance(obj["name"], str):
+        raise SchemaError(f"{where}: 'name' must be a string")
+
+
+def validate_perfetto(path: Union[str, Path]) -> int:
+    """Validate a Chrome-trace JSON file; returns the event count."""
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            payload = json.load(f)
+        except json.JSONDecodeError as exc:
+            raise SchemaError(f"{path}: invalid JSON: {exc}") from exc
+    if isinstance(payload, list):  # the bare-array flavour is also legal
+        events = payload
+    elif isinstance(payload, dict):
+        events = payload.get("traceEvents")
+        if not isinstance(events, list):
+            raise SchemaError(f"{path}: missing 'traceEvents' array")
+    else:
+        raise SchemaError(f"{path}: top level must be an object or array")
+    for index, event in enumerate(events):
+        validate_trace_event(event, where=f"{path}: traceEvents[{index}]")
+    return len(events)

@@ -1,0 +1,231 @@
+"""Event sinks: where telemetry events go.
+
+* :class:`NullSink` — drops everything; a :class:`Telemetry` built on
+  it is *disabled* and instrumented code skips event construction
+  entirely (the zero-overhead-when-off contract).
+* :class:`InMemorySink` — appends events to a list (tests, the trace
+  recorder).
+* :class:`JsonlSink` — one JSON object per line; floats keep full
+  ``repr`` precision, so replaying a log reproduces energy sums
+  bit-exactly.
+* :class:`PerfettoSink` — Chrome-trace-format JSON (``traceEvents``)
+  loadable in https://ui.perfetto.dev or ``chrome://tracing``.
+* :class:`TeeSink` — fan out to several sinks at once.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.obs.events import (
+    GAUGE,
+    HARVEST_CHARGE,
+    HARVEST_OUTAGE,
+    HARVEST_RESTORE,
+    INSTR_COMMIT,
+    POWER_OFF,
+    POWER_RESTORE,
+    SPAN,
+    Event,
+)
+
+
+class Sink:
+    """Interface: receives events, may buffer, flushed by close()."""
+
+    def write(self, event: Event) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+
+class NullSink(Sink):
+    """Discards events.  `Telemetry(NullSink())` is a disabled hub."""
+
+    def write(self, event: Event) -> None:  # pragma: no cover - never called
+        pass
+
+
+class InMemorySink(Sink):
+    """Collects events in a list, optionally filtered by kind."""
+
+    def __init__(self, kinds: Optional[Iterable[str]] = None) -> None:
+        self.events: list[Event] = []
+        self._kinds = frozenset(kinds) if kinds is not None else None
+
+    def write(self, event: Event) -> None:
+        if self._kinds is None or event.kind in self._kinds:
+            self.events.append(event)
+
+    def by_kind(self, kind: str) -> list[Event]:
+        return [e for e in self.events if e.kind == kind]
+
+
+class JsonlSink(Sink):
+    """Writes one JSON object per event line to a file or stream."""
+
+    def __init__(self, target: Union[str, io.TextIOBase]) -> None:
+        if isinstance(target, str):
+            self._file = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._file = target
+            self._owns = False
+        self.count = 0
+
+    def write(self, event: Event) -> None:
+        self._file.write(json.dumps(event.to_json_obj()) + "\n")
+        self.count += 1
+
+    def close(self) -> None:
+        if self._owns and not self._file.closed:
+            self._file.close()
+        elif not self._file.closed:
+            self._file.flush()
+
+
+#: Perfetto process ids: wall-clock host spans vs simulated time.
+PID_HOST = 1
+PID_SIM = 2
+
+_INSTANT_KINDS = {
+    POWER_OFF: "power off",
+    POWER_RESTORE: "power restore",
+    HARVEST_OUTAGE: "outage",
+    HARVEST_RESTORE: "restart",
+}
+
+
+class PerfettoSink(Sink):
+    """Emits Chrome trace format (the JSON ``traceEvents`` flavour).
+
+    Two tracks: pid 1 carries host wall-clock spans, pid 2 carries the
+    simulated-time events (instruction slices, charging windows, power
+    markers) and counter tracks for every gauge.  High-frequency
+    bookkeeping kinds (``energy``, ``profile.burst``) are deliberately
+    not mapped — the JSONL sink is the lossless record; the Perfetto
+    file is the visual one.
+    """
+
+    def __init__(self, target: Union[str, io.TextIOBase]) -> None:
+        self._target = target
+        self.trace_events: list[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": PID_HOST,
+                "args": {"name": "host (wall clock)"},
+            },
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": PID_SIM,
+                "args": {"name": "simulation (sim time)"},
+            },
+        ]
+        self._closed = False
+
+    def write(self, event: Event) -> None:
+        converted = self._convert(event)
+        if converted is not None:
+            self.trace_events.append(converted)
+
+    @staticmethod
+    def _us(seconds: float) -> float:
+        return seconds * 1e6
+
+    def _convert(self, event: Event) -> Optional[dict]:
+        kind, ts, data = event.kind, event.ts, event.data
+        if kind == SPAN:
+            args = {k: v for k, v in data.items() if k not in ("name", "dur")}
+            return {
+                "name": str(data["name"]),
+                "cat": "host",
+                "ph": "X",
+                "ts": self._us(ts),
+                "dur": self._us(float(data["dur"])),
+                "pid": PID_HOST,
+                "tid": 1,
+                "args": args,
+            }
+        if kind == INSTR_COMMIT:
+            return {
+                "name": str(data["text"]).split()[0],
+                "cat": "instr",
+                "ph": "X",
+                "ts": self._us(ts),
+                "dur": self._us(float(data["latency"])),
+                "pid": PID_SIM,
+                "tid": 1,
+                "args": {
+                    "pc": data["pc"],
+                    "text": data["text"],
+                    "energy_J": data["energy"],
+                    "microsteps": data["microsteps"],
+                    "dead": data.get("dead", False),
+                },
+            }
+        if kind == HARVEST_CHARGE:
+            return {
+                "name": "charging",
+                "cat": "harvest",
+                "ph": "X",
+                "ts": self._us(ts),
+                "dur": self._us(float(data["dur"])),
+                "pid": PID_SIM,
+                "tid": 2,
+                "args": {},
+            }
+        if kind == GAUGE:
+            return {
+                "name": str(data["name"]),
+                "cat": "metric",
+                "ph": "C",
+                "ts": self._us(ts),
+                "pid": PID_SIM,
+                "args": {"value": float(data["value"])},
+            }
+        if kind in _INSTANT_KINDS:
+            return {
+                "name": _INSTANT_KINDS[kind],
+                "cat": "power",
+                "ph": "i",
+                "ts": self._us(ts),
+                "pid": PID_SIM,
+                "tid": 1,
+                "s": "p",
+                "args": dict(data),
+            }
+        return None
+
+    def to_json_obj(self) -> dict:
+        return {"traceEvents": self.trace_events, "displayTimeUnit": "ns"}
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        payload = json.dumps(self.to_json_obj())
+        if isinstance(self._target, str):
+            with open(self._target, "w", encoding="utf-8") as f:
+                f.write(payload)
+        else:
+            self._target.write(payload)
+
+
+class TeeSink(Sink):
+    """Duplicates every event to each child sink."""
+
+    def __init__(self, children: Sequence[Sink]) -> None:
+        self.children = list(children)
+
+    def write(self, event: Event) -> None:
+        for child in self.children:
+            child.write(event)
+
+    def close(self) -> None:
+        for child in self.children:
+            child.close()

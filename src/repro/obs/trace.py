@@ -1,0 +1,115 @@
+"""Instruction-level trace recording, as a consumer of the event stream.
+
+Historically ``TraceRecorder`` re-implemented the fetch/step loop to
+observe the machine; it is now a thin adapter: it attaches a telemetry
+hub with an in-memory sink, lets the controller run its own loop, and
+materialises the ``instr.commit`` events into the familiar
+:class:`InstructionRecord` rows.  Anything the recorder can see, every
+other sink (JSONL, Perfetto) sees identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.accelerator import Mouse
+from repro.core.controller import InstructionBudgetExceeded
+from repro.obs.events import INSTR_COMMIT
+from repro.obs.sinks import InMemorySink
+from repro.obs.telemetry import Telemetry
+
+
+@dataclass(frozen=True)
+class InstructionRecord:
+    """One committed (or halting) instruction."""
+
+    index: int  # dynamic instruction number
+    pc: int
+    text: str
+    energy: float  # joules, all categories
+    phase_count: int  # microsteps consumed
+
+    def __str__(self) -> str:
+        return f"{self.index:6d}  pc={self.pc:5d}  {self.text:40s} {self.energy:.3e} J"
+
+
+class TraceBudgetExceeded(RuntimeError):
+    """The traced run exceeded its instruction budget.
+
+    Unlike a plain abort, the records captured before the overrun are
+    carried on the exception (``exc.records``) so callers can inspect
+    where the program was spinning.
+    """
+
+    def __init__(self, message: str, records: list[InstructionRecord]) -> None:
+        super().__init__(message)
+        self.records = records
+
+
+class TraceRecorder:
+    """Collects an instruction-level trace of a run."""
+
+    def __init__(self, mouse: Mouse, limit: Optional[int] = None) -> None:
+        """``limit`` caps the number of recorded instructions (the run
+        still completes; later records are dropped)."""
+        self.mouse = mouse
+        self.limit = limit
+        self.records: list[InstructionRecord] = []
+
+    def _collect(self, sink: InMemorySink) -> list[InstructionRecord]:
+        records = []
+        for index, event in enumerate(sink.events):
+            if self.limit is not None and index >= self.limit:
+                break
+            d = event.data
+            records.append(
+                InstructionRecord(
+                    index=index,
+                    pc=d["pc"],
+                    text=d["text"],
+                    energy=d["energy"],
+                    phase_count=d["microsteps"],
+                )
+            )
+        return records
+
+    def run(self, max_instructions: int = 10_000_000) -> list[InstructionRecord]:
+        sink = InMemorySink(kinds=(INSTR_COMMIT,))
+        previous = self.mouse.telemetry
+        self.mouse.attach_telemetry(Telemetry(sink))
+        try:
+            self.mouse.controller.run(max_instructions=max_instructions)
+        except InstructionBudgetExceeded as exc:
+            self.records = self._collect(sink)
+            raise TraceBudgetExceeded(
+                f"trace run exceeded the instruction budget: {exc}", self.records
+            ) from exc
+        finally:
+            self.mouse.attach_telemetry(previous)
+        self.records = self._collect(sink)
+        return self.records
+
+    def render(self, head: int = 20, tail: int = 5) -> str:
+        """A human-readable listing (head ... tail)."""
+        lines = [str(r) for r in self.records]
+        if len(lines) <= head + tail:
+            return "\n".join(lines)
+        omitted = len(lines) - head - tail
+        return "\n".join(
+            lines[:head] + [f"   ... {omitted} instructions omitted ..."] + lines[-tail:]
+        )
+
+    # -- aggregate views ------------------------------------------------
+
+    def energy_by_mnemonic(self) -> dict[str, float]:
+        """Total energy grouped by instruction mnemonic."""
+        out: dict[str, float] = {}
+        for record in self.records:
+            mnemonic = record.text.split()[0]
+            out[mnemonic] = out.get(mnemonic, 0.0) + record.energy
+        return out
+
+    def hottest(self, n: int = 5) -> list[InstructionRecord]:
+        """The n most energy-hungry recorded instructions."""
+        return sorted(self.records, key=lambda r: r.energy, reverse=True)[:n]

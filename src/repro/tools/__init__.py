@@ -1,5 +1,14 @@
-"""Developer tooling around the functional simulator."""
+"""Developer tooling around the functional simulator.
 
-from repro.tools.trace import InstructionRecord, TraceRecorder
+The trace recorder moved to :mod:`repro.obs`; these re-exports remain
+for backwards compatibility (importing the canonical home directly
+avoids the submodule's DeprecationWarning).
+"""
 
-__all__ = ["TraceRecorder", "InstructionRecord"]
+from repro.obs.trace import (  # noqa: F401  (re-exported API)
+    InstructionRecord,
+    TraceBudgetExceeded,
+    TraceRecorder,
+)
+
+__all__ = ["TraceRecorder", "InstructionRecord", "TraceBudgetExceeded"]

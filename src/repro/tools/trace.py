@@ -1,97 +1,27 @@
-"""Execution tracing for the functional machine.
+"""Deprecated shim — the trace recorder now lives in ``repro.obs``.
 
-`TraceRecorder` steps a loaded :class:`~repro.core.accelerator.Mouse`
-instruction by instruction, recording for each committed instruction
-its PC, disassembly, per-instruction energy (from ledger deltas), and
-the number of output cells that changed — the observability layer the
-paper's in-house simulator would have had, useful for debugging
-compiled programs and for teaching examples.
+``TraceRecorder`` kept its historical signature and behaviour but is
+implemented on top of the :mod:`repro.obs` event stream rather than
+owning its own fetch/step loop.  Import from :mod:`repro.obs` (or
+``repro.obs.trace``) in new code; this module remains so existing
+callers (``from repro.tools.trace import TraceRecorder``) keep
+working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+import warnings
 
-from repro.core.accelerator import Mouse
-from repro.core.controller import Phase
-from repro.isa.assembler import disassemble_one
-from repro.isa.instruction import decode
+from repro.obs.trace import (  # noqa: F401  (re-exported API)
+    InstructionRecord,
+    TraceBudgetExceeded,
+    TraceRecorder,
+)
 
+__all__ = ["InstructionRecord", "TraceBudgetExceeded", "TraceRecorder"]
 
-@dataclass(frozen=True)
-class InstructionRecord:
-    """One committed (or halting) instruction."""
-
-    index: int  # dynamic instruction number
-    pc: int
-    text: str
-    energy: float  # joules, all categories
-    phase_count: int  # microsteps consumed
-
-    def __str__(self) -> str:
-        return f"{self.index:6d}  pc={self.pc:5d}  {self.text:40s} {self.energy:.3e} J"
-
-
-class TraceRecorder:
-    """Collects an instruction-level trace of a run."""
-
-    def __init__(self, mouse: Mouse, limit: Optional[int] = None) -> None:
-        """``limit`` caps the number of recorded instructions (the run
-        still completes; later records are dropped)."""
-        self.mouse = mouse
-        self.limit = limit
-        self.records: list[InstructionRecord] = []
-
-    def run(self, max_instructions: int = 10_000_000) -> list[InstructionRecord]:
-        controller = self.mouse.controller
-        ledger = self.mouse.ledger
-        executed = 0
-        while not controller.halted:
-            if executed >= max_instructions:
-                raise RuntimeError("trace run exceeded the instruction budget")
-            pc = controller.pc.read()
-            word = self.mouse.bank.fetch_word(pc)
-            energy_before = ledger.breakdown.total_energy
-            phases = 0
-            while not controller.halted:
-                phase = controller.step()
-                phases += 1
-                if phase is Phase.COMMIT:
-                    break
-            executed += 1
-            if self.limit is None or len(self.records) < self.limit:
-                self.records.append(
-                    InstructionRecord(
-                        index=executed - 1,
-                        pc=pc,
-                        text=disassemble_one(decode(word)),
-                        energy=ledger.breakdown.total_energy - energy_before,
-                        phase_count=phases,
-                    )
-                )
-        return self.records
-
-    def render(self, head: int = 20, tail: int = 5) -> str:
-        """A human-readable listing (head ... tail)."""
-        lines = [str(r) for r in self.records]
-        if len(lines) <= head + tail:
-            return "\n".join(lines)
-        omitted = len(lines) - head - tail
-        return "\n".join(
-            lines[:head] + [f"   ... {omitted} instructions omitted ..."] + lines[-tail:]
-        )
-
-    # -- aggregate views ------------------------------------------------
-
-    def energy_by_mnemonic(self) -> dict[str, float]:
-        """Total energy grouped by instruction mnemonic."""
-        out: dict[str, float] = {}
-        for record in self.records:
-            mnemonic = record.text.split()[0]
-            out[mnemonic] = out.get(mnemonic, 0.0) + record.energy
-        return out
-
-    def hottest(self, n: int = 5) -> list[InstructionRecord]:
-        """The n most energy-hungry recorded instructions."""
-        return sorted(self.records, key=lambda r: r.energy, reverse=True)[:n]
+warnings.warn(
+    "repro.tools.trace is deprecated; import TraceRecorder from repro.obs",
+    DeprecationWarning,
+    stacklevel=2,
+)

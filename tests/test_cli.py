@@ -1,8 +1,10 @@
 """The `python -m repro` command-line interface."""
 
+import json
+
 import pytest
 
-from repro.__main__ import cmd_list, cmd_run, main
+from repro.__main__ import AmbiguousSlug, _experiment_map, cmd_list, cmd_run, main
 
 
 class TestCli:
@@ -33,3 +35,92 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSlugResolution:
+    def test_ambiguous_short_name_is_an_error(self, capsys):
+        assert main(["run", "table"]) == 2
+        out = capsys.readouterr().out
+        assert "ambiguous" in out
+        assert "table-i-idempotency" in out
+        assert "table-ii-devices" in out
+
+    def test_unique_short_name_still_works(self, capsys):
+        assert main(["run", "ablations"]) == 0
+        assert "checkpoint" in capsys.readouterr().out.lower()
+
+    def test_map_marks_collisions(self):
+        table = _experiment_map()
+        assert isinstance(table["table"], AmbiguousSlug)
+        assert len(table["table"].candidates) == 4
+        assert not isinstance(table["table-i-idempotency"], AmbiguousSlug)
+
+
+class TestTelemetryFlags:
+    def test_run_with_events_trace_and_manifest(self, tmp_path, capsys):
+        events = str(tmp_path / "ev.jsonl")
+        trace = str(tmp_path / "t.json")
+        manifest_dir = str(tmp_path / "run")
+        assert (
+            main(
+                [
+                    "run",
+                    "table-i-idempotency",
+                    "--events",
+                    events,
+                    "--trace",
+                    trace,
+                    "--manifest",
+                    manifest_dir,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "telemetry:" in out
+        assert "manifest:" in out
+
+        from repro.obs.schema import validate_events_jsonl, validate_perfetto
+
+        assert validate_events_jsonl(events) >= 0
+        assert validate_perfetto(trace) > 0  # at least the experiment span
+        payload = json.load(open(tmp_path / "run" / "manifest.json"))
+        assert payload["config"]["experiments"] == ["table-i-idempotency"]
+        assert "sha" in payload["git"]
+
+    def test_run_without_flags_has_no_telemetry_output(self, capsys):
+        assert main(["run", "table-i-idempotency"]) == 0
+        assert "telemetry:" not in capsys.readouterr().out
+
+
+class TestStats:
+    def test_stats_replays_an_event_log(self, tmp_path, capsys):
+        events = str(tmp_path / "ev.jsonl")
+        assert (
+            main(["run", "figures-10-12-breakdown", "--events", events]) == 0
+        )
+        capsys.readouterr()
+        assert main(["stats", events, "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "events replayed" in out
+        assert "energy / latency by category" in out
+        assert "compute" in out
+
+    def test_stats_missing_file(self, capsys):
+        assert main(["stats", "/nonexistent/ev.jsonl"]) == 2
+        assert "cannot read" in capsys.readouterr().out
+
+    def test_stats_malformed_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["stats", str(bad)]) == 2
+        out = capsys.readouterr().out
+        assert "cannot read" in out
+        assert "line 1" in out
+
+    def test_run_unwritable_events_path(self, capsys):
+        assert (
+            main(["run", "table-i-idempotency", "--events", "/no/dir/e.jsonl"])
+            == 2
+        )
+        assert "cannot open telemetry output" in capsys.readouterr().out

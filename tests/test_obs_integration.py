@@ -1,0 +1,360 @@
+"""The obs layer threaded through the simulator and harvester.
+
+The load-bearing property: telemetry observes, never perturbs — a
+fully-traced run must produce the exact same Breakdown and final array
+state as an untraced one, and the event stream must reproduce the
+ledger's per-category sums bit-for-bit.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compile import arith
+from repro.compile.builder import ProgramBuilder
+from repro.core.accelerator import Mouse
+from repro.devices.parameters import MODERN_STT
+from repro.energy.model import InstructionCostModel
+from repro.harvest.capacitor import EnergyBuffer
+from repro.harvest.intermittent import (
+    HarvestingConfig,
+    InstructionProfile,
+    IntermittentRun,
+    ProfileRun,
+)
+from repro.harvest.source import ConstantPowerSource
+from repro.isa.assembler import assemble
+from repro import obs
+from repro.obs import InMemorySink, Telemetry
+
+SOURCE = """
+ACTIVATE t0 cols 0,1
+PRESET0  t0 row 1
+NAND     t0 in 0,2 out 1
+PRESET1  t0 row 3
+AND      t0 in 0,2 out 3
+HALT
+"""
+
+
+def small_machine():
+    m = Mouse(MODERN_STT, rows=16, cols=8)
+    m.load(assemble(SOURCE))
+    return m
+
+
+def adder_machine():
+    b = ProgramBuilder(tile=0, rows=256, cols=8, reserved_rows=16)
+    b.activate((0, 1, 2))
+    x = b.word_at([0, 2, 4, 6])
+    y = b.word_at([8, 10, 12, 14])
+    arith.ripple_add(b, x, y)
+    program = b.finish()
+    m = Mouse(MODERN_STT, rows=256, cols=8)
+    for col, (a, c) in enumerate([(3, 5), (15, 15), (0, 7)]):
+        m.write_value(0, 0, col, 4, a)
+        m.write_value(0, 8, col, 4, c)
+    m.load(program)
+    return m
+
+
+def tiny_window_config(power=1e-9):
+    return HarvestingConfig(
+        source=ConstantPowerSource(power),
+        buffer=EnergyBuffer(capacitance=100e-6, v_off=0.00030, v_on=0.00034),
+    )
+
+
+def breakdown_fields(b):
+    return {
+        "compute_energy": b.compute_energy,
+        "backup_energy": b.backup_energy,
+        "dead_energy": b.dead_energy,
+        "restore_energy": b.restore_energy,
+        "compute_latency": b.compute_latency,
+        "dead_latency": b.dead_latency,
+        "restore_latency": b.restore_latency,
+        "charging_latency": b.charging_latency,
+        "instructions": b.instructions,
+        "restarts": b.restarts,
+    }
+
+
+class TestControllerEvents:
+    def test_commit_events_match_instruction_stream(self):
+        sink = InMemorySink()
+        m = small_machine()
+        m.attach_telemetry(Telemetry(sink))
+        m.run()
+        commits = sink.by_kind("instr.commit")
+        assert len(commits) == 6
+        assert [e.data["pc"] for e in commits] == list(range(6))
+        assert commits[0].data["text"].startswith("ACTIVATE")
+        assert commits[-1].data["text"] == "HALT"
+        assert all(e.data["microsteps"] >= 3 for e in commits)
+        # Timestamps are the simulated clock and non-decreasing.
+        ts = [e.ts for e in commits]
+        assert ts == sorted(ts)
+
+    def test_energy_events_sum_to_ledger_exactly(self):
+        sink = InMemorySink()
+        m = small_machine()
+        m.attach_telemetry(Telemetry(sink))
+        m.run()
+        sums = {}
+        for e in sink.by_kind("energy"):
+            sums[e.data["category"]] = sums.get(e.data["category"], 0.0) + e.data["energy"]
+        b = m.ledger.breakdown
+        assert sums["compute"] == b.compute_energy  # same order => bit-exact
+        assert sums["backup"] == b.backup_energy
+
+    def test_commit_energy_sums_to_total(self):
+        sink = InMemorySink()
+        m = small_machine()
+        m.attach_telemetry(Telemetry(sink))
+        m.run()
+        total = sum(e.data["energy"] for e in sink.by_kind("instr.commit"))
+        assert total == pytest.approx(m.ledger.breakdown.total_energy, abs=1e-18)
+
+    def test_power_events_on_outages(self):
+        sink = InMemorySink()
+        m = adder_machine()
+        run = IntermittentRun(m, tiny_window_config(), telemetry=Telemetry(sink))
+        b = run.run()
+        assert b.restarts > 10
+        assert len(sink.by_kind("power.off")) == b.restarts
+        assert len(sink.by_kind("power.restore")) == b.restarts
+        assert len(sink.by_kind("harvest.outage")) == b.restarts
+        assert len(sink.by_kind("harvest.restore")) == b.restarts
+        # initial charge + one per outage
+        assert len(sink.by_kind("harvest.charge")) == b.restarts + 1
+        # commit events count committed instructions only
+        assert len(sink.by_kind("instr.commit")) == b.instructions
+
+    def test_vcap_timeline_sampled(self):
+        sink = InMemorySink()
+        m = adder_machine()
+        IntermittentRun(
+            m, tiny_window_config(), telemetry=Telemetry(sink), vcap_sample_period=8
+        ).run()
+        gauges = [e for e in sink.by_kind("gauge") if e.data["name"] == "harvest.vcap"]
+        assert len(gauges) > 5
+        values = [e.data["value"] for e in gauges]
+        assert max(values) <= 0.00034 + 1e-9
+
+    def test_detach_restores_clean_hot_path(self):
+        m = small_machine()
+        t = Telemetry(InMemorySink())
+        m.attach_telemetry(t)
+        m.attach_telemetry(None)
+        assert m.controller._obs is None
+        assert m.ledger.obs is None
+        m.run()
+        assert t.events_emitted == 0
+
+
+class TestTelemetryDoesNotPerturb:
+    def test_traced_run_matches_untraced_breakdown(self):
+        m1 = adder_machine()
+        b1 = IntermittentRun(m1, tiny_window_config()).run()
+        m2 = adder_machine()
+        b2 = IntermittentRun(
+            m2, tiny_window_config(), telemetry=Telemetry(InMemorySink())
+        ).run()
+        assert breakdown_fields(b1) == breakdown_fields(b2)
+        assert all(
+            np.array_equal(a, b)
+            for a, b in zip(m1.bank.snapshot(), m2.bank.snapshot())
+        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(power=st.floats(5e-10, 1e-7))
+    def test_property_traced_equals_untraced_for_any_power(self, power):
+        b1 = IntermittentRun(adder_machine(), tiny_window_config(power)).run()
+        b2 = IntermittentRun(
+            adder_machine(),
+            tiny_window_config(power),
+            telemetry=Telemetry(InMemorySink()),
+        ).run()
+        assert breakdown_fields(b1) == breakdown_fields(b2)
+
+    def test_profile_run_unperturbed(self):
+        profile = InstructionProfile(name="w", active_columns=8)
+        profile.add(20_000, 1e-11, 1e-13, "body")
+        cost = InstructionCostModel(MODERN_STT)
+
+        def config():
+            return HarvestingConfig(
+                source=ConstantPowerSource(1e-6),
+                buffer=EnergyBuffer(capacitance=1e-6, v_off=0.010, v_on=0.011),
+            )
+
+        b1 = ProfileRun(profile, cost, config()).run()
+        b2 = ProfileRun(
+            profile, cost, config(), telemetry=Telemetry(InMemorySink())
+        ).run()
+        assert breakdown_fields(b1) == breakdown_fields(b2)
+
+
+class TestProfileRunEvents:
+    def run_traced(self):
+        sink = InMemorySink()
+        profile = InstructionProfile(name="w", active_columns=8)
+        profile.add(10_000, 1e-11, 1e-13, "body")
+        profile.add(5_000, 5e-12, 1e-13, "tail")
+        cost = InstructionCostModel(MODERN_STT)
+        config = HarvestingConfig(
+            source=ConstantPowerSource(1e-6),
+            buffer=EnergyBuffer(capacitance=1e-6, v_off=0.010, v_on=0.011),
+        )
+        b = ProfileRun(profile, cost, config, telemetry=Telemetry(sink)).run()
+        return sink, b
+
+    def test_energy_events_reproduce_breakdown_bit_exactly(self):
+        sink, b = self.run_traced()
+        sums = {}
+        lats = {}
+        for e in sink.by_kind("energy"):
+            c = e.data["category"]
+            sums[c] = sums.get(c, 0.0) + e.data["energy"]
+            lats[c] = lats.get(c, 0.0) + e.data["latency"]
+        assert sums["compute"] == b.compute_energy
+        assert sums["backup"] == b.backup_energy
+        assert sums["dead"] == b.dead_energy
+        assert sums["restore"] == b.restore_energy
+        assert lats["charging"] == b.charging_latency
+
+    def test_burst_events_cover_every_instruction(self):
+        sink, b = self.run_traced()
+        bursts = sink.by_kind("profile.burst")
+        assert sum(e.data["count"] for e in bursts) == b.instructions == 15_000
+        assert {e.data["label"] for e in bursts} == {"body", "tail"}
+
+    def test_outage_bookkeeping(self):
+        sink, b = self.run_traced()
+        assert b.restarts > 0
+        assert len(sink.by_kind("harvest.outage")) == b.restarts
+        assert len(sink.by_kind("harvest.charge")) == b.restarts + 1
+
+
+class TestAmbientTelemetry:
+    def test_engines_pick_up_ambient_hub(self):
+        sink = InMemorySink()
+        with obs.use(Telemetry(sink)):
+            IntermittentRun(adder_machine(), tiny_window_config()).run()
+        assert len(sink.by_kind("instr.commit")) > 0
+        # outside the context the ambient hub is disabled again
+        assert not obs.current().enabled
+
+    def test_disabled_ambient_costs_nothing(self):
+        run = IntermittentRun(adder_machine(), tiny_window_config())
+        run.run()
+        assert run._obs is None
+
+
+class TestJsonlEndToEnd:
+    def test_events_file_replays_to_same_sums(self, tmp_path):
+        from repro.obs.replay import replay
+        from repro.obs.schema import validate_events_jsonl
+
+        path = str(tmp_path / "ev.jsonl")
+        t = obs.from_paths(events=path)
+        m = adder_machine()
+        b = IntermittentRun(m, tiny_window_config(), telemetry=t).run()
+        t.close()
+        assert validate_events_jsonl(path) > 0
+        stats = replay(path)
+        assert stats.energy_by_category["compute"] == b.compute_energy
+        assert stats.energy_by_category["backup"] == b.backup_energy
+        assert stats.energy_by_category["dead"] == b.dead_energy
+        assert stats.energy_by_category["restore"] == b.restore_energy
+        assert stats.restarts == b.restarts
+        assert stats.total_energy == pytest.approx(b.total_energy, abs=1e-12)
+        assert sum(stats.instructions_by_mnemonic.values()) == b.instructions
+
+    def test_perfetto_file_validates(self, tmp_path):
+        from repro.obs.schema import validate_perfetto
+
+        path = str(tmp_path / "trace.json")
+        t = obs.from_paths(trace=path)
+        with t.span("test"):
+            IntermittentRun(
+                adder_machine(), tiny_window_config(), telemetry=t
+            ).run()
+        t.close()
+        assert validate_perfetto(path) > 0
+        payload = json.load(open(path))
+        phases = {e["ph"] for e in payload["traceEvents"]}
+        assert {"X", "C", "i", "M"} <= phases
+
+
+class TestManifest:
+    def test_write_manifest(self, tmp_path):
+        from repro.obs.manifest import SCHEMA, write_manifest
+
+        t = Telemetry(InMemorySink())
+        t.counter("x").inc(5)
+        path = write_manifest(
+            tmp_path / "run",
+            command=["python", "-m", "repro", "run", "fig9"],
+            config={"experiments": ["fig9"]},
+            seed=42,
+            wall_time_s=1.25,
+            metrics=t.snapshot(),
+        )
+        payload = json.load(open(path))
+        assert payload["schema"] == SCHEMA
+        assert payload["command"][-1] == "fig9"
+        assert payload["seed"] == 42
+        assert payload["wall_time_s"] == 1.25
+        assert payload["metrics"]["counters"]["x"] == 5
+        assert len(payload["device_parameters"]) == 3
+        assert all("r_p" in p for p in payload["device_parameters"])
+        # in this repo git metadata must resolve
+        assert "sha" in payload["git"]
+        assert len(payload["git"]["sha"]) == 40
+
+
+class TestSchemaValidation:
+    def test_rejects_missing_kind(self, tmp_path):
+        from repro.obs.schema import SchemaError, validate_events_jsonl
+
+        p = tmp_path / "bad.jsonl"
+        p.write_text('{"ts": 1.0}\n')
+        with pytest.raises(SchemaError):
+            validate_events_jsonl(p)
+
+    def test_rejects_missing_required_field(self, tmp_path):
+        from repro.obs.schema import SchemaError, validate_events_jsonl
+
+        p = tmp_path / "bad.jsonl"
+        p.write_text('{"kind": "energy", "ts": 1.0, "category": "compute"}\n')
+        with pytest.raises(SchemaError) as exc:
+            validate_events_jsonl(p)
+        assert "energy" in str(exc.value)
+
+    def test_accepts_unknown_kinds(self, tmp_path):
+        from repro.obs.schema import validate_events_jsonl
+
+        p = tmp_path / "ok.jsonl"
+        p.write_text('{"kind": "custom.thing", "ts": 0.0, "x": 1}\n')
+        assert validate_events_jsonl(p) == 1
+
+    def test_rejects_complete_event_without_dur(self, tmp_path):
+        from repro.obs.schema import SchemaError, validate_perfetto
+
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({"traceEvents": [{"ph": "X", "ts": 1.0}]}))
+        with pytest.raises(SchemaError):
+            validate_perfetto(p)
+
+    def test_rejects_missing_trace_events(self, tmp_path):
+        from repro.obs.schema import SchemaError, validate_perfetto
+
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({"other": []}))
+        with pytest.raises(SchemaError):
+            validate_perfetto(p)

@@ -1,0 +1,241 @@
+"""Unit tests for the telemetry sinks and the hub itself."""
+
+import io
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    Event,
+    InMemorySink,
+    JsonlSink,
+    NullSink,
+    PerfettoSink,
+    TeeSink,
+    Telemetry,
+)
+from repro.obs.sinks import PID_HOST, PID_SIM
+
+
+class TestTelemetryHub:
+    def test_disabled_by_default(self):
+        t = Telemetry()
+        assert not t.enabled
+        t.emit("instr.commit", 0.0, pc=0)  # no sink: silently dropped
+        assert t.events_emitted == 0
+
+    def test_null_sink_counts_as_disabled(self):
+        assert not Telemetry(NullSink()).enabled
+
+    def test_emit_reaches_sink(self):
+        sink = InMemorySink()
+        t = Telemetry(sink)
+        t.emit("energy", 1.5, category="compute", energy=1e-12, latency=0.0)
+        assert t.events_emitted == 1
+        [event] = sink.events
+        assert event.kind == "energy"
+        assert event.ts == 1.5
+        assert event.data["category"] == "compute"
+
+    def test_metrics_registry_is_idempotent(self):
+        t = Telemetry()
+        assert t.counter("a") is t.counter("a")
+        assert t.gauge("b") is t.gauge("b")
+        assert t.histogram("c") is t.histogram("c")
+
+    def test_counter_gauge_histogram(self):
+        t = Telemetry()
+        t.counter("n").inc()
+        t.counter("n").inc(2)
+        g = t.gauge("v")
+        g.set(3.0)
+        g.set(1.0)
+        h = t.histogram("h")
+        h.observe(0.5)
+        h.observe(4.0)
+        snap = t.snapshot()
+        assert snap["counters"]["n"] == 3
+        assert snap["gauges"]["v"] == {
+            "last": 1.0,
+            "min": 1.0,
+            "max": 3.0,
+            "samples": 2,
+        }
+        assert snap["histograms"]["h"]["count"] == 2
+        assert snap["histograms"]["h"]["sum"] == 4.5
+        # log2 buckets: 0.5 -> exponent -1, 4.0 -> exponent 2
+        assert snap["histograms"]["h"]["buckets"] == {"-1": 1, "2": 1}
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Telemetry().counter("n").inc(-1)
+
+    def test_gauge_emits_event_when_enabled(self):
+        sink = InMemorySink()
+        t = Telemetry(sink)
+        t.gauge("vcap").set(0.3, ts=2.0)
+        [event] = sink.events
+        assert event.kind == "gauge"
+        assert event.data == {"name": "vcap", "value": 0.3}
+
+    def test_span_emits_and_aggregates(self):
+        sink = InMemorySink()
+        t = Telemetry(sink)
+        with t.span("phase-1", experiment="fig9"):
+            pass
+        [event] = sink.events
+        assert event.kind == "span"
+        assert event.data["name"] == "phase-1"
+        assert event.data["dur"] >= 0
+        assert event.data["experiment"] == "fig9"
+        assert t.snapshot()["histograms"]["span.phase-1"]["count"] == 1
+
+    def test_span_timing_without_sink(self):
+        t = Telemetry()
+        with t.span("quiet"):
+            pass
+        assert t.snapshot()["histograms"]["span.quiet"]["count"] == 1
+        assert t.events_emitted == 0
+
+
+class TestInMemorySink:
+    def test_kind_filter(self):
+        sink = InMemorySink(kinds=("instr.commit",))
+        sink.write(Event("instr.commit", 0.0, {"pc": 1}))
+        sink.write(Event("energy", 0.0, {}))
+        assert [e.kind for e in sink.events] == ["instr.commit"]
+        assert sink.by_kind("energy") == []
+
+
+class TestJsonlSink:
+    def test_round_trip_preserves_float_precision(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        sink = JsonlSink(path)
+        value = 1.2345678901234567e-13
+        sink.write(Event("energy", 0.25, {"category": "compute", "energy": value, "latency": 0.0}))
+        sink.close()
+        [line] = open(path).read().splitlines()
+        obj = json.loads(line)
+        assert obj["kind"] == "energy"
+        assert obj["ts"] == 0.25
+        assert obj["energy"] == value  # bit-exact through JSON
+
+    def test_stream_target(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        sink.write(Event("gauge", 0.0, {"name": "v", "value": 1.0}))
+        sink.close()
+        assert json.loads(buf.getvalue())["name"] == "v"
+        assert not buf.closed  # caller-owned streams stay open
+
+
+class TestPerfettoSink:
+    def make(self):
+        buf = io.StringIO()
+        return PerfettoSink(buf), buf
+
+    def payload(self, sink, buf):
+        sink.close()
+        return json.loads(buf.getvalue())
+
+    def test_top_level_shape(self):
+        sink, buf = self.make()
+        payload = self.payload(sink, buf)
+        assert isinstance(payload["traceEvents"], list)
+        # process-name metadata for both tracks
+        names = {
+            (e["pid"], e["args"]["name"])
+            for e in payload["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert {p for p, _ in names} == {PID_HOST, PID_SIM}
+
+    def test_span_becomes_complete_event(self):
+        sink, buf = self.make()
+        sink.write(Event("span", 10.0, {"name": "fig9", "dur": 2.0, "note": "x"}))
+        payload = self.payload(sink, buf)
+        [x] = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert x["name"] == "fig9"
+        assert x["ts"] == 10.0 * 1e6
+        assert x["dur"] == 2.0 * 1e6
+        assert x["pid"] == PID_HOST
+        assert x["args"] == {"note": "x"}
+
+    def test_instr_commit_becomes_sim_slice(self):
+        sink, buf = self.make()
+        sink.write(
+            Event(
+                "instr.commit",
+                1e-6,
+                {
+                    "pc": 7,
+                    "text": "NAND t0 in 0,2 out 1",
+                    "energy": 1e-12,
+                    "latency": 33e-9,
+                    "microsteps": 5,
+                    "dead": False,
+                },
+            )
+        )
+        payload = self.payload(sink, buf)
+        [x] = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert x["name"] == "NAND"
+        assert x["pid"] == PID_SIM
+        assert x["dur"] == pytest.approx(33e-9 * 1e6)
+        assert x["args"]["pc"] == 7
+
+    def test_gauge_becomes_counter_track(self):
+        sink, buf = self.make()
+        sink.write(Event("gauge", 0.5, {"name": "harvest.vcap", "value": 0.33}))
+        payload = self.payload(sink, buf)
+        [c] = [e for e in payload["traceEvents"] if e["ph"] == "C"]
+        assert c["name"] == "harvest.vcap"
+        assert c["args"]["value"] == 0.33
+
+    def test_power_events_become_instants(self):
+        sink, buf = self.make()
+        sink.write(Event("power.off", 1.0, {"phase": "execute", "lost_work": True}))
+        sink.write(Event("harvest.restore", 2.0, {"voltage": 0.34}))
+        payload = self.payload(sink, buf)
+        instants = [e for e in payload["traceEvents"] if e["ph"] == "i"]
+        assert [e["name"] for e in instants] == ["power off", "restart"]
+
+    def test_high_frequency_kinds_are_skipped(self):
+        sink, buf = self.make()
+        sink.write(Event("energy", 0.0, {"category": "compute", "energy": 1e-12, "latency": 0.0}))
+        sink.write(Event("profile.burst", 0.0, {"label": "x", "count": 3, "energy": 1e-12}))
+        payload = self.payload(sink, buf)
+        assert all(e["ph"] == "M" for e in payload["traceEvents"])
+
+    def test_file_target(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        sink = PerfettoSink(path)
+        sink.write(Event("span", 0.0, {"name": "s", "dur": 1.0}))
+        sink.close()
+        payload = json.loads(open(path).read())
+        assert any(e["ph"] == "X" for e in payload["traceEvents"])
+
+
+class TestTeeSink:
+    def test_fan_out(self):
+        a, b = InMemorySink(), InMemorySink()
+        tee = TeeSink([a, b])
+        tee.write(Event("gauge", 0.0, {"name": "v", "value": 1.0}))
+        assert len(a.events) == len(b.events) == 1
+
+
+class TestHistogramBuckets:
+    def test_zero_goes_to_underflow(self):
+        from repro.obs.metrics import Histogram
+
+        h = Histogram("h")
+        h.observe(0.0)
+        assert h.count == 1
+        assert list(h.buckets) == [-1075]
+
+    def test_mean_of_empty_is_zero(self):
+        from repro.obs.metrics import Histogram
+
+        assert Histogram("h").mean == 0.0
+        assert not math.isnan(Histogram("h").mean)

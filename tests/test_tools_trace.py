@@ -72,3 +72,54 @@ class TestTraceRecorder:
         recorder = TraceRecorder(traced_machine())
         with pytest.raises(RuntimeError):
             recorder.run(max_instructions=2)
+
+
+class TestTraceBudgetExceeded:
+    def test_carries_partial_records(self):
+        from repro.obs import TraceBudgetExceeded
+
+        recorder = TraceRecorder(traced_machine())
+        with pytest.raises(TraceBudgetExceeded) as exc:
+            recorder.run(max_instructions=3)
+        records = exc.value.records
+        assert len(records) == 3
+        assert records[0].text.startswith("ACTIVATE")
+        assert [r.pc for r in records] == [0, 1, 2]
+        # the recorder keeps them too, for post-mortem inspection
+        assert recorder.records == records
+
+    def test_is_a_runtime_error(self):
+        """Old callers catching RuntimeError keep working."""
+        from repro.obs import TraceBudgetExceeded
+
+        assert issubclass(TraceBudgetExceeded, RuntimeError)
+
+    def test_limit_applies_to_partial_records(self):
+        from repro.obs import TraceBudgetExceeded
+
+        recorder = TraceRecorder(traced_machine(), limit=1)
+        with pytest.raises(TraceBudgetExceeded) as exc:
+            recorder.run(max_instructions=3)
+        assert len(exc.value.records) == 1
+
+
+class TestDeprecationShim:
+    def test_old_import_path_warns_but_works(self):
+        import importlib
+        import sys
+        import warnings
+
+        sys.modules.pop("repro.tools.trace", None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            module = importlib.import_module("repro.tools.trace")
+        assert any(w.category is DeprecationWarning for w in caught)
+        from repro.obs.trace import TraceRecorder as canonical
+
+        assert module.TraceRecorder is canonical
+
+    def test_same_class_everywhere(self):
+        from repro.obs import TraceRecorder as from_obs
+        from repro.tools import TraceRecorder as from_tools
+
+        assert from_obs is from_tools
