@@ -1,13 +1,16 @@
-.PHONY: install test trace-smoke bench experiments export examples all
+.PHONY: install test trace-smoke faults-smoke bench experiments export examples all
 
 install:
 	pip install -e . --no-build-isolation
 
-test: trace-smoke
+test: trace-smoke faults-smoke
 	pytest tests/
 
 trace-smoke:
 	PYTHONPATH=src python -m repro.obs.smoke
+
+faults-smoke:
+	PYTHONPATH=src python -m repro.faults.smoke
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -2,11 +2,12 @@
 
     python -m repro list                 # available experiments
     python -m repro run <name> [...]     # run selected experiments
-    python -m repro run <name> --events ev.jsonl --trace t.json --manifest
+    python -m repro run <name> --seed 7 --events ev.jsonl --manifest
     python -m repro all [--skip-accuracy]
     python -m repro info                 # technologies and gate designs
     python -m repro export [directory]   # write every artifact as CSV
     python -m repro stats ev.jsonl       # replay a telemetry event log
+    python -m repro faults --seed 7 --out report.json   # fault campaign
 """
 
 from __future__ import annotations
@@ -60,14 +61,28 @@ def cmd_list() -> int:
     return 0
 
 
+def _seed_everything(seed: Optional[int]) -> None:
+    """Seed the stdlib and numpy global RNGs (experiments draw from both)."""
+    if seed is None:
+        return
+    import random
+
+    import numpy as np
+
+    random.seed(seed)
+    np.random.seed(seed)
+
+
 def cmd_run(
     names: list[str],
     events: Optional[str] = None,
     trace: Optional[str] = None,
     manifest: Optional[str] = None,
+    seed: Optional[int] = None,
 ) -> int:
     from repro import obs
 
+    _seed_everything(seed)
     table = _experiment_map()
     try:
         telemetry = obs.from_paths(events=events, trace=trace)
@@ -110,6 +125,7 @@ def cmd_run(
                 "events": events,
                 "trace": trace,
             },
+            seed=seed,
             wall_time_s=wall,
             metrics=telemetry.snapshot() if telemetry.enabled else None,
         )
@@ -162,6 +178,75 @@ def cmd_export(directory: str) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    from repro import obs
+    from repro.devices.parameters import ALL_TECHNOLOGIES
+    from repro.faults import FaultCampaign, FaultPlan, WORKLOADS, render
+
+    techs = {p.name.lower().replace(" ", "-"): p for p in ALL_TECHNOLOGIES}
+    params = techs.get(args.tech.lower())
+    if params is None:
+        print(f"unknown technology {args.tech!r}; one of: {', '.join(sorted(techs))}")
+        return 2
+    plan = FaultPlan.from_variation(
+        params,
+        sigma=args.sigma,
+        trials=args.derive_trials,
+        scale=args.gate_scale,
+        array_flip_rate=args.array_rate,
+        nv_corruption_rate=args.nv_rate,
+        outage_rate=args.outage_rate,
+        verify_retry=not args.no_retry,
+        retry_budget=args.retry_budget,
+    )
+    try:
+        telemetry = obs.from_paths(events=args.events, trace=args.trace)
+    except OSError as exc:
+        print(f"cannot open telemetry output: {exc}")
+        return 2
+    started = time.perf_counter()
+    with obs.use(telemetry):
+        with telemetry.span("fault-campaign"):
+            campaign = FaultCampaign(
+                workload=WORKLOADS[args.workload](tech=params),
+                plan=plan,
+                trials=args.trials,
+                seed=args.seed,
+            )
+            report = campaign.run()
+    wall = time.perf_counter() - started
+    telemetry.close()
+
+    print(render(report))
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(report.to_json())
+        print(f"report: {args.out}")
+    else:
+        sys.stdout.write(report.to_json())
+    if telemetry.enabled:
+        _print_telemetry_summary(telemetry, args.events, args.trace)
+    if args.manifest is not None:
+        from repro.obs.manifest import write_manifest
+
+        path = write_manifest(
+            args.manifest,
+            command=["python", "-m", "repro", "faults"],
+            config={
+                "workload": args.workload,
+                "technology": params.name,
+                "trials": args.trials,
+                "plan": plan.to_json_obj(),
+                "out": args.out,
+            },
+            seed=args.seed,
+            wall_time_s=wall,
+            metrics=telemetry.snapshot() if telemetry.enabled else None,
+        )
+        print(f"manifest: {path}")
+    return 1 if report.sdc else 0
+
+
 def cmd_stats(path: str, top: int) -> int:
     from repro.obs.replay import render, replay
 
@@ -181,6 +266,12 @@ def main(argv: list[str] | None = None) -> int:
     run_p = sub.add_parser("run", help="run selected experiments")
     run_p.add_argument("names", nargs="+")
     run_p.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="seed the stdlib/numpy RNGs and record it in the manifest",
+    )
+    run_p.add_argument(
         "--events", metavar="PATH", help="write a JSONL telemetry event log"
     )
     run_p.add_argument(
@@ -189,6 +280,64 @@ def main(argv: list[str] | None = None) -> int:
         help="write a Chrome-trace JSON loadable in Perfetto",
     )
     run_p.add_argument(
+        "--manifest",
+        nargs="?",
+        const="runs",
+        metavar="DIR",
+        help="write a run manifest (default directory: runs/)",
+    )
+    faults_p = sub.add_parser(
+        "faults", help="run a seeded fault-injection campaign"
+    )
+    faults_p.add_argument(
+        "--workload", choices=("svm", "adder"), default="svm"
+    )
+    faults_p.add_argument(
+        "--tech",
+        default="modern-stt",
+        help="device technology (modern-stt, projected-stt, projected-she)",
+    )
+    faults_p.add_argument("--trials", type=int, default=16)
+    faults_p.add_argument("--seed", type=int, default=0)
+    faults_p.add_argument(
+        "--sigma",
+        type=float,
+        default=0.05,
+        help="relative device-parameter spread for gate flip rates",
+    )
+    faults_p.add_argument(
+        "--derive-trials",
+        type=int,
+        default=20_000,
+        help="Monte-Carlo samples per gate when deriving flip rates",
+    )
+    faults_p.add_argument(
+        "--gate-scale",
+        type=float,
+        default=1.0,
+        help="multiplier on derived gate flip rates (0 disables gate faults)",
+    )
+    faults_p.add_argument("--array-rate", type=float, default=0.0)
+    faults_p.add_argument("--nv-rate", type=float, default=0.0)
+    faults_p.add_argument("--outage-rate", type=float, default=0.0)
+    faults_p.add_argument(
+        "--no-retry",
+        action="store_true",
+        help="disable the verify-and-retry recovery layer",
+    )
+    faults_p.add_argument("--retry-budget", type=int, default=8)
+    faults_p.add_argument(
+        "--out", metavar="PATH", help="write the JSON report here"
+    )
+    faults_p.add_argument(
+        "--events", metavar="PATH", help="write a JSONL telemetry event log"
+    )
+    faults_p.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a Chrome-trace JSON loadable in Perfetto",
+    )
+    faults_p.add_argument(
         "--manifest",
         nargs="?",
         const="runs",
@@ -215,7 +364,10 @@ def main(argv: list[str] | None = None) -> int:
             events=args.events,
             trace=args.trace,
             manifest=args.manifest,
+            seed=args.seed,
         )
+    if args.command == "faults":
+        return cmd_faults(args)
     if args.command == "all":
         return cmd_all(args.skip_accuracy)
     if args.command == "info":

@@ -154,6 +154,16 @@ class Tile:
         self._check_row(row)
         self.state[row, col] = bool(value)
 
+    def flip_bit(self, row: int, col: int) -> None:
+        """Invert one cell in place — a transient disturb (read disturb,
+        thermal upset), for fault injection.  Unlike a gate operation it
+        ignores active columns and switch direction: external upsets are
+        not bound by the unidirectional-switching discipline."""
+        self._check_row(row)
+        if not 0 <= col < self.cols:
+            raise IndexError(f"column {col} out of range 0..{self.cols - 1}")
+        self.state[row, col] = not self.state[row, col]
+
     # ------------------------------------------------------------------
     # Logic operations
     # ------------------------------------------------------------------

@@ -68,6 +68,36 @@ def xnor_bit(b: ProgramBuilder, x: Bit, y: Bit) -> Bit:
     return out
 
 
+def tmr_bit(b: ProgramBuilder, gate: str, *inputs: Bit, voter: str = "MAJ3") -> Bit:
+    """Triple-modular-redundant gate: three copies + a majority vote.
+
+    Emits the gate three times into fresh rows (all on one parity, so
+    the voter needs no harmonising copies) and reduces them with a
+    3-input majority.  A single faulted copy — a stochastic output
+    flip, an array disturb on one copy's row — is outvoted, at 4x the
+    gate count; use it for the few bits whose silent corruption is
+    unacceptable (accumulator sign, loop guards).
+
+    ``voter`` picks the reduction: ``"MAJ3"`` is the direct single-gate
+    vote but is preset-1 and unreachable on Projected STT (the
+    voltage-delivery analysis, EXPERIMENTS.md finding 2); ``"MIN3"``
+    votes with minority + NOT — one extra gate, works on every
+    technology, and the result lands back on the copies' parity.
+    """
+    voter = voter.upper()
+    if voter not in ("MAJ3", "MIN3"):
+        raise ValueError(f"voter must be MAJ3 or MIN3, not {voter!r}")
+    copies = [b.gate(gate, *inputs) for _ in range(3)]
+    if voter == "MAJ3":
+        out = b.gate("MAJ3", *copies)
+    else:
+        minority = b.gate("MIN3", *copies)
+        out = b.gate("NOT", minority)
+        b.release(minority)
+    b.release(*copies)
+    return out
+
+
 def mux_bit(b: ProgramBuilder, select: Bit, when0: Bit, when1: Bit) -> Bit:
     """2:1 multiplexer: out = select ? when1 : when0."""
     ns = b.gate("NOT", select)

@@ -94,6 +94,10 @@ class MemoryController:
         self._dead_replay = False
         self._lost_work = False
 
+        # Fault layer (repro.faults).  None = disabled: like telemetry,
+        # the hot path pays one `is None` check per logic instruction.
+        self._faults = None
+
         # Telemetry (repro.obs).  None = disabled: the hot path pays a
         # single `is None` check per microstep and allocates nothing.
         self._obs = None
@@ -114,6 +118,21 @@ class MemoryController:
             self._obs = telemetry
         else:
             self._obs = None
+
+    def attach_faults(self, hook) -> None:
+        """Attach a fault hook (e.g. :class:`repro.faults.ControllerFaultHook`).
+
+        The hook's ``after_logic(controller, instr)`` runs at the end of
+        every *complete* logic execution — the injection point for
+        gate-output faults and the verify-and-retry recovery layer.
+        Pass None to detach.
+        """
+        self._faults = hook
+
+    @property
+    def current_instruction(self) -> Optional[Instruction]:
+        """The decoded in-flight instruction (DECODE..COMMIT), else None."""
+        return self._instr
 
     # ------------------------------------------------------------------
     # Microstep execution
@@ -312,6 +331,10 @@ class MemoryController:
         total = self.cost.logic_energy_measured(array_energy, spec.n_inputs + 1)
         self._charge(total)
         self._leave_sensor_region()
+        # Partial pulses model interrupted work; faults apply only to
+        # operations the controller believes completed.
+        if self._faults is not None and switch_mask is None:
+            self._faults.after_logic(self, instr)
 
     # ------------------------------------------------------------------
     # Sensor-read orchestration (Section IV-E)

@@ -77,6 +77,17 @@ class DualRegister:
         self._values[self.invalid_index] = rng.getrandbits(24)
         self._staged = False
 
+    def corrupt_invalid(self, value: int) -> None:
+        """External disturb of the *invalid* copy (fault injection).
+
+        Unlike :meth:`corrupt_staged` this leaves the stage/commit
+        handshake untouched: it models a bit upset in the spare copy
+        between updates, which the parity protocol must mask — the
+        parity bit still names the valid copy, and the next
+        :meth:`stage` overwrites the garbage anyway.
+        """
+        self._values[self.invalid_index] = int(value)
+
     def commit(self) -> None:
         """Step 2: atomically flip the parity bit, publishing the staged
         value.  Committing without a complete stage is a protocol bug —

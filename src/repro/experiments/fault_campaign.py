@@ -1,0 +1,114 @@
+"""Fault campaigns: the resilience story under seeded injection.
+
+Runs small deterministic :class:`repro.faults.FaultCampaign` sweeps and
+reports the outcome mix per configuration:
+
+* **gate flips** at Table-II-derived rates (device-variation Monte
+  Carlo at 5% sigma), with the verify-and-retry layer on and off — the
+  headline claim is that retry turns every would-be silent corruption
+  into a detected-and-recovered trial;
+* **adversarial outages** cutting power at random microsteps — the
+  dual-PC protocol masks every one (zero SDC with no retry layer at
+  all);
+* **NV-register disturbs** — the Figure 7 parity protocol masks them.
+
+All campaigns share one seed, so the table is byte-stable across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.parameters import ALL_TECHNOLOGIES, DeviceParameters
+from repro.experiments._format import format_table
+from repro.faults import FaultCampaign, FaultPlan, svm_workload
+
+
+@dataclass(frozen=True)
+class CampaignRow:
+    technology: str
+    campaign: str
+    retry: bool
+    injected: int
+    outcomes: dict  # outcome name -> trial count
+
+
+def _plans(tech: DeviceParameters) -> list[tuple[str, FaultPlan]]:
+    gate_on = FaultPlan.from_variation(
+        tech, sigma=0.05, trials=4_000, verify_retry=True
+    )
+    gate_off = FaultPlan(
+        gate_flip_rates=gate_on.gate_flip_rates,
+        verify_retry=False,
+        meta=gate_on.meta,
+    )
+    return [
+        ("gate flips", gate_on),
+        ("gate flips", gate_off),
+        ("outages", FaultPlan(outage_rate=0.01)),
+        ("nv disturbs", FaultPlan(nv_corruption_rate=0.02)),
+    ]
+
+
+def run(trials: int = 6, seed: int = 7) -> list[CampaignRow]:
+    rows = []
+    for tech in ALL_TECHNOLOGIES:
+        for name, plan in _plans(tech):
+            report = FaultCampaign(
+                workload=svm_workload(tech=tech),
+                plan=plan,
+                trials=trials,
+                seed=seed,
+            ).run()
+            rows.append(
+                CampaignRow(
+                    technology=tech.name,
+                    campaign=name,
+                    retry=plan.verify_retry,
+                    injected=sum(report.totals["injected"].values()),
+                    outcomes=dict(report.outcomes),
+                )
+            )
+    return rows
+
+
+def main() -> None:
+    print("Fault-injection campaigns (SVM decision workload, seed 7)")
+    rows = run()
+    table = [
+        (
+            row.technology,
+            row.campaign,
+            "on" if row.retry else "off",
+            row.injected,
+            row.outcomes.get("clean", 0) + row.outcomes.get("masked", 0),
+            row.outcomes.get("detected_recovered", 0),
+            row.outcomes.get("detected_aborted", 0),
+            row.outcomes.get("sdc", 0),
+        )
+        for row in rows
+    ]
+    print(
+        format_table(
+            [
+                "technology",
+                "campaign",
+                "retry",
+                "injected",
+                "clean/masked",
+                "recovered",
+                "aborted",
+                "sdc",
+            ],
+            table,
+        )
+    )
+    print(
+        "\n(expected shape: with retry on, gate flips show zero SDC;\n"
+        "outages and NV disturbs are masked by the dual-PC and parity\n"
+        "protocols without any retry layer at all)"
+    )
+
+
+if __name__ == "__main__":
+    main()

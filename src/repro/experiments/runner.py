@@ -19,6 +19,7 @@ import time
 
 from repro.experiments import (
     ablations,
+    fault_campaign,
     robustness,
     throughput,
     accuracy,
@@ -39,6 +40,7 @@ EXPERIMENTS = (
     ("Figures 10-12 (breakdown)", breakdown.main),
     ("Ablations (design-choice studies)", ablations.main),
     ("Robustness (device-variation Monte Carlo)", robustness.main),
+    ("Faults (seeded injection campaigns)", fault_campaign.main),
     ("Throughput (inferences/hour by harvester)", throughput.main),
     ("Accuracy (synthetic twins)", accuracy.main),
 )

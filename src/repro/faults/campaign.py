@@ -1,0 +1,271 @@
+"""Seeded fault-injection campaigns over whole workloads.
+
+A :class:`FaultCampaign` runs N independent trials of one workload
+under one :class:`~repro.faults.plan.FaultPlan`.  Every trial builds a
+fresh machine, attaches a :class:`~repro.faults.injectors.TrialInjector`
+seeded with ``default_rng([seed, trial])``, steps the controller to
+HALT with injections at microstep and instruction boundaries, and
+classifies the outcome against a golden (fault-free) run of the same
+workload:
+
+* final data-tile memory is compared bit-for-bit, and
+* the workload's readout values are compared against the golden run's.
+
+Determinism is load-bearing: the trial RNG stream depends only on
+``(seed, trial)``, the report contains no timestamps, and two runs of
+the same campaign serialise byte-identically (``make faults-smoke``
+asserts this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.compile import arith
+from repro.compile.builder import ProgramBuilder
+from repro.compile.classifier import CompiledSvm, compile_svm_decision
+from repro.core.accelerator import Mouse
+from repro.core.controller import InstructionBudgetExceeded, Phase
+from repro.devices.parameters import MODERN_STT, DeviceParameters
+from repro.faults.injectors import RetryBudgetExhausted, TrialInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.report import CampaignReport
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A deterministic program + readout for campaign trials.
+
+    ``build`` returns a freshly constructed machine with the program
+    loaded and all inputs written — called once for the golden run and
+    once per trial, so every trial starts from identical state.
+    ``readout`` extracts the result values from a halted machine;
+    ``reference`` is the host-side expected value of those results.
+    """
+
+    name: str
+    build: Callable[[], Mouse]
+    readout: Callable[[Mouse], list[int]]
+    reference: list[int]
+
+
+def adder_workload(tech: DeviceParameters = MODERN_STT) -> Workload:
+    """A 4-bit ripple adder over three SIMD columns (102 instructions)."""
+    builder = ProgramBuilder(tile=0, rows=256, cols=8, reserved_rows=16)
+    builder.activate((0, 1, 2))
+    x = builder.word_at([0, 2, 4, 6])
+    y = builder.word_at([8, 10, 12, 14])
+    total = builder.word_at(arith.ripple_add(builder, x, y).rows)
+    program = builder.finish()
+    pairs = [(3, 5), (15, 15), (0, 7)]
+
+    def build() -> Mouse:
+        mouse = Mouse(tech, rows=256, cols=8)
+        for col, (a, c) in enumerate(pairs):
+            mouse.write_value(0, 0, col, 4, a)
+            mouse.write_value(0, 8, col, 4, c)
+        mouse.load(program)
+        return mouse
+
+    def readout(mouse: Mouse) -> list[int]:
+        values = []
+        for col in range(len(pairs)):
+            value = 0
+            for i, bit in enumerate(total.bits):
+                value |= mouse.tile(0).get_bit(bit.row, col) << i
+            values.append(value)
+        return values
+
+    return Workload(
+        name="adder4x3",
+        build=build,
+        readout=readout,
+        reference=[(a + c) % 32 for a, c in pairs],
+    )
+
+
+def svm_workload(tech: DeviceParameters = MODERN_STT) -> Workload:
+    """A small but complete SVM decision (dot, square, accumulate)."""
+    svm = compile_svm_decision(
+        n_support=2,
+        dimensions=2,
+        input_bits=2,
+        sv_bits=2,
+        coef_bits=2,
+        offset_bits=2,
+        rows=1024,
+        n_columns=1,
+    )
+    sv_int = np.array([[1, 2], [3, 1]])
+    coef_int = np.array([2, -1])
+    offset = 1
+    x_int = [2, 3]
+
+    def build() -> Mouse:
+        mouse = svm.machine(sv_int, coef_int, offset, tech)
+        svm.set_input(mouse, x_int)
+        return mouse
+
+    return Workload(
+        name="svm2x2",
+        build=build,
+        readout=lambda mouse: [svm.read_score(mouse)],
+        reference=[CompiledSvm.reference_score(x_int, sv_int, coef_int, offset)],
+    )
+
+
+WORKLOADS: dict[str, Callable[[DeviceParameters], Workload]] = {
+    "adder": adder_workload,
+    "svm": svm_workload,
+}
+
+
+class FaultCampaign:
+    """N seeded trials of one workload under one fault plan."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        plan: FaultPlan,
+        trials: int = 16,
+        seed: int = 0,
+        telemetry=None,
+        max_microsteps: int = 2_000_000,
+    ) -> None:
+        if trials < 1:
+            raise ValueError("need at least one trial")
+        self.workload = workload
+        self.plan = plan
+        self.trials = trials
+        self.seed = seed
+        self.telemetry = telemetry
+        self.max_microsteps = max_microsteps
+
+    def _resolve_obs(self):
+        if self.telemetry is not None:
+            t = self.telemetry
+        else:
+            from repro.obs import current
+
+            t = current()
+        return t if t.enabled else None
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> CampaignReport:
+        obs = self._resolve_obs()
+
+        golden = self.workload.build()
+        golden.run()
+        golden_memory = golden.bank.snapshot()
+        golden_values = self.workload.readout(golden)
+        if golden_values != list(self.workload.reference):
+            raise RuntimeError(
+                f"workload {self.workload.name!r} golden run disagrees with "
+                f"its reference: {golden_values} != {self.workload.reference}"
+            )
+
+        report = CampaignReport(
+            workload=self.workload.name,
+            trials=self.trials,
+            seed=self.seed,
+            plan=self.plan,
+            reference=list(golden_values),
+        )
+        totals = {
+            "injected": {},
+            "detected": 0,
+            "recovered": 0,
+            "retries": 0,
+        }
+
+        for trial in range(self.trials):
+            detail = self._run_trial(trial, golden_memory, golden_values, obs)
+            report.outcomes[detail["outcome"]] += 1
+            for site, count in detail["injected"].items():
+                totals["injected"][site] = totals["injected"].get(site, 0) + count
+            totals["detected"] += detail["detected"]
+            totals["recovered"] += detail["recovered"]
+            totals["retries"] += detail["retries"]
+            report.details.append(detail)
+        report.totals = totals
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _run_trial(
+        self,
+        trial: int,
+        golden_memory: Sequence[np.ndarray],
+        golden_values: list[int],
+        obs,
+    ) -> dict:
+        rng = np.random.default_rng([self.seed, trial])
+        mouse = self.workload.build()
+        injector = TrialInjector(self.plan, rng, telemetry=obs)
+        injector.attach(mouse)
+        controller = mouse.controller
+
+        aborted: Optional[str] = None
+        steps = 0
+        try:
+            while not controller.halted:
+                if steps >= self.max_microsteps:
+                    raise InstructionBudgetExceeded(
+                        f"trial {trial} exceeded {self.max_microsteps} microsteps"
+                    )
+                phase = controller.step()
+                steps += 1
+                if phase is Phase.COMMIT:
+                    injector.after_commit(mouse)
+                injector.after_microstep(mouse, phase)
+        except RetryBudgetExhausted as exc:
+            aborted = str(exc)
+
+        counters = injector.counters
+        memory_match = all(
+            np.array_equal(a, b)
+            for a, b in zip(mouse.bank.snapshot(), golden_memory)
+        )
+        value_match = (
+            aborted is None and self.workload.readout(mouse) == golden_values
+        )
+        outcome = self._classify(counters, aborted, memory_match, value_match)
+        detail = {
+            "trial": trial,
+            "outcome": outcome,
+            "injected": counters.to_json_obj()["injected"],
+            "detected": counters.detected,
+            "recovered": counters.recovered,
+            "retries": counters.retries,
+            "memory_match": memory_match,
+            "value_match": value_match,
+        }
+        if aborted is not None:
+            detail["abort_reason"] = aborted
+        return detail
+
+    @staticmethod
+    def _classify(
+        counters, aborted: Optional[str], memory_match: bool, value_match: bool
+    ) -> str:
+        if aborted is not None:
+            return "detected_aborted"
+        if not memory_match or not value_match:
+            # Completed "successfully" with wrong state: the silent
+            # corruption class the recovery layer exists to empty.
+            return "sdc"
+        if counters.total_injected == 0:
+            return "clean"
+        if (
+            counters.detected > 0
+            or counters.recovered > 0
+            or counters.injected["outage"] > 0
+        ):
+            # Something fired — a verify mismatch or the power-loss
+            # machinery — and the result still came out right.
+            return "detected_recovered"
+        return "masked"

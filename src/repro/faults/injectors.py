@@ -1,0 +1,311 @@
+"""Fault injectors and the verify-and-retry recovery layer.
+
+Two cooperating pieces, both seeded from one :class:`numpy.random.Generator`
+so a trial is replayable bit-exactly:
+
+* :class:`ControllerFaultHook` attaches to the
+  :class:`~repro.core.controller.MemoryController` (via
+  :meth:`~repro.core.controller.MemoryController.attach_faults`) and runs
+  *inside* every logic instruction's EXECUTE microstep: it flips output
+  bits per the plan's gate table and, when ``verify_retry`` is on,
+  re-reads the output column, checks it against the threshold truth
+  table, and re-issues the preset + gate pair on mismatch — charging the
+  re-work as Dead energy, bounded by the retry budget.
+
+* :class:`TrialInjector` owns the hook plus the *between-microstep*
+  injections a campaign performs from its run loop: transient array bit
+  flips, NV dual-register corruption (followed by a power cycle the
+  Figure-7 protocol must survive), and stochastic adversarial outages.
+
+Detection here is architectural, not oracular: the verifier re-reads
+the *current* array contents (inputs included), so a gate whose inputs
+were corrupted earlier computes a consistent-but-wrong answer that only
+end-to-end comparison (or redundancy like the TMR macro) can catch —
+exactly the silent-data-corruption channel the campaign quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.energy.metrics import Category
+from repro.faults.plan import SITES, FaultPlan
+from repro.isa.instruction import LogicInstruction
+from repro.obs.events import FAULT_DETECTED, FAULT_INJECTED, FAULT_RECOVERED
+
+
+class RetryBudgetExhausted(RuntimeError):
+    """A logic instruction kept failing verification past the budget."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        pc: Optional[int] = None,
+        gate: Optional[str] = None,
+        retries: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.pc = pc
+        self.gate = gate
+        self.retries = retries
+
+
+@dataclass
+class FaultCounters:
+    """Event-level tallies for one trial (all deterministic per seed)."""
+
+    injected: dict[str, int] = field(
+        default_factory=lambda: {site: 0 for site in SITES}
+    )
+    detected: int = 0
+    recovered: int = 0
+    retries: int = 0
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def to_json_obj(self) -> dict:
+        return {
+            "injected": {k: self.injected[k] for k in sorted(self.injected)},
+            "detected": self.detected,
+            "recovered": self.recovered,
+            "retries": self.retries,
+        }
+
+
+class ControllerFaultHook:
+    """Gate-output flips + verify-and-retry, run inside EXECUTE.
+
+    The controller calls :meth:`after_logic` immediately after a logic
+    instruction's array operation completes (and before PC staging), so
+    a retry is architecturally a re-execution of the same in-flight
+    instruction — the exact spot the paper's idempotency argument
+    covers.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        rng: np.random.Generator,
+        counters: Optional[FaultCounters] = None,
+        telemetry=None,
+    ) -> None:
+        self.plan = plan
+        self.rng = rng
+        self.counters = counters if counters is not None else FaultCounters()
+        self._obs = telemetry if (telemetry is not None and telemetry.enabled) else None
+
+    # -- telemetry -------------------------------------------------------
+
+    def _emit(self, kind: str, controller, **data) -> None:
+        if self._obs is not None:
+            self._obs.emit(
+                kind, controller.ledger.breakdown.total_latency, **data
+            )
+
+    # -- the logic-instruction hook -------------------------------------
+
+    def after_logic(self, controller, instr: LogicInstruction) -> None:
+        spec = instr.spec
+        tiles = controller.bank.target_tiles(instr.tile)
+        rate = self.plan.rate_for(spec.name)
+        pc = controller.pc.read()
+        retries = 0
+        while True:
+            injected = self._inject_flips(tiles, instr.output_row, rate)
+            if injected:
+                self.counters.injected["gate"] += injected
+                self._emit(
+                    FAULT_INJECTED,
+                    controller,
+                    site="gate",
+                    gate=spec.name,
+                    pc=pc,
+                    count=injected,
+                )
+            if not self.plan.verify_retry:
+                return
+            mismatches = self._verify(controller, spec, instr, tiles)
+            if mismatches == 0:
+                if retries:
+                    self.counters.recovered += 1
+                    self._emit(
+                        FAULT_RECOVERED,
+                        controller,
+                        site="gate",
+                        gate=spec.name,
+                        pc=pc,
+                        retries=retries,
+                    )
+                return
+            self.counters.detected += 1
+            self._emit(
+                FAULT_DETECTED,
+                controller,
+                site="gate",
+                gate=spec.name,
+                pc=pc,
+                count=mismatches,
+            )
+            if retries >= self.plan.retry_budget:
+                raise RetryBudgetExhausted(
+                    f"gate {spec.name} at pc {pc} still wrong after "
+                    f"{retries} re-issues (budget {self.plan.retry_budget})",
+                    pc=pc,
+                    gate=spec.name,
+                    retries=retries,
+                )
+            retries += 1
+            self.counters.retries += 1
+            self._reissue(controller, spec, instr, tiles)
+
+    def _inject_flips(self, tiles, output_row: int, rate: float) -> int:
+        if rate <= 0.0:
+            return 0
+        injected = 0
+        for tile in tiles:
+            active = np.flatnonzero(tile.active_columns)
+            if active.size == 0:
+                continue
+            victims = active[self.rng.random(active.size) < rate]
+            if victims.size:
+                tile.state[output_row, victims] ^= True
+                injected += int(victims.size)
+        return injected
+
+    def _verify(self, controller, spec, instr, tiles) -> int:
+        """Re-read the output column and compare against the threshold
+        truth table over the *current* inputs; charge the read."""
+        target = bool(spec.direction.target_state)
+        switch_table = np.array(
+            [spec.switches(k) for k in range(spec.n_inputs + 1)]
+        )
+        mismatches = 0
+        for tile in tiles:
+            active = tile.active_columns
+            if not active.any():
+                continue
+            inputs = tile.state[list(instr.input_rows)][:, active]
+            n_ones = inputs.sum(axis=0)
+            expected = np.where(switch_table[n_ones], target, bool(spec.preset))
+            actual = tile.state[instr.output_row][active]
+            mismatches += int((actual != expected).sum())
+            controller.ledger.charge(
+                Category.COMPUTE, controller.cost.row_read_energy(tile.cols)
+            )
+        return mismatches
+
+    def _reissue(self, controller, spec, instr, tiles) -> None:
+        """Re-perform the preset + gate pair, charged as Dead work."""
+        cycle = controller.cost.cycle_time
+        for tile in tiles:
+            preset = tile.preset_row(instr.output_row, bool(spec.preset))
+            result = tile.logic_op(spec, instr.input_rows, instr.output_row)
+            controller.ledger.charge(
+                Category.DEAD,
+                controller.cost.preset_energy(max(preset.n_columns, 1))
+                + controller.cost.logic_energy_measured(
+                    result.energy, spec.n_inputs + 1
+                ),
+                2.0 * cycle,
+            )
+
+
+class TrialInjector:
+    """One campaign trial's full injection state.
+
+    Owns the controller hook plus the between-instruction injections
+    (array flips, NV corruption, stochastic outages) the campaign run
+    loop performs at microstep boundaries.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        rng: np.random.Generator,
+        telemetry=None,
+    ) -> None:
+        self.plan = plan
+        self.rng = rng
+        self.counters = FaultCounters()
+        self._obs = telemetry if (telemetry is not None and telemetry.enabled) else None
+        self.hook = ControllerFaultHook(
+            plan, rng, counters=self.counters, telemetry=telemetry
+        )
+
+    def attach(self, mouse) -> None:
+        mouse.controller.attach_faults(self.hook)
+
+    def _emit(self, kind: str, controller, **data) -> None:
+        if self._obs is not None:
+            self._obs.emit(kind, controller.ledger.breakdown.total_latency, **data)
+
+    # -- between-microstep injections -----------------------------------
+
+    def after_microstep(self, mouse, phase) -> None:
+        """Stochastic adversarial outage at this microstep boundary."""
+        if self.plan.outage_rate <= 0.0:
+            return
+        controller = mouse.controller
+        if controller.halted or not controller.powered:
+            return
+        if self.rng.random() < self.plan.outage_rate:
+            self.counters.injected["outage"] += 1
+            self._emit(
+                FAULT_INJECTED,
+                controller,
+                site="outage",
+                phase=phase.value,
+                pc=controller.pc.read(),
+            )
+            controller.power_off()
+            controller.power_on()
+
+    def after_commit(self, mouse) -> None:
+        """Array bit flips and NV corruption at instruction boundaries."""
+        controller = mouse.controller
+        if self.plan.array_flip_rate > 0.0 and (
+            self.rng.random() < self.plan.array_flip_rate
+        ):
+            tiles = mouse.bank.data_tiles
+            index = int(self.rng.integers(len(tiles)))
+            tile = tiles[index]
+            row = int(self.rng.integers(tile.rows))
+            col = int(self.rng.integers(tile.cols))
+            tile.flip_bit(row, col)
+            self.counters.injected["array"] += 1
+            self._emit(
+                FAULT_INJECTED,
+                controller,
+                site="array",
+                tile=index,
+                row=row,
+                col=col,
+            )
+        if self.plan.nv_corruption_rate > 0.0 and (
+            self.rng.random() < self.plan.nv_corruption_rate
+        ):
+            registers = (
+                controller.pc,
+                controller.activate_register,
+                controller.sensor_pc,
+            )
+            register = registers[int(self.rng.integers(len(registers)))]
+            register.corrupt_invalid(int(self.rng.integers(1 << 24)))
+            self.counters.injected["nv"] += 1
+            self._emit(
+                FAULT_INJECTED,
+                controller,
+                site="nv",
+                register=register.name,
+            )
+            # The corrupted invalid copy must be harmless across a power
+            # cycle: the parity bit still names the valid copy.
+            if not controller.halted:
+                controller.power_off()
+                controller.power_on()

@@ -1,0 +1,130 @@
+"""Campaign reports: a stable, validated JSON artifact per campaign.
+
+A report is pure data — the plan it ran under, per-class outcome
+counts, per-site injection totals, and a per-trial detail table — with
+no wall-clock timestamps, so two runs of the same (plan, workload,
+seed) serialise to *byte-identical* JSON.  That property is asserted by
+``make faults-smoke`` and is what makes a campaign a citable artifact
+rather than an anecdote.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.faults.plan import SITES, FaultPlan
+
+SCHEMA = "repro.faults.report/v1"
+
+#: Outcome classes, from best to worst (CRAM-ER taxonomy):
+#: ``clean``              — nothing was injected in this trial;
+#: ``masked``             — faults were injected but the architecture
+#:                          absorbed them with no detection needed
+#:                          (e.g. NV corruption hidden by the parity
+#:                          protocol) and the result is correct;
+#: ``detected_recovered`` — detection fired (verify mismatch, power
+#:                          loss) and recovery produced the correct
+#:                          result;
+#: ``detected_aborted``   — detection fired but the retry budget ran
+#:                          out (fail-stop, never a wrong answer);
+#: ``sdc``                — silent data corruption: the run completed
+#:                          "successfully" with a wrong result or
+#:                          corrupted memory.
+OUTCOMES = ("clean", "masked", "detected_recovered", "detected_aborted", "sdc")
+
+
+@dataclass
+class CampaignReport:
+    """Everything one :class:`repro.faults.FaultCampaign` run produced."""
+
+    workload: str
+    trials: int
+    seed: int
+    plan: FaultPlan
+    reference: list[int]
+    outcomes: dict[str, int] = field(
+        default_factory=lambda: {o: 0 for o in OUTCOMES}
+    )
+    totals: dict[str, Any] = field(default_factory=dict)
+    details: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def sdc(self) -> int:
+        return self.outcomes.get("sdc", 0)
+
+    @property
+    def detected_recovered(self) -> int:
+        return self.outcomes.get("detected_recovered", 0)
+
+    def to_json_obj(self) -> dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "workload": self.workload,
+            "trials": self.trials,
+            "seed": self.seed,
+            "plan": self.plan.to_json_obj(),
+            "reference": list(self.reference),
+            "outcomes": {o: self.outcomes.get(o, 0) for o in OUTCOMES},
+            "totals": self.totals,
+            "details": self.details,
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialisation (sorted keys, no timestamps)."""
+        return json.dumps(self.to_json_obj(), indent=2, sort_keys=True) + "\n"
+
+
+def validate_report(obj: Mapping[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``obj`` is a well-formed v1 report."""
+    if obj.get("schema") != SCHEMA:
+        raise ValueError(f"schema is {obj.get('schema')!r}, expected {SCHEMA!r}")
+    for key in ("workload", "trials", "seed", "plan", "outcomes", "totals", "details"):
+        if key not in obj:
+            raise ValueError(f"report is missing {key!r}")
+    outcomes = obj["outcomes"]
+    for cls in OUTCOMES:
+        count = outcomes.get(cls)
+        if not isinstance(count, int) or count < 0:
+            raise ValueError(f"outcome {cls!r} has bad count {count!r}")
+    extra = set(outcomes) - set(OUTCOMES)
+    if extra:
+        raise ValueError(f"unknown outcome classes {sorted(extra)}")
+    if sum(outcomes.values()) != obj["trials"]:
+        raise ValueError(
+            f"outcome counts sum to {sum(outcomes.values())}, "
+            f"expected {obj['trials']} trials"
+        )
+    injected = obj["totals"].get("injected", {})
+    for site in injected:
+        if site not in SITES:
+            raise ValueError(f"unknown injection site {site!r}")
+    if len(obj["details"]) != obj["trials"]:
+        raise ValueError("per-trial details do not cover every trial")
+    FaultPlan.from_json_obj(obj["plan"])  # re-validates rates
+
+
+def render(report: CampaignReport) -> str:
+    """Human summary of one campaign (the CLI's table)."""
+    from repro.experiments._format import format_table
+
+    injected = report.totals.get("injected", {})
+    lines = [
+        f"fault campaign: {report.workload!r}, {report.trials} trials, "
+        f"seed {report.seed}",
+        format_table(
+            ["outcome", "trials"],
+            [(o, report.outcomes.get(o, 0)) for o in OUTCOMES],
+        ),
+        "",
+        format_table(
+            ["site", "injected"],
+            [(site, injected.get(site, 0)) for site in SITES],
+        ),
+        "",
+        f"detected {report.totals.get('detected', 0)}, "
+        f"recovered {report.totals.get('recovered', 0)}, "
+        f"retries {report.totals.get('retries', 0)}",
+    ]
+    return "\n".join(lines)

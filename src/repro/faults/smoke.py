@@ -1,0 +1,116 @@
+"""Fault-layer smoke test: tiny seeded campaigns, fully validated.
+
+    python -m repro.faults.smoke [--out DIR] [--keep]
+
+Three checks, all on a small SVM decision program:
+
+1. **Gate-flip campaign** at Table-II-derived error rates (Modern STT,
+   5% device variation) with verify-and-retry enabled: the report must
+   validate against the v1 schema, contain *zero* silent corruptions,
+   and show at least one detected-and-recovered trial — the
+   acceptance criterion for the resilience layer.
+2. **Determinism**: the same campaign run twice serialises to
+   byte-identical JSON.
+3. **Adversarial outages**: a stochastic microstep-outage campaign and
+   an exhaustive every-phase sweep must both leave memory bit-identical
+   to the continuous-power run (zero SDC, paper Section V).
+
+Exit status 0 means the fault subsystem is healthy; wired into
+``make faults-smoke`` (part of ``make test``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.devices.parameters import MODERN_STT
+from repro.faults.campaign import FaultCampaign, svm_workload
+from repro.faults.outages import exhaustive_phase_sweep
+from repro.faults.plan import FaultPlan
+from repro.faults.report import validate_report
+
+
+def run_smoke(out_dir: str) -> int:
+    failures: list[str] = []
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    workload = svm_workload(MODERN_STT)
+
+    # 1-2. Gate flips at variation-derived rates, run twice.
+    plan = FaultPlan.from_variation(
+        MODERN_STT, sigma=0.05, trials=5_000, verify_retry=True
+    )
+    first = FaultCampaign(workload, plan, trials=5, seed=7).run()
+    second = FaultCampaign(workload, plan, trials=5, seed=7).run()
+    text = first.to_json()
+    if text != second.to_json():
+        failures.append("gate-flip campaign is not byte-reproducible")
+    try:
+        validate_report(first.to_json_obj())
+    except ValueError as exc:
+        failures.append(f"gate-flip report fails schema validation: {exc}")
+    if first.sdc != 0:
+        failures.append(
+            f"gate-flip campaign with recovery has {first.sdc} silent corruptions"
+        )
+    if first.detected_recovered == 0:
+        failures.append("gate-flip campaign never detected-and-recovered")
+    report_path = out / "gate_flip_report.json"
+    report_path.write_text(text, encoding="utf-8")
+
+    # 3a. Stochastic adversarial outages.
+    outage_plan = FaultPlan(outage_rate=0.01, verify_retry=True)
+    outages = FaultCampaign(workload, outage_plan, trials=3, seed=7).run()
+    try:
+        validate_report(outages.to_json_obj())
+    except ValueError as exc:
+        failures.append(f"outage report fails schema validation: {exc}")
+    if outages.sdc != 0:
+        failures.append(f"outage campaign has {outages.sdc} silent corruptions")
+    if outages.totals["injected"].get("outage", 0) == 0:
+        failures.append("outage campaign injected no outages")
+
+    # 3b. Exhaustive every-phase sweep vs continuous power.
+    continuous = workload.build()
+    continuous.run()
+    reference = continuous.bank.snapshot()
+    swept = workload.build()
+    sweep = exhaustive_phase_sweep(swept, mid_pulse=True)
+    if sweep.cuts == 0:
+        failures.append("exhaustive sweep performed no cuts")
+    if not all(
+        np.array_equal(a, b) for a, b in zip(swept.bank.snapshot(), reference)
+    ):
+        failures.append("exhaustive sweep diverged from the continuous run")
+
+    if failures:
+        for failure in failures:
+            print(f"faults-smoke FAILED: {failure}", file=sys.stderr)
+        return 1
+    injected = sum(first.totals["injected"].values())
+    print(
+        f"faults-smoke ok: {injected} gate faults injected, "
+        f"{first.totals['recovered']} recoveries, 0 silent corruptions; "
+        f"{sweep.cuts} adversarial cuts left memory bit-identical"
+    )
+    print(f"  report: {report_path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", metavar="DIR", help="directory for report JSON")
+    args = parser.parse_args(argv)
+    if args.out:
+        return run_smoke(args.out)
+    with tempfile.TemporaryDirectory(prefix="repro-faults-smoke-") as tmp:
+        return run_smoke(tmp)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.core.accelerator import Mouse
+from repro.core.controller import InstructionBudgetExceeded
 from repro.devices.parameters import DeviceParameters
 from repro.energy.metrics import Breakdown, Category, EnergyLedger
 from repro.energy.model import InstructionCostModel
@@ -36,7 +37,24 @@ from repro.harvest.source import ConstantPowerSource, PowerSource
 class NonTerminationError(RuntimeError):
     """A single instruction needs more energy than one full capacitor
     window can supply: the program would repeat it forever (the paper's
-    forward-progress / non-termination condition, Section I)."""
+    forward-progress / non-termination condition, Section I).
+
+    Carries the :class:`Breakdown` accumulated up to the diagnosis and
+    the offending instruction's net energy draw, so callers can report
+    *how far* the run got and *how much* the stuck instruction needs
+    relative to the window.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        breakdown: Optional[Breakdown] = None,
+        instruction_energy: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.breakdown = breakdown
+        self.instruction_energy = instruction_energy
 
 
 @dataclass
@@ -127,21 +145,52 @@ class IntermittentRun:
         from repro.core.controller import Phase
 
         executed = 0
+        # Non-termination guard: if a full capacitor window comes and
+        # goes without a single commit, remember where the machine was
+        # stuck; a second consecutive zero-progress window at the same
+        # PC means the in-flight instruction outdraws the window and
+        # the run would retry it forever (paper Section I).  Two
+        # windows (not one) so a window merely truncated by earlier
+        # work is never misdiagnosed.
+        commits_in_window = 0
+        drawn_in_window = 0.0
+        stalled_pc: Optional[int] = None
         while not controller.halted:
             if executed >= max_instructions:
-                raise RuntimeError("instruction budget exhausted")
+                raise InstructionBudgetExceeded(
+                    f"instruction budget exhausted: program did not halt "
+                    f"within {max_instructions} instructions"
+                )
             energy_before = ledger.breakdown.total_energy
             phase = controller.step()
             consumed = ledger.breakdown.total_energy - energy_before
             if phase is Phase.COMMIT or controller.halted:
                 executed += 1
+                commits_in_window += 1
                 harvested = source.energy(self.time, cycle)
                 self.time += cycle
                 buffer.add_energy(harvested)
                 if obs is not None and executed % self.vcap_sample_period == 0:
                     vcap.set(buffer.voltage, ts=self.time)
             buffer.draw_energy(consumed)
+            drawn_in_window += consumed
             if buffer.must_shut_down and not controller.halted:
+                if commits_in_window == 0:
+                    pc = controller.pc.read()
+                    if pc == stalled_pc:
+                        raise NonTerminationError(
+                            f"no forward progress: the instruction at pc "
+                            f"{pc} drew {drawn_in_window:.3e} J without "
+                            f"committing in two consecutive capacitor "
+                            f"windows ({buffer.window_energy:.3e} J usable) "
+                            "— reduce the active-column parallelism or "
+                            "enlarge the buffer",
+                            breakdown=ledger.breakdown,
+                            instruction_energy=drawn_in_window,
+                        )
+                    stalled_pc = pc
+                else:
+                    stalled_pc = None
                 if obs is not None:
                     obs.counter("harvest.outages").inc()
                     obs.emit(
@@ -153,6 +202,8 @@ class IntermittentRun:
                 controller.power_off()
                 self._charge_until_ready()
                 controller.power_on()
+                commits_in_window = 0
+                drawn_in_window = 0.0
                 if obs is not None:
                     obs.emit("harvest.restore", self.time, voltage=buffer.voltage)
                     vcap.set(buffer.voltage, ts=self.time)
@@ -357,7 +408,9 @@ class ProfileRun:
                             f"holds {buffer.window_energy:.3e} J — no "
                             "forward progress is possible; reduce the "
                             "active-column parallelism or enlarge the "
-                            "buffer"
+                            "buffer",
+                            breakdown=ledger.breakdown,
+                            instruction_energy=net,
                         )
                     burst = min(remaining, max(1, int(buffer.headroom // net)))
                 consumed = burst * per_instr

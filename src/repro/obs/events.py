@@ -27,6 +27,12 @@ Kinds
 ``profile.burst``
     One closed-form burst of the aggregate engine: segment ``label``,
     instruction ``count``, forward-progress ``energy`` (J).
+``fault.injected`` / ``fault.detected`` / ``fault.recovered``
+    Fault-layer events (:mod:`repro.faults`): every injected fault
+    names its ``site`` (``gate`` / ``array`` / ``nv`` / ``outage`` /
+    ``sensor``) plus site-specific detail (gate name, pc, register,
+    tile coordinates); detections and recoveries mark the
+    verify-and-retry layer (or a protocol-level recovery) firing.
 ``gauge``
     A sampled metric value (e.g. the capacitor-voltage timeline):
     ``name``, ``value``.
@@ -52,6 +58,9 @@ HARVEST_OUTAGE = "harvest.outage"
 HARVEST_CHARGE = "harvest.charge"
 HARVEST_RESTORE = "harvest.restore"
 PROFILE_BURST = "profile.burst"
+FAULT_INJECTED = "fault.injected"
+FAULT_DETECTED = "fault.detected"
+FAULT_RECOVERED = "fault.recovered"
 GAUGE = "gauge"
 SPAN = "span"
 
@@ -65,6 +74,9 @@ KNOWN_KINDS: dict[str, frozenset[str]] = {
     HARVEST_CHARGE: frozenset({"dur"}),
     HARVEST_RESTORE: frozenset({"voltage"}),
     PROFILE_BURST: frozenset({"label", "count", "energy"}),
+    FAULT_INJECTED: frozenset({"site"}),
+    FAULT_DETECTED: frozenset({"site"}),
+    FAULT_RECOVERED: frozenset({"site"}),
     GAUGE: frozenset({"name", "value"}),
     SPAN: frozenset({"name", "dur"}),
 }

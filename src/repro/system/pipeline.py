@@ -32,8 +32,10 @@ from repro.array.bank import SENSOR_TILE
 from repro.core.accelerator import Mouse
 from repro.core.program import Program
 from repro.energy.metrics import Breakdown
+from repro.faults.plan import SensorFaultPlan
 from repro.harvest.intermittent import HarvestingConfig, IntermittentRun
 from repro.isa.instruction import Instruction, MemoryInstruction
+from repro.obs.events import FAULT_DETECTED, FAULT_INJECTED, FAULT_RECOVERED
 
 
 def transfer_prologue(n_rows: int, data_tile: int = 0) -> list[Instruction]:
@@ -78,6 +80,14 @@ class SensorDrivenPipeline:
         right after each sample's first transfer (exercises the
         rewind protocol).  Only meaningful with harvesting disabled —
         the corruption is injected deterministically as a power cycle.
+    sensor_faults:
+        Optional :class:`repro.faults.SensorFaultPlan`: with its
+        ``rate``, the outage additionally *scrambles* a fraction of the
+        buffer's bits before the valid bit drops — the stronger fault
+        the Section IV-E protocol is really defending against, since
+        the garbled sample must never reach the compute tile.  Each
+        injection emits ``fault.injected|detected|recovered`` events
+        (site ``sensor``) through the ambient telemetry hub.
     """
 
     mouse: Mouse
@@ -85,12 +95,16 @@ class SensorDrivenPipeline:
     harvesting: Optional[HarvestingConfig] = None
     corruption_rate: float = 0.0
     seed: int = 0
+    sensor_faults: Optional[SensorFaultPlan] = None
     _rng: random.Random = field(init=False, repr=False)
+    _fault_rng: np.random.Generator = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.corruption_rate <= 1.0:
             raise ValueError("corruption_rate must be a probability")
         self._rng = random.Random(self.seed)
+        seed = self.sensor_faults.seed if self.sensor_faults is not None else 0
+        self._fault_rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------------
 
@@ -122,6 +136,10 @@ class SensorDrivenPipeline:
             retransfers += 1
             mouse.bank.sensor.fill(sample)  # sensor redeposits
 
+        plan = self.sensor_faults
+        if plan is not None and self._fault_rng.random() < plan.rate:
+            retransfers += self._inject_sensor_fault(sample)
+
         if self.harvesting is None:
             controller.run()
             breakdown = mouse.ledger.breakdown
@@ -138,3 +156,43 @@ class SensorDrivenPipeline:
             breakdown=breakdown,
             retransfers=retransfers,
         )
+
+    def _inject_sensor_fault(self, sample: np.ndarray) -> int:
+        """Outage mid-refill that also scrambles buffer bits.
+
+        Power dies right after the transfer's first READ while the
+        sensor is redepositing: a fraction of the buffer's bits flip
+        and the valid bit drops.  Restart must rewind the PC to the
+        transfer prologue (never consuming the garbled bits), after
+        which the sensor redeposits cleanly.  Returns the number of
+        retransfers performed (1).
+        """
+        from repro.obs import current
+
+        mouse = self.mouse
+        controller = mouse.controller
+        sensor = mouse.bank.sensor
+        obs = current()
+        ts = mouse.ledger.breakdown.total_latency
+
+        controller.step_instruction()  # first sensor READ
+        pc_before = controller.pc.read()
+        controller.power_off()
+        flips = self._fault_rng.random(sensor.data.shape) < (
+            self.sensor_faults.bit_flip_fraction
+        )
+        sensor.data ^= flips
+        sensor.invalidate()
+        if obs.enabled:
+            obs.emit(
+                FAULT_INJECTED, ts, site="sensor", bits=int(flips.sum())
+            )
+        controller.power_on()
+        if controller.pc.read() > pc_before:
+            raise AssertionError("sensor rewind did not happen")
+        if obs.enabled:
+            obs.emit(FAULT_DETECTED, ts, site="sensor", pc=controller.pc.read())
+        sensor.fill(sample)  # sensor redeposits the clean sample
+        if obs.enabled:
+            obs.emit(FAULT_RECOVERED, ts, site="sensor")
+        return 1

@@ -93,6 +93,94 @@ class TestTelemetryFlags:
         assert "telemetry:" not in capsys.readouterr().out
 
 
+FAULTS_FAST = [
+    "faults",
+    "--workload",
+    "adder",
+    "--trials",
+    "3",
+    "--seed",
+    "7",
+    "--derive-trials",
+    "2000",
+]
+
+
+class TestFaultsCommand:
+    def test_report_byte_identical_across_runs(self, tmp_path, capsys):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        assert main(FAULTS_FAST + ["--out", str(first)]) == 0
+        assert main(FAULTS_FAST + ["--out", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_report_validates_and_summary_printed(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert main(FAULTS_FAST + ["--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "fault campaign" in text
+        assert "detected_recovered" in text
+
+        from repro.faults import validate_report
+
+        payload = json.loads(out.read_text())
+        validate_report(payload)
+        assert payload["seed"] == 7
+        assert payload["outcomes"]["sdc"] == 0
+        assert payload["plan"]["meta"]["technology"] == "Modern STT"
+
+    def test_json_on_stdout_without_out(self, capsys):
+        assert main(FAULTS_FAST) == 0
+        text = capsys.readouterr().out
+        payload = json.loads(text[text.index("{") :])
+        assert payload["schema"] == "repro.faults.report/v1"
+
+    def test_unknown_tech(self, capsys):
+        assert main(["faults", "--tech", "vacuum-tube"]) == 2
+        assert "unknown technology" in capsys.readouterr().out
+
+    def test_manifest_records_seed_and_plan(self, tmp_path, capsys):
+        mdir = tmp_path / "run"
+        assert main(FAULTS_FAST + ["--manifest", str(mdir)]) == 0
+        payload = json.load(open(mdir / "manifest.json"))
+        assert payload["seed"] == 7
+        assert payload["config"]["workload"] == "adder"
+        assert "gate_flip_rates" in payload["config"]["plan"]
+
+
+class TestRunSeed:
+    def test_seed_recorded_in_manifest(self, tmp_path, capsys):
+        mdir = tmp_path / "run"
+        assert (
+            main(
+                [
+                    "run",
+                    "table-i-idempotency",
+                    "--seed",
+                    "11",
+                    "--manifest",
+                    str(mdir),
+                ]
+            )
+            == 0
+        )
+        payload = json.load(open(mdir / "manifest.json"))
+        assert payload["seed"] == 11
+
+    def test_seed_sets_global_rngs(self):
+        import random
+
+        import numpy as np
+
+        from repro.__main__ import _seed_everything
+
+        expected_py = random.Random(123).random()
+        expected_np = np.random.RandomState(123).random_sample()
+        _seed_everything(123)
+        assert random.random() == expected_py
+        assert np.random.random() == expected_np
+
+
 class TestStats:
     def test_stats_replays_an_event_log(self, tmp_path, capsys):
         events = str(tmp_path / "ev.jsonl")

@@ -94,6 +94,88 @@ class TestAdders:
         assert cout.parity == a.parity
 
 
+class TestTmr:
+    @pytest.mark.parametrize("voter", ["MAJ3", "MIN3"])
+    @pytest.mark.parametrize(
+        "gate, ref",
+        [
+            ("NAND", lambda a, b: 1 - (a & b)),
+            ("AND", lambda a, b: a & b),
+            ("OR", lambda a, b: a | b),
+        ],
+    )
+    def test_exhaustive_equivalence(self, voter, gate, ref):
+        """TMR of a gate computes the same function as the bare gate."""
+        (col_a, col_b), combos = exhaustive_cases(2)
+        h = ColumnHarness(len(combos), rows=128)
+        a = h.input_bit(col_a)
+        b = h.input_bit(col_b)
+        out = macros.tmr_bit(h.builder, gate, a, b, voter=voter)
+        mouse = h.run()
+        for col, (va, vb) in enumerate(combos):
+            assert h.read_bit(mouse, out, col) == ref(va, vb), (voter, va, vb)
+
+    def test_min3_voter_lands_on_copy_parity(self):
+        """MIN3+NOT flips parity twice, returning to the copies' side —
+        the property that makes it a drop-in for ripple chains."""
+        h = ColumnHarness(1, rows=128)
+        a = h.input_bit([1])
+        b = h.input_bit([0])
+        maj = macros.tmr_bit(h.builder, "NAND", a, b, voter="MAJ3")
+        h2 = ColumnHarness(1, rows=128)
+        a2 = h2.input_bit([1])
+        b2 = h2.input_bit([0])
+        direct = h2.builder.gate("NAND", a2, b2)
+        min3 = macros.tmr_bit(h2.builder, "NAND", a2, b2, voter="MIN3")
+        assert min3.parity == direct.parity
+        assert maj.parity != direct.parity
+
+    def test_outvotes_one_corrupted_copy(self):
+        """The point of TMR: flip one copy's output bit after the gate
+        runs and the vote still produces the correct answer."""
+        import numpy as np
+
+        from repro.compile.builder import ProgramBuilder
+        from repro.core.accelerator import Mouse
+        from repro.devices.parameters import MODERN_STT
+        from repro.faults import ControllerFaultHook, FaultPlan
+
+        builder = ProgramBuilder(tile=0, rows=128, cols=4, reserved_rows=8)
+        builder.activate((0,))
+        word = builder.word_at([0, 2])
+        out = macros.tmr_bit(
+            builder, "NAND", word.bits[0], word.bits[1], voter="MIN3"
+        )
+        program = builder.finish()
+        mouse = Mouse(MODERN_STT, rows=128, cols=4)
+        mouse.tile(0).set_bit(0, 0, True)
+        mouse.tile(0).set_bit(2, 0, True)
+        mouse.load(program)
+        # Flip one NAND copy's output, once, with no retry layer: only
+        # redundancy stands between the flip and the final value.
+        plan = FaultPlan(gate_flip_rates={"NAND": 1.0}, verify_retry=False)
+
+        class OneShot(ControllerFaultHook):
+            fired = False
+
+            def after_logic(self, controller, instr):
+                if not OneShot.fired and instr.spec.name == "NAND":
+                    OneShot.fired = True
+                    super().after_logic(controller, instr)
+
+        mouse.controller.attach_faults(OneShot(plan, np.random.default_rng(0)))
+        mouse.run()
+        assert OneShot.fired
+        assert mouse.tile(0).get_bit(out.row, 0) == 0  # NAND(1,1) outvoted
+
+    def test_bad_voter_rejected(self):
+        h = ColumnHarness(1, rows=128)
+        a = h.input_bit([0])
+        b = h.input_bit([1])
+        with pytest.raises(ValueError):
+            macros.tmr_bit(h.builder, "NAND", a, b, voter="XYZ")
+
+
 class TestPaperGateCounts:
     def test_full_adder_is_nine_nands(self):
         """Section II-B: a full-add is 9 NAND gates (plus the parity

@@ -1,0 +1,131 @@
+"""Seeded campaigns: determinism, outcome classification, reports."""
+
+import json
+
+import pytest
+
+from repro.devices.parameters import MODERN_STT
+from repro.faults import (
+    FaultCampaign,
+    FaultPlan,
+    OUTCOMES,
+    adder_workload,
+    render,
+    svm_workload,
+    validate_report,
+)
+
+GATE_PLAN = FaultPlan(
+    gate_flip_rates={"NAND": 0.05, "AND": 0.1, "BUF": 0.01, "NOT": 0.001},
+    verify_retry=True,
+)
+
+
+def run_campaign(plan, trials=4, seed=7, workload=None):
+    workload = workload or adder_workload(MODERN_STT)
+    return FaultCampaign(workload, plan, trials=trials, seed=seed).run()
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical(self):
+        first = run_campaign(GATE_PLAN)
+        second = run_campaign(GATE_PLAN)
+        assert first.to_json() == second.to_json()
+
+    def test_different_seed_differs(self):
+        first = run_campaign(GATE_PLAN, seed=7)
+        second = run_campaign(GATE_PLAN, seed=8)
+        assert first.to_json() != second.to_json()
+
+
+class TestOutcomeClassification:
+    def test_gate_flips_with_retry_zero_sdc(self):
+        """The acceptance criterion: recovery empties the SDC class."""
+        report = run_campaign(GATE_PLAN, trials=6)
+        assert report.sdc == 0
+        assert report.detected_recovered > 0
+
+    def test_gate_flips_without_retry_produce_sdc(self):
+        plan = FaultPlan(gate_flip_rates={"NAND": 0.2}, verify_retry=False)
+        report = run_campaign(plan, trials=4)
+        assert report.sdc > 0
+
+    def test_no_injection_is_clean(self):
+        report = run_campaign(FaultPlan(), trials=2)
+        assert report.outcomes["clean"] == 2
+        assert all(v == 0 for v in report.totals["injected"].values())
+
+    def test_nv_disturbs_are_masked(self):
+        """Figure 7: a corrupted invalid copy never surfaces."""
+        plan = FaultPlan(nv_corruption_rate=0.1, verify_retry=False)
+        report = run_campaign(plan, trials=3)
+        assert report.sdc == 0
+        assert report.outcomes["masked"] + report.outcomes["clean"] == 3
+        assert report.totals["injected"].get("nv", 0) > 0
+
+    def test_outages_never_corrupt(self):
+        plan = FaultPlan(outage_rate=0.01, verify_retry=False)
+        report = run_campaign(plan, trials=3)
+        assert report.sdc == 0
+        assert report.totals["injected"].get("outage", 0) > 0
+
+    def test_tiny_retry_budget_aborts_not_corrupts(self):
+        plan = FaultPlan(
+            gate_flip_rates={"NAND": 0.9, "AND": 0.9, "BUF": 0.9, "NOT": 0.9},
+            verify_retry=True,
+            retry_budget=0,
+        )
+        report = run_campaign(plan, trials=3)
+        assert report.outcomes["detected_aborted"] > 0
+        assert report.sdc == 0  # fail-stop, never silent
+
+    def test_golden_mismatch_raises(self):
+        workload = adder_workload(MODERN_STT)
+        broken = type(workload)(
+            name=workload.name,
+            build=workload.build,
+            readout=workload.readout,
+            reference=[0, 0, 0],
+        )
+        with pytest.raises(RuntimeError, match="golden"):
+            FaultCampaign(broken, FaultPlan(), trials=1).run()
+
+
+class TestReport:
+    def test_validates_and_serialises(self):
+        report = run_campaign(GATE_PLAN, trials=3)
+        obj = json.loads(report.to_json())
+        validate_report(obj)
+        assert obj["workload"] == "adder4x3"
+        assert sum(obj["outcomes"].values()) == 3
+        assert len(obj["details"]) == 3
+
+    def test_validation_catches_bad_counts(self):
+        report = run_campaign(FaultPlan(), trials=2)
+        obj = report.to_json_obj()
+        obj["outcomes"]["sdc"] = 99
+        with pytest.raises(ValueError, match="sum"):
+            validate_report(obj)
+
+    def test_validation_catches_unknown_site(self):
+        report = run_campaign(FaultPlan(), trials=2)
+        obj = report.to_json_obj()
+        obj["totals"] = {"injected": {"cosmic": 1}}
+        with pytest.raises(ValueError, match="site"):
+            validate_report(obj)
+
+    def test_render_mentions_every_outcome(self):
+        text = render(run_campaign(GATE_PLAN, trials=2))
+        for outcome in OUTCOMES:
+            assert outcome in text
+
+    def test_svm_workload_reference(self):
+        """The SVM workload's golden run matches its host-side math."""
+        report = FaultCampaign(
+            svm_workload(MODERN_STT), FaultPlan(), trials=1
+        ).run()
+        assert report.outcomes["clean"] == 1
+
+    def test_trials_validation(self):
+        with pytest.raises(ValueError):
+            FaultCampaign(adder_workload(MODERN_STT), FaultPlan(), trials=0)

@@ -1,0 +1,159 @@
+"""The gate-flip injector and its verify-and-retry recovery layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.program import Program
+from repro.devices.parameters import MODERN_STT
+from repro.faults import (
+    ControllerFaultHook,
+    FaultCounters,
+    FaultPlan,
+    RetryBudgetExhausted,
+    TrialInjector,
+)
+from repro.isa.assembler import assemble
+from tests.conftest import make_mouse
+
+#: NAND over rows 0,2 of four columns; inputs chosen so the reference
+#: output is (1, 1, 1, 0) across columns (0&0, 0&1, 1&0, 1&1).
+PROGRAM = """
+ACTIVATE t0 cols 0,1,2,3
+PRESET0  t0 row 3
+NAND     t0 in 0,2 out 3
+HALT
+"""
+REFERENCE = (1, 1, 1, 0)
+
+
+def nand_machine():
+    mouse = make_mouse(MODERN_STT, rows=16, cols=8)
+    for col, (a, b) in enumerate([(0, 0), (0, 1), (1, 0), (1, 1)]):
+        mouse.tile(0).set_bit(0, col, bool(a))
+        mouse.tile(0).set_bit(2, col, bool(b))
+    mouse.load(Program(assemble(PROGRAM)))
+    return mouse
+
+
+def output_bits(mouse):
+    return tuple(mouse.tile(0).get_bit(3, col) for col in range(4))
+
+
+def run_with_hook(plan, seed=0):
+    mouse = nand_machine()
+    hook = ControllerFaultHook(plan, np.random.default_rng(seed))
+    mouse.controller.attach_faults(hook)
+    mouse.run()
+    return mouse, hook.counters
+
+
+class TestVerifyAndRetry:
+    def test_certain_flip_with_retry_still_recovers_with_luck(self):
+        """At rate 0.5 some re-issues come through clean: detection
+        fires, recovery follows, and the output is bit-correct."""
+        plan = FaultPlan(gate_flip_rates={"NAND": 0.5}, verify_retry=True)
+        mouse, counters = run_with_hook(plan, seed=1)
+        assert counters.injected["gate"] > 0
+        assert counters.detected > 0
+        assert counters.recovered > 0
+        assert output_bits(mouse) == REFERENCE
+
+    def test_no_retry_leaves_corruption(self):
+        plan = FaultPlan(gate_flip_rates={"NAND": 1.0}, verify_retry=False)
+        mouse, counters = run_with_hook(plan)
+        assert counters.injected["gate"] == 4  # every active column
+        assert counters.detected == 0
+        # All four output bits were flipped after the gate wrote them.
+        assert output_bits(mouse) == tuple(1 - b for b in REFERENCE)
+
+    def test_budget_exhaustion_is_fail_stop(self):
+        """Rate 1.0 re-corrupts every re-issue, so the budget runs out
+        and the hook aborts the run instead of returning a wrong answer."""
+        plan = FaultPlan(
+            gate_flip_rates={"NAND": 1.0}, verify_retry=True, retry_budget=2
+        )
+        mouse = nand_machine()
+        hook = ControllerFaultHook(plan, np.random.default_rng(0))
+        mouse.controller.attach_faults(hook)
+        with pytest.raises(RetryBudgetExhausted) as info:
+            mouse.run()
+        assert info.value.gate == "NAND"
+        assert info.value.retries == 2
+        assert hook.counters.retries == 2
+
+    def test_retry_energy_charged_as_dead(self):
+        """Re-issued work is overhead, not forward progress."""
+        plan = FaultPlan(gate_flip_rates={"NAND": 0.5}, verify_retry=True)
+        mouse, counters = run_with_hook(plan, seed=1)
+        assert counters.retries > 0
+        assert mouse.ledger.breakdown.dead_energy > 0
+
+    def test_verify_charges_read_energy(self):
+        """Even a clean pass pays for the verification read."""
+        clean_plan = FaultPlan(gate_flip_rates={}, verify_retry=True)
+        mouse, _ = run_with_hook(clean_plan)
+        baseline = nand_machine()
+        baseline.run()
+        assert (
+            mouse.ledger.breakdown.compute_energy
+            > baseline.ledger.breakdown.compute_energy
+        )
+        assert output_bits(mouse) == REFERENCE
+
+    def test_deterministic_per_seed(self):
+        plan = FaultPlan(gate_flip_rates={"NAND": 0.5}, verify_retry=True)
+        _, first = run_with_hook(plan, seed=9)
+        _, second = run_with_hook(plan, seed=9)
+        assert first.to_json_obj() == second.to_json_obj()
+
+
+class TestTrialInjector:
+    def test_array_flip_changes_one_bit(self):
+        plan = FaultPlan(array_flip_rate=1.0, verify_retry=False)
+        mouse = nand_machine()
+        reference = nand_machine()
+        reference.run()
+        injector = TrialInjector(plan, np.random.default_rng(0))
+        injector.attach(mouse)
+        mouse.controller.step_instruction()  # ACTIVATE commits...
+        injector.after_commit(mouse)  # ...then one certain flip
+        diff = int(
+            (mouse.tile(0).state != nand_machine().tile(0).state).sum()
+        )
+        assert diff == 1
+        assert injector.counters.injected["array"] == 1
+
+    def test_nv_corruption_is_masked_by_parity_protocol(self):
+        plan = FaultPlan(nv_corruption_rate=1.0, verify_retry=False)
+        mouse = nand_machine()
+        injector = TrialInjector(plan, np.random.default_rng(3))
+        injector.attach(mouse)
+        controller = mouse.controller
+        from repro.core.controller import Phase
+
+        while not controller.halted:
+            phase = controller.step()
+            if phase is Phase.COMMIT:
+                injector.after_commit(mouse)
+        assert injector.counters.injected["nv"] > 0
+        assert output_bits(mouse) == REFERENCE
+
+    def test_stochastic_outages_recovered_by_dual_pc(self):
+        plan = FaultPlan(outage_rate=0.2, verify_retry=False)
+        mouse = nand_machine()
+        injector = TrialInjector(plan, np.random.default_rng(0))
+        injector.attach(mouse)
+        controller = mouse.controller
+        while not controller.halted:
+            controller.step()
+            injector.after_microstep(mouse, controller.phase)
+        assert injector.counters.injected["outage"] > 0
+        assert output_bits(mouse) == REFERENCE
+
+
+class TestFaultCounters:
+    def test_json_shape(self):
+        counters = FaultCounters()
+        obj = counters.to_json_obj()
+        assert set(obj["injected"]) == {"gate", "array", "nv", "outage", "sensor"}
+        assert counters.total_injected == 0

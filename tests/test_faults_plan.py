@@ -1,0 +1,101 @@
+"""Fault plans: rate derivation, validation, and JSON round-trips."""
+
+import pytest
+
+from repro.devices.parameters import MODERN_STT, PROJECTED_SHE
+from repro.faults import FaultPlan, SensorFaultPlan, derive_gate_flip_rates
+from repro.logic.library import GATE_LIBRARY
+
+
+class TestDeriveGateFlipRates:
+    def test_covers_every_gate(self):
+        rates = derive_gate_flip_rates(MODERN_STT, trials=2_000)
+        assert set(rates) == set(GATE_LIBRARY)
+        assert all(0.0 <= r <= 1.0 for r in rates.values())
+
+    def test_matches_variation_monte_carlo(self):
+        """The table is Table-II physics, not hand-picked numbers."""
+        from repro.devices.variation import VariationModel, gate_error_rate
+        from repro.logic.library import NAND
+
+        rates = derive_gate_flip_rates(MODERN_STT, sigma=0.05, trials=5_000)
+        direct = gate_error_rate(
+            MODERN_STT, NAND, VariationModel(0.05, 0.05), trials=5_000, seed=0
+        ).error_rate
+        assert rates["NAND"] == pytest.approx(direct)
+
+    def test_fanin_ordering_on_modern_stt(self):
+        """Wider gates have thinner margins, hence higher flip rates."""
+        rates = derive_gate_flip_rates(MODERN_STT, sigma=0.05, trials=5_000)
+        assert rates["NOT"] < rates["NAND"] < rates["MAJ3"]
+
+    def test_scale_and_floor(self):
+        rates = derive_gate_flip_rates(
+            PROJECTED_SHE, trials=1_000, scale=0.0, floor=0.25
+        )
+        assert all(r == 0.25 for r in rates.values())
+        huge = derive_gate_flip_rates(MODERN_STT, trials=1_000, scale=1e9)
+        assert all(r <= 1.0 for r in huge.values())
+
+    def test_negative_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            derive_gate_flip_rates(MODERN_STT, trials=100, scale=-1.0)
+        with pytest.raises(ValueError):
+            derive_gate_flip_rates(MODERN_STT, trials=100, floor=-0.1)
+
+
+class TestFaultPlan:
+    def test_defaults_inject_nothing(self):
+        plan = FaultPlan()
+        assert not plan.any_injection
+        assert plan.rate_for("NAND") == 0.0
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(gate_flip_rates={"NAND": 1.5})
+        with pytest.raises(ValueError):
+            FaultPlan(outage_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(retry_budget=-1)
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            gate_flip_rates={"NAND": 0.05, "NOT": 0.001},
+            array_flip_rate=0.01,
+            outage_rate=0.002,
+            verify_retry=False,
+            retry_budget=3,
+            meta={"origin": "test"},
+        )
+        again = FaultPlan.from_json_obj(plan.to_json_obj())
+        assert again.to_json_obj() == plan.to_json_obj()
+
+    def test_from_variation_records_provenance(self):
+        plan = FaultPlan.from_variation(MODERN_STT, sigma=0.05, trials=1_000)
+        assert plan.meta["technology"] == "Modern STT"
+        assert plan.meta["sigma"] == 0.05
+        assert plan.meta["derived_from"] == "devices.variation.gate_error_rate"
+        assert plan.any_injection
+
+    def test_from_variation_forwards_kwargs(self):
+        plan = FaultPlan.from_variation(
+            MODERN_STT, trials=500, verify_retry=False, retry_budget=2
+        )
+        assert not plan.verify_retry
+        assert plan.retry_budget == 2
+
+
+class TestSensorFaultPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SensorFaultPlan(rate=2.0)
+        with pytest.raises(ValueError):
+            SensorFaultPlan(bit_flip_fraction=-0.5)
+
+    def test_json(self):
+        plan = SensorFaultPlan(rate=0.5, bit_flip_fraction=0.1, seed=3)
+        assert plan.to_json_obj() == {
+            "rate": 0.5,
+            "bit_flip_fraction": 0.1,
+            "seed": 3,
+        }

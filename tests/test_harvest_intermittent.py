@@ -97,6 +97,45 @@ class TestIntermittentRunCorrectness:
         )
 
 
+class TestNonTerminationDiagnosis:
+    def undersized_config(self):
+        # A window far smaller than one instruction's draw: no commit
+        # can ever happen, which the run must diagnose, not loop on.
+        return HarvestingConfig(
+            source=ConstantPowerSource(1e-9),
+            buffer=EnergyBuffer(capacitance=1e-9, v_off=0.001, v_on=0.0011),
+        )
+
+    def test_intermittent_run_diagnoses_stuck_instruction(self):
+        m, _ = adder_machine()
+        with pytest.raises(NonTerminationError) as info:
+            IntermittentRun(m, self.undersized_config()).run()
+        # The error carries the run's breakdown-so-far and the stuck
+        # instruction's energy draw, for actionable reporting.
+        assert info.value.breakdown is not None
+        assert info.value.breakdown.restarts >= 1
+        assert info.value.instruction_energy is not None
+        assert info.value.instruction_energy > 0
+        assert "pc" in str(info.value)
+
+    def test_budget_exhaustion_is_typed(self):
+        from repro.core.controller import InstructionBudgetExceeded
+
+        m, _ = adder_machine()
+        with pytest.raises(InstructionBudgetExceeded) as info:
+            IntermittentRun(m, tiny_window_config()).run(max_instructions=1)
+        assert isinstance(info.value, RuntimeError)  # back-compat
+        assert "did not halt" in str(info.value)
+
+    def test_healthy_run_never_trips_the_guard(self):
+        """A window that fits single instructions but forces many
+        restarts must complete, not be misdiagnosed as stuck."""
+        m, _ = adder_machine()
+        b = IntermittentRun(m, tiny_window_config()).run()
+        assert b.restarts > 10
+        assert b.instructions == 102
+
+
 def profile_of(n=1000, energy=1e-12, backup=1e-13, columns=8):
     p = InstructionProfile(name="test", active_columns=columns)
     p.add(n, energy, backup, "body")
@@ -167,8 +206,11 @@ class TestProfileRun:
             buffer=EnergyBuffer(capacitance=1e-9, v_off=0.001, v_on=0.0011),
         )
         huge = profile_of(n=10, energy=1e-3)
-        with pytest.raises(NonTerminationError):
+        with pytest.raises(NonTerminationError) as info:
             ProfileRun(huge, self.cost(), config).run()
+        assert info.value.breakdown is not None
+        assert info.value.instruction_energy is not None
+        assert info.value.instruction_energy > config.buffer.window_energy
 
     def test_dead_fraction_validation(self):
         config = HarvestingConfig(

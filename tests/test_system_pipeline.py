@@ -87,6 +87,49 @@ class TestCorruptionRecovery:
         assert outcomes[0].breakdown.restarts >= 1
 
 
+class TestSensorFaultInjection:
+    def build(self, rate=1.0, bit_flip_fraction=0.3, seed=5):
+        from repro.faults import SensorFaultPlan
+
+        mouse, pipeline = build_pipeline()
+        pipeline.sensor_faults = SensorFaultPlan(
+            rate=rate, bit_flip_fraction=bit_flip_fraction, seed=seed
+        )
+        return mouse, pipeline
+
+    def test_scrambled_buffer_never_reaches_compute(self):
+        """Section IV-E under a *garbled* (not just invalid) buffer:
+        the rewind protocol re-transfers a clean sample and the answer
+        is still bit-correct."""
+        _, pipeline = self.build()
+        samples = [make_sample(a, b) for a, b, _ in REFERENCE]
+        outcomes = pipeline.process(samples)
+        assert all(o.retransfers == 1 for o in outcomes)
+        assert [o.result_bits for o in outcomes] == [r for *_, r in REFERENCE]
+
+    def test_zero_rate_injects_nothing(self):
+        _, pipeline = self.build(rate=0.0)
+        outcomes = pipeline.process([make_sample(*REFERENCE[0][:2])])
+        assert outcomes[0].retransfers == 0
+
+    def test_fault_events_emitted(self):
+        from repro import obs
+        from repro.obs.events import (
+            FAULT_DETECTED,
+            FAULT_INJECTED,
+            FAULT_RECOVERED,
+        )
+
+        sink = obs.InMemorySink()
+        with obs.use(obs.Telemetry(sink)):
+            _, pipeline = self.build()
+            pipeline.process([make_sample(*REFERENCE[0][:2])])
+        kinds = [e.kind for e in sink.events]
+        assert FAULT_INJECTED in kinds
+        assert FAULT_DETECTED in kinds
+        assert FAULT_RECOVERED in kinds
+
+
 class TestHarvestedPipeline:
     def test_intermittent_inference_stream(self):
         config = HarvestingConfig(
