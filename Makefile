@@ -1,10 +1,28 @@
-.PHONY: install test trace-smoke faults-smoke bench experiments export examples all
+.PHONY: install test lint lint-smoke trace-smoke faults-smoke bench experiments export examples all
 
 install:
 	pip install -e . --no-build-isolation
 
-test: trace-smoke faults-smoke
+test: trace-smoke faults-smoke lint
 	pytest tests/
+
+# Static checks: the CRAM program linter over every registered target,
+# then ruff/mypy over the Python sources when they are installed (the
+# container image does not ship them; CI does).
+lint: lint-smoke
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping Python style check"; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro; \
+	else \
+		echo "mypy not installed; skipping type check"; \
+	fi
+
+lint-smoke:
+	PYTHONPATH=src python -m repro.lint.smoke
 
 trace-smoke:
 	PYTHONPATH=src python -m repro.obs.smoke

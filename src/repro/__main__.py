@@ -8,6 +8,9 @@
     python -m repro export [directory]   # write every artifact as CSV
     python -m repro stats ev.jsonl       # replay a telemetry event log
     python -m repro faults --seed 7 --out report.json   # fault campaign
+    python -m repro lint                 # statically verify programs
+    python -m repro lint svm --json      # one target, JSON diagnostics
+    python -m repro lint --asm prog.asm --rows 256 --cols 8
 """
 
 from __future__ import annotations
@@ -247,6 +250,77 @@ def cmd_faults(args) -> int:
     return 1 if report.sdc else 0
 
 
+def cmd_lint(args) -> int:
+    import json
+
+    from repro.core.program import Program
+    from repro.lint import (
+        RULES,
+        LintConfig,
+        Linter,
+        TARGETS,
+        render,
+    )
+
+    if args.rules:
+        for rule in RULES.values():
+            print(f"{rule.id}  [{rule.severity}]  {rule.title}")
+            print(f"    {rule.why}")
+        return 0
+    if args.list:
+        print("lintable program targets (python -m repro lint <name>):")
+        for name, target in sorted(TARGETS.items()):
+            print(f"  {name:12s} {target.description}")
+        return 0
+
+    jobs: list[tuple[str, Program, LintConfig]] = []
+    if args.asm is not None:
+        from repro.isa.assembler import AssemblerError, assemble
+
+        try:
+            with open(args.asm, "r", encoding="utf-8") as f:
+                instructions = assemble(f.read())
+        except OSError as exc:
+            print(f"cannot read {args.asm}: {exc}")
+            return 2
+        except (AssemblerError, ValueError) as exc:
+            print(f"cannot assemble {args.asm}: {exc}")
+            return 2
+        config = LintConfig(
+            n_data_tiles=args.tiles, rows=args.rows, cols=args.cols
+        )
+        jobs.append((args.asm, Program(instructions, name=args.asm), config))
+    else:
+        names = args.targets or ["all"]
+        if names == ["all"]:
+            names = sorted(TARGETS)
+        for name in names:
+            target = TARGETS.get(name)
+            if target is None:
+                print(
+                    f"unknown lint target {name!r}; "
+                    "try 'python -m repro lint --list'"
+                )
+                return 2
+            program, config = target.build()
+            jobs.append((name, program, config))
+
+    status = 0
+    reports = []
+    for name, program, config in jobs:
+        report = Linter(config).run(program, name=name)
+        reports.append(report)
+        if not report.ok:
+            status = 1
+        if not args.json:
+            print(render(report))
+    if args.json:
+        payload = [r.to_json_obj() for r in reports]
+        print(json.dumps(payload[0] if len(payload) == 1 else payload,
+                         indent=2, sort_keys=True))
+    return status
+
+
 def cmd_stats(path: str, top: int) -> int:
     from repro.obs.replay import render, replay
 
@@ -354,6 +428,35 @@ def main(argv: list[str] | None = None) -> int:
     )
     stats_p.add_argument("path")
     stats_p.add_argument("--top", type=int, default=10)
+    lint_p = sub.add_parser(
+        "lint", help="statically verify compiled CRAM programs"
+    )
+    lint_p.add_argument(
+        "targets",
+        nargs="*",
+        help="registered target names (default: all; see --list)",
+    )
+    lint_p.add_argument(
+        "--asm", metavar="PATH", help="lint an assembly file instead"
+    )
+    lint_p.add_argument(
+        "--tiles", type=int, default=1, help="data tiles in the bank (--asm)"
+    )
+    lint_p.add_argument(
+        "--rows", type=int, default=1024, help="rows per tile (--asm)"
+    )
+    lint_p.add_argument(
+        "--cols", type=int, default=1024, help="columns per tile (--asm)"
+    )
+    lint_p.add_argument(
+        "--json", action="store_true", help="emit JSON diagnostics"
+    )
+    lint_p.add_argument(
+        "--list", action="store_true", help="list lintable targets"
+    )
+    lint_p.add_argument(
+        "--rules", action="store_true", help="print the rule catalog"
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -376,6 +479,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_export(args.directory)
     if args.command == "stats":
         return cmd_stats(args.path, args.top)
+    if args.command == "lint":
+        return cmd_lint(args)
     return 2  # pragma: no cover
 
 

@@ -12,7 +12,7 @@ The bank also exposes the sensor's non-volatile input buffer, which is
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -15,7 +15,7 @@ column simultaneously — columns are the SIMD dimension.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.compile.allocator import RowAllocator
 from repro.core.program import Program
@@ -226,9 +226,30 @@ class ProgramBuilder:
 
     # ------------------------------------------------------------------
 
-    def finish(self) -> Program:
-        """Seal and return the program."""
-        return self.program.ensure_halt()
+    def finish(self, strict: bool = False) -> Program:
+        """Seal and return the program.
+
+        With ``strict=True`` the sealed program is run through the full
+        :mod:`repro.lint` pass pipeline against this builder's bank
+        shape, and a :class:`~repro.lint.linter.LintError` (carrying
+        the structured report) is raised if any error-severity
+        diagnostic fires — the opt-in compile-time gate for code that
+        bypasses the builder's own disciplines via raw
+        ``program.append``.
+        """
+        self.program.ensure_halt()
+        if strict:
+            from repro.lint import LintConfig, LintError, lint_program
+
+            report = lint_program(
+                self.program,
+                LintConfig(
+                    n_data_tiles=self.tile + 1, rows=self.rows, cols=self.cols
+                ),
+            )
+            if not report.ok:
+                raise LintError(report)
+        return self.program
 
     @property
     def instruction_count(self) -> int:

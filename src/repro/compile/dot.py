@@ -22,7 +22,7 @@ from repro.compile.arith import (
     sign_extend,
     xnor_word,
 )
-from repro.compile.builder import Bit, ProgramBuilder, Word
+from repro.compile.builder import ProgramBuilder, Word
 
 
 def emit_dot_product(

@@ -27,7 +27,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.array.bank import BROADCAST_TILE, SENSOR_TILE, Bank
+from repro.array.bank import SENSOR_TILE, Bank
 from repro.core.registers import DualRegister
 from repro.energy.metrics import Category, EnergyLedger
 from repro.energy.model import InstructionCostModel

@@ -16,7 +16,7 @@ Four knobs the paper discusses qualitatively, quantified here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace as dc_replace
+from dataclasses import dataclass
 
 import numpy as np
 

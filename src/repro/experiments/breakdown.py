@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.devices.parameters import ALL_TECHNOLOGIES, DeviceParameters
+from repro.devices.parameters import ALL_TECHNOLOGIES
 from repro.energy.metrics import Breakdown
 from repro.energy.model import InstructionCostModel
 from repro.experiments._format import format_table, si

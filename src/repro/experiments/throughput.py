@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.devices.parameters import ALL_TECHNOLOGIES, DeviceParameters
+from repro.devices.parameters import ALL_TECHNOLOGIES
 from repro.energy.model import InstructionCostModel
 from repro.experiments._format import format_table
 from repro.harvest import HarvestingConfig, ProfileRun

@@ -37,6 +37,7 @@ from repro.faults.plan import (
     derive_gate_flip_rates,
 )
 from repro.faults.report import (
+    COMPATIBLE_SCHEMAS,
     OUTCOMES,
     SCHEMA,
     CampaignReport,
@@ -45,6 +46,7 @@ from repro.faults.report import (
 )
 
 __all__ = [
+    "COMPATIBLE_SCHEMAS",
     "SITES",
     "OUTCOMES",
     "SCHEMA",

@@ -174,6 +174,7 @@ class FaultCampaign:
             seed=self.seed,
             plan=self.plan,
             reference=list(golden_values),
+            lint=self._lint_golden(golden),
         )
         totals = {
             "injected": {},
@@ -195,6 +196,28 @@ class FaultCampaign:
         return report
 
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _lint_golden(golden: Mouse) -> dict:
+        """Static verdict of the golden program against the machine it
+        actually loads into — recorded in the report so SDC results are
+        never cited for a statically unsafe program."""
+        from repro.lint import LintConfig, lint_program
+
+        bank = golden.bank
+        report = lint_program(
+            golden.program,
+            LintConfig(
+                n_data_tiles=len(bank.data_tiles),
+                rows=bank.rows,
+                cols=bank.cols,
+            ),
+        )
+        return {
+            "errors": report.n_errors,
+            "warnings": report.n_warnings,
+            "rules": list(report.rules_fired()),
+        }
 
     def _run_trial(
         self,

@@ -19,7 +19,7 @@ and seed are byte-identical.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Optional
+from typing import Any, Mapping
 
 from repro.devices.parameters import DeviceParameters
 from repro.devices.variation import VariationModel, gate_error_rate

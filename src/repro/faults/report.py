@@ -16,7 +16,10 @@ from typing import Any, Mapping
 
 from repro.faults.plan import SITES, FaultPlan
 
-SCHEMA = "repro.faults.report/v1"
+SCHEMA = "repro.faults.report/v1.1"
+#: v1.1 adds the optional ``lint`` block (the golden program's static
+#: verdict from :mod:`repro.lint`); v1 reports remain valid.
+COMPATIBLE_SCHEMAS = ("repro.faults.report/v1", SCHEMA)
 
 #: Outcome classes, from best to worst (CRAM-ER taxonomy):
 #: ``clean``              — nothing was injected in this trial;
@@ -49,6 +52,11 @@ class CampaignReport:
     )
     totals: dict[str, Any] = field(default_factory=dict)
     details: list[dict[str, Any]] = field(default_factory=list)
+    #: Static verdict of the golden program (``errors`` / ``warnings``
+    #: counts and the fired ``rules``), so SDC results are never cited
+    #: for a program that was statically unsafe.  None on reports
+    #: produced before v1.1.
+    lint: Any = None
 
     @property
     def sdc(self) -> int:
@@ -59,7 +67,7 @@ class CampaignReport:
         return self.outcomes.get("detected_recovered", 0)
 
     def to_json_obj(self) -> dict[str, Any]:
-        return {
+        out = {
             "schema": SCHEMA,
             "workload": self.workload,
             "trials": self.trials,
@@ -70,6 +78,9 @@ class CampaignReport:
             "totals": self.totals,
             "details": self.details,
         }
+        if self.lint is not None:
+            out["lint"] = self.lint
+        return out
 
     def to_json(self) -> str:
         """Canonical serialisation (sorted keys, no timestamps)."""
@@ -77,9 +88,13 @@ class CampaignReport:
 
 
 def validate_report(obj: Mapping[str, Any]) -> None:
-    """Raise ``ValueError`` unless ``obj`` is a well-formed v1 report."""
-    if obj.get("schema") != SCHEMA:
-        raise ValueError(f"schema is {obj.get('schema')!r}, expected {SCHEMA!r}")
+    """Raise ``ValueError`` unless ``obj`` is a well-formed report
+    (any compatible schema version: v1 or v1.1)."""
+    if obj.get("schema") not in COMPATIBLE_SCHEMAS:
+        raise ValueError(
+            f"schema is {obj.get('schema')!r}, expected one of "
+            f"{COMPATIBLE_SCHEMAS!r}"
+        )
     for key in ("workload", "trials", "seed", "plan", "outcomes", "totals", "details"):
         if key not in obj:
             raise ValueError(f"report is missing {key!r}")
@@ -102,6 +117,14 @@ def validate_report(obj: Mapping[str, Any]) -> None:
             raise ValueError(f"unknown injection site {site!r}")
     if len(obj["details"]) != obj["trials"]:
         raise ValueError("per-trial details do not cover every trial")
+    lint = obj.get("lint")
+    if lint is not None:
+        for key in ("errors", "warnings"):
+            count = lint.get(key) if isinstance(lint, Mapping) else None
+            if not isinstance(count, int) or count < 0:
+                raise ValueError(f"lint block has bad {key!r}: {count!r}")
+        if not isinstance(lint.get("rules"), list):
+            raise ValueError("lint block needs a 'rules' list")
     FaultPlan.from_json_obj(obj["plan"])  # re-validates rates
 
 
@@ -127,4 +150,10 @@ def render(report: CampaignReport) -> str:
         f"recovered {report.totals.get('recovered', 0)}, "
         f"retries {report.totals.get('retries', 0)}",
     ]
+    if report.lint is not None:
+        fired = ",".join(report.lint.get("rules", [])) or "none"
+        lines.append(
+            f"golden program lint: {report.lint.get('errors', 0)} error(s), "
+            f"{report.lint.get('warnings', 0)} warning(s) (rules: {fired})"
+        )
     return "\n".join(lines)

@@ -9,9 +9,9 @@ the harvester: energy accumulates slowly, then is consumed in bursts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.devices.parameters import CellKind, DeviceParameters
+from repro.devices.parameters import DeviceParameters
 
 
 @dataclass

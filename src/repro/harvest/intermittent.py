@@ -21,9 +21,8 @@ instruction, and Restore on every restart, per the EH-model metrics.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional
 
 from repro.core.accelerator import Mouse
 from repro.core.controller import InstructionBudgetExceeded
@@ -248,6 +247,15 @@ class Segment:
     backup: float
     label: str = ""
     addresses: int = 5
+    #: Instruction kind in the profile vocabulary (``PRESET`` / ``READ``
+    #: / ``WRITE`` / ``ACTIVATE`` / a gate name); "" when the producer
+    #: predates kind tracking.  Lets the static cost pass
+    #: (:mod:`repro.lint.cost`) cross-check its closed-form bounds
+    #: against every priced segment.
+    kind: str = ""
+    #: Active columns the segment's instructions were priced at
+    #: (0 = unknown).
+    columns: int = 0
 
     def __post_init__(self) -> None:
         if self.count < 0:
@@ -256,6 +264,8 @@ class Segment:
             raise ValueError("segment energies cannot be negative")
         if not 0 <= self.addresses <= 5:
             raise ValueError("instructions carry 0-5 addresses")
+        if self.columns < 0:
+            raise ValueError("segment column count cannot be negative")
 
 
 @dataclass
@@ -274,9 +284,13 @@ class InstructionProfile:
         backup: float,
         label: str = "",
         addresses: int = 5,
+        kind: str = "",
+        columns: int = 0,
     ) -> None:
         if count:
-            self.segments.append(Segment(count, energy, backup, label, addresses))
+            self.segments.append(
+                Segment(count, energy, backup, label, addresses, kind, columns)
+            )
 
     @property
     def instructions(self) -> int:

@@ -17,6 +17,25 @@ from repro.logic.gates import GateSpec
 from repro.logic.library import gate_by_name
 
 
+def _check_tile(tile: int, what: str) -> None:
+    """Tile addresses must fit the ISA's tile field at construction
+    time, not fail deep inside the encoder or simulator."""
+    if not 0 <= tile <= encoding.MAX_TILE:
+        raise ValueError(
+            f"{what}: tile {tile} outside the addressable range "
+            f"0..{encoding.MAX_TILE}"
+        )
+
+
+def _check_row(row: int, what: str) -> None:
+    """Row addresses must fit the ISA's 10-bit row field."""
+    if not 0 <= row <= encoding.MAX_ROW:
+        raise ValueError(
+            f"{what}: row {row} outside the addressable range "
+            f"0..{encoding.MAX_ROW}"
+        )
+
+
 @dataclass(frozen=True)
 class LogicInstruction:
     """One gate, executed in every active column of the target tile(s)."""
@@ -33,6 +52,10 @@ class LogicInstruction:
                 f"{self.gate} takes {opcode.gate_arity} input rows, "
                 f"got {len(self.input_rows)}"
             )
+        _check_tile(self.tile, self.gate)
+        for row in self.input_rows:
+            _check_row(row, f"{self.gate} input")
+        _check_row(self.output_row, f"{self.gate} output")
 
     @property
     def opcode(self) -> Opcode:
@@ -69,6 +92,8 @@ class MemoryInstruction:
             Opcode.PRESET1,
         ):
             raise ValueError(f"{self.op!r} is not a memory opcode")
+        _check_tile(self.tile, self.op)
+        _check_row(self.row, self.op)
 
     @property
     def opcode(self) -> Opcode:
@@ -108,6 +133,13 @@ class ActivateColumnsInstruction:
                 )
             if len(set(self.columns)) != len(self.columns):
                 raise ValueError("duplicate column addresses")
+        _check_tile(self.tile, "ACTIVATE")
+        for column in self.columns:
+            if not 0 <= column <= encoding.MAX_COL:
+                raise ValueError(
+                    f"ACTIVATE: column {column} outside the addressable "
+                    f"range 0..{encoding.MAX_COL}"
+                )
 
     @property
     def opcode(self) -> Opcode:

@@ -1,0 +1,68 @@
+"""repro.lint: static verification of compiled CRAM programs.
+
+MOUSE's free-checkpointing correctness argument rests on *static*
+properties of the instruction stream — idempotent gates (Table I), the
+bitline-parity discipline, the preset protocol, active-column latch
+consistency, and a per-instruction energy that fits the capacitor
+window (Section VIII).  This package checks all of them ahead of time,
+without executing anything: a pluggable pass pipeline over any
+:class:`~repro.core.program.Program`, producing structured
+:class:`Diagnostic` findings with stable rule ids, JSON and human
+renderers, a CLI (``python -m repro lint``), and an opt-in strict mode
+in :meth:`repro.compile.builder.ProgramBuilder.finish`.
+
+See ``docs/LINT.md`` for the rule catalog and paper justifications.
+"""
+
+from repro.lint.config import LintConfig
+from repro.lint.cost import (
+    InstructionBound,
+    kind_energy_bound,
+    program_bounds,
+    worst_gate_energy,
+)
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity, render
+from repro.lint.linter import LintError, Linter, lint_program
+from repro.lint.passes import (
+    ActivatePass,
+    IdempotencyPass,
+    LintPass,
+    ParityPass,
+    PresetPass,
+    StructurePass,
+    default_passes,
+    iter_with_masks,
+)
+from repro.lint.cost import CostPass
+from repro.lint.rules import RULES, Rule, rule
+from repro.lint.targets import TARGETS, LintTarget, build_target
+
+__all__ = [
+    "ActivatePass",
+    "CostPass",
+    "Diagnostic",
+    "IdempotencyPass",
+    "InstructionBound",
+    "LintConfig",
+    "LintError",
+    "LintPass",
+    "LintReport",
+    "LintTarget",
+    "Linter",
+    "ParityPass",
+    "PresetPass",
+    "RULES",
+    "Rule",
+    "Severity",
+    "StructurePass",
+    "TARGETS",
+    "build_target",
+    "default_passes",
+    "iter_with_masks",
+    "kind_energy_bound",
+    "lint_program",
+    "program_bounds",
+    "render",
+    "rule",
+    "worst_gate_energy",
+]

@@ -1,0 +1,52 @@
+"""Lint configuration: the bank shape and technologies to check against.
+
+Static analysis needs the same context :meth:`repro.core.program.
+Program.validate` takes — how many data tiles, how many rows and
+columns — plus, for the cost pass, which device technologies (and
+optionally which energy buffer) to bound against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.array.bank import BROADCAST_TILE
+from repro.devices.parameters import ALL_TECHNOLOGIES, DeviceParameters
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.harvest.capacitor import EnergyBuffer
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Context one linter run checks a program against."""
+
+    n_data_tiles: int = 1
+    rows: int = 1024
+    cols: int = 1024
+    #: Technologies the cost pass bounds against (all three by default).
+    technologies: tuple[DeviceParameters, ...] = ALL_TECHNOLOGIES
+    #: Energy buffer override; None = the paper's buffer per technology
+    #: (:func:`repro.harvest.capacitor.buffer_for`).
+    buffer: Optional["EnergyBuffer"] = None
+
+    def __post_init__(self) -> None:
+        if self.n_data_tiles < 1:
+            raise ValueError("need at least one data tile")
+        if self.rows < 2 or self.cols < 1:
+            raise ValueError("bank needs at least 2 rows and 1 column")
+
+    def target_tiles(self, tile: int) -> tuple[int, ...]:
+        """Data tiles an instruction addressed to ``tile`` touches.
+
+        The broadcast address fans out to every data tile; addresses
+        outside the bank resolve to no tiles (the structure pass
+        reports those separately, so dataflow passes don't crash on
+        them).
+        """
+        if tile == BROADCAST_TILE:
+            return tuple(range(self.n_data_tiles))
+        if 0 <= tile < self.n_data_tiles:
+            return (tile,)
+        return ()

@@ -1,0 +1,224 @@
+"""Static cost pass: closed-form per-instruction energy upper bounds.
+
+For every instruction the pass computes a worst-case energy — the
+electrical model's maximum over input combinations, times a
+conservative active-column count, plus the peripheral, fetch, and
+backup shares the controller charges — and compares it against the
+capacitor window of each device technology.  An instruction whose
+bound exceeds the window can *never* commit under harvested power
+(Section VIII); :class:`repro.harvest.intermittent` diagnoses the same
+condition dynamically as ``NonTerminationError``, the linter rejects
+it before a single gate fires.
+
+The bounds are sound with respect to the cycle-accurate simulator:
+``tests/test_lint_cost.py`` cross-checks every bound against the
+telemetry-measured per-instruction energy, and against the Table IV
+workload profiles, on all three technologies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.core.program import Program
+from repro.devices.parameters import DeviceParameters
+from repro.energy.model import InstructionCostModel
+from repro.isa.assembler import disassemble_one
+from repro.isa.instruction import (
+    ActivateColumnsInstruction,
+    HaltInstruction,
+    LogicInstruction,
+    MemoryInstruction,
+)
+from repro.lint.config import LintConfig
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.passes import (
+    LintPass,
+    _diag,
+    _masked_column_count,
+    iter_with_masks,
+)
+from repro.logic.gates import GateSpec, gate_energy
+from repro.logic.library import gate_by_name
+
+
+@lru_cache(maxsize=None)
+def worst_gate_energy(params: DeviceParameters, spec: GateSpec) -> float:
+    """Per-column gate energy maximised over input combinations.
+
+    Energy depends only on the input resistances (the pulse runs the
+    full window either way), so the worst case is the extremum over the
+    number of logic-1 inputs — an upper bound on what the electrical
+    solve in :meth:`repro.array.tile.Tile.logic_op` can ever charge.
+    """
+    return max(
+        gate_energy(params, spec, n_ones) for n_ones in range(spec.n_inputs + 1)
+    )
+
+
+def kind_energy_bound(
+    cost: InstructionCostModel, kind: str, n_columns: int
+) -> tuple[float, float]:
+    """Worst-case ``(energy, backup)`` of one instruction of ``kind``.
+
+    ``kind`` follows the profile vocabulary of
+    :func:`repro.compile.arith.instruction_histogram`: ``PRESET`` /
+    ``READ`` / ``WRITE`` / ``ACTIVATE`` or a gate name.  ``energy``
+    includes the fetch share (matching
+    :class:`~repro.harvest.intermittent.Segment` pricing); ``backup``
+    is the per-instruction checkpoint (plus the duplicated-register
+    copy for ``ACTIVATE``).
+    """
+    backup = cost.backup_energy()
+    kind = kind.upper()
+    if kind == "PRESET":
+        body = cost.preset_energy(max(n_columns, 1))
+    elif kind == "READ":
+        body = cost.row_read_energy(n_columns)
+    elif kind == "WRITE":
+        body = cost.row_write_energy(n_columns)
+    elif kind == "ACTIVATE":
+        body = cost.activate_energy(n_columns)
+        backup += cost.activate_backup_energy()
+    elif kind == "HALT":
+        body = 0.0
+        backup = 0.0
+    else:
+        spec = gate_by_name(kind)
+        array = worst_gate_energy(cost.params, spec) * n_columns
+        body = cost.logic_energy_measured(array, spec.n_inputs + 1)
+    return body + cost.fetch_energy(), backup
+
+
+@dataclass(frozen=True)
+class InstructionBound:
+    """Worst-case cost of one instruction at one technology point."""
+
+    index: int
+    text: str
+    #: Worst-case instruction energy including fetch, joules.
+    energy: float
+    #: Checkpoint energy charged at commit (0 for HALT), joules.
+    backup: float
+    #: Fixed issue interval, seconds.
+    latency: float
+
+    @property
+    def total(self) -> float:
+        return self.energy + self.backup
+
+
+def program_bounds(
+    program: Program, config: LintConfig, cost: InstructionCostModel
+) -> list[InstructionBound]:
+    """Per-instruction worst-case bounds over a whole program.
+
+    Column counts come from tracking the Activate Columns stream; a
+    tile whose mask was never latched is assumed fully active (the
+    sound direction for an upper bound — the activate pass separately
+    flags it as ACT001).
+    """
+    bounds: list[InstructionBound] = []
+    latency = cost.cycle_time
+    for index, instr, masks in iter_with_masks(program, config):
+        backup = cost.backup_energy()
+        if isinstance(instr, LogicInstruction):
+            spec = instr.spec
+            n = _masked_column_count(
+                masks, config.target_tiles(instr.tile), config.cols
+            )
+            array = worst_gate_energy(cost.params, spec) * n
+            body = cost.logic_energy_measured(array, spec.n_inputs + 1)
+        elif isinstance(instr, MemoryInstruction):
+            op = instr.op.upper()
+            if op == "READ":
+                body = cost.row_read_energy(config.cols)
+            elif op == "WRITE":
+                n_tiles = max(1, len(config.target_tiles(instr.tile)))
+                body = cost.row_write_energy(config.cols) * n_tiles
+            else:  # PRESET0 / PRESET1
+                n = _masked_column_count(
+                    masks, config.target_tiles(instr.tile), config.cols
+                )
+                body = cost.preset_energy(max(n, 1))
+        elif isinstance(instr, ActivateColumnsInstruction):
+            body = cost.activate_energy(instr.column_count)
+            backup += cost.activate_backup_energy()
+        elif isinstance(instr, HaltInstruction):
+            body = 0.0
+            backup = 0.0  # HALT parks the machine: no commit, no backup
+        else:  # pragma: no cover - exhaustive over the ISA
+            raise TypeError(f"cannot bound {type(instr).__name__}")
+        bounds.append(
+            InstructionBound(
+                index=index,
+                text=disassemble_one(instr),
+                energy=body + cost.fetch_energy(),
+                backup=backup,
+                latency=latency,
+            )
+        )
+    return bounds
+
+
+class CostPass(LintPass):
+    """Reject programs whose worst-case single instruction cannot fit
+    the capacitor's charge window at any configured technology."""
+
+    name = "cost"
+
+    def run(self, program: Program, config: LintConfig) -> list[Diagnostic]:
+        from repro.harvest.capacitor import buffer_for
+
+        out: list[Diagnostic] = []
+        for params in config.technologies:
+            buffer = config.buffer or buffer_for(params)
+            window = buffer.window_energy
+            cost = InstructionCostModel(params)
+            # Restart overhead: Restore re-issues the saved Activate
+            # Columns; bound its width by the widest activation seen.
+            max_activation = max(
+                (
+                    i.column_count
+                    for i in program
+                    if isinstance(i, ActivateColumnsInstruction)
+                ),
+                default=0,
+            )
+            restore = (
+                cost.restore_energy(max_activation) if max_activation else 0.0
+            )
+            for bound in program_bounds(program, config, cost):
+                if bound.total <= 0.0:
+                    continue  # HALT costs only its fetch; never flags
+                if bound.total > window:
+                    out.append(
+                        _diag(
+                            "COST001",
+                            f"worst-case energy of {bound.text!r} is "
+                            f"{bound.total:.3e} J but the "
+                            f"{params.name} capacitor window holds "
+                            f"{window:.3e} J: the instruction can "
+                            "never commit under harvested power",
+                            index=bound.index,
+                            hint="narrow the active-column set (the "
+                            "Section IV-C power knob) or use a larger "
+                            "buffer",
+                        )
+                    )
+                elif bound.total + restore > window:
+                    out.append(
+                        _diag(
+                            "COST002",
+                            f"{bound.text!r} plus restart overhead "
+                            f"({bound.total:.3e} + {restore:.3e} J) "
+                            f"exceeds the {params.name} window "
+                            f"({window:.3e} J): an outage landing "
+                            "here cannot make progress",
+                            index=bound.index,
+                            hint="narrow the active-column set or "
+                            "enlarge the buffer margin",
+                        )
+                    )
+        return out

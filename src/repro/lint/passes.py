@@ -1,0 +1,584 @@
+"""The lint pass pipeline (everything except the cost pass).
+
+Each pass is one linear scan over the instruction stream producing
+:class:`~repro.lint.diagnostics.Diagnostic` findings; passes share the
+active-column mask tracker :func:`iter_with_masks` but are otherwise
+independent, so the pipeline is pluggable — run all of them, a subset,
+or a custom pass implementing :class:`LintPass`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.array.bank import BROADCAST_TILE, SENSOR_TILE
+from repro.array.lines import row_parity
+from repro.core.program import Program
+from repro.isa.instruction import (
+    ActivateColumnsInstruction,
+    HaltInstruction,
+    Instruction,
+    LogicInstruction,
+    MemoryInstruction,
+)
+from repro.lint.config import LintConfig
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules import rule
+
+
+def _diag(
+    rule_id: str,
+    message: str,
+    index: Optional[int] = None,
+    tile: Optional[int] = None,
+    row: Optional[int] = None,
+    hint: str = "",
+) -> Diagnostic:
+    """Build a diagnostic, pulling the severity from the rule catalog."""
+    return Diagnostic(
+        rule=rule_id,
+        severity=rule(rule_id).severity,
+        message=message,
+        index=index,
+        tile=tile,
+        row=row,
+        hint=hint,
+    )
+
+
+class LintPass:
+    """One static check over a program.  Subclasses set ``name`` and
+    implement :meth:`run`; ``run`` must keep all state local so pass
+    instances are reusable across programs."""
+
+    name = "base"
+
+    def run(self, program: Program, config: LintConfig) -> list[Diagnostic]:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Shared active-column tracking
+# ----------------------------------------------------------------------
+
+
+def iter_with_masks(
+    program: Program, config: LintConfig
+) -> Iterator[tuple[int, Instruction, dict[int, Optional[frozenset[int]]]]]:
+    """Yield ``(index, instruction, masks_before)`` over a program.
+
+    ``masks_before`` maps each data tile to the column set latched
+    *before* the instruction executes — ``None`` until the tile's first
+    Activate Columns.  The dict is mutated in place between yields (do
+    not hold references across iterations).
+    """
+    masks: dict[int, Optional[frozenset[int]]] = {
+        t: None for t in range(config.n_data_tiles)
+    }
+    for index, instr in enumerate(program):
+        yield index, instr, masks
+        if isinstance(instr, ActivateColumnsInstruction):
+            if instr.bulk:
+                first, last = instr.columns
+                columns = frozenset(range(first, min(last, config.cols - 1) + 1))
+            else:
+                columns = frozenset(c for c in instr.columns if c < config.cols)
+            for t in config.target_tiles(instr.tile):
+                masks[t] = columns
+
+
+def _masked_column_count(
+    masks: dict[int, Optional[frozenset[int]]], tiles: tuple[int, ...], cols: int
+) -> int:
+    """Total active columns across ``tiles``, conservatively assuming a
+    full-width mask for tiles that never latched one (upper bound)."""
+    total = 0
+    for t in tiles:
+        mask = masks.get(t)
+        total += cols if mask is None else len(mask)
+    return total
+
+
+# ----------------------------------------------------------------------
+# Structure: addressing + control-flow shape
+# ----------------------------------------------------------------------
+
+
+class StructurePass(LintPass):
+    """Addresses within the bank; exactly one terminal HALT."""
+
+    name = "structure"
+
+    def run(self, program: Program, config: LintConfig) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        halt_index: Optional[int] = None
+        for index, instr in enumerate(program):
+            if isinstance(instr, HaltInstruction):
+                if halt_index is None:
+                    halt_index = index
+                continue
+            out.extend(self._check_addresses(index, instr, config))
+        if halt_index is None:
+            out.append(
+                _diag(
+                    "STRUCT003",
+                    "program does not end in HALT",
+                    index=len(program) - 1 if len(program) else None,
+                    hint="call Program.ensure_halt() or append HALT",
+                )
+            )
+        elif halt_index != len(program) - 1:
+            out.append(
+                _diag(
+                    "STRUCT004",
+                    f"{len(program) - 1 - halt_index} instruction(s) after "
+                    f"the HALT at index {halt_index} never execute",
+                    index=halt_index + 1,
+                    hint="delete trailing instructions or move the HALT",
+                )
+            )
+        return out
+
+    @staticmethod
+    def _check_addresses(
+        index: int, instr: Instruction, config: LintConfig
+    ) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+
+        def check_tile(tile: int, allow_sensor: bool = False) -> None:
+            if tile == BROADCAST_TILE or (allow_sensor and tile == SENSOR_TILE):
+                return
+            if not 0 <= tile < config.n_data_tiles:
+                out.append(
+                    _diag(
+                        "STRUCT001",
+                        f"tile {tile} out of range for a bank with "
+                        f"{config.n_data_tiles} data tile(s)",
+                        index=index,
+                        tile=tile,
+                        hint=f"data tiles are 0..{config.n_data_tiles - 1}",
+                    )
+                )
+
+        def check_row(row: int) -> None:
+            if not 0 <= row < config.rows:
+                out.append(
+                    _diag(
+                        "STRUCT002",
+                        f"row {row} out of range for a {config.rows}-row bank",
+                        index=index,
+                        tile=instr.tile,
+                        row=row,
+                        hint=f"rows are 0..{config.rows - 1}",
+                    )
+                )
+
+        if isinstance(instr, LogicInstruction):
+            check_tile(instr.tile)
+            for row in (*instr.input_rows, instr.output_row):
+                check_row(row)
+        elif isinstance(instr, MemoryInstruction):
+            is_read = instr.op.upper() == "READ"
+            check_tile(instr.tile, allow_sensor=is_read)
+            if is_read and instr.tile == BROADCAST_TILE:
+                out.append(
+                    _diag(
+                        "STRUCT001",
+                        "cannot READ from the broadcast address",
+                        index=index,
+                        tile=instr.tile,
+                        hint="READ one tile (or the sensor) at a time",
+                    )
+                )
+            check_row(instr.row)
+        elif isinstance(instr, ActivateColumnsInstruction):
+            check_tile(instr.tile)
+            last = instr.columns[1] if instr.bulk else max(instr.columns)
+            if last >= config.cols:
+                out.append(
+                    _diag(
+                        "STRUCT002",
+                        f"column {last} out of range for a "
+                        f"{config.cols}-column bank",
+                        index=index,
+                        tile=instr.tile,
+                        hint=f"columns are 0..{config.cols - 1}",
+                    )
+                )
+        return out
+
+
+# ----------------------------------------------------------------------
+# Idempotency: re-execution safety (Table I)
+# ----------------------------------------------------------------------
+
+
+class IdempotencyPass(LintPass):
+    """Output row disjoint from input rows, no duplicated inputs."""
+
+    name = "idempotency"
+
+    def run(self, program: Program, config: LintConfig) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        for index, instr in enumerate(program):
+            if not isinstance(instr, LogicInstruction):
+                continue
+            if instr.output_row in instr.input_rows:
+                out.append(
+                    _diag(
+                        "IDEM001",
+                        f"{instr.gate} output row {instr.output_row} is "
+                        "also an input row: an outage replay would read "
+                        "the already-switched output",
+                        index=index,
+                        tile=instr.tile,
+                        row=instr.output_row,
+                        hint="allocate a fresh output row (Table I "
+                        "re-execution safety)",
+                    )
+                )
+            seen: set[int] = set()
+            for in_row in instr.input_rows:
+                if in_row in seen:
+                    out.append(
+                        _diag(
+                            "IDEM002",
+                            f"{instr.gate} input row {in_row} appears "
+                            "more than once",
+                            index=index,
+                            tile=instr.tile,
+                            row=in_row,
+                            hint="duplicate an operand through a BUF "
+                            "copy instead",
+                        )
+                    )
+                seen.add(in_row)
+        return out
+
+
+# ----------------------------------------------------------------------
+# Parity: the bitline discipline (Figures 2 and 3)
+# ----------------------------------------------------------------------
+
+
+class ParityPass(LintPass):
+    """Inputs on one bitline parity, output on the opposite one."""
+
+    name = "parity"
+
+    def run(self, program: Program, config: LintConfig) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        for index, instr in enumerate(program):
+            if not isinstance(instr, LogicInstruction):
+                continue
+            parities = {row_parity(r) for r in instr.input_rows}
+            if len(parities) != 1:
+                out.append(
+                    _diag(
+                        "PAR001",
+                        f"{instr.gate} input rows "
+                        f"{list(instr.input_rows)} sit on both bitline "
+                        "parities",
+                        index=index,
+                        tile=instr.tile,
+                        hint="mirror minority-parity operands with BUF "
+                        "(ProgramBuilder.harmonise)",
+                    )
+                )
+                continue
+            (in_parity,) = parities
+            if row_parity(instr.output_row) == in_parity:
+                out.append(
+                    _diag(
+                        "PAR002",
+                        f"{instr.gate} output row {instr.output_row} "
+                        "shares its inputs' bitline parity",
+                        index=index,
+                        tile=instr.tile,
+                        row=instr.output_row,
+                        hint="the logic current returns on the opposite "
+                        "bitline: allocate the output on the other "
+                        "parity",
+                    )
+                )
+        return out
+
+
+# ----------------------------------------------------------------------
+# Preset / def-use dataflow
+# ----------------------------------------------------------------------
+
+
+class _Def:
+    """Last definition of one (tile, row): who wrote it, when, and —
+    for presets — with which polarity under which column mask."""
+
+    __slots__ = ("kind", "index", "polarity", "mask", "used")
+
+    def __init__(self, kind, index, polarity=None, mask=None):
+        self.kind = kind  # "preset" | "gate" | "write"
+        self.index = index
+        self.polarity = polarity  # preset only: True = PRESET1
+        self.mask = mask  # preset only: active columns at preset time
+        self.used = False
+
+
+class PresetPass(LintPass):
+    """Row-level dataflow: gate outputs preset (with the right polarity,
+    under a covering mask) before the gate fires; WRITE only after the
+    buffer was filled; dead-store presets flagged.
+
+    A row read before any definition is *not* an error — it is a
+    program input the host (or the sensor transfer) placed before
+    launch, which is how every compiled classifier receives its
+    operands.
+    """
+
+    name = "preset"
+
+    def run(self, program: Program, config: LintConfig) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        defs: dict[tuple[int, int], _Def] = {}
+        buffer_filled = False
+
+        def mark_use(tile: int, row: int) -> None:
+            d = defs.get((tile, row))
+            if d is not None:
+                d.used = True
+
+        def new_def(tile: int, row: int, d: _Def) -> None:
+            old = defs.get((tile, row))
+            if old is not None and old.kind == "preset" and not old.used:
+                out.append(
+                    _diag(
+                        "PRE003",
+                        f"preset of t{tile} row {row} at index "
+                        f"{old.index} is overwritten at index {d.index} "
+                        "without ever being used",
+                        index=old.index,
+                        tile=tile,
+                        row=row,
+                        hint="drop the wasted preset (each one costs a "
+                        "cycle and a write per active column)",
+                    )
+                )
+            defs[(tile, row)] = d
+
+        for index, instr, masks in iter_with_masks(program, config):
+            if isinstance(instr, MemoryInstruction):
+                op = instr.op.upper()
+                tiles = config.target_tiles(instr.tile)
+                if op == "READ":
+                    buffer_filled = True
+                    for t in tiles:
+                        mark_use(t, instr.row)
+                elif op == "WRITE":
+                    if not buffer_filled:
+                        out.append(
+                            _diag(
+                                "PRE004",
+                                "WRITE executes before any READ filled "
+                                "the row buffer",
+                                index=index,
+                                tile=instr.tile,
+                                row=instr.row,
+                                hint="READ a source row (or the sensor) "
+                                "first",
+                            )
+                        )
+                    for t in tiles:
+                        new_def(t, instr.row, _Def("write", index))
+                else:  # PRESET0 / PRESET1
+                    polarity = op == "PRESET1"
+                    for t in tiles:
+                        new_def(
+                            t,
+                            instr.row,
+                            _Def("preset", index, polarity, masks.get(t)),
+                        )
+            elif isinstance(instr, LogicInstruction):
+                spec = instr.spec
+                for t in config.target_tiles(instr.tile):
+                    for in_row in instr.input_rows:
+                        mark_use(t, in_row)
+                    d = defs.get((t, instr.output_row))
+                    if d is None or d.kind != "preset":
+                        wrote = (
+                            "never written"
+                            if d is None
+                            else f"last written by a {d.kind} at index {d.index}"
+                        )
+                        out.append(
+                            _diag(
+                                "PRE001",
+                                f"{instr.gate} fires into t{t} row "
+                                f"{instr.output_row}, which is {wrote} "
+                                "(not freshly preset)",
+                                index=index,
+                                tile=t,
+                                row=instr.output_row,
+                                hint=(
+                                    "emit "
+                                    + ("PRESET1" if spec.preset else "PRESET0")
+                                    + " immediately before the gate"
+                                ),
+                            )
+                        )
+                    else:
+                        if d.polarity != spec.preset:
+                            wanted = "PRESET1" if spec.preset else "PRESET0"
+                            got = "PRESET1" if d.polarity else "PRESET0"
+                            out.append(
+                                _diag(
+                                    "PRE002",
+                                    f"{instr.gate} needs its output "
+                                    f"{wanted} but t{t} row "
+                                    f"{instr.output_row} was {got} at "
+                                    f"index {d.index}",
+                                    index=index,
+                                    tile=t,
+                                    row=instr.output_row,
+                                    hint=f"use {wanted}: the drive "
+                                    "current only switches away from "
+                                    "the preset state",
+                                )
+                            )
+                        gate_mask = masks.get(t)
+                        if (
+                            gate_mask is not None
+                            and d.mask is not None
+                            and not gate_mask <= d.mask
+                        ):
+                            grown = sorted(gate_mask - d.mask)
+                            out.append(
+                                _diag(
+                                    "PRE005",
+                                    f"{instr.gate} executes in columns "
+                                    f"{grown} of t{t} that were not "
+                                    "active when row "
+                                    f"{instr.output_row} was preset at "
+                                    f"index {d.index}",
+                                    index=index,
+                                    tile=t,
+                                    row=instr.output_row,
+                                    hint="re-preset after widening the "
+                                    "active-column mask",
+                                )
+                            )
+                        # The gate consumes the preset: mark it used
+                        # before the output row is redefined.
+                        d.used = True
+                    new_def(t, instr.output_row, _Def("gate", index))
+        return out
+
+
+# ----------------------------------------------------------------------
+# Activate-columns consistency
+# ----------------------------------------------------------------------
+
+
+class _Activation:
+    __slots__ = ("index", "used")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.used = False
+
+
+class ActivatePass(LintPass):
+    """Masked instructions see a latched mask; activations are neither
+    redundant nor dead (the duplicated-register invariant: only the
+    latest activation survives a restart, so an unused one is lost)."""
+
+    name = "activate"
+
+    def run(self, program: Program, config: LintConfig) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        latches: dict[int, _Activation] = {}
+
+        for index, instr, masks in iter_with_masks(program, config):
+            if isinstance(instr, LogicInstruction) or (
+                isinstance(instr, MemoryInstruction)
+                and instr.op.upper().startswith("PRESET")
+            ):
+                for t in config.target_tiles(instr.tile):
+                    if masks.get(t) is None:
+                        out.append(
+                            _diag(
+                                "ACT001",
+                                f"{instr} executes on t{t} before any "
+                                "Activate Columns latched a mask there",
+                                index=index,
+                                tile=t,
+                                hint="issue ACTIVATE for the target "
+                                "tile first (the instruction is a "
+                                "silent no-op otherwise)",
+                            )
+                        )
+                    else:
+                        latch = latches.get(t)
+                        if latch is not None:
+                            latch.used = True
+            elif isinstance(instr, ActivateColumnsInstruction):
+                tiles = config.target_tiles(instr.tile)
+                if instr.bulk:
+                    first, last = instr.columns
+                    new_mask = frozenset(
+                        range(first, min(last, config.cols - 1) + 1)
+                    )
+                else:
+                    new_mask = frozenset(
+                        c for c in instr.columns if c < config.cols
+                    )
+                if tiles and all(masks.get(t) == new_mask for t in tiles):
+                    out.append(
+                        _diag(
+                            "ACT002",
+                            f"{instr} re-latches the mask the target "
+                            "tile(s) already hold",
+                            index=index,
+                            tile=instr.tile,
+                            hint="drop the redundant activation (a "
+                            "cycle + a register backup for nothing)",
+                        )
+                    )
+                for t in tiles:
+                    latch = latches.get(t)
+                    if (
+                        latch is not None
+                        and not latch.used
+                        and latch.index != index
+                    ):
+                        out.append(
+                            _diag(
+                                "ACT003",
+                                f"Activate Columns at index "
+                                f"{latch.index} is replaced at index "
+                                f"{index} before any masked "
+                                "instruction used it",
+                                index=latch.index,
+                                tile=t,
+                                hint="only the latest activation "
+                                "survives in the duplicated register; "
+                                "merge the two column sets or drop the "
+                                "first",
+                            )
+                        )
+                    latch = _Activation(index)
+                    latches[t] = latch
+        return out
+
+
+#: The default pipeline, cost pass included (imported lazily to keep
+#: this module free of the energy stack).
+def default_passes() -> tuple[LintPass, ...]:
+    from repro.lint.cost import CostPass
+
+    return (
+        StructurePass(),
+        IdempotencyPass(),
+        ParityPass(),
+        PresetPass(),
+        ActivatePass(),
+        CostPass(),
+    )

@@ -1,0 +1,187 @@
+"""The lint rule catalog.
+
+Every diagnostic the linter can produce carries a stable rule id from
+this table.  Ids are grouped by the paper property they protect:
+
+* ``IDEM*`` — re-execution safety of logic gates (Table I): because
+  switching is unidirectional and the preset fixes the only reachable
+  target state, a replayed gate is idempotent *only if* its output row
+  is disjoint from its input rows.
+* ``PAR*``  — the bitline-parity discipline (Figure 2/3): inputs on one
+  parity, output on the other, the electrical precondition of a logic
+  operation.
+* ``PRE*``  — the preset protocol (Section II-B): every gate output is
+  preset to the gate's required value immediately before the gate
+  fires, and presets that can never be observed are wasted writes.
+* ``ACT*``  — active-column latch consistency (Section IV-B): masked
+  instructions need a latched mask, and the single non-volatile
+  duplicated Activate register (Section IV-D) means only the *latest*
+  activation survives a restart.
+* ``STRUCT*`` — addressing and control-flow shape: every address within
+  the bank, exactly one terminal HALT.
+* ``COST*`` — the static non-termination condition (Section VIII): a
+  single instruction whose worst-case energy exceeds the capacitor
+  window can never commit under harvested power.
+
+``docs/LINT.md`` is the narrative version of this table; a test keeps
+the two in sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lint.diagnostics import Severity
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One checkable property: stable id, severity, and provenance."""
+
+    id: str
+    severity: Severity
+    title: str
+    #: Paper section / table (or repo invariant) the rule enforces.
+    why: str
+
+
+_RULES = (
+    Rule(
+        "IDEM001",
+        Severity.ERROR,
+        "gate output row is also an input row",
+        "Table I: re-execution safety needs the output cell disjoint "
+        "from the inputs, else a replay reads the overwritten value",
+    ),
+    Rule(
+        "IDEM002",
+        Severity.ERROR,
+        "duplicate gate input rows",
+        "Figure 3: each input MTJ is one physical cell; a row cannot "
+        "be wired into the logic path twice",
+    ),
+    Rule(
+        "PAR001",
+        Severity.ERROR,
+        "gate input rows on mixed bitline parities",
+        "Figure 2: inputs must all hang off one bitline (BLE or BLO)",
+    ),
+    Rule(
+        "PAR002",
+        Severity.ERROR,
+        "gate output row on the same parity as its inputs",
+        "Figure 3: the logic current returns through the opposite "
+        "bitline, so the output row needs the opposite parity",
+    ),
+    Rule(
+        "PRE001",
+        Severity.ERROR,
+        "gate fires into a row that is not freshly preset",
+        "Section II-B: the output MTJ must hold the preset value when "
+        "the gate executes; Table I idempotency also depends on it",
+    ),
+    Rule(
+        "PRE002",
+        Severity.ERROR,
+        "preset polarity does not match the gate's required preset",
+        "Section II-B: each gate design fixes the preset value (the "
+        "drive direction only switches *away* from it)",
+    ),
+    Rule(
+        "PRE003",
+        Severity.WARNING,
+        "dead-store preset: overwritten before any use",
+        "A preset no instruction observes is a wasted write — pure "
+        "energy cost on a harvested budget",
+    ),
+    Rule(
+        "PRE004",
+        Severity.ERROR,
+        "WRITE before any READ filled the row buffer",
+        "Section IV-B: WRITE drives the controller's row buffer into "
+        "the array; before the first READ the buffer holds garbage",
+    ),
+    Rule(
+        "PRE005",
+        Severity.ERROR,
+        "active columns grew between preset and gate",
+        "Presets write only the columns active at preset time; a gate "
+        "firing in additional columns reads an un-preset output cell",
+    ),
+    Rule(
+        "ACT001",
+        Severity.ERROR,
+        "masked instruction with no active columns latched",
+        "Section IV-B: logic and preset execute only in latched "
+        "columns; with none latched the instruction is a no-op",
+    ),
+    Rule(
+        "ACT002",
+        Severity.WARNING,
+        "redundant Activate Columns (mask unchanged)",
+        "The latch already holds this mask; re-issuing it costs a "
+        "cycle, decoder energy, and a register backup for nothing",
+    ),
+    Rule(
+        "ACT003",
+        Severity.WARNING,
+        "Activate Columns latch replaced before any masked use",
+        "Section IV-D: only one duplicated Activate register exists, "
+        "so an unused activation is dead work (and a replay after an "
+        "outage would restore the *later* mask anyway)",
+    ),
+    Rule(
+        "STRUCT001",
+        Severity.ERROR,
+        "tile address out of range for the bank",
+        "Section IV-B addressing: data tiles, the sensor address "
+        "(READ only), or the broadcast address",
+    ),
+    Rule(
+        "STRUCT002",
+        Severity.ERROR,
+        "row or column address out of range for the bank",
+        "The ISA encodes 10-bit rows / 10-bit columns, but a smaller "
+        "bank makes high addresses invalid at load time",
+    ),
+    Rule(
+        "STRUCT003",
+        Severity.ERROR,
+        "program does not end in HALT",
+        "Section IV-B: a program is a straight line ending in HALT; "
+        "without it the PC runs off the instruction tiles",
+    ),
+    Rule(
+        "STRUCT004",
+        Severity.WARNING,
+        "unreachable instructions after HALT",
+        "Execution stops at the first HALT; trailing instructions "
+        "occupy instruction-tile memory but never run",
+    ),
+    Rule(
+        "COST001",
+        Severity.ERROR,
+        "worst-case instruction energy exceeds the capacitor window",
+        "Section VIII: an instruction that cannot complete on one full "
+        "buffer charge never commits — guaranteed non-termination "
+        "under harvested power (the condition repro.harvest diagnoses "
+        "dynamically as NonTerminationError)",
+    ),
+    Rule(
+        "COST002",
+        Severity.WARNING,
+        "instruction plus restart overhead exceeds the window",
+        "Section IV-D: a restart pays Restore before replaying the "
+        "interrupted instruction; if the pair exceeds the window, an "
+        "outage landing here livelocks even though cold-start "
+        "execution would pass",
+    ),
+)
+
+RULES: dict[str, Rule] = {rule.id: rule for rule in _RULES}
+
+
+def rule(rule_id: str) -> Rule:
+    """Look up a rule by id (KeyError on unknown ids keeps passes
+    honest: a diagnostic cannot cite a rule this table doesn't have)."""
+    return RULES[rule_id]

@@ -1,0 +1,89 @@
+"""Lint-layer smoke test: every target clean, violations caught.
+
+    python -m repro.lint.smoke
+
+Three checks:
+
+1. **Registered targets lint clean** — every program in
+   :mod:`repro.lint.targets` (the fault-campaign workloads and every
+   classifier pipeline) produces zero diagnostics under the full pass
+   pipeline, on all three device technologies.
+2. **Violations are caught** — a deliberately malformed program (mixed
+   parity, missing preset, self-overwriting gate, no HALT, gate before
+   any activation) fires exactly the expected rule ids.
+3. **Determinism** — linting the same target twice serialises to
+   byte-identical JSON (reports carry no timestamps).
+
+Exit status 0 means the lint subsystem is healthy; wired into
+``make lint`` (part of ``make test``).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.program import Program
+from repro.isa.instruction import LogicInstruction, MemoryInstruction
+from repro.lint import LintConfig, Linter, TARGETS, lint_program, render
+
+
+def _bad_program() -> Program:
+    """One compact program violating several disciplines at once."""
+    program = Program(name="bad")
+    # No ACTIVATE anywhere: every masked instruction draws ACT001.
+    program.append(MemoryInstruction(op="PRESET0", tile=0, row=9))
+    # Mixed input parities (rows 0 and 1).
+    program.append(
+        LogicInstruction(gate="NAND", tile=0, input_rows=(0, 1), output_row=9)
+    )
+    # Self-overwriting gate, output parity == input parity, no preset.
+    program.append(
+        LogicInstruction(gate="NAND", tile=0, input_rows=(0, 2), output_row=2)
+    )
+    # No HALT.
+    return program
+
+
+def run_smoke() -> int:
+    failures: list[str] = []
+
+    # 1. Every registered target lints clean.
+    for name, target in sorted(TARGETS.items()):
+        program, config = target.build()
+        report = lint_program(program, config, name=name)
+        if not report.clean:
+            failures.append(f"target {name!r} is not clean:\n{render(report)}")
+        else:
+            print(
+                f"lint {name!r}: clean "
+                f"({report.n_instructions} instructions)"
+            )
+
+    # 2. A malformed program fires the expected rules.
+    expected = {"ACT001", "PAR001", "IDEM001", "PAR002", "PRE001", "STRUCT003"}
+    report = lint_program(_bad_program(), LintConfig(rows=256, cols=4))
+    fired = set(report.rules_fired())
+    if not expected <= fired:
+        failures.append(
+            f"bad program fired {sorted(fired)}, missing "
+            f"{sorted(expected - fired)}"
+        )
+    else:
+        print(f"bad program: caught {sorted(fired)}")
+
+    # 3. Deterministic serialisation.
+    program, config = TARGETS["adder"].build()
+    linter = Linter(config)
+    if linter.run(program).to_json() != linter.run(program).to_json():
+        failures.append("lint reports are not byte-deterministic")
+    else:
+        print("reports: byte-deterministic")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    print("lint smoke:", "FAILED" if failures else "ok")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(run_smoke())

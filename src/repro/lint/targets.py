@@ -1,0 +1,117 @@
+"""Named lintable programs: the compiled-program surface of the repo.
+
+``python -m repro lint`` resolves target names through this registry.
+Each target rebuilds a real compiled program — the fault-campaign
+workloads and every :mod:`repro.compile.classifier` pipeline — together
+with the bank shape it is loaded into, so the linter checks exactly
+what the simulator would execute.  All targets must lint clean; that is
+an acceptance criterion enforced by ``tests/test_lint_targets.py`` and
+``make lint``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.program import Program
+from repro.lint.config import LintConfig
+
+
+@dataclass(frozen=True)
+class LintTarget:
+    """One named program the CLI can lint."""
+
+    name: str
+    description: str
+    build: Callable[[], tuple[Program, LintConfig]]
+
+
+def _adder() -> tuple[Program, LintConfig]:
+    from repro.compile import arith
+    from repro.compile.builder import ProgramBuilder
+
+    # The fault-campaign adder (repro.faults.adder_workload): a 4-bit
+    # ripple adder over three SIMD columns.
+    builder = ProgramBuilder(tile=0, rows=256, cols=8, reserved_rows=16)
+    builder.activate((0, 1, 2))
+    x = builder.word_at([0, 2, 4, 6])
+    y = builder.word_at([8, 10, 12, 14])
+    arith.ripple_add(builder, x, y)
+    return builder.finish(), LintConfig(n_data_tiles=1, rows=256, cols=8)
+
+
+def _svm() -> tuple[Program, LintConfig]:
+    from repro.compile.classifier import compile_svm_decision
+
+    svm = compile_svm_decision(
+        n_support=2,
+        dimensions=2,
+        input_bits=2,
+        sv_bits=2,
+        coef_bits=2,
+        offset_bits=2,
+        rows=1024,
+        n_columns=1,
+    )
+    return svm.program, LintConfig(n_data_tiles=1, rows=1024, cols=1)
+
+
+def _svm_ovr() -> tuple[Program, LintConfig]:
+    from repro.compile.classifier import compile_multiclass_svm
+
+    ovr = compile_multiclass_svm(
+        n_classes=3, n_support_per_class=2, dimensions=2, rows=1024
+    )
+    return ovr.program, LintConfig(n_data_tiles=1, rows=1024, cols=1)
+
+
+def _bnn_layer() -> tuple[Program, LintConfig]:
+    from repro.compile.classifier import compile_bnn_layer
+
+    layer = compile_bnn_layer(fan_in=8, n_neurons=4, rows=1024)
+    return layer.program, LintConfig(n_data_tiles=1, rows=1024, cols=4)
+
+
+def _bnn_output() -> tuple[Program, LintConfig]:
+    from repro.compile.classifier import compile_bnn_output
+
+    out = compile_bnn_output(fan_in=8, n_classes=3, rows=1024)
+    return out.program, LintConfig(n_data_tiles=1, rows=1024, cols=1)
+
+
+TARGETS: dict[str, LintTarget] = {
+    t.name: t
+    for t in (
+        LintTarget(
+            "adder",
+            "fault-campaign 4-bit ripple adder (3 SIMD columns)",
+            _adder,
+        ),
+        LintTarget(
+            "svm",
+            "binary SVM decision pipeline (dot, square, accumulate)",
+            _svm,
+        ),
+        LintTarget(
+            "svm-ovr",
+            "one-vs-rest multiclass SVM with in-array argmax",
+            _svm_ovr,
+        ),
+        LintTarget(
+            "bnn-layer",
+            "binary layer: XNOR, popcount, threshold over 4 neurons",
+            _bnn_layer,
+        ),
+        LintTarget(
+            "bnn-output",
+            "BNN output layer: per-class scores plus argmax",
+            _bnn_output,
+        ),
+    )
+}
+
+
+def build_target(name: str) -> tuple[Program, LintConfig]:
+    """Build one registered target (KeyError on unknown names)."""
+    return TARGETS[name].build()

@@ -113,12 +113,18 @@ class _ProfileBuilder:
             groups = _ceil_div(n_columns, self.max_columns)
             count *= groups
             n_columns = self.max_columns
+        # READ/WRITE are full-row operations priced at the tile width,
+        # whatever the caller's active-column count; record the width
+        # the segment was actually priced at so static bounds line up.
+        priced_columns = TILE_COLS if kind in ("READ", "WRITE") else n_columns
         self.profile.add(
             count,
             self._price(kind, n_columns),
             self._backup,
             label,
             addresses=self._addresses(kind),
+            kind=kind,
+            columns=priced_columns,
         )
         self.profile.active_columns = max(self.profile.active_columns, 1)
 
@@ -142,7 +148,9 @@ class _ProfileBuilder:
             return
         energy = self.cost.activate_energy(n_columns) + self._fetch
         backup = self._backup + self.cost.activate_backup_energy()
-        self.profile.add(count, energy, backup, label)
+        self.profile.add(
+            count, energy, backup, label, kind="ACTIVATE", columns=n_columns
+        )
 
     def done(self, active_columns: int) -> InstructionProfile:
         self.profile.active_columns = max(1, active_columns)

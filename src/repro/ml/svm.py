@@ -14,7 +14,7 @@ fixed-point coefficient multiply, integer accumulation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

@@ -33,6 +33,10 @@ Kinds
     ``sensor``) plus site-specific detail (gate name, pc, register,
     tile coordinates); detections and recoveries mark the
     verify-and-retry layer (or a protocol-level recovery) firing.
+``lint.report``
+    One static-analysis run of :mod:`repro.lint`: the linted
+    ``program`` name, its ``errors`` and ``warnings`` counts, and the
+    comma-joined ``rules`` that fired (empty for a clean program).
 ``gauge``
     A sampled metric value (e.g. the capacitor-voltage timeline):
     ``name``, ``value``.
@@ -61,6 +65,7 @@ PROFILE_BURST = "profile.burst"
 FAULT_INJECTED = "fault.injected"
 FAULT_DETECTED = "fault.detected"
 FAULT_RECOVERED = "fault.recovered"
+LINT_REPORT = "lint.report"
 GAUGE = "gauge"
 SPAN = "span"
 
@@ -77,6 +82,7 @@ KNOWN_KINDS: dict[str, frozenset[str]] = {
     FAULT_INJECTED: frozenset({"site"}),
     FAULT_DETECTED: frozenset({"site"}),
     FAULT_RECOVERED: frozenset({"site"}),
+    LINT_REPORT: frozenset({"program", "errors", "warnings"}),
     GAUGE: frozenset({"name", "value"}),
     SPAN: frozenset({"name", "dur"}),
 }

@@ -30,7 +30,6 @@ import numpy as np
 
 from repro.array.bank import SENSOR_TILE
 from repro.core.accelerator import Mouse
-from repro.core.program import Program
 from repro.energy.metrics import Breakdown
 from repro.faults.plan import SensorFaultPlan
 from repro.harvest.intermittent import HarvestingConfig, IntermittentRun

@@ -1,0 +1,5 @@
+; PAR001: NAND inputs straddle both bitline parities.
+ACTIVATE t0 cols 0
+PRESET0  t0 row 9
+NAND     t0 in 0,1 out 9
+HALT

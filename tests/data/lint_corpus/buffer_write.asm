@@ -1,0 +1,4 @@
+; PRE004: WRITE drives the row buffer before any READ filled it.
+ACTIVATE t0 cols 0
+WRITE    t0 row 8
+HALT

@@ -1,0 +1,6 @@
+; STRUCT004: instructions after HALT never execute.
+ACTIVATE t0 cols 0
+PRESET0  t0 row 9
+NAND     t0 in 0,2 out 9
+HALT
+PRESET0  t0 row 11

@@ -1,0 +1,5 @@
+; IDEM002: the same input row sensed twice by one gate.
+ACTIVATE t0 cols 0
+PRESET0  t0 row 5
+NAND     t0 in 2,2 out 5
+HALT

@@ -1,0 +1,4 @@
+; ACT001: masked instructions with no Activate Columns latched.
+PRESET0  t0 row 9
+NAND     t0 in 0,2 out 9
+HALT

@@ -1,0 +1,7 @@
+; PRE005: the active-column mask grew between preset and gate,
+; so column 1 fires into a never-preset cell.
+ACTIVATE t0 cols 0
+PRESET0  t0 row 9
+ACTIVATE t0 cols 0,1
+NAND     t0 in 0,2 out 9
+HALT

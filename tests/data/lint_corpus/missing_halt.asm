@@ -1,0 +1,4 @@
+; STRUCT003: the program never halts.
+ACTIVATE t0 cols 0
+PRESET0  t0 row 9
+NAND     t0 in 0,2 out 9

@@ -1,0 +1,4 @@
+; PRE001: the gate fires into a row nothing preset.
+ACTIVATE t0 cols 0
+NAND     t0 in 0,2 out 9
+HALT

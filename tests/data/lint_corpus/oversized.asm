@@ -1,0 +1,7 @@
+; STRUCT001/STRUCT002: addresses that encode fine (tile < 512,
+; row < 1024) but fall outside the configured 1-tile, 256-row bank.
+ACTIVATE t0 cols 0
+PRESET0  t2 row 9
+PRESET0  t0 row 511
+NAND     t0 in 0,2 out 511
+HALT

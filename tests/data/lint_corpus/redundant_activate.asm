@@ -1,0 +1,6 @@
+; ACT002/ACT003: the same mask latched twice back to back.
+ACTIVATE t0 cols 0,1
+ACTIVATE t0 cols 0,1
+PRESET0  t0 row 9
+NAND     t0 in 0,2 out 9
+HALT

@@ -1,0 +1,6 @@
+; IDEM001 (+PAR002): the gate output row is also an input row,
+; so an outage replay would read the already-switched output.
+ACTIVATE t0 cols 0
+PRESET0  t0 row 2
+NAND     t0 in 0,2 out 2
+HALT

@@ -1,0 +1,6 @@
+; PRE003: a preset overwritten before anything used it.
+ACTIVATE t0 cols 0
+PRESET0  t0 row 9
+PRESET0  t0 row 9
+NAND     t0 in 0,2 out 9
+HALT

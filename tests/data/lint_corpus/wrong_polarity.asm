@@ -1,0 +1,6 @@
+; PRE002: NAND needs PRESET0 (drive current only switches away
+; from the preset state) but the row was PRESET1.
+ACTIVATE t0 cols 0
+PRESET1  t0 row 9
+NAND     t0 in 0,2 out 9
+HALT

@@ -133,7 +133,8 @@ class TestFaultsCommand:
         assert main(FAULTS_FAST) == 0
         text = capsys.readouterr().out
         payload = json.loads(text[text.index("{") :])
-        assert payload["schema"] == "repro.faults.report/v1"
+        assert payload["schema"] == "repro.faults.report/v1.1"
+        assert payload["lint"] == {"errors": 0, "rules": [], "warnings": 0}
 
     def test_unknown_tech(self, capsys):
         assert main(["faults", "--tech", "vacuum-tube"]) == 2

@@ -1,0 +1,215 @@
+"""Soundness of the static cost pass.
+
+The linter's per-instruction energy bounds are *upper* bounds on what
+the cycle-accurate simulator ever charges: these tests cross-check
+them against telemetry-measured per-instruction energy on executed
+programs, and against the closed-form Table IV workload profiles, on
+all three device technologies.
+"""
+
+import pytest
+
+from repro.devices.parameters import ALL_TECHNOLOGIES, MODERN_STT
+from repro.energy.model import InstructionCostModel
+from repro.faults.campaign import adder_workload, svm_workload
+from repro.harvest.capacitor import EnergyBuffer, buffer_for
+from repro.lint import (
+    CostPass,
+    LintConfig,
+    kind_energy_bound,
+    lint_program,
+    program_bounds,
+    worst_gate_energy,
+)
+from repro.logic.gates import gate_energy
+from repro.logic.library import GATE_LIBRARY
+from repro.ml.benchmarks import ALL_WORKLOADS
+from repro.obs.sinks import InMemorySink
+from repro.obs.telemetry import Telemetry
+
+#: Relative slack for comparisons that are equal up to float noise:
+#: telemetry measures an instruction as the difference of two large
+#: accumulated ledger totals, so a long program leaves ~1e-13 relative
+#: jitter on instructions whose bound is otherwise exact (HALT).
+REL = 1e-9
+
+
+def config_for(mouse):
+    bank = mouse.bank
+    return LintConfig(
+        n_data_tiles=len(bank.data_tiles), rows=bank.rows, cols=bank.cols
+    )
+
+
+def measured_commits(mouse):
+    """Run to HALT and return the per-instruction ``instr.commit``
+    telemetry events."""
+    sink = InMemorySink(kinds=("instr.commit",))
+    mouse.attach_telemetry(Telemetry(sink))
+    mouse.run()
+    return sink.events
+
+
+class TestWorstGateEnergy:
+    @pytest.mark.parametrize("params", ALL_TECHNOLOGIES, ids=lambda p: p.name)
+    def test_dominates_every_input_combination(self, params):
+        for spec in GATE_LIBRARY.values():
+            worst = worst_gate_energy(params, spec)
+            for n_ones in range(spec.n_inputs + 1):
+                assert worst >= gate_energy(params, spec, n_ones)
+
+    def test_strictly_positive(self):
+        for spec in GATE_LIBRARY.values():
+            assert worst_gate_energy(MODERN_STT, spec) > 0.0
+
+
+class TestBoundsDominateSimulator:
+    """bound(pc).total >= measured energy for every committed
+    instruction of an executed program."""
+
+    @pytest.mark.parametrize("params", ALL_TECHNOLOGIES, ids=lambda p: p.name)
+    def test_adder(self, params):
+        mouse = adder_workload(params).build()
+        config = config_for(mouse)
+        bounds = program_bounds(
+            mouse.program, config, InstructionCostModel(params)
+        )
+        events = measured_commits(mouse)
+        assert len(events) == len(mouse.program)
+        for event in events:
+            bound = bounds[event.data["pc"]]
+            assert bound.text == event.data["text"]
+            measured = event.data["energy"]
+            assert measured <= bound.total * (1 + REL), (
+                f"pc {event.data['pc']} ({bound.text}): measured "
+                f"{measured} > bound {bound.total}"
+            )
+
+    def test_svm(self):
+        mouse = svm_workload(MODERN_STT).build()
+        config = config_for(mouse)
+        bounds = program_bounds(
+            mouse.program, config, InstructionCostModel(MODERN_STT)
+        )
+        for event in measured_commits(mouse):
+            bound = bounds[event.data["pc"]]
+            assert event.data["energy"] <= bound.total * (1 + REL)
+
+    def test_bounds_are_not_vacuous(self):
+        """The logic bound stays within a small constant factor of the
+        measured energy — it is a usable budget, not +inf."""
+        params = MODERN_STT
+        mouse = adder_workload(params).build()
+        bounds = program_bounds(
+            mouse.program, config_for(mouse), InstructionCostModel(params)
+        )
+        for event in measured_commits(mouse):
+            bound = bounds[event.data["pc"]]
+            assert bound.total <= 10 * event.data["energy"]
+
+
+class TestTableIvProfiles:
+    """Every closed-form workload segment (Table IV vocabulary) is
+    dominated by the matching static bound, on every technology."""
+
+    @pytest.mark.parametrize("params", ALL_TECHNOLOGIES, ids=lambda p: p.name)
+    def test_all_segments_bounded(self, params):
+        cost = InstructionCostModel(params)
+        checked = 0
+        for workload in ALL_WORKLOADS:
+            profile = workload.profile(cost)
+            for seg in profile.segments:
+                assert seg.kind, (
+                    f"{workload.name}: segment {seg.label!r} lost its kind"
+                )
+                energy, backup = kind_energy_bound(cost, seg.kind, seg.columns)
+                assert seg.energy + seg.backup <= (energy + backup) * (1 + REL), (
+                    f"{workload.name} segment {seg.label!r} "
+                    f"({seg.kind} x{seg.columns}): priced "
+                    f"{seg.energy + seg.backup} > bound {energy + backup}"
+                )
+                checked += 1
+        assert checked > 100  # the profiles are not trivially empty
+
+    def test_memory_kinds_are_exact(self):
+        """READ/WRITE/ACTIVATE/PRESET bounds equal the profile prices
+        (same closed form) — the slack lives only in the logic kinds."""
+        cost = InstructionCostModel(MODERN_STT)
+        profile = ALL_WORKLOADS[0].profile(cost)
+        exact = 0
+        for seg in profile.segments:
+            if seg.kind in ("READ", "WRITE", "ACTIVATE", "PRESET"):
+                energy, backup = kind_energy_bound(cost, seg.kind, seg.columns)
+                assert seg.energy + seg.backup == pytest.approx(
+                    energy + backup, rel=REL
+                )
+                exact += 1
+        assert exact > 0
+
+
+class TestCostPass:
+    def test_clean_under_paper_buffers(self):
+        """At the paper's capacitor configurations no adder instruction
+        comes near the window: the cost pass stays silent."""
+        mouse = adder_workload().build()
+        report = lint_program(mouse.program, config_for(mouse))
+        assert not report.by_rule("COST001")
+        assert not report.by_rule("COST002")
+
+    def test_cost001_fires_on_a_starved_buffer(self):
+        """Shrink the window below one instruction's worst case and
+        every instruction becomes statically non-committable."""
+        mouse = adder_workload().build()
+        config = config_for(mouse)
+        tiny = EnergyBuffer(capacitance=1e-12, v_off=0.001, v_on=0.0011)
+        starved = LintConfig(
+            n_data_tiles=config.n_data_tiles,
+            rows=config.rows,
+            cols=config.cols,
+            technologies=(MODERN_STT,),
+            buffer=tiny,
+        )
+        diags = CostPass().run(mouse.program, starved)
+        rules = {d.rule for d in diags}
+        assert rules == {"COST001"}
+        # Even HALT's fetch exceeds a pJ window: every instruction flags.
+        assert len(diags) == len(mouse.program)
+
+    def test_cost002_fires_when_restore_eats_the_margin(self):
+        """A window that fits each instruction but not instruction +
+        restore flags the restart hazard, not a hard error."""
+        mouse = adder_workload().build()
+        config = config_for(mouse)
+        cost = InstructionCostModel(MODERN_STT)
+        bounds = program_bounds(mouse.program, config, cost)
+        worst = max(b.total for b in bounds)
+        restore = cost.restore_energy(config.cols)
+        window = worst + 0.5 * restore  # fits alone, not with restore
+        v_on = 0.1
+        v_off = (v_on * v_on - 2 * window / 1e-6) ** 0.5
+        buffer = EnergyBuffer(capacitance=1e-6, v_off=v_off, v_on=v_on)
+        assert buffer.window_energy == pytest.approx(window, rel=1e-6)
+        snug = LintConfig(
+            n_data_tiles=config.n_data_tiles,
+            rows=config.rows,
+            cols=config.cols,
+            technologies=(MODERN_STT,),
+            buffer=buffer,
+        )
+        diags = CostPass().run(mouse.program, snug)
+        rules = {d.rule for d in diags}
+        assert "COST002" in rules
+        assert "COST001" not in rules
+
+    def test_paper_windows_hold_many_instructions(self):
+        """Sanity on the magnitudes: each paper window fits the worst
+        adder instruction thousands of times over (Section VIII)."""
+        mouse = adder_workload().build()
+        config = config_for(mouse)
+        for params in ALL_TECHNOLOGIES:
+            window = buffer_for(params).window_energy
+            bounds = program_bounds(
+                mouse.program, config, InstructionCostModel(params)
+            )
+            worst = max(b.total for b in bounds)
+            assert window / worst > 1e3
