@@ -1,9 +1,9 @@
-.PHONY: install test lint lint-smoke trace-smoke faults-smoke bench experiments export examples all
+.PHONY: install test lint lint-smoke trace-smoke faults-smoke bench-smoke bench experiments export examples all
 
 install:
 	pip install -e . --no-build-isolation
 
-test: trace-smoke faults-smoke lint
+test: trace-smoke faults-smoke bench-smoke lint
 	pytest tests/
 
 # Static checks: the CRAM program linter over every registered target,
@@ -29,6 +29,12 @@ trace-smoke:
 
 faults-smoke:
 	PYTHONPATH=src python -m repro.faults.smoke
+
+# Hot-path gate: quick microbenchmarks with in-run baselines; asserts
+# the speedup floors, fails on a >2x ratio regression against the
+# checked-in BENCH_PR4.json, then refreshes it.
+bench-smoke:
+	PYTHONPATH=src python -m repro.perf.smoke
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -1,0 +1,38 @@
+"""Hot-path micro-ops under pytest-benchmark (PR 4 perf layer).
+
+Unlike the experiment-regeneration benchmarks in this suite, these time
+the simulator's inner loops: one cached-kernel gate execution, the
+controller microstep loop, a harvested replay, and the batch-64
+lock-step classifiers.  Every op with a baseline re-asserts its speedup
+floor here, measured against the scalar/serial referee in the same run
+— the ratio is machine-independent even though the ns/op is not.
+"""
+
+import pytest
+
+from repro.perf import bench as hotpath
+
+
+def test_logic_op(regen, benchmark):
+    result = regen(benchmark, hotpath.bench_logic_op, True)
+    assert result.speedup >= 5.0
+
+
+def test_step_instruction(regen, benchmark):
+    result = regen(benchmark, hotpath.bench_step_instruction, True)
+    assert result.ns_per_op > 0
+
+
+def test_intermittent_replay(regen, benchmark):
+    result = regen(benchmark, hotpath.bench_intermittent_replay, True)
+    assert result.ns_per_op > 0
+
+
+def test_classify_svm_batch64(regen, benchmark):
+    result = regen(benchmark, hotpath.bench_classify_svm, True)
+    assert result.speedup >= 10.0
+
+
+def test_classify_bnn_batch64(regen, benchmark):
+    result = regen(benchmark, hotpath.bench_classify_bnn, True)
+    assert result.speedup >= 10.0

@@ -8,6 +8,8 @@
     python -m repro export [directory]   # write every artifact as CSV
     python -m repro stats ev.jsonl       # replay a telemetry event log
     python -m repro faults --seed 7 --out report.json   # fault campaign
+    python -m repro bench [--quick]      # hot-path microbenchmarks
+    python -m repro run fig9 --jobs 4    # parallel sweep, same bytes out
     python -m repro lint                 # statically verify programs
     python -m repro lint svm --json      # one target, JSON diagnostics
     python -m repro lint --asm prog.asm --rows 256 --cols 8
@@ -76,16 +78,33 @@ def _seed_everything(seed: Optional[int]) -> None:
     np.random.seed(seed)
 
 
+def _apply_jobs(jobs: Optional[int]) -> int:
+    """Resolve ``--jobs`` (0 = all cores) and make it the process default.
+
+    Parallelism is an opt-in throughput knob: results are byte-identical
+    at any job count (deterministic per-task seeding + ordered merges),
+    so the only observable difference is wall time — and the manifest
+    records the count used.
+    """
+    from repro.perf.parallel import cpu_count, set_default_jobs
+
+    resolved = 1 if jobs is None else (cpu_count() if jobs == 0 else jobs)
+    set_default_jobs(resolved)
+    return resolved
+
+
 def cmd_run(
     names: list[str],
     events: Optional[str] = None,
     trace: Optional[str] = None,
     manifest: Optional[str] = None,
     seed: Optional[int] = None,
+    jobs: Optional[int] = None,
 ) -> int:
     from repro import obs
 
     _seed_everything(seed)
+    n_jobs = _apply_jobs(jobs)
     table = _experiment_map()
     try:
         telemetry = obs.from_paths(events=events, trace=trace)
@@ -127,6 +146,7 @@ def cmd_run(
                 "experiments": ran,
                 "events": events,
                 "trace": trace,
+                "jobs": n_jobs,
             },
             seed=seed,
             wall_time_s=wall,
@@ -154,9 +174,10 @@ def _print_telemetry_summary(telemetry, events, trace) -> None:
             print(f"    {'TOTAL':10s} {stats.total_energy!r}")
 
 
-def cmd_all(skip_accuracy: bool) -> int:
+def cmd_all(skip_accuracy: bool, jobs: Optional[int] = None) -> int:
     from repro.experiments import accuracy
 
+    _apply_jobs(jobs)
     for label, entry in EXPERIMENTS:
         if skip_accuracy and entry is accuracy.main:
             continue
@@ -207,6 +228,7 @@ def cmd_faults(args) -> int:
     except OSError as exc:
         print(f"cannot open telemetry output: {exc}")
         return 2
+    n_jobs = _apply_jobs(args.jobs)
     started = time.perf_counter()
     with obs.use(telemetry):
         with telemetry.span("fault-campaign"):
@@ -216,7 +238,7 @@ def cmd_faults(args) -> int:
                 trials=args.trials,
                 seed=args.seed,
             )
-            report = campaign.run()
+            report = campaign.run(jobs=n_jobs)
     wall = time.perf_counter() - started
     telemetry.close()
 
@@ -241,6 +263,7 @@ def cmd_faults(args) -> int:
                 "trials": args.trials,
                 "plan": plan.to_json_obj(),
                 "out": args.out,
+                "jobs": n_jobs,
             },
             seed=args.seed,
             wall_time_s=wall,
@@ -321,6 +344,26 @@ def cmd_lint(args) -> int:
     return status
 
 
+def cmd_bench(args) -> int:
+    from repro import obs
+    from repro.perf.bench import render, run_bench, write_report
+
+    try:
+        telemetry = obs.from_paths(events=args.events)
+    except OSError as exc:
+        print(f"cannot open telemetry output: {exc}")
+        return 2
+    with obs.use(telemetry):
+        report = run_bench(quick=args.quick)
+    telemetry.close()
+    print(render(report))
+    write_report(report, args.out)
+    print(f"report: {args.out}")
+    if telemetry.enabled:
+        _print_telemetry_summary(telemetry, args.events, None)
+    return 0
+
+
 def cmd_stats(path: str, top: int) -> int:
     from repro.obs.replay import render, replay
 
@@ -359,6 +402,14 @@ def main(argv: list[str] | None = None) -> int:
         const="runs",
         metavar="DIR",
         help="write a run manifest (default directory: runs/)",
+    )
+    run_p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for parallel sweeps (0 = all cores); "
+        "results are byte-identical at any count",
     )
     faults_p = sub.add_parser(
         "faults", help="run a seeded fault-injection campaign"
@@ -418,8 +469,38 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="write a run manifest (default directory: runs/)",
     )
+    faults_p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for campaign trials (0 = all cores); "
+        "the report JSON is byte-identical at any count",
+    )
     all_p = sub.add_parser("all", help="run every experiment")
     all_p.add_argument("--skip-accuracy", action="store_true")
+    all_p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for parallel sweeps (0 = all cores)",
+    )
+    bench_p = sub.add_parser(
+        "bench", help="run hot-path microbenchmarks, write BENCH_PR4.json"
+    )
+    bench_p.add_argument(
+        "--out", default="BENCH_PR4.json", metavar="PATH",
+        help="where to write the benchmark report (default: BENCH_PR4.json)",
+    )
+    bench_p.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller repetition counts (the bench-smoke configuration)",
+    )
+    bench_p.add_argument(
+        "--events", metavar="PATH", help="write a JSONL telemetry event log"
+    )
     sub.add_parser("info", help="device technologies and gate designs")
     export_p = sub.add_parser("export", help="write every artifact as CSV")
     export_p.add_argument("directory", nargs="?", default="results")
@@ -468,11 +549,14 @@ def main(argv: list[str] | None = None) -> int:
             trace=args.trace,
             manifest=args.manifest,
             seed=args.seed,
+            jobs=args.jobs,
         )
     if args.command == "faults":
         return cmd_faults(args)
     if args.command == "all":
-        return cmd_all(args.skip_accuracy)
+        return cmd_all(args.skip_accuracy, jobs=args.jobs)
+    if args.command == "bench":
+        return cmd_bench(args)
     if args.command == "info":
         return cmd_info()
     if args.command == "export":

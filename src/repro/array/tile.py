@@ -21,18 +21,39 @@ to the uninterrupted result because switching is unidirectional.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.devices.parameters import DeviceParameters
-from repro.logic.gates import GateSpec, design_voltage, gate_energy, write_energy, read_energy
-from repro.logic.resistance import total_path_resistance
+from repro.logic.gates import GateSpec, write_energy, read_energy
 from repro.array.lines import check_logic_rows
+from repro.perf.kernels import electrical_kernel
 
 TILE_ROWS = 1024
 TILE_COLS = 1024
 ROW_BYTES = TILE_COLS // 8  # 128 B — the controller buffer size
+
+
+@lru_cache(maxsize=16384)
+def _validate_logic_rows(
+    rows: tuple, output_row: int, n_inputs: int, gate_name: str, tile_rows: int
+) -> None:
+    """Arity/range/parity checks for one gate placement.
+
+    Memoised on the full argument tuple: a program replays the same few
+    placements millions of times, and only successful validations are
+    cached (lru_cache does not cache raised exceptions).
+    """
+    if len(rows) != n_inputs:
+        raise ValueError(
+            f"{gate_name} takes {n_inputs} input rows, got {len(rows)}"
+        )
+    for r in rows + (output_row,):
+        if not 0 <= r < tile_rows:
+            raise IndexError(f"row {r} out of range 0..{tile_rows - 1}")
+    check_logic_rows(rows, output_row)
 
 
 @dataclass(frozen=True)
@@ -72,6 +93,11 @@ class Tile:
         # controller's duplicated Activate-Columns register — the latch
         # itself is peripheral circuitry and is lost on power-off.
         self.active_columns = np.zeros(cols, dtype=bool)
+        # Incrementally tracked views of the latch, refreshed only when
+        # the activation set changes (activate/deactivate), so the logic
+        # hot path never re-scans the mask per operation.
+        self._active_idx = np.empty(0, dtype=np.intp)
+        self._n_active = 0
 
     # ------------------------------------------------------------------
     # Column activation
@@ -85,6 +111,7 @@ class Tile:
                 raise IndexError(f"column {c} out of range 0..{self.cols - 1}")
         self.active_columns[:] = False
         self.active_columns[cols] = True
+        self._refresh_active_index()
         # Peripheral-only action: decoder + latch energy, charged by the
         # controller's energy model; the tile reports zero array energy.
         return OpResult(energy=0.0, n_columns=len(set(cols)), switched=0)
@@ -95,15 +122,28 @@ class Tile:
             raise IndexError(f"bad column range {first}..{last}")
         self.active_columns[:] = False
         self.active_columns[first : last + 1] = True
+        self._active_idx = np.arange(first, last + 1, dtype=np.intp)
+        self._n_active = last - first + 1
         return OpResult(energy=0.0, n_columns=last - first + 1, switched=0)
 
     def deactivate_all(self) -> None:
         """Power-off: the volatile peripheral latch clears."""
         self.active_columns[:] = False
+        self._active_idx = np.empty(0, dtype=np.intp)
+        self._n_active = 0
+
+    def _refresh_active_index(self) -> None:
+        self._active_idx = np.flatnonzero(self.active_columns)
+        self._n_active = len(self._active_idx)
 
     @property
     def n_active(self) -> int:
-        return int(self.active_columns.sum())
+        return self._n_active
+
+    @property
+    def active_idx(self) -> np.ndarray:
+        """Sorted indices of the active columns (do not mutate)."""
+        return self._active_idx
 
     # ------------------------------------------------------------------
     # Memory operations
@@ -138,9 +178,8 @@ class Tile:
         presets "consist only of write instructions").
         """
         self._check_row(row)
-        mask = self.active_columns
-        n = int(mask.sum())
-        self.state[row, mask] = value
+        n = self._n_active
+        self.state[row, self._active_idx] = value
         return OpResult(
             energy=write_energy(self.params) * n, n_columns=n, switched=n
         )
@@ -196,56 +235,59 @@ class Tile:
             Energy across active columns and the number of outputs that
             switched.
         """
-        rows = list(input_rows)
-        if len(rows) != spec.n_inputs:
-            raise ValueError(
-                f"{spec.name} takes {spec.n_inputs} input rows, got {len(rows)}"
-            )
-        for r in rows + [output_row]:
-            self._check_row(r)
-        check_logic_rows(rows, output_row)
+        rows = tuple(input_rows)
+        _validate_logic_rows(rows, output_row, spec.n_inputs, spec.name, self.rows)
 
-        active = self.active_columns
-        if not active.any():
+        active_idx = self._active_idx
+        if self._n_active == 0:
             return OpResult(energy=0.0, n_columns=0, switched=0)
 
-        inputs = self.state[rows][:, active]  # (n_inputs, n_active)
-        n_ones = inputs.sum(axis=0)  # per active column
+        # Electrical solve: the per-n_ones tables (resistance ladder,
+        # currents, switch thresholds, energies) are frozen per
+        # (params, spec) in repro.perf.kernels; gathering them by n_ones
+        # is bit-identical to rebuilding them here.
+        kern = electrical_kernel(self.params, spec)
 
-        # Electrical solve, vectorised by table lookup over n_ones.
-        voltage = design_voltage(self.params, spec)
-        r_total = np.array(
-            [
-                total_path_resistance(self.params, spec.n_inputs, k, spec.preset)
-                for k in range(spec.n_inputs + 1)
-            ]
-        )
-        currents = voltage / r_total[n_ones]
-        will_switch = currents >= self.params.switching_current
+        all_active = self._n_active == self.cols
+        if all_active:
+            # Row views + uint8 addition: no column gather at all.
+            v = self.state.view(np.uint8)
+            acc = v[rows[0]].copy() if len(rows) == 1 else v[rows[0]] + v[rows[1]]
+            for r in rows[2:]:
+                acc += v[r]
+            n_ones = acc.astype(np.intp)  # table gathers are fastest by intp
+        else:
+            inputs = self.state[np.ix_(rows, active_idx)]  # (n_inputs, n_active)
+            n_ones = inputs.sum(axis=0)  # per active column
+
+        will_switch = kern.will_switch.take(n_ones)
 
         if switch_mask is not None:
             switch_mask = np.asarray(switch_mask, dtype=bool)
             if switch_mask.shape != (self.cols,):
                 raise ValueError("switch_mask must cover every column")
-            will_switch &= switch_mask[active]
+            will_switch &= switch_mask if all_active else switch_mask[active_idx]
 
-        target = bool(spec.direction.target_state)
+        target = kern.target
         out = self.state[output_row]
-        active_idx = np.flatnonzero(active)
-        switch_idx = active_idx[will_switch]
         # Unidirectional switching: cells already at the target state
         # stay there; cells at the preset move to the target.  A cell at
         # the target can never be moved back by this current direction.
-        before = out[switch_idx].copy()
-        out[switch_idx] = target
+        # Only cells that actually change are written, which skips the
+        # store entirely once an output row has saturated at the target.
+        changed = will_switch & (
+            (out != target) if all_active else (out[active_idx] != target)
+        )
+        switched = int(np.count_nonzero(changed))
+        if switched:
+            if all_active:
+                out[changed] = target
+            else:
+                out[active_idx[changed]] = target
 
-        energy = np.array(
-            [gate_energy(self.params, spec, int(k)) for k in range(spec.n_inputs + 1)]
-        )[n_ones].sum()
+        energy = kern.energy.take(n_ones).sum()
         return OpResult(
-            energy=float(energy),
-            n_columns=int(active.sum()),
-            switched=int((before != target).sum()),
+            energy=float(energy), n_columns=self._n_active, switched=switched
         )
 
     # ------------------------------------------------------------------

@@ -31,14 +31,14 @@ from repro.array.bank import SENSOR_TILE, Bank
 from repro.core.registers import DualRegister
 from repro.energy.metrics import Category, EnergyLedger
 from repro.energy.model import InstructionCostModel
-from repro.isa.assembler import disassemble_one
+from repro.isa.assembler import disassemble_word
 from repro.isa.instruction import (
     ActivateColumnsInstruction,
     HaltInstruction,
     Instruction,
     LogicInstruction,
     MemoryInstruction,
-    decode,
+    decode_cached,
     encode,
 )
 
@@ -199,8 +199,9 @@ class MemoryController:
         """Count the microstep; emit ``instr.commit`` when it retires."""
         self._obs_steps += 1
         if phase is Phase.DECODE:
-            # _instr is live between DECODE and COMMIT only.
-            self._obs_text = disassemble_one(self._instr)
+            # _word is still live at DECODE; the text cache is keyed by
+            # the encoded word so replayed loops cost one dict hit.
+            self._obs_text = disassemble_word(self._word)
         if phase is Phase.COMMIT or self.halted:
             b = self.ledger.breakdown
             self._obs.emit(
@@ -229,7 +230,7 @@ class MemoryController:
 
     def _do_decode(self) -> None:
         assert self._word is not None
-        self._instr = decode(self._word)
+        self._instr = decode_cached(self._word)
         self.phase = Phase.EXECUTE
 
     def _do_execute(self) -> None:
@@ -276,7 +277,8 @@ class MemoryController:
     # ------------------------------------------------------------------
 
     def _execute_activate(self, instr: ActivateColumnsInstruction) -> None:
-        for tile in self.bank.target_tiles(instr.tile):
+        tiles = self.bank.target_tiles(instr.tile)
+        for tile in tiles:
             if instr.bulk:
                 tile.activate_column_range(*instr.columns)
             else:
@@ -301,12 +303,10 @@ class MemoryController:
             self._charge(self.cost.row_read_energy(self.bank.cols))
             return
         if op == "WRITE":
-            for tile in self.bank.target_tiles(instr.tile):
+            tiles = self.bank.target_tiles(instr.tile)
+            for tile in tiles:
                 tile.write_row(instr.row, self.buffer)
-            self._charge(
-                self.cost.row_write_energy(self.bank.cols)
-                * len(self.bank.target_tiles(instr.tile))
-            )
+            self._charge(self.cost.row_write_energy(self.bank.cols) * len(tiles))
             # WRITEs inside a sensor transfer keep the region open.
             return
         # PRESET0 / PRESET1
@@ -412,9 +412,10 @@ class MemoryController:
         # action on restart, Section IV-D).
         saved = self.activate_register.read()
         if saved is not None and saved != _NONE:
-            instr = decode(saved)
+            instr = decode_cached(saved)
             assert isinstance(instr, ActivateColumnsInstruction)
-            for tile in self.bank.target_tiles(instr.tile):
+            tiles = self.bank.target_tiles(instr.tile)
+            for tile in tiles:
                 if instr.bulk:
                     tile.activate_column_range(*instr.columns)
                 else:

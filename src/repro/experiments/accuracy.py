@@ -36,59 +36,75 @@ class AccuracyRow:
     n_support: int | None
 
 
-def run(fast: bool = True) -> list[AccuracyRow]:
+def _svm_row(name: str, ds, x_train, x_test, svm_iter: int) -> AccuracyRow:
+    svm = OneVsRestSVM(ds.n_classes, c=1.0, max_iter=svm_iter)
+    svm.fit(x_train.astype(float), ds.y_train)
+    return AccuracyRow(
+        benchmark=name,
+        float_accuracy=svm.accuracy(x_test.astype(float), ds.y_test),
+        int_accuracy=float(np.mean(svm.predict_int(x_test) == ds.y_test)),
+        n_support=svm.total_support_vectors,
+    )
+
+
+def _bnn_row(config, x_train, x_test, y_train, y_test, epochs: int) -> AccuracyRow:
+    bnn = BNN(config, seed=0)
+    bnn.fit(x_train, y_train, epochs=epochs)
+    return AccuracyRow(
+        benchmark=f"BNN {config.name}",
+        float_accuracy=bnn.accuracy(x_test, y_test),
+        int_accuracy=bnn.accuracy_int(x_test, y_test),
+        n_support=None,
+    )
+
+
+def run(fast: bool = True, jobs: int | None = None) -> list[AccuracyRow]:
     """``fast`` shrinks dataset and network sizes for CI-scale runtime;
-    pass False for the full synthetic-scale evaluation."""
-    rows: list[AccuracyRow] = []
+    pass False for the full synthetic-scale evaluation.  ``jobs > 1``
+    trains the six models in parallel processes; every model is seeded
+    (no shared RNG state), so the rows are identical at any job count
+    and come back in the table's fixed order."""
+    from repro.perf.parallel import parallel_tasks
+
     n_train, n_test = (400, 150) if fast else (1500, 500)
     mnist = synthetic_mnist(n_train, n_test)
     har = synthetic_har(n_train, n_test)
     adult = synthetic_adult(n_train, n_test)
     svm_iter = 40 if fast else 200
+    scale = 0.125 if fast else 1.0
+    epochs = 15 if fast else 40
 
-    # SVM benchmarks (float + integer pipelines).
-    for name, ds, x_train, x_test in (
-        ("SVM MNIST", mnist, mnist.x_train, mnist.x_test),
-        (
+    tasks = [
+        # SVM benchmarks (float + integer pipelines).
+        lambda: _svm_row("SVM MNIST", mnist, mnist.x_train, mnist.x_test, svm_iter),
+        lambda: _svm_row(
             "SVM MNIST (Bin)",
             mnist,
             binarize(mnist.x_train),
             binarize(mnist.x_test),
+            svm_iter,
         ),
-        ("SVM HAR", har, har.x_train, har.x_test),
-        ("SVM ADULT", adult, adult.x_train, adult.x_test),
-    ):
-        svm = OneVsRestSVM(ds.n_classes, c=1.0, max_iter=svm_iter)
-        svm.fit(x_train.astype(float), ds.y_train)
-        rows.append(
-            AccuracyRow(
-                benchmark=name,
-                float_accuracy=svm.accuracy(x_test.astype(float), ds.y_test),
-                int_accuracy=float(
-                    np.mean(svm.predict_int(x_test) == ds.y_test)
-                ),
-                n_support=svm.total_support_vectors,
-            )
-        )
-
-    # BNN benchmarks (scaled topologies when fast).
-    scale = 0.125 if fast else 1.0
-    epochs = 15 if fast else 40
-    for config, x_train, x_test in (
-        (FINN_MNIST.scaled(scale), binarize(mnist.x_train), binarize(mnist.x_test)),
-        (FPBNN_MNIST.scaled(scale), mnist.x_train, mnist.x_test),
-    ):
-        bnn = BNN(config, seed=0)
-        bnn.fit(x_train, mnist.y_train, epochs=epochs)
-        rows.append(
-            AccuracyRow(
-                benchmark=f"BNN {config.name}",
-                float_accuracy=bnn.accuracy(x_test, mnist.y_test),
-                int_accuracy=bnn.accuracy_int(x_test, mnist.y_test),
-                n_support=None,
-            )
-        )
-    return rows
+        lambda: _svm_row("SVM HAR", har, har.x_train, har.x_test, svm_iter),
+        lambda: _svm_row("SVM ADULT", adult, adult.x_train, adult.x_test, svm_iter),
+        # BNN benchmarks (scaled topologies when fast).
+        lambda: _bnn_row(
+            FINN_MNIST.scaled(scale),
+            binarize(mnist.x_train),
+            binarize(mnist.x_test),
+            mnist.y_train,
+            mnist.y_test,
+            epochs,
+        ),
+        lambda: _bnn_row(
+            FPBNN_MNIST.scaled(scale),
+            mnist.x_train,
+            mnist.x_test,
+            mnist.y_train,
+            mnist.y_test,
+            epochs,
+        ),
+    ]
+    return parallel_tasks(tasks, jobs=jobs)
 
 
 def main() -> None:

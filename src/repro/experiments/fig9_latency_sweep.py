@@ -40,29 +40,51 @@ class SweepPoint:
     restarts: int
 
 
+def _sweep_series(
+    tech: DeviceParameters, workload, powers: tuple[float, ...]
+) -> list[SweepPoint]:
+    """One (technology, benchmark) curve — the unit of parallel fan-out."""
+    cost = InstructionCostModel(tech)
+    profile = workload.profile(cost)
+    points = []
+    for power in powers:
+        config = HarvestingConfig.paper(tech, power)
+        breakdown = ProfileRun(profile, cost, config).run()
+        points.append(
+            SweepPoint(
+                technology=tech.name,
+                benchmark=workload.name,
+                power_w=power,
+                latency_s=breakdown.total_latency,
+                energy_j=breakdown.total_energy,
+                restarts=breakdown.restarts,
+            )
+        )
+    return points
+
+
 def run(
     powers: tuple[float, ...] = DEFAULT_POWERS,
     technologies: tuple[DeviceParameters, ...] = ALL_TECHNOLOGIES,
     include_sonic: bool = True,
+    jobs: int | None = None,
 ) -> list[SweepPoint]:
-    points: list[SweepPoint] = []
-    for tech in technologies:
-        cost = InstructionCostModel(tech)
-        for workload in ALL_WORKLOADS:
-            profile = workload.profile(cost)
-            for power in powers:
-                config = HarvestingConfig.paper(tech, power)
-                breakdown = ProfileRun(profile, cost, config).run()
-                points.append(
-                    SweepPoint(
-                        technology=tech.name,
-                        benchmark=workload.name,
-                        power_w=power,
-                        latency_s=breakdown.total_latency,
-                        energy_j=breakdown.total_energy,
-                        restarts=breakdown.restarts,
-                    )
-                )
+    """Regenerate the sweep; ``jobs > 1`` fans the (technology,
+    benchmark) curves across processes.  Each curve is a deterministic
+    closed-form computation, and the ordered merge reassembles the
+    exact serial point order, so the result is identical at any job
+    count."""
+    from repro.perf.parallel import parallel_tasks
+
+    series = parallel_tasks(
+        [
+            lambda t=tech, w=workload: _sweep_series(t, w, powers)
+            for tech in technologies
+            for workload in ALL_WORKLOADS
+        ],
+        jobs=jobs,
+    )
+    points: list[SweepPoint] = [p for curve in series for p in curve]
     if include_sonic:
         for sonic in (SONIC_MNIST, SONIC_HAR):
             for power in powers:

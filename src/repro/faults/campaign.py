@@ -155,7 +155,17 @@ class FaultCampaign:
 
     # ------------------------------------------------------------------
 
-    def run(self) -> CampaignReport:
+    def run(self, jobs: Optional[int] = None) -> CampaignReport:
+        """Run the campaign; ``jobs > 1`` fans trials across processes.
+
+        Trials are already independent by construction — each one
+        builds a fresh machine and draws from ``default_rng([seed,
+        trial])`` — so the fan-out merges per-trial details back in
+        trial order and the report JSON is byte-identical at any job
+        count.  Workers run with telemetry disabled (a forked child
+        sharing the parent's sink would interleave events); ``fault.*``
+        events therefore only appear in serial runs.
+        """
         obs = self._resolve_obs()
 
         golden = self.workload.build()
@@ -183,8 +193,20 @@ class FaultCampaign:
             "retries": 0,
         }
 
-        for trial in range(self.trials):
-            detail = self._run_trial(trial, golden_memory, golden_values, obs)
+        from repro.perf.parallel import get_default_jobs, parallel_tasks
+
+        n_jobs = get_default_jobs() if jobs is None else jobs
+        trial_obs = obs if n_jobs <= 1 else None
+        details = parallel_tasks(
+            [
+                lambda t=trial: self._run_trial(
+                    t, golden_memory, golden_values, trial_obs
+                )
+                for trial in range(self.trials)
+            ],
+            jobs=n_jobs,
+        )
+        for detail in details:
             report.outcomes[detail["outcome"]] += 1
             for site, count in detail["injected"].items():
                 totals["injected"][site] = totals["injected"].get(site, 0) + count

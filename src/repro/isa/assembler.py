@@ -17,6 +17,7 @@ Syntax, one instruction per line (``;`` or ``#`` start a comment)::
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterable, Sequence
 
 from repro.isa.instruction import (
@@ -25,6 +26,7 @@ from repro.isa.instruction import (
     Instruction,
     LogicInstruction,
     MemoryInstruction,
+    decode_cached,
 )
 from repro.isa.opcodes import Opcode
 
@@ -131,3 +133,15 @@ def disassemble_one(instr: Instruction) -> str:
 def disassemble(program: Sequence[Instruction]) -> str:
     """Render a program, one instruction per line."""
     return "\n".join(disassemble_one(i) for i in program)
+
+
+@lru_cache(maxsize=65536)
+def disassemble_word(word: int) -> str:
+    """Assembler text for an encoded word, memoized.
+
+    The telemetry path disassembles the current instruction on every
+    DECODE microstep; an intermittent run replays the same handful of
+    words thousands of times, so keying the text by the 64-bit encoding
+    makes that a dict hit.  Same bound as the decode cache.
+    """
+    return disassemble_one(decode_cached(word))

@@ -9,6 +9,7 @@ through the exact bit layout in :mod:`repro.isa.encoding`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Union
 
 from repro.isa import encoding
@@ -207,3 +208,11 @@ def decode(word: int) -> Instruction:
     return LogicInstruction(
         gate=opcode.name, tile=tile, input_rows=input_rows, output_row=output_row
     )
+
+
+# Instruction objects are frozen and decoding is pure, so the fetch hot
+# path can share one object per distinct word.  Bounded: a rogue word
+# stream (fault injection corrupts PC/memory) cannot grow this without
+# limit.  The controller uses this; plain ``decode`` stays available for
+# callers that want a fresh object.
+decode_cached = lru_cache(maxsize=65536)(decode)

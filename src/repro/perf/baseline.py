@@ -1,0 +1,89 @@
+"""The pre-acceleration scalar reference paths, preserved verbatim.
+
+These functions are the byte-identity referees: they reproduce, line
+for line, the hot paths as they existed before :mod:`repro.perf`
+(rebuilding the electrical tables per gate, re-scanning the activation
+mask per operation, running one sample per machine).  The equivalence
+tests assert the accelerated paths match them bit-for-bit, and the
+bench harness times them in the same run to report honest speedups —
+the "serial baseline measured in the same run" of ``BENCH_PR4.json``.
+
+Nothing in the simulator proper calls into this module.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.array.lines import check_logic_rows
+from repro.array.tile import OpResult, Tile
+from repro.logic.gates import GateSpec, design_voltage, gate_energy
+from repro.logic.resistance import total_path_resistance
+
+
+def logic_op_reference(
+    tile: Tile,
+    spec: GateSpec,
+    input_rows: Sequence[int],
+    output_row: int,
+    switch_mask: Optional[np.ndarray] = None,
+) -> OpResult:
+    """``Tile.logic_op`` as it existed before the cached kernels.
+
+    Re-derives the full electrical solve — the ``r_total`` ladder, the
+    per-count currents, and the ``gate_energy`` table — from scratch,
+    and re-scans the boolean activation mask, exactly like the seed
+    implementation.  Mutates ``tile`` with the same semantics as the
+    accelerated path.
+    """
+    rows = list(input_rows)
+    if len(rows) != spec.n_inputs:
+        raise ValueError(
+            f"{spec.name} takes {spec.n_inputs} input rows, got {len(rows)}"
+        )
+    for r in rows + [output_row]:
+        tile._check_row(r)
+    check_logic_rows(rows, output_row)
+
+    active = tile.active_columns
+    if not active.any():
+        return OpResult(energy=0.0, n_columns=0, switched=0)
+
+    inputs = tile.state[rows][:, active]  # (n_inputs, n_active)
+    n_ones = inputs.sum(axis=0)  # per active column
+
+    # Electrical solve, vectorised by table lookup over n_ones —
+    # with the tables rebuilt on every call (the seed behaviour).
+    voltage = design_voltage(tile.params, spec)
+    r_total = np.array(
+        [
+            total_path_resistance(tile.params, spec.n_inputs, k, spec.preset)
+            for k in range(spec.n_inputs + 1)
+        ]
+    )
+    currents = voltage / r_total[n_ones]
+    will_switch = currents >= tile.params.switching_current
+
+    if switch_mask is not None:
+        switch_mask = np.asarray(switch_mask, dtype=bool)
+        if switch_mask.shape != (tile.cols,):
+            raise ValueError("switch_mask must cover every column")
+        will_switch &= switch_mask[active]
+
+    target = bool(spec.direction.target_state)
+    out = tile.state[output_row]
+    active_idx = np.flatnonzero(active)
+    switch_idx = active_idx[will_switch]
+    before = out[switch_idx].copy()
+    out[switch_idx] = target
+
+    energy = np.array(
+        [gate_energy(tile.params, spec, int(k)) for k in range(spec.n_inputs + 1)]
+    )[n_ones].sum()
+    return OpResult(
+        energy=float(energy),
+        n_columns=int(active.sum()),
+        switched=int((before != target).sum()),
+    )

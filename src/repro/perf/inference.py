@@ -1,0 +1,262 @@
+"""Batched classification drivers for the compiled classifiers.
+
+Each driver pairs a *batched* path (one :class:`BatchedMouse` pass over
+the shared instruction stream, all samples in lock-step) with the
+*serial reference* path it must match bit-for-bit (the plain Python
+loop: per sample ``set_input`` → ``reset_for_rerun`` → ``run`` on the
+scalar :class:`~repro.core.accelerator.Mouse`).  Both return the same
+:class:`BatchResult`; the equivalence tests assert equality of every
+prediction and every per-sample :class:`Breakdown` field, and the bench
+harness times the two paths against each other in the same run.
+
+The serial loop's per-sample ledgers are well-defined independent of
+sample order because compiled programs are preset-disciplined (the lint
+layer's PRE rules): every row a gate reads was preset or written
+earlier in the *same* run, so sample ``i``'s energy depends only on
+sample ``i``'s input — which is exactly what lets the batched engine
+start every sample from a fresh zeroed tensor and still reproduce the
+loop's ledgers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.compile.classifier import (
+    CompiledBnnOutput,
+    CompiledMulticlassSvm,
+    CompiledSvm,
+)
+from repro.core.accelerator import Mouse
+from repro.devices.parameters import DeviceParameters, MODERN_STT
+from repro.energy.metrics import Breakdown
+from repro.perf.batched import BatchedMouse
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Per-sample predictions and energy ledgers for one batch."""
+
+    predictions: np.ndarray  # (batch,) int
+    breakdowns: tuple[Breakdown, ...]  # one per sample
+
+
+# ----------------------------------------------------------------------
+# Word placement / readout on the batched machine
+# ----------------------------------------------------------------------
+
+
+def _place_word_all(machine: BatchedMouse, tile: int, word, column: int, value: int) -> None:
+    """Bake one little-endian word into every sample (shared model data)."""
+    masked = value & ((1 << len(word)) - 1)
+    for index, bit in enumerate(word):
+        machine.tile(tile).set_bit_all(bit.row, column, (masked >> index) & 1)
+
+
+def _place_word_sample(
+    machine: BatchedMouse, tile: int, word, column: int, value: int, sample: int
+) -> None:
+    masked = value & ((1 << len(word)) - 1)
+    for index, bit in enumerate(word):
+        machine.tile(tile).set_bit(sample, bit.row, column, (masked >> index) & 1)
+
+
+def _read_word_samples(
+    machine: BatchedMouse, tile: int, word, column: int, signed: bool
+) -> np.ndarray:
+    """One word per sample, vectorised over the batch: ``(batch,)`` ints."""
+    state = machine.tile(tile).state
+    value = np.zeros(machine.batch, dtype=np.int64)
+    for index, bit in enumerate(word):
+        value |= state[:, bit.row, column].astype(np.int64) << index
+    if signed:
+        sign = 1 << (len(word) - 1)
+        value = np.where(value >= sign, value - (sign << 1), value)
+    return value
+
+
+# ----------------------------------------------------------------------
+# Binary SVM
+# ----------------------------------------------------------------------
+
+
+def svm_classify_batch(
+    compiled: CompiledSvm,
+    sv_int: np.ndarray,
+    coef_int: np.ndarray,
+    offset: int,
+    X_int: np.ndarray,
+    tech: DeviceParameters = MODERN_STT,
+) -> BatchResult:
+    """Classify every row of ``X_int`` in one lock-step pass."""
+    X_int = np.asarray(X_int)
+    machine = BatchedMouse(
+        tech, batch=len(X_int), rows=compiled.rows, cols=compiled.n_columns
+    )
+    for column in range(compiled.n_columns):
+        for k, sv in enumerate(sv_int):
+            for d, value in enumerate(sv):
+                _place_word_all(machine, 0, compiled.sv_words[k][d], column, int(value))
+        for k, coef in enumerate(coef_int):
+            _place_word_all(machine, 0, compiled.coef_words[k], column, abs(int(coef)))
+            machine.tile(0).set_bit_all(
+                compiled.coef_signs[k].row, column, int(coef < 0)
+            )
+        _place_word_all(machine, 0, compiled.offset_word, column, int(offset))
+    for sample, x in enumerate(X_int):
+        for d, value in enumerate(x):
+            _place_word_sample(
+                machine, 0, compiled.input_words[d], 0, int(value), sample
+            )
+    machine.load(compiled.program)
+    ledger = machine.run()
+    scores = _read_word_samples(machine, 0, compiled.score, 0, signed=True)
+    return BatchResult(
+        predictions=(scores >= 0).astype(int),
+        breakdowns=tuple(ledger.breakdowns()),
+    )
+
+
+def svm_classify_serial(
+    compiled: CompiledSvm,
+    sv_int: np.ndarray,
+    coef_int: np.ndarray,
+    offset: int,
+    X_int: np.ndarray,
+    tech: DeviceParameters = MODERN_STT,
+) -> BatchResult:
+    """The reference Python loop: one serial run per sample."""
+    mouse = compiled.machine(sv_int, coef_int, offset, tech)
+    predictions = []
+    breakdowns = []
+    for x in np.asarray(X_int):
+        mouse.reset_for_rerun()
+        compiled.set_input(mouse, x)
+        mouse.run()
+        predictions.append(compiled.classify(mouse))
+        breakdowns.append(mouse.ledger.breakdown)
+    return BatchResult(
+        predictions=np.array(predictions), breakdowns=tuple(breakdowns)
+    )
+
+
+# ----------------------------------------------------------------------
+# Multi-class SVM (one-vs-rest, in-array argmax)
+# ----------------------------------------------------------------------
+
+
+def multiclass_svm_predict_batch(
+    compiled: CompiledMulticlassSvm,
+    sv_int: Sequence[np.ndarray],
+    coef_int: Sequence[np.ndarray],
+    offsets: Sequence[int],
+    X_int: np.ndarray,
+    tech: DeviceParameters = MODERN_STT,
+) -> BatchResult:
+    X_int = np.asarray(X_int)
+    machine = BatchedMouse(tech, batch=len(X_int), rows=compiled.rows, cols=1)
+    for cls, model in enumerate(compiled.class_models):
+        for k, sv in enumerate(sv_int[cls]):
+            for d, value in enumerate(sv):
+                _place_word_all(machine, 0, model["sv"][k][d], 0, int(value))
+        for k, coef in enumerate(coef_int[cls]):
+            _place_word_all(machine, 0, model["coef"][k], 0, abs(int(coef)))
+            machine.tile(0).set_bit_all(model["sign"][k].row, 0, int(coef < 0))
+        _place_word_all(machine, 0, model["offset"], 0, int(offsets[cls]))
+    for sample, x in enumerate(X_int):
+        for d, value in enumerate(x):
+            _place_word_sample(
+                machine, 0, compiled.input_words[d], 0, int(value), sample
+            )
+    machine.load(compiled.program)
+    ledger = machine.run()
+    indices = _read_word_samples(machine, 0, compiled.index_word, 0, signed=False)
+    return BatchResult(
+        predictions=indices.astype(int), breakdowns=tuple(ledger.breakdowns())
+    )
+
+
+def multiclass_svm_predict_serial(
+    compiled: CompiledMulticlassSvm,
+    sv_int: Sequence[np.ndarray],
+    coef_int: Sequence[np.ndarray],
+    offsets: Sequence[int],
+    X_int: np.ndarray,
+    tech: DeviceParameters = MODERN_STT,
+) -> BatchResult:
+    mouse = compiled.machine(sv_int, coef_int, offsets, tech)
+    predictions = []
+    breakdowns = []
+    for x in np.asarray(X_int):
+        mouse.reset_for_rerun()
+        compiled.set_input(mouse, x)
+        mouse.run()
+        predictions.append(compiled.predict(mouse))
+        breakdowns.append(mouse.ledger.breakdown)
+    return BatchResult(
+        predictions=np.array(predictions), breakdowns=tuple(breakdowns)
+    )
+
+
+# ----------------------------------------------------------------------
+# BNN output layer (popcount scores + in-array argmax)
+# ----------------------------------------------------------------------
+
+
+def bnn_output_predict_batch(
+    compiled: CompiledBnnOutput,
+    weights01: np.ndarray,
+    biases: np.ndarray,
+    X_bits: np.ndarray,
+    tech: DeviceParameters = MODERN_STT,
+) -> BatchResult:
+    X_bits = np.asarray(X_bits)
+    machine = BatchedMouse(tech, batch=len(X_bits), rows=compiled.rows, cols=1)
+    for cls in range(compiled.n_classes):
+        for i, bit in enumerate(compiled.weight_words[cls]):
+            machine.tile(0).set_bit_all(bit.row, 0, int(weights01[i, cls]))
+        _place_word_all(machine, 0, compiled.bias_words[cls], 0, int(biases[cls]))
+    for sample, bits in enumerate(X_bits):
+        for i, bit in enumerate(compiled.activation_word):
+            machine.tile(0).set_bit(sample, bit.row, 0, int(bits[i]))
+    machine.load(compiled.program)
+    ledger = machine.run()
+    indices = _read_word_samples(machine, 0, compiled.index_word, 0, signed=False)
+    return BatchResult(
+        predictions=indices.astype(int), breakdowns=tuple(ledger.breakdowns())
+    )
+
+
+def bnn_output_predict_serial(
+    compiled: CompiledBnnOutput,
+    weights01: np.ndarray,
+    biases: np.ndarray,
+    X_bits: np.ndarray,
+    tech: DeviceParameters = MODERN_STT,
+) -> BatchResult:
+    mouse = compiled.machine(weights01, biases, tech)
+    predictions = []
+    breakdowns = []
+    for bits in np.asarray(X_bits):
+        mouse.reset_for_rerun()
+        compiled.set_input(mouse, bits)
+        mouse.run()
+        predictions.append(compiled.predict(mouse))
+        breakdowns.append(mouse.ledger.breakdown)
+    return BatchResult(
+        predictions=np.array(predictions), breakdowns=tuple(breakdowns)
+    )
+
+
+__all__ = [
+    "BatchResult",
+    "svm_classify_batch",
+    "svm_classify_serial",
+    "multiclass_svm_predict_batch",
+    "multiclass_svm_predict_serial",
+    "bnn_output_predict_batch",
+    "bnn_output_predict_serial",
+]

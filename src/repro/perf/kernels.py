@@ -1,0 +1,144 @@
+"""Cached electrical kernels for the tile simulator's logic hot path.
+
+Every MOUSE logic instruction is, electrically, a table lookup: for a
+gate with ``n`` inputs there are only ``n + 1`` distinct input states
+(the number of logic-1 inputs), and for each the resistor network, the
+drive current, the switch/hold decision, and the dissipated energy are
+fixed by the ``(DeviceParameters, GateSpec)`` pair.  The scalar
+reference implementation rebuilt those tables — two Python-list →
+``np.array`` conversions plus ~2(n+1) resistor-network solves — on
+*every* gate execution.  This module computes them exactly once per
+``(params, spec)`` pair and freezes them.
+
+Byte-identity contract: every table entry is produced by the *same*
+functions the reference path called (:func:`design_voltage`,
+:func:`total_path_resistance`, :func:`gate_energy`), in the same order,
+so indexing a cached table is bit-for-bit equal to rebuilding it.
+``tests/test_perf_equivalence.py`` asserts this for every library gate
+on all three technologies.
+
+Invalidation: there is none to do — :class:`DeviceParameters` and
+:class:`GateSpec` are frozen dataclasses, so a cache entry can never go
+stale; perturbed parameter sets (device-variation studies) hash to new
+keys and get their own entries, exactly like the pre-existing
+``design_voltage`` memo.  The cache is unbounded for the same reason
+``design_voltage``'s is: the working set is |technologies in play| ×
+|gate library|.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.devices.parameters import DeviceParameters
+from repro.logic.gates import GateSpec, design_voltage, gate_energy
+from repro.logic.resistance import total_path_resistance
+
+
+@dataclass(frozen=True)
+class ElectricalKernel:
+    """Frozen per-``(params, spec)`` lookup tables, indexed by ``n_ones``.
+
+    All arrays have length ``spec.n_inputs + 1`` and are marked
+    read-only; entry ``k`` describes the input combination with ``k``
+    logic-1 inputs.
+    """
+
+    voltage: float  #: designed drive voltage (V)
+    r_total: np.ndarray  #: total path resistance ladder (ohms)
+    currents: np.ndarray  #: drive current through the output cell (A)
+    will_switch: np.ndarray  #: bool: current clears the critical current
+    energy: np.ndarray  #: per-column gate energy ladder (J)
+    target: bool  #: output state the gate switches *to*
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.r_total) - 1
+
+
+@lru_cache(maxsize=None)
+def electrical_kernel(
+    params: DeviceParameters, spec: GateSpec
+) -> ElectricalKernel:
+    """The cached kernel for one technology/gate pair.
+
+    Each table entry is computed by the exact calls the scalar reference
+    path made per-operation, so gathered lookups reproduce its floats
+    bit-for-bit (IEEE division/comparison are deterministic; gather
+    commutes with elementwise ops).
+    """
+    voltage = design_voltage(params, spec)
+    r_total = np.array(
+        [
+            total_path_resistance(params, spec.n_inputs, k, spec.preset)
+            for k in range(spec.n_inputs + 1)
+        ]
+    )
+    currents = voltage / r_total
+    will_switch = currents >= params.switching_current
+    energy = np.array(
+        [gate_energy(params, spec, int(k)) for k in range(spec.n_inputs + 1)]
+    )
+    for table in (r_total, currents, will_switch, energy):
+        table.setflags(write=False)
+    return ElectricalKernel(
+        voltage=voltage,
+        r_total=r_total,
+        currents=currents,
+        will_switch=will_switch,
+        energy=energy,
+        target=bool(spec.direction.target_state),
+    )
+
+
+# ----------------------------------------------------------------------
+# Cache observability (repro.obs integration)
+# ----------------------------------------------------------------------
+
+
+def cache_stats() -> dict[str, int]:
+    """Hit/miss/size numbers for every perf-layer memo.
+
+    Includes the decode and disassembly word caches the controller's
+    fetch/telemetry paths use, so one call captures the whole
+    instruction hot path.
+    """
+    from repro.isa.assembler import disassemble_word
+    from repro.isa.instruction import decode_cached
+
+    kernel = electrical_kernel.cache_info()
+    decode = decode_cached.cache_info()
+    disasm = disassemble_word.cache_info()
+    return {
+        "kernel.hits": kernel.hits,
+        "kernel.misses": kernel.misses,
+        "kernel.size": kernel.currsize,
+        "decode.hits": decode.hits,
+        "decode.misses": decode.misses,
+        "decode.size": decode.currsize,
+        "disasm.hits": disasm.hits,
+        "disasm.misses": disasm.misses,
+        "disasm.size": disasm.currsize,
+    }
+
+
+def publish_cache_stats(telemetry=None) -> dict[str, int]:
+    """Mirror :func:`cache_stats` into ``perf.cache.*`` counters.
+
+    Uses the ambient hub when ``telemetry`` is omitted.  Counters are
+    monotonic, so each publish raises them to the current absolute
+    value (idempotent when nothing changed).  Returns the stats dict.
+    """
+    if telemetry is None:
+        from repro.obs import current
+
+        telemetry = current()
+    stats = cache_stats()
+    for key, value in stats.items():
+        counter = telemetry.counter(f"perf.cache.{key}")
+        if value > counter.value:
+            counter.inc(value - counter.value)
+    return stats

@@ -1,0 +1,140 @@
+"""Opt-in process fan-out for embarrassingly parallel experiments.
+
+The repo's big sweeps — Fig. 9 latency points, accuracy over a dataset,
+fault-campaign trials — are independent tasks whose outputs are merged
+in task order.  This module runs them across forked worker processes
+while keeping the results **byte-identical** to a serial run:
+
+* **Determinism**: tasks carry their own seeds (e.g. the campaign's
+  ``default_rng([seed, trial])``), so results do not depend on which
+  worker ran them or in what order.
+* **Ordered merge**: results always come back in submission order,
+  regardless of completion order.
+* **Fork inheritance, no pickling of work**: the experiment layers
+  build closures over trained models and golden states, which do not
+  pickle.  Workers are forked, so they inherit the task list by memory
+  snapshot; only the (plain-data) *results* cross the pipe.
+* **Quiet children**: a forked child sharing the parent's telemetry
+  sink file descriptor would interleave writes and corrupt the event
+  log, so workers run with the ambient hub forced to DISABLED; the
+  parent emits any events when merging.
+
+Anything that can go wrong with process pools (no fork support,
+daemonic context, a single task, ``jobs=1``) degrades to the plain
+serial loop — parallelism here is a throughput knob, never a semantic
+one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+#: Process-wide default for ``jobs=None`` (set by the CLI's ``--jobs``).
+_default_jobs = 1
+
+#: Fork-inherited task list; valid only between pool setup and teardown
+#: in the parent, and for the whole (short) life of a worker.
+_ACTIVE_THUNKS: Optional[Sequence[Callable[[], object]]] = None
+
+
+def set_default_jobs(jobs: int) -> None:
+    """Set the process-wide default worker count (1 = serial)."""
+    global _default_jobs
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    _default_jobs = jobs
+
+
+def get_default_jobs() -> int:
+    return _default_jobs
+
+
+def _resolve_jobs(jobs: Optional[int]) -> int:
+    if jobs is None:
+        return _default_jobs
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    return jobs
+
+
+def _child_init() -> None:
+    """Run in each forked worker before any task: silence telemetry.
+
+    The child inherited the parent's hub — including any open sink file
+    descriptors.  Writing to them from multiple processes would
+    interleave events, so the ambient hub is forced to DISABLED for the
+    worker's lifetime.
+    """
+    from repro.obs import telemetry
+
+    telemetry._current = telemetry.DISABLED
+
+
+def _run_thunk(index: int):
+    assert _ACTIVE_THUNKS is not None
+    return _ACTIVE_THUNKS[index]()
+
+
+def parallel_tasks(
+    thunks: Sequence[Callable[[], T]], jobs: Optional[int] = None
+) -> list[T]:
+    """Run zero-argument callables, returning results in task order.
+
+    With ``jobs <= 1`` (or one task, or no usable fork context) this is
+    exactly ``[t() for t in thunks]``.  Otherwise the thunks are
+    inherited by forked workers and executed ``jobs`` at a time; task
+    ``i``'s result is always at position ``i``.
+    """
+    thunks = list(thunks)
+    jobs = _resolve_jobs(jobs)
+    if jobs <= 1 or len(thunks) <= 1:
+        return [t() for t in thunks]
+
+    global _ACTIVE_THUNKS
+    if _ACTIVE_THUNKS is not None:
+        # Nested fan-out (a parallel task spawning parallel tasks):
+        # run the inner level serially rather than oversubscribing.
+        return [t() for t in thunks]
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - fork always exists on Linux
+        return [t() for t in thunks]
+
+    _ACTIVE_THUNKS = thunks
+    try:
+        with context.Pool(
+            processes=min(jobs, len(thunks)), initializer=_child_init
+        ) as pool:
+            return pool.map(_run_thunk, range(len(thunks)))
+    except (OSError, AssertionError):  # pragma: no cover - no fork/daemon
+        return [t() for t in thunks]
+    finally:
+        _ACTIVE_THUNKS = None
+
+
+def parallel_map(
+    fn: Callable[..., T], tasks: Sequence, jobs: Optional[int] = None
+) -> list[T]:
+    """``[fn(task) for task in tasks]``, optionally across workers.
+
+    ``fn`` and the tasks need not pickle — they are captured in thunks
+    and inherited by fork, like :func:`parallel_tasks`.
+    """
+    return parallel_tasks([_bind(fn, task) for task in tasks], jobs)
+
+
+def _bind(fn: Callable[..., T], task) -> Callable[[], T]:
+    return lambda: fn(task)
+
+
+def cpu_count() -> int:
+    """Usable CPUs (for ``--jobs 0`` = "all cores" CLI semantics)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1

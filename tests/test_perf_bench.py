@@ -1,0 +1,92 @@
+"""Schema checks for the checked-in benchmark trajectory.
+
+``BENCH_PR4.json`` is an artifact: ``make bench-smoke`` regenerates it
+on every ``make test`` after its gates pass.  These tests validate its
+*shape* (schema ``repro.bench/v1``) and its recorded in-run speedups —
+they never time anything themselves, so they are stable on any machine.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.perf.bench import BENCHMARKS, SCHEMA, BenchResult, render
+from repro.perf.smoke import FLOORS
+
+REPORT = Path(__file__).resolve().parents[1] / "BENCH_PR4.json"
+
+
+@pytest.fixture(scope="module")
+def report() -> dict:
+    assert REPORT.exists(), "BENCH_PR4.json must be checked in (make bench-smoke)"
+    with open(REPORT, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def test_report_schema(report):
+    assert report["schema"] == SCHEMA
+    assert isinstance(report["quick"], bool)
+    assert isinstance(report["cache"], dict)
+    ops = [r["op"] for r in report["results"]]
+    assert len(ops) == len(set(ops)), "duplicate op entries"
+
+
+def test_every_benchmark_is_recorded(report):
+    recorded = {r["op"] for r in report["results"]}
+    # One entry per registered benchmark (names come from the op field
+    # each bench function reports).
+    assert len(recorded) == len(BENCHMARKS)
+
+
+def test_result_entries_are_well_formed(report):
+    for entry in report["results"]:
+        assert entry["reps"] >= 1
+        assert entry["ns_per_op"] > 0
+        assert isinstance(entry["config"], dict)
+        if "baseline" in entry:
+            assert entry["baseline_ns_per_op"] > 0
+            expected = entry["baseline_ns_per_op"] / entry["ns_per_op"]
+            assert entry["speedup"] == pytest.approx(expected, rel=0.01)
+
+
+def test_recorded_speedups_meet_the_floors(report):
+    """The smoke gate only refreshes the file when the floors hold, so
+    the checked-in trajectory must always satisfy them."""
+    speedups = {r["op"]: r.get("speedup") for r in report["results"]}
+    for op, floor in FLOORS.items():
+        assert speedups.get(op) is not None, op
+        assert speedups[op] >= floor, (op, speedups[op])
+
+
+def test_cache_section_counts_hits(report):
+    cache = report["cache"]
+    for key in ("kernel", "decode", "disasm"):
+        for field in ("hits", "misses", "size"):
+            assert cache[f"{key}.{field}"] >= 0
+    # The bench exercises the kernel and decode hot paths heavily; a
+    # cache that never hits would mean the memo keys are broken.
+    assert cache["kernel.hits"] > cache["kernel.misses"]
+    assert cache["decode.hits"] > cache["decode.misses"]
+
+
+def test_render_handles_baseline_free_entries():
+    fake = {
+        "schema": SCHEMA,
+        "quick": True,
+        "results": [
+            BenchResult(op="x", config={}, reps=1, ns_per_op=10.0).to_json_obj(),
+            BenchResult(
+                op="y",
+                config={},
+                reps=1,
+                ns_per_op=10.0,
+                baseline="b",
+                baseline_ns_per_op=100.0,
+            ).to_json_obj(),
+        ],
+    }
+    text = render(fake)
+    assert "x" in text and "10.0x" in text

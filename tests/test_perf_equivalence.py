@@ -1,0 +1,252 @@
+"""Byte-identity of the perf layer against the pre-PR scalar paths.
+
+Three layers of equivalence, each asserted with ``==`` (no tolerances —
+the perf work is only admissible because it changes *nothing* about the
+numbers):
+
+* cached :class:`ElectricalKernel` tables vs fresh per-call recomputes,
+  for every library gate on all three technologies;
+* ``Tile.logic_op`` (cached kernels, incremental active index) vs
+  :func:`repro.perf.baseline.logic_op_reference` (the scalar
+  implementation kept verbatim), including ``switch_mask`` partial
+  pulses and partial active sets;
+* the lock-step :class:`BatchedMouse` vs the serial per-sample loop on
+  the Table IV workload types (SVM decision, multi-class SVM, BNN
+  output layer): per-sample predictions *and* every
+  :class:`Breakdown` field, across the three technologies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.array.tile import Tile
+from repro.devices.parameters import ALL_TECHNOLOGIES, MODERN_STT
+from repro.logic import gates
+from repro.logic.library import GATE_LIBRARY
+from repro.logic.resistance import total_path_resistance
+from repro.perf.baseline import logic_op_reference
+from repro.perf.kernels import ElectricalKernel, cache_stats, electrical_kernel
+
+TECH_IDS = [p.name for p in ALL_TECHNOLOGIES]
+GATES = list(GATE_LIBRARY.values())
+GATE_IDS = [s.name for s in GATES]
+
+
+# ----------------------------------------------------------------------
+# Kernel tables == fresh recompute
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("params", ALL_TECHNOLOGIES, ids=TECH_IDS)
+@pytest.mark.parametrize("spec", GATES, ids=GATE_IDS)
+def test_kernel_tables_match_fresh_recompute(params, spec):
+    kern = electrical_kernel(params, spec)
+    assert isinstance(kern, ElectricalKernel)
+    assert kern.voltage == gates.design_voltage(params, spec)
+    assert kern.n_inputs == spec.n_inputs
+    for k in range(spec.n_inputs + 1):
+        r = total_path_resistance(params, spec.n_inputs, k, spec.preset)
+        assert kern.r_total[k] == r
+        assert kern.currents[k] == kern.voltage / r
+        assert kern.will_switch[k] == (
+            kern.voltage / r >= params.switching_current
+        )
+        assert kern.energy[k] == gates.gate_energy(params, spec, k)
+    assert kern.target == bool(spec.direction.target_state)
+
+
+def test_kernel_tables_are_frozen_and_cached():
+    kern = electrical_kernel(MODERN_STT, GATE_LIBRARY["NAND"])
+    assert kern is electrical_kernel(MODERN_STT, GATE_LIBRARY["NAND"])
+    for table in (kern.r_total, kern.currents, kern.will_switch, kern.energy):
+        assert not table.flags.writeable
+        with pytest.raises(ValueError):
+            table[0] = 0
+
+
+def test_cache_stats_shape():
+    electrical_kernel(MODERN_STT, GATE_LIBRARY["NOR"])
+    stats = cache_stats()
+    assert stats["kernel.size"] >= 1
+    for key in ("kernel", "decode", "disasm"):
+        for field in ("hits", "misses", "size"):
+            assert f"{key}.{field}" in stats
+
+
+# ----------------------------------------------------------------------
+# Tile.logic_op == scalar reference
+# ----------------------------------------------------------------------
+
+
+def _paired_tiles(params, cols, active, seed):
+    """Two tiles with identical random state and active columns."""
+    rng = np.random.default_rng(seed)
+    state = rng.integers(0, 2, size=(64, cols)).astype(bool)
+    pair = []
+    for _ in range(2):
+        tile = Tile(params, rows=64, cols=cols)
+        tile.state[:, :] = state
+        if active == "all":
+            tile.activate_column_range(0, cols - 1)
+        else:
+            tile.activate_columns(active)
+        pair.append(tile)
+    return pair
+
+
+@pytest.mark.parametrize("params", ALL_TECHNOLOGIES, ids=TECH_IDS)
+@pytest.mark.parametrize("active", ["all", (0,), (3, 7, 40, 41), ()])
+def test_logic_op_matches_reference(params, active):
+    for seed, spec in enumerate(GATES):
+        fast, ref = _paired_tiles(params, cols=48, active=active, seed=seed)
+        input_rows = tuple(range(0, 2 * spec.n_inputs, 2))
+        result = fast.logic_op(spec, input_rows, 11)
+        expected = logic_op_reference(ref, spec, input_rows, 11)
+        assert result == expected, spec.name
+        assert np.array_equal(fast.state, ref.state), spec.name
+
+
+@pytest.mark.parametrize("active", ["all", (1, 5, 6)])
+def test_logic_op_matches_reference_with_switch_mask(active):
+    spec = GATE_LIBRARY["MAJ3"]
+    rng = np.random.default_rng(7)
+    for trial in range(5):
+        fast, ref = _paired_tiles(MODERN_STT, cols=32, active=active, seed=trial)
+        mask = rng.integers(0, 2, size=32).astype(bool)
+        result = fast.logic_op(spec, (0, 2, 4), 9, switch_mask=mask)
+        expected = logic_op_reference(ref, spec, (0, 2, 4), 9, switch_mask=mask)
+        assert result == expected
+        assert np.array_equal(fast.state, ref.state)
+
+
+def test_logic_op_rejects_bad_rows():
+    tile = Tile(MODERN_STT, rows=64, cols=8)
+    tile.activate_columns((0,))
+    nand = GATE_LIBRARY["NAND"]
+    with pytest.raises(ValueError):
+        tile.logic_op(nand, (0,), 1)  # arity
+    with pytest.raises(IndexError):
+        tile.logic_op(nand, (0, 64), 1)  # range
+    with pytest.raises(ValueError):
+        tile.logic_op(nand, (0, 1), 3)  # parity
+    # The validator caches successes, not failures: same bad call again.
+    with pytest.raises(ValueError):
+        tile.logic_op(nand, (0, 1), 3)
+
+
+def test_active_index_tracks_activation_sequences():
+    tile = Tile(MODERN_STT, rows=16, cols=32)
+    assert tile.n_active == 0
+    tile.activate_columns((5, 2, 9))
+    assert list(tile.active_idx) == [2, 5, 9]
+    tile.activate_column_range(4, 8)
+    assert list(tile.active_idx) == [4, 5, 6, 7, 8]
+    assert tile.n_active == 5
+    tile.deactivate_all()
+    assert tile.n_active == 0 and len(tile.active_idx) == 0
+    tile.activate_column_range(0, 31)
+    assert tile.n_active == 32
+    assert np.array_equal(tile.active_idx, np.arange(32))
+    # The index always mirrors the boolean mask.
+    assert np.array_equal(tile.active_idx, np.flatnonzero(tile.active_columns))
+
+
+# ----------------------------------------------------------------------
+# BatchedMouse == serial per-sample loop (Table IV workload types)
+# ----------------------------------------------------------------------
+
+
+def _assert_batches_equal(batch, serial):
+    assert np.array_equal(batch.predictions, serial.predictions)
+    assert len(batch.breakdowns) == len(serial.breakdowns)
+    for got, want in zip(batch.breakdowns, serial.breakdowns):
+        assert got == want  # every Breakdown field, exactly
+
+
+@pytest.mark.parametrize("params", ALL_TECHNOLOGIES, ids=TECH_IDS)
+def test_batched_svm_matches_serial_loop(params):
+    from repro.compile.classifier import CompiledSvm, compile_svm_decision
+    from repro.perf.inference import svm_classify_batch, svm_classify_serial
+
+    compiled = compile_svm_decision(
+        n_support=1,
+        dimensions=2,
+        input_bits=3,
+        sv_bits=3,
+        coef_bits=3,
+        offset_bits=3,
+        rows=1024,
+        n_columns=1,
+    )
+    sv_int = np.array([[1, 2]])
+    coef_int = np.array([2])
+    offset = 1
+    rng = np.random.default_rng(0)
+    X = rng.integers(0, 8, size=(6, 2))
+
+    batch = svm_classify_batch(compiled, sv_int, coef_int, offset, X, params)
+    serial = svm_classify_serial(compiled, sv_int, coef_int, offset, X, params)
+    _assert_batches_equal(batch, serial)
+    # And both agree with the host-side reference arithmetic.
+    for x, prediction in zip(X, batch.predictions):
+        score = CompiledSvm.reference_score(x, sv_int, coef_int, offset)
+        assert prediction == int(score >= 0)
+
+
+def test_batched_multiclass_svm_matches_serial_loop():
+    from repro.compile.classifier import compile_multiclass_svm
+    from repro.perf.inference import (
+        multiclass_svm_predict_batch,
+        multiclass_svm_predict_serial,
+    )
+
+    compiled = compile_multiclass_svm(
+        n_classes=3,
+        n_support_per_class=1,
+        dimensions=2,
+        input_bits=2,
+        sv_bits=2,
+        coef_bits=2,
+        offset_bits=2,
+        rows=1024,
+    )
+    sv_int = [np.array([[1, 2]]), np.array([[3, 0]]), np.array([[2, 2]])]
+    coef_int = [np.array([2]), np.array([1]), np.array([1])]
+    offsets = [1, 0, 2]
+    rng = np.random.default_rng(1)
+    X = rng.integers(0, 4, size=(3, 2))
+
+    batch = multiclass_svm_predict_batch(compiled, sv_int, coef_int, offsets, X)
+    serial = multiclass_svm_predict_serial(compiled, sv_int, coef_int, offsets, X)
+    _assert_batches_equal(batch, serial)
+
+
+@pytest.mark.parametrize("params", ALL_TECHNOLOGIES, ids=TECH_IDS)
+def test_batched_bnn_output_matches_serial_loop(params):
+    from repro.compile.classifier import compile_bnn_output
+    from repro.perf.inference import (
+        bnn_output_predict_batch,
+        bnn_output_predict_serial,
+    )
+
+    compiled = compile_bnn_output(fan_in=8, n_classes=3, bias_bits=4, rows=256)
+    rng = np.random.default_rng(2)
+    weights01 = rng.integers(0, 2, size=(8, 3))
+    biases = rng.integers(0, 8, size=3)
+    X_bits = rng.integers(0, 2, size=(6, 8))
+
+    batch = bnn_output_predict_batch(compiled, weights01, biases, X_bits, params)
+    serial = bnn_output_predict_serial(compiled, weights01, biases, X_bits, params)
+    _assert_batches_equal(batch, serial)
+
+
+def test_batched_engine_rejects_sensor_reads():
+    from repro.isa.instruction import MemoryInstruction
+    from repro.perf.batched import BatchedMouse, BatchedUnsupported
+
+    machine = BatchedMouse(MODERN_STT, batch=2, rows=64, cols=8)
+    machine.load([MemoryInstruction("READ", tile=510, row=0)])
+    with pytest.raises(BatchedUnsupported):
+        machine.run()
