@@ -1,9 +1,9 @@
-.PHONY: install test lint lint-smoke trace-smoke faults-smoke bench-smoke bench experiments export examples all
+.PHONY: install test lint lint-smoke trace-smoke faults-smoke bench-smoke crash-smoke bench experiments export examples all
 
 install:
 	pip install -e . --no-build-isolation
 
-test: trace-smoke faults-smoke bench-smoke lint
+test: trace-smoke faults-smoke bench-smoke crash-smoke lint
 	pytest tests/
 
 # Static checks: the CRAM program linter over every registered target,
@@ -35,6 +35,13 @@ faults-smoke:
 # checked-in BENCH_PR4.json, then refreshes it.
 bench-smoke:
 	PYTHONPATH=src python -m repro.perf.smoke
+
+# Durability gate: 200+ seeded SIGKILLs (instruction boundaries and
+# mid-image-write) across SVM and BNN intermittent runs, torn/corrupt
+# generation fuzzing, NVImage schema validation — every resumed report
+# must be byte-identical to the uninterrupted run.
+crash-smoke:
+	PYTHONPATH=src python -m repro.durability.smoke
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -10,6 +10,8 @@
     python -m repro faults --seed 7 --out report.json   # fault campaign
     python -m repro bench [--quick]      # hot-path microbenchmarks
     python -m repro run fig9 --jobs 4    # parallel sweep, same bytes out
+    python -m repro run fig9 --checkpoint-dir ckpt   # resumable sweep
+    python -m repro resume ckpt          # continue a killed run
     python -m repro lint                 # statically verify programs
     python -m repro lint svm --json      # one target, JSON diagnostics
     python -m repro lint --asm prog.asm --rows 256 --cols 8
@@ -93,6 +95,43 @@ def _apply_jobs(jobs: Optional[int]) -> int:
     return resolved
 
 
+SESSION_SCHEMA = "repro.durability.session/v1"
+
+
+def _write_session(checkpoint_dir: str, payload: dict) -> None:
+    """Record the invocation in ``<dir>/session.json`` so ``python -m
+    repro resume <dir>`` can replay it without re-typing arguments."""
+    from pathlib import Path
+
+    from repro.durability.atomic import atomic_write_json
+
+    directory = Path(checkpoint_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    atomic_write_json(
+        directory / "session.json",
+        {"schema": SESSION_SCHEMA, **payload},
+        sort_keys=True,
+    )
+
+
+def _read_session(checkpoint_dir: str) -> dict:
+    import json
+    from pathlib import Path
+
+    path = Path(checkpoint_dir) / "session.json"
+    try:
+        session = json.loads(path.read_text())
+    except OSError as exc:
+        raise SystemExit(f"cannot resume: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"cannot resume: {path} is not valid JSON: {exc}")
+    if not isinstance(session, dict) or session.get("schema") != SESSION_SCHEMA:
+        raise SystemExit(
+            f"cannot resume: {path} does not carry schema {SESSION_SCHEMA}"
+        )
+    return session
+
+
 def cmd_run(
     names: list[str],
     events: Optional[str] = None,
@@ -100,41 +139,76 @@ def cmd_run(
     manifest: Optional[str] = None,
     seed: Optional[int] = None,
     jobs: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    resumed: bool = False,
 ) -> int:
     from repro import obs
+    from repro.durability import Interrupted, graceful_signals
+    from repro.experiments.runner import RESUMABLE
 
+    if resumed and checkpoint_dir is None:
+        print("--resume requires --checkpoint-dir")
+        return 2
     _seed_everything(seed)
     n_jobs = _apply_jobs(jobs)
     table = _experiment_map()
+    if checkpoint_dir is not None:
+        if resumed:
+            _read_session(checkpoint_dir)  # must exist and carry the schema
+        _write_session(
+            checkpoint_dir,
+            {
+                "command": "run",
+                "names": names,
+                "events": events,
+                "trace": trace,
+                "manifest": manifest,
+                "seed": seed,
+                "jobs": jobs,
+            },
+        )
     try:
         telemetry = obs.from_paths(events=events, trace=trace)
     except OSError as exc:
         print(f"cannot open telemetry output: {exc}")
         return 2
     status = 0
+    interrupted: Optional[Interrupted] = None
     started = time.perf_counter()
     ran: list[str] = []
-    with obs.use(telemetry):
-        for name in names:
-            entry = table.get(name.lower())
-            if entry is None:
-                print(f"unknown experiment {name!r}; try 'python -m repro list'")
-                status = 2
-                continue
-            if isinstance(entry, AmbiguousSlug):
-                print(
-                    f"ambiguous experiment {name!r}; candidates: "
-                    + ", ".join(entry.candidates)
-                )
-                status = 2
-                continue
-            with telemetry.span(name.lower()):
-                entry()
-            ran.append(name.lower())
+    try:
+        with graceful_signals(), obs.use(telemetry):
+            for name in names:
+                entry = table.get(name.lower())
+                if entry is None:
+                    print(
+                        f"unknown experiment {name!r}; "
+                        "try 'python -m repro list'"
+                    )
+                    status = 2
+                    continue
+                if isinstance(entry, AmbiguousSlug):
+                    print(
+                        f"ambiguous experiment {name!r}; candidates: "
+                        + ", ".join(entry.candidates)
+                    )
+                    status = 2
+                    continue
+                with telemetry.span(name.lower()):
+                    if checkpoint_dir is not None and entry in RESUMABLE:
+                        entry(
+                            checkpoint_dir=f"{checkpoint_dir}/{name.lower()}"
+                        )
+                    else:
+                        entry()
+                ran.append(name.lower())
+    except Interrupted as exc:
+        interrupted = exc
+        print(f"\ninterrupted ({exc}); flushing telemetry and manifest")
     wall = time.perf_counter() - started
     telemetry.close()
 
-    if telemetry.enabled:
+    if telemetry.enabled and interrupted is None:
         _print_telemetry_summary(telemetry, events, trace)
     if manifest is not None:
         from repro.obs.manifest import write_manifest
@@ -147,13 +221,42 @@ def cmd_run(
                 "events": events,
                 "trace": trace,
                 "jobs": n_jobs,
+                "checkpoint_dir": checkpoint_dir,
             },
             seed=seed,
             wall_time_s=wall,
             metrics=telemetry.snapshot() if telemetry.enabled else None,
+            extra={
+                "interrupted": interrupted is not None,
+                "resumed": resumed,
+            },
         )
         print(f"manifest: {path}")
+    if interrupted is not None:
+        if checkpoint_dir is not None:
+            print(f"resume with: python -m repro resume {checkpoint_dir}")
+        return interrupted.exit_code
     return status
+
+
+def cmd_resume(checkpoint_dir: str, jobs: Optional[int] = None) -> int:
+    """Replay the invocation recorded in ``<dir>/session.json``,
+    reusing every per-task result already on disk."""
+    session = _read_session(checkpoint_dir)
+    if session.get("command") != "run":
+        raise SystemExit(
+            f"cannot resume: unknown session command {session.get('command')!r}"
+        )
+    return cmd_run(
+        list(session.get("names") or []),
+        events=session.get("events"),
+        trace=session.get("trace"),
+        manifest=session.get("manifest"),
+        seed=session.get("seed"),
+        jobs=jobs if jobs is not None else session.get("jobs"),
+        checkpoint_dir=checkpoint_dir,
+        resumed=True,
+    )
 
 
 def _print_telemetry_summary(telemetry, events, trace) -> None:
@@ -175,14 +278,20 @@ def _print_telemetry_summary(telemetry, events, trace) -> None:
 
 
 def cmd_all(skip_accuracy: bool, jobs: Optional[int] = None) -> int:
+    from repro.durability import Interrupted, graceful_signals
     from repro.experiments import accuracy
 
     _apply_jobs(jobs)
-    for label, entry in EXPERIMENTS:
-        if skip_accuracy and entry is accuracy.main:
-            continue
-        print(f"\n=== {label} ===")
-        entry()
+    try:
+        with graceful_signals():
+            for label, entry in EXPERIMENTS:
+                if skip_accuracy and entry is accuracy.main:
+                    continue
+                print(f"\n=== {label} ===")
+                entry()
+    except Interrupted as exc:
+        print(f"\ninterrupted ({exc})")
+        return exc.exit_code
     return 0
 
 
@@ -228,29 +337,42 @@ def cmd_faults(args) -> int:
     except OSError as exc:
         print(f"cannot open telemetry output: {exc}")
         return 2
+    from repro.durability import Interrupted, graceful_signals
+
     n_jobs = _apply_jobs(args.jobs)
     started = time.perf_counter()
-    with obs.use(telemetry):
-        with telemetry.span("fault-campaign"):
-            campaign = FaultCampaign(
-                workload=WORKLOADS[args.workload](tech=params),
-                plan=plan,
-                trials=args.trials,
-                seed=args.seed,
-            )
-            report = campaign.run(jobs=n_jobs)
+    interrupted: Optional[Interrupted] = None
+    report = None
+    try:
+        with graceful_signals(), obs.use(telemetry):
+            with telemetry.span("fault-campaign"):
+                campaign = FaultCampaign(
+                    workload=WORKLOADS[args.workload](tech=params),
+                    plan=plan,
+                    trials=args.trials,
+                    seed=args.seed,
+                )
+                report = campaign.run(
+                    jobs=n_jobs, checkpoint_dir=args.checkpoint_dir
+                )
+    except Interrupted as exc:
+        interrupted = exc
+        print(f"\ninterrupted ({exc}); flushing telemetry and manifest")
     wall = time.perf_counter() - started
     telemetry.close()
 
-    print(render(report))
-    if args.out is not None:
-        with open(args.out, "w", encoding="utf-8") as f:
-            f.write(report.to_json())
-        print(f"report: {args.out}")
-    else:
-        sys.stdout.write(report.to_json())
-    if telemetry.enabled:
-        _print_telemetry_summary(telemetry, args.events, args.trace)
+    if interrupted is None:
+        print(render(report))
+    if interrupted is None:
+        if args.out is not None:
+            from repro.durability.atomic import atomic_write_text
+
+            atomic_write_text(args.out, report.to_json())
+            print(f"report: {args.out}")
+        else:
+            sys.stdout.write(report.to_json())
+        if telemetry.enabled:
+            _print_telemetry_summary(telemetry, args.events, args.trace)
     if args.manifest is not None:
         from repro.obs.manifest import write_manifest
 
@@ -264,12 +386,16 @@ def cmd_faults(args) -> int:
                 "plan": plan.to_json_obj(),
                 "out": args.out,
                 "jobs": n_jobs,
+                "checkpoint_dir": args.checkpoint_dir,
             },
             seed=args.seed,
             wall_time_s=wall,
             metrics=telemetry.snapshot() if telemetry.enabled else None,
+            extra={"interrupted": interrupted is not None},
         )
         print(f"manifest: {path}")
+    if interrupted is not None:
+        return interrupted.exit_code
     return 1 if report.sdc else 0
 
 
@@ -346,6 +472,7 @@ def cmd_lint(args) -> int:
 
 def cmd_bench(args) -> int:
     from repro import obs
+    from repro.durability import Interrupted, graceful_signals
     from repro.perf.bench import render, run_bench, write_report
 
     try:
@@ -353,8 +480,13 @@ def cmd_bench(args) -> int:
     except OSError as exc:
         print(f"cannot open telemetry output: {exc}")
         return 2
-    with obs.use(telemetry):
-        report = run_bench(quick=args.quick)
+    try:
+        with graceful_signals(), obs.use(telemetry):
+            report = run_bench(quick=args.quick)
+    except Interrupted as exc:
+        telemetry.close()
+        print(f"\ninterrupted ({exc}); no benchmark report written")
+        return exc.exit_code
     telemetry.close()
     print(render(report))
     write_report(report, args.out)
@@ -411,11 +543,35 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for parallel sweeps (0 = all cores); "
         "results are byte-identical at any count",
     )
+    run_p.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="persist per-task results (and a session.json) so a killed "
+        "run resumes from where it stopped, byte-identically",
+    )
+    run_p.add_argument(
+        "--resume",
+        action="store_true",
+        help="require an existing session in --checkpoint-dir and mark "
+        "the manifest as resumed",
+    )
+    resume_p = sub.add_parser(
+        "resume",
+        help="replay the invocation recorded in a checkpoint directory",
+    )
+    resume_p.add_argument("checkpoint_dir", metavar="DIR")
+    resume_p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the recorded worker count (0 = all cores)",
+    )
     faults_p = sub.add_parser(
         "faults", help="run a seeded fault-injection campaign"
     )
     faults_p.add_argument(
-        "--workload", choices=("svm", "adder"), default="svm"
+        "--workload", choices=("svm", "adder", "bnn"), default="svm"
     )
     faults_p.add_argument(
         "--tech",
@@ -476,6 +632,12 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="worker processes for campaign trials (0 = all cores); "
         "the report JSON is byte-identical at any count",
+    )
+    faults_p.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="persist per-trial results so a killed campaign resumes "
+        "with a byte-identical report",
     )
     all_p = sub.add_parser("all", help="run every experiment")
     all_p.add_argument("--skip-accuracy", action="store_true")
@@ -550,7 +712,11 @@ def main(argv: list[str] | None = None) -> int:
             manifest=args.manifest,
             seed=args.seed,
             jobs=args.jobs,
+            checkpoint_dir=args.checkpoint_dir,
+            resumed=args.resume,
         )
+    if args.command == "resume":
+        return cmd_resume(args.checkpoint_dir, jobs=args.jobs)
     if args.command == "faults":
         return cmd_faults(args)
     if args.command == "all":

@@ -1,0 +1,76 @@
+"""Host-level durability: crash-consistent images and exact resume.
+
+The paper's intermittency story — idempotent CRAM gates, a dual
+non-volatile PC with a parity bit, duplicated Activate-Columns
+registers — guarantees that the *simulated machine* survives any power
+cut with at most one repeated instruction.  This package makes the
+same guarantee real for the *host process* running the simulation:
+
+* :mod:`repro.durability.atomic` — write-temp + fsync + ``os.replace``
+  helpers so no artifact (manifest, report, CSV, image) can ever be
+  torn on disk.
+* :mod:`repro.durability.image` — the **NVImage** format
+  (``repro.durability.image/v1``): a versioned, CRC-checksummed
+  snapshot of the full architectural state, committed atomically in a
+  two-generation A/B scheme that mirrors the dual-PC-with-parity
+  protocol (a torn or corrupt generation is detected by CRC and the
+  previous generation restores instead).
+* :mod:`repro.durability.state` — capture/restore of machines,
+  ledgers, harvesting configs, and engine run context, bit-exact.
+* :mod:`repro.durability.checkpoint` — checkpoint policy
+  (every N committed instructions and at outage boundaries) threaded
+  through :class:`~repro.harvest.intermittent.IntermittentRun` and
+  :class:`~repro.harvest.intermittent.ProfileRun`, plus exact resume.
+* :mod:`repro.durability.resume` — per-task result stores that make
+  the Fig. 9 sweep, Table IV accuracy, and fault campaigns resumable
+  with byte-identical merged output.
+* :mod:`repro.durability.signals` — graceful SIGINT/SIGTERM handling
+  for long-running CLI commands.
+* :mod:`repro.durability.crashsim` — the seeded crash-injection
+  harness: fork, SIGKILL at randomized instruction boundaries and
+  mid-image-write, resume, assert byte-identical reports.
+"""
+
+from repro.durability.atomic import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+)
+from repro.durability.image import (
+    GENERATIONS,
+    IMAGE_SCHEMA,
+    ImageCorruptError,
+    NoValidImageError,
+    NVImageStore,
+    decode_image,
+    encode_image,
+)
+from repro.durability.checkpoint import (
+    CheckpointPolicy,
+    Checkpointer,
+    resume_intermittent,
+    resume_profile,
+)
+from repro.durability.resume import TaskStore, run_resumable
+from repro.durability.signals import Interrupted, graceful_signals
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "GENERATIONS",
+    "IMAGE_SCHEMA",
+    "ImageCorruptError",
+    "NoValidImageError",
+    "NVImageStore",
+    "decode_image",
+    "encode_image",
+    "CheckpointPolicy",
+    "Checkpointer",
+    "resume_intermittent",
+    "resume_profile",
+    "TaskStore",
+    "run_resumable",
+    "Interrupted",
+    "graceful_signals",
+]

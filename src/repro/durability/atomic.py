@@ -1,0 +1,93 @@
+"""Atomic file writes: write-temp + fsync + ``os.replace``.
+
+Every durable artifact the repo produces — run manifests, fault
+reports, ``BENCH_*.json``, export CSVs, NVImage generations — goes
+through these helpers, so a crash (or SIGKILL) at any instant leaves
+either the previous complete file or the new complete file on disk,
+never a torn one.
+
+The temp file lives in the *target's* directory (``os.replace`` must
+not cross filesystems) and carries the writer's PID plus a process-
+local counter, so concurrent writers — forked ``--jobs`` workers
+persisting per-task results into one store — never collide.  On any
+failure (including ``SystemExit`` from a SIGTERM handler) the temp
+file is unlinked, so killed workers clean up after themselves.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+_temp_counter = itertools.count()
+
+
+def _temp_path(target: Path) -> Path:
+    return target.parent / f".{target.name}.tmp.{os.getpid()}.{next(_temp_counter)}"
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Best-effort directory fsync so the rename itself is durable."""
+    try:
+        fd = os.open(directory, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync on dirs unsupported
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(
+    path: str | Path, data: bytes, fsync: bool = True
+) -> Path:
+    """Atomically publish ``data`` at ``path``; returns the path.
+
+    The write sequence is write-temp -> flush -> fsync -> ``os.replace``
+    -> directory fsync.  Readers never observe a partial file: they see
+    the old contents until the rename, the new contents after.
+    """
+    target = Path(path)
+    temp = _temp_path(target)
+    try:
+        with open(temp, "wb") as handle:
+            handle.write(data)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(temp, target)
+    except BaseException:
+        # Covers SystemExit raised by the graceful SIGTERM handler in
+        # --jobs workers: the half-written temp never outlives us.
+        try:
+            os.unlink(temp)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        _fsync_directory(target.parent)
+    return target
+
+
+def atomic_write_text(
+    path: str | Path, text: str, fsync: bool = True
+) -> Path:
+    """Atomically publish ``text`` (UTF-8) at ``path``."""
+    return atomic_write_bytes(path, text.encode("utf-8"), fsync=fsync)
+
+
+def atomic_write_json(
+    path: str | Path, obj: Any, fsync: bool = True, **dumps_kwargs
+) -> Path:
+    """Atomically publish ``obj`` as JSON (trailing newline included)."""
+    dumps_kwargs.setdefault("indent", 2)
+    return atomic_write_bytes(
+        path,
+        (json.dumps(obj, **dumps_kwargs) + "\n").encode("utf-8"),
+        fsync=fsync,
+    )

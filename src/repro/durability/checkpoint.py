@@ -1,0 +1,280 @@
+"""Checkpoint policy and the engine-facing hooks.
+
+A :class:`Checkpointer` owns an :class:`~repro.durability.image.NVImageStore`
+and decides *when* a run commits a new image generation:
+
+* every ``policy.period`` committed instructions (the host-side analogue
+  of the paper's Section IV-D checkpoint-frequency knob);
+* at every outage boundary (right after ``power_off``), so a host crash
+  during the long charging wait costs nothing on resume.
+
+The payloads it writes are self-describing (``kind`` tag + everything
+needed to rebuild the engine), so :func:`resume_intermittent` /
+:func:`resume_profile` reconstruct a run object whose remaining
+execution is bit-identical to the uninterrupted run's.
+
+When telemetry is enabled the checkpointer emits ``checkpoint.commit``
+events and maintains ``checkpoint.writes`` / ``checkpoint.bytes``
+counters plus a ``checkpoint.write_size`` histogram; ``checkpoint.resumes``
+and ``checkpoint.fallbacks`` are counted by the resume helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.durability.image import NVImageStore, encode_image
+from repro.durability.state import (
+    capture_machine,
+    decode_breakdown,
+    decode_config,
+    decode_params,
+    decode_profile,
+    encode_breakdown,
+    encode_config,
+    encode_params,
+    encode_profile,
+    restore_machine,
+)
+from repro.energy.metrics import EnergyLedger
+from repro.energy.model import InstructionCostModel
+from repro.harvest.intermittent import IntermittentRun, ProfileRun
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """When to write a new image generation.
+
+    ``period`` — committed instructions between periodic images
+    (instruction boundaries only).  ``at_outages`` — also image at every
+    simulated outage boundary, where the machine state is smallest and
+    the next event is a (host-time-free) charging wait.
+    """
+
+    period: int = 1024
+    at_outages: bool = True
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ValueError("checkpoint period must be >= 1")
+
+
+class Checkpointer:
+    """Writes crash-consistent NVImages on behalf of a run engine.
+
+    The engines call :meth:`on_commit` after every committed
+    instruction, :meth:`on_outage` right after a simulated power-off,
+    and :meth:`on_profile_point` at every closed-form burst boundary;
+    the policy decides which of those become actual image commits.
+    """
+
+    def __init__(
+        self,
+        store: Union[NVImageStore, str, Path],
+        policy: Optional[CheckpointPolicy] = None,
+        telemetry=None,
+    ) -> None:
+        if not isinstance(store, NVImageStore):
+            store = NVImageStore(store)
+        self.store = store
+        self.policy = policy or CheckpointPolicy()
+        self.telemetry = telemetry
+        #: Instruction count at the last committed image.
+        self._last_count = 0
+        self.commits = 0
+
+    def _resolve_obs(self):
+        if self.telemetry is not None:
+            t = self.telemetry
+        else:
+            from repro.obs import current
+
+            t = current()
+        return t if t.enabled else None
+
+    # ------------------------------------------------------------------
+    # Engine hooks
+    # ------------------------------------------------------------------
+
+    def on_commit(self, run: IntermittentRun) -> None:
+        """Instruction-boundary hook: image every ``period`` commits and
+        at the halt boundary (so a finished run always leaves a final
+        image behind)."""
+        due = run.executed - self._last_count >= self.policy.period
+        if due or run.mouse.controller.halted:
+            self._commit(capture_intermittent(run, phase="powered"), run.time)
+            self._last_count = run.executed
+
+    def on_outage(self, run: IntermittentRun) -> None:
+        """Outage-boundary hook: fires right after ``power_off``."""
+        if self.policy.at_outages:
+            self._commit(capture_intermittent(run, phase="outage"), run.time)
+            self._last_count = run.executed
+
+    def on_profile_point(self, run: ProfileRun) -> None:
+        """Burst-boundary hook for the closed-form engine."""
+        count = run.ledger.breakdown.instructions
+        if count - self._last_count >= self.policy.period:
+            self._commit(capture_profile(run), run.time)
+            self._last_count = count
+
+    # ------------------------------------------------------------------
+
+    def _commit(self, payload: dict, sim_time: float) -> int:
+        seq = self.store.commit(payload)
+        self.commits += 1
+        obs = self._resolve_obs()
+        if obs is not None:
+            size = len(encode_image(payload, seq))
+            obs.counter("checkpoint.writes").inc()
+            obs.counter("checkpoint.bytes").inc(size)
+            obs.histogram("checkpoint.write_size").observe(size)
+            obs.emit(
+                "checkpoint.commit",
+                sim_time,
+                seq=seq,
+                kind=payload.get("kind"),
+                instructions=payload.get("executed")
+                or payload.get("ledger", {}).get("instructions"),
+            )
+        return seq
+
+
+# ----------------------------------------------------------------------
+# Payload builders
+# ----------------------------------------------------------------------
+
+
+def capture_intermittent(run: IntermittentRun, phase: str) -> dict[str, Any]:
+    """Full resumable state of a cycle-accurate run.
+
+    ``phase`` is ``"powered"`` (instruction boundary, machine live) or
+    ``"outage"`` (machine off, capacitor below the restart bound).
+    """
+    if phase not in ("powered", "outage"):
+        raise ValueError(f"unknown resume phase {phase!r}")
+    return {
+        "kind": "intermittent",
+        "phase": phase,
+        "machine": capture_machine(run.mouse),
+        "config": encode_config(run.config),
+        "time": run.time,
+        "executed": run.executed,
+        "commits_in_window": run._commits_in_window,
+        "drawn_in_window": run._drawn_in_window,
+        "stalled_pc": run._stalled_pc,
+        "vcap_sample_period": run.vcap_sample_period,
+    }
+
+
+def capture_profile(run: ProfileRun) -> dict[str, Any]:
+    """Full resumable state of a closed-form profile run: the progress
+    cursor plus everything needed to rebuild the engine."""
+    if run.ledger is None:
+        raise ValueError("profile run has not started; nothing to capture")
+    return {
+        "kind": "profile",
+        "profile": encode_profile(run.profile),
+        "params": encode_params(run.cost.params),
+        "config": encode_config(run.config),
+        "dead_fraction": run.dead_fraction,
+        "checkpoint_period": run.checkpoint_period,
+        "time": run.time,
+        "seg_index": run.seg_index,
+        "remaining": run.remaining,
+        "ledger": encode_breakdown(run.ledger.breakdown),
+    }
+
+
+# ----------------------------------------------------------------------
+# Resume
+# ----------------------------------------------------------------------
+
+
+def _load(store: Union[NVImageStore, str, Path], telemetry) -> tuple[dict, int, NVImageStore]:
+    if not isinstance(store, NVImageStore):
+        store = NVImageStore(store)
+    before = store.fallbacks
+    payload, seq = store.load()
+    if telemetry is None:
+        from repro.obs import current
+
+        telemetry = current()
+    if telemetry is not None and telemetry.enabled:
+        telemetry.counter("checkpoint.resumes").inc()
+        if store.fallbacks > before:
+            telemetry.counter("checkpoint.fallbacks").inc(
+                store.fallbacks - before
+            )
+    return payload, seq, store
+
+
+def resume_intermittent(
+    store: Union[NVImageStore, str, Path],
+    telemetry=None,
+    checkpointer: Optional[Checkpointer] = None,
+) -> IntermittentRun:
+    """Rebuild an :class:`IntermittentRun` from the newest valid image.
+
+    Calling ``run()`` on the result continues the run exactly where the
+    image was taken; the returned breakdown is byte-identical to the
+    uninterrupted run's.
+    """
+    payload, _seq, _store = _load(store, telemetry)
+    if payload.get("kind") != "intermittent":
+        raise ValueError(
+            f"image holds a {payload.get('kind')!r} run, not an "
+            "intermittent one"
+        )
+    mouse = restore_machine(payload["machine"])
+    run = IntermittentRun(
+        mouse,
+        decode_config(payload["config"]),
+        telemetry=telemetry,
+        vcap_sample_period=int(payload["vcap_sample_period"]),
+        checkpointer=checkpointer,
+    )
+    run.time = payload["time"]
+    run.executed = int(payload["executed"])
+    run._commits_in_window = int(payload["commits_in_window"])
+    run._drawn_in_window = payload["drawn_in_window"]
+    stalled = payload["stalled_pc"]
+    run._stalled_pc = None if stalled is None else int(stalled)
+    run._resume_phase = payload["phase"]
+    if checkpointer is not None:
+        checkpointer._last_count = run.executed
+    return run
+
+
+def resume_profile(
+    store: Union[NVImageStore, str, Path],
+    telemetry=None,
+    checkpointer: Optional[Checkpointer] = None,
+) -> ProfileRun:
+    """Rebuild a :class:`ProfileRun` from the newest valid image."""
+    payload, _seq, _store = _load(store, telemetry)
+    if payload.get("kind") != "profile":
+        raise ValueError(
+            f"image holds a {payload.get('kind')!r} run, not a profile one"
+        )
+    params = decode_params(payload["params"])
+    run = ProfileRun(
+        decode_profile(payload["profile"]),
+        InstructionCostModel(params),
+        decode_config(payload["config"]),
+        dead_fraction=payload["dead_fraction"],
+        checkpoint_period=int(payload["checkpoint_period"]),
+        telemetry=telemetry,
+        checkpointer=checkpointer,
+    )
+    run.time = payload["time"]
+    run.seg_index = int(payload["seg_index"])
+    remaining = payload["remaining"]
+    run.remaining = None if remaining is None else int(remaining)
+    run.ledger = EnergyLedger(breakdown=decode_breakdown(payload["ledger"]))
+    run._resumed = True
+    if checkpointer is not None:
+        checkpointer._last_count = run.ledger.breakdown.instructions
+    return run

@@ -1,0 +1,81 @@
+"""Graceful SIGINT/SIGTERM for long-running CLI commands.
+
+Inside a :func:`graceful_signals` block, an interrupt or a terminate
+becomes an :class:`Interrupted` exception raised at the next bytecode
+boundary — so ``finally`` blocks run, telemetry sinks flush, and the
+run manifest is finalised (with ``interrupted: true``) before the
+process exits with the conventional ``128 + signum`` status (130 for
+SIGINT, 143 for SIGTERM).
+
+A second signal while the first is being handled falls through to the
+previous (default) handler, so a stuck cleanup can still be killed with
+a repeated Ctrl-C.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+from typing import Iterator
+
+_DEFAULT_SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+
+class Interrupted(BaseException):
+    """Raised by the :func:`graceful_signals` handler.
+
+    Derives from ``BaseException`` (like ``KeyboardInterrupt``) so
+    ordinary ``except Exception`` recovery paths don't swallow it.
+    """
+
+    def __init__(self, signum: int) -> None:
+        self.signum = signum
+        try:
+            name = signal.Signals(signum).name
+        except ValueError:  # pragma: no cover - unknown signal number
+            name = str(signum)
+        super().__init__(f"received {name}")
+
+    @property
+    def exit_code(self) -> int:
+        """Shell convention: ``128 + signum`` (SIGINT -> 130)."""
+        return 128 + self.signum
+
+
+@contextlib.contextmanager
+def graceful_signals(
+    signums: tuple[signal.Signals, ...] = _DEFAULT_SIGNALS,
+) -> Iterator[None]:
+    """Turn the given signals into :class:`Interrupted` inside the block.
+
+    Handlers are restored on exit; re-entrant use (e.g. a command that
+    calls another guarded helper) nests harmlessly.  Outside the main
+    thread — where Python forbids ``signal.signal`` — the block is a
+    no-op rather than an error.
+    """
+    previous = {}
+    triggered = False
+
+    def _handler(signum, frame):
+        nonlocal triggered
+        if triggered:
+            # Second signal: restore the old disposition and re-raise
+            # via it, so a wedged cleanup is still killable.
+            for s, h in previous.items():
+                signal.signal(s, h)
+            raise KeyboardInterrupt
+        triggered = True
+        raise Interrupted(signum)
+
+    try:
+        for s in signums:
+            previous[s] = signal.signal(s, _handler)
+    except ValueError:  # pragma: no cover - not in the main thread
+        yield
+        return
+    try:
+        yield
+    finally:
+        for s, h in previous.items():
+            with contextlib.suppress(ValueError):
+                signal.signal(s, h)

@@ -1,0 +1,165 @@
+"""Durability smoke test: seeded kill-resume matrix + image validation.
+
+    python -m repro.durability.smoke [--out DIR] [--quick]
+
+Four checks:
+
+1. **Kill-resume matrix**: seeded SIGKILL campaigns over the SVM and
+   BNN intermittent workloads — 200+ kill points at instruction
+   boundaries, a seeded fraction striking mid-image-write, a seeded
+   fraction followed by torn/corrupt-generation fuzzing — every
+   campaign's final breakdown and readout must be **byte-identical**
+   to its uninterrupted run.
+2. **CRC detection**: every fuzzed generation must have been rejected
+   by CRC and absorbed by the surviving generation (``fallbacks``
+   equals the fuzz count).
+3. **Image schema**: a freshly written NVImage round-trips through
+   ``encode_image``/``decode_image``, carries the v1 schema tag, and
+   rejects a flipped byte.
+4. **Resumable sweep**: a checkpointed ``FaultCampaign`` killed
+   per-trial store produces the same report JSON as a straight run.
+
+Exit status 0 means host-level durability holds; wired into
+``make crash-smoke`` (part of ``make test``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.durability.crashsim import CrashPlan, run_crash_campaign
+from repro.durability.image import (
+    IMAGE_SCHEMA,
+    ImageCorruptError,
+    decode_image,
+    encode_image,
+)
+
+#: (workload, kills, seed) — 210 seeded SIGKILL points in the full
+#: matrix, comfortably over the 200-point acceptance bar; ``--quick``
+#: runs a 60-point subset for fast iteration.
+MATRIX = (("svm", 120, 11), ("bnn", 90, 12))
+QUICK_MATRIX = (("svm", 30, 11), ("bnn", 30, 12))
+
+
+def _check_image_schema(failures: list[str]) -> None:
+    payload = {"kind": "probe", "value": [1, 2, 3]}
+    frame = encode_image(payload, seq=7)
+    decoded, seq = decode_image(frame)
+    if decoded != payload or seq != 7:
+        failures.append("NVImage encode/decode round trip diverged")
+    header = json.loads(frame[12 : 12 + int.from_bytes(frame[8:12], "big")])
+    if header.get("schema") != IMAGE_SCHEMA:
+        failures.append(
+            f"image header carries schema {header.get('schema')!r}, "
+            f"expected {IMAGE_SCHEMA}"
+        )
+    corrupt = bytearray(frame)
+    corrupt[-1] ^= 0xFF
+    try:
+        decode_image(bytes(corrupt))
+        failures.append("CRC accepted a corrupted image body")
+    except ImageCorruptError:
+        pass
+
+
+def _check_resumable_campaign(failures: list[str], out: Path) -> None:
+    from repro.devices.parameters import MODERN_STT
+    from repro.faults.campaign import FaultCampaign, svm_workload
+    from repro.faults.plan import FaultPlan
+
+    workload = svm_workload(MODERN_STT)
+    plan = FaultPlan(outage_rate=0.01, verify_retry=True)
+    straight = FaultCampaign(workload, plan, trials=3, seed=5).run()
+    ckpt_dir = out / "campaign-store"
+    # Simulate a killed run: persist only the first trial, then
+    # "resume" the full campaign against the same store.
+    FaultCampaign(workload, plan, trials=1, seed=5).run(
+        checkpoint_dir=str(ckpt_dir)
+    )
+    resumed = FaultCampaign(workload, plan, trials=3, seed=5).run(
+        checkpoint_dir=str(ckpt_dir)
+    )
+    if resumed.to_json() != straight.to_json():
+        failures.append(
+            "resumed fault campaign diverged from the straight-through run"
+        )
+
+
+def run_smoke(out_dir: str, quick: bool = False) -> int:
+    failures: list[str] = []
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    total_kills = 0
+    total_mid_write = 0
+    total_fuzzed = 0
+    reports = []
+    for workload, kills, seed in (QUICK_MATRIX if quick else MATRIX):
+        image_dir = out / f"images-{workload}-{seed}"
+        report = run_crash_campaign(
+            CrashPlan(workload=workload, kills=kills, seed=seed), image_dir
+        )
+        reports.append(report.to_json_obj())
+        total_kills += report.kills
+        total_mid_write += report.mid_write_kills
+        total_fuzzed += report.fuzzed
+        if not report.identical:
+            failures.append(
+                f"{workload}: resumed report is not byte-identical to the "
+                "uninterrupted run"
+            )
+        if report.fallbacks != report.fuzzed:
+            failures.append(
+                f"{workload}: {report.fuzzed} generations fuzzed but only "
+                f"{report.fallbacks} CRC fallbacks observed"
+            )
+    if total_mid_write == 0:
+        failures.append("kill matrix never struck mid-image-write")
+    if total_fuzzed == 0:
+        failures.append("kill matrix never fuzzed a generation")
+    if not quick and total_kills < 200:
+        failures.append(
+            f"kill matrix placed only {total_kills} kill points (< 200)"
+        )
+
+    _check_image_schema(failures)
+    _check_resumable_campaign(failures, out)
+
+    from repro.durability.atomic import atomic_write_json
+
+    atomic_write_json(out / "crash_report.json", reports, sort_keys=True)
+
+    if failures:
+        for failure in failures:
+            print(f"crash-smoke FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"crash-smoke ok: {total_kills} SIGKILLs "
+        f"({total_mid_write} mid-image-write) across "
+        f"{len(reports)} workloads, {total_fuzzed} torn/corrupt "
+        "generations absorbed, all resumed reports byte-identical"
+    )
+    print(f"  report: {out / 'crash_report.json'}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", metavar="DIR", help="directory for artifacts")
+    parser.add_argument(
+        "--quick", action="store_true", help="60-kill subset for iteration"
+    )
+    args = parser.parse_args(argv)
+    if args.out:
+        return run_smoke(args.out, quick=args.quick)
+    with tempfile.TemporaryDirectory(prefix="repro-crash-smoke-") as tmp:
+        return run_smoke(tmp, quick=args.quick)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,13 +58,23 @@ def _bnn_row(config, x_train, x_test, y_train, y_test, epochs: int) -> AccuracyR
     )
 
 
-def run(fast: bool = True, jobs: int | None = None) -> list[AccuracyRow]:
+def run(
+    fast: bool = True,
+    jobs: int | None = None,
+    checkpoint_dir: str | None = None,
+) -> list[AccuracyRow]:
     """``fast`` shrinks dataset and network sizes for CI-scale runtime;
     pass False for the full synthetic-scale evaluation.  ``jobs > 1``
     trains the six models in parallel processes; every model is seeded
     (no shared RNG state), so the rows are identical at any job count
-    and come back in the table's fixed order."""
-    from repro.perf.parallel import parallel_tasks
+    and come back in the table's fixed order.
+
+    ``checkpoint_dir`` persists each trained model's row atomically; a
+    killed table re-run with the same directory retrains only the
+    missing benchmarks."""
+    from dataclasses import asdict
+
+    from repro.durability.resume import TaskStore, run_resumable
 
     n_train, n_test = (400, 150) if fast else (1500, 500)
     mnist = synthetic_mnist(n_train, n_test)
@@ -76,38 +86,65 @@ def run(fast: bool = True, jobs: int | None = None) -> list[AccuracyRow]:
 
     tasks = [
         # SVM benchmarks (float + integer pipelines).
-        lambda: _svm_row("SVM MNIST", mnist, mnist.x_train, mnist.x_test, svm_iter),
-        lambda: _svm_row(
+        ("SVM MNIST", lambda: _svm_row(
+            "SVM MNIST", mnist, mnist.x_train, mnist.x_test, svm_iter
+        )),
+        ("SVM MNIST (Bin)", lambda: _svm_row(
             "SVM MNIST (Bin)",
             mnist,
             binarize(mnist.x_train),
             binarize(mnist.x_test),
             svm_iter,
-        ),
-        lambda: _svm_row("SVM HAR", har, har.x_train, har.x_test, svm_iter),
-        lambda: _svm_row("SVM ADULT", adult, adult.x_train, adult.x_test, svm_iter),
+        )),
+        ("SVM HAR", lambda: _svm_row(
+            "SVM HAR", har, har.x_train, har.x_test, svm_iter
+        )),
+        ("SVM ADULT", lambda: _svm_row(
+            "SVM ADULT", adult, adult.x_train, adult.x_test, svm_iter
+        )),
         # BNN benchmarks (scaled topologies when fast).
-        lambda: _bnn_row(
+        (f"BNN {FINN_MNIST.name}", lambda: _bnn_row(
             FINN_MNIST.scaled(scale),
             binarize(mnist.x_train),
             binarize(mnist.x_test),
             mnist.y_train,
             mnist.y_test,
             epochs,
-        ),
-        lambda: _bnn_row(
+        )),
+        (f"BNN {FPBNN_MNIST.name}", lambda: _bnn_row(
             FPBNN_MNIST.scaled(scale),
             mnist.x_train,
             mnist.x_test,
             mnist.y_train,
             mnist.y_test,
             epochs,
-        ),
+        )),
     ]
-    return parallel_tasks(tasks, jobs=jobs)
+    store = None
+    if checkpoint_dir is not None:
+        store = TaskStore(
+            checkpoint_dir,
+            fingerprint={
+                "experiment": "accuracy",
+                "fast": fast,
+                "n_train": n_train,
+                "n_test": n_test,
+                "svm_iter": svm_iter,
+                "scale": scale,
+                "epochs": epochs,
+            },
+        )
+    return run_resumable(
+        [key for key, _ in tasks],
+        [thunk for _, thunk in tasks],
+        store,
+        jobs=jobs,
+        encode=lambda row: asdict(row),
+        decode=lambda row: AccuracyRow(**row),
+    )
 
 
-def main() -> None:
+def main(checkpoint_dir: str | None = None) -> None:
     print("Accuracy on the synthetic dataset twins (float vs MOUSE integer path)")
     table = [
         (
@@ -116,7 +153,7 @@ def main() -> None:
             f"{row.int_accuracy * 100:.1f}%",
             row.n_support if row.n_support is not None else "-",
         )
-        for row in run()
+        for row in run(checkpoint_dir=checkpoint_dir)
     ]
     print(format_table(["benchmark", "float acc", "integer acc", "#SV"], table))
     print(

@@ -48,15 +48,24 @@ def _rows_to_dicts(rows: Iterable) -> list[dict]:
 
 
 def write_csv(path: Path, rows: Iterable) -> int:
-    """Write structured rows to a CSV; returns the row count."""
+    """Write structured rows to a CSV atomically; returns the row count.
+
+    The CSV is rendered in memory and published via temp + rename, so a
+    crash mid-export never leaves a half-written artifact behind.
+    """
+    import io
+
+    from repro.durability.atomic import atomic_write_text
+
     records = _rows_to_dicts(rows)
     if not records:
         raise ValueError(f"no rows to write for {path.name}")
     fieldnames = list(records[0].keys())
-    with open(path, "w", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=fieldnames)
-        writer.writeheader()
-        writer.writerows(records)
+    buffer = io.StringIO(newline="")
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+    writer.writeheader()
+    writer.writerows(records)
+    atomic_write_text(path, buffer.getvalue())
     return len(records)
 
 

@@ -68,21 +68,48 @@ def run(
     technologies: tuple[DeviceParameters, ...] = ALL_TECHNOLOGIES,
     include_sonic: bool = True,
     jobs: int | None = None,
+    checkpoint_dir: str | None = None,
 ) -> list[SweepPoint]:
     """Regenerate the sweep; ``jobs > 1`` fans the (technology,
     benchmark) curves across processes.  Each curve is a deterministic
     closed-form computation, and the ordered merge reassembles the
     exact serial point order, so the result is identical at any job
-    count."""
-    from repro.perf.parallel import parallel_tasks
+    count.
 
-    series = parallel_tasks(
+    ``checkpoint_dir`` persists each finished curve atomically; a
+    killed sweep re-run with the same directory recomputes only the
+    missing curves, and the merged point list is byte-identical to a
+    straight-through run's."""
+    from dataclasses import asdict
+
+    from repro.durability.resume import TaskStore, run_resumable
+
+    pairs = [
+        (tech, workload)
+        for tech in technologies
+        for workload in ALL_WORKLOADS
+    ]
+    store = None
+    if checkpoint_dir is not None:
+        store = TaskStore(
+            checkpoint_dir,
+            fingerprint={
+                "experiment": "fig9",
+                "powers": list(powers),
+                "technologies": [t.name for t in technologies],
+                "benchmarks": [w.name for w in ALL_WORKLOADS],
+            },
+        )
+    series = run_resumable(
+        [f"{tech.name}/{workload.name}" for tech, workload in pairs],
         [
             lambda t=tech, w=workload: _sweep_series(t, w, powers)
-            for tech in technologies
-            for workload in ALL_WORKLOADS
+            for tech, workload in pairs
         ],
+        store,
         jobs=jobs,
+        encode=lambda curve: [asdict(p) for p in curve],
+        decode=lambda curve: [SweepPoint(**p) for p in curve],
     )
     points: list[SweepPoint] = [p for curve in series for p in curve]
     if include_sonic:
@@ -115,8 +142,8 @@ def crossover_power(
     return None
 
 
-def main() -> None:
-    points = run()
+def main(checkpoint_dir: str | None = None) -> None:
+    points = run(checkpoint_dir=checkpoint_dir)
     for tech in [t.name for t in ALL_TECHNOLOGIES] + ["SONIC (MSP430)"]:
         subset = [p for p in points if p.technology == tech]
         if not subset:

@@ -45,6 +45,12 @@ EXPERIMENTS = (
     ("Accuracy (synthetic twins)", accuracy.main),
 )
 
+#: Entry points that accept ``checkpoint_dir=`` for per-task resume
+#: (:mod:`repro.durability.resume`): a killed ``python -m repro run
+#: --checkpoint-dir DIR`` recomputes only the missing tasks on the next
+#: invocation, with byte-identical merged output.
+RESUMABLE = frozenset({fig9_latency_sweep.main, accuracy.main})
+
 
 def run_all(
     skip_accuracy: bool = False,

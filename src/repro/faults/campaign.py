@@ -117,9 +117,39 @@ def svm_workload(tech: DeviceParameters = MODERN_STT) -> Workload:
     )
 
 
+def bnn_workload(tech: DeviceParameters = MODERN_STT) -> Workload:
+    """A BNN output layer (XNOR-popcount scores + in-array argmax)."""
+    from repro.compile.classifier import compile_bnn_output
+
+    bnn = compile_bnn_output(fan_in=4, n_classes=3, bias_bits=3, rows=1024)
+    weights01 = np.array(
+        [[1, 0, 1], [0, 1, 1], [1, 1, 0], [0, 0, 1]], dtype=int
+    )
+    biases = np.array([1, 0, 1], dtype=int)  # scores 4/1/3: unique argmax
+    x_bits = [1, 0, 1, 1]
+    scores = [
+        int(np.sum(np.array(x_bits) == weights01[:, cls])) + int(biases[cls])
+        for cls in range(3)
+    ]
+    expected = int(np.argmax(scores))
+
+    def build() -> Mouse:
+        mouse = bnn.machine(weights01, biases, tech)
+        bnn.set_input(mouse, x_bits)
+        return mouse
+
+    return Workload(
+        name="bnn4x3",
+        build=build,
+        readout=lambda mouse: [bnn.predict(mouse)],
+        reference=[expected],
+    )
+
+
 WORKLOADS: dict[str, Callable[[DeviceParameters], Workload]] = {
     "adder": adder_workload,
     "svm": svm_workload,
+    "bnn": bnn_workload,
 }
 
 
@@ -155,7 +185,11 @@ class FaultCampaign:
 
     # ------------------------------------------------------------------
 
-    def run(self, jobs: Optional[int] = None) -> CampaignReport:
+    def run(
+        self,
+        jobs: Optional[int] = None,
+        checkpoint_dir: Optional[str] = None,
+    ) -> CampaignReport:
         """Run the campaign; ``jobs > 1`` fans trials across processes.
 
         Trials are already independent by construction — each one
@@ -165,6 +199,13 @@ class FaultCampaign:
         count.  Workers run with telemetry disabled (a forked child
         sharing the parent's sink would interleave events); ``fault.*``
         events therefore only appear in serial runs.
+
+        ``checkpoint_dir`` persists each trial's detail record the
+        moment it completes; a killed campaign re-run against the same
+        directory replays only the missing trials, and the merged
+        report is byte-identical either way (per-trial seeding means a
+        trial's outcome is the same no matter which process, or which
+        resume attempt, computed it).
         """
         obs = self._resolve_obs()
 
@@ -193,17 +234,34 @@ class FaultCampaign:
             "retries": 0,
         }
 
-        from repro.perf.parallel import get_default_jobs, parallel_tasks
+        from repro.durability.resume import TaskStore, run_resumable
+        from repro.perf.parallel import get_default_jobs
 
         n_jobs = get_default_jobs() if jobs is None else jobs
         trial_obs = obs if n_jobs <= 1 else None
-        details = parallel_tasks(
+        store = None
+        if checkpoint_dir is not None:
+            store = TaskStore(
+                checkpoint_dir,
+                # The trial count is deliberately absent: trial t only
+                # depends on (seed, t), so extending a campaign from N
+                # to M trials legitimately reuses the first N results.
+                fingerprint={
+                    "experiment": "faults",
+                    "workload": self.workload.name,
+                    "seed": self.seed,
+                    "plan": self.plan.to_json_obj(),
+                },
+            )
+        details = run_resumable(
+            [f"trial-{trial}" for trial in range(self.trials)],
             [
                 lambda t=trial: self._run_trial(
                     t, golden_memory, golden_values, trial_obs
                 )
                 for trial in range(self.trials)
             ],
+            store,
             jobs=n_jobs,
         )
         for detail in details:

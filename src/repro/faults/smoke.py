@@ -61,7 +61,9 @@ def run_smoke(out_dir: str) -> int:
     if first.detected_recovered == 0:
         failures.append("gate-flip campaign never detected-and-recovered")
     report_path = out / "gate_flip_report.json"
-    report_path.write_text(text, encoding="utf-8")
+    from repro.durability.atomic import atomic_write_text
+
+    atomic_write_text(report_path, text)
 
     # 3a. Stochastic adversarial outages.
     outage_plan = FaultPlan(outage_rate=0.01, verify_retry=True)

@@ -95,12 +95,19 @@ class IntermittentRun:
         config: HarvestingConfig,
         telemetry=None,
         vcap_sample_period: int = 64,
+        checkpointer=None,
     ) -> None:
         """``telemetry`` — an optional :class:`repro.obs.Telemetry`;
         when omitted the ambient hub (:func:`repro.obs.current`) is
         used, which is disabled by default.  ``vcap_sample_period``
         sets how many committed instructions elapse between samples of
         the capacitor-voltage timeline (only when telemetry is on).
+        ``checkpointer`` — an optional
+        :class:`repro.durability.Checkpointer`; when set, the run
+        writes crash-consistent NVImages every N committed instructions
+        and at outage boundaries, so a killed host process resumes via
+        :func:`repro.durability.resume_intermittent` with a final
+        breakdown byte-identical to the uninterrupted run.
         """
         self.mouse = mouse
         self.config = config
@@ -109,7 +116,18 @@ class IntermittentRun:
         if vcap_sample_period < 1:
             raise ValueError("vcap_sample_period must be >= 1")
         self.vcap_sample_period = vcap_sample_period
+        self.checkpointer = checkpointer
         self._obs = None  # resolved per run()
+        # Resumable loop state, promoted from run() locals so a
+        # checkpoint can capture it and an exact resume restore it.
+        self.executed = 0
+        self._commits_in_window = 0
+        self._drawn_in_window = 0.0
+        self._stalled_pc: Optional[int] = None
+        #: None = fresh run; "powered" = resumed at an instruction
+        #: boundary mid-window; "outage" = resumed at an outage
+        #: boundary (machine off, capacitor below the restart bound).
+        self._resume_phase: Optional[str] = None
 
     def _resolve_obs(self):
         if self.telemetry is not None:
@@ -133,9 +151,25 @@ class IntermittentRun:
             vcap = obs.gauge("harvest.vcap")
             vcap.set(buffer.voltage, ts=self.time)
 
-        self._charge_until_ready(first=True)
-        if not controller.powered:
+        checkpointer = self.checkpointer
+        if self._resume_phase is None:
+            self._charge_until_ready(first=True)
+            if not controller.powered:
+                controller.power_on()
+        elif self._resume_phase == "outage":
+            # Resumed at an outage boundary: the checkpoint was taken
+            # right after power_off(), so re-enter the loop exactly
+            # where the uninterrupted run stood — charge, restart.
+            self._charge_until_ready()
             controller.power_on()
+            self._commits_in_window = 0
+            self._drawn_in_window = 0.0
+            if obs is not None:
+                obs.emit("harvest.restore", self.time, voltage=buffer.voltage)
+                vcap.set(buffer.voltage, ts=self.time)
+        # "powered": resumed at an instruction boundary mid-window; the
+        # machine is live and the loop continues without any preamble.
+        self._resume_phase = None
 
         # Power is cut at *microstep* granularity: an outage can land
         # between fetch, execute, PC-stage and commit, so the dual-PC
@@ -143,7 +177,6 @@ class IntermittentRun:
         # Figure 7 (worst case: executed but uncommitted work).
         from repro.core.controller import Phase
 
-        executed = 0
         # Non-termination guard: if a full capacitor window comes and
         # goes without a single commit, remember where the machine was
         # stuck; a second consecutive zero-progress window at the same
@@ -151,11 +184,8 @@ class IntermittentRun:
         # the run would retry it forever (paper Section I).  Two
         # windows (not one) so a window merely truncated by earlier
         # work is never misdiagnosed.
-        commits_in_window = 0
-        drawn_in_window = 0.0
-        stalled_pc: Optional[int] = None
         while not controller.halted:
-            if executed >= max_instructions:
+            if self.executed >= max_instructions:
                 raise InstructionBudgetExceeded(
                     f"instruction budget exhausted: program did not halt "
                     f"within {max_instructions} instructions"
@@ -163,49 +193,60 @@ class IntermittentRun:
             energy_before = ledger.breakdown.total_energy
             phase = controller.step()
             consumed = ledger.breakdown.total_energy - energy_before
-            if phase is Phase.COMMIT or controller.halted:
-                executed += 1
-                commits_in_window += 1
+            committed = phase is Phase.COMMIT or controller.halted
+            if committed:
+                self.executed += 1
+                self._commits_in_window += 1
                 harvested = source.energy(self.time, cycle)
                 self.time += cycle
                 buffer.add_energy(harvested)
-                if obs is not None and executed % self.vcap_sample_period == 0:
+                if (
+                    obs is not None
+                    and self.executed % self.vcap_sample_period == 0
+                ):
                     vcap.set(buffer.voltage, ts=self.time)
             buffer.draw_energy(consumed)
-            drawn_in_window += consumed
+            self._drawn_in_window += consumed
             if buffer.must_shut_down and not controller.halted:
-                if commits_in_window == 0:
+                if self._commits_in_window == 0:
                     pc = controller.pc.read()
-                    if pc == stalled_pc:
+                    if pc == self._stalled_pc:
                         raise NonTerminationError(
                             f"no forward progress: the instruction at pc "
-                            f"{pc} drew {drawn_in_window:.3e} J without "
+                            f"{pc} drew {self._drawn_in_window:.3e} J without "
                             f"committing in two consecutive capacitor "
                             f"windows ({buffer.window_energy:.3e} J usable) "
                             "— reduce the active-column parallelism or "
                             "enlarge the buffer",
                             breakdown=ledger.breakdown,
-                            instruction_energy=drawn_in_window,
+                            instruction_energy=self._drawn_in_window,
                         )
-                    stalled_pc = pc
+                    self._stalled_pc = pc
                 else:
-                    stalled_pc = None
+                    self._stalled_pc = None
                 if obs is not None:
                     obs.counter("harvest.outages").inc()
                     obs.emit(
                         "harvest.outage",
                         self.time,
                         voltage=buffer.voltage,
-                        instructions=executed,
+                        instructions=self.executed,
                     )
                 controller.power_off()
+                if checkpointer is not None:
+                    checkpointer.on_outage(self)
                 self._charge_until_ready()
                 controller.power_on()
-                commits_in_window = 0
-                drawn_in_window = 0.0
+                self._commits_in_window = 0
+                self._drawn_in_window = 0.0
                 if obs is not None:
                     obs.emit("harvest.restore", self.time, voltage=buffer.voltage)
                     vcap.set(buffer.voltage, ts=self.time)
+            if committed and checkpointer is not None:
+                # End-of-iteration boundary: resuming here re-enters
+                # the loop top, which is exactly what the uninterrupted
+                # run does next.
+                checkpointer.on_commit(self)
         if obs is not None:
             vcap.set(buffer.voltage, ts=self.time)
         return ledger.breakdown
@@ -327,6 +368,7 @@ class ProfileRun:
         dead_fraction: float = 1.0,
         checkpoint_period: int = 1,
         telemetry=None,
+        checkpointer=None,
     ) -> None:
         """``checkpoint_period`` — checkpoint the PC every N instructions
         instead of every instruction (the Section IV-D frequency
@@ -334,6 +376,11 @@ class ProfileRun:
         re-performs on average (N-1)/2 + 1 instructions instead of at
         most one.  The paper picks N = 1 for simplicity; the ablation
         experiment sweeps this knob.
+
+        ``checkpointer`` — optional :class:`repro.durability.Checkpointer`
+        for *host-process* durability (distinct from the simulated
+        checkpoint above): burst boundaries write NVImages so a killed
+        sweep resumes bit-exactly.
         """
         if not 0.0 <= dead_fraction <= 1.0:
             raise ValueError("dead_fraction must be in [0, 1]")
@@ -345,6 +392,18 @@ class ProfileRun:
         self.dead_fraction = dead_fraction
         self.checkpoint_period = checkpoint_period
         self.telemetry = telemetry
+        self.checkpointer = checkpointer
+        # Resumable progress cursor: segment index, instructions left in
+        # that segment (None = segment not yet entered), simulated time,
+        # and the ledger (exposed so a checkpoint can snapshot its
+        # breakdown mid-run).
+        self.time = 0.0
+        self.seg_index = 0
+        self.remaining: Optional[int] = None
+        self.ledger: Optional[EnergyLedger] = None
+        #: Set by resume_profile: skip the initial charge and continue
+        #: from the stored cursor.
+        self._resumed = False
 
     def _resolve_obs(self):
         if self.telemetry is not None:
@@ -357,32 +416,33 @@ class ProfileRun:
 
     def run(self) -> Breakdown:
         obs = self._resolve_obs()
-        ledger = EnergyLedger(obs=obs)
+        if self.ledger is None:
+            self.ledger = EnergyLedger()
+        ledger = self.ledger
+        ledger.obs = obs
         buffer = self.config.buffer
         source = self.config.source
         cycle = self.cost.cycle_time
-        time = 0.0
         vcap = obs.gauge("harvest.vcap") if obs is not None else None
+        checkpointer = self.checkpointer
 
         def charge_until_ready(initial: bool = False) -> None:
-            nonlocal time
             needed = buffer.energy_to_reach(buffer.v_on)
-            wait = source.time_to_harvest(needed, start=time)
-            start = time
-            buffer.add_energy(source.energy(time, wait))
-            time += wait
+            wait = source.time_to_harvest(needed, start=self.time)
+            start = self.time
+            buffer.add_energy(source.energy(self.time, wait))
+            self.time += wait
             ledger.charge(Category.CHARGING, 0.0, wait)
             if obs is not None:
                 obs.histogram("harvest.off_time").observe(wait)
                 obs.emit("harvest.charge", start, dur=wait, initial=initial)
 
         def restart() -> None:
-            nonlocal time
             if obs is not None:
                 obs.counter("harvest.outages").inc()
                 obs.emit(
                     "harvest.outage",
-                    time,
+                    self.time,
                     voltage=buffer.voltage,
                     instructions=ledger.breakdown.instructions,
                 )
@@ -390,30 +450,37 @@ class ProfileRun:
             ledger.count_restart()
             restore = self.cost.restore_energy(self.profile.active_columns)
             ledger.charge(Category.RESTORE, restore, self.cost.restore_latency())
-            harvested = source.energy(time, self.cost.restore_latency())
-            time += self.cost.restore_latency()
+            harvested = source.energy(self.time, self.cost.restore_latency())
+            self.time += self.cost.restore_latency()
             buffer.add_energy(harvested)
             buffer.draw_energy(restore)
             if obs is not None:
-                obs.emit("harvest.restore", time, voltage=buffer.voltage)
+                obs.emit("harvest.restore", self.time, voltage=buffer.voltage)
 
-        # Initial charge (capacitor starts discharged).
-        charge_until_ready(initial=True)
+        if not self._resumed:
+            # Initial charge (capacitor starts discharged).
+            charge_until_ready(initial=True)
+            self.seg_index = 0
+            self.remaining = None
+        self._resumed = False
 
         period = self.checkpoint_period
-        for segment in self.profile.segments:
-            remaining = segment.count
+        segments = self.profile.segments
+        while self.seg_index < len(segments):
+            segment = segments[self.seg_index]
+            if self.remaining is None:
+                self.remaining = segment.count
             # Backup is paid once per checkpoint, i.e. every `period`
             # instructions (amortised here; exact within a segment).
             backup_per_instr = segment.backup / period
             per_instr = segment.energy + backup_per_instr
-            while remaining > 0:
-                harvested_per_cycle = source.energy(time, cycle)
+            while self.remaining > 0:
+                harvested_per_cycle = source.energy(self.time, cycle)
                 net = per_instr - harvested_per_cycle
                 if net <= 0:
                     # Source outruns consumption: the whole segment
                     # completes without an outage.
-                    burst = remaining
+                    burst = self.remaining
                 else:
                     if net > buffer.window_energy:
                         raise NonTerminationError(
@@ -426,11 +493,13 @@ class ProfileRun:
                             breakdown=ledger.breakdown,
                             instruction_energy=net,
                         )
-                    burst = min(remaining, max(1, int(buffer.headroom // net)))
+                    burst = min(
+                        self.remaining, max(1, int(buffer.headroom // net))
+                    )
                 consumed = burst * per_instr
-                burst_start = time
-                harvested = source.energy(time, burst * cycle)
-                time += burst * cycle
+                burst_start = self.time
+                harvested = source.energy(self.time, burst * cycle)
+                self.time += burst * cycle
                 buffer.add_energy(harvested)
                 buffer.draw_energy(consumed)
                 ledger.charge(
@@ -438,7 +507,7 @@ class ProfileRun:
                 )
                 ledger.charge(Category.BACKUP, burst * backup_per_instr)
                 ledger.breakdown.instructions += burst
-                remaining -= burst
+                self.remaining -= burst
                 if obs is not None:
                     obs.emit(
                         "profile.burst",
@@ -447,8 +516,8 @@ class ProfileRun:
                         count=burst,
                         energy=burst * segment.energy,
                     )
-                    vcap.set(buffer.voltage, ts=time)
-                if buffer.must_shut_down and remaining > 0:
+                    vcap.set(buffer.voltage, ts=self.time)
+                if buffer.must_shut_down and self.remaining > 0:
                     # Unexpected outage mid-stream: restart, re-perform
                     # the work since the last checkpoint (Dead).  With
                     # per-instruction checkpointing that is at most one
@@ -457,12 +526,19 @@ class ProfileRun:
                     replayed = self.dead_fraction * ((period - 1) / 2.0 + 1.0)
                     dead = per_instr * replayed
                     dead_latency = cycle * replayed
-                    harvested = source.energy(time, dead_latency)
-                    time += dead_latency
+                    harvested = source.energy(self.time, dead_latency)
+                    self.time += dead_latency
                     buffer.add_energy(harvested)
                     buffer.draw_energy(dead)
                     ledger.charge(
                         Category.DEAD, segment.energy * replayed, dead_latency
                     )
                     ledger.charge(Category.BACKUP, backup_per_instr * replayed)
+                if checkpointer is not None:
+                    # Burst boundary: the cursor (seg_index, remaining,
+                    # time, ledger, buffer voltage) fully determines the
+                    # rest of the run.
+                    checkpointer.on_profile_point(self)
+            self.seg_index += 1
+            self.remaining = None
         return ledger.breakdown

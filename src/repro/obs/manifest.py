@@ -89,11 +89,14 @@ def build_manifest(
 
 
 def write_manifest(directory: str | Path, **kwargs) -> Path:
-    """Build and write ``<directory>/manifest.json``; returns its path."""
+    """Build and write ``<directory>/manifest.json``; returns its path.
+
+    The write is atomic (temp + fsync + rename), so a crash mid-write
+    leaves the previous manifest intact rather than a torn file.
+    """
+    from repro.durability.atomic import atomic_write_json
+
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / "manifest.json"
-    with open(path, "w", encoding="utf-8") as f:
-        json.dump(build_manifest(**kwargs), f, indent=2, default=str)
-        f.write("\n")
-    return path
+    return atomic_write_json(path, build_manifest(**kwargs), default=str)

@@ -349,8 +349,9 @@ def render(report: dict) -> str:
 
 
 def write_report(report: dict, path: str) -> None:
-    with open(path, "w", encoding="utf-8") as f:
-        f.write(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    from repro.durability.atomic import atomic_write_text
+
+    atomic_write_text(path, json.dumps(report, indent=2, sort_keys=True) + "\n")
 
 
 def main(argv=None) -> int:

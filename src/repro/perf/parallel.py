@@ -62,16 +62,26 @@ def _resolve_jobs(jobs: Optional[int]) -> int:
 
 
 def _child_init() -> None:
-    """Run in each forked worker before any task: silence telemetry.
+    """Run in each forked worker before any task: silence telemetry and
+    make SIGTERM exit cleanly.
 
     The child inherited the parent's hub — including any open sink file
     descriptors.  Writing to them from multiple processes would
     interleave events, so the ambient hub is forced to DISABLED for the
     worker's lifetime.
+
+    SIGTERM (what ``Pool.terminate`` and a Ctrl-C'd parent send) is
+    rebound to ``sys.exit(143)`` so ``finally`` blocks run — in
+    particular, the atomic-write helpers unlink their half-written temp
+    files instead of leaving them for someone else to sweep.
     """
+    import signal
+    import sys
+
     from repro.obs import telemetry
 
     telemetry._current = telemetry.DISABLED
+    signal.signal(signal.SIGTERM, lambda signum, frame: sys.exit(143))
 
 
 def _run_thunk(index: int):
