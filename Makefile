@@ -1,9 +1,9 @@
-.PHONY: install test lint lint-smoke trace-smoke faults-smoke bench-smoke crash-smoke bench experiments export examples all
+.PHONY: install test lint lint-smoke obs-smoke trace-smoke faults-smoke bench-smoke crash-smoke bench experiments export examples all
 
 install:
 	pip install -e . --no-build-isolation
 
-test: trace-smoke faults-smoke bench-smoke crash-smoke lint
+test: obs-smoke faults-smoke bench-smoke crash-smoke lint
 	pytest tests/
 
 # Static checks: the CRAM program linter over every registered target,
@@ -24,8 +24,14 @@ lint: lint-smoke
 lint-smoke:
 	PYTHONPATH=src python -m repro.lint.smoke
 
-trace-smoke:
+# Observability gate: the traced SVM-kernel run plus profiler
+# attribution (bit-exact vs the Breakdown), flamegraph lint, checkpoint
+# counters, and one live /metrics scrape.  `trace-smoke` is the
+# pre-profiler alias.
+obs-smoke:
 	PYTHONPATH=src python -m repro.obs.smoke
+
+trace-smoke: obs-smoke
 
 faults-smoke:
 	PYTHONPATH=src python -m repro.faults.smoke

@@ -9,6 +9,10 @@
     python -m repro stats ev.jsonl       # replay a telemetry event log
     python -m repro faults --seed 7 --out report.json   # fault campaign
     python -m repro bench [--quick]      # hot-path microbenchmarks
+    python -m repro bench --compare OLD.json [NEW.json]  # regression diff
+    python -m repro profile svm          # per-scope energy attribution
+    python -m repro profile svm-adult --power 100 --flame-energy e.folded
+    python -m repro run fig9 --serve-metrics 9464   # live /metrics scrape
     python -m repro run fig9 --jobs 4    # parallel sweep, same bytes out
     python -m repro run fig9 --checkpoint-dir ckpt   # resumable sweep
     python -m repro resume ckpt          # continue a killed run
@@ -141,6 +145,7 @@ def cmd_run(
     jobs: Optional[int] = None,
     checkpoint_dir: Optional[str] = None,
     resumed: bool = False,
+    serve_metrics: Optional[int] = None,
 ) -> int:
     from repro import obs
     from repro.durability import Interrupted, graceful_signals
@@ -172,6 +177,17 @@ def cmd_run(
     except OSError as exc:
         print(f"cannot open telemetry output: {exc}")
         return 2
+    server = None
+    if serve_metrics is not None:
+        from repro.obs.export import MetricsServer
+
+        try:
+            server = MetricsServer(telemetry, port=serve_metrics).start()
+        except OSError as exc:
+            print(f"cannot serve metrics: {exc}")
+            telemetry.close()
+            return 2
+        print(f"metrics: {server.url}/metrics")
     status = 0
     interrupted: Optional[Interrupted] = None
     started = time.perf_counter()
@@ -206,12 +222,15 @@ def cmd_run(
         interrupted = exc
         print(f"\ninterrupted ({exc}); flushing telemetry and manifest")
     wall = time.perf_counter() - started
+    if server is not None:
+        server.close()
     telemetry.close()
 
     if telemetry.enabled and interrupted is None:
         _print_telemetry_summary(telemetry, events, trace)
     if manifest is not None:
         from repro.obs.manifest import write_manifest
+        from repro.perf.parallel import last_fanout
 
         path = write_manifest(
             manifest,
@@ -229,6 +248,7 @@ def cmd_run(
             extra={
                 "interrupted": interrupted is not None,
                 "resumed": resumed,
+                "fanout": last_fanout(),
             },
         )
         print(f"manifest: {path}")
@@ -375,6 +395,7 @@ def cmd_faults(args) -> int:
             _print_telemetry_summary(telemetry, args.events, args.trace)
     if args.manifest is not None:
         from repro.obs.manifest import write_manifest
+        from repro.perf.parallel import last_fanout
 
         path = write_manifest(
             args.manifest,
@@ -391,7 +412,10 @@ def cmd_faults(args) -> int:
             seed=args.seed,
             wall_time_s=wall,
             metrics=telemetry.snapshot() if telemetry.enabled else None,
-            extra={"interrupted": interrupted is not None},
+            extra={
+                "interrupted": interrupted is not None,
+                "fanout": last_fanout(),
+            },
         )
         print(f"manifest: {path}")
     if interrupted is not None:
@@ -473,7 +497,40 @@ def cmd_lint(args) -> int:
 def cmd_bench(args) -> int:
     from repro import obs
     from repro.durability import Interrupted, graceful_signals
-    from repro.perf.bench import render, run_bench, write_report
+    from repro.perf.bench import (
+        compare_reports,
+        load_report,
+        render,
+        render_compare,
+        run_bench,
+        write_report,
+    )
+
+    if args.compare:
+        if len(args.compare) > 2:
+            print("--compare takes OLD.json and at most one NEW.json")
+            return 2
+        try:
+            old = load_report(args.compare[0])
+            new = (
+                load_report(args.compare[1])
+                if len(args.compare) == 2
+                else None
+            )
+        except (OSError, ValueError) as exc:
+            print(f"cannot compare: {exc}")
+            return 2
+        if new is None:
+            # No NEW report: measure the current tree against OLD.
+            new = run_bench(quick=args.quick)
+        if old.get("quick") != new.get("quick"):
+            print(
+                "warning: comparing a quick report against a full one; "
+                "repetition counts differ"
+            )
+        comparison = compare_reports(old, new, threshold=args.threshold)
+        print(render_compare(comparison))
+        return 1 if comparison["regressions"] else 0
 
     try:
         telemetry = obs.from_paths(events=args.events)
@@ -494,6 +551,115 @@ def cmd_bench(args) -> int:
     if telemetry.enabled:
         _print_telemetry_summary(telemetry, args.events, None)
     return 0
+
+
+def cmd_profile(args) -> int:
+    """Per-scope energy/latency attribution for one workload.
+
+    Small campaign workloads (``adder``/``svm``/``bnn``) run on the
+    cycle-accurate machine, attributing every committed instruction to
+    its compile-time scope stack (classifier > macro > primitive);
+    Table IV names (``svm-adult``, ``bnn-finn``, ...) run the harvested
+    closed-form engine at ``--power``, attributing per profile segment.
+    Either way the profiler's root breakdown must equal the run's
+    bit-for-bit — the command exits non-zero if it does not.
+    """
+    from repro.devices.parameters import ALL_TECHNOLOGIES
+    from repro.obs.prof import EnergyProfiler
+
+    techs = {p.name.lower().replace(" ", "-"): p for p in ALL_TECHNOLOGIES}
+    params = techs.get(args.tech.lower())
+    if params is None:
+        print(
+            f"unknown technology {args.tech!r}; one of: "
+            + ", ".join(sorted(techs))
+        )
+        return 2
+
+    from repro.faults.campaign import WORKLOADS
+
+    profiler = EnergyProfiler()
+    name = args.workload.lower()
+    if name in WORKLOADS:
+        workload = WORKLOADS[name](tech=params)
+        mouse = workload.build()
+        mouse.attach_profiler(profiler)
+        breakdown = mouse.run().breakdown
+        header = (
+            f"{workload.name} on {params.name} (cycle-accurate, "
+            f"{breakdown.instructions} instructions)"
+        )
+    else:
+        from repro.energy.model import InstructionCostModel
+        from repro.harvest import HarvestingConfig, ProfileRun
+        from repro.ml.benchmarks import ALL_WORKLOADS
+
+        wanted = _slug(args.workload)
+        workload = next(
+            (w for w in ALL_WORKLOADS if _slug(w.name) == wanted), None
+        )
+        if workload is None:
+            known = sorted(WORKLOADS) + [_slug(w.name) for w in ALL_WORKLOADS]
+            print(
+                f"unknown workload {args.workload!r}; one of: "
+                + ", ".join(known)
+            )
+            return 2
+        cost = InstructionCostModel(params)
+        profile = workload.profile(cost)
+        config = HarvestingConfig.paper(params, args.power * 1e-6)
+        breakdown = ProfileRun(
+            profile, cost, config, profiler=profiler
+        ).run()
+        header = (
+            f"{workload.name} at {args.power:g} uW on {params.name} "
+            f"(harvested, {breakdown.instructions} instructions)"
+        )
+
+    exact = profiler.root == breakdown
+    if args.json:
+        import json
+
+        from repro.obs.export import profile_json
+
+        payload = profile_json(profiler, top=args.top)
+        payload["exact"] = exact
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"energy attribution: {header}")
+        print(profiler.render(top=args.top))
+        print(
+            "\nattribution sums "
+            + ("bit-exact" if exact else "MISMATCHED")
+            + " vs the run breakdown"
+        )
+    if args.flame_energy:
+        n = profiler.write_collapsed(args.flame_energy, metric="energy")
+        print(f"energy flamegraph: {args.flame_energy} ({n} stacks; "
+              "open in https://speedscope.app)")
+    if args.flame_time:
+        n = profiler.write_collapsed(args.flame_time, metric="time")
+        print(f"time flamegraph: {args.flame_time} ({n} stacks)")
+    if args.serve_metrics is not None:
+        from repro import obs
+        from repro.obs.export import MetricsServer
+
+        server = MetricsServer(
+            obs.current(), profiler=profiler, port=args.serve_metrics
+        ).start()
+        print(
+            f"serving {server.url}/metrics and {server.url}/profile "
+            "(Ctrl-C to stop)"
+        )
+        try:
+            import threading
+
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.close()
+    return 0 if exact else 1
 
 
 def cmd_stats(path: str, top: int) -> int:
@@ -554,6 +720,16 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="require an existing session in --checkpoint-dir and mark "
         "the manifest as resumed",
+    )
+    run_p.add_argument(
+        "--serve-metrics",
+        type=int,
+        nargs="?",
+        const=9464,
+        default=None,
+        metavar="PORT",
+        help="serve /metrics (Prometheus text) over HTTP while the run "
+        "executes (default port 9464; 0 = ephemeral)",
     )
     resume_p = sub.add_parser(
         "resume",
@@ -663,6 +839,68 @@ def main(argv: list[str] | None = None) -> int:
     bench_p.add_argument(
         "--events", metavar="PATH", help="write a JSONL telemetry event log"
     )
+    bench_p.add_argument(
+        "--compare",
+        nargs="+",
+        metavar="REPORT",
+        help="diff two repro.bench/v1 reports (OLD.json [NEW.json]); "
+        "with one path, benchmark the current tree as NEW; exits 1 "
+        "past the regression threshold",
+    )
+    bench_p.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        metavar="FRAC",
+        help="fractional ns/op growth counted as a regression "
+        "(default 0.30)",
+    )
+    profile_p = sub.add_parser(
+        "profile",
+        help="per-scope energy/latency attribution (tables + flamegraphs)",
+    )
+    profile_p.add_argument(
+        "workload",
+        help="campaign workload (adder, svm, bnn; cycle-accurate) or "
+        "Table IV name (svm-adult, bnn-finn, ...; harvested)",
+    )
+    profile_p.add_argument(
+        "--tech",
+        default="modern-stt",
+        help="device technology (modern-stt, projected-stt, projected-she)",
+    )
+    profile_p.add_argument(
+        "--power",
+        type=float,
+        default=100.0,
+        metavar="UW",
+        help="harvested power in uW for Table IV workloads (default 100)",
+    )
+    profile_p.add_argument(
+        "--top", type=int, default=20, help="rows to print (default 20)"
+    )
+    profile_p.add_argument(
+        "--flame-energy",
+        metavar="PATH",
+        help="write a collapsed-stack energy flamegraph (attojoules)",
+    )
+    profile_p.add_argument(
+        "--flame-time",
+        metavar="PATH",
+        help="write a collapsed-stack time flamegraph (picoseconds)",
+    )
+    profile_p.add_argument(
+        "--json", action="store_true", help="emit the table as JSON"
+    )
+    profile_p.add_argument(
+        "--serve-metrics",
+        type=int,
+        nargs="?",
+        const=9464,
+        default=None,
+        metavar="PORT",
+        help="after profiling, serve /metrics and /profile until Ctrl-C",
+    )
     sub.add_parser("info", help="device technologies and gate designs")
     export_p = sub.add_parser("export", help="write every artifact as CSV")
     export_p.add_argument("directory", nargs="?", default="results")
@@ -714,6 +952,7 @@ def main(argv: list[str] | None = None) -> int:
             jobs=args.jobs,
             checkpoint_dir=args.checkpoint_dir,
             resumed=args.resume,
+            serve_metrics=args.serve_metrics,
         )
     if args.command == "resume":
         return cmd_resume(args.checkpoint_dir, jobs=args.jobs)
@@ -723,6 +962,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_all(args.skip_accuracy, jobs=args.jobs)
     if args.command == "bench":
         return cmd_bench(args)
+    if args.command == "profile":
+        return cmd_profile(args)
     if args.command == "info":
         return cmd_info()
     if args.command == "export":

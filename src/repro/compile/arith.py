@@ -16,6 +16,7 @@ simulation can never drift from what the compiler actually emits.
 
 from __future__ import annotations
 
+import functools
 import math
 from functools import lru_cache
 
@@ -33,6 +34,19 @@ from repro.compile.macros import (
 )
 
 
+def _scoped(fn):
+    """Open an attribution scope named after the routine for its whole
+    emission (see :meth:`ProgramBuilder.scope`)."""
+    name = fn.__name__
+
+    @functools.wraps(fn)
+    def wrapper(b: ProgramBuilder, *args, **kwargs):
+        with b.scope(name):
+            return fn(b, *args, **kwargs)
+
+    return wrapper
+
+
 def _pad(b: ProgramBuilder, word: Word, n_bits: int) -> Word:
     """Zero-extend a word to ``n_bits`` (constant-0 rows)."""
     if len(word) >= n_bits:
@@ -42,6 +56,7 @@ def _pad(b: ProgramBuilder, word: Word, n_bits: int) -> Word:
     return Word(word.bits + extra)
 
 
+@_scoped
 def ripple_add(
     b: ProgramBuilder,
     x: Word,
@@ -79,6 +94,7 @@ def ripple_add(
     return Word(tuple(bits))
 
 
+@_scoped
 def ripple_add_mod(b: ProgramBuilder, x: Word, y: Word, n_bits: int) -> Word:
     """(x + y) mod 2**n_bits — fixed-width accumulate."""
     full = ripple_add(b, _pad(b, x, n_bits), _pad(b, y, n_bits))
@@ -87,11 +103,13 @@ def ripple_add_mod(b: ProgramBuilder, x: Word, y: Word, n_bits: int) -> Word:
     return keep
 
 
+@_scoped
 def invert(b: ProgramBuilder, x: Word) -> Word:
     """Bitwise NOT of every bit."""
     return Word(tuple(not_bit(b, bit) for bit in x))
 
 
+@_scoped
 def negate(b: ProgramBuilder, x: Word) -> Word:
     """Two's-complement negation at the same width: ~x + 1."""
     inv = invert(b, x)
@@ -101,6 +119,7 @@ def negate(b: ProgramBuilder, x: Word) -> Word:
     return out
 
 
+@_scoped
 def ripple_sub(b: ProgramBuilder, x: Word, y: Word, n_bits: int | None = None) -> Word:
     """(x - y) mod 2**n at width n = n_bits or max(len x, len y).
 
@@ -121,6 +140,7 @@ def ripple_sub(b: ProgramBuilder, x: Word, y: Word, n_bits: int | None = None) -
     return keep
 
 
+@_scoped
 def sign_extend(b: ProgramBuilder, x: Word, n_bits: int) -> Word:
     """Two's-complement extension: replicate the sign bit upward.
 
@@ -138,6 +158,7 @@ def sign_extend(b: ProgramBuilder, x: Word, n_bits: int) -> Word:
     return Word(x.bits + tuple(ext))
 
 
+@_scoped
 def conditional_negate(b: ProgramBuilder, x: Word, sign: Bit) -> Word:
     """sign ? -x : x  (XOR every bit with sign, add sign as carry-in)."""
     flipped = Word(tuple(xor_bit(b, bit, sign) for bit in x))
@@ -149,6 +170,7 @@ def conditional_negate(b: ProgramBuilder, x: Word, sign: Bit) -> Word:
     return keep
 
 
+@_scoped
 def multiply(b: ProgramBuilder, x: Word, y: Word) -> Word:
     """Unsigned shift-and-add multiply: len(x)+len(y) result bits."""
     n, m = len(x), len(y)
@@ -168,6 +190,7 @@ def multiply(b: ProgramBuilder, x: Word, y: Word) -> Word:
     return Word(acc.bits[: n + m])
 
 
+@_scoped
 def square(b: ProgramBuilder, x: Word) -> Word:
     """x*x — needs an explicit operand duplicate (a row cannot feed a
     gate twice), which the builder's harmonise provides per-gate; a
@@ -178,6 +201,7 @@ def square(b: ProgramBuilder, x: Word) -> Word:
     return out
 
 
+@_scoped
 def multiply_signed(b: ProgramBuilder, x: Word, y: Word) -> Word:
     """Signed (two's complement) multiply via sign-magnitude."""
     sx, sy = x[-1], y[-1]
@@ -190,6 +214,7 @@ def multiply_signed(b: ProgramBuilder, x: Word, y: Word) -> Word:
     return out
 
 
+@_scoped
 def popcount(b: ProgramBuilder, bits: list[Bit]) -> Word:
     """Number of set bits, as a word — the BNN accumulation primitive.
 
@@ -218,6 +243,7 @@ def popcount(b: ProgramBuilder, bits: list[Bit]) -> Word:
     return level[0]
 
 
+@_scoped
 def xnor_word(b: ProgramBuilder, x: Word, y: Word) -> list[Bit]:
     """Element-wise XNOR of two equal-length bit vectors."""
     if len(x) != len(y):
@@ -225,6 +251,7 @@ def xnor_word(b: ProgramBuilder, x: Word, y: Word) -> list[Bit]:
     return [xnor_bit(b, x[i], y[i]) for i in range(len(x))]
 
 
+@_scoped
 def greater_equal(b: ProgramBuilder, x: Word, y: Word) -> Bit:
     """Unsigned x >= y: the no-borrow (carry-out) of x + ~y + 1."""
     n = max(len(x), len(y))
@@ -241,6 +268,7 @@ def greater_equal(b: ProgramBuilder, x: Word, y: Word) -> Bit:
     return carry
 
 
+@_scoped
 def select_word(b: ProgramBuilder, sel: Bit, when0: Word, when1: Word) -> Word:
     """Word-level 2:1 mux."""
     n = max(len(when0), len(when1))
@@ -252,6 +280,7 @@ def select_word(b: ProgramBuilder, sel: Bit, when0: Word, when1: Word) -> Word:
     return out
 
 
+@_scoped
 def word_max(b: ProgramBuilder, words: list[Word]) -> Word:
     """Unsigned maximum of several words (compare + mux reduction)."""
     if not words:
@@ -277,6 +306,7 @@ def constant_word(b: ProgramBuilder, value: int, n_bits: int, parity: int = 0) -
     )
 
 
+@_scoped
 def word_argmax(b: ProgramBuilder, words: list[Word]) -> tuple[Word, Word]:
     """(index, value) of the unsigned maximum — the one-vs-rest
     classification step ("we take the highest-score output of the 10

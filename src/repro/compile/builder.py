@@ -14,8 +14,9 @@ column simultaneously — columns are the SIMD dimension.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 from repro.compile.allocator import RowAllocator
 from repro.core.program import Program
@@ -78,6 +79,25 @@ class ProgramBuilder:
         self.program = Program(name=name)
         self.alloc = RowAllocator(rows, reserved=reserved_rows)
         self._active: Optional[tuple] = None
+
+    # ------------------------------------------------------------------
+    # Scopes (energy-attribution frames; see repro.obs.prof)
+    # ------------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def scope(self, name: str) -> Iterator[None]:
+        """Label instructions emitted inside the block with ``name``.
+
+        Scopes nest (classifier > layer > macro) and are recorded in
+        the program's :class:`~repro.core.program.ScopeTable`; they
+        change nothing about the emitted instruction stream, only how
+        the profiler attributes its energy and time.
+        """
+        self.program.enter_scope(name)
+        try:
+            yield
+        finally:
+            self.program.exit_scope()
 
     # ------------------------------------------------------------------
     # Columns

@@ -70,32 +70,37 @@ def _emit_score(
     """
     acc: Word | None = None
     for k in range(len(sv_words)):
-        dot: Word | None = None
-        for d, x_word in enumerate(input_words):
-            term = arith.multiply(builder, x_word, sv_words[k][d])
-            if dot is None:
-                dot = term
-            else:
-                merged = arith.ripple_add(builder, dot, term)
-                builder.release(*dot.bits, *term.bits)
-                dot = merged
-        assert dot is not None
-        shifted = arith.ripple_add(builder, dot, offset_word)
-        builder.release(*dot.bits)
-        shifted = Word(shifted.bits[:kernel_bits])
-        kernel = arith.square(builder, shifted)
-        builder.release(*shifted.bits)
-        product = arith.multiply(builder, kernel, coef_words[k])
-        builder.release(*kernel.bits)
-        signed = arith.conditional_negate(builder, product, coef_signs[k])
-        builder.release(*product.bits)
-        wide = arith.sign_extend(builder, signed, score_bits)
-        if acc is None:
-            acc = wide
-        else:
-            total = arith.ripple_add_mod(builder, acc, wide, score_bits)
-            builder.release(*acc.bits, *wide.bits)
-            acc = total
+        with builder.scope(f"sv{k}"):
+            with builder.scope("dot"):
+                dot: Word | None = None
+                for d, x_word in enumerate(input_words):
+                    term = arith.multiply(builder, x_word, sv_words[k][d])
+                    if dot is None:
+                        dot = term
+                    else:
+                        merged = arith.ripple_add(builder, dot, term)
+                        builder.release(*dot.bits, *term.bits)
+                        dot = merged
+                assert dot is not None
+            with builder.scope("kernel"):
+                shifted = arith.ripple_add(builder, dot, offset_word)
+                builder.release(*dot.bits)
+                shifted = Word(shifted.bits[:kernel_bits])
+                kernel = arith.square(builder, shifted)
+                builder.release(*shifted.bits)
+            with builder.scope("coef"):
+                product = arith.multiply(builder, kernel, coef_words[k])
+                builder.release(*kernel.bits)
+                signed = arith.conditional_negate(builder, product, coef_signs[k])
+                builder.release(*product.bits)
+            with builder.scope("accumulate"):
+                wide = arith.sign_extend(builder, signed, score_bits)
+                if acc is None:
+                    acc = wide
+                else:
+                    total = arith.ripple_add_mod(builder, acc, wide, score_bits)
+                    builder.release(*acc.bits, *wide.bits)
+                    acc = total
     assert acc is not None
     return acc
 
@@ -394,27 +399,30 @@ def compile_multiclass_svm(
         + 1
     )
 
-    scores = [
-        _emit_score(
-            builder,
-            input_words,
-            model["sv"],
-            model["coef"],
-            model["sign"],
-            model["offset"],
-            kernel_bits,
-            score_bits,
-        )
-        for model in class_models
-    ]
+    scores = []
+    for cls, model in enumerate(class_models):
+        with builder.scope(f"class{cls}"):
+            scores.append(
+                _emit_score(
+                    builder,
+                    input_words,
+                    model["sv"],
+                    model["coef"],
+                    model["sign"],
+                    model["offset"],
+                    kernel_bits,
+                    score_bits,
+                )
+            )
 
-    # Signed -> order-preserving unsigned: flip each score's sign bit.
-    biased = []
-    for score in scores:
-        msb = builder.gate("NOT", score[-1])
-        biased.append(Word(score.bits[:-1] + (msb,)))
-    index_word, best = arith.word_argmax(builder, biased)
-    builder.release(*best.bits)
+    with builder.scope("argmax"):
+        # Signed -> order-preserving unsigned: flip each score's sign bit.
+        biased = []
+        for score in scores:
+            msb = builder.gate("NOT", score[-1])
+            biased.append(Word(score.bits[:-1] + (msb,)))
+        index_word, best = arith.word_argmax(builder, biased)
+        builder.release(*best.bits)
 
     return CompiledMulticlassSvm(
         program=builder.finish(),
@@ -557,14 +565,16 @@ def compile_bnn_output(
 
     scores = []
     for cls in range(n_classes):
-        matches = arith.xnor_word(builder, activation, weight_words[cls])
-        count = arith.popcount(builder, matches)
-        builder.release(*matches)
-        total = arith.ripple_add(builder, count, bias_words[cls])
-        builder.release(*count.bits)
-        scores.append(total)
-    index_word, best = arith.word_argmax(builder, scores)
-    builder.release(*best.bits)
+        with builder.scope(f"class{cls}"):
+            matches = arith.xnor_word(builder, activation, weight_words[cls])
+            count = arith.popcount(builder, matches)
+            builder.release(*matches)
+            total = arith.ripple_add(builder, count, bias_words[cls])
+            builder.release(*count.bits)
+            scores.append(total)
+    with builder.scope("argmax"):
+        index_word, best = arith.word_argmax(builder, scores)
+        builder.release(*best.bits)
 
     return CompiledBnnOutput(
         program=builder.finish(),
@@ -597,11 +607,13 @@ def compile_bnn_layer(
     count_bits = max(1, int(np.ceil(np.log2(fan_in + 1))))
     thresholds = fresh_word(count_bits)
 
-    matches = arith.xnor_word(builder, activation, weights)
-    count = arith.popcount(builder, matches)
-    builder.release(*matches)
+    with builder.scope("binary-dot"):
+        matches = arith.xnor_word(builder, activation, weights)
+        count = arith.popcount(builder, matches)
+        builder.release(*matches)
     count = Word(count.bits[:count_bits]) if len(count) > count_bits else count
-    fire = arith.greater_equal(builder, count, thresholds)
+    with builder.scope("threshold"):
+        fire = arith.greater_equal(builder, count, thresholds)
 
     return CompiledBnnLayer(
         program=builder.finish(),

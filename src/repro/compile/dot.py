@@ -38,6 +38,13 @@ def emit_dot_product(
     """
     if len(xs) != len(ys) or not xs:
         raise ValueError("vectors must be equal, non-zero length")
+    with b.scope("dot_product"):
+        return _emit_dot_product(b, xs, ys, signed)
+
+
+def _emit_dot_product(
+    b: ProgramBuilder, xs: list[Word], ys: list[Word], signed: bool
+) -> Word:
     if not signed:
         acc: Word | None = None
         for x, y in zip(xs, ys):
@@ -77,10 +84,11 @@ def emit_binary_dot(b: ProgramBuilder, x: Word, w: Word) -> Word:
     ``2 * popcount(xnor) - n``; the affine correction is folded into the
     layer threshold at training time, so hardware only needs this count.
     """
-    matches = xnor_word(b, x, w)
-    count = popcount(b, matches)
-    b.release(*matches)
-    return count
+    with b.scope("binary_dot"):
+        matches = xnor_word(b, x, w)
+        count = popcount(b, matches)
+        b.release(*matches)
+        return count
 
 
 def emit_and_dot(b: ProgramBuilder, x: Word, w: Word) -> Word:
@@ -91,7 +99,8 @@ def emit_and_dot(b: ProgramBuilder, x: Word, w: Word) -> Word:
     """
     if len(x) != len(w):
         raise ValueError("vectors must be equal length")
-    hits = [b.gate("AND", x[i], w[i]) for i in range(len(x))]
-    count = popcount(b, hits)
-    b.release(*hits)
-    return count
+    with b.scope("and_dot"):
+        hits = [b.gate("AND", x[i], w[i]) for i in range(len(x))]
+        count = popcount(b, hits)
+        b.release(*hits)
+        return count

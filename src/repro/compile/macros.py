@@ -48,24 +48,26 @@ def _release_copies(b: ProgramBuilder, originals, harmonised) -> None:
 def xor_bit(b: ProgramBuilder, x: Bit, y: Bit) -> Bit:
     """XOR from four NANDs (plus the two parity copies of the operands
     that feeding ``t1`` back alongside them requires)."""
-    hx, hy = b.harmonise([x, y])
-    t1 = b.gate("NAND", hx, hy)  # opposite parity to the operands
-    x_m = b.copy(hx)  # mirror onto t1's parity
-    y_m = b.copy(hy)
-    t2 = b.gate("NAND", x_m, t1)
-    t3 = b.gate("NAND", y_m, t1)
-    out = b.gate("NAND", t2, t3)
-    b.release(t1, x_m, y_m, t2, t3)
-    _release_copies(b, (x, y), (hx, hy))
-    return out
+    with b.scope("xor"):
+        hx, hy = b.harmonise([x, y])
+        t1 = b.gate("NAND", hx, hy)  # opposite parity to the operands
+        x_m = b.copy(hx)  # mirror onto t1's parity
+        y_m = b.copy(hy)
+        t2 = b.gate("NAND", x_m, t1)
+        t3 = b.gate("NAND", y_m, t1)
+        out = b.gate("NAND", t2, t3)
+        b.release(t1, x_m, y_m, t2, t3)
+        _release_copies(b, (x, y), (hx, hy))
+        return out
 
 
 def xnor_bit(b: ProgramBuilder, x: Bit, y: Bit) -> Bit:
     """XNOR — the BNN "multiplication" — as XOR followed by NOT."""
-    t = xor_bit(b, x, y)
-    out = b.gate("NOT", t)
-    b.release(t)
-    return out
+    with b.scope("xnor"):
+        t = xor_bit(b, x, y)
+        out = b.gate("NOT", t)
+        b.release(t)
+        return out
 
 
 def tmr_bit(b: ProgramBuilder, gate: str, *inputs: Bit, voter: str = "MAJ3") -> Bit:
@@ -87,34 +89,37 @@ def tmr_bit(b: ProgramBuilder, gate: str, *inputs: Bit, voter: str = "MAJ3") -> 
     voter = voter.upper()
     if voter not in ("MAJ3", "MIN3"):
         raise ValueError(f"voter must be MAJ3 or MIN3, not {voter!r}")
-    copies = [b.gate(gate, *inputs) for _ in range(3)]
-    if voter == "MAJ3":
-        out = b.gate("MAJ3", *copies)
-    else:
-        minority = b.gate("MIN3", *copies)
-        out = b.gate("NOT", minority)
-        b.release(minority)
-    b.release(*copies)
-    return out
+    with b.scope("tmr"):
+        copies = [b.gate(gate, *inputs) for _ in range(3)]
+        if voter == "MAJ3":
+            out = b.gate("MAJ3", *copies)
+        else:
+            minority = b.gate("MIN3", *copies)
+            out = b.gate("NOT", minority)
+            b.release(minority)
+        b.release(*copies)
+        return out
 
 
 def mux_bit(b: ProgramBuilder, select: Bit, when0: Bit, when1: Bit) -> Bit:
     """2:1 multiplexer: out = select ? when1 : when0."""
-    ns = b.gate("NOT", select)
-    a = b.gate("AND", select, when1)
-    c = b.gate("AND", ns, when0)
-    out = b.gate("OR", a, c)
-    b.release(ns, a, c)
-    return out
+    with b.scope("mux"):
+        ns = b.gate("NOT", select)
+        a = b.gate("AND", select, when1)
+        c = b.gate("AND", ns, when0)
+        out = b.gate("OR", a, c)
+        b.release(ns, a, c)
+        return out
 
 
 def half_add(b: ProgramBuilder, x: Bit, y: Bit) -> tuple[Bit, Bit]:
     """(sum, carry): sum = x ^ y (4 NANDs), carry = x & y (1 AND)."""
-    hx, hy = b.harmonise([x, y])
-    s = xor_bit(b, hx, hy)
-    c = b.gate("AND", hx, hy)
-    _release_copies(b, (x, y), (hx, hy))
-    return s, c
+    with b.scope("half_add"):
+        hx, hy = b.harmonise([x, y])
+        s = xor_bit(b, hx, hy)
+        c = b.gate("AND", hx, hy)
+        _release_copies(b, (x, y), (hx, hy))
+        return s, c
 
 
 def full_add(b: ProgramBuilder, x: Bit, y: Bit, cin: Bit) -> tuple[Bit, Bit]:
@@ -131,25 +136,26 @@ def full_add(b: ProgramBuilder, x: Bit, y: Bit, cin: Bit) -> tuple[Bit, Bit]:
 
     Primed values are BUF mirrors demanded by the parity rule.
     """
-    originals = (x, y, cin)
-    x, y, cin = b.harmonise([x, y, cin])
-    t1 = b.gate("NAND", x, y)
-    x_m = b.copy(x)
-    y_m = b.copy(y)
-    t2 = b.gate("NAND", x_m, t1)
-    t3 = b.gate("NAND", y_m, t1)
-    axb = b.gate("NAND", t2, t3)  # x ^ y, on parity 1-p
-    cin_m = b.copy(cin)  # mirror cin onto 1-p to meet axb
-    t5 = b.gate("NAND", axb, cin_m)  # parity p
-    axb_m = b.copy(axb)
-    t6 = b.gate("NAND", axb_m, t5)
-    t7 = b.gate("NAND", cin, t5)
-    s = b.gate("NAND", t6, t7)
-    t5_m = b.copy(t5)
-    cout = b.gate("NAND", t1, t5_m)
-    b.release(t1, x_m, y_m, t2, t3, axb, cin_m, axb_m, t6, t7, t5, t5_m)
-    _release_copies(b, originals, (x, y, cin))
-    return s, cout
+    with b.scope("full_add"):
+        originals = (x, y, cin)
+        x, y, cin = b.harmonise([x, y, cin])
+        t1 = b.gate("NAND", x, y)
+        x_m = b.copy(x)
+        y_m = b.copy(y)
+        t2 = b.gate("NAND", x_m, t1)
+        t3 = b.gate("NAND", y_m, t1)
+        axb = b.gate("NAND", t2, t3)  # x ^ y, on parity 1-p
+        cin_m = b.copy(cin)  # mirror cin onto 1-p to meet axb
+        t5 = b.gate("NAND", axb, cin_m)  # parity p
+        axb_m = b.copy(axb)
+        t6 = b.gate("NAND", axb_m, t5)
+        t7 = b.gate("NAND", cin, t5)
+        s = b.gate("NAND", t6, t7)
+        t5_m = b.copy(t5)
+        cout = b.gate("NAND", t1, t5_m)
+        b.release(t1, x_m, y_m, t2, t3, axb, cin_m, axb_m, t6, t7, t5, t5_m)
+        _release_copies(b, originals, (x, y, cin))
+        return s, cout
 
 
 def full_add_min3(b: ProgramBuilder, x: Bit, y: Bit, cin: Bit) -> tuple[Bit, Bit]:
@@ -168,24 +174,25 @@ def full_add_min3(b: ProgramBuilder, x: Bit, y: Bit, cin: Bit) -> tuple[Bit, Bit
     the voltage-delivery analysis shows is unreachable on Projected STT
     (EXPERIMENTS.md, finding 2) — MIN3 is the inverting-family choice.
     """
-    originals = (x, y, cin)
-    x, y, cin = b.harmonise([x, y, cin])
-    # Carry: MIN3 + NOT (inputs already share a parity).
-    n1 = b.gate("MIN3", x, y, cin)
-    cout = b.gate("NOT", n1)
-    # Sum: (x ^ y) ^ cin with explicit parity mirrors, as in full_add.
-    t1 = b.gate("NAND", x, y)
-    x_m = b.copy(x)
-    y_m = b.copy(y)
-    t2 = b.gate("NAND", x_m, t1)
-    t3 = b.gate("NAND", y_m, t1)
-    axb = b.gate("NAND", t2, t3)  # parity 1-p
-    cin_m = b.copy(cin)
-    t5 = b.gate("NAND", axb, cin_m)  # parity p
-    axb_m = b.copy(axb)
-    t6 = b.gate("NAND", axb_m, t5)
-    t7 = b.gate("NAND", cin, t5)
-    s = b.gate("NAND", t6, t7)  # parity p, same as cout
-    b.release(n1, t1, x_m, y_m, t2, t3, axb, cin_m, t5, axb_m, t6, t7)
-    _release_copies(b, originals, (x, y, cin))
-    return s, cout
+    with b.scope("full_add_min3"):
+        originals = (x, y, cin)
+        x, y, cin = b.harmonise([x, y, cin])
+        # Carry: MIN3 + NOT (inputs already share a parity).
+        n1 = b.gate("MIN3", x, y, cin)
+        cout = b.gate("NOT", n1)
+        # Sum: (x ^ y) ^ cin with explicit parity mirrors, as in full_add.
+        t1 = b.gate("NAND", x, y)
+        x_m = b.copy(x)
+        y_m = b.copy(y)
+        t2 = b.gate("NAND", x_m, t1)
+        t3 = b.gate("NAND", y_m, t1)
+        axb = b.gate("NAND", t2, t3)  # parity 1-p
+        cin_m = b.copy(cin)
+        t5 = b.gate("NAND", axb, cin_m)  # parity p
+        axb_m = b.copy(axb)
+        t6 = b.gate("NAND", axb_m, t5)
+        t7 = b.gate("NAND", cin, t5)
+        s = b.gate("NAND", t6, t7)  # parity p, same as cout
+        b.release(n1, t1, x_m, y_m, t2, t3, axb, cin_m, t5, axb_m, t6, t7)
+        _release_copies(b, originals, (x, y, cin))
+        return s, cout

@@ -90,6 +90,7 @@ class Mouse:
         self.controller = MemoryController(self.bank, self.cost, self.ledger)
         self._program: Optional[Program] = None
         self.telemetry = None
+        self.profiler = None
 
     # ------------------------------------------------------------------
 
@@ -105,6 +106,27 @@ class Mouse:
         active = telemetry if (telemetry is not None and telemetry.enabled) else None
         self.controller.attach_obs(active)
         self.ledger.obs = active
+
+    def attach_profiler(self, profiler) -> None:
+        """Attach an :class:`repro.obs.prof.EnergyProfiler`.
+
+        Requires a loaded program (the profiler indexes its scope
+        table).  Every ledger charge is then attributed to the
+        committing instruction's compile-time scope, nested under a
+        frame named after the program — so several programs profiled
+        into one profiler stay distinguishable.  Pass None to detach;
+        detached, the hot path pays one pointer check per FETCH.
+        """
+        self.profiler = profiler
+        if profiler is None:
+            self.ledger.prof = None
+            self.controller.attach_prof(None, None)
+            return
+        program = self.program
+        table = profiler.index_program(program, prefix=(program.name,))
+        pc_scopes = [table[sid] for sid in program.scope_ids]
+        self.ledger.prof = profiler
+        self.controller.attach_prof(profiler, pc_scopes)
 
     def load(self, program: Program | Sequence[Instruction]) -> None:
         """Validate a program and write it into the instruction tiles."""

@@ -108,6 +108,12 @@ class MemoryController:
         self._obs_steps = 0
         self._obs_dead = False
 
+        # Energy profiler (repro.obs.prof).  None = disabled: one
+        # `is None` check per FETCH.  When attached, `_prof_scopes`
+        # maps each pc to its compile-time profiler scope.
+        self._prof = None
+        self._prof_scopes: Optional[list[int]] = None
+
     def attach_obs(self, telemetry) -> None:
         """Attach a :class:`repro.obs.Telemetry` hub (None detaches).
 
@@ -118,6 +124,25 @@ class MemoryController:
             self._obs = telemetry
         else:
             self._obs = None
+
+    def attach_prof(self, profiler, pc_scopes: Optional[list[int]]) -> None:
+        """Attach an :class:`repro.obs.prof.EnergyProfiler`.
+
+        ``pc_scopes[pc]`` is the profiler node id of the instruction at
+        ``pc`` (built by :meth:`repro.core.accelerator.Mouse.
+        attach_profiler` from the program's scope table).  At each
+        FETCH the controller points the profiler at the fetched pc's
+        scope; every subsequent ledger charge — execute, backup, dead
+        replay, and the restore re-issued when power returns mid-way
+        through that instruction — lands there.  Pass None to detach.
+        """
+        if profiler is None:
+            self._prof = None
+            self._prof_scopes = None
+        else:
+            assert pc_scopes is not None
+            self._prof = profiler
+            self._prof_scopes = pc_scopes
 
     def attach_faults(self, hook) -> None:
         """Attach a fault hook (e.g. :class:`repro.faults.ControllerFaultHook`).
@@ -224,7 +249,10 @@ class MemoryController:
         self.ledger.charge(category, energy, latency)
 
     def _do_fetch(self) -> None:
-        self._word = self.bank.fetch_word(self.pc.read())
+        pc = self.pc.read()
+        if self._prof is not None:
+            self._prof.set_scope(self._prof_scopes[pc])
+        self._word = self.bank.fetch_word(pc)
         self._charge(self.cost.fetch_energy())
         self.phase = Phase.DECODE
 

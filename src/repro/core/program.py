@@ -23,12 +23,99 @@ from repro.isa.instruction import (
 )
 
 
+class ScopeTable:
+    """Interned compile-time scope stack (classifier > layer > macro).
+
+    Scopes form a tree: id 0 is the root (the program itself), every
+    other id names one ``(parent, name)`` pair.  Paths are interned —
+    opening ``multiply`` twice under the same parent yields the same
+    id — so the table stays small however long the program is, and a
+    per-instruction scope id costs one int.
+
+    The table is recorded while :class:`~repro.compile.builder.
+    ProgramBuilder` emits (macros open and close scopes), carried on
+    the :class:`Program`, and consumed at run time by
+    :class:`repro.obs.prof.EnergyProfiler` — attribution needs no
+    execution-time guessing because every pc maps to its compile-time
+    scope exactly.
+    """
+
+    def __init__(self) -> None:
+        self.parents: list[int] = [-1]
+        self.names: list[str] = [""]
+        self._interned: dict[tuple[int, str], int] = {}
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def child(self, parent: int, name: str) -> int:
+        """The (interned) id of ``name`` under ``parent``."""
+        if not 0 <= parent < len(self.names):
+            raise ValueError(f"unknown parent scope {parent}")
+        if not name:
+            raise ValueError("scope names cannot be empty")
+        key = (parent, name)
+        sid = self._interned.get(key)
+        if sid is None:
+            sid = len(self.names)
+            self.parents.append(parent)
+            self.names.append(name)
+            self._interned[key] = sid
+        return sid
+
+    def path(self, sid: int) -> tuple[str, ...]:
+        """Root-to-scope name path (the root contributes nothing)."""
+        parts: list[str] = []
+        while sid > 0:
+            parts.append(self.names[sid])
+            sid = self.parents[sid]
+        return tuple(reversed(parts))
+
+    def to_json_obj(self) -> dict:
+        return {"parents": list(self.parents), "names": list(self.names)}
+
+    @classmethod
+    def from_json_obj(cls, obj: dict) -> "ScopeTable":
+        table = cls()
+        parents = [int(p) for p in obj["parents"]]
+        names = [str(n) for n in obj["names"]]
+        if len(parents) != len(names) or not names or names[0] != "":
+            raise ValueError("malformed scope table")
+        table.parents = parents
+        table.names = names
+        table._interned = {
+            (parents[i], names[i]): i for i in range(1, len(names))
+        }
+        return table
+
+
 @dataclass
 class Program:
-    """An executable MOUSE program."""
+    """An executable MOUSE program.
+
+    Besides the instruction list, a program carries its compile-time
+    **scope annotations**: ``scope_table`` (the interned scope tree)
+    and ``scope_ids`` (one id per instruction, aligned by pc).  Both
+    are excluded from equality/repr — two programs with the same
+    instructions behave identically regardless of how their compilers
+    labelled them.
+    """
 
     instructions: list[Instruction] = field(default_factory=list)
     name: str = "program"
+    scope_table: ScopeTable = field(
+        default_factory=ScopeTable, repr=False, compare=False
+    )
+    scope_ids: list[int] = field(default_factory=list, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self._scope = 0
+        # Instructions supplied at construction predate any scope
+        # recording: they belong to the root scope.
+        if len(self.scope_ids) < len(self.instructions):
+            self.scope_ids.extend(
+                [0] * (len(self.instructions) - len(self.scope_ids))
+            )
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -41,9 +128,33 @@ class Program:
 
     def append(self, instr: Instruction) -> None:
         self.instructions.append(instr)
+        self.scope_ids.append(self._scope)
 
     def extend(self, instrs: Sequence[Instruction]) -> None:
-        self.instructions.extend(instrs)
+        for instr in instrs:
+            self.append(instr)
+
+    # ------------------------------------------------------------------
+    # Scope recording (compile-time)
+    # ------------------------------------------------------------------
+
+    def enter_scope(self, name: str) -> int:
+        """Open a child scope; subsequent appends carry its id."""
+        self._scope = self.scope_table.child(self._scope, name)
+        return self._scope
+
+    def exit_scope(self) -> None:
+        if self._scope == 0:
+            raise RuntimeError("cannot exit the root scope")
+        self._scope = self.scope_table.parents[self._scope]
+
+    @property
+    def current_scope(self) -> int:
+        return self._scope
+
+    def scope_path(self, pc: int) -> tuple[str, ...]:
+        """The compile-time scope path of the instruction at ``pc``."""
+        return self.scope_table.path(self.scope_ids[pc])
 
     def words(self) -> list[int]:
         """Encoded 64-bit words, ready for the instruction tiles."""

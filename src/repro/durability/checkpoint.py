@@ -131,11 +131,14 @@ class Checkpointer:
             obs.counter("checkpoint.writes").inc()
             obs.counter("checkpoint.bytes").inc(size)
             obs.histogram("checkpoint.write_size").observe(size)
+            # The payload's engine discriminator travels as `image_kind`:
+            # a data key named `kind` would clobber the event's own kind
+            # in the flat JSONL wire format.
             obs.emit(
                 "checkpoint.commit",
                 sim_time,
                 seq=seq,
-                kind=payload.get("kind"),
+                image_kind=payload.get("kind"),
                 instructions=payload.get("executed")
                 or payload.get("ledger", {}).get("instructions"),
             )

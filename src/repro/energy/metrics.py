@@ -116,6 +116,39 @@ class Breakdown:
         )
 
 
+def accumulate(
+    b: Breakdown, category: Category, energy: float, latency: float
+) -> None:
+    """Apply one charge to a :class:`Breakdown`, in canonical float order.
+
+    This is the single accounting primitive shared by
+    :class:`EnergyLedger` and by every node of
+    :class:`repro.obs.prof.EnergyProfiler`.  Because float addition is
+    not associative, "the profiler sums to the run breakdown
+    bit-exactly" is only provable if both sides apply the *same*
+    ``+=`` sequence — sharing this function is that proof.
+    """
+    if category is Category.COMPUTE:
+        b.compute_energy += energy
+        b.compute_latency += latency
+    elif category is Category.BACKUP:
+        if latency:
+            raise ValueError("backup has no latency (same-cycle checkpoint)")
+        b.backup_energy += energy
+    elif category is Category.DEAD:
+        b.dead_energy += energy
+        b.dead_latency += latency
+    elif category is Category.RESTORE:
+        b.restore_energy += energy
+        b.restore_latency += latency
+    elif category is Category.CHARGING:
+        if energy:
+            raise ValueError("charging consumes no device energy")
+        b.charging_latency += latency
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown category {category}")
+
+
 @dataclass
 class EnergyLedger:
     """Mutable accumulator used during simulation.
@@ -123,12 +156,15 @@ class EnergyLedger:
     ``obs`` optionally points at a :class:`repro.obs.Telemetry` hub
     with a live sink; every :meth:`charge` then mirrors itself as an
     ``energy`` event, so summing an event log per category reproduces
-    the breakdown bit-exactly.  When ``obs`` is None (the default) the
-    hot path pays a single pointer comparison.
+    the breakdown bit-exactly.  ``prof`` optionally points at a
+    :class:`repro.obs.prof.EnergyProfiler`, which attributes the same
+    charge to the current compile-time scope.  When both are None (the
+    default) the hot path pays two pointer comparisons.
     """
 
     breakdown: Breakdown = field(default_factory=Breakdown)
     obs: object = field(default=None, repr=False, compare=False)
+    prof: object = field(default=None, repr=False, compare=False)
 
     def charge(
         self, category: Category, energy: float, latency: float = 0.0
@@ -136,37 +172,30 @@ class EnergyLedger:
         """Record ``energy`` joules and ``latency`` seconds to a category."""
         if energy < 0 or latency < 0:
             raise ValueError("energy and latency must be non-negative")
-        b = self.breakdown
-        if category is Category.COMPUTE:
-            b.compute_energy += energy
-            b.compute_latency += latency
-        elif category is Category.BACKUP:
-            if latency:
-                raise ValueError("backup has no latency (same-cycle checkpoint)")
-            b.backup_energy += energy
-        elif category is Category.DEAD:
-            b.dead_energy += energy
-            b.dead_latency += latency
-        elif category is Category.RESTORE:
-            b.restore_energy += energy
-            b.restore_latency += latency
-        elif category is Category.CHARGING:
-            if energy:
-                raise ValueError("charging consumes no device energy")
-            b.charging_latency += latency
-        else:  # pragma: no cover - exhaustive enum
-            raise ValueError(f"unknown category {category}")
+        accumulate(self.breakdown, category, energy, latency)
         if self.obs is not None:
             self.obs.emit(
                 "energy",
-                b.total_latency,
+                self.breakdown.total_latency,
                 category=category.value,
                 energy=energy,
                 latency=latency,
             )
+        if self.prof is not None:
+            self.prof.record(category, energy, latency)
 
     def count_instruction(self) -> None:
         self.breakdown.instructions += 1
+        if self.prof is not None:
+            self.prof.count_instructions(1)
+
+    def count_instructions(self, n: int) -> None:
+        """Count ``n`` committed instructions at once (closed-form runs)."""
+        self.breakdown.instructions += n
+        if self.prof is not None:
+            self.prof.count_instructions(n)
 
     def count_restart(self) -> None:
         self.breakdown.restarts += 1
+        if self.prof is not None:
+            self.prof.count_restart()

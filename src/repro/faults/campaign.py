@@ -183,6 +183,22 @@ class FaultCampaign:
             t = current()
         return t if t.enabled else None
 
+    def _trial_obs(self, parent_obs, n_jobs):
+        """The hub one trial should emit to, resolved *at trial time*.
+
+        Serial trials use the campaign's own hub.  Fanned-out trials
+        run in forked workers whose ambient hub is the per-worker shard
+        hub installed by the pool initializer — resolving lazily here
+        (instead of once in the parent) is what routes ``fault.*``
+        events into the shards rather than blacking them out.
+        """
+        if n_jobs <= 1:
+            return parent_obs
+        from repro.obs import current
+
+        t = current()
+        return t if t.enabled else None
+
     # ------------------------------------------------------------------
 
     def run(
@@ -196,9 +212,11 @@ class FaultCampaign:
         builds a fresh machine and draws from ``default_rng([seed,
         trial])`` — so the fan-out merges per-trial details back in
         trial order and the report JSON is byte-identical at any job
-        count.  Workers run with telemetry disabled (a forked child
-        sharing the parent's sink would interleave events); ``fault.*``
-        events therefore only appear in serial runs.
+        count.  With ``jobs > 1`` each worker resolves its own ambient
+        hub *at trial time* — the per-worker shard hub installed by the
+        pool (see :mod:`repro.obs.fanout`) — so ``fault.*`` events
+        survive fan-out: the parent merges the shards into the main
+        event log after the pool drains.
 
         ``checkpoint_dir`` persists each trial's detail record the
         moment it completes; a killed campaign re-run against the same
@@ -238,7 +256,6 @@ class FaultCampaign:
         from repro.perf.parallel import get_default_jobs
 
         n_jobs = get_default_jobs() if jobs is None else jobs
-        trial_obs = obs if n_jobs <= 1 else None
         store = None
         if checkpoint_dir is not None:
             store = TaskStore(
@@ -257,7 +274,8 @@ class FaultCampaign:
             [f"trial-{trial}" for trial in range(self.trials)],
             [
                 lambda t=trial: self._run_trial(
-                    t, golden_memory, golden_values, trial_obs
+                    t, golden_memory, golden_values,
+                    self._trial_obs(obs, n_jobs),
                 )
                 for trial in range(self.trials)
             ],

@@ -369,6 +369,7 @@ class ProfileRun:
         checkpoint_period: int = 1,
         telemetry=None,
         checkpointer=None,
+        profiler=None,
     ) -> None:
         """``checkpoint_period`` — checkpoint the PC every N instructions
         instead of every instruction (the Section IV-D frequency
@@ -381,6 +382,11 @@ class ProfileRun:
         for *host-process* durability (distinct from the simulated
         checkpoint above): burst boundaries write NVImages so a killed
         sweep resumes bit-exactly.
+
+        ``profiler`` — optional :class:`repro.obs.prof.EnergyProfiler`;
+        every charge is then attributed to the current segment's label
+        under a frame named after the profile, and the profiler's root
+        equals the returned breakdown bit-exactly.
         """
         if not 0.0 <= dead_fraction <= 1.0:
             raise ValueError("dead_fraction must be in [0, 1]")
@@ -393,6 +399,7 @@ class ProfileRun:
         self.checkpoint_period = checkpoint_period
         self.telemetry = telemetry
         self.checkpointer = checkpointer
+        self.profiler = profiler
         # Resumable progress cursor: segment index, instructions left in
         # that segment (None = segment not yet entered), simulated time,
         # and the ledger (exposed so a checkpoint can snapshot its
@@ -420,6 +427,12 @@ class ProfileRun:
             self.ledger = EnergyLedger()
         ledger = self.ledger
         ledger.obs = obs
+        prof = self.profiler
+        if prof is not None:
+            ledger.prof = prof
+            # Charging/restore before the first segment lands on the
+            # profile's own frame.
+            prof.set_scope(prof.scope_id((self.profile.name,)))
         buffer = self.config.buffer
         source = self.config.source
         cycle = self.cost.cycle_time
@@ -468,6 +481,9 @@ class ProfileRun:
         segments = self.profile.segments
         while self.seg_index < len(segments):
             segment = segments[self.seg_index]
+            if prof is not None:
+                label = segment.label or segment.kind or f"segment{self.seg_index}"
+                prof.set_scope(prof.scope_id((self.profile.name, label)))
             if self.remaining is None:
                 self.remaining = segment.count
             # Backup is paid once per checkpoint, i.e. every `period`
@@ -506,7 +522,7 @@ class ProfileRun:
                     Category.COMPUTE, burst * segment.energy, burst * cycle
                 )
                 ledger.charge(Category.BACKUP, burst * backup_per_instr)
-                ledger.breakdown.instructions += burst
+                ledger.count_instructions(burst)
                 self.remaining -= burst
                 if obs is not None:
                     obs.emit(

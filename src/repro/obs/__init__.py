@@ -15,9 +15,13 @@ a single pointer comparison per instrumented site and allocates
 nothing.  See ``docs/OBSERVABILITY.md``.
 """
 
+from repro.obs.aggregate import MetricAggregator, RingBuffer, Series
 from repro.obs.events import Event, KNOWN_KINDS
+from repro.obs.export import MetricsServer, profile_json, prometheus_text
+from repro.obs.fanout import merge_shards, shard_path, worker_hub
 from repro.obs.manifest import build_manifest, git_state, write_manifest
 from repro.obs.metrics import Counter, Gauge, Histogram
+from repro.obs.prof import EnergyProfiler, ScopeRow, validate_collapsed
 from repro.obs.replay import ReplayStats, render, replay
 from repro.obs.schema import (
     SchemaError,
@@ -42,6 +46,7 @@ from repro.obs.trace import (
 __all__ = [
     "Counter",
     "DISABLED",
+    "EnergyProfiler",
     "Event",
     "Gauge",
     "Histogram",
@@ -49,10 +54,15 @@ __all__ = [
     "InstructionRecord",
     "JsonlSink",
     "KNOWN_KINDS",
+    "MetricAggregator",
+    "MetricsServer",
     "NullSink",
     "PerfettoSink",
     "ReplayStats",
+    "RingBuffer",
     "SchemaError",
+    "ScopeRow",
+    "Series",
     "Sink",
     "TeeSink",
     "Telemetry",
@@ -62,10 +72,16 @@ __all__ = [
     "current",
     "from_paths",
     "git_state",
+    "merge_shards",
+    "profile_json",
+    "prometheus_text",
     "render",
     "replay",
+    "shard_path",
     "use",
+    "validate_collapsed",
     "validate_events_jsonl",
     "validate_perfetto",
+    "worker_hub",
     "write_manifest",
 ]

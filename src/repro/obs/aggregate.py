@@ -1,0 +1,133 @@
+"""Bounded in-process aggregation: ring buffers and quantile summaries.
+
+Sweeps and serving loops run for hours and observe millions of values;
+this layer keeps a *bounded* live view of them — a fixed-capacity ring
+of recent samples per series plus the (already log2-bucketed)
+:class:`~repro.obs.metrics.Histogram` for whole-run quantiles — so an
+exporter can be scraped at any moment without the process accumulating
+unbounded state.  This is the middle of the three observability
+layers: events (lossless, on disk) → aggregation (bounded, in memory)
+→ export (Prometheus text / profiles).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.obs.metrics import Histogram
+
+
+class RingBuffer:
+    """Fixed-capacity ring of (ts, value) samples (oldest overwritten)."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._ts: list[float] = []
+        self._values: list[float] = []
+        self._next = 0
+        self.pushed = 0
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def push(self, value: float, ts: float = 0.0) -> None:
+        if len(self._values) < self.capacity:
+            self._ts.append(ts)
+            self._values.append(value)
+        else:
+            self._ts[self._next] = ts
+            self._values[self._next] = value
+        self._next = (self._next + 1) % self.capacity
+        self.pushed += 1
+
+    def items(self) -> list[tuple[float, float]]:
+        """Samples oldest-first."""
+        if len(self._values) < self.capacity:
+            return list(zip(self._ts, self._values))
+        return list(
+            zip(
+                self._ts[self._next :] + self._ts[: self._next],
+                self._values[self._next :] + self._values[: self._next],
+            )
+        )
+
+    def values(self) -> list[float]:
+        return [v for _, v in self.items()]
+
+    def last(self) -> Optional[float]:
+        if not self._values:
+            return None
+        return self._values[(self._next - 1) % len(self._values)]
+
+    def mean(self) -> float:
+        return sum(self._values) / len(self._values) if self._values else 0.0
+
+    def min(self) -> float:
+        return min(self._values) if self._values else math.inf
+
+    def max(self) -> float:
+        return max(self._values) if self._values else -math.inf
+
+
+class Series:
+    """One named series: a sample ring + a whole-run histogram."""
+
+    def __init__(self, name: str, capacity: int = 256) -> None:
+        self.name = name
+        self.ring = RingBuffer(capacity)
+        self.histogram = Histogram(name)
+
+    def observe(self, value: float, ts: float = 0.0) -> None:
+        self.ring.push(value, ts)
+        self.histogram.observe(value)
+
+    def summary(self) -> dict:
+        h = self.histogram
+        return {
+            "count": h.count,
+            "sum": h.total,
+            "mean": h.mean,
+            "min": None if h.count == 0 else h.min,
+            "max": None if h.count == 0 else h.max,
+            "p50": h.quantile(0.50),
+            "p99": h.quantile(0.99),
+            "recent_mean": self.ring.mean(),
+            "last": self.ring.last(),
+        }
+
+
+class MetricAggregator:
+    """A registry of named series (latency, energy-per-inference, ...).
+
+    The canonical serving-loop usage::
+
+        agg = MetricAggregator()
+        for x in batch:
+            breakdown = run_one(x)
+            agg.observe("inference.energy", breakdown.total_energy)
+            agg.observe("inference.latency", breakdown.total_latency)
+        agg.summary()["inference.latency"]["p99"]
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = capacity
+        self._series: dict[str, Series] = {}
+
+    def series(self, name: str) -> Series:
+        try:
+            return self._series[name]
+        except KeyError:
+            s = self._series[name] = Series(name, self.capacity)
+            return s
+
+    def observe(self, name: str, value: float, ts: float = 0.0) -> None:
+        self.series(name).observe(value, ts)
+
+    def names(self) -> list[str]:
+        return sorted(self._series)
+
+    def summary(self) -> dict:
+        return {name: self._series[name].summary() for name in self.names()}

@@ -37,6 +37,12 @@ Kinds
     One static-analysis run of :mod:`repro.lint`: the linted
     ``program`` name, its ``errors`` and ``warnings`` counts, and the
     comma-joined ``rules`` that fired (empty for a clean program).
+``checkpoint.commit``
+    One durable NVImage write (:mod:`repro.durability`): the image
+    ``seq`` number, the engine discriminator ``image_kind``
+    (``intermittent`` / ``profile``; named so because a data key
+    ``kind`` would clobber the event kind in the flat wire format),
+    and the ``instructions`` count captured.
 ``gauge``
     A sampled metric value (e.g. the capacitor-voltage timeline):
     ``name``, ``value``.
@@ -66,6 +72,7 @@ FAULT_INJECTED = "fault.injected"
 FAULT_DETECTED = "fault.detected"
 FAULT_RECOVERED = "fault.recovered"
 LINT_REPORT = "lint.report"
+CHECKPOINT_COMMIT = "checkpoint.commit"
 GAUGE = "gauge"
 SPAN = "span"
 
@@ -83,6 +90,7 @@ KNOWN_KINDS: dict[str, frozenset[str]] = {
     FAULT_DETECTED: frozenset({"site"}),
     FAULT_RECOVERED: frozenset({"site"}),
     LINT_REPORT: frozenset({"program", "errors", "warnings"}),
+    CHECKPOINT_COMMIT: frozenset({"seq", "image_kind"}),
     GAUGE: frozenset({"name", "value"}),
     SPAN: frozenset({"name", "dur"}),
 }
@@ -97,9 +105,18 @@ class Event:
     data: Mapping[str, Any] = field(default_factory=dict)
 
     def to_json_obj(self) -> dict[str, Any]:
-        """Flat dict form used by the JSONL wire format."""
+        """Flat dict form used by the JSONL wire format.
+
+        ``kind`` and ``ts`` are reserved keys and always win: a data
+        field under either name cannot clobber the envelope (emitters
+        should rename such fields, e.g. ``image_kind``).
+        """
         out: dict[str, Any] = {"kind": self.kind, "ts": self.ts}
         out.update(self.data)
+        # Re-assigning keeps the envelope keys' leading position while
+        # restoring their values if the data mapping collided.
+        out["kind"] = self.kind
+        out["ts"] = self.ts
         return out
 
     @classmethod

@@ -1,0 +1,105 @@
+"""Fan-out telemetry: per-worker event shards and deterministic merge.
+
+PR 4's process fan-out silenced telemetry in workers (a forked child
+sharing the parent's sink file descriptor would interleave writes and
+corrupt the log).  This module gives every worker its *own* JSONL
+shard instead:
+
+* Each worker gets a :class:`ShardSink` writing
+  ``<events>.shard<worker-id>``; every record is stamped with the
+  ``worker`` id and the ``task`` index it was emitted under, and the
+  file is flushed per write (pool workers can be terminated without
+  running cleanup).
+* After the pool drains, the parent calls :func:`merge_shards`, which
+  orders all shard records by ``(task, emission order)`` and replays
+  them into its own sinks.  A task runs entirely in one worker, so
+  this order is **independent of scheduling** — merged logs are
+  deterministic up to the ``worker`` field itself, which is kept as
+  the one (deliberately) schedule-dependent debugging breadcrumb.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from typing import Optional
+
+from repro.obs.events import Event
+from repro.obs.sinks import Sink
+
+#: Task index the current worker is executing (stamped into records).
+_current_task: int = -1
+
+
+def set_current_task(index: int) -> None:
+    """Record the task index for shard stamping (set by the pool)."""
+    global _current_task
+    _current_task = index
+
+
+def shard_path(events_path: str, worker_id: int) -> str:
+    return f"{events_path}.shard{worker_id:03d}"
+
+
+class ShardSink(Sink):
+    """One worker's JSONL shard, stamped and flushed per write."""
+
+    def __init__(self, path: str, worker_id: int) -> None:
+        self._file = open(path, "w", encoding="utf-8")
+        self.worker_id = worker_id
+        self.count = 0
+
+    def write(self, event: Event) -> None:
+        obj = event.to_json_obj()
+        obj["worker"] = self.worker_id
+        obj["task"] = _current_task
+        self._file.write(json.dumps(obj) + "\n")
+        self._file.flush()
+        self.count += 1
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+
+def worker_hub(events_path: str, worker_id: int):
+    """The telemetry hub a forked worker should install as ambient."""
+    from repro.obs.telemetry import Telemetry
+
+    hub = Telemetry(ShardSink(shard_path(events_path, worker_id), worker_id))
+    # Workers never re-shard: nested fan-out runs serially anyway.
+    hub.events_path = None
+    return hub
+
+
+def merge_shards(telemetry) -> dict:
+    """Merge worker shards into the parent's sinks; returns stats.
+
+    Records are sorted by ``(task index, emission order)`` — the same
+    total order a serial run with per-task logs would produce — then
+    replayed through the parent hub (so they reach the JSONL log *and*
+    any teed sinks, e.g. the Perfetto trace).  Shard files are removed
+    afterwards.  Returns ``{"shards": n, "shard_events": m}``.
+    """
+    base: Optional[str] = getattr(telemetry, "events_path", None)
+    if not base:
+        return {"shards": 0, "shard_events": 0}
+    paths = sorted(glob.glob(glob.escape(base) + ".shard*"))
+    records: list[tuple[int, int, dict]] = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as f:
+            for order, line in enumerate(f):
+                line = line.strip()
+                if not line:
+                    continue
+                obj = json.loads(line)
+                records.append((int(obj.get("task", -1)), order, obj))
+    # A task's records live contiguously in one shard, so (task,
+    # within-shard order) totally orders them schedule-independently.
+    records.sort(key=lambda r: (r[0], r[1]))
+    for _, _, obj in records:
+        telemetry.emit_event(Event.from_json_obj(obj))
+    for path in paths:
+        os.remove(path)
+    return {"shards": len(paths), "shard_events": len(records)}

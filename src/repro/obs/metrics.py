@@ -103,6 +103,29 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Approximate q-quantile from the log2 buckets.
+
+        Returns the upper edge of the bucket containing the q-th
+        observation, clamped to the observed [min, max] — so the error
+        is at most one octave, and q=0 / q=1 return the exact extremes.
+        None when nothing was observed.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return None
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for exponent in sorted(self.buckets):
+            seen += self.buckets[exponent]
+            if seen >= rank:
+                if exponent == -1075:
+                    return max(0.0, self.min)
+                upper = 2.0 ** (exponent + 1)
+                return min(max(upper, self.min), self.max)
+        return self.max  # pragma: no cover - counts always sum to count
+
     def snapshot(self) -> dict:
         return {
             "count": self.count,

@@ -33,6 +33,8 @@ class ReplayStats:
     hottest: list[dict] = field(default_factory=list)
     outages: int = 0
     restarts: int = 0
+    checkpoints: int = 0
+    checkpoint_kinds: dict[str, int] = field(default_factory=dict)
     charging_windows: Histogram = field(
         default_factory=lambda: Histogram("harvest.off_time")
     )
@@ -95,6 +97,12 @@ def replay(path: Union[str, Path], top: int = 10) -> ReplayStats:
                 )
                 stats.instructions_by_mnemonic[label] = (
                     stats.instructions_by_mnemonic.get(label, 0) + obj["count"]
+                )
+            elif kind == ev.CHECKPOINT_COMMIT:
+                stats.checkpoints += 1
+                image_kind = str(obj.get("image_kind", "?"))
+                stats.checkpoint_kinds[image_kind] = (
+                    stats.checkpoint_kinds.get(image_kind, 0) + 1
                 )
             elif kind == ev.HARVEST_OUTAGE:
                 stats.outages += 1
@@ -172,6 +180,11 @@ def render(stats: ReplayStats, top: int = 10) -> str:
 
     if stats.outages or stats.restarts:
         out.append(f"\noutages: {stats.outages}   restarts: {stats.restarts}")
+    if stats.checkpoints:
+        kinds = ", ".join(
+            f"{k}: {n}" for k, n in sorted(stats.checkpoint_kinds.items())
+        )
+        out.append(f"checkpoints committed: {stats.checkpoints} ({kinds})")
     if stats.vcap_min != float("inf"):
         out.append(
             f"capacitor voltage: min {stats.vcap_min * 1e3:.1f} mV, "

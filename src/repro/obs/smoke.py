@@ -12,10 +12,18 @@ the emitted artifacts:
 * the JSONL event log conforms to the event schema,
 * its per-category energy sums equal the run's Breakdown to 1e-12 J,
 * the Chrome-trace JSON conforms to the Perfetto trace-event schema,
-* the in-array result equals the Python reference.
+* the in-array result equals the Python reference,
+* the attached :class:`~repro.obs.prof.EnergyProfiler` root equals the
+  run's Breakdown **bit-exactly** and its collapsed-stack flamegraph
+  files pass :func:`~repro.obs.prof.validate_collapsed`,
+* the attached checkpointer drove the ``checkpoint.*`` counters and its
+  ``checkpoint.commit`` events survive the replay (``stats``) path,
+* one live scrape of the :class:`~repro.obs.export.MetricsServer`
+  ``/metrics`` endpoint carries the counters and per-scope gauges.
 
 Exit status 0 means the whole telemetry pipeline is healthy; it is
-wired into ``make trace-smoke`` (part of ``make test``).
+wired into ``make obs-smoke`` (part of ``make test``; ``trace-smoke``
+is kept as an alias).
 """
 
 from __future__ import annotations
@@ -86,12 +94,27 @@ def harvesting_config() -> HarvestingConfig:
 
 
 def run_smoke(events: str, trace: str, manifest_dir: str) -> int:
+    from repro.durability.checkpoint import Checkpointer, CheckpointPolicy
+    from repro.obs.prof import EnergyProfiler, validate_collapsed
+
     telemetry = from_paths(events=events, trace=trace)
     machine, kernel, expected = build_kernel_machine()
+    profiler = EnergyProfiler()
+    machine.attach_profiler(profiler)
+    base = Path(manifest_dir)
+    checkpointer = Checkpointer(
+        str(base / "images"),
+        CheckpointPolicy(period=256, at_outages=True),
+        telemetry=telemetry,
+    )
 
     with telemetry.span("trace-smoke", workload="svm-kernel"):
         run = IntermittentRun(
-            machine, harvesting_config(), telemetry=telemetry, vcap_sample_period=16
+            machine,
+            harvesting_config(),
+            telemetry=telemetry,
+            vcap_sample_period=16,
+            checkpointer=checkpointer,
         )
         breakdown = run.run(max_instructions=1_000_000)
     telemetry.close()
@@ -124,6 +147,65 @@ def run_smoke(events: str, trace: str, manifest_dir: str) -> int:
             f"restarts: events {stats.restarts} != ledger {breakdown.restarts}"
         )
 
+    # -- profiler: per-scope attribution must replay the ledger exactly.
+    if profiler.root != breakdown:
+        failures.append(
+            f"profiler root breakdown is not bit-exact: "
+            f"{profiler.root} != {breakdown}"
+        )
+    n_scopes = len(profiler.rows())
+    if n_scopes < 3:  # run + macro scopes from the compiled kernel
+        failures.append(f"profiler saw only {n_scopes} scopes")
+    n_stacks = {}
+    for metric in ("energy", "time"):
+        flame = str(base / f"flame-{metric}.folded")
+        profiler.write_collapsed(flame, metric=metric)
+        try:
+            n_stacks[metric] = validate_collapsed(flame)
+        except (OSError, ValueError) as exc:
+            failures.append(f"flamegraph lint ({metric}): {exc}")
+            n_stacks[metric] = 0
+
+    # -- checkpointing: counters populated and commit events replayable.
+    counters = telemetry.snapshot()["counters"]
+    if counters.get("checkpoint.writes", 0) < 1:
+        failures.append("checkpoint.writes counter never incremented")
+    if counters.get("checkpoint.bytes", 0) <= 0:
+        failures.append("checkpoint.bytes counter never incremented")
+    if stats.checkpoints != counters.get("checkpoint.writes", 0):
+        failures.append(
+            f"checkpoint.commit events ({stats.checkpoints}) != "
+            f"checkpoint.writes counter ({counters.get('checkpoint.writes')})"
+        )
+    from repro.obs.replay import render as render_stats
+
+    if "checkpoints committed" not in render_stats(stats, top=0):
+        failures.append("stats render does not surface checkpoint counts")
+
+    # -- exporter: one live scrape of /metrics and /profile.
+    import urllib.request
+
+    from repro.obs.export import MetricsServer
+
+    server = MetricsServer(telemetry, profiler=profiler, port=0).start()
+    try:
+        with urllib.request.urlopen(f"{server.url}/metrics", timeout=10) as r:
+            scraped = r.read().decode("utf-8")
+        with urllib.request.urlopen(f"{server.url}/profile", timeout=10) as r:
+            profile_body = r.read().decode("utf-8")
+    finally:
+        server.close()
+    for needle in (
+        "repro_checkpoint_writes_total",
+        "repro_harvest_outages_total",
+        "repro_scope_energy_joules",
+        "repro_events_emitted_total",
+    ):
+        if needle not in scraped:
+            failures.append(f"/metrics scrape is missing {needle}")
+    if '"rows"' not in profile_body:
+        failures.append("/profile response carries no attribution rows")
+
     manifest_path = write_manifest(
         manifest_dir,
         command=["python", "-m", "repro.obs.smoke"],
@@ -134,12 +216,20 @@ def run_smoke(events: str, trace: str, manifest_dir: str) -> int:
 
     if failures:
         for failure in failures:
-            print(f"trace-smoke FAILED: {failure}", file=sys.stderr)
+            print(f"obs-smoke FAILED: {failure}", file=sys.stderr)
         return 1
     print(
-        f"trace-smoke ok: {breakdown.instructions} instructions, "
+        f"obs-smoke ok: {breakdown.instructions} instructions, "
         f"{breakdown.restarts} restarts, {n_events} events validated, "
         f"{n_trace} trace events validated, result {got} == {expected}"
+    )
+    print(
+        f"  profiler: {n_scopes} scopes, attribution bit-exact; "
+        f"flamegraphs {n_stacks['energy']}/{n_stacks['time']} stacks"
+    )
+    print(
+        f"  checkpoints: {stats.checkpoints} committed; "
+        f"/metrics scraped ({len(scraped.splitlines())} lines)"
     )
     print(f"  events:   {events}")
     print(f"  trace:    {trace}")

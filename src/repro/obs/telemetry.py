@@ -39,6 +39,10 @@ class Telemetry:
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
         self.events_emitted = 0
+        #: Path of the JSONL event log this hub writes, when built by
+        #: :func:`from_paths`.  Fan-out workers derive their per-worker
+        #: shard paths from it (see :mod:`repro.obs.fanout`).
+        self.events_path: Optional[str] = None
 
     # -- events ----------------------------------------------------------
 
@@ -134,7 +138,9 @@ def from_paths(
         sinks.append(PerfettoSink(trace))
     if not sinks:
         return Telemetry()
-    return Telemetry(sinks[0] if len(sinks) == 1 else TeeSink(sinks))
+    hub = Telemetry(sinks[0] if len(sinks) == 1 else TeeSink(sinks))
+    hub.events_path = events or None
+    return hub
 
 
 #: Process-wide disabled hub: the default ambient telemetry.

@@ -354,6 +354,97 @@ def write_report(report: dict, path: str) -> None:
     atomic_write_text(path, json.dumps(report, indent=2, sort_keys=True) + "\n")
 
 
+def load_report(path: str) -> dict:
+    """Read and schema-check a ``repro.bench/v1`` report file."""
+    with open(path, "r", encoding="utf-8") as f:
+        report = json.load(f)
+    if not isinstance(report, dict) or report.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: not a {SCHEMA} report "
+            f"(schema={report.get('schema') if isinstance(report, dict) else '?'!r})"
+        )
+    return report
+
+
+def compare_reports(old: dict, new: dict, threshold: float = 0.30) -> dict:
+    """Diff two ``repro.bench/v1`` reports op-by-op.
+
+    For every op present in both reports the comparison carries the
+    ns/op ratio (``new / old``; > 1 is a slowdown) and, where both
+    sides measured an in-run baseline, the speedup delta.  An op
+    regresses when its ns/op grew by more than ``threshold``
+    (fractional — 0.30 tolerates the ~tens-of-percent noise absolute
+    timings carry across machines and runs; the in-run speedup ratios
+    are steadier, but the gate is on time so a baseline regression
+    cannot mask one).
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be >= 0")
+    old_ops = {r["op"]: r for r in old["results"]}
+    new_ops = {r["op"]: r for r in new["results"]}
+    ops = []
+    for op in old_ops:
+        if op not in new_ops:
+            continue
+        o, n = old_ops[op], new_ops[op]
+        ratio = n["ns_per_op"] / o["ns_per_op"] if o["ns_per_op"] else float("inf")
+        entry = {
+            "op": op,
+            "old_ns_per_op": o["ns_per_op"],
+            "new_ns_per_op": n["ns_per_op"],
+            "ratio": round(ratio, 3),
+            "regressed": ratio > 1.0 + threshold,
+        }
+        if "speedup" in o and "speedup" in n:
+            entry["old_speedup"] = o["speedup"]
+            entry["new_speedup"] = n["speedup"]
+            entry["speedup_delta"] = round(n["speedup"] - o["speedup"], 2)
+        ops.append(entry)
+    return {
+        "schema": "repro.bench.compare/v1",
+        "threshold": threshold,
+        "ops": ops,
+        "only_old": sorted(set(old_ops) - set(new_ops)),
+        "only_new": sorted(set(new_ops) - set(old_ops)),
+        "regressions": sorted(e["op"] for e in ops if e["regressed"]),
+    }
+
+
+def render_compare(comparison: dict) -> str:
+    from repro.experiments._format import format_table
+
+    rows = []
+    for e in comparison["ops"]:
+        delta = e.get("speedup_delta")
+        rows.append(
+            (
+                e["op"],
+                f"{e['old_ns_per_op'] / 1e3:.1f}",
+                f"{e['new_ns_per_op'] / 1e3:.1f}",
+                f"{e['ratio']:.2f}x",
+                f"{delta:+.2f}" if delta is not None else "-",
+                "REGRESSED" if e["regressed"] else "ok",
+            )
+        )
+    table = format_table(
+        ["op", "old us/op", "new us/op", "new/old", "speedup delta", "verdict"],
+        rows,
+    )
+    out = [
+        f"benchmark comparison (threshold {comparison['threshold']:.0%} slowdown)",
+        table,
+    ]
+    if comparison["only_old"]:
+        out.append(f"only in old: {', '.join(comparison['only_old'])}")
+    if comparison["only_new"]:
+        out.append(f"only in new: {', '.join(comparison['only_new'])}")
+    if comparison["regressions"]:
+        out.append(f"REGRESSIONS: {', '.join(comparison['regressions'])}")
+    else:
+        out.append("no regressions")
+    return "\n".join(out)
+
+
 def main(argv=None) -> int:
     import argparse
 

@@ -14,10 +14,13 @@ while keeping the results **byte-identical** to a serial run:
   build closures over trained models and golden states, which do not
   pickle.  Workers are forked, so they inherit the task list by memory
   snapshot; only the (plain-data) *results* cross the pipe.
-* **Quiet children**: a forked child sharing the parent's telemetry
-  sink file descriptor would interleave writes and corrupt the event
-  log, so workers run with the ambient hub forced to DISABLED; the
-  parent emits any events when merging.
+* **Sharded telemetry**: a forked child sharing the parent's sink file
+  descriptor would interleave writes and corrupt the event log, so
+  each worker writes its own JSONL shard (worker id + task index in
+  every record) and the parent merges the shards deterministically —
+  ordered by task, independent of scheduling — when the pool drains
+  (see :mod:`repro.obs.fanout`).  When the ambient hub has no events
+  file, workers run with telemetry DISABLED as before.
 
 Anything that can go wrong with process pools (no fork support,
 daemonic context, a single task, ``jobs=1``) degrades to the plain
@@ -40,6 +43,15 @@ _default_jobs = 1
 #: in the parent, and for the whole (short) life of a worker.
 _ACTIVE_THUNKS: Optional[Sequence[Callable[[], object]]] = None
 
+#: Stats of the most recent fan-out (for run manifests): jobs, tasks,
+#: and — when telemetry was sharded — shard/event counts.
+_LAST_FANOUT: Optional[dict] = None
+
+
+def last_fanout() -> Optional[dict]:
+    """Stats of the most recent :func:`parallel_tasks` call (or None)."""
+    return _LAST_FANOUT
+
 
 def set_default_jobs(jobs: int) -> None:
     """Set the process-wide default worker count (1 = serial)."""
@@ -61,14 +73,15 @@ def _resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
-def _child_init() -> None:
-    """Run in each forked worker before any task: silence telemetry and
-    make SIGTERM exit cleanly.
+def _child_init(worker_counter=None, events_path: Optional[str] = None) -> None:
+    """Run in each forked worker before any task: re-point telemetry
+    and make SIGTERM exit cleanly.
 
     The child inherited the parent's hub — including any open sink file
     descriptors.  Writing to them from multiple processes would
-    interleave events, so the ambient hub is forced to DISABLED for the
-    worker's lifetime.
+    interleave events, so the ambient hub is replaced: with an
+    ``events_path`` the worker gets its own shard hub (see
+    :mod:`repro.obs.fanout`), otherwise DISABLED as before.
 
     SIGTERM (what ``Pool.terminate`` and a Ctrl-C'd parent send) is
     rebound to ``sys.exit(143)`` so ``finally`` blocks run — in
@@ -80,12 +93,23 @@ def _child_init() -> None:
 
     from repro.obs import telemetry
 
-    telemetry._current = telemetry.DISABLED
+    if events_path is not None and worker_counter is not None:
+        with worker_counter.get_lock():
+            worker_id = worker_counter.value
+            worker_counter.value += 1
+        from repro.obs import fanout
+
+        telemetry._current = fanout.worker_hub(events_path, worker_id)
+    else:
+        telemetry._current = telemetry.DISABLED
     signal.signal(signal.SIGTERM, lambda signum, frame: sys.exit(143))
 
 
 def _run_thunk(index: int):
     assert _ACTIVE_THUNKS is not None
+    from repro.obs import fanout
+
+    fanout.set_current_task(index)
     return _ACTIVE_THUNKS[index]()
 
 
@@ -104,7 +128,7 @@ def parallel_tasks(
     if jobs <= 1 or len(thunks) <= 1:
         return [t() for t in thunks]
 
-    global _ACTIVE_THUNKS
+    global _ACTIVE_THUNKS, _LAST_FANOUT
     if _ACTIVE_THUNKS is not None:
         # Nested fan-out (a parallel task spawning parallel tasks):
         # run the inner level serially rather than oversubscribing.
@@ -115,16 +139,32 @@ def parallel_tasks(
     except ValueError:  # pragma: no cover - fork always exists on Linux
         return [t() for t in thunks]
 
+    from repro.obs import current as _current_hub
+
+    hub = _current_hub()
+    events_path = hub.events_path if hub.enabled else None
+    processes = min(jobs, len(thunks))
+    info = {"jobs": processes, "tasks": len(thunks)}
+
     _ACTIVE_THUNKS = thunks
     try:
+        worker_counter = context.Value("i", 0)
         with context.Pool(
-            processes=min(jobs, len(thunks)), initializer=_child_init
+            processes=processes,
+            initializer=_child_init,
+            initargs=(worker_counter, events_path),
         ) as pool:
-            return pool.map(_run_thunk, range(len(thunks)))
+            results = pool.map(_run_thunk, range(len(thunks)))
     except (OSError, AssertionError):  # pragma: no cover - no fork/daemon
         return [t() for t in thunks]
     finally:
         _ACTIVE_THUNKS = None
+    if events_path is not None:
+        from repro.obs import fanout
+
+        info.update(fanout.merge_shards(hub))
+    _LAST_FANOUT = info
+    return results
 
 
 def parallel_map(

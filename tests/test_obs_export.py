@@ -1,0 +1,196 @@
+"""Aggregation and export layers: rings, quantiles, Prometheus text,
+and the opt-in HTTP endpoint (bound to an ephemeral port)."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.energy.metrics import Category
+from repro.obs import InMemorySink, Telemetry
+from repro.obs.aggregate import MetricAggregator, RingBuffer
+from repro.obs.export import (
+    MetricsServer,
+    profile_json,
+    prometheus_text,
+    sanitize_name,
+)
+from repro.obs.metrics import Histogram
+from repro.obs.prof import EnergyProfiler
+
+
+class TestRingBuffer:
+    def test_overwrites_oldest(self):
+        ring = RingBuffer(capacity=3)
+        for i in range(5):
+            ring.push(float(i), ts=float(i))
+        assert ring.values() == [2.0, 3.0, 4.0]
+        assert ring.items()[0] == (2.0, 2.0)
+        assert ring.last() == 4.0
+        assert ring.pushed == 5
+        assert len(ring) == 3
+
+    def test_stats(self):
+        ring = RingBuffer(capacity=8)
+        assert ring.last() is None
+        assert ring.mean() == 0.0
+        for v in (2.0, 4.0):
+            ring.push(v)
+        assert ring.mean() == 3.0
+        assert (ring.min(), ring.max()) == (2.0, 4.0)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            RingBuffer(0)
+
+
+class TestHistogramQuantile:
+    def test_quantiles_bounded_by_extremes(self):
+        h = Histogram("t")
+        for v in (1.0, 2.0, 3.0, 100.0):
+            h.observe(v)
+        # Bucket upper edges, clamped to the observed [min, max].
+        assert 1.0 <= h.quantile(0.0) <= 2.0
+        assert h.quantile(1.0) == 100.0
+        p50 = h.quantile(0.5)
+        assert 1.0 <= p50 <= 4.0  # within one octave of the true median
+
+    def test_empty_and_invalid(self):
+        h = Histogram("t")
+        assert h.quantile(0.5) is None
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_underflow_bucket(self):
+        h = Histogram("t")
+        h.observe(0.0)
+        h.observe(-2.0)
+        assert h.quantile(0.5) == 0.0
+
+
+class TestMetricAggregator:
+    def test_summary_quantiles(self):
+        agg = MetricAggregator(capacity=4)
+        for i in range(100):
+            agg.observe("lat", float(i + 1), ts=float(i))
+        s = agg.summary()["lat"]
+        assert s["count"] == 100
+        assert s["min"] == 1.0 and s["max"] == 100.0
+        assert s["p50"] <= s["p99"] <= 100.0
+        assert s["last"] == 100.0
+        assert s["recent_mean"] == pytest.approx(98.5)  # ring keeps 4
+
+    def test_series_interned(self):
+        agg = MetricAggregator()
+        assert agg.series("a") is agg.series("a")
+        agg.observe("b", 1.0)
+        assert agg.names() == ["a", "b"]
+
+
+class TestPrometheusText:
+    def test_name_sanitation(self):
+        assert sanitize_name("harvest.vcap") == "repro_harvest_vcap"
+        assert sanitize_name("span.bench-x") == "repro_span_bench_x"
+
+    def _hub(self):
+        t = Telemetry(InMemorySink())
+        t.counter("checkpoint.writes").inc(2)
+        t.gauge("harvest.vcap").set(0.5)
+        t.histogram("harvest.off_time").observe(0.25)
+        t.histogram("harvest.off_time").observe(3.0)
+        return t
+
+    def test_counters_gauges_histograms(self):
+        text = prometheus_text(self._hub())
+        assert "# TYPE repro_checkpoint_writes_total counter" in text
+        assert "repro_checkpoint_writes_total 2.0" in text
+        assert "repro_harvest_vcap 0.5" in text
+        assert "# TYPE repro_harvest_off_time histogram" in text
+        assert 'repro_harvest_off_time_bucket{le="+Inf"} 2' in text
+        assert "repro_harvest_off_time_count 2" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative_pow2_edges(self):
+        text = prometheus_text(self._hub())
+        # 0.25 lands in [2^-2, 2^-1) -> le=0.5; 3.0 in [2, 4) -> le=4.
+        assert 'repro_harvest_off_time_bucket{le="0.5"} 1' in text
+        assert 'repro_harvest_off_time_bucket{le="4.0"} 2' in text
+
+    def test_profiler_scopes_exported(self):
+        prof = EnergyProfiler()
+        prof.set_scope(prof.scope_id(("svm", "dot")))
+        prof.record(Category.COMPUTE, 2e-9, 1e-6)
+        text = prometheus_text(self._hub(), profiler=prof)
+        assert 'repro_scope_energy_joules{scope="svm/dot"} 2e-09' in text
+        assert 'repro_scope_latency_seconds{scope="(run)"} 1e-06' in text
+
+    def test_aggregator_summaries_exported(self):
+        agg = MetricAggregator()
+        for v in (1.0, 2.0, 4.0):
+            agg.observe("inference.latency", v)
+        text = prometheus_text(self._hub(), aggregator=agg)
+        assert "# TYPE repro_inference_latency summary" in text
+        assert 'repro_inference_latency{quantile="0.5"}' in text
+        assert "repro_inference_latency_count 3" in text
+
+
+class TestMetricsServer:
+    def _serve(self, **kwargs):
+        t = Telemetry(InMemorySink())
+        t.counter("checkpoint.writes").inc()
+        return t, MetricsServer(t, port=0, **kwargs).start()
+
+    def test_scrape_metrics(self):
+        _, server = self._serve()
+        try:
+            assert server.port > 0
+            with urllib.request.urlopen(f"{server.url}/metrics") as r:
+                assert r.status == 200
+                assert "version=0.0.4" in r.headers["Content-Type"]
+                body = r.read().decode()
+            assert "repro_checkpoint_writes_total 1.0" in body
+        finally:
+            server.close()
+
+    def test_profile_endpoint(self):
+        prof = EnergyProfiler()
+        prof.set_scope(prof.scope_id(("svm",)))
+        prof.record(Category.COMPUTE, 1e-9, 1e-6)
+        _, server = self._serve(profiler=prof)
+        try:
+            with urllib.request.urlopen(f"{server.url}/profile") as r:
+                payload = json.loads(r.read().decode())
+            assert payload["rows"][0]["scope"] == "(run)"
+            assert any(row["scope"] == "svm" for row in payload["rows"])
+            url = f"{server.url}/profile?format=collapsed&metric=energy"
+            with urllib.request.urlopen(url) as r:
+                assert "svm 1000000000" in r.read().decode()
+        finally:
+            server.close()
+
+    def test_profile_404_without_profiler_and_healthz(self):
+        _, server = self._serve()
+        try:
+            with urllib.request.urlopen(f"{server.url}/healthz") as r:
+                assert r.read().decode() == "ok\n"
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(f"{server.url}/profile")
+            assert err.value.code == 404
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(f"{server.url}/nope")
+            assert err.value.code == 404
+        finally:
+            server.close()
+
+
+class TestProfileJson:
+    def test_rows_carry_breakdown(self):
+        prof = EnergyProfiler()
+        prof.set_scope(prof.scope_id(("a",)))
+        prof.record(Category.RESTORE, 5e-9, 2e-6)
+        payload = profile_json(prof)
+        row = next(r for r in payload["rows"] if r["scope"] == "a")
+        assert row["breakdown"]["restore_energy"] == 5e-9
+        assert row["self_energy"] == 5e-9
+        assert payload["root_name"] == "run"

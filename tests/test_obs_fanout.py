@@ -1,0 +1,149 @@
+"""Fan-out telemetry: per-worker shards must merge back into a log
+byte-identical to a serial run's (up to the worker/task breadcrumbs).
+
+This pins the PR 4 regression where ``--jobs N`` silently blacked out
+every ``fault.*`` event emitted inside pool workers.
+"""
+
+import json
+import multiprocessing
+from pathlib import Path
+
+import pytest
+
+from repro.faults.campaign import FaultCampaign, adder_workload
+from repro.faults.plan import FaultPlan
+from repro.obs import InMemorySink, Telemetry, use
+from repro.obs.events import Event
+from repro.obs.fanout import (
+    ShardSink,
+    merge_shards,
+    set_current_task,
+    shard_path,
+    worker_hub,
+)
+from repro.obs.telemetry import from_paths
+from repro.perf.parallel import last_fanout, parallel_tasks
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="process fan-out requires fork",
+)
+
+
+def _strip(obj):
+    return {k: v for k, v in obj.items() if k not in ("worker", "task")}
+
+
+def _read_events(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return [json.loads(line) for line in f if line.strip()]
+
+
+def _run_campaign(tmp_path, jobs):
+    events = tmp_path / f"events-j{jobs}.jsonl"
+    hub = from_paths(events=str(events))
+    with use(hub):
+        report = FaultCampaign(
+            adder_workload(), FaultPlan(outage_rate=0.02), trials=4, seed=7
+        ).run(jobs=jobs)
+    hub.close()
+    return report, _read_events(events)
+
+
+class TestCampaignFanout:
+    def test_events_survive_fanout_and_merge_deterministically(self, tmp_path):
+        serial_report, serial_events = _run_campaign(tmp_path, jobs=1)
+        fanned_report, fanned_events = _run_campaign(tmp_path, jobs=2)
+
+        # The blackout regression: workers must still emit fault.*.
+        fanned_faults = [
+            o for o in fanned_events if o["kind"].startswith("fault.")
+        ]
+        serial_faults = [
+            o for o in serial_events if o["kind"].startswith("fault.")
+        ]
+        assert fanned_faults
+        # Merged fault stream (simulated-time timestamps included) is
+        # the serial stream, modulo the shard breadcrumbs.  Wall-clock
+        # events like lint.report are excluded: their ts is real time.
+        assert [_strip(o) for o in fanned_faults] == [
+            _strip(o) for o in serial_faults
+        ]
+        # Fanned records keep worker/task for debugging.
+        assert all("worker" in o and "task" in o for o in fanned_faults)
+        assert serial_report.to_json_obj() == fanned_report.to_json_obj()
+
+    def test_shard_files_are_removed_after_merge(self, tmp_path):
+        _, _ = _run_campaign(tmp_path, jobs=2)
+        assert not list(tmp_path.glob("*.shard*"))
+
+    def test_last_fanout_records_shards(self, tmp_path):
+        _run_campaign(tmp_path, jobs=2)
+        info = last_fanout()
+        assert info is not None
+        assert info["jobs"] == 2 and info["tasks"] == 4
+        assert 1 <= info["shards"] <= 2
+        # Every merged (task-stamped) record came through a shard; the
+        # parent's own events (e.g. lint.report) are not shard traffic.
+        merged = _read_events(tmp_path / "events-j2.jsonl")
+        assert info["shard_events"] == sum(1 for o in merged if "task" in o)
+
+
+class TestShardSink:
+    def test_stamps_worker_and_task(self, tmp_path):
+        path = shard_path(str(tmp_path / "events.jsonl"), 3)
+        assert path.endswith(".shard003")
+        sink = ShardSink(path, worker_id=3)
+        set_current_task(11)
+        try:
+            sink.write(Event("fault.inject", 1.0, {"site": "gate"}))
+        finally:
+            set_current_task(-1)
+            sink.close()
+        [obj] = _read_events(path)
+        assert obj["worker"] == 3 and obj["task"] == 11
+        assert obj["kind"] == "fault.inject" and obj["site"] == "gate"
+        assert sink.count == 1
+
+    def test_worker_hub_never_resharding(self, tmp_path):
+        hub = worker_hub(str(tmp_path / "events.jsonl"), 0)
+        assert hub.enabled
+        assert hub.events_path is None
+        hub.close()
+
+
+class TestMergeShards:
+    def test_noop_without_events_path(self):
+        hub = Telemetry(InMemorySink())
+        assert merge_shards(hub) == {"shards": 0, "shard_events": 0}
+
+    def test_orders_by_task_not_worker(self, tmp_path):
+        base = str(tmp_path / "events.jsonl")
+        # Worker 1 ran task 0; worker 0 ran task 1.  Merge must order
+        # by task, not shard filename.
+        for worker, task in ((1, 0), (0, 1)):
+            sink = ShardSink(shard_path(base, worker), worker)
+            set_current_task(task)
+            try:
+                sink.write(Event("fault.inject", float(task), {"site": "nv"}))
+            finally:
+                set_current_task(-1)
+                sink.close()
+        hub = from_paths(events=base)
+        assert merge_shards(hub) == {"shards": 2, "shard_events": 2}
+        hub.close()
+        merged = _read_events(base)
+        assert [o["task"] for o in merged] == [0, 1]
+        assert [o["worker"] for o in merged] == [1, 0]
+
+
+class TestDisabledAmbient:
+    def test_fanout_without_events_path_disables_worker_telemetry(self):
+        def probe():
+            from repro.obs import current
+
+            return current().enabled
+
+        results = parallel_tasks([probe, probe], jobs=2)
+        assert results == [False, False]

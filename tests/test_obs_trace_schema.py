@@ -1,0 +1,117 @@
+"""Satellite: schema coverage for the Perfetto trace output, over a
+single run whose event log carries outage, fault, AND checkpoint
+events at once — then the ``stats`` replay must round-trip all three.
+"""
+
+import json
+
+import pytest
+
+from repro.faults.campaign import FaultCampaign, adder_workload
+from repro.faults.plan import FaultPlan
+from repro.harvest.intermittent import IntermittentRun
+from repro.obs import events as ev
+from repro.obs import use
+from repro.obs.replay import render, replay
+from repro.obs.schema import validate_events_jsonl, validate_perfetto
+from repro.obs.smoke import build_kernel_machine, harvesting_config
+from repro.obs.telemetry import from_paths
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    """One hub, one log pair, three event families.
+
+    The intermittent SVM kernel (with a checkpointer) contributes
+    ``harvest.*`` and ``checkpoint.commit`` events; a tiny serial
+    fault campaign under the same ambient hub contributes ``fault.*``.
+    """
+    from repro.durability.checkpoint import Checkpointer, CheckpointPolicy
+
+    base = tmp_path_factory.mktemp("traced")
+    events = str(base / "events.jsonl")
+    trace = str(base / "trace.json")
+    hub = from_paths(events=events, trace=trace)
+
+    machine, _, _ = build_kernel_machine()
+    checkpointer = Checkpointer(
+        str(base / "images"),
+        CheckpointPolicy(period=512, at_outages=True),
+        telemetry=hub,
+    )
+    with use(hub):
+        breakdown = IntermittentRun(
+            machine,
+            harvesting_config(),
+            telemetry=hub,
+            vcap_sample_period=64,
+            checkpointer=checkpointer,
+        ).run(max_instructions=1_000_000)
+        FaultCampaign(
+            adder_workload(), FaultPlan(outage_rate=0.02), trials=2, seed=3
+        ).run(jobs=1)
+    hub.close()
+    return events, trace, breakdown
+
+
+class TestSchema:
+    def test_event_log_validates(self, traced_run):
+        events, _, _ = traced_run
+        assert validate_events_jsonl(events) > 0
+
+    def test_trace_validates_against_perfetto_schema(self, traced_run):
+        _, trace, _ = traced_run
+        assert validate_perfetto(trace) > 0
+
+    def test_trace_is_chrome_trace_shaped(self, traced_run):
+        _, trace, _ = traced_run
+        with open(trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+        trace_events = doc["traceEvents"]
+        assert trace_events
+        for entry in trace_events:
+            assert {"ph", "pid", "name"} <= set(entry)
+            if entry["ph"] != "M":  # metadata rows carry no timestamp
+                assert "ts" in entry
+
+    def test_all_three_event_families_present(self, traced_run):
+        events, _, _ = traced_run
+        kinds = set()
+        with open(events, "r", encoding="utf-8") as f:
+            for line in f:
+                kinds.add(json.loads(line)["kind"])
+        assert ev.HARVEST_OUTAGE in kinds
+        assert ev.CHECKPOINT_COMMIT in kinds
+        assert any(k.startswith("fault.") for k in kinds)
+
+
+class TestReplayRoundTrip:
+    def test_counts_match_run(self, traced_run):
+        events, _, breakdown = traced_run
+        stats = replay(events)
+        assert stats.restarts == breakdown.restarts > 0
+        assert stats.outages >= stats.restarts
+        assert stats.checkpoints > 0
+        assert sum(stats.checkpoint_kinds.values()) == stats.checkpoints
+
+    def test_energy_sums_bit_follow_ledger(self, traced_run):
+        events, _, breakdown = traced_run
+        stats = replay(events)
+        for category, attr in (
+            ("compute", "compute_energy"),
+            ("restore", "restore_energy"),
+        ):
+            assert stats.energy_by_category[category] == pytest.approx(
+                getattr(breakdown, attr), rel=1e-12
+            )
+
+    def test_event_total_matches_validator(self, traced_run):
+        events, _, _ = traced_run
+        assert replay(events).events == validate_events_jsonl(events)
+
+    def test_render_surfaces_checkpoints_and_outages(self, traced_run):
+        events, _, _ = traced_run
+        text = render(replay(events), top=3)
+        assert "checkpoints committed:" in text
+        assert "outages:" in text
+        assert "restarts:" in text
