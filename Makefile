@@ -1,9 +1,9 @@
-.PHONY: install test lint lint-smoke obs-smoke trace-smoke faults-smoke bench-smoke crash-smoke bench experiments export examples all
+.PHONY: install test lint lint-smoke obs-smoke trace-smoke faults-smoke bench-smoke crash-smoke harden-smoke bench experiments export examples all
 
 install:
 	pip install -e . --no-build-isolation
 
-test: obs-smoke faults-smoke bench-smoke crash-smoke lint
+test: obs-smoke faults-smoke bench-smoke crash-smoke harden-smoke lint
 	pytest tests/
 
 # Static checks: the CRAM program linter over every registered target,
@@ -41,6 +41,14 @@ faults-smoke:
 # checked-in BENCH_PR4.json, then refreshes it.
 bench-smoke:
 	PYTHONPATH=src python -m repro.perf.smoke
+
+# Hardening gate: tiny protection-frontier sweep (BNN, Modern STT);
+# asserts the proven SDC bound dominates the measured rate, full
+# hardening cuts measured SDC >= 10x, the hardened program lints clean
+# (incl. the SDC pass), the report is byte-reproducible, and the
+# energy-overhead cost has not regressed vs BENCH_PR7.json.
+harden-smoke:
+	PYTHONPATH=src python -m repro.harden.smoke
 
 # Durability gate: 200+ seeded SIGKILLs (instruction boundaries and
 # mid-image-write) across SVM and BNN intermittent runs, torn/corrupt

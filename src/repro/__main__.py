@@ -8,6 +8,7 @@
     python -m repro export [directory]   # write every artifact as CSV
     python -m repro stats ev.jsonl       # replay a telemetry event log
     python -m repro faults --seed 7 --out report.json   # fault campaign
+    python -m repro harden --out frontier.json   # protection frontier
     python -m repro bench [--quick]      # hot-path microbenchmarks
     python -m repro bench --compare OLD.json [NEW.json]  # regression diff
     python -m repro profile svm          # per-scope energy attribution
@@ -423,6 +424,97 @@ def cmd_faults(args) -> int:
     return 1 if report.sdc else 0
 
 
+def cmd_harden(args) -> int:
+    from repro import obs
+    from repro.devices.parameters import ALL_TECHNOLOGIES
+    from repro.harden.frontier import format_table, report_json, run_frontier
+
+    techs = {p.name.lower().replace(" ", "-"): p for p in ALL_TECHNOLOGIES}
+    if args.tech == ["all"]:
+        selected = list(ALL_TECHNOLOGIES)
+    else:
+        selected = []
+        for name in args.tech:
+            params = techs.get(name.lower())
+            if params is None:
+                print(
+                    f"unknown technology {name!r}; "
+                    f"one of: all, {', '.join(sorted(techs))}"
+                )
+                return 2
+            selected.append(params)
+    try:
+        telemetry = obs.from_paths(events=args.events, trace=args.trace)
+    except OSError as exc:
+        print(f"cannot open telemetry output: {exc}")
+        return 2
+    from repro.durability import Interrupted, graceful_signals
+
+    n_jobs = _apply_jobs(args.jobs)
+    started = time.perf_counter()
+    interrupted: Optional[Interrupted] = None
+    report = None
+    try:
+        with graceful_signals(), obs.use(telemetry):
+            with telemetry.span("harden-frontier"):
+                report = run_frontier(
+                    workloads=args.workloads,
+                    technologies=selected,
+                    levels=args.levels,
+                    trials=args.trials,
+                    seed=args.seed,
+                    target_flips=args.target_flips,
+                    tmr_share=args.tmr_share,
+                    jobs=n_jobs,
+                    checkpoint_dir=args.checkpoint_dir,
+                )
+    except Interrupted as exc:
+        interrupted = exc
+        print(f"\ninterrupted ({exc}); flushing telemetry and manifest")
+    wall = time.perf_counter() - started
+    telemetry.close()
+
+    if interrupted is None:
+        print(format_table(report))
+        if args.out is not None:
+            from repro.durability.atomic import atomic_write_text
+
+            atomic_write_text(args.out, report_json(report))
+            print(f"report: {args.out}")
+        if telemetry.enabled:
+            _print_telemetry_summary(telemetry, args.events, args.trace)
+    if args.manifest is not None:
+        from repro.obs.manifest import write_manifest
+        from repro.perf.parallel import last_fanout
+
+        path = write_manifest(
+            args.manifest,
+            command=["python", "-m", "repro", "harden"],
+            config={
+                "workloads": list(args.workloads),
+                "technologies": [p.name for p in selected],
+                "levels": list(args.levels),
+                "trials": args.trials,
+                "target_flips": args.target_flips,
+                "tmr_share": args.tmr_share,
+                "out": args.out,
+                "jobs": n_jobs,
+                "checkpoint_dir": args.checkpoint_dir,
+            },
+            seed=args.seed,
+            wall_time_s=wall,
+            metrics=telemetry.snapshot() if telemetry.enabled else None,
+            extra={
+                "interrupted": interrupted is not None,
+                "fanout": last_fanout(),
+            },
+        )
+        print(f"manifest: {path}")
+    if interrupted is not None:
+        return interrupted.exit_code
+    return 0 if report["checks"]["ok"] else 1
+
+
 def cmd_lint(args) -> int:
     import json
 
@@ -815,6 +907,78 @@ def main(argv: list[str] | None = None) -> int:
         help="persist per-trial results so a killed campaign resumes "
         "with a byte-identical report",
     )
+    harden_p = sub.add_parser(
+        "harden",
+        help="sweep the selective-protection frontier (yield vs energy)",
+    )
+    harden_p.add_argument(
+        "--workloads",
+        nargs="+",
+        choices=("svm", "bnn", "adder"),
+        default=["svm", "bnn"],
+        help="campaign workloads to harden (default: svm bnn)",
+    )
+    harden_p.add_argument(
+        "--tech",
+        nargs="+",
+        default=["all"],
+        help="device technologies (modern-stt, projected-stt, "
+        "projected-she, or 'all')",
+    )
+    harden_p.add_argument(
+        "--levels",
+        nargs="+",
+        type=float,
+        default=[0.0, 0.25, 0.5, 0.75, 1.0],
+        help="protection levels to sweep (fraction of critical gates)",
+    )
+    harden_p.add_argument("--trials", type=int, default=32)
+    harden_p.add_argument("--seed", type=int, default=11)
+    harden_p.add_argument(
+        "--target-flips",
+        type=float,
+        default=1.0,
+        help="expected injected flips per unhardened trial (rates are "
+        "rescaled from the device Monte Carlo to hit this)",
+    )
+    harden_p.add_argument(
+        "--tmr-share",
+        type=float,
+        default=0.25,
+        help="share of protected gates that get TMR (rest verify-retry)",
+    )
+    harden_p.add_argument(
+        "--out", metavar="PATH", help="write the frontier report JSON here"
+    )
+    harden_p.add_argument(
+        "--events", metavar="PATH", help="write a JSONL telemetry event log"
+    )
+    harden_p.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a Chrome-trace JSON loadable in Perfetto",
+    )
+    harden_p.add_argument(
+        "--manifest",
+        nargs="?",
+        const="runs",
+        metavar="DIR",
+        help="write a run manifest (default directory: runs/)",
+    )
+    harden_p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for frontier points (0 = all cores); "
+        "the report JSON is byte-identical at any count",
+    )
+    harden_p.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="persist per-point results so a killed sweep resumes "
+        "with a byte-identical report",
+    )
     all_p = sub.add_parser("all", help="run every experiment")
     all_p.add_argument("--skip-accuracy", action="store_true")
     all_p.add_argument(
@@ -958,6 +1122,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_resume(args.checkpoint_dir, jobs=args.jobs)
     if args.command == "faults":
         return cmd_faults(args)
+    if args.command == "harden":
+        return cmd_harden(args)
     if args.command == "all":
         return cmd_all(args.skip_accuracy, jobs=args.jobs)
     if args.command == "bench":

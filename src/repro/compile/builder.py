@@ -79,6 +79,7 @@ class ProgramBuilder:
         self.program = Program(name=name)
         self.alloc = RowAllocator(rows, reserved=reserved_rows)
         self._active: Optional[tuple] = None
+        self._verify_pcs: set[int] = set()
 
     # ------------------------------------------------------------------
     # Scopes (energy-attribution frames; see repro.obs.prof)
@@ -177,6 +178,29 @@ class ProgramBuilder:
                 self.release(bit)
         return out
 
+    def mark_verify(self, pc: Optional[int] = None) -> int:
+        """Mark a logic instruction for selective verify-and-retry.
+
+        ``pc`` defaults to the most recently emitted instruction (the
+        natural call site: right after :meth:`gate`).  Marked pcs are
+        folded into the program's ``harden_meta`` at :meth:`finish`,
+        where the fault layer's :class:`~repro.faults.injectors.
+        ControllerFaultHook` picks them up whenever the plan's
+        ``verify_marked`` switch is on — the re-read costs one row read
+        per marked gate instead of one per gate.
+        """
+        if pc is None:
+            pc = len(self.program) - 1
+        if not 0 <= pc < len(self.program):
+            raise ValueError(f"pc {pc} is outside the emitted program")
+        if not isinstance(self.program[pc], LogicInstruction):
+            raise ValueError(
+                f"only logic instructions can be verify-marked; pc {pc} "
+                f"holds {self.program[pc]!r}"
+            )
+        self._verify_pcs.add(pc)
+        return pc
+
     # ------------------------------------------------------------------
     # Parity management
     # ------------------------------------------------------------------
@@ -258,6 +282,11 @@ class ProgramBuilder:
         ``program.append``.
         """
         self.program.ensure_halt()
+        if self._verify_pcs:
+            meta = self.program.harden_meta or {"schema": "repro.harden/v1"}
+            marked = set(meta.get("verify_pcs", ())) | self._verify_pcs
+            meta["verify_pcs"] = sorted(marked)
+            self.program.harden_meta = meta
         if strict:
             from repro.lint import LintConfig, LintError, lint_program
 

@@ -70,7 +70,13 @@ def xnor_bit(b: ProgramBuilder, x: Bit, y: Bit) -> Bit:
         return out
 
 
-def tmr_bit(b: ProgramBuilder, gate: str, *inputs: Bit, voter: str = "MAJ3") -> Bit:
+def tmr_bit(
+    b: ProgramBuilder,
+    gate: str,
+    *inputs: Bit,
+    voter: str = "MAJ3",
+    verify: bool = False,
+) -> Bit:
     """Triple-modular-redundant gate: three copies + a majority vote.
 
     Emits the gate three times into fresh rows (all on one parity, so
@@ -85,6 +91,15 @@ def tmr_bit(b: ProgramBuilder, gate: str, *inputs: Bit, voter: str = "MAJ3") -> 
     voltage-delivery analysis, EXPERIMENTS.md finding 2); ``"MIN3"``
     votes with minority + NOT — one extra gate, works on every
     technology, and the result lands back on the copies' parity.
+
+    ``verify=True`` closes the residual hole: the vote outvotes a
+    fault in any *copy*, but a single flip on the voter's own output
+    row is silent — TMR protects its inputs, never its own output.
+    With the flag set, every voter instruction (the MAJ3, or both the
+    MIN3 and its NOT) is marked via
+    :meth:`~repro.compile.builder.ProgramBuilder.mark_verify`, so the
+    fault layer re-reads exactly those rows and a voter-row flip is
+    detected-and-retried instead of corrupting the result.
     """
     voter = voter.upper()
     if voter not in ("MAJ3", "MIN3"):
@@ -93,9 +108,15 @@ def tmr_bit(b: ProgramBuilder, gate: str, *inputs: Bit, voter: str = "MAJ3") -> 
         copies = [b.gate(gate, *inputs) for _ in range(3)]
         if voter == "MAJ3":
             out = b.gate("MAJ3", *copies)
+            if verify:
+                b.mark_verify()
         else:
             minority = b.gate("MIN3", *copies)
+            if verify:
+                b.mark_verify()
             out = b.gate("NOT", minority)
+            if verify:
+                b.mark_verify()
             b.release(minority)
         b.release(*copies)
         return out

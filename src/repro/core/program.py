@@ -9,7 +9,7 @@ HALT, executed one per cycle.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Optional, Sequence
 
 from repro.array.bank import BROADCAST_TILE, SENSOR_TILE
 from repro.array.lines import check_logic_rows
@@ -99,6 +99,15 @@ class Program:
     are excluded from equality/repr — two programs with the same
     instructions behave identically regardless of how their compilers
     labelled them.
+
+    ``harden_meta`` is the optional error-resilience side-table written
+    by :func:`repro.harden.harden_program` (or by
+    :meth:`~repro.compile.builder.ProgramBuilder.mark_verify`): the
+    ``repro.harden/v1`` dict naming the verify-marked pcs, the TMR
+    groups, and the placement policy.  Like the scope annotations it is
+    excluded from equality — protection changes *which instructions
+    exist*, not how a given instruction behaves, and the metadata is
+    advisory for the fault layer and the SDC lint rules.
     """
 
     instructions: list[Instruction] = field(default_factory=list)
@@ -107,6 +116,9 @@ class Program:
         default_factory=ScopeTable, repr=False, compare=False
     )
     scope_ids: list[int] = field(default_factory=list, repr=False, compare=False)
+    harden_meta: Optional[dict[str, Any]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self._scope = 0
@@ -155,6 +167,20 @@ class Program:
     def scope_path(self, pc: int) -> tuple[str, ...]:
         """The compile-time scope path of the instruction at ``pc``."""
         return self.scope_table.path(self.scope_ids[pc])
+
+    @property
+    def verify_pcs(self) -> frozenset[int]:
+        """Pcs the hardening pass marked for selective verify-and-retry.
+
+        Consumed by :class:`repro.faults.injectors.ControllerFaultHook`
+        when the plan's ``verify_marked`` switch is on; empty for
+        programs without hardening metadata.
+        """
+        if not self.harden_meta:
+            return frozenset()
+        return frozenset(
+            int(pc) for pc in self.harden_meta.get("verify_pcs", ())
+        )
 
     def words(self) -> list[int]:
         """Encoded 64-bit words, ready for the instruction tiles."""

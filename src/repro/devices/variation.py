@@ -16,6 +16,7 @@ millions of trials are cheap.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -118,6 +119,36 @@ def gate_error_rate(
         trials=trials,
         failures=failures,
     )
+
+
+@lru_cache(maxsize=None)
+def gate_failure_rate(
+    params: DeviceParameters,
+    gate: str,
+    sigma: float = 0.05,
+    trials: int = 20_000,
+    seed: int = 0,
+) -> float:
+    """Scalar flip probability of one gate at one variation point.
+
+    The memoised query API the hardening placement uses: the same
+    seeded Monte Carlo as :func:`gate_error_rate` (equal resistance and
+    critical-current sigma), collapsed to its error-rate scalar and
+    cached per ``(technology, gate, sigma, trials, seed)`` so ranking a
+    thousand-gate program costs one simulation per distinct gate.
+
+    Determinism is load-bearing: the value depends only on the
+    arguments (``default_rng(seed)`` drives every draw), so two
+    processes — or the parent and a forked ``--jobs`` worker — place
+    protection identically.
+    """
+    from repro.logic.library import gate_by_name
+
+    spec = gate_by_name(gate)
+    variation = VariationModel(sigma, sigma)
+    return gate_error_rate(
+        params, spec, variation, trials=trials, seed=seed
+    ).error_rate
 
 
 def critical_sigma(

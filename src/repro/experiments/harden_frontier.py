@@ -1,0 +1,69 @@
+"""Hardening frontier: yield vs energy overhead, per technology.
+
+Sweeps the selective-protection level of :mod:`repro.harden` over the
+Table IV SVM and BNN workloads on all three device technologies and
+prints one frontier row per point: the measured SDC rate from a seeded
+fault campaign, the statically proven SDC upper bound (which must
+dominate the measurement everywhere — the soundness check), the yield,
+and the worst-case energy overhead the protection costs.
+
+The sweep is deterministic (one seed, per-trial RNG streams) and
+resumable: invoked through ``python -m repro run --checkpoint-dir``,
+each (workload, technology, level) point persists independently and a
+killed run recomputes only the missing points.
+
+The full-resolution sweep lives behind ``python -m repro harden``; this
+experiment entry runs a reduced but representative grid so the whole
+regeneration suite stays fast.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.harden.frontier import check_frontier, format_table, run_frontier
+
+#: Reduced grid for the experiment runner (the CLI defaults sweep five
+#: levels at 32 trials; see ``python -m repro harden --help``).
+LEVELS = (0.0, 0.5, 1.0)
+TRIALS = 8
+SEED = 11
+
+
+def run(
+    trials: int = TRIALS,
+    seed: int = SEED,
+    levels: Sequence[float] = LEVELS,
+    checkpoint_dir: Optional[str] = None,
+) -> dict:
+    return run_frontier(
+        levels=levels,
+        trials=trials,
+        seed=seed,
+        checkpoint_dir=checkpoint_dir,
+    )
+
+
+def main(checkpoint_dir: Optional[str] = None) -> None:
+    print(
+        "Hardening frontier (SVM + BNN, all technologies, "
+        f"levels {', '.join(f'{v:g}' for v in LEVELS)}, "
+        f"{TRIALS} trials, seed {SEED})"
+    )
+    report = run(checkpoint_dir=checkpoint_dir)
+    print(format_table(report))
+    checks = check_frontier(report)
+    if not checks["ok"]:
+        raise SystemExit(
+            "hardening frontier checks FAILED:\n  "
+            + "\n  ".join(checks["failures"])
+        )
+    print(
+        "\n(the proven bound dominates the measured SDC rate at every "
+        "point,\nand full hardening cuts measured SDC >= 10x per curve "
+        "— see docs/HARDENING.md)"
+    )
+
+
+if __name__ == "__main__":
+    main()

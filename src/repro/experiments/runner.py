@@ -20,6 +20,7 @@ import time
 from repro.experiments import (
     ablations,
     fault_campaign,
+    harden_frontier,
     robustness,
     throughput,
     accuracy,
@@ -41,6 +42,7 @@ EXPERIMENTS = (
     ("Ablations (design-choice studies)", ablations.main),
     ("Robustness (device-variation Monte Carlo)", robustness.main),
     ("Faults (seeded injection campaigns)", fault_campaign.main),
+    ("Hardening frontier (yield vs energy overhead)", harden_frontier.main),
     ("Throughput (inferences/hour by harvester)", throughput.main),
     ("Accuracy (synthetic twins)", accuracy.main),
 )
@@ -49,7 +51,9 @@ EXPERIMENTS = (
 #: (:mod:`repro.durability.resume`): a killed ``python -m repro run
 #: --checkpoint-dir DIR`` recomputes only the missing tasks on the next
 #: invocation, with byte-identical merged output.
-RESUMABLE = frozenset({fig9_latency_sweep.main, accuracy.main})
+RESUMABLE = frozenset(
+    {fig9_latency_sweep.main, accuracy.main, harden_frontier.main}
+)
 
 
 def run_all(

@@ -244,12 +244,14 @@ class FaultCampaign:
             plan=self.plan,
             reference=list(golden_values),
             lint=self._lint_golden(golden),
+            hardening=self._hardening_summary(golden),
         )
         totals = {
             "injected": {},
             "detected": 0,
             "recovered": 0,
             "retries": 0,
+            "max_retries_per_trial": 0,
         }
 
         from repro.durability.resume import TaskStore, run_resumable
@@ -289,11 +291,35 @@ class FaultCampaign:
             totals["detected"] += detail["detected"]
             totals["recovered"] += detail["recovered"]
             totals["retries"] += detail["retries"]
+            totals["max_retries_per_trial"] = max(
+                totals["max_retries_per_trial"], detail["retries"]
+            )
             report.details.append(detail)
         report.totals = totals
         return report
 
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _hardening_summary(golden: Mouse) -> Optional[dict]:
+        """Placement counts of the golden program's hardening metadata
+        (None for unhardened workloads) — recorded in the report so a
+        campaign's SDC rate is always read next to the protection it
+        was measured under."""
+        meta = golden.program.harden_meta
+        if not meta:
+            return None
+        return {
+            "schema": meta.get("schema"),
+            "policy": dict(meta.get("policy") or {}),
+            "tmr_groups": len(meta.get("tmr_groups", ())),
+            "verify_pcs": len(meta.get("verify_pcs", ())),
+            "assignment": {
+                k: len(v) for k, v in sorted(
+                    (meta.get("assignment") or {}).items()
+                )
+            },
+        }
 
     @staticmethod
     def _lint_golden(golden: Mouse) -> dict:
@@ -331,6 +357,7 @@ class FaultCampaign:
         controller = mouse.controller
 
         aborted: Optional[str] = None
+        abort: Optional[dict] = None
         steps = 0
         try:
             while not controller.halted:
@@ -344,9 +371,15 @@ class FaultCampaign:
                     injector.after_commit(mouse)
                 injector.after_microstep(mouse, phase)
         except RetryBudgetExhausted as exc:
+            # The exception carries *where* the budget died, not just a
+            # message — thread it into the frozen report rather than
+            # flattening it to a string.
             aborted = str(exc)
+            abort = {"pc": exc.pc, "gate": exc.gate, "retries": exc.retries}
 
         counters = injector.counters
+        if obs is not None:
+            obs.histogram("fault.retries_per_trial").observe(counters.retries)
         memory_match = all(
             np.array_equal(a, b)
             for a, b in zip(mouse.bank.snapshot(), golden_memory)
@@ -367,6 +400,7 @@ class FaultCampaign:
         }
         if aborted is not None:
             detail["abort_reason"] = aborted
+            detail["abort"] = abort
         return detail
 
     @staticmethod

@@ -94,10 +94,15 @@ class ControllerFaultHook:
         rng: np.random.Generator,
         counters: Optional[FaultCounters] = None,
         telemetry=None,
+        verify_pcs: frozenset[int] = frozenset(),
     ) -> None:
         self.plan = plan
         self.rng = rng
         self.counters = counters if counters is not None else FaultCounters()
+        #: Pcs to verify even when the global ``verify_retry`` switch is
+        #: off (the hardened program's selective-protection tier; see
+        #: :attr:`repro.core.program.Program.verify_pcs`).
+        self.verify_pcs = verify_pcs
         self._obs = telemetry if (telemetry is not None and telemetry.enabled) else None
 
     # -- telemetry -------------------------------------------------------
@@ -115,6 +120,9 @@ class ControllerFaultHook:
         tiles = controller.bank.target_tiles(instr.tile)
         rate = self.plan.rate_for(spec.name)
         pc = controller.pc.read()
+        verify = self.plan.verify_retry or (
+            self.plan.verify_marked and pc in self.verify_pcs
+        )
         retries = 0
         while True:
             injected = self._inject_flips(tiles, instr.output_row, rate)
@@ -128,7 +136,7 @@ class ControllerFaultHook:
                     pc=pc,
                     count=injected,
                 )
-            if not self.plan.verify_retry:
+            if not verify:
                 return
             mismatches = self._verify(controller, spec, instr, tiles)
             if mismatches == 0:
@@ -239,6 +247,10 @@ class TrialInjector:
         )
 
     def attach(self, mouse) -> None:
+        try:
+            self.hook.verify_pcs = mouse.program.verify_pcs
+        except RuntimeError:  # no program loaded yet
+            self.hook.verify_pcs = frozenset()
         mouse.controller.attach_faults(self.hook)
 
     def _emit(self, kind: str, controller, **data) -> None:

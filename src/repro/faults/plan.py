@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from repro.devices.parameters import DeviceParameters
-from repro.devices.variation import VariationModel, gate_error_rate
+from repro.devices.variation import gate_failure_rate
 from repro.logic.library import GATE_LIBRARY
 
 #: Injection sites named by ``fault.*`` telemetry events and report keys.
@@ -49,12 +49,11 @@ def derive_gate_flip_rates(
     """
     if scale < 0 or floor < 0:
         raise ValueError("scale and floor cannot be negative")
-    variation = VariationModel(sigma, sigma)
     rates: dict[str, float] = {}
-    for name, spec in sorted(GATE_LIBRARY.items()):
-        rate = gate_error_rate(
-            params, spec, variation, trials=trials, seed=seed
-        ).error_rate
+    for name in sorted(GATE_LIBRARY):
+        rate = gate_failure_rate(
+            params, name, sigma=sigma, trials=trials, seed=seed
+        )
         rates[name] = min(1.0, max(floor, rate * scale))
     return rates
 
@@ -116,6 +115,14 @@ class FaultPlan:
         the threshold truth table; on mismatch the preset + gate pair
         is re-issued (energy charged as Dead), up to ``retry_budget``
         times before the trial aborts.
+    verify_marked:
+        The *selective* variant used by hardened programs: even with
+        ``verify_retry`` off, instructions whose pc the program's
+        hardening metadata lists in ``verify_pcs``
+        (:attr:`repro.core.program.Program.verify_pcs`) still get the
+        re-read-and-retry treatment.  This is how a
+        :func:`repro.harden.harden_program` pass buys detection for
+        mid-tier bits without paying the verify read on every gate.
     retry_budget:
         Bounded number of re-issues per logic instruction.
     meta:
@@ -128,6 +135,7 @@ class FaultPlan:
     nv_corruption_rate: float = 0.0
     outage_rate: float = 0.0
     verify_retry: bool = True
+    verify_marked: bool = True
     retry_budget: int = 8
     meta: Mapping[str, Any] = field(default_factory=dict)
 
@@ -193,6 +201,7 @@ class FaultPlan:
             "nv_corruption_rate": self.nv_corruption_rate,
             "outage_rate": self.outage_rate,
             "verify_retry": self.verify_retry,
+            "verify_marked": self.verify_marked,
             "retry_budget": self.retry_budget,
             "meta": dict(self.meta),
         }
@@ -205,6 +214,7 @@ class FaultPlan:
             nv_corruption_rate=float(obj.get("nv_corruption_rate", 0.0)),
             outage_rate=float(obj.get("outage_rate", 0.0)),
             verify_retry=bool(obj.get("verify_retry", True)),
+            verify_marked=bool(obj.get("verify_marked", True)),
             retry_budget=int(obj.get("retry_budget", 8)),
             meta=dict(obj.get("meta", {})),
         )

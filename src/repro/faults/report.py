@@ -16,10 +16,18 @@ from typing import Any, Mapping
 
 from repro.faults.plan import SITES, FaultPlan
 
-SCHEMA = "repro.faults.report/v1.1"
-#: v1.1 adds the optional ``lint`` block (the golden program's static
-#: verdict from :mod:`repro.lint`); v1 reports remain valid.
-COMPATIBLE_SCHEMAS = ("repro.faults.report/v1", SCHEMA)
+SCHEMA = "repro.faults.report/v1.2"
+#: v1.1 added the optional ``lint`` block (the golden program's static
+#: verdict from :mod:`repro.lint`); v1.2 adds the optional
+#: ``hardening`` block (placement counts of the golden program's
+#: ``repro.harden/v1`` metadata), the structured per-trial ``abort``
+#: record ({pc, gate, retries}) next to ``abort_reason``, and the
+#: ``max_retries_per_trial`` total.  Earlier reports remain valid.
+COMPATIBLE_SCHEMAS = (
+    "repro.faults.report/v1",
+    "repro.faults.report/v1.1",
+    SCHEMA,
+)
 
 #: Outcome classes, from best to worst (CRAM-ER taxonomy):
 #: ``clean``              — nothing was injected in this trial;
@@ -57,6 +65,11 @@ class CampaignReport:
     #: for a program that was statically unsafe.  None on reports
     #: produced before v1.1.
     lint: Any = None
+    #: Placement counts of the golden program's hardening metadata
+    #: (policy, TMR group / verify mark counts), so an SDC rate is
+    #: always read next to the protection it was measured under.  None
+    #: for unhardened workloads and reports before v1.2.
+    hardening: Any = None
 
     @property
     def sdc(self) -> int:
@@ -80,6 +93,8 @@ class CampaignReport:
         }
         if self.lint is not None:
             out["lint"] = self.lint
+        if self.hardening is not None:
+            out["hardening"] = self.hardening
         return out
 
     def to_json(self) -> str:
@@ -125,6 +140,26 @@ def validate_report(obj: Mapping[str, Any]) -> None:
                 raise ValueError(f"lint block has bad {key!r}: {count!r}")
         if not isinstance(lint.get("rules"), list):
             raise ValueError("lint block needs a 'rules' list")
+    hardening = obj.get("hardening")
+    if hardening is not None:
+        if not isinstance(hardening, Mapping):
+            raise ValueError("hardening block must be a mapping")
+        for key in ("tmr_groups", "verify_pcs"):
+            count = hardening.get(key)
+            if not isinstance(count, int) or count < 0:
+                raise ValueError(
+                    f"hardening block has bad {key!r}: {count!r}"
+                )
+    for detail in obj["details"]:
+        abort = detail.get("abort") if isinstance(detail, Mapping) else None
+        if abort is not None:
+            if not isinstance(abort, Mapping):
+                raise ValueError("per-trial abort record must be a mapping")
+            retries = abort.get("retries")
+            if retries is not None and (
+                not isinstance(retries, int) or retries < 0
+            ):
+                raise ValueError(f"abort record has bad retries: {retries!r}")
     FaultPlan.from_json_obj(obj["plan"])  # re-validates rates
 
 
@@ -148,8 +183,15 @@ def render(report: CampaignReport) -> str:
         "",
         f"detected {report.totals.get('detected', 0)}, "
         f"recovered {report.totals.get('recovered', 0)}, "
-        f"retries {report.totals.get('retries', 0)}",
+        f"retries {report.totals.get('retries', 0)} "
+        f"(max/trial {report.totals.get('max_retries_per_trial', 0)})",
     ]
+    if report.hardening is not None:
+        lines.append(
+            f"hardening: {report.hardening.get('tmr_groups', 0)} TMR "
+            f"group(s), {report.hardening.get('verify_pcs', 0)} verify "
+            f"mark(s), policy {report.hardening.get('policy')}"
+        )
     if report.lint is not None:
         fired = ",".join(report.lint.get("rules", [])) or "none"
         lines.append(

@@ -1,0 +1,42 @@
+"""Selective error-hardening for compiled MOUSE programs.
+
+The robustness loop in three passes, all static:
+
+* :mod:`repro.harden.criticality` — which gate outputs can silently
+  corrupt the result, and how likely each is to flip (def-use dataflow
+  x the device Monte Carlo);
+* :mod:`repro.harden.transform` — rewrite the program with TMR on the
+  top criticality tier, verify-and-retry marks on the middle tier, and
+  nothing where dataflow masking already suffices;
+* :mod:`repro.harden.bound` — prove a silent-data-corruption upper
+  bound for the result, which the ``SDC0xx`` lint rules check and the
+  frontier experiment (:mod:`repro.harden.frontier`) validates against
+  measured :class:`~repro.faults.FaultCampaign` rates.
+
+``python -m repro harden`` sweeps protection level x technology on the
+Table IV workloads and reports the yield-vs-energy-overhead frontier.
+"""
+
+from repro.harden.bound import SdcBound, bound_for_plan, sdc_bound
+from repro.harden.criticality import CriticalityReport, GateRecord, analyse
+from repro.harden.transform import (
+    SCHEMA,
+    HardenError,
+    HardenPolicy,
+    harden_program,
+    overhead_summary,
+)
+
+__all__ = [
+    "SCHEMA",
+    "CriticalityReport",
+    "GateRecord",
+    "HardenError",
+    "HardenPolicy",
+    "SdcBound",
+    "analyse",
+    "bound_for_plan",
+    "harden_program",
+    "overhead_summary",
+    "sdc_bound",
+]

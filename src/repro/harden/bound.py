@@ -1,0 +1,168 @@
+"""Static silent-data-corruption upper bound for (hardened) programs.
+
+The bound is a **union bound over first faults**.  Under the campaign's
+fault model, a trial ends in SDC only if some gate-output flip both
+lands and escapes every protection layer; enumerating the escape
+channels per instruction and summing their probabilities upper-bounds
+the probability that *any* of them fires:
+
+* an **unprotected critical** gate contributes
+  ``p = min(1, n_active_columns * flip_rate)`` — the union bound over
+  its SIMD lanes (the injector draws each active column independently
+  at ``flip_rate``, so ``P(>=1 lane flips) = 1-(1-r)^n <= n*r``);
+* a **verify-marked** gate contributes 0: an output flip is caught by
+  the truth-table re-read and either retried into correctness or
+  aborted — both *detected* outcomes, not silent ones;
+* a **masked** gate (dead output, redefined before HALT) contributes 0:
+  the flip is architecturally invisible;
+* a **TMR group** contributes the two-of-three residual
+  ``sum over copy pairs of p_i * p_j`` (= ``3 p^2`` for identical
+  copies): one faulted copy is outvoted, only a double fault within the
+  group survives the vote.  Its voter instructions contribute 0 when
+  verify-marked and their plain ``p`` otherwise — the voter's own
+  output row is the classic unprotected-voter hole.
+
+Soundness relative to the measured campaign: every SDC trial must
+contain at least one of the enumerated escape events (a consistent-but-
+wrong downstream gate is attributed to the *source* flip, which is one
+of the terms), so ``measured SDC rate <= bound`` up to Monte-Carlo
+noise.  The ``SDC0xx`` lint rules and the frontier experiment assert
+exactly this dominance against :class:`~repro.faults.FaultCampaign`
+measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.core.program import Program
+from repro.harden.criticality import CriticalityReport, analyse
+from repro.lint.config import LintConfig
+
+
+@dataclass(frozen=True)
+class SdcBound:
+    """The proven bound plus its per-channel decomposition."""
+
+    #: Grand total, clamped to 1: ``P(silent corruption) <= total``.
+    total: float
+    #: Sum of ``p_flip`` over unprotected critical gates.
+    unprotected: float
+    #: Two-of-three residual summed over TMR groups.
+    tmr_residual: float
+    #: Voter instructions left unverified (the open voter hole).
+    voter: float
+    n_critical: int = 0
+    n_verified: int = 0
+    n_masked: int = 0
+    n_tmr_groups: int = 0
+    #: Per-pc contributions of the dominant (unprotected) channel,
+    #: largest first — what an SDC001 diagnostic points at.
+    worst: tuple[tuple[int, float], ...] = field(default=())
+
+    def to_json_obj(self) -> dict:
+        return {
+            "total": self.total,
+            "unprotected": self.unprotected,
+            "tmr_residual": self.tmr_residual,
+            "voter": self.voter,
+            "n_critical": self.n_critical,
+            "n_verified": self.n_verified,
+            "n_masked": self.n_masked,
+            "n_tmr_groups": self.n_tmr_groups,
+        }
+
+
+def sdc_bound(
+    program: Program,
+    flip_rates: Mapping[str, float],
+    config: LintConfig,
+    global_verify: bool = False,
+    verify_marked: bool = True,
+    report: Optional[CriticalityReport] = None,
+) -> SdcBound:
+    """Prove an SDC upper bound for ``program`` under ``flip_rates``.
+
+    ``global_verify`` models a plan with ``verify_retry=True`` (every
+    gate re-read); ``verify_marked=False`` models a plan that ignores
+    the program's selective marks.  ``report`` reuses a pre-computed
+    criticality analysis.
+    """
+    if report is None:
+        report = analyse(program, flip_rates, config)
+    by_pc = report.by_pc()
+
+    verified: frozenset[int] = (
+        program.verify_pcs if verify_marked else frozenset()
+    )
+    meta = program.harden_meta or {}
+    copy_pcs: set[int] = set()
+    groups = meta.get("tmr_groups", ())
+    for group in groups:
+        copy_pcs.update(int(pc) for pc in group.get("copy_pcs", ()))
+
+    unprotected = 0.0
+    voter = 0.0
+    worst: list[tuple[int, float]] = []
+    n_verified = 0
+    n_masked = 0
+    voter_pcs = {
+        int(pc) for group in groups for pc in group.get("voter_pcs", ())
+    }
+    for record in report.records:
+        if record.masked:
+            n_masked += 1
+            continue
+        if record.index in copy_pcs:
+            continue  # accounted in the group residual below
+        if global_verify or record.index in verified:
+            n_verified += 1
+            continue
+        if record.index in voter_pcs:
+            voter += record.p_flip
+        else:
+            unprotected += record.p_flip
+            if record.p_flip > 0.0:
+                worst.append((record.index, record.p_flip))
+
+    tmr_residual = 0.0
+    for group in groups:
+        ps = [
+            by_pc[int(pc)].p_flip
+            for pc in group.get("copy_pcs", ())
+            if int(pc) in by_pc
+        ]
+        pair_sum = 0.0
+        for i in range(len(ps)):
+            for j in range(i + 1, len(ps)):
+                pair_sum += ps[i] * ps[j]
+        tmr_residual += min(1.0, pair_sum)
+
+    worst.sort(key=lambda t: (-t[1], t[0]))
+    total = min(1.0, unprotected + voter + tmr_residual)
+    return SdcBound(
+        total=total,
+        unprotected=unprotected,
+        tmr_residual=tmr_residual,
+        voter=voter,
+        n_critical=len(report.critical()),
+        n_verified=n_verified,
+        n_masked=n_masked,
+        n_tmr_groups=len(groups),
+        worst=tuple(worst[:16]),
+    )
+
+
+def bound_for_plan(program: Program, plan, config: LintConfig) -> SdcBound:
+    """The bound under exactly the verify switches a fault plan runs."""
+    return sdc_bound(
+        program,
+        dict(plan.gate_flip_rates),
+        config,
+        global_verify=bool(plan.verify_retry),
+        verify_marked=bool(plan.verify_marked),
+    )
+
+
+__all__ = ["SdcBound", "sdc_bound", "bound_for_plan"]

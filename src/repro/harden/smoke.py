@@ -1,0 +1,246 @@
+"""Hardening smoke test: a tiny frontier sweep, fully checked.
+
+    python -m repro.harden.smoke [--out DIR] [--bench PATH]
+
+Four checks, all on the BNN sign-layer workload (Modern STT):
+
+1. **Frontier soundness** — a two-level sweep (unhardened vs fully
+   hardened) must pass :func:`repro.harden.frontier.check_frontier`:
+   the statically proven SDC bound dominates the measured SDC rate at
+   every point, and full hardening improves measured SDC >= 10x.
+2. **Lint round-trip** — the hardened program lints *clean* under the
+   full default pipeline (including :class:`repro.lint.SdcPass` fed
+   the campaign's flip rates) with an ``sdc_target`` just above the
+   proven bound; tightening the target below the bound must make
+   ``SDC001`` fire.  The metadata the transform emits and the bound
+   the linter re-derives agree exactly.
+3. **Byte-identity** — the same sweep run again serialises to
+   byte-identical frontier JSON (the resume/parallel merge contract).
+4. **Energy-overhead gate** — hardened-vs-baseline worst-case energy
+   bounds are written as a ``repro.bench/v1`` report and diffed
+   against the checked-in ``BENCH_PR7.json`` through the existing
+   ``bench --compare`` machinery; a silent growth in protection cost
+   past the regression threshold fails the build.  (The bounds are
+   closed-form, so the comparison is exact, not timing-noisy.)
+
+Exit status 0 means the hardening subsystem is healthy; wired into
+``make harden-smoke`` (part of ``make test``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.devices.parameters import MODERN_STT
+
+#: Tiny sweep: one workload, one technology, the two frontier ends.
+WORKLOAD = "bnn"
+LEVELS = (0.0, 1.0)
+TRIALS = 8
+SEED = 11
+
+BENCH_PATH = "BENCH_PR7.json"
+BENCH_THRESHOLD = 0.30
+
+
+def _bench_report(frontier: dict) -> dict:
+    """The frontier's energy story as a ``repro.bench/v1`` report.
+
+    ``ns_per_op`` carries the hardened program's worst-case energy
+    bound in nanojoules (a cost-per-inference, abusing the unit slot
+    the same way the gate abuses none: both are "smaller is better"
+    scalars); ``baseline_ns_per_op`` is the unhardened bound, so the
+    recorded ``speedup`` is the energy-overhead factor's inverse.
+    """
+    results = []
+    for point in frontier["points"]:
+        if point["level"] <= 0:
+            continue
+        hardened_nj = point["energy_bound_j"]["hardened"] * 1e9
+        baseline_nj = point["energy_bound_j"]["original"] * 1e9
+        results.append(
+            {
+                "op": (
+                    f"harden_{point['workload']}_"
+                    f"L{point['level']:g}".replace(" ", "-")
+                ),
+                "config": {
+                    "technology": point["technology"],
+                    "level": point["level"],
+                    "tmr_groups": point["protection"]["tmr_groups"],
+                    "verify_pcs": point["protection"]["verify_pcs"],
+                },
+                "reps": point["trials"],
+                "ns_per_op": round(hardened_nj, 4),
+                "baseline": "unhardened",
+                "baseline_ns_per_op": round(baseline_nj, 4),
+                "speedup": round(baseline_nj / hardened_nj, 4)
+                if hardened_nj
+                else 0.0,
+            }
+        )
+    return {"schema": "repro.bench/v1", "quick": True, "results": results}
+
+
+def _check_bench_gate(frontier: dict, bench_path: str) -> list[str]:
+    from repro.perf.bench import compare_reports, load_report, write_report
+
+    failures: list[str] = []
+    new = _bench_report(frontier)
+    path = Path(bench_path)
+    if not path.exists():
+        write_report(new, str(path))
+        print(f"  wrote energy-overhead baseline: {path}")
+        return failures
+    try:
+        old = load_report(str(path))
+    except (OSError, ValueError) as exc:
+        return [f"cannot load energy-overhead baseline: {exc}"]
+    comparison = compare_reports(old, new, threshold=BENCH_THRESHOLD)
+    if comparison["regressions"]:
+        for op in comparison["regressions"]:
+            entry = next(e for e in comparison["ops"] if e["op"] == op)
+            failures.append(
+                f"energy overhead of {op} regressed: "
+                f"{entry['old_ns_per_op']:.1f} -> "
+                f"{entry['new_ns_per_op']:.1f} nJ "
+                f"({entry['ratio']:.2f}x > {1 + BENCH_THRESHOLD:.2f}x)"
+            )
+    if comparison["only_old"]:
+        failures.append(
+            "energy-overhead baseline has ops the sweep no longer "
+            f"produces: {', '.join(comparison['only_old'])}"
+        )
+    return failures
+
+
+def _check_lint_roundtrip(frontier: dict) -> list[str]:
+    """Re-harden one point and push it through the full linter."""
+    from repro.faults.campaign import WORKLOADS
+    from repro.harden import analyse, harden_program, sdc_bound
+    from repro.lint import LintConfig, lint_program
+
+    failures: list[str] = []
+    point = next(p for p in frontier["points"] if p["level"] == 1.0)
+    machine = WORKLOADS[WORKLOAD](MODERN_STT).build()
+    bank = machine.bank
+    rates = dict(point["plan"]["gate_flip_rates"])
+    shape = dict(
+        n_data_tiles=len(bank.data_tiles), rows=bank.rows, cols=bank.cols
+    )
+    hardened = harden_program(
+        machine.program, rates, LintConfig(**shape)
+    )
+    bound = sdc_bound(
+        hardened, rates, LintConfig(**shape), verify_marked=True
+    )
+    if abs(bound.total - point["sdc_bound"]["total"]) > 1e-12:
+        failures.append(
+            f"re-derived bound {bound.total} != frontier point "
+            f"{point['sdc_bound']['total']}"
+        )
+    loose = lint_program(
+        hardened,
+        LintConfig(
+            **shape, flip_rates=rates, sdc_target=bound.total + 1e-9
+        ),
+    )
+    if not loose.ok:
+        failures.append(
+            "hardened program does not lint clean at a target above "
+            f"its proven bound: {[d.rule for d in loose.diagnostics]}"
+        )
+    tight = lint_program(
+        hardened,
+        LintConfig(
+            **shape, flip_rates=rates, sdc_target=bound.total / 2
+        ),
+    )
+    if "SDC001" not in {d.rule for d in tight.diagnostics}:
+        failures.append(
+            "SDC001 did not fire at a target below the proven bound"
+        )
+    crit = analyse(hardened, rates, LintConfig(**shape))
+    if not crit.records:
+        failures.append("criticality analysis saw no gates")
+    return failures
+
+
+def run_smoke(out_dir: str, bench_path: str = BENCH_PATH) -> int:
+    from repro.durability.atomic import atomic_write_text
+    from repro.harden.frontier import report_json, run_frontier
+
+    failures: list[str] = []
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    # 1. Tiny frontier sweep: bound dominance + >= 10x improvement.
+    frontier = run_frontier(
+        workloads=(WORKLOAD,),
+        technologies=(MODERN_STT,),
+        levels=LEVELS,
+        trials=TRIALS,
+        seed=SEED,
+    )
+    checks = frontier["checks"]
+    if not checks["ok"]:
+        failures.extend(checks["failures"])
+    text = report_json(frontier)
+    report_path = out / "frontier.json"
+    atomic_write_text(report_path, text)
+
+    # 2. Lint round-trip of the hardened program.
+    failures.extend(_check_lint_roundtrip(frontier))
+
+    # 3. Byte-identical re-run.
+    again = run_frontier(
+        workloads=(WORKLOAD,),
+        technologies=(MODERN_STT,),
+        levels=LEVELS,
+        trials=TRIALS,
+        seed=SEED,
+    )
+    if report_json(again) != text:
+        failures.append("frontier sweep is not byte-reproducible")
+
+    # 4. Energy-overhead gate against the checked-in baseline.
+    failures.extend(_check_bench_gate(frontier, bench_path))
+
+    if failures:
+        for failure in failures:
+            print(f"harden-smoke FAILED: {failure}", file=sys.stderr)
+        return 1
+    lo = next(p for p in frontier["points"] if p["level"] == 0.0)
+    hi = next(p for p in frontier["points"] if p["level"] == 1.0)
+    print(
+        f"harden-smoke ok: sdc {lo['sdc_rate']:.3f} -> {hi['sdc_rate']:.3f} "
+        f"(bounds {lo['sdc_bound']['total']:.4f} / "
+        f"{hi['sdc_bound']['total']:.4f} dominate), "
+        f"energy overhead {hi['energy_overhead']:.2f}x, "
+        "hardened program lints clean"
+    )
+    print(f"  report: {report_path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", metavar="DIR", help="directory for report JSON")
+    parser.add_argument(
+        "--bench",
+        metavar="PATH",
+        default=BENCH_PATH,
+        help=f"energy-overhead baseline to gate against (default {BENCH_PATH})",
+    )
+    args = parser.parse_args(argv)
+    if args.out:
+        return run_smoke(args.out, bench_path=args.bench)
+    with tempfile.TemporaryDirectory(prefix="repro-harden-smoke-") as tmp:
+        return run_smoke(tmp, bench_path=args.bench)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

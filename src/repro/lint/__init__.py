@@ -35,6 +35,7 @@ from repro.lint.passes import (
 )
 from repro.lint.cost import CostPass
 from repro.lint.rules import RULES, Rule, rule
+from repro.lint.sdc import SdcPass
 from repro.lint.targets import TARGETS, LintTarget, build_target
 
 __all__ = [
@@ -53,6 +54,7 @@ __all__ = [
     "PresetPass",
     "RULES",
     "Rule",
+    "SdcPass",
     "Severity",
     "StructurePass",
     "TARGETS",

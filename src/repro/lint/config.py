@@ -9,7 +9,7 @@ optionally which energy buffer) to bound against.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Mapping, Optional
 
 from repro.array.bank import BROADCAST_TILE
 from repro.devices.parameters import ALL_TECHNOLOGIES, DeviceParameters
@@ -30,12 +30,38 @@ class LintConfig:
     #: Energy buffer override; None = the paper's buffer per technology
     #: (:func:`repro.harvest.capacitor.buffer_for`).
     buffer: Optional["EnergyBuffer"] = None
+    #: Per-gate output-flip probabilities for the ``SDC*`` pass (any
+    #: mapping is accepted and normalised to a sorted tuple of pairs so
+    #: the config stays frozen/hashable).  ``None`` means "use the
+    #: program's own ``harden_meta`` rates, if any".
+    flip_rates: Optional[Mapping[str, float]] = None
+    #: Proven-SDC-bound ceiling SDC001 enforces; ``None`` disables the
+    #: rule (the bound is still computed and reported by the pass).
+    sdc_target: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.n_data_tiles < 1:
             raise ValueError("need at least one data tile")
         if self.rows < 2 or self.cols < 1:
             raise ValueError("bank needs at least 2 rows and 1 column")
+        if self.flip_rates is not None:
+            pairs = tuple(
+                sorted((str(k), float(v)) for k, v in dict(self.flip_rates).items())
+            )
+            for name, rate in pairs:
+                if not 0.0 <= rate <= 1.0:
+                    raise ValueError(
+                        f"flip rate for {name!r} must be in [0, 1]"
+                    )
+            object.__setattr__(self, "flip_rates", pairs)
+        if self.sdc_target is not None and not 0.0 <= self.sdc_target <= 1.0:
+            raise ValueError("sdc_target must be a probability")
+
+    def flip_rate_map(self) -> Optional[dict[str, float]]:
+        """The normalised flip-rate table as a plain dict (or None)."""
+        if self.flip_rates is None:
+            return None
+        return dict(self.flip_rates)
 
     def target_tiles(self, tile: int) -> tuple[int, ...]:
         """Data tiles an instruction addressed to ``tile`` touches.

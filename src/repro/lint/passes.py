@@ -569,10 +569,11 @@ class ActivatePass(LintPass):
         return out
 
 
-#: The default pipeline, cost pass included (imported lazily to keep
-#: this module free of the energy stack).
+#: The default pipeline, cost and SDC passes included (imported lazily
+#: to keep this module free of the energy and hardening stacks).
 def default_passes() -> tuple[LintPass, ...]:
     from repro.lint.cost import CostPass
+    from repro.lint.sdc import SdcPass
 
     return (
         StructurePass(),
@@ -581,4 +582,5 @@ def default_passes() -> tuple[LintPass, ...]:
         PresetPass(),
         ActivatePass(),
         CostPass(),
+        SdcPass(),
     )

@@ -22,6 +22,11 @@ this table.  Ids are grouped by the paper property they protect:
 * ``COST*`` — the static non-termination condition (Section VIII): a
   single instruction whose worst-case energy exceeds the capacitor
   window can never commit under harvested power.
+* ``SDC*`` — silent-data-corruption accounting (:mod:`repro.harden`):
+  the statically proven SDC upper bound of a (hardened) program must
+  meet its target, hardening metadata must describe the instruction
+  stream it rides on, and protection should not be spent where
+  dataflow masking already absorbs every flip.
 
 ``docs/LINT.md`` is the narrative version of this table; a test keeps
 the two in sync.
@@ -175,6 +180,41 @@ _RULES = (
         "interrupted instruction; if the pair exceeds the window, an "
         "outage landing here livelocks even though cold-start "
         "execution would pass",
+    ),
+    Rule(
+        "SDC001",
+        Severity.ERROR,
+        "proven SDC bound exceeds the configured target",
+        "repro.harden.bound: the union bound over unprotected critical "
+        "gates, unverified voters, and TMR double-fault residuals "
+        "upper-bounds the measured campaign SDC rate; a program whose "
+        "bound misses its target needs more protection, not more "
+        "trials",
+    ),
+    Rule(
+        "SDC002",
+        Severity.WARNING,
+        "TMR voter output is not verify-marked",
+        "TMR outvotes a fault in any copy but never in the voter's own "
+        "output row — the classic unprotected-voter hole; marking the "
+        "voter for re-read closes it for one row-read per vote",
+    ),
+    Rule(
+        "SDC003",
+        Severity.WARNING,
+        "protection spent on a masked instruction",
+        "A gate whose output is dead and redefined before HALT cannot "
+        "corrupt anything; TMR or verify marks there are pure energy "
+        "overhead on a harvested budget",
+    ),
+    Rule(
+        "SDC004",
+        Severity.ERROR,
+        "hardening metadata inconsistent with the instruction stream",
+        "repro.harden/v1: verify marks and TMR groups are contracts "
+        "the fault layer executes by pc; metadata pointing at missing "
+        "or non-logic instructions silently disables the protection "
+        "it promises",
     ),
 )
 

@@ -37,6 +37,10 @@ Kinds
     One static-analysis run of :mod:`repro.lint`: the linted
     ``program`` name, its ``errors`` and ``warnings`` counts, and the
     comma-joined ``rules`` that fired (empty for a clean program).
+``harden.report``
+    One hardening rewrite (:func:`repro.harden.harden_program`): the
+    source ``program`` name, the placement counts (``tmr`` groups,
+    ``verify`` marks), and the protection ``level`` applied.
 ``checkpoint.commit``
     One durable NVImage write (:mod:`repro.durability`): the image
     ``seq`` number, the engine discriminator ``image_kind``
@@ -72,6 +76,7 @@ FAULT_INJECTED = "fault.injected"
 FAULT_DETECTED = "fault.detected"
 FAULT_RECOVERED = "fault.recovered"
 LINT_REPORT = "lint.report"
+HARDEN_REPORT = "harden.report"
 CHECKPOINT_COMMIT = "checkpoint.commit"
 GAUGE = "gauge"
 SPAN = "span"
@@ -90,6 +95,7 @@ KNOWN_KINDS: dict[str, frozenset[str]] = {
     FAULT_DETECTED: frozenset({"site"}),
     FAULT_RECOVERED: frozenset({"site"}),
     LINT_REPORT: frozenset({"program", "errors", "warnings"}),
+    HARDEN_REPORT: frozenset({"program", "level", "tmr", "verify"}),
     CHECKPOINT_COMMIT: frozenset({"seq", "image_kind"}),
     GAUGE: frozenset({"name", "value"}),
     SPAN: frozenset({"name", "dur"}),

@@ -133,7 +133,7 @@ class TestFaultsCommand:
         assert main(FAULTS_FAST) == 0
         text = capsys.readouterr().out
         payload = json.loads(text[text.index("{") :])
-        assert payload["schema"] == "repro.faults.report/v1.1"
+        assert payload["schema"] == "repro.faults.report/v1.2"
         assert payload["lint"] == {"errors": 0, "rules": [], "warnings": 0}
 
     def test_unknown_tech(self, capsys):
@@ -213,3 +213,48 @@ class TestStats:
             == 2
         )
         assert "cannot open telemetry output" in capsys.readouterr().out
+
+
+HARDEN_FAST = [
+    "harden",
+    "--workloads",
+    "bnn",
+    "--tech",
+    "modern-stt",
+    "--levels",
+    "0",
+    "1",
+    "--trials",
+    "8",
+    "--seed",
+    "11",
+]
+
+
+class TestHardenCommand:
+    def test_writes_valid_frontier_report(self, tmp_path, capsys):
+        out = tmp_path / "frontier.json"
+        assert main(HARDEN_FAST + ["--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "checks: ok" in text
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro.harden.frontier/v1"
+        assert len(payload["points"]) == 2
+        assert all(p["bound_dominates"] for p in payload["points"])
+
+    def test_byte_identical_across_jobs(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(HARDEN_FAST + ["--out", str(a), "--jobs", "1"]) == 0
+        assert main(HARDEN_FAST + ["--out", str(b), "--jobs", "2"]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_unknown_tech(self, capsys):
+        assert main(["harden", "--tech", "vacuum-tube"]) == 2
+        assert "unknown technology" in capsys.readouterr().out
+
+    def test_experiment_registered(self, capsys):
+        assert cmd_list() == 0
+        assert (
+            "hardening-frontier-yield-vs-energy-overhead"
+            in capsys.readouterr().out
+        )

@@ -176,6 +176,90 @@ class TestTmr:
             macros.tmr_bit(h.builder, "NAND", a, b, voter="XYZ")
 
 
+class TestVoterHole:
+    """TMR outvotes a faulted *copy*, but a flip on the voter's own
+    output row happens after the vote — silent unless ``verify=True``
+    marks the voter for the fault layer's re-read."""
+
+    @staticmethod
+    def _run(verify: bool):
+        import numpy as np
+
+        from repro.compile.builder import ProgramBuilder
+        from repro.core.accelerator import Mouse
+        from repro.devices.parameters import MODERN_STT
+        from repro.faults import ControllerFaultHook, FaultPlan
+
+        builder = ProgramBuilder(tile=0, rows=128, cols=1, reserved_rows=8)
+        builder.activate((0,))
+        word = builder.word_at([0, 2])
+        out = macros.tmr_bit(
+            builder,
+            "NAND",
+            word.bits[0],
+            word.bits[1],
+            voter="MIN3",
+            verify=verify,
+        )
+        program = builder.finish()
+        mouse = Mouse(MODERN_STT, rows=128, cols=1)
+        mouse.tile(0).set_bit(0, 0, True)
+        mouse.tile(0).set_bit(2, 0, True)
+        mouse.load(program)
+        # Flip ONLY the voter's NOT output — the one row TMR cannot
+        # protect — exactly once, so a verify retry re-runs clean.
+        plan = FaultPlan(
+            gate_flip_rates={"NOT": 1.0},
+            verify_retry=False,
+            verify_marked=True,
+        )
+
+        class OneShot(ControllerFaultHook):
+            fired = False
+
+            def _inject_flips(self, tiles, output_row, rate):
+                if OneShot.fired:
+                    return 0
+                injected = super()._inject_flips(tiles, output_row, rate)
+                if injected:
+                    OneShot.fired = True
+                return injected
+
+        OneShot.fired = False
+        hook = OneShot(
+            plan,
+            np.random.default_rng(0),
+            verify_pcs=program.verify_pcs,
+        )
+        mouse.controller.attach_faults(hook)
+        mouse.run()
+        assert OneShot.fired
+        return mouse.tile(0).get_bit(out.row, 0), hook.counters
+
+    def test_voter_row_flip_is_silent_without_verify(self):
+        value, counters = self._run(verify=False)
+        # NAND(1,1) = 0; the voter-row flip turned it into 1, silently.
+        assert value == 1
+        assert counters.detected == 0
+
+    def test_verify_mark_closes_the_hole(self):
+        value, counters = self._run(verify=True)
+        assert value == 0
+        assert counters.detected >= 1
+        assert counters.recovered >= 1
+
+    def test_verify_marks_fold_into_program_metadata(self):
+        h = ColumnHarness(1, rows=128)
+        a = h.input_bit([1])
+        b = h.input_bit([1])
+        macros.tmr_bit(h.builder, "NAND", a, b, voter="MIN3", verify=True)
+        program = h.builder.finish()
+        marked = program.verify_pcs
+        assert len(marked) == 2  # the MIN3 and its NOT
+        for pc in marked:
+            assert program.instructions[pc].gate in ("MIN3", "NOT")
+
+
 class TestPaperGateCounts:
     def test_full_adder_is_nine_nands(self):
         """Section II-B: a full-add is 9 NAND gates (plus the parity

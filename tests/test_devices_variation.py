@@ -87,3 +87,76 @@ class TestExperiment:
             by_key[("Projected SHE", "AND")].tolerated_sigma
             > by_key[("Modern STT", "AND")].tolerated_sigma
         )
+
+
+class TestEdgeCases:
+    """Degenerate inputs the hardening pass leans on (PR 7)."""
+
+    def test_sigma_zero_clamp_keeps_lognormal_finite(self):
+        """``sigma=0`` is clamped to 1e-12 inside the sampler — the
+        log-normal draw must stay a finite no-op, never NaN/inf."""
+        import numpy as np
+
+        from repro.devices.variation import _sample_input_resistance
+
+        states = np.zeros((4, 2), dtype=bool)
+        rng = np.random.default_rng(0)
+        r = _sample_input_resistance(MODERN_STT, states, 0.0, rng)
+        assert np.all(np.isfinite(r))
+        nominal = MODERN_STT.r_p + MODERN_STT.access_resistance
+        assert r == pytest.approx(np.full((4, 2), nominal), rel=1e-9)
+
+    def test_single_trial_monte_carlo(self):
+        rate = gate_error_rate(
+            MODERN_STT, NAND, VariationModel(0.05, 0.05), trials=1
+        )
+        assert rate.trials == 1
+        assert rate.failures in (0, 1)
+        assert rate.error_rate in (0.0, 1.0)
+
+    def test_zero_trials_rate_is_zero_not_nan(self):
+        from repro.devices.variation import GateErrorRate
+
+        rate = GateErrorRate("Modern STT", "NAND", trials=0, failures=0)
+        assert rate.error_rate == 0.0
+
+    def test_gate_failure_rate_memoised(self):
+        from repro.devices.variation import gate_failure_rate
+
+        gate_failure_rate.cache_clear()
+        a = gate_failure_rate(MODERN_STT, "NAND", sigma=0.1, trials=2_000)
+        before = gate_failure_rate.cache_info().hits
+        b = gate_failure_rate(MODERN_STT, "NAND", sigma=0.1, trials=2_000)
+        assert a == b
+        assert gate_failure_rate.cache_info().hits == before + 1
+
+    def test_gate_failure_rate_deterministic_across_processes(self):
+        """Hardening placement is computed independently in ``--jobs``
+        workers: the memoised rate must be a pure function of its
+        arguments, bit-identical in a fresh interpreter."""
+        import subprocess
+        import sys
+
+        from repro.devices.variation import gate_failure_rate
+
+        code = (
+            "from repro.devices.parameters import MODERN_STT\n"
+            "from repro.devices.variation import gate_failure_rate\n"
+            "print(repr(gate_failure_rate("
+            "MODERN_STT, 'NAND', sigma=0.08, trials=4000, seed=3)))\n"
+        )
+        runs = [
+            subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+                cwd="/root/repo",
+                check=True,
+            ).stdout.strip()
+            for _ in range(2)
+        ]
+        local = repr(
+            gate_failure_rate(MODERN_STT, "NAND", sigma=0.08, trials=4000, seed=3)
+        )
+        assert runs[0] == runs[1] == local

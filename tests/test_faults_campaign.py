@@ -129,3 +129,100 @@ class TestReport:
     def test_trials_validation(self):
         with pytest.raises(ValueError):
             FaultCampaign(adder_workload(MODERN_STT), FaultPlan(), trials=0)
+
+
+class TestReportV12:
+    """The v1.2 schema additions: structured aborts, retry totals, the
+    hardening block, and the retries-per-trial histogram (PR 7)."""
+
+    ABORT_PLAN = FaultPlan(
+        gate_flip_rates={"NAND": 0.9, "AND": 0.9, "BUF": 0.9, "NOT": 0.9},
+        verify_retry=True,
+        retry_budget=0,
+    )
+
+    def test_structured_abort_record(self):
+        report = run_campaign(self.ABORT_PLAN, trials=3)
+        aborted = [d for d in report.details if "abort" in d]
+        assert aborted
+        for detail in aborted:
+            abort = detail["abort"]
+            assert set(abort) == {"pc", "gate", "retries"}
+            assert isinstance(abort["pc"], int) and abort["pc"] >= 0
+            assert isinstance(abort["gate"], str) and abort["gate"]
+            assert abort["retries"] == 0  # budget was zero
+            assert "abort_reason" in detail  # legacy field kept
+
+    def test_max_retries_per_trial_total(self):
+        report = run_campaign(GATE_PLAN, trials=6)
+        totals = report.totals
+        assert "max_retries_per_trial" in totals
+        per_trial = [d["retries"] for d in report.details]
+        assert totals["max_retries_per_trial"] == max(per_trial)
+        assert totals["retries"] == sum(per_trial)
+
+    def test_retries_per_trial_histogram(self):
+        from repro import obs
+
+        hub = obs.Telemetry(obs.InMemorySink())
+        workload = adder_workload(MODERN_STT)
+        with obs.use(hub):
+            # jobs=1 keeps trials in-process so the observations land
+            # on this hub, not a fan-out worker's shard hub.
+            FaultCampaign(workload, GATE_PLAN, trials=4, seed=7).run(jobs=1)
+        snap = hub.snapshot()
+        hist = snap["histograms"].get("fault.retries_per_trial")
+        assert hist is not None
+        assert hist["count"] == 4
+
+    def test_hardening_block_for_hardened_workload(self):
+        from repro.harden import HardenPolicy, harden_program
+        from repro.harden.frontier import _hardened_workload
+        from repro.lint import LintConfig
+
+        base = adder_workload(MODERN_STT)
+        machine = base.build()
+        program = machine.program
+        config = LintConfig(
+            n_data_tiles=len(machine.bank.data_tiles),
+            rows=machine.bank.rows,
+            cols=machine.bank.cols,
+        )
+        rates = {"NAND": 0.02, "BUF": 0.01, "NOT": 0.01}
+        hardened = harden_program(
+            program, rates, config, HardenPolicy(level=1.0, tmr_share=0.25)
+        )
+        workload = _hardened_workload(base, hardened)
+        report = run_campaign(FaultPlan(), trials=2, workload=workload)
+        block = report.hardening
+        assert block is not None
+        assert block["schema"] == "repro.harden/v1"
+        assert block["verify_pcs"] > 0
+        assert {"masked", "tmr", "unprotected", "verify"} <= set(
+            block["assignment"]
+        )
+        obj = json.loads(report.to_json())
+        validate_report(obj)
+        assert obj["hardening"] == block
+
+    def test_unhardened_report_omits_block_and_validates(self):
+        report = run_campaign(FaultPlan(), trials=2)
+        assert report.hardening is None
+        obj = json.loads(report.to_json())
+        assert "hardening" not in obj
+        validate_report(obj)
+
+    def test_validation_rejects_bad_abort_record(self):
+        report = run_campaign(self.ABORT_PLAN, trials=3)
+        obj = json.loads(report.to_json())
+        bad = next(d for d in obj["details"] if "abort" in d)
+        bad["abort"]["retries"] = -1
+        with pytest.raises(ValueError, match="retries"):
+            validate_report(obj)
+
+    def test_validation_rejects_bad_hardening_block(self):
+        report = run_campaign(FaultPlan(), trials=2)
+        obj = json.loads(report.to_json())
+        obj["hardening"] = {"tmr_groups": "three", "verify_pcs": 0}
+        with pytest.raises(ValueError, match="hardening"):
+            validate_report(obj)

@@ -1,0 +1,135 @@
+"""The proven SDC upper bound and its per-channel decomposition."""
+
+import pytest
+
+from repro.compile.builder import ProgramBuilder
+from repro.faults import FaultPlan
+from repro.harden import (
+    HardenPolicy,
+    analyse,
+    bound_for_plan,
+    harden_program,
+    sdc_bound,
+)
+from repro.lint import LintConfig
+
+RATES = {"NAND": 0.05, "NOT": 0.02, "MIN3": 0.01}
+
+
+def circuit(cols=2, rows=128, gates=3):
+    b = ProgramBuilder(tile=0, rows=rows, cols=cols, reserved_rows=8)
+    b.activate_range(0, cols - 1)
+    word = b.word_at([0, 2])
+    value = b.gate("NAND", word.bits[0], word.bits[1])
+    for _ in range(gates - 1):
+        value = b.gate("NOT", value)
+    return b.finish(), LintConfig(n_data_tiles=1, rows=rows, cols=cols)
+
+
+class TestUnhardened:
+    def test_bound_is_total_flip_mass(self):
+        program, config = circuit()
+        report = analyse(program, RATES, config)
+        bound = sdc_bound(program, RATES, config, report=report)
+        assert bound.unprotected == pytest.approx(report.total_flip_mass)
+        assert bound.tmr_residual == 0.0
+        assert bound.voter == 0.0
+        assert bound.total == pytest.approx(
+            min(1.0, report.total_flip_mass)
+        )
+
+    def test_global_verify_zeroes_everything(self):
+        program, config = circuit()
+        bound = sdc_bound(program, RATES, config, global_verify=True)
+        assert bound.total == 0.0
+        assert bound.n_verified == bound.n_critical
+
+    def test_worst_lists_dominant_contributors(self):
+        program, config = circuit()
+        bound = sdc_bound(program, RATES, config)
+        assert bound.worst
+        contributions = [p for _, p in bound.worst]
+        assert contributions == sorted(contributions, reverse=True)
+        assert sum(contributions) == pytest.approx(bound.unprotected)
+
+
+class TestHardened:
+    def test_verify_tier_zeroes_marked_gates(self):
+        program, config = circuit()
+        hardened = harden_program(
+            program, RATES, config, HardenPolicy(level=1.0, tmr_share=0.0)
+        )
+        bound = sdc_bound(hardened, RATES, config)
+        assert bound.total == 0.0  # everything critical is verify-marked
+        unbelieved = sdc_bound(
+            hardened, RATES, config, verify_marked=False
+        )
+        assert unbelieved.total > 0.0  # marks ignored: back to unprotected
+
+    def test_tmr_residual_is_quadratic(self):
+        program, config = circuit(gates=1)
+        hardened = harden_program(
+            program, RATES, config, HardenPolicy(level=1.0, tmr_share=1.0)
+        )
+        report = analyse(hardened, RATES, config)
+        by_pc = report.by_pc()
+        bound = sdc_bound(hardened, RATES, config, report=report)
+        (group,) = hardened.harden_meta["tmr_groups"]
+        ps = [by_pc[pc].p_flip for pc in group["copy_pcs"]]
+        expected = ps[0] * ps[1] + ps[0] * ps[2] + ps[1] * ps[2]
+        assert bound.tmr_residual == pytest.approx(expected)
+        assert bound.n_tmr_groups == 1
+
+    def test_hardening_shrinks_the_bound(self):
+        program, config = circuit(gates=4)
+        base = sdc_bound(program, RATES, config).total
+        totals = []
+        for level in (0.0, 0.5, 1.0):
+            hardened = harden_program(
+                program, RATES, config, HardenPolicy(level=level)
+            )
+            totals.append(sdc_bound(hardened, RATES, config).total)
+        assert totals[0] == pytest.approx(base)
+        assert totals[0] >= totals[1] >= totals[2]
+        assert totals[2] < totals[0]
+
+    def test_unverified_voter_contributes(self):
+        program, config = circuit(gates=1)
+        hole = harden_program(
+            program,
+            RATES,
+            config,
+            HardenPolicy(level=1.0, tmr_share=1.0, voter_verify=False),
+        )
+        closed = harden_program(
+            program,
+            RATES,
+            config,
+            HardenPolicy(level=1.0, tmr_share=1.0, voter_verify=True),
+        )
+        assert sdc_bound(hole, RATES, config).voter > 0.0
+        assert sdc_bound(closed, RATES, config).voter == 0.0
+
+
+class TestPlanCoupling:
+    def test_bound_for_plan_uses_plan_switches(self):
+        program, config = circuit()
+        retry_on = FaultPlan(gate_flip_rates=RATES, verify_retry=True)
+        assert bound_for_plan(program, retry_on, config).total == 0.0
+        retry_off = FaultPlan(gate_flip_rates=RATES, verify_retry=False)
+        assert bound_for_plan(program, retry_off, config).total > 0.0
+
+    def test_json_decomposition(self):
+        program, config = circuit()
+        obj = sdc_bound(program, RATES, config).to_json_obj()
+        for key in (
+            "total",
+            "unprotected",
+            "tmr_residual",
+            "voter",
+            "n_critical",
+            "n_verified",
+            "n_masked",
+            "n_tmr_groups",
+        ):
+            assert key in obj

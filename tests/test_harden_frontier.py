@@ -1,0 +1,192 @@
+"""The frontier sweep: checks, determinism, resume, and the smoke gate."""
+
+import json
+
+import pytest
+
+from repro.devices.parameters import MODERN_STT
+from repro.harden.frontier import (
+    SCHEMA,
+    binomial_tail,
+    check_frontier,
+    format_table,
+    report_json,
+    run_frontier,
+    tech_slug,
+)
+
+SWEEP = dict(
+    workloads=("bnn",),
+    technologies=(MODERN_STT,),
+    levels=(0.0, 1.0),
+    trials=8,
+    seed=11,
+)
+
+
+def point(workload="w", tech="T", level=0.0, sdc=0.0, bound=1.0):
+    return {
+        "workload": workload,
+        "technology": tech,
+        "level": level,
+        "sdc_rate": sdc,
+        "sdc_bound": {"total": bound},
+        "bound_dominates": bound >= sdc,
+    }
+
+
+class TestChecks:
+    def test_dominance_failure_reported(self):
+        report = {"points": [point(level=0.0, sdc=0.5, bound=0.1)]}
+        checks = check_frontier(report)
+        assert not checks["ok"]
+        assert any("bound" in f for f in checks["failures"])
+
+    def test_improvement_failure_reported(self):
+        report = {
+            "points": [
+                point(level=0.0, sdc=0.4, bound=1.0),
+                point(level=1.0, sdc=0.2, bound=1.0),
+            ]
+        }
+        checks = check_frontier(report)
+        assert not checks["ok"]
+        assert any("10x" in f or "improves" in f for f in checks["failures"])
+
+    def test_zero_unhardened_rate_is_a_failure(self):
+        report = {
+            "points": [
+                point(level=0.0, sdc=0.0, bound=1.0),
+                point(level=1.0, sdc=0.0, bound=1.0),
+            ]
+        }
+        checks = check_frontier(report)
+        assert not checks["ok"]
+        assert any("zero" in f for f in checks["failures"])
+
+    def test_zero_hardened_rate_is_infinite_improvement(self):
+        report = {
+            "points": [
+                point(level=0.0, sdc=0.5, bound=1.0),
+                point(level=1.0, sdc=0.0, bound=0.01),
+            ]
+        }
+        checks = check_frontier(report)
+        assert checks["ok"]
+        assert checks["improvement"]["w / T"] == "inf"
+
+    def test_single_level_sweep_skips_improvement(self):
+        report = {"points": [point(level=0.5, sdc=0.1, bound=0.5)]}
+        assert check_frontier(report)["ok"]
+
+    def test_tech_slug(self):
+        assert tech_slug(MODERN_STT) == "modern-stt"
+
+
+class TestBinomialGuard:
+    def test_tail_matches_exact_enumeration(self):
+        import math
+
+        def brute(x, n, p):
+            return sum(
+                math.comb(n, k) * p**k * (1 - p) ** (n - k)
+                for k in range(x, n + 1)
+            )
+
+        for x, n, p in [(2, 32, 0.0187), (8, 32, 0.2498), (1, 8, 0.5)]:
+            assert binomial_tail(x, n, p) == pytest.approx(brute(x, n, p))
+
+    def test_tail_edge_cases(self):
+        assert binomial_tail(0, 32, 0.1) == 1.0
+        assert binomial_tail(5, 32, 0.0) == 0.0
+        assert binomial_tail(5, 32, 1.0) == 1.0
+
+    def test_noise_over_tight_bound_passes(self):
+        """One count over a tight bound at small n is sampling noise,
+        not a refutation: 8/32 against bound 0.2498 has tail ~0.57."""
+        pt = point(level=0.0, sdc=8 / 32, bound=0.2498)
+        pt["trials"] = 32
+        assert check_frontier({"points": [pt]})["ok"]
+
+    def test_statistical_refutation_fails(self):
+        """A rate far above the bound at large n is a real violation."""
+        pt = point(level=0.0, sdc=0.5, bound=0.05)
+        pt["trials"] = 256
+        checks = check_frontier({"points": [pt]})
+        assert not checks["ok"]
+        assert any("p=" in f for f in checks["failures"])
+
+    def test_handbuilt_points_keep_strict_comparison(self):
+        checks = check_frontier(
+            {"points": [point(level=0.0, sdc=0.5, bound=0.1)]}
+        )
+        assert not checks["ok"]
+
+
+class TestSweep:
+    def test_tiny_sweep_passes_its_own_checks(self):
+        report = run_frontier(**SWEEP)
+        assert report["schema"] == SCHEMA
+        assert len(report["points"]) == 2
+        assert report["checks"]["ok"], report["checks"]["failures"]
+        for pt in report["points"]:
+            assert pt["bound_dominates"]
+            assert 0.0 <= pt["sdc_rate"] <= 1.0
+            assert pt["yield"] == 1.0 - pt["sdc_rate"]
+        hardened = next(p for p in report["points"] if p["level"] == 1.0)
+        assert hardened["protection"]["tmr_groups"] > 0
+        assert hardened["protection"]["verify_pcs"] > 0
+        assert hardened["energy_overhead"] > 0.0
+        table = format_table(report)
+        assert "checks: ok" in table
+
+    def test_byte_identical_across_jobs(self):
+        serial = report_json(run_frontier(**SWEEP, jobs=1))
+        parallel = report_json(run_frontier(**SWEEP, jobs=2))
+        assert serial == parallel
+
+    def test_resume_reuses_checkpointed_points(self, tmp_path):
+        ck = tmp_path / "ck"
+        first = report_json(run_frontier(**SWEEP, checkpoint_dir=str(ck)))
+        # All points persisted: a re-run recomputes nothing and merges
+        # to the same bytes.
+        done = list(ck.glob("*"))
+        assert done
+        second = report_json(run_frontier(**SWEEP, checkpoint_dir=str(ck)))
+        assert first == second
+
+    def test_unknown_workload_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="unknown workload"):
+            run_frontier(workloads=("nope",), technologies=(MODERN_STT,))
+
+    def test_plan_embeds_scaling_provenance(self):
+        report = run_frontier(**SWEEP)
+        meta = report["points"][0]["plan"]["meta"]
+        assert meta["technology"] == MODERN_STT.name
+        assert "scale" in meta and "floor" in meta
+
+
+class TestSmokeGate:
+    def test_smoke_passes_and_writes_bench_baseline(self, tmp_path):
+        from repro.harden import smoke
+
+        bench = tmp_path / "bench.json"
+        assert smoke.run_smoke(str(tmp_path / "out"), str(bench)) == 0
+        report = json.loads(bench.read_text())
+        assert report["schema"] == "repro.bench/v1"
+        assert report["results"]
+        # Second run gates against the baseline it just wrote.
+        assert smoke.run_smoke(str(tmp_path / "out2"), str(bench)) == 0
+
+    def test_smoke_fails_on_energy_regression(self, tmp_path):
+        from repro.harden import smoke
+
+        bench = tmp_path / "bench.json"
+        assert smoke.run_smoke(str(tmp_path / "out"), str(bench)) == 0
+        report = json.loads(bench.read_text())
+        for entry in report["results"]:
+            entry["ns_per_op"] = entry["ns_per_op"] / 10.0  # old was cheap
+        bench.write_text(json.dumps(report))
+        assert smoke.run_smoke(str(tmp_path / "out2"), str(bench)) == 1

@@ -1,0 +1,280 @@
+"""The hardening rewrite: correctness, metadata, and the voter hole."""
+
+import numpy as np
+import pytest
+
+from repro.compile.builder import ProgramBuilder
+from repro.core.accelerator import Mouse
+from repro.devices.parameters import MODERN_STT
+from repro.faults import ControllerFaultHook, FaultPlan
+from repro.harden import HardenError, HardenPolicy, harden_program, overhead_summary
+from repro.isa.instruction import LogicInstruction, MemoryInstruction
+from repro.lint import LintConfig, lint_program
+
+RATES = {"NAND": 0.05, "NOT": 0.02, "AND": 0.05, "OR": 0.05, "MIN3": 0.01}
+
+
+def small_circuit(cols=4, rows=128):
+    """NAND + NOT chain over ``cols`` test-vector columns."""
+    b = ProgramBuilder(tile=0, rows=rows, cols=cols, reserved_rows=8)
+    b.activate_range(0, cols - 1)
+    word = b.word_at([0, 2])
+    g1 = b.gate("NAND", word.bits[0], word.bits[1])
+    out = b.gate("NOT", g1)
+    return b.finish(), word, out, LintConfig(n_data_tiles=1, rows=rows, cols=cols)
+
+
+def machine_for(program, config, bits):
+    mouse = Mouse(MODERN_STT, rows=config.rows, cols=config.cols)
+    for (row, col), value in bits.items():
+        mouse.tile(0).set_bit(row, col, value)
+    mouse.load(program)
+    return mouse
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("level", [0.0, 0.5, 1.0])
+    def test_memory_identical_to_original(self, level):
+        program, word, out, config = small_circuit()
+        hardened = harden_program(
+            program, RATES, config, HardenPolicy(level=level, tmr_share=0.5)
+        )
+        combos = [(0, 0), (0, 1), (1, 0), (1, 1)]
+        bits = {}
+        for col, (a, bv) in enumerate(combos):
+            bits[(word.bits[0].row, col)] = bool(a)
+            bits[(word.bits[1].row, col)] = bool(bv)
+        base = machine_for(program, config, bits)
+        base.run()
+        hard = machine_for(hardened, config, bits)
+        hard.run()
+        for col, (a, bv) in enumerate(combos):
+            expected = 1 - (1 - (a & bv))  # NOT(NAND(a,b)) = AND
+            assert hard.tile(0).get_bit(out.row, col) == expected
+        # Scratch is scrubbed: the whole image matches the unhardened run.
+        assert all(
+            np.array_equal(x, y)
+            for x, y in zip(hard.bank.snapshot(), base.bank.snapshot())
+        )
+
+    def test_hardened_program_lints_clean(self):
+        program, _, _, config = small_circuit()
+        hardened = harden_program(program, RATES, config)
+        assert lint_program(hardened, config).ok
+
+    def test_unsealed_program_rejected(self):
+        from repro.core.program import Program
+
+        with pytest.raises(HardenError, match="HALT"):
+            harden_program(Program(name="open"), RATES, LintConfig(1))
+
+
+class TestMetadata:
+    def test_assignment_partitions_logic_pcs(self):
+        program, _, _, config = small_circuit()
+        hardened = harden_program(
+            program, RATES, config, HardenPolicy(level=1.0, tmr_share=0.5)
+        )
+        meta = hardened.harden_meta
+        assert meta["schema"] == "repro.harden/v1"
+        assignment = meta["assignment"]
+        logic_pcs = {
+            pc
+            for pc, instr in enumerate(program)
+            if isinstance(instr, LogicInstruction)
+        }
+        buckets = [
+            set(assignment["tmr"]),
+            set(assignment["verify"]),
+            set(assignment["masked"]),
+            set(assignment["unprotected"]),
+        ]
+        union = set().union(*buckets)
+        assert union == logic_pcs
+        assert sum(len(s) for s in buckets) == len(logic_pcs)  # disjoint
+
+    def test_level_zero_changes_nothing(self):
+        program, _, _, config = small_circuit()
+        hardened = harden_program(
+            program, RATES, config, HardenPolicy(level=0.0)
+        )
+        assert len(hardened) == len(program)
+        assert hardened.harden_meta["tmr_groups"] == []
+        assert hardened.harden_meta["verify_pcs"] == []
+
+    def test_tmr_group_shape_and_preset_patch(self):
+        program, _, _, config = small_circuit()
+        hardened = harden_program(
+            program, RATES, config, HardenPolicy(level=1.0, tmr_share=1.0)
+        )
+        groups = hardened.harden_meta["tmr_groups"]
+        assert groups
+        for group in groups:
+            assert group["voter"] == "MIN3+NOT"
+            assert len(group["copy_rows"]) == 3
+            assert len(group["copy_pcs"]) == 3
+            min_pc, not_pc = group["voter_pcs"]
+            min3 = hardened.instructions[min_pc]
+            voter = hardened.instructions[not_pc]
+            assert min3.gate == "MIN3"
+            assert tuple(min3.input_rows) == tuple(group["copy_rows"])
+            assert voter.gate == "NOT"
+            assert voter.output_row == group["output_row"]
+            # The NOT is preset-0: the original preset must be patched.
+            patched = [
+                instr
+                for pc, instr in enumerate(hardened.instructions)
+                if pc < not_pc
+                and isinstance(instr, MemoryInstruction)
+                and instr.row == group["output_row"]
+                and instr.op.startswith("PRESET")
+            ][-1]
+            assert patched.op == "PRESET0"
+
+    def test_scrub_epilogue_precedes_halt(self):
+        program, _, _, config = small_circuit()
+        hardened = harden_program(
+            program, RATES, config, HardenPolicy(level=1.0, tmr_share=1.0)
+        )
+        scrub = hardened.harden_meta["scrub_pcs"]
+        assert scrub
+        halt_pc = len(hardened) - 1
+        scratch = {
+            row
+            for group in hardened.harden_meta["tmr_groups"]
+            for row in group["copy_rows"] + [group["min_row"]]
+        }
+        scrubbed = set()
+        for pc in scrub:
+            instr = hardened.instructions[pc]
+            assert pc < halt_pc
+            assert instr.op == "PRESET0"
+            scrubbed.add(instr.row)
+        assert scratch <= scrubbed
+
+    def test_voter_verify_toggle(self):
+        program, _, _, config = small_circuit()
+        on = harden_program(
+            program,
+            RATES,
+            config,
+            HardenPolicy(level=1.0, tmr_share=1.0, voter_verify=True),
+        )
+        off = harden_program(
+            program,
+            RATES,
+            config,
+            HardenPolicy(level=1.0, tmr_share=1.0, voter_verify=False),
+        )
+        voters_on = {
+            pc for g in on.harden_meta["tmr_groups"] for pc in g["voter_pcs"]
+        }
+        voters_off = {
+            pc for g in off.harden_meta["tmr_groups"] for pc in g["voter_pcs"]
+        }
+        assert voters_on <= on.verify_pcs
+        assert not (voters_off & off.verify_pcs)
+
+    def test_existing_verify_marks_carried_over(self):
+        b = ProgramBuilder(tile=0, rows=128, cols=2, reserved_rows=8)
+        b.activate_range(0, 1)
+        word = b.word_at([0, 2])
+        b.gate("NAND", word.bits[0], word.bits[1])
+        b.mark_verify()
+        program = b.finish()
+        assert program.verify_pcs
+        config = LintConfig(n_data_tiles=1, rows=128, cols=2)
+        hardened = harden_program(
+            program, RATES, config, HardenPolicy(level=0.0)
+        )
+        assert hardened.verify_pcs
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            HardenPolicy(level=1.5)
+        with pytest.raises(ValueError):
+            HardenPolicy(tmr_share=-0.1)
+
+
+class OneShotFlip(ControllerFaultHook):
+    """Injects at most one flip, then never again — so a verify retry
+    re-executes into a clean array instead of re-rolling the dice."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.fired = False
+
+    def _inject_flips(self, tiles, output_row, rate):
+        if self.fired:
+            return 0
+        injected = super()._inject_flips(tiles, output_row, rate)
+        if injected:
+            self.fired = True
+        return injected
+
+
+class TestVoterHole:
+    """A flip on the voter's *own* output row: silent without the
+    verify mark, detected-and-retried with it."""
+
+    def _run(self, voter_verify: bool):
+        b = ProgramBuilder(tile=0, rows=128, cols=1, reserved_rows=8)
+        b.activate((0,))
+        word = b.word_at([0, 2])
+        out = b.gate("NAND", word.bits[0], word.bits[1])
+        program = b.finish()
+        config = LintConfig(n_data_tiles=1, rows=128, cols=1)
+        hardened = harden_program(
+            program,
+            RATES,
+            config,
+            HardenPolicy(level=1.0, tmr_share=1.0, voter_verify=voter_verify),
+        )
+        (group,) = hardened.harden_meta["tmr_groups"]
+        assert group["output_row"] == out.row
+        mouse = Mouse(MODERN_STT, rows=128, cols=1)
+        mouse.tile(0).set_bit(0, 0, True)
+        mouse.tile(0).set_bit(2, 0, True)
+        mouse.load(hardened)
+        # Only NOT flips — and the sole NOT is the voter's final write.
+        plan = FaultPlan(
+            gate_flip_rates={"NOT": 1.0},
+            verify_retry=False,
+            verify_marked=True,
+        )
+        hook = OneShotFlip(
+            plan,
+            np.random.default_rng(0),
+            verify_pcs=hardened.verify_pcs,
+        )
+        mouse.controller.attach_faults(hook)
+        mouse.run()
+        assert hook.fired
+        return mouse.tile(0).get_bit(out.row, 0), hook.counters
+
+    def test_unverified_voter_is_silent_corruption(self):
+        value, counters = self._run(voter_verify=False)
+        assert value == 1  # NAND(1,1) should be 0: the flip went silent
+
+    def test_verified_voter_detects_and_recovers(self):
+        value, counters = self._run(voter_verify=True)
+        assert value == 0
+        assert counters.detected >= 1
+        assert counters.recovered >= 1
+        assert counters.retries >= 1
+
+
+class TestOverhead:
+    def test_overhead_grows_with_level(self):
+        program, _, _, config = small_circuit()
+        half = harden_program(
+            program, RATES, config, HardenPolicy(level=0.5, tmr_share=0.5)
+        )
+        full = harden_program(
+            program, RATES, config, HardenPolicy(level=1.0, tmr_share=0.5)
+        )
+        s_half = overhead_summary(program, half, config, MODERN_STT)
+        s_full = overhead_summary(program, full, config, MODERN_STT)
+        assert s_half["energy_overhead"] >= 0.0
+        assert s_full["energy_overhead"] >= s_half["energy_overhead"]
+        assert s_full["instructions"]["hardened"] > len(program)
