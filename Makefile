@@ -1,9 +1,9 @@
-.PHONY: install test lint lint-smoke obs-smoke trace-smoke faults-smoke bench-smoke crash-smoke harden-smoke bench experiments export examples all
+.PHONY: install test lint lint-smoke verify-smoke obs-smoke trace-smoke faults-smoke bench-smoke crash-smoke harden-smoke bench experiments export examples all
 
 install:
 	pip install -e . --no-build-isolation
 
-test: obs-smoke faults-smoke bench-smoke crash-smoke harden-smoke lint
+test: obs-smoke faults-smoke bench-smoke crash-smoke harden-smoke lint verify-smoke
 	pytest tests/
 
 # Static checks: the CRAM program linter over every registered target,
@@ -23,6 +23,14 @@ lint: lint-smoke
 
 lint-smoke:
 	PYTHONPATH=src python -m repro.lint.smoke
+
+# Verification gate: every Table IV workload symbolically proven
+# equivalent to its golden reference (and replay-safe), every hardened
+# rewrite proven equivalent to its source at levels 0/0.5/1, and the
+# seeded-miscompilation corpus (>= 10 structurally-green mutants) all
+# refuted by the SEM/REEX provers.
+verify-smoke:
+	PYTHONPATH=src python -m repro.verify.smoke
 
 # Observability gate: the traced SVM-kernel run plus profiler
 # attribution (bit-exact vs the Breakdown), flamegraph lint, checkpoint

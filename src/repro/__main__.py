@@ -20,6 +20,10 @@
     python -m repro lint                 # statically verify programs
     python -m repro lint svm --json      # one target, JSON diagnostics
     python -m repro lint --asm prog.asm --rows 256 --cols 8
+    python -m repro verify               # prove programs vs golden semantics
+    python -m repro verify svm --hardened --json
+    python -m repro verify --asm prog.asm --spec spec.json --rows 256
+    python -m repro verify --mutants     # seeded-miscompilation corpus
 """
 
 from __future__ import annotations
@@ -586,6 +590,153 @@ def cmd_lint(args) -> int:
     return status
 
 
+def cmd_verify(args) -> int:
+    import json
+
+    from repro.core.program import Program
+    from repro.lint import RULES, LintConfig, render
+    from repro.verify import (
+        ReExecutionPass,
+        SemanticSpec,
+        SemanticsPass,
+        VERIFY_TARGETS,
+        build_verify_target,
+        hardened_job,
+        run_mutation_corpus,
+        verify_program,
+    )
+
+    if args.rules:
+        for rule in RULES.values():
+            if not rule.id.startswith(("SEM", "REEX")):
+                continue
+            print(f"{rule.id}  [{rule.severity}]  {rule.title}")
+            print(f"    {rule.why}")
+        return 0
+    if args.list:
+        print("verifiable program targets (python -m repro verify <name>):")
+        for name, target in sorted(VERIFY_TARGETS.items()):
+            print(f"  {name:12s} {target.description}")
+        return 0
+    if args.mutants:
+        rows = run_mutation_corpus(strict=False)
+        escaped = [
+            r for r in rows if not r["structural_ok"] or not r["refuted"]
+        ]
+        if args.json:
+            print(json.dumps(rows, indent=2, sort_keys=True))
+        else:
+            for r in rows:
+                verdict = (
+                    f"refuted by {','.join(r['rules'])}"
+                    if r["refuted"]
+                    else "NOT refuted"
+                )
+                green = "green" if r["structural_ok"] else "NOT green"
+                print(f"{r['name']}: lint {green}, {verdict}")
+            print(
+                f"mutants: {len(rows)} total, "
+                f"{len(rows) - len(escaped)} structurally-green + refuted"
+            )
+        return 1 if escaped else 0
+
+    status = 0
+    reports = []
+    if args.asm is not None:
+        from repro.isa.assembler import AssemblerError, assemble
+
+        try:
+            with open(args.asm, "r", encoding="utf-8") as f:
+                instructions = assemble(f.read())
+        except OSError as exc:
+            print(f"cannot read {args.asm}: {exc}")
+            return 2
+        except (AssemblerError, ValueError) as exc:
+            print(f"cannot assemble {args.asm}: {exc}")
+            return 2
+        config = LintConfig(
+            n_data_tiles=args.tiles, rows=args.rows, cols=args.cols
+        )
+        spec = None
+        if args.spec is not None:
+            try:
+                with open(args.spec, "r", encoding="utf-8") as f:
+                    spec = SemanticSpec.from_json_obj(json.load(f))
+            except (OSError, ValueError, KeyError) as exc:
+                print(f"cannot load spec {args.spec}: {exc}")
+                return 2
+        focus = spec.focus_column if spec is not None else args.focus_column
+        constants = (
+            {cell: bit for cell, bit in spec.constants}
+            if spec is not None
+            else None
+        )
+        passes = []
+        if spec is not None:
+            passes.append(SemanticsPass(spec))
+        if args.against is not None:
+            from repro.verify import EquivalencePass
+
+            try:
+                with open(args.against, "r", encoding="utf-8") as f:
+                    source = Program(
+                        assemble(f.read()), name=args.against
+                    )
+            except OSError as exc:
+                print(f"cannot read {args.against}: {exc}")
+                return 2
+            except (AssemblerError, ValueError) as exc:
+                print(f"cannot assemble {args.against}: {exc}")
+                return 2
+            passes.append(
+                EquivalencePass(
+                    source, constants=constants, focus_column=focus
+                )
+            )
+        passes.append(
+            ReExecutionPass(
+                period=args.period, constants=constants, focus_column=focus
+            )
+        )
+        program = Program(instructions, name=args.asm)
+        reports.append(verify_program(program, config, passes, name=args.asm))
+    else:
+        names = args.targets or ["all"]
+        if names == ["all"]:
+            names = sorted(VERIFY_TARGETS)
+        for name in names:
+            if name not in VERIFY_TARGETS:
+                print(
+                    f"unknown verify target {name!r}; "
+                    "try 'python -m repro verify --list'"
+                )
+                return 2
+            reports.append(build_verify_target(name).run())
+            if args.hardened:
+                from repro.harden import HardenPolicy
+
+                policy = HardenPolicy(
+                    level=args.level, tmr_share=args.tmr_share
+                )
+                reports.append(hardened_job(name, policy).run())
+
+    for report in reports:
+        if not report.ok:
+            status = 1
+        if not args.json:
+            print(render(report, tool="verify"))
+    if args.json:
+        payload = [r.to_json_obj() for r in reports]
+        print(
+            json.dumps(
+                payload[0] if len(payload) == 1 else payload,
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    return status
+
+
 def cmd_bench(args) -> int:
     from repro import obs
     from repro.durability import Interrupted, graceful_signals
@@ -1103,6 +1254,83 @@ def main(argv: list[str] | None = None) -> int:
         "--rules", action="store_true", help="print the rule catalog"
     )
 
+    verify_p = sub.add_parser(
+        "verify",
+        help="prove compiled CRAM programs equivalent to golden semantics",
+    )
+    verify_p.add_argument(
+        "targets",
+        nargs="*",
+        help="registered verify targets (default: all; see --list)",
+    )
+    verify_p.add_argument(
+        "--asm", metavar="PATH", help="verify an assembly file instead"
+    )
+    verify_p.add_argument(
+        "--spec",
+        metavar="PATH",
+        help="semantic spec JSON for --asm (inputs/constants/outputs)",
+    )
+    verify_p.add_argument(
+        "--against",
+        metavar="PATH",
+        help="source assembly --asm must stay equivalent to (SEM003)",
+    )
+    verify_p.add_argument(
+        "--tiles", type=int, default=1, help="data tiles in the bank (--asm)"
+    )
+    verify_p.add_argument(
+        "--rows", type=int, default=1024, help="rows per tile (--asm)"
+    )
+    verify_p.add_argument(
+        "--cols", type=int, default=1024, help="columns per tile (--asm)"
+    )
+    verify_p.add_argument(
+        "--period",
+        type=int,
+        default=1,
+        help="commit-window period for the re-execution pass (--asm)",
+    )
+    verify_p.add_argument(
+        "--focus-column",
+        type=int,
+        default=0,
+        help="column to track symbolically without a spec (--asm)",
+    )
+    verify_p.add_argument(
+        "--json", action="store_true", help="emit JSON diagnostics"
+    )
+    verify_p.add_argument(
+        "--list", action="store_true", help="list verifiable targets"
+    )
+    verify_p.add_argument(
+        "--rules",
+        action="store_true",
+        help="print the SEM/REEX rule catalog",
+    )
+    verify_p.add_argument(
+        "--mutants",
+        action="store_true",
+        help="run the seeded-miscompilation corpus",
+    )
+    verify_p.add_argument(
+        "--hardened",
+        action="store_true",
+        help="also prove each target's hardened rewrite equivalent",
+    )
+    verify_p.add_argument(
+        "--level",
+        type=float,
+        default=1.0,
+        help="hardening protection level for --hardened",
+    )
+    verify_p.add_argument(
+        "--tmr-share",
+        type=float,
+        default=0.5,
+        help="TMR share of the protection budget for --hardened",
+    )
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
@@ -1138,6 +1366,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_stats(args.path, args.top)
     if args.command == "lint":
         return cmd_lint(args)
+    if args.command == "verify":
+        return cmd_verify(args)
     return 2  # pragma: no cover
 
 

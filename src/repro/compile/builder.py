@@ -275,11 +275,12 @@ class ProgramBuilder:
 
         With ``strict=True`` the sealed program is run through the full
         :mod:`repro.lint` pass pipeline against this builder's bank
-        shape, and a :class:`~repro.lint.linter.LintError` (carrying
-        the structured report) is raised if any error-severity
-        diagnostic fires — the opt-in compile-time gate for code that
-        bypasses the builder's own disciplines via raw
-        ``program.append``.
+        shape — plus the :mod:`repro.verify` per-instruction
+        re-execution-safety prover (``REEX*``, period 1) — and a
+        :class:`~repro.lint.linter.LintError` (carrying the structured
+        report) is raised if any error-severity diagnostic fires.  The
+        opt-in compile-time gate for code that bypasses the builder's
+        own disciplines via raw ``program.append``.
         """
         self.program.ensure_halt()
         if self._verify_pcs:
@@ -289,15 +290,19 @@ class ProgramBuilder:
             self.program.harden_meta = meta
         if strict:
             from repro.lint import LintConfig, LintError, lint_program
+            from repro.verify import ReExecutionPass, verify_program
 
-            report = lint_program(
-                self.program,
-                LintConfig(
-                    n_data_tiles=self.tile + 1, rows=self.rows, cols=self.cols
-                ),
+            config = LintConfig(
+                n_data_tiles=self.tile + 1, rows=self.rows, cols=self.cols
             )
+            report = lint_program(self.program, config)
             if not report.ok:
                 raise LintError(report)
+            reexec = verify_program(
+                self.program, config, [ReExecutionPass(period=1)]
+            )
+            if not reexec.ok:
+                raise LintError(reexec)
         return self.program
 
     @property

@@ -128,14 +128,14 @@ class LintReport:
         return json.dumps(self.to_json_obj(), indent=2, sort_keys=True) + "\n"
 
 
-def render(report: LintReport) -> str:
+def render(report: LintReport, tool: str = "lint") -> str:
     """Human rendering of one report (the CLI's output)."""
     if report.clean:
         verdict = "clean"
     else:
         verdict = f"{report.n_errors} error(s), {report.n_warnings} warning(s)"
     lines = [
-        f"lint: {report.program!r} "
+        f"{tool}: {report.program!r} "
         f"({report.n_instructions} instructions) — {verdict}"
     ]
     lines.extend(f"  {d}" for d in report.diagnostics)

@@ -27,6 +27,15 @@ this table.  Ids are grouped by the paper property they protect:
   meet its target, hardening metadata must describe the instruction
   stream it rides on, and protection should not be spent where
   dataflow masking already absorbs every flip.
+* ``SEM*`` — semantic correctness (:mod:`repro.verify`): the truth-table
+  symbolic interpreter proves each compiled output's Boolean function
+  equal to its golden reference over every input assignment, and any
+  rewrite (hardening, future optimisers) equivalent to its source.
+* ``REEX*`` — re-execution safety over replay windows
+  (:mod:`repro.verify`): replay from any commit/checkpoint boundary
+  must be idempotent — the whole-window semantic generalisation of the
+  per-instruction ``IDEM*`` rules to the windows the durability layer
+  actually replays.
 
 ``docs/LINT.md`` is the narrative version of this table; a test keeps
 the two in sync.
@@ -215,6 +224,51 @@ _RULES = (
         "the fault layer executes by pc; metadata pointing at missing "
         "or non-logic instructions silently disables the protection "
         "it promises",
+    ),
+    Rule(
+        "SEM001",
+        Severity.ERROR,
+        "output computes the wrong Boolean function",
+        "repro.verify translation validation: the cell's truth table "
+        "over every input assignment differs from the golden reference "
+        "semantics (the diagnostic carries a concrete counterexample "
+        "assignment and anchors at the cell's last writer)",
+    ),
+    Rule(
+        "SEM002",
+        Severity.ERROR,
+        "checked output is never written at the focus column",
+        "repro.verify translation validation: the spec names an output "
+        "cell the program never defines — typically a column mask that "
+        "excludes the lane the readout expects",
+    ),
+    Rule(
+        "SEM003",
+        Severity.ERROR,
+        "rewrite is not semantically equivalent to its source",
+        "repro.verify rewrite preservation: every source-defined cell "
+        "must hold an identical Boolean function after the rewrite, "
+        "and rewrite-private scratch must be scrubbed to constant 0 "
+        "before HALT (closes the harden_program proof obligation)",
+    ),
+    Rule(
+        "REEX001",
+        Severity.ERROR,
+        "window replay from a crash point diverges",
+        "repro.verify re-execution safety: executing part of a commit "
+        "window and then replaying the whole window from its boundary "
+        "must equal the uninterrupted run; a window that reads a cell "
+        "it also overwrites breaks recovery (Section IV-D dual-PC "
+        "replay, repro.durability checkpoint windows)",
+    ),
+    Rule(
+        "REEX002",
+        Severity.ERROR,
+        "window replay re-samples a committed sensor reading",
+        "repro.verify re-execution safety: a replayed window that "
+        "re-issues a sensor READ stores a different sample than the "
+        "pre-crash execution committed — recovery must persist the "
+        "sample in its own window before any use",
     ),
 )
 

@@ -37,6 +37,10 @@ Kinds
     One static-analysis run of :mod:`repro.lint`: the linted
     ``program`` name, its ``errors`` and ``warnings`` counts, and the
     comma-joined ``rules`` that fired (empty for a clean program).
+``verify.report``
+    One semantic-verification run of :mod:`repro.verify`: the verified
+    ``program`` name, its ``errors`` and ``warnings`` counts, and the
+    comma-joined ``rules`` that fired (empty for a proven program).
 ``harden.report``
     One hardening rewrite (:func:`repro.harden.harden_program`): the
     source ``program`` name, the placement counts (``tmr`` groups,
@@ -76,6 +80,7 @@ FAULT_INJECTED = "fault.injected"
 FAULT_DETECTED = "fault.detected"
 FAULT_RECOVERED = "fault.recovered"
 LINT_REPORT = "lint.report"
+VERIFY_REPORT = "verify.report"
 HARDEN_REPORT = "harden.report"
 CHECKPOINT_COMMIT = "checkpoint.commit"
 GAUGE = "gauge"
@@ -95,6 +100,7 @@ KNOWN_KINDS: dict[str, frozenset[str]] = {
     FAULT_DETECTED: frozenset({"site"}),
     FAULT_RECOVERED: frozenset({"site"}),
     LINT_REPORT: frozenset({"program", "errors", "warnings"}),
+    VERIFY_REPORT: frozenset({"program", "errors", "warnings"}),
     HARDEN_REPORT: frozenset({"program", "level", "tmr", "verify"}),
     CHECKPOINT_COMMIT: frozenset({"seq", "image_kind"}),
     GAUGE: frozenset({"name", "value"}),

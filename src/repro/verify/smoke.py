@@ -1,0 +1,117 @@
+"""Verify-layer smoke test: proofs hold, miscompilations are refuted.
+
+    python -m repro.verify.smoke
+
+Four checks:
+
+1. **Every verify target proves clean** — each Table IV workload in
+   :mod:`repro.verify.targets` (adder, SVM, multiclass SVM, BNN layer,
+   BNN output) is symbolically proven equivalent to its golden
+   :mod:`repro.ml`-style reference over *every* input assignment, with
+   zero electrical-simulator execution, and replay-safe at period 1.
+2. **Hardening preserves semantics** — ``harden_program`` output at
+   protection levels 0.0 / 0.5 / 1.0 is proven equivalent to its
+   source for every target (``SEM003`` stays silent).
+3. **Seeded miscompilations are refuted** — the strict mutation corpus
+   (:mod:`repro.verify.mutate`): >= 10 distinct mutants that the PR 3
+   structural lint accepts but the semantic verifier refutes.
+4. **Determinism** — verifying the same target twice serialises to
+   byte-identical JSON.
+
+Exit status 0 means the verify subsystem is healthy; wired into
+``make verify-smoke`` (part of ``make test``).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.harden import HardenPolicy
+from repro.lint import render
+from repro.verify.mutate import run_mutation_corpus
+from repro.verify.targets import (
+    VERIFY_TARGETS,
+    build_verify_target,
+    hardened_job,
+)
+
+#: The smoke's hardening sweep: off, half, and full protection.
+HARDEN_LEVELS = (0.0, 0.5, 1.0)
+
+#: The acceptance floor for distinct structurally-green refutations.
+MIN_REFUTED_MUTANTS = 10
+
+
+def run_smoke() -> int:
+    failures: list[str] = []
+
+    # 1. Every verify target proves clean.
+    for name in sorted(VERIFY_TARGETS):
+        report = build_verify_target(name).run()
+        if not report.clean:
+            failures.append(
+                f"target {name!r} failed verification:\n"
+                f"{render(report, tool='verify')}"
+            )
+        else:
+            print(
+                f"verify {name!r}: proven "
+                f"({report.n_instructions} instructions)"
+            )
+
+    # 2. Hardening preserves semantics at every protection level.
+    for name in sorted(VERIFY_TARGETS):
+        for level in HARDEN_LEVELS:
+            policy = HardenPolicy(level=level, tmr_share=0.5)
+            job = hardened_job(name, policy)
+            report = job.run()
+            if not report.clean:
+                failures.append(
+                    f"hardened {job.name!r} failed verification:\n"
+                    f"{render(report, tool='verify')}"
+                )
+            else:
+                print(
+                    f"verify {job.name!r}: proven "
+                    f"({report.n_instructions} instructions)"
+                )
+
+    # 3. The seeded-miscompilation corpus: structurally green, refuted.
+    try:
+        rows = run_mutation_corpus(strict=True)
+    except AssertionError as exc:
+        failures.append(f"mutation corpus: {exc}")
+        rows = []
+    refuted = [r for r in rows if r["structural_ok"] and r["refuted"]]
+    if rows and len(refuted) < MIN_REFUTED_MUTANTS:
+        failures.append(
+            f"only {len(refuted)} structurally-green refuted mutants "
+            f"(need >= {MIN_REFUTED_MUTANTS})"
+        )
+    for r in refuted:
+        print(
+            f"mutant {r['name']}: lint green, "
+            f"refuted by {','.join(r['rules'])}"
+        )
+    if rows:
+        kinds = sorted({r["kind"] for r in refuted})
+        print(
+            f"mutation corpus: {len(refuted)} refuted across "
+            f"{len(kinds)} kinds ({', '.join(kinds)})"
+        )
+
+    # 4. Deterministic serialisation.
+    job = build_verify_target("adder")
+    if job.run().to_json() != build_verify_target("adder").run().to_json():
+        failures.append("verify reports are not byte-deterministic")
+    else:
+        print("reports: byte-deterministic")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    print("verify smoke:", "FAILED" if failures else "ok")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(run_smoke())

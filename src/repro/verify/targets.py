@@ -1,0 +1,468 @@
+"""Named verifiable programs: compiled pipelines + golden semantics.
+
+``python -m repro verify`` resolves target names here.  Each target
+rebuilds a real compiled program together with a
+:class:`~repro.verify.spec.SemanticSpec` whose expected truth tables
+are derived from the *reference* semantics shipped next to each
+compiler (``CompiledSvm.reference_score`` and friends, evaluated
+vectorised over every input assignment) — so a clean verify run is a
+translation-validation proof over the entire input space, with zero
+electrical simulation.
+
+The registry mirrors ``repro.lint.targets`` with two deliberate
+divergences, both about truth-table tractability:
+
+* model data is **baked in as constants** (the concrete weights of the
+  fault-campaign workloads), leaving only the runtime inputs symbolic —
+  exactly the situation of a deployed device, whose NV model cells are
+  fixed at provisioning time;
+* ``svm-ovr`` and ``bnn-output`` use *smaller shapes* than their lint
+  twins (the lint ``svm-ovr`` has ~75 free inputs — 2^75 assignments is
+  not a feasible truth table).  The shapes here drive the identical
+  compiler code paths (multi-class scoring, in-array argmax, XNOR
+  popcount) at widths an exhaustive proof can close.
+
+:func:`hardened_job` wraps any target in the rewrite-preservation
+prover: the program is hardened at a given :class:`~repro.harden.
+HardenPolicy` and proven ``SEM003``-equivalent to its source *and*
+still conformant to the original spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.program import Program
+from repro.lint.config import LintConfig
+from repro.lint.diagnostics import LintReport
+from repro.lint.passes import LintPass
+from repro.verify.passes import (
+    EquivalencePass,
+    ReExecutionPass,
+    SemanticsPass,
+)
+from repro.verify.spec import OutputCheck, SemanticSpec, expected_table
+from repro.verify.verifier import verify_program
+
+#: Synthetic per-gate flip rates for hardened variants: enough signal
+#: for the criticality ranking without a Monte-Carlo derivation run.
+DEFAULT_FLIP_RATES = {
+    "NOT": 0.02,
+    "BUF": 0.02,
+    "NAND": 0.05,
+    "AND": 0.05,
+    "NOR": 0.05,
+    "OR": 0.05,
+    "NAND3": 0.08,
+    "AND3": 0.08,
+    "NOR3": 0.08,
+    "OR3": 0.08,
+    "MIN3": 0.01,
+    "MAJ3": 0.01,
+}
+
+
+@dataclass
+class VerifyJob:
+    """One fully-specified verification run: program, bank, contract."""
+
+    name: str
+    program: Program
+    config: LintConfig
+    spec: SemanticSpec
+    #: Replay-window size for the re-execution prover.  1 is the
+    #: dual-PC hardware's real commit unit.
+    period: int = 1
+    #: When set, the job is a rewrite of ``source`` and must also pass
+    #: the SEM003 preservation proof against it.
+    source: Optional[Program] = None
+
+    def constants(self) -> dict[tuple[int, int], int]:
+        return {cell: bit for cell, bit in self.spec.constants}
+
+    def passes(self) -> list[LintPass]:
+        passes: list[LintPass] = []
+        if self.source is not None:
+            passes.append(
+                EquivalencePass(
+                    self.source,
+                    constants=self.constants(),
+                    focus_column=self.spec.focus_column,
+                )
+            )
+        passes.append(SemanticsPass(self.spec))
+        passes.append(
+            ReExecutionPass(
+                period=self.period,
+                constants=self.constants(),
+                focus_column=self.spec.focus_column,
+            )
+        )
+        return passes
+
+    def run(self) -> LintReport:
+        return verify_program(
+            self.program, self.config, self.passes(), name=self.name
+        )
+
+
+@dataclass(frozen=True)
+class VerifyTarget:
+    """One named program the CLI can verify."""
+
+    name: str
+    description: str
+    build: Callable[[], VerifyJob]
+
+
+def _word_constants(word, value: int, tile: int = 0) -> dict:
+    """Bake one little-endian integer into a word's rows."""
+    return {
+        (tile, bit.row): (value >> i) & 1 for i, bit in enumerate(word.bits)
+    }
+
+
+def _word_checks(word, value_fn, label: str, tile: int = 0):
+    """One OutputCheck per bit of a word computing ``value_fn`` —
+    ``value_fn(values)`` returns an integer per assignment, reduced to
+    the word's two's-complement bit pattern."""
+    width = len(word.bits)
+    mask = (1 << width) - 1
+
+    def bit_fn(i):
+        return lambda values: ((value_fn(values) & mask) >> i) & 1
+
+    return [
+        (tile, bit.row, bit_fn(i), f"{label}[{i}]")
+        for i, bit in enumerate(word.bits)
+    ]
+
+
+def _finish_spec(spec: SemanticSpec, checks) -> SemanticSpec:
+    outputs = tuple(
+        OutputCheck(tile=t, row=r, table=expected_table(spec, fn), label=label)
+        for t, r, fn, label in checks
+    )
+    return replace(spec, outputs=outputs)
+
+
+def _pack(values: np.ndarray, js: list[int]) -> np.ndarray:
+    """Unsigned integer per assignment from variable indices (LSB first)."""
+    total = np.zeros(values.shape[1], dtype=np.int64)
+    for i, j in enumerate(js):
+        total += values[j].astype(np.int64) << i
+    return total
+
+
+# ----------------------------------------------------------------------
+# Targets
+# ----------------------------------------------------------------------
+
+
+def _adder() -> VerifyJob:
+    from repro.compile import arith
+    from repro.compile.builder import ProgramBuilder
+
+    builder = ProgramBuilder(tile=0, rows=256, cols=8, reserved_rows=16)
+    builder.activate((0, 1, 2))
+    x = builder.word_at([0, 2, 4, 6])
+    y = builder.word_at([8, 10, 12, 14])
+    total = arith.ripple_add(builder, x, y)
+    program = builder.finish()
+    config = LintConfig(n_data_tiles=1, rows=256, cols=8)
+
+    inputs = tuple((0, bit.row) for bit in (*x.bits, *y.bits))
+    spec = SemanticSpec(inputs=inputs, outputs=(), name="adder")
+    n = len(x.bits)
+
+    def sum_fn(values):
+        return _pack(values, list(range(n))) + _pack(
+            values, list(range(n, 2 * n))
+        )
+
+    spec = _finish_spec(spec, _word_checks(total, sum_fn, "sum"))
+    return VerifyJob(name="adder", program=program, config=config, spec=spec)
+
+
+def _svm() -> VerifyJob:
+    from repro.compile.classifier import CompiledSvm, compile_svm_decision
+
+    svm = compile_svm_decision(
+        n_support=2,
+        dimensions=2,
+        input_bits=2,
+        sv_bits=2,
+        coef_bits=2,
+        offset_bits=2,
+        rows=1024,
+        n_columns=1,
+    )
+    config = LintConfig(n_data_tiles=1, rows=1024, cols=1)
+    # The fault-campaign model (repro.faults.svm_workload).
+    sv_int = [[1, 2], [3, 1]]
+    coef_int = [2, -1]
+    offset = 1
+
+    constants: dict[tuple[int, int], int] = {}
+    for k, sv in enumerate(sv_int):
+        for d, value in enumerate(sv):
+            constants.update(_word_constants(svm.sv_words[k][d], value))
+    for k, coef in enumerate(coef_int):
+        constants.update(_word_constants(svm.coef_words[k], abs(coef)))
+        constants[(0, svm.coef_signs[k].row)] = int(coef < 0)
+    constants.update(_word_constants(svm.offset_word, offset))
+
+    inputs = tuple(
+        (0, bit.row) for word in svm.input_words for bit in word.bits
+    )
+    spec = SemanticSpec(
+        inputs=inputs,
+        outputs=(),
+        constants=tuple(sorted(constants.items())),
+        name="svm",
+    )
+    bits = svm.input_bits
+
+    def score_fn(values):
+        xs = [
+            _pack(values, list(range(d * bits, (d + 1) * bits)))
+            for d in range(len(svm.input_words))
+        ]
+        total = np.zeros(values.shape[1], dtype=np.int64)
+        for sv, coef in zip(sv_int, coef_int):
+            kernel = sum(x * w for x, w in zip(xs, sv)) + offset
+            total += int(coef) * kernel * kernel
+        return total
+
+    spec = _finish_spec(spec, _word_checks(svm.score, score_fn, "score"))
+    # Sanity-tie the vectorised form to the shipped scalar reference.
+    probe = score_fn(spec.input_values())
+    assert probe[0b0000] == CompiledSvm.reference_score(
+        [0, 0], np.array(sv_int), np.array(coef_int), offset
+    )
+    return VerifyJob(
+        name="svm", program=svm.program, config=config, spec=spec
+    )
+
+
+def _svm_ovr() -> VerifyJob:
+    from repro.compile.classifier import (
+        CompiledMulticlassSvm,
+        compile_multiclass_svm,
+    )
+
+    # Smaller than the lint twin (whose ~75 free inputs are out of
+    # truth-table reach) but through the identical code path: per-class
+    # scoring, signed->biased conversion, in-array argmax.
+    ovr = compile_multiclass_svm(
+        n_classes=2,
+        n_support_per_class=1,
+        dimensions=1,
+        input_bits=2,
+        sv_bits=2,
+        coef_bits=2,
+        offset_bits=2,
+        rows=1024,
+    )
+    config = LintConfig(n_data_tiles=1, rows=1024, cols=1)
+    sv_int = [np.array([[2]]), np.array([[1]])]
+    coef_int = [np.array([1]), np.array([2])]
+    offsets = [1, 0]
+
+    constants: dict[tuple[int, int], int] = {}
+    for cls, model in enumerate(ovr.class_models):
+        for k in range(len(model["sv"])):
+            for d, word in enumerate(model["sv"][k]):
+                constants.update(_word_constants(word, int(sv_int[cls][k][d])))
+            constants.update(
+                _word_constants(model["coef"][k], abs(int(coef_int[cls][k])))
+            )
+            constants[(0, model["sign"][k].row)] = int(coef_int[cls][k] < 0)
+        constants.update(_word_constants(model["offset"], offsets[cls]))
+
+    inputs = tuple(
+        (0, bit.row) for word in ovr.input_words for bit in word.bits
+    )
+    spec = SemanticSpec(
+        inputs=inputs,
+        outputs=(),
+        constants=tuple(sorted(constants.items())),
+        name="svm-ovr",
+    )
+    bits = ovr.input_bits
+
+    def predict_fn(values):
+        x = _pack(values, list(range(bits)))
+        return np.array(
+            [
+                CompiledMulticlassSvm.reference_prediction(
+                    [int(v)], sv_int, coef_int, offsets
+                )
+                for v in x
+            ],
+            dtype=np.int64,
+        )
+
+    spec = _finish_spec(
+        spec, _word_checks(ovr.index_word, predict_fn, "class")
+    )
+    return VerifyJob(
+        name="svm-ovr", program=ovr.program, config=config, spec=spec
+    )
+
+
+def _bnn_layer() -> VerifyJob:
+    from repro.compile.classifier import compile_bnn_layer
+
+    layer = compile_bnn_layer(fan_in=8, n_neurons=4, rows=1024)
+    config = LintConfig(n_data_tiles=1, rows=1024, cols=4)
+    # Neuron 0's weights and threshold (the focus column's model data).
+    weights = [1, 0, 1, 1, 0, 0, 1, 0]
+    threshold = 4
+
+    constants: dict[tuple[int, int], int] = {}
+    for i, bit in enumerate(layer.weight_word.bits):
+        constants[(0, bit.row)] = weights[i]
+    constants.update(_word_constants(layer.threshold_word, threshold))
+
+    inputs = tuple((0, bit.row) for bit in layer.activation_word.bits)
+    spec = SemanticSpec(
+        inputs=inputs,
+        outputs=(),
+        constants=tuple(sorted(constants.items())),
+        name="bnn-layer",
+    )
+
+    def fire_fn(values):
+        matches = np.zeros(values.shape[1], dtype=np.int64)
+        for j, w in enumerate(weights):
+            matches += (values[j].astype(np.int64) == w).astype(np.int64)
+        return (matches >= threshold).astype(np.int64)
+
+    spec = _finish_spec(
+        spec, [(0, layer.fire.row, fire_fn, "fire")]
+    )
+    return VerifyJob(
+        name="bnn-layer", program=layer.program, config=config, spec=spec
+    )
+
+
+def _bnn_output() -> VerifyJob:
+    from repro.compile.classifier import (
+        CompiledBnnOutput,
+        compile_bnn_output,
+    )
+
+    # The fault-campaign bnn4x3 shape (the lint twin's fan_in=8 is
+    # 8 symbolic inputs too, but this one reuses the campaign model).
+    out = compile_bnn_output(fan_in=4, n_classes=3, bias_bits=3, rows=1024)
+    config = LintConfig(n_data_tiles=1, rows=1024, cols=1)
+    weights01 = np.array([[1, 0, 1], [0, 1, 1], [1, 1, 0], [0, 0, 1]])
+    biases = np.array([1, 0, 1])
+
+    constants: dict[tuple[int, int], int] = {}
+    for cls in range(out.n_classes):
+        for i, bit in enumerate(out.weight_words[cls].bits):
+            constants[(0, bit.row)] = int(weights01[i, cls])
+        constants.update(
+            _word_constants(out.bias_words[cls], int(biases[cls]))
+        )
+
+    inputs = tuple((0, bit.row) for bit in out.activation_word.bits)
+    spec = SemanticSpec(
+        inputs=inputs,
+        outputs=(),
+        constants=tuple(sorted(constants.items())),
+        name="bnn-output",
+    )
+    fan_in = out.fan_in
+
+    def predict_fn(values):
+        n_assign = values.shape[1]
+        preds = np.empty(n_assign, dtype=np.int64)
+        for a in range(n_assign):
+            bits = [int(values[j, a]) for j in range(fan_in)]
+            preds[a] = CompiledBnnOutput.reference_prediction(
+                bits, weights01, biases
+            )
+        return preds
+
+    spec = _finish_spec(
+        spec, _word_checks(out.index_word, predict_fn, "class")
+    )
+    return VerifyJob(
+        name="bnn-output", program=out.program, config=config, spec=spec
+    )
+
+
+VERIFY_TARGETS: dict[str, VerifyTarget] = {
+    t.name: t
+    for t in (
+        VerifyTarget(
+            "adder",
+            "4-bit ripple adder vs. integer addition (8 symbolic bits)",
+            _adder,
+        ),
+        VerifyTarget(
+            "svm",
+            "binary SVM decision vs. reference_score (campaign model baked)",
+            _svm,
+        ),
+        VerifyTarget(
+            "svm-ovr",
+            "multiclass SVM + argmax vs. reference_prediction (small shape)",
+            _svm_ovr,
+        ),
+        VerifyTarget(
+            "bnn-layer",
+            "XNOR-popcount-threshold neuron vs. integer reference",
+            _bnn_layer,
+        ),
+        VerifyTarget(
+            "bnn-output",
+            "BNN output argmax vs. reference_prediction (campaign model)",
+            _bnn_output,
+        ),
+    )
+}
+
+
+def build_verify_target(name: str) -> VerifyJob:
+    """Build one registered target (KeyError on unknown names)."""
+    return VERIFY_TARGETS[name].build()
+
+
+def hardened_job(
+    name: str,
+    policy=None,
+    flip_rates=None,
+) -> VerifyJob:
+    """A target's hardened rewrite, as a preservation-proof job.
+
+    The returned job carries the original program as ``source``, so its
+    pass pipeline proves all three obligations: SEM003 equivalence to
+    the source, SEM001/SEM002 conformance to the original golden spec,
+    and REEX re-execution safety of the rewritten stream.
+    """
+    from repro.harden import HardenPolicy, harden_program
+
+    job = build_verify_target(name)
+    if policy is None:
+        policy = HardenPolicy()
+    hardened = harden_program(
+        job.program,
+        flip_rates if flip_rates is not None else DEFAULT_FLIP_RATES,
+        job.config,
+        policy,
+    )
+    return VerifyJob(
+        name=f"{name}+hardened(level={policy.level},tmr={policy.tmr_share})",
+        program=hardened,
+        config=job.config,
+        spec=job.spec,
+        period=job.period,
+        source=job.program,
+    )

@@ -1,0 +1,6 @@
+; REEX002: the window both samples the sensor and commits the sample;
+; a replay re-takes the reading, so recovery stores a different value
+; than the pre-crash execution did.
+READ     t510 row 0
+WRITE    t0 row 8
+HALT

@@ -1,0 +1,8 @@
+; REEX001: a whole-window WAR hazard at checkpoint period 8 — the
+; window copies r0 to r8, then overwrites r0; replaying from a crash
+; after the overwrite copies the *new* r0 into r8.
+READ     t0 row 0
+WRITE    t0 row 8
+READ     t0 row 2
+WRITE    t0 row 0
+HALT

@@ -1,0 +1,9 @@
+; SEM003: a "hardened" rewrite of sem_harden_source.asm that duplicates
+; the gate into scratch row 11 but never scrubs it — live voter state
+; leaks into the final NV image.
+ACTIVATE t0 cols 0
+PRESET0  t0 row 11
+NAND     t0 in 0,2 out 11
+PRESET0  t0 row 9
+NAND     t0 in 0,2 out 9
+HALT

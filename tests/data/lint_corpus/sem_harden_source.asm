@@ -1,0 +1,6 @@
+; Source of truth for sem_harden_drift.asm (fires nothing on its own):
+; the original program a rewrite must stay equivalent to.
+ACTIVATE t0 cols 0
+PRESET0  t0 row 9
+NAND     t0 in 0,2 out 9
+HALT

@@ -1,0 +1,6 @@
+; SEM002: the activate mask selects column 1, but the spec's readout
+; lane (focus column 0) is never written — an off-by-one column mask.
+ACTIVATE t0 cols 1
+PRESET0  t0 row 9
+NAND     t0 in 0,2 out 9
+HALT

@@ -1,0 +1,6 @@
+; SEM001: structurally perfect, semantically wrong — the spec expects
+; NAND(r0, r2) but the program compiled its same-preset twin NOR.
+ACTIVATE t0 cols 0
+PRESET0  t0 row 9
+NOR      t0 in 0,2 out 9
+HALT

@@ -1,0 +1,95 @@
+"""The rule catalog is the linter/verifier's public contract — pin it.
+
+A rule id that disappears breaks every consumer that filters or
+suppresses by id; a rule added without a title/why breaks the CLI's
+``--rules`` listing.  This test makes both failure modes explicit.
+"""
+
+from repro.lint import RULES, Severity
+
+#: The complete catalog, in table order.  Adding a rule means adding it
+#: here *and* documenting it in docs/LINT.md (or docs/VERIFY.md for the
+#: SEM/REEX families).
+EXPECTED_RULE_IDS = (
+    "IDEM001",
+    "IDEM002",
+    "PAR001",
+    "PAR002",
+    "PRE001",
+    "PRE002",
+    "PRE003",
+    "PRE004",
+    "PRE005",
+    "ACT001",
+    "ACT002",
+    "ACT003",
+    "STRUCT001",
+    "STRUCT002",
+    "STRUCT003",
+    "STRUCT004",
+    "COST001",
+    "COST002",
+    "SDC001",
+    "SDC002",
+    "SDC003",
+    "SDC004",
+    "SEM001",
+    "SEM002",
+    "SEM003",
+    "REEX001",
+    "REEX002",
+)
+
+SEMANTIC_FAMILIES = ("SEM", "REEX")
+
+
+class TestCatalog:
+    def test_exact_rule_listing(self):
+        assert tuple(RULES) == EXPECTED_RULE_IDS
+
+    def test_every_rule_is_documented(self):
+        for rule in RULES.values():
+            assert rule.title, rule.id
+            assert rule.why, rule.id
+            assert rule.severity in (Severity.ERROR, Severity.WARNING)
+
+    def test_semantic_rules_are_errors(self):
+        # A refuted proof is never advisory.
+        for rule in RULES.values():
+            if rule.id.startswith(SEMANTIC_FAMILIES):
+                assert rule.severity is Severity.ERROR, rule.id
+
+
+class TestCli:
+    def run_rules(self, capsys, command):
+        from repro.__main__ import main
+
+        assert main([command, "--rules"]) == 0
+        out = capsys.readouterr().out
+        return [
+            line.split()[0]
+            for line in out.splitlines()
+            if line and not line.startswith(" ")
+        ]
+
+    def test_lint_rules_lists_the_full_catalog(self, capsys):
+        """`python -m repro lint --rules` shows every family — including
+        SDC (PR 7) and the SEM/REEX semantic families."""
+        listed = self.run_rules(capsys, "lint")
+        assert tuple(listed) == EXPECTED_RULE_IDS
+
+    def test_verify_rules_lists_the_semantic_families(self, capsys):
+        listed = self.run_rules(capsys, "verify")
+        expected = [
+            r for r in EXPECTED_RULE_IDS if r.startswith(SEMANTIC_FAMILIES)
+        ]
+        assert listed == expected
+
+    def test_lint_list_includes_every_target(self, capsys):
+        from repro.__main__ import main
+        from repro.lint import TARGETS
+
+        assert main(["lint", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in TARGETS:
+            assert name in out

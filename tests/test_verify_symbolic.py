@@ -1,0 +1,212 @@
+"""The truth-table symbolic interpreter (:mod:`repro.verify.symbolic`).
+
+Bit-exactness against the Table I gate model, exact controller
+semantics (masks, row buffer, broadcast, presets), and the lazy
+variable-allocation invariants the provers depend on.
+"""
+
+import pytest
+
+from repro.core.program import Program
+from repro.isa.assembler import assemble
+from repro.isa.instruction import (
+    ActivateColumnsInstruction,
+    LogicInstruction,
+    MemoryInstruction,
+)
+from repro.isa.opcodes import Opcode
+from repro.lint import LintConfig
+from repro.logic.library import GATE_LIBRARY, gate_by_name
+from repro.verify import (
+    SymbolicError,
+    SymbolicMachine,
+    VarSpace,
+)
+from repro.verify.symbolic import (
+    array_to_table,
+    extend_table,
+    states_equal,
+    table_to_array,
+    var_table,
+)
+
+CONFIG = LintConfig(n_data_tiles=1, rows=64, cols=8)
+
+
+def machine(**kwargs):
+    return SymbolicMachine(CONFIG, **kwargs)
+
+
+class TestTables:
+    def test_var_table_layout(self):
+        # Variable j is bit (a >> j) & 1 of the assignment index.
+        n = 3
+        for j in range(n):
+            table = var_table(j, n)
+            for a in range(1 << n):
+                assert (table >> a) & 1 == (a >> j) & 1
+
+    def test_extend_table_makes_new_vars_dont_cares(self):
+        table = var_table(0, 1)  # v0 over 1 variable
+        wide = extend_table(table, 1, 3)
+        for a in range(8):
+            assert (wide >> a) & 1 == a & 1
+
+    def test_array_round_trip(self):
+        table = 0b1011_0010
+        assert array_to_table(table_to_array(table, 3)) == table
+
+    def test_var_table_range_check(self):
+        with pytest.raises(ValueError):
+            var_table(3, 3)
+
+
+class TestGateSemantics:
+    """Bit-exact against GateSpec.evaluate for every encodable gate."""
+
+    @pytest.mark.parametrize(
+        "name",
+        sorted(g for g in GATE_LIBRARY if g in Opcode.__members__),
+    )
+    def test_matches_reference_truth_table(self, name):
+        spec = gate_by_name(name)
+        m = machine()
+        # Touch first, fetch second: a fetched table goes stale when a
+        # later allocation grows the variable space.
+        for i in range(spec.n_inputs):
+            m.cell(0, 2 * i)
+        inputs = [m.cell(0, 2 * i) for i in range(spec.n_inputs)]
+        # Output starts at the gate's own preset, as the protocol demands.
+        out = m.gate_table(spec, inputs, m.const(spec.preset))
+        for bits, expected in spec.truth_table():
+            assignment = sum(b << j for j, b in enumerate(bits))
+            assert (out >> assignment) & 1 == expected, (name, bits)
+
+    def test_keep_current_value_when_not_switching(self):
+        # A NAND whose output was NOT preset: under the all-ones input
+        # (no switch) the output keeps its stale value.
+        spec = gate_by_name("NAND")
+        m = machine()
+        for row in (0, 2, 4):
+            m.cell(0, row)
+        a, b = m.cell(0, 0), m.cell(0, 2)
+        stale = m.cell(0, 4)  # symbolic stale output
+        out = m.gate_table(spec, [a, b], stale)
+        n = m.n_vars
+        for assignment in range(1 << n):
+            x = (assignment >> 0) & 1
+            y = (assignment >> 1) & 1
+            old = (assignment >> 2) & 1
+            want = 1 if not (x and y) else old
+            assert (out >> assignment) & 1 == want
+
+
+class TestControllerSemantics:
+    def test_preset_writes_only_active_columns(self):
+        m = machine(focus_column=0)
+        m.execute(ActivateColumnsInstruction(tile=0, columns=(1,)))
+        m.execute(MemoryInstruction(op="PRESET1", tile=0, row=3))
+        # Focus column 0 is outside the mask: the cell is untouched
+        # (still a lazily-allocated unknown, not constant 1).
+        assert (0, 3) not in m.state.cells
+
+    def test_logic_masked_out_is_a_noop(self):
+        m = machine(focus_column=0)
+        m.execute(ActivateColumnsInstruction(tile=0, columns=(1,)))
+        m.execute(
+            LogicInstruction(
+                gate="NAND", tile=0, input_rows=(0, 2), output_row=9
+            )
+        )
+        assert (0, 9) not in m.state.cells
+        assert m.writers == {}
+
+    def test_activate_replaces_the_latch(self):
+        m = machine()
+        m.execute(ActivateColumnsInstruction(tile=0, columns=(0, 1)))
+        m.execute(ActivateColumnsInstruction(tile=0, columns=(2,)))
+        assert m.state.masks[0] == frozenset({2})
+
+    def test_read_write_moves_through_the_buffer(self):
+        m = machine()
+        m.execute(ActivateColumnsInstruction(tile=0, columns=(0,)))
+        m.execute(MemoryInstruction(op="READ", tile=0, row=0))
+        m.execute(MemoryInstruction(op="WRITE", tile=0, row=8))
+        assert m.state.cells[(0, 8)] == m.state.cells[(0, 0)]
+        assert m.writers[(0, 8)] is not None
+
+    def test_write_before_read_is_rejected(self):
+        m = machine()
+        with pytest.raises(SymbolicError):
+            m.execute(MemoryInstruction(op="WRITE", tile=0, row=8))
+
+    def test_broadcast_write_fans_out(self):
+        config = LintConfig(n_data_tiles=2, rows=64, cols=8)
+        m = SymbolicMachine(config)
+        m.execute(MemoryInstruction(op="READ", tile=0, row=0))
+        m.execute(MemoryInstruction(op="WRITE", tile=511, row=8))
+        assert m.state.cells[(0, 8)] == m.state.cells[(1, 8)]
+
+    def test_sensor_read_allocates_a_variable(self):
+        m = machine()
+        m.execute(MemoryInstruction(op="READ", tile=510, row=0))
+        assert ("sensor", 0) in m.space.index
+        # Re-reading the same sensor row reuses the variable...
+        before = m.n_vars
+        m.execute(MemoryInstruction(op="READ", tile=510, row=0))
+        assert m.n_vars == before
+
+    def test_sensor_resample_mode_draws_fresh_variables(self):
+        m = machine(resample_sensors=True)
+        m.execute(MemoryInstruction(op="READ", tile=510, row=0))
+        m.execute(MemoryInstruction(op="READ", tile=510, row=0))
+        assert ("sensor", 0, 0) in m.space.index
+        assert ("sensor", 0, 1) in m.space.index
+
+    def test_var_budget_overflow_raises(self):
+        m = SymbolicMachine(CONFIG, space=VarSpace(max_vars=2))
+        m.cell(0, 0)
+        m.cell(0, 2)
+        with pytest.raises(SymbolicError):
+            m.cell(0, 4)
+
+
+PROGRAM = """
+ACTIVATE t0 cols 0
+PRESET0  t0 row 9
+NAND     t0 in 0,2 out 9
+PRESET0  t0 row 11
+NOR      t0 in 4,6 out 11
+PRESET1  t0 row 13
+AND      t0 in 9,11 out 13
+HALT
+"""
+
+
+class TestLazyAllocation:
+    def test_two_runs_on_a_shared_space_agree(self):
+        """Regression: a gate reading two never-seen cells must not mix
+        table widths mid-instruction (the aliasing bug the hardened
+        equivalence prover originally tripped over)."""
+        program = Program(assemble(PROGRAM), name="lazy")
+        space = VarSpace()
+        first = SymbolicMachine(CONFIG, space=space).run(program).snapshot()
+        second = SymbolicMachine(CONFIG, space=space).run(program).snapshot()
+        assert states_equal(first, second, space.n)
+
+    def test_lazy_matches_preallocated(self):
+        program = Program(assemble(PROGRAM), name="lazy")
+        space = VarSpace()
+        pre = SymbolicMachine(CONFIG, space=space)
+        for row in (0, 2, 4, 6):
+            pre.cell(0, row)
+        eager = pre.run(program).snapshot()
+        lazy = SymbolicMachine(CONFIG, space=space).run(program).snapshot()
+        assert states_equal(eager, lazy, space.n)
+
+    def test_writers_track_last_definition(self):
+        program = Program(assemble(PROGRAM), name="lazy")
+        m = SymbolicMachine(CONFIG).run(program)
+        assert m.writers[(0, 9)] == 2
+        assert m.writers[(0, 11)] == 4
+        assert m.writers[(0, 13)] == 6

@@ -1,0 +1,188 @@
+"""Verify targets, the mutation corpus, telemetry, and the CLI."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.verify import (
+    VERIFY_TARGETS,
+    build_verify_target,
+    hardened_job,
+    mutation_corpus,
+    run_mutation_corpus,
+)
+
+TARGET_NAMES = sorted(VERIFY_TARGETS)
+
+
+class TestTargets:
+    @pytest.mark.parametrize("name", TARGET_NAMES)
+    def test_target_proves_clean(self, name):
+        report = build_verify_target(name).run()
+        assert report.clean, report.rules_fired()
+
+    @pytest.mark.parametrize("name", TARGET_NAMES)
+    def test_pass_pipeline_shape(self, name):
+        report = build_verify_target(name).run()
+        assert report.passes == ("semantics", "reexec")
+
+    def test_hardened_job_adds_the_equivalence_pass(self):
+        report = hardened_job("adder").run()
+        assert report.passes == ("equivalence", "semantics", "reexec")
+        assert report.clean, report.rules_fired()
+
+    def test_reports_are_deterministic(self):
+        a = build_verify_target("adder").run().to_json()
+        b = build_verify_target("adder").run().to_json()
+        assert a == b
+
+    def test_unknown_target_raises(self):
+        with pytest.raises(KeyError):
+            build_verify_target("nope")
+
+
+class TestMutationCorpus:
+    def test_strict_corpus_passes(self):
+        rows = run_mutation_corpus(strict=True)
+        assert len(rows) >= 10
+        # Every mutant is invisible to the structural lint yet refuted
+        # by the semantic provers — the tentpole's evidence claim.
+        assert all(r["structural_ok"] for r in rows)
+        assert all(r["refuted"] for r in rows)
+
+    def test_corpus_spans_four_mutation_kinds(self):
+        kinds = {m.kind for m in mutation_corpus()}
+        assert kinds == {
+            "wrong-gate",
+            "swapped-operand",
+            "mask-off-by-one",
+            "dropped-scrub",
+        }
+
+    def test_corpus_cites_every_sem_rule(self):
+        fired = {
+            rule
+            for row in run_mutation_corpus(strict=False)
+            for rule in row["rules"]
+        }
+        assert {"SEM001", "SEM002", "SEM003"} <= fired
+
+    def test_mutant_names_are_distinct(self):
+        names = [m.name for m in mutation_corpus()]
+        assert len(names) == len(set(names))
+
+
+class TestTelemetry:
+    def test_verify_counters_and_event(self):
+        sink = obs.InMemorySink()
+        hub = obs.Telemetry(sink)
+        with obs.use(hub):
+            build_verify_target("adder").run()
+        assert hub.counter("verify.runs").value == 1
+        assert hub.counter("verify.errors").value == 0
+        events = sink.by_kind(obs.events.VERIFY_REPORT)
+        assert len(events) == 1
+        assert events[0].data["program"] == "adder"
+        assert events[0].data["errors"] == 0
+
+    def test_error_counter_counts_refutations(self):
+        from repro.verify.mutate import wrong_gate
+
+        mutant = wrong_gate(build_verify_target("adder"))
+        hub = obs.Telemetry(obs.InMemorySink())
+        with obs.use(hub):
+            report = mutant.verify_report()
+        assert not report.ok
+        assert hub.counter("verify.errors").value == report.n_errors > 0
+
+    def test_verify_report_is_a_known_kind(self):
+        assert obs.events.VERIFY_REPORT in obs.KNOWN_KINDS
+
+
+class TestCli:
+    def run_main(self, *argv):
+        from repro.__main__ import main
+
+        return main(list(argv))
+
+    def test_verify_all_targets_exits_zero(self):
+        assert self.run_main("verify") == 0
+
+    def test_single_target(self, capsys):
+        assert self.run_main("verify", "adder") == 0
+        out = capsys.readouterr().out
+        assert "verify: 'adder'" in out
+        assert "clean" in out
+
+    def test_unknown_target_exits_two(self):
+        assert self.run_main("verify", "nope") == 2
+
+    def test_list(self, capsys):
+        assert self.run_main("verify", "--list") == 0
+        out = capsys.readouterr().out
+        for name in TARGET_NAMES:
+            assert name in out
+
+    def test_rules_lists_only_semantic_families(self, capsys):
+        assert self.run_main("verify", "--rules") == 0
+        out = capsys.readouterr().out
+        listed = {
+            line.split()[0]
+            for line in out.splitlines()
+            if line and not line.startswith(" ")
+        }
+        assert listed == {
+            "SEM001",
+            "SEM002",
+            "SEM003",
+            "REEX001",
+            "REEX002",
+        }
+
+    def test_json_payload(self, capsys):
+        assert self.run_main("verify", "adder", "--json") == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["program"] == "adder"
+        assert payload["errors"] == 0
+        assert payload["schema"] == "repro.lint.report/v1"
+
+    def test_hardened_flag_adds_a_report(self, capsys):
+        assert (
+            self.run_main(
+                "verify", "adder", "--hardened", "--level", "0.5", "--json"
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and len(payload) == 2
+        assert "hardened" in payload[1]["program"]
+
+    def test_mutants_exit_zero(self, capsys):
+        assert self.run_main("verify", "--mutants") == 0
+        out = capsys.readouterr().out
+        assert "refuted" in out
+
+    def test_mutants_json(self, capsys):
+        assert self.run_main("verify", "--mutants", "--json") == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) >= 10
+        assert all(r["refuted"] for r in rows)
+
+    def test_missing_asm_exits_two(self, tmp_path):
+        assert (
+            self.run_main("verify", "--asm", str(tmp_path / "missing.asm"))
+            == 2
+        )
+
+    def test_bad_spec_exits_two(self, tmp_path):
+        asm = tmp_path / "p.asm"
+        asm.write_text("HALT\n")
+        spec = tmp_path / "spec.json"
+        spec.write_text("not json")
+        assert (
+            self.run_main(
+                "verify", "--asm", str(asm), "--spec", str(spec)
+            )
+            == 2
+        )
