@@ -1,9 +1,9 @@
-.PHONY: install test lint lint-smoke verify-smoke obs-smoke trace-smoke faults-smoke bench-smoke crash-smoke harden-smoke bench experiments export examples all
+.PHONY: install test lint lint-smoke verify-smoke obs-smoke trace-smoke faults-smoke bench-smoke compiled-smoke crash-smoke harden-smoke bench experiments export examples all
 
 install:
 	pip install -e . --no-build-isolation
 
-test: obs-smoke faults-smoke bench-smoke crash-smoke harden-smoke lint verify-smoke
+test: obs-smoke faults-smoke bench-smoke compiled-smoke crash-smoke harden-smoke lint verify-smoke
 	pytest tests/
 
 # Static checks: the CRAM program linter over every registered target,
@@ -45,10 +45,19 @@ faults-smoke:
 	PYTHONPATH=src python -m repro.faults.smoke
 
 # Hot-path gate: quick microbenchmarks with in-run baselines; asserts
-# the speedup floors, fails on a >2x ratio regression against the
-# checked-in BENCH_PR4.json, then refreshes it.
+# the speedup floors (incl. the compiled-plan executors), fails on a
+# >2x ratio regression against the checked-in BENCH_PR9.json, then
+# refreshes it.
 bench-smoke:
 	PYTHONPATH=src python -m repro.perf.smoke
+
+# Compiled-executor gate: every verify target's AOT plan symbolically
+# proven equivalent to its source (EquivalencePass), campaign workloads
+# + fused ProfileRun byte-identical compiled vs interpreted, the
+# compiled path demonstrably taken, and the >= 10x interpreter speedup
+# floor held.
+compiled-smoke:
+	PYTHONPATH=src python -m repro.compilejit.smoke
 
 # Hardening gate: tiny protection-frontier sweep (BNN, Modern STT);
 # asserts the proven SDC bound dominates the measured rate, full

@@ -151,8 +151,9 @@ def cmd_run(
     checkpoint_dir: Optional[str] = None,
     resumed: bool = False,
     serve_metrics: Optional[int] = None,
+    no_compiled: bool = False,
 ) -> int:
-    from repro import obs
+    from repro import compilejit, obs
     from repro.durability import Interrupted, graceful_signals
     from repro.experiments.runner import RESUMABLE
 
@@ -160,6 +161,7 @@ def cmd_run(
         print("--resume requires --checkpoint-dir")
         return 2
     _seed_everything(seed)
+    compilejit.set_enabled(not no_compiled)
     n_jobs = _apply_jobs(jobs)
     table = _experiment_map()
     if checkpoint_dir is not None:
@@ -175,6 +177,7 @@ def cmd_run(
                 "manifest": manifest,
                 "seed": seed,
                 "jobs": jobs,
+                "no_compiled": no_compiled,
             },
         )
     try:
@@ -246,6 +249,7 @@ def cmd_run(
                 "trace": trace,
                 "jobs": n_jobs,
                 "checkpoint_dir": checkpoint_dir,
+                "compiled": compilejit.enabled(),
             },
             seed=seed,
             wall_time_s=wall,
@@ -254,6 +258,7 @@ def cmd_run(
                 "interrupted": interrupted is not None,
                 "resumed": resumed,
                 "fanout": last_fanout(),
+                "compilejit": compilejit.stats_snapshot(),
             },
         )
         print(f"manifest: {path}")
@@ -281,6 +286,7 @@ def cmd_resume(checkpoint_dir: str, jobs: Optional[int] = None) -> int:
         jobs=jobs if jobs is not None else session.get("jobs"),
         checkpoint_dir=checkpoint_dir,
         resumed=True,
+        no_compiled=bool(session.get("no_compiled")),
     )
 
 
@@ -974,6 +980,13 @@ def main(argv: list[str] | None = None) -> int:
         help="serve /metrics (Prometheus text) over HTTP while the run "
         "executes (default port 9464; 0 = ephemeral)",
     )
+    run_p.add_argument(
+        "--no-compiled",
+        action="store_true",
+        help="force the scalar microstep interpreter everywhere "
+        "(disables the repro.compilejit plan executor; results are "
+        "byte-identical either way)",
+    )
     resume_p = sub.add_parser(
         "resume",
         help="replay the invocation recorded in a checkpoint directory",
@@ -1140,11 +1153,11 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for parallel sweeps (0 = all cores)",
     )
     bench_p = sub.add_parser(
-        "bench", help="run hot-path microbenchmarks, write BENCH_PR4.json"
+        "bench", help="run hot-path microbenchmarks, write BENCH_PR9.json"
     )
     bench_p.add_argument(
-        "--out", default="BENCH_PR4.json", metavar="PATH",
-        help="where to write the benchmark report (default: BENCH_PR4.json)",
+        "--out", default="BENCH_PR9.json", metavar="PATH",
+        help="where to write the benchmark report (default: BENCH_PR9.json)",
     )
     bench_p.add_argument(
         "--quick",
@@ -1345,6 +1358,7 @@ def main(argv: list[str] | None = None) -> int:
             checkpoint_dir=args.checkpoint_dir,
             resumed=args.resume,
             serve_metrics=args.serve_metrics,
+            no_compiled=args.no_compiled,
         )
     if args.command == "resume":
         return cmd_resume(args.checkpoint_dir, jobs=args.jobs)

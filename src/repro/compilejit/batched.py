@@ -1,0 +1,276 @@
+"""Compiled batched execution: charge templates + one accumulate.
+
+The scalar :class:`~repro.perf.batched.BatchedMouse` run loop spends
+most of its time outside the physics: per-instruction isinstance
+dispatch, target-tile list building, cost-model calls, and — dominating
+at small batch sizes — four-ish ``(batch,)`` vector ``+=`` ledger
+charges per instruction, each paying full NumPy call overhead for 64
+floats of work.
+
+Because MOUSE programs are branch-free and column activation is shared
+across the batch, the entire *charge sequence* is known at compile
+time except for the data-dependent logic energies.  This module walks
+the loaded program once and splits it into:
+
+* an **op list** of just the state-mutating work (activates, presets,
+  row moves, logic ops with pre-resolved target tiles), and
+* three **charge templates** — the exact per-sample sequences of
+  compute-energy, compute-latency and backup-energy charges the scalar
+  loop would issue, with one slot per logic instruction left open.
+
+The fused run executes the op list (filling logic slots with the
+per-sample ``logic_energy_measured`` vectors), then folds each
+template with ``np.add.accumulate`` along the charge axis.  accumulate
+applies the additions *sequentially per sample*, so the final row is
+bit-for-bit the value the scalar loop's ``+=`` chain produces — the
+zero-energy commit charges are dropped (``x + 0.0`` is the identity
+for the non-negative energies a ledger holds), everything else is the
+same floats in the same order.
+
+Compiled plans are cached on the loaded :class:`Program` object (keyed
+by device parameters and geometry), so drivers that rebuild a machine
+per call — the batch-64 classification benches do — compile once.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.isa.instruction import (
+    ActivateColumnsInstruction,
+    HaltInstruction,
+    LogicInstruction,
+    MemoryInstruction,
+)
+
+_SENSOR_TILE = 510
+_BROADCAST_TILE = 511
+
+_UNSUPPORTED = "unsupported"
+
+# Op codes for the fused batched loop.
+B_ACT_RANGE = 0
+B_ACT_COLS = 1
+B_PRESET = 2
+B_READ = 3
+B_WRITE = 4
+B_LOGIC = 5
+
+
+class BatchedPlan:
+    """One program compiled against a machine geometry.
+
+    ``ops`` mutate state; ``ce_consts`` / ``n_cl`` / ``be_consts``
+    replay the ledger.  ``ce_consts`` holds 0.0 in rows that a logic
+    instruction fills per-sample at run time (``B_LOGIC`` ops carry
+    their row index).
+    """
+
+    def __init__(self, ops, ce_consts, n_cl, be_consts, n_instr) -> None:
+        self.ops = ops
+        self.ce_consts = np.asarray(ce_consts, dtype=np.float64)
+        self.n_cl = n_cl
+        self.be_consts = np.asarray(be_consts, dtype=np.float64)
+        self.n_instr = n_instr
+
+
+def compile_batched(machine) -> Optional[BatchedPlan]:
+    """Compile the machine's loaded program, or None if unsupported.
+
+    Unsupported: sensor-tile traffic (inherently serial), or a preset /
+    logic op on a tile with no prior ACTIVATE in the program (its
+    active-column count would depend on pre-run machine state).
+    """
+    instructions = machine._instructions
+    if instructions is None:
+        return None
+    cost = machine.cost
+    n_tiles = len(machine.tiles)
+    fetch = cost.fetch_energy()
+    backup = cost.backup_energy()
+
+    # Statically tracked active-column count per tile; None = unknown.
+    active: list[Optional[int]] = [None] * n_tiles
+
+    ops = []
+    ce: list[float] = []
+    be: list[float] = []
+    n_cl = 0
+    n_instr = 0
+
+    def targets(address):
+        if address == _BROADCAST_TILE:
+            return list(range(n_tiles))
+        if address == _SENSOR_TILE:
+            return None
+        return [address]
+
+    for instr in instructions:
+        ce.append(fetch)
+        n_instr += 1
+        if isinstance(instr, HaltInstruction):
+            n_cl += 1
+            return BatchedPlan(ops, ce, n_cl, be, n_instr)
+        if isinstance(instr, ActivateColumnsInstruction):
+            tidx = targets(instr.tile)
+            if tidx is None:
+                return None
+            if instr.bulk:
+                first, last = instr.columns
+                count = last - first + 1
+                ops.append((B_ACT_RANGE, tidx, first, last))
+            else:
+                cols = list(instr.columns)
+                count = len(set(cols))
+                ops.append((B_ACT_COLS, tidx, cols))
+            for t in tidx:
+                active[t] = count
+            ce.append(cost.activate_energy(instr.column_count))
+            be.append(cost.activate_backup_energy())
+        elif isinstance(instr, MemoryInstruction):
+            tidx = targets(instr.tile)
+            if tidx is None:
+                return None
+            op = instr.op.upper()
+            if op == "READ":
+                ops.append((B_READ, tidx[0], instr.row))
+                ce.append(cost.row_read_energy(machine.cols))
+            elif op == "WRITE":
+                ops.append((B_WRITE, tidx, instr.row))
+                ce.append(cost.row_write_energy(machine.cols) * len(tidx))
+            else:
+                n_columns = 0
+                for t in tidx:
+                    if active[t] is None:
+                        return None
+                    n_columns += active[t]
+                ops.append((B_PRESET, tidx, instr.row, op == "PRESET1"))
+                ce.append(cost.preset_energy(max(n_columns, 1)))
+        elif isinstance(instr, LogicInstruction):
+            tidx = targets(instr.tile)
+            if tidx is None:
+                return None
+            for t in tidx:
+                if active[t] is None:
+                    return None
+            ops.append(
+                (
+                    B_LOGIC,
+                    tidx,
+                    instr.spec,
+                    list(instr.input_rows),
+                    instr.output_row,
+                    len(ce),
+                    instr.spec.n_inputs + 1,
+                )
+            )
+            ce.append(0.0)  # slot: filled per-sample at run time
+        else:
+            return None
+        # COMMIT
+        be.append(backup)
+        n_cl += 1
+    return None  # no HALT reached (load() guarantees one; be safe)
+
+
+def plan_for_batched(machine) -> Optional[BatchedPlan]:
+    """Cached compile keyed on the loaded Program + geometry."""
+    from repro import compilejit
+
+    program = getattr(machine, "_loaded_program", None)
+    key = (machine.params, len(machine.tiles), machine.rows, machine.cols)
+    cache = None
+    if program is not None:
+        cache = getattr(program, "_cjit_bplans", None)
+        if cache is None:
+            cache = {}
+            try:
+                object.__setattr__(program, "_cjit_bplans", cache)
+            except (AttributeError, TypeError):
+                cache = None
+        if cache is not None:
+            plan = cache.get(key)
+            if plan is _UNSUPPORTED:
+                return None
+            if plan is not None:
+                return plan
+    plan = compile_batched(machine)
+    if cache is not None:
+        cache[key] = plan if plan is not None else _UNSUPPORTED
+    if plan is not None:
+        compilejit.STATS["plans_compiled"] += 1
+    return plan
+
+
+def _fold(consts, batch, start):
+    """Sequential per-sample fold of a constant charge chain."""
+    m = np.empty((len(consts) + 1, batch), dtype=np.float64)
+    m[0] = start
+    m[1:] = np.asarray(consts, dtype=np.float64)[:, None]
+    np.add.accumulate(m, axis=0, out=m)
+    return m[-1].copy()
+
+
+def run_batched_fused(machine, plan: BatchedPlan):
+    """Execute the plan; ledger bit-identical to the scalar batched loop."""
+    from repro import compilejit
+
+    ledger = machine.ledger
+    batch = machine.batch
+    tiles = machine.tiles
+    cost = machine.cost
+    buffer = np.zeros((batch, machine.cols), dtype=bool)
+
+    n_ce = len(plan.ce_consts)
+    m = np.empty((n_ce + 1, batch), dtype=np.float64)
+    m[0] = ledger.compute_energy
+    m[1:] = plan.ce_consts[:, None]
+
+    for op in plan.ops:
+        k = op[0]
+        if k == B_LOGIC:
+            _, tidx, spec, rows, orow, slot, n_addr = op
+            array_energy = np.zeros(batch, dtype=np.float64)
+            for t in tidx:
+                array_energy += tiles[t].logic_op(spec, rows, orow)
+            m[slot + 1] = cost.logic_energy_measured(array_energy, n_addr)
+        elif k == B_PRESET:
+            _, tidx, row, value = op
+            for t in tidx:
+                tiles[t].preset_row(row, value)
+        elif k == B_READ:
+            buffer[:, :] = tiles[op[1]].read_row(op[2])
+        elif k == B_WRITE:
+            _, tidx, row = op
+            for t in tidx:
+                tiles[t].write_row(row, buffer)
+        elif k == B_ACT_RANGE:
+            _, tidx, first, last = op
+            for t in tidx:
+                tiles[t].activate_column_range(first, last)
+        else:  # B_ACT_COLS
+            _, tidx, cols = op
+            for t in tidx:
+                tiles[t].activate_columns(cols)
+
+    np.add.accumulate(m, axis=0, out=m)
+    ledger.compute_energy = m[-1].copy()
+
+    cycle = cost.cycle_time
+    ledger.compute_latency = _fold(
+        np.full(plan.n_cl, cycle), batch, ledger.compute_latency
+    )
+    ledger.backup_energy = _fold(plan.be_consts, batch, ledger.backup_energy)
+    ledger.instructions += plan.n_instr
+    compilejit.STATS["compiled_runs"] += 1
+    return ledger
+
+
+__all__ = [
+    "BatchedPlan",
+    "compile_batched",
+    "plan_for_batched",
+    "run_batched_fused",
+]

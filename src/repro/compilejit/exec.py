@@ -1,0 +1,661 @@
+"""Compiled-plan executors: continuous power and intermittent windows.
+
+Both executors reproduce the scalar microstep interpreter's ledger
+arithmetic bit for bit.  The key identity: for IEEE-754 doubles,
+
+    np.add.accumulate(np.concatenate(([c0], vals)))[-1]
+
+equals the sequential loop ``c = c0; for v in vals: c += v`` exactly
+(same operation order, same rounding), and ``x += 0.0`` is the
+identity for every non-negative float — so charges whose energy (or
+latency) term is zero can be dropped from the chains without changing
+a single bit.  Static energies in the chains were computed through the
+very same cost-model methods the interpreter calls; dynamic logic
+energies are produced by the same kernel-table gathers `Tile.logic_op`
+performs, in the same dtype and reduction order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.compilejit.plan import (
+    K_ACT,
+    K_HALT,
+    K_L0,
+    K_L1A,
+    K_L1C,
+    K_L1P,
+    K_L1S,
+    K_LN,
+    K_PRESET,
+    K_READ,
+    K_WRITE,
+    CompiledPlan,
+    plan_for_mouse,
+)
+from repro.core.controller import InstructionBudgetExceeded, Phase, _NONE
+from repro.isa.instruction import decode_cached
+
+
+def _acc(start: float, vals: np.ndarray) -> float:
+    """Bit-exact equivalent of ``c = start; for v in vals: c += v``."""
+    if vals.size == 0:
+        return start
+    arr = np.empty(vals.size + 1, dtype=np.float64)
+    arr[0] = start
+    arr[1:] = vals
+    return float(np.add.accumulate(arr)[-1])
+
+
+def _cycle_chain(plan: CompiledPlan, n: int) -> np.ndarray:
+    cache = getattr(plan, "_cyc_cache", None)
+    if cache is None:
+        cache = plan._cyc_cache = {}
+    arr = cache.get(n)
+    if arr is None:
+        arr = cache[n] = np.full(n, plan.cycle, dtype=np.float64)
+    return arr
+
+
+# ----------------------------------------------------------------------
+# Continuous power
+# ----------------------------------------------------------------------
+
+
+def try_run_continuous(mouse, max_instructions: int) -> bool:
+    """Run the loaded program via its compiled plan if eligible.
+
+    Returns False (without touching any state) when the machine or the
+    program needs the scalar interpreter: telemetry/fault hooks
+    attached, mid-run state, dead replay pending, non-default register
+    parity, or an uncompilable program.
+    """
+    controller = mouse.controller
+    ledger = mouse.ledger
+    if (
+        not controller.powered
+        or controller.halted
+        or controller.phase is not Phase.FETCH
+        or controller._dead_replay
+        or controller._faults is not None
+        or controller._obs is not None
+        or ledger.obs is not None
+        or controller.pc.read() != 0
+        or controller.pc.parity.value
+        or controller.pc._staged
+        or controller.sensor_pc.read() != _NONE
+    ):
+        return False
+    prof = controller._prof
+    if prof is not None and ledger.prof is not prof:
+        return False
+    if prof is None and ledger.prof is not None:
+        return False
+    plan = plan_for_mouse(mouse)
+    if plan is None or plan.n_instructions > max_instructions:
+        return False
+    if plan.use_before_activate and any(
+        t._n_active for t in mouse.bank.data_tiles
+    ):
+        return False
+    _run_continuous(mouse, plan, prof)
+    from repro import compilejit
+
+    compilejit.STATS["compiled_runs"] += 1
+    return True
+
+
+def _run_continuous(mouse, plan: CompiledPlan, prof) -> None:
+    controller = mouse.controller
+    bank = mouse.bank
+    tiles = bank.data_tiles
+    states = [t.state for t in tiles]
+    views = [st.view(np.uint8) for st in states]
+    cbuf = controller.buffer
+    actreg = controller.activate_register
+    vals = plan.chg_vals
+    share = plan.share
+    oms = plan.oms
+
+    # --- semantic pass: array effects + dynamic logic energies --------
+    for op in plan.ops:
+        k = op[0]
+        if k == K_L1S:
+            # Contiguous active range: row-slice views (no index mesh).
+            # `out[mask] = tgt` without the `!= tgt` pre-filter writes
+            # the same final state (the store is idempotent on cells
+            # already at the target) and the energy gather below never
+            # depends on which cells switched.
+            _, slot, ti, rows_t, orow, sl, ws, en, tgt, aterm = op
+            vu = views[ti]
+            if len(rows_t) == 2:
+                n1 = vu[rows_t[0], sl] + vu[rows_t[1], sl]
+            elif len(rows_t) == 1:
+                n1 = vu[rows_t[0], sl]
+            else:
+                n1 = vu[rows_t[0], sl] + vu[rows_t[1], sl]
+                for r in rows_t[2:]:
+                    n1 += vu[r, sl]
+            states[ti][orow, sl][ws.take(n1)] = tgt
+            arr = float(en.take(n1).sum())
+            vals[slot] = arr + (arr * share / oms + aterm)
+        elif k == K_PRESET:
+            _, _e, sets, value = op
+            for ti, row, idx in sets:
+                states[ti][row, idx] = value
+        elif k == K_L1C:
+            # Single active column: pure scalar arithmetic.
+            _, slot, ti, rows_t, orow, col, ws, en, tgt, aterm = op
+            vu = views[ti]
+            n1 = int(vu[rows_t[0], col])
+            for r in rows_t[1:]:
+                n1 += int(vu[r, col])
+            if ws[n1]:
+                states[ti][orow, col] = tgt
+            arr = float(en[n1])
+            vals[slot] = arr + (arr * share / oms + aterm)
+        elif k == K_L1P:
+            _, slot, ti, mesh, aidx, orow, ws, en, tgt, aterm = op
+            st = states[ti]
+            n1 = st[mesh].sum(axis=0)
+            out = st[orow]
+            changed = ws.take(n1) & (out[aidx] != tgt)
+            if changed.any():
+                out[aidx[changed]] = tgt
+            arr = float(en.take(n1).sum())
+            vals[slot] = arr + (arr * share / oms + aterm)
+        elif k == K_L1A:
+            _, slot, ti, rows_t, orow, ws, en, tgt, aterm = op
+            st = states[ti]
+            v = st.view(np.uint8)
+            if len(rows_t) == 1:
+                acc = v[rows_t[0]].copy()
+            else:
+                acc = v[rows_t[0]] + v[rows_t[1]]
+                for r in rows_t[2:]:
+                    acc += v[r]
+            n1 = acc.astype(np.intp)
+            out = st[orow]
+            changed = ws.take(n1) & (out != tgt)
+            if changed.any():
+                out[changed] = tgt
+            arr = float(en.take(n1).sum())
+            vals[slot] = arr + (arr * share / oms + aterm)
+        elif k == K_READ:
+            cbuf[:] = states[op[2]][op[3]]
+        elif k == K_WRITE:
+            _, _e, tis, row = op
+            for ti in tis:
+                states[ti][row] = cbuf
+        elif k == K_ACT:
+            for ti, bulk, cols_t in op[3]:
+                if bulk:
+                    tiles[ti].activate_column_range(*cols_t)
+                else:
+                    tiles[ti].activate_columns(cols_t)
+            actreg.stage(op[2])
+            actreg.commit()
+        elif k == K_LN:
+            _, slot, subs, aterm = op
+            arr = 0.0
+            for s in subs:
+                st = states[s[1]]
+                if s[0]:
+                    _p, _ti, mesh, aidx, orow, ws, en, tgt = s
+                    n1 = st[mesh].sum(axis=0)
+                    out = st[orow]
+                    changed = ws.take(n1) & (out[aidx] != tgt)
+                    if changed.any():
+                        out[aidx[changed]] = tgt
+                else:
+                    _p, _ti, rows_t, orow, ws, en, tgt = s
+                    v = st.view(np.uint8)
+                    if len(rows_t) == 1:
+                        n1a = v[rows_t[0]].copy()
+                    else:
+                        n1a = v[rows_t[0]] + v[rows_t[1]]
+                        for r in rows_t[2:]:
+                            n1a += v[r]
+                    n1 = n1a.astype(np.intp)
+                    out = st[orow]
+                    changed = ws.take(n1) & (out != tgt)
+                    if changed.any():
+                        out[changed] = tgt
+                arr += float(en.take(n1).sum())
+            vals[slot] = arr + (arr * share / oms + aterm)
+        # K_HALT / K_L0: no array work
+
+    # --- accounting: reduce the charge table -------------------------
+    n = plan.n_instructions
+    b = mouse.ledger.breakdown
+    b.compute_energy = _acc(b.compute_energy, vals[plan.ce_idx])
+    b.compute_latency = _acc(b.compute_latency, _cycle_chain(plan, n))
+    b.backup_energy = _acc(b.backup_energy, vals[plan.be_idx])
+    b.instructions += n
+    if prof is not None:
+        _apply_prof(plan, prof, vals)
+
+    # --- final architectural state ------------------------------------
+    k = plan.n_commits
+    pc = controller.pc
+    if k:
+        if k & 1:
+            pc._values = [k - 1, k]
+            pc.parity.set(True)
+        else:
+            pc._values = [k, k - 1]
+            pc.parity.set(False)
+        pc._staged = False
+    controller.halted = True
+    controller.phase = Phase.FETCH
+    controller._word = plan.halt_word
+    controller._instr = decode_cached(plan.halt_word)
+    controller._executed_uncommitted = False
+
+
+def _apply_prof(plan: CompiledPlan, prof, vals: np.ndarray) -> None:
+    """Replay the run's charge stream into the profiler tree.
+
+    Ancestor nodes above the program's base frame see every charge;
+    within the program, each scope node sees exactly the charges whose
+    pc lies in its subtree, in pc order — the same order the scalar
+    controller's per-FETCH ``set_scope`` walk produces.
+    """
+    program = plan.program
+    table = prof.index_program(program, prefix=(program.name,))
+    per_sid = plan.prof_tables()
+    n = plan.n_instructions
+    stats = prof._stats
+    base = table[0]
+    for nid in prof._chains[base][:-1]:
+        st = stats[nid]
+        st.compute_energy = _acc(st.compute_energy, vals[plan.ce_idx])
+        st.compute_latency = _acc(st.compute_latency, _cycle_chain(plan, n))
+        st.backup_energy = _acc(st.backup_energy, vals[plan.be_idx])
+        st.instructions += n
+    for sid, (ce_ix, be_ix, n_pcs, leaf_ix, n_leaf) in per_sid.items():
+        if n_pcs == 0:
+            continue
+        nid = table[sid]
+        st = stats[nid]
+        st.compute_energy = _acc(st.compute_energy, vals[ce_ix])
+        st.compute_latency = _acc(st.compute_latency, _cycle_chain(plan, n_pcs))
+        st.backup_energy = _acc(st.backup_energy, vals[be_ix])
+        st.instructions += n_pcs
+        if n_leaf:
+            prof._self_energy[nid] = _acc(prof._self_energy[nid], vals[leaf_ix])
+            prof._self_latency[nid] = _acc(
+                prof._self_latency[nid], _cycle_chain(plan, n_leaf)
+            )
+    prof.set_scope(table[program.scope_ids[n - 1]])
+
+
+# ----------------------------------------------------------------------
+# Intermittent power (fused window loop)
+# ----------------------------------------------------------------------
+
+
+def intermittent_eligible(run, obs, checkpointer) -> Optional[CompiledPlan]:
+    """The plan to use for a fused intermittent run, or None."""
+    controller = run.mouse.controller
+    ledger = run.mouse.ledger
+    if (
+        obs is not None
+        or checkpointer is not None
+        or controller._obs is not None
+        or controller._prof is not None
+        or controller._faults is not None
+        or ledger.obs is not None
+        or ledger.prof is not None
+        or not controller.powered
+        or controller.halted
+        or controller.phase is not Phase.FETCH
+        or controller.sensor_pc.read() != _NONE
+    ):
+        return None
+    plan = plan_for_mouse(run.mouse)
+    if plan is None or not plan.replay_stable or plan.use_before_activate:
+        return None
+    pc = controller.pc.read()
+    if pc is None or not 0 <= pc < plan.n_instructions:
+        return None
+    return plan
+
+
+def run_intermittent_fused(run, plan: CompiledPlan, max_instructions: int):
+    """The IntermittentRun while-loop, fused per instruction.
+
+    Replays the interpreter's exact per-microstep buffer arithmetic —
+    including the ``draw_energy(0.0)`` square-root round-trips at
+    DECODE and PC_STAGE — and hands outages to the *real*
+    ``power_off`` / ``_charge_until_ready`` / ``power_on`` methods, so
+    restore/charging accounting, activation re-issue, and the dual-PC
+    protocol are the referee's own code.  One instruction is applied at
+    a time: speculating across an outage boundary is unsound (the PR 8
+    re-execution analysis refuted window-level replay for programs with
+    WAR hazards, and energy arrival decides where the window ends).
+    """
+    from repro import compilejit
+
+    mouse = run.mouse
+    controller = mouse.controller
+    ledger = mouse.ledger
+    b = ledger.breakdown
+    buffer = run.config.buffer
+    source = run.config.source
+    bank = mouse.bank
+    tiles = bank.data_tiles
+    states = [t.state for t in tiles]
+    views = [st.view(np.uint8) for st in states]
+    cbuf = controller.buffer
+    pcreg = controller.pc
+    actreg = controller.activate_register
+
+    ops = plan.ops
+    words = plan.words
+    cycle = plan.cycle
+    fetch_e = plan.fetch_e
+    backup_e = plan.backup_e
+    act_backup_e = plan.act_backup_e
+    share = plan.share
+    oms = plan.oms
+    cap = buffer.capacitance
+    hc = 0.5 * cap
+    voff_eps = buffer.v_off + 1e-15
+    source_energy = source.energy
+
+    # Locals mirrored from the ledger breakdown / run cursor; written
+    # back around every interpreter call (outage path, exceptions) and
+    # at the end.
+    ce = b.compute_energy
+    cl = b.compute_latency
+    be = b.backup_energy
+    de = b.dead_energy
+    dl = b.dead_latency
+    re_ = b.restore_energy  # read-only here; power paths update it
+    ninstr = b.instructions
+    v = buffer.voltage
+    t = run.time
+    executed = run.executed
+    commits_w = run._commits_in_window
+    drawn_w = run._drawn_in_window
+    dead = controller._dead_replay
+    # _word lives FETCH..COMMIT, _instr lives DECODE..COMMIT; power_off
+    # clears both.  Mirror the lifecycle so a NonTermination /
+    # budget-exceeded raise leaves the same machine state behind.
+    word = controller._word
+    instr = controller._instr
+
+    def flush(phase: Phase, eu: bool) -> None:
+        b.compute_energy = ce
+        b.compute_latency = cl
+        b.backup_energy = be
+        b.dead_energy = de
+        b.dead_latency = dl
+        b.instructions = ninstr
+        buffer.voltage = v
+        run.time = t
+        run.executed = executed
+        run._commits_in_window = commits_w
+        run._drawn_in_window = drawn_w
+        controller._dead_replay = dead
+        controller._executed_uncommitted = eu
+        controller.phase = phase
+        controller._word = word
+        controller._instr = instr
+
+    def outage(phase: Phase, eu: bool) -> None:
+        nonlocal ce, cl, be, de, dl, re_, ninstr, v, t
+        nonlocal executed, commits_w, drawn_w, dead, word, instr
+        flush(phase, eu)
+        if commits_w == 0:
+            pc_now = pcreg.read()
+            if pc_now == run._stalled_pc:
+                raise NonTerminationError(
+                    f"no forward progress: the instruction at pc "
+                    f"{pc_now} drew {drawn_w:.3e} J without "
+                    f"committing in two consecutive capacitor "
+                    f"windows ({buffer.window_energy:.3e} J usable) "
+                    "— reduce the active-column parallelism or "
+                    "enlarge the buffer",
+                    breakdown=b,
+                    instruction_energy=drawn_w,
+                )
+            run._stalled_pc = pc_now
+        else:
+            run._stalled_pc = None
+        controller.power_off()
+        run._charge_until_ready()
+        controller.power_on()
+        run._commits_in_window = 0
+        run._drawn_in_window = 0.0
+        # Reload: the power path charged RESTORE/CHARGING through the
+        # real ledger and moved time/voltage.
+        ce = b.compute_energy
+        cl = b.compute_latency
+        be = b.backup_energy
+        de = b.dead_energy
+        dl = b.dead_latency
+        re_ = b.restore_energy
+        ninstr = b.instructions
+        v = buffer.voltage
+        t = run.time
+        commits_w = 0
+        drawn_w = 0.0
+        dead = controller._dead_replay
+        word = None  # power_off cleared them
+        instr = None
+
+    from repro.harvest.intermittent import NonTerminationError
+
+    while True:
+        if executed >= max_instructions:
+            flush(Phase.FETCH, False)
+            raise InstructionBudgetExceeded(
+                f"instruction budget exhausted: program did not halt "
+                f"within {max_instructions} instructions"
+            )
+        pc = pcreg.read()
+        op = ops[pc]
+        k = op[0]
+
+        # ---- FETCH: charge fetch energy, draw it ----
+        # The scalar loop draws `total_energy_after - total_energy_before`
+        # where total_energy is the rounded left-associated sum
+        # ((ce + be) + de) + re — NOT the raw charge value.  The delta
+        # differs from the charge by ulps, so replicate it exactly.
+        word = words[pc]
+        te = ce + be + de + re_
+        if dead:
+            de += fetch_e
+        else:
+            ce += fetch_e
+        consumed = ce + be + de + re_ - te
+        tot = max(0.0, hc * v * v - consumed)
+        v = (2.0 * tot / cap) ** 0.5
+        drawn_w += consumed
+        if v <= voff_eps:
+            outage(Phase.DECODE, False)
+            continue
+
+        # ---- DECODE: zero draw (square-root round-trip) ----
+        instr = decode_cached(word)
+        v = (2.0 * (hc * v * v) / cap) ** 0.5
+        if v <= voff_eps:
+            outage(Phase.EXECUTE, False)
+            continue
+
+        # ---- EXECUTE ----
+        if k == K_HALT:
+            if dead:
+                dl += cycle
+            else:
+                cl += cycle
+            ninstr += 1
+            executed += 1
+            commits_w += 1
+            harvested = source_energy(t, cycle)
+            t += cycle
+            v = (2.0 * (hc * v * v + harvested) / cap) ** 0.5
+            v = (2.0 * (hc * v * v) / cap) ** 0.5
+            break
+
+        is_act = k == K_ACT
+        if k == K_L1S:
+            _, slot, ti, rows_t, orow, sl, ws, en, tgt, aterm = op
+            vu = views[ti]
+            if len(rows_t) == 2:
+                n1 = vu[rows_t[0], sl] + vu[rows_t[1], sl]
+            elif len(rows_t) == 1:
+                n1 = vu[rows_t[0], sl]
+            else:
+                n1 = vu[rows_t[0], sl] + vu[rows_t[1], sl]
+                for r in rows_t[2:]:
+                    n1 += vu[r, sl]
+            states[ti][orow, sl][ws.take(n1)] = tgt
+            arr = float(en.take(n1).sum())
+            e_exec = arr + (arr * share / oms + aterm)
+        elif k == K_L1C:
+            _, slot, ti, rows_t, orow, col, ws, en, tgt, aterm = op
+            vu = views[ti]
+            n1 = int(vu[rows_t[0], col])
+            for r in rows_t[1:]:
+                n1 += int(vu[r, col])
+            if ws[n1]:
+                states[ti][orow, col] = tgt
+            arr = float(en[n1])
+            e_exec = arr + (arr * share / oms + aterm)
+        elif k == K_L1P:
+            _, slot, ti, mesh, aidx, orow, ws, en, tgt, aterm = op
+            st = states[ti]
+            n1 = st[mesh].sum(axis=0)
+            out = st[orow]
+            changed = ws.take(n1) & (out[aidx] != tgt)
+            if changed.any():
+                out[aidx[changed]] = tgt
+            arr = float(en.take(n1).sum())
+            e_exec = arr + (arr * share / oms + aterm)
+        elif k == K_L1A:
+            _, slot, ti, rows_t, orow, ws, en, tgt, aterm = op
+            st = states[ti]
+            vu = st.view(np.uint8)
+            if len(rows_t) == 1:
+                acc = vu[rows_t[0]].copy()
+            else:
+                acc = vu[rows_t[0]] + vu[rows_t[1]]
+                for r in rows_t[2:]:
+                    acc += vu[r]
+            n1 = acc.astype(np.intp)
+            out = st[orow]
+            changed = ws.take(n1) & (out != tgt)
+            if changed.any():
+                out[changed] = tgt
+            arr = float(en.take(n1).sum())
+            e_exec = arr + (arr * share / oms + aterm)
+        elif k == K_PRESET:
+            _, e_exec, sets, value = op
+            for ti, row, idx in sets:
+                states[ti][row, idx] = value
+        elif k == K_READ:
+            e_exec = op[1]
+            cbuf[:] = states[op[2]][op[3]]
+        elif k == K_WRITE:
+            _, e_exec, tis, row = op
+            for ti in tis:
+                states[ti][row] = cbuf
+        elif k == K_ACT:
+            e_exec = op[1]
+            for ti, bulk, cols_t in op[3]:
+                if bulk:
+                    tiles[ti].activate_column_range(*cols_t)
+                else:
+                    tiles[ti].activate_columns(cols_t)
+            actreg.stage(op[2])
+            actreg.commit()
+        elif k == K_LN:
+            _, slot, subs, aterm = op
+            arr = 0.0
+            for s in subs:
+                st = states[s[1]]
+                if s[0]:
+                    _p, _ti, mesh, aidx, orow, ws, en, tgt = s
+                    n1 = st[mesh].sum(axis=0)
+                    out = st[orow]
+                    changed = ws.take(n1) & (out[aidx] != tgt)
+                    if changed.any():
+                        out[aidx[changed]] = tgt
+                else:
+                    _p, _ti, rows_t, orow, ws, en, tgt = s
+                    vu = st.view(np.uint8)
+                    if len(rows_t) == 1:
+                        n1a = vu[rows_t[0]].copy()
+                    else:
+                        n1a = vu[rows_t[0]] + vu[rows_t[1]]
+                        for r in rows_t[2:]:
+                            n1a += vu[r]
+                    n1 = n1a.astype(np.intp)
+                    out = st[orow]
+                    changed = ws.take(n1) & (out != tgt)
+                    if changed.any():
+                        out[changed] = tgt
+                arr += float(en.take(n1).sum())
+            e_exec = arr + (arr * share / oms + aterm)
+        else:  # K_L0
+            e_exec = op[1]
+
+        te = ce + be + de + re_
+        if dead:
+            de += e_exec
+        else:
+            ce += e_exec
+        if is_act:
+            be += act_backup_e
+        consumed = ce + be + de + re_ - te
+        tot = max(0.0, hc * v * v - consumed)
+        v = (2.0 * tot / cap) ** 0.5
+        drawn_w += consumed
+        if v <= voff_eps:
+            outage(Phase.PC_STAGE, True)
+            continue
+
+        # ---- PC_STAGE: stage pc+1, zero draw ----
+        pcreg.stage(pc + 1)
+        v = (2.0 * (hc * v * v) / cap) ** 0.5
+        if v <= voff_eps:
+            outage(Phase.COMMIT, True)
+            continue
+
+        # ---- COMMIT: publish pc, charge backup, count, harvest ----
+        pcreg.commit()
+        word = None
+        instr = None
+        te = ce + be + de + re_
+        be += backup_e
+        consumed = ce + be + de + re_ - te
+        if dead:
+            dl += cycle
+        else:
+            cl += cycle
+        ninstr += 1
+        dead = False
+        executed += 1
+        commits_w += 1
+        harvested = source_energy(t, cycle)
+        t += cycle
+        v = (2.0 * (hc * v * v + harvested) / cap) ** 0.5
+        tot = max(0.0, hc * v * v - consumed)
+        v = (2.0 * tot / cap) ** 0.5
+        drawn_w += consumed
+        if v <= voff_eps:
+            outage(Phase.FETCH, False)
+            continue
+
+    # HALT: final state (scalar HALT leaves the fetched word in place;
+    # `word`/`instr` still hold it, and flush writes them back).
+    controller.halted = True
+    flush(Phase.FETCH, False)
+    compilejit.STATS["compiled_runs"] += 1
+    return b

@@ -1,0 +1,179 @@
+"""Compiled-executor smoke gate: every plan proven, byte-identical, fast.
+
+    PYTHONPATH=src python -m repro.compilejit.smoke
+
+Four checks over the AOT plan executor (:mod:`repro.compilejit`):
+
+1. **Translation validation** — every registered verify target's
+   program compiles to a plan, and the plan's reconstructed program
+   (:meth:`CompiledPlan.to_program`) is *symbolically proven*
+   equivalent to the source by the PR 8 ``EquivalencePass`` — the plan
+   is checked the same way a hardened rewrite is, over every input
+   assignment, with zero electrical simulation.
+2. **Byte-identity** — every fault-campaign workload, on all three
+   technologies, runs compiled and interpreted; the ledgers must be
+   ``==`` (float equality, not isclose) and the readouts must match
+   the host reference.  The fused ProfileRun engine gets the same
+   check on the Figure 9 inner loop.
+3. **The compiled path actually runs** — the STATS counters must show
+   the compiled executors took every eligible run above; a silent
+   fallback would let the interpreter masquerade as the plan executor.
+4. **Bench floor** — the in-run ``compiled_step_instruction``
+   microbenchmark (quick mode) must beat the scalar interpreter by the
+   PR's >= 10x acceptance floor.
+
+Exit status 0 means the compiled executor is healthy; wired into
+``make compiled-smoke`` (part of ``make test``).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import compilejit
+
+
+def run_smoke() -> int:
+    from repro.devices import ALL_TECHNOLOGIES
+    from repro.devices.parameters import MODERN_STT
+    from repro.energy.model import InstructionCostModel
+    from repro.faults.campaign import WORKLOADS
+    from repro.lint import render
+    from repro.verify.passes import EquivalencePass
+    from repro.verify.targets import VERIFY_TARGETS, build_verify_target
+    from repro.verify.verifier import verify_program
+    from repro.compilejit.plan import PlanUnsupported, compile_program
+
+    failures: list[str] = []
+    was_enabled = compilejit.enabled()
+    compilejit.set_enabled(True)
+    try:
+        # 1. Translation validation: plan programs prove equivalent.
+        cost = InstructionCostModel(MODERN_STT)
+        for name in sorted(VERIFY_TARGETS):
+            job = build_verify_target(name)
+            cfg = job.config
+            try:
+                plan = compile_program(
+                    job.program, cost, cfg.n_data_tiles, cfg.rows, cfg.cols
+                )
+            except PlanUnsupported as exc:
+                failures.append(f"target {name!r} did not compile: {exc}")
+                continue
+            report = verify_program(
+                plan.to_program(),
+                cfg,
+                [
+                    EquivalencePass(
+                        job.program,
+                        constants=job.constants(),
+                        focus_column=job.spec.focus_column,
+                    )
+                ],
+                name=f"{name}.plan",
+            )
+            if report.n_errors:
+                failures.append(
+                    f"plan for {name!r} not equivalent to its source:\n"
+                    f"{render(report, tool='verify')}"
+                )
+            else:
+                print(
+                    f"compiled {name!r}: plan proven equivalent "
+                    f"({len(plan.ops)} ops, {report.n_instructions} "
+                    "instructions)"
+                )
+
+        # 2a. Byte-identity: campaign workloads, compiled vs interpreted.
+        before = compilejit.stats_snapshot()["compiled_runs"]
+        expected_runs = 0
+        for wname, factory in sorted(WORKLOADS.items()):
+            for tech in ALL_TECHNOLOGIES:
+                workload = factory(tech)
+                fast = workload.build()
+                fast.run()
+                ref = workload.build()
+                ref.run(compiled=False)
+                expected_runs += 1
+                if fast.ledger.breakdown != ref.ledger.breakdown:
+                    failures.append(
+                        f"{wname}/{tech.name}: compiled ledger diverges "
+                        "from the interpreter"
+                    )
+                elif workload.readout(fast) != workload.readout(ref):
+                    failures.append(
+                        f"{wname}/{tech.name}: compiled readout diverges"
+                    )
+                elif workload.readout(fast) != workload.reference:
+                    failures.append(
+                        f"{wname}/{tech.name}: readout != host reference"
+                    )
+        print(
+            f"byte-identity: {expected_runs} campaign runs compared "
+            f"across {len(ALL_TECHNOLOGIES)} technologies"
+        )
+
+        # 2b. Byte-identity: the fused ProfileRun on the Fig 9 loop.
+        from repro.harvest import HarvestingConfig, ProfileRun
+        from repro.ml.benchmarks import SVM_ADULT
+
+        profile = SVM_ADULT.profile(cost)
+        fast_b = ProfileRun(
+            profile, cost, HarvestingConfig.paper(MODERN_STT, 100e-6)
+        ).run()
+        compilejit.set_enabled(False)
+        ref_b = ProfileRun(
+            profile, cost, HarvestingConfig.paper(MODERN_STT, 100e-6)
+        ).run()
+        compilejit.set_enabled(True)
+        if fast_b != ref_b:
+            failures.append(
+                "fused ProfileRun breakdown diverges from the scalar referee"
+            )
+        else:
+            print("byte-identity: fused ProfileRun == scalar referee")
+
+        # 3. The compiled path actually ran (no silent mass fallback).
+        stats = compilejit.stats_snapshot()
+        took = stats["compiled_runs"] - before
+        if took < expected_runs + 1:  # +1 for the fused ProfileRun
+            failures.append(
+                f"compiled executor took only {took} of "
+                f"{expected_runs + 1} eligible runs "
+                f"(stats: {stats})"
+            )
+        else:
+            print(f"compiled-path stats: {stats}")
+
+        # 4. Bench floor: the PR's >= 10x interpreter speedup.
+        from repro.perf.bench import bench_compiled_step_instruction
+
+        result = bench_compiled_step_instruction(quick=True)
+        if result.speedup < 10.0:
+            failures.append(
+                f"compiled_step_instruction speedup {result.speedup:.2f}x "
+                "below the 10x floor"
+            )
+        else:
+            print(
+                f"bench floor: compiled_step_instruction "
+                f"{result.speedup:.1f}x >= 10x"
+            )
+    finally:
+        compilejit.set_enabled(was_enabled)
+
+    if failures:
+        print("\ncompiled-smoke FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("\ncompiled-smoke OK")
+    return 0
+
+
+def main() -> int:
+    return run_smoke()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

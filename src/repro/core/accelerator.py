@@ -153,8 +153,28 @@ class Mouse:
 
     # ------------------------------------------------------------------
 
-    def run(self, max_instructions: int = 10_000_000) -> RunResult:
-        """Execute to HALT under continuous power."""
+    def run(
+        self,
+        max_instructions: int = 10_000_000,
+        compiled: Optional[bool] = None,
+    ) -> RunResult:
+        """Execute to HALT under continuous power.
+
+        ``compiled`` — None (default) uses the ahead-of-time compiled
+        plan from :mod:`repro.compilejit` when the program compiles and
+        the machine state permits, falling back silently to the scalar
+        microstep interpreter otherwise; False forces the interpreter;
+        True behaves like None (the fallback still applies — compiled
+        execution is bit-identical, never semantically different).
+        """
+        from repro import compilejit
+
+        if compiled is not False and compilejit.enabled():
+            from repro.compilejit.exec import try_run_continuous
+
+            if try_run_continuous(self, max_instructions):
+                return RunResult(breakdown=self.ledger.breakdown)
+            compilejit.STATS["fallback_runs"] += 1
         self.controller.run(max_instructions=max_instructions)
         return RunResult(breakdown=self.ledger.breakdown)
 

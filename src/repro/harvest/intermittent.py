@@ -171,6 +171,25 @@ class IntermittentRun:
         # machine is live and the loop continues without any preamble.
         self._resume_phase = None
 
+        # Fused fast path: when nothing observes the run mid-flight
+        # (no telemetry, profiler, faults, or checkpoints) and the
+        # loaded program compiled into a replay-stable plan, execute
+        # the whole loop in repro.compilejit with bit-identical
+        # arithmetic.  Outages still run the real power_off /
+        # charge / power_on methods below.
+        from repro import compilejit
+
+        if compilejit.enabled():
+            from repro.compilejit.exec import (
+                intermittent_eligible,
+                run_intermittent_fused,
+            )
+
+            plan = intermittent_eligible(self, obs, checkpointer)
+            if plan is not None:
+                return run_intermittent_fused(self, plan, max_instructions)
+            compilejit.STATS["fallback_runs"] += 1
+
         # Power is cut at *microstep* granularity: an outage can land
         # between fetch, execute, PC-stage and commit, so the dual-PC
         # protocol and Dead accounting are exercised exactly as in
@@ -422,6 +441,22 @@ class ProfileRun:
         return t if t.enabled else None
 
     def run(self) -> Breakdown:
+        # Fused fast path: with no telemetry sink, no host checkpointer,
+        # and the paper's constant source, the whole burst loop is a
+        # closed form over locals — repro.compilejit.profile replays it
+        # bit-identically (profiler included).
+        from repro import compilejit
+
+        if compilejit.enabled():
+            from repro.compilejit.profile import (
+                profile_eligible,
+                run_profile_fused,
+            )
+
+            if profile_eligible(self):
+                return run_profile_fused(self)
+            compilejit.STATS["fallback_runs"] += 1
+
         obs = self._resolve_obs()
         if self.ledger is None:
             self.ledger = EnergyLedger()

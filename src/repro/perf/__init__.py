@@ -22,7 +22,7 @@ are the referees).
   ordered merges.
 * :mod:`repro.perf.bench` — the microbenchmark + trajectory harness
   behind ``python -m repro bench`` and ``make bench-smoke``, writing
-  ``BENCH_PR4.json`` (schema ``repro.bench/v1``).
+  ``BENCH_PR9.json`` (schema ``repro.bench/v1``).
 
 See ``docs/PERFORMANCE.md`` for what is cached, the invalidation rules,
 and the batched engine's semantics.

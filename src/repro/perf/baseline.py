@@ -6,7 +6,7 @@ for line, the hot paths as they existed before :mod:`repro.perf`
 mask per operation, running one sample per machine).  The equivalence
 tests assert the accelerated paths match them bit-for-bit, and the
 bench harness times them in the same run to report honest speedups —
-the "serial baseline measured in the same run" of ``BENCH_PR4.json``.
+the "serial baseline measured in the same run" of ``BENCH_PR9.json``.
 
 Nothing in the simulator proper calls into this module.
 """

@@ -284,6 +284,9 @@ class BatchedMouse:
             n_data_tiles=len(self.tiles), rows=self.rows, cols=self.cols
         )
         self._instructions = list(program.instructions)
+        # Anchor for the compiled-plan cache (repro.compilejit.batched);
+        # reassigning it on every load invalidates any stale machine plan.
+        self._loaded_program = program
 
     def reset_ledger(self) -> None:
         """Fresh per-sample ledgers (array contents are kept)."""
@@ -295,6 +298,18 @@ class BatchedMouse:
         """Execute the loaded program once for the whole batch."""
         if self._instructions is None:
             raise RuntimeError("no program loaded")
+        from repro import compilejit
+
+        if compilejit.enabled():
+            from repro.compilejit.batched import (
+                plan_for_batched,
+                run_batched_fused,
+            )
+
+            plan = plan_for_batched(self)
+            if plan is not None:
+                return run_batched_fused(self, plan)
+            compilejit.STATS["fallback_runs"] += 1
         cost = self.cost
         ledger = self.ledger
         fetch = cost.fetch_energy()

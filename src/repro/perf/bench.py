@@ -9,9 +9,9 @@ loop from :mod:`repro.perf.inference`.  Absolute ns/op numbers are
 machine-dependent; the speedup ratios are not, which is why the smoke
 gate (``make bench-smoke``) regresses on ratios.
 
-The report is written as ``BENCH_PR4.json`` (schema ``repro.bench/v1``)
+The report is written as ``BENCH_PR9.json`` (schema ``repro.bench/v1``)
 so the trajectory of the hot paths is checked into the repo next to the
-code that created it:
+code that created it (``BENCH_PR4.json`` is the kept PR-4 snapshot):
 
     python -m repro bench [--quick] [--out PATH] [--events PATH]
 
@@ -140,6 +140,7 @@ def bench_step_instruction(quick: bool) -> BenchResult:
     from repro.faults.campaign import adder_workload
 
     workload = adder_workload()
+    workload.build().run()  # warm-up: AOT plan compile + import costs
     reps = 3 if quick else 10
     total_ns = 0
     instructions = 0
@@ -179,6 +180,106 @@ def bench_intermittent_replay(quick: bool) -> BenchResult:
         },
         reps=reps,
         ns_per_op=ns,
+    )
+
+
+def bench_compiled_step_instruction(quick: bool) -> BenchResult:
+    """Adder workload under the AOT-compiled plan executor vs the scalar
+    microstep interpreter; ns per executed instruction.  The compiled
+    side's ledger is asserted byte-identical to the interpreter's before
+    anything is timed."""
+    from repro.faults.campaign import adder_workload
+
+    workload = adder_workload()
+    fast_mouse = workload.build()
+    fast_mouse.run()  # warms the plan cache on the shared Program
+    ref_mouse = workload.build()
+    ref_mouse.run(compiled=False)
+    if fast_mouse.ledger.breakdown != ref_mouse.ledger.breakdown:
+        raise AssertionError(
+            "compiled plan ledger diverges from the scalar interpreter"
+        )
+
+    def per_instruction(reps: int, compiled) -> tuple[float, int]:
+        total_ns = 0
+        instructions = 0
+        for _ in range(reps):
+            mouse = workload.build()
+            start = time.perf_counter_ns()
+            mouse.run(compiled=compiled)
+            total_ns += time.perf_counter_ns() - start
+            instructions += mouse.ledger.breakdown.instructions
+        return total_ns / instructions, instructions // reps
+
+    reps, ref_reps = (10, 3) if quick else (50, 10)
+    ns, n_instr = per_instruction(reps, None)
+    ref_ns, _ = per_instruction(ref_reps, False)
+    return BenchResult(
+        op="compiled_step_instruction",
+        config={"workload": workload.name, "instructions": n_instr},
+        reps=reps,
+        ns_per_op=ns,
+        baseline="scalar_interpreter",
+        baseline_ns_per_op=ref_ns,
+    )
+
+
+def bench_compiled_intermittent_replay(quick: bool) -> BenchResult:
+    """The Figure 9 inner loop under the fused ProfileRun engine vs the
+    scalar referee loop.  Each side keeps its own capacitor so the
+    charge trajectories stay independent; the byte-identity cross-check
+    runs on fresh buffers before timing."""
+    from repro import compilejit
+    from repro.devices.parameters import MODERN_STT
+    from repro.energy.model import InstructionCostModel
+    from repro.harvest import HarvestingConfig, ProfileRun
+    from repro.ml.benchmarks import SVM_ADULT
+
+    cost = InstructionCostModel(MODERN_STT)
+    profile = SVM_ADULT.profile(cost)
+
+    was_enabled = compilejit.enabled()
+    try:
+        compilejit.set_enabled(True)
+        fast_b = ProfileRun(
+            profile, cost, HarvestingConfig.paper(MODERN_STT, 100e-6)
+        ).run()
+        compilejit.set_enabled(False)
+        ref_b = ProfileRun(
+            profile, cost, HarvestingConfig.paper(MODERN_STT, 100e-6)
+        ).run()
+        if fast_b != ref_b:
+            raise AssertionError(
+                "fused ProfileRun breakdown diverges from the scalar referee"
+            )
+
+        fast_config = HarvestingConfig.paper(MODERN_STT, 100e-6)
+        ref_config = HarvestingConfig.paper(MODERN_STT, 100e-6)
+
+        def fast_run():
+            compilejit.set_enabled(True)
+            ProfileRun(profile, cost, fast_config).run()
+
+        def ref_run():
+            compilejit.set_enabled(False)
+            ProfileRun(profile, cost, ref_config).run()
+
+        reps, ref_reps = (10, 3) if quick else (50, 10)
+        ns = _time_ns(fast_run, reps)
+        ref_ns = _time_ns(ref_run, ref_reps)
+    finally:
+        compilejit.set_enabled(was_enabled)
+    return BenchResult(
+        op="compiled_intermittent_replay",
+        config={
+            "workload": SVM_ADULT.name,
+            "power_uw": 100.0,
+            "technology": MODERN_STT.name,
+        },
+        reps=reps,
+        ns_per_op=ns,
+        baseline="scalar_referee",
+        baseline_ns_per_op=ref_ns,
     )
 
 
@@ -294,10 +395,32 @@ def bench_classify_bnn(quick: bool) -> BenchResult:
 BENCHMARKS = (
     bench_logic_op,
     bench_step_instruction,
+    bench_compiled_step_instruction,
     bench_intermittent_replay,
+    bench_compiled_intermittent_replay,
     bench_classify_svm,
     bench_classify_bnn,
 )
+
+
+def exercise_traced_decode() -> None:
+    """Drive one traced run so the disassembly memo sees real traffic.
+
+    No benchmark attaches telemetry — the timed paths all run with the
+    controller's obs hook detached — so ``disassemble_word``'s cache
+    counters were permanently zero in every checked-in report and a
+    broken memo (stale key, dropped decorator) would have gone
+    unnoticed.  One traced interpreter pass over the adder workload
+    disassembles each distinct word once (misses) and every replayed
+    loop iteration after that from the cache (hits), making the
+    published ``disasm.*`` stats a live regression signal.
+    """
+    from repro.faults.campaign import adder_workload
+    from repro.obs import InMemorySink, Telemetry
+
+    mouse = adder_workload().build()
+    mouse.attach_telemetry(Telemetry(InMemorySink()))
+    mouse.run(compiled=False)  # the plan executor never decodes words
 
 
 def run_bench(quick: bool = False, telemetry=None) -> dict:
@@ -315,6 +438,8 @@ def run_bench(quick: bool = False, telemetry=None) -> dict:
             result = bench(quick)
         telemetry.counter(f"bench.{result.op}.reps").inc(result.reps)
         results.append(result)
+    with telemetry.span("bench.exercise_traced_decode"):
+        exercise_traced_decode()
     publish_cache_stats(telemetry)
     return {
         "schema": SCHEMA,
@@ -449,7 +574,7 @@ def main(argv=None) -> int:
     import argparse
 
     parser = argparse.ArgumentParser(description="hot-path microbenchmarks")
-    parser.add_argument("--out", default="BENCH_PR4.json")
+    parser.add_argument("--out", default="BENCH_PR9.json")
     parser.add_argument("--quick", action="store_true")
     args = parser.parse_args(argv)
     report = run_bench(quick=args.quick)

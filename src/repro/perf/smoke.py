@@ -4,18 +4,24 @@
 
 Runs the hot-path microbenchmarks in quick mode (every benchmark still
 cross-checks the fast path against its scalar/serial referee before
-timing anything) and then enforces two gates:
+timing anything) and then enforces three gates:
 
 * **speedup floors** — ``logic_op`` must beat the scalar-rebuild
-  baseline by >= 5x and the batch-64 classifiers must beat the serial
-  loop by >= 10x, measured in this very run;
-* **ratio regression** — if a checked-in ``BENCH_PR4.json`` exists, no
-  op's speedup may fall below half its recorded value.  Ratios are
-  compared rather than absolute ns/op because both sides of a ratio are
-  measured on the same machine in the same run, so the comparison is
-  machine-independent; absolute numbers are not.
+  baseline by >= 5x, the batch-64 classifiers must beat the serial
+  loop by >= 10x, and the compiled-plan executors must beat the scalar
+  interpreter by >= 10x (``compiled_step_instruction``) and >= 5x
+  (``compiled_intermittent_replay``), measured in this very run;
+* **speedup regression** — if a checked-in ``BENCH_PR9.json`` exists,
+  no op's speedup may fall below half its recorded value.  Ratios are
+  compared rather than absolute ns/op because both sides of a ratio
+  are measured on the same machine in the same run, so the comparison
+  is machine-independent; absolute numbers are not;
+* **compare diff** — the same two reports go through ``bench
+  --compare``'s :func:`repro.perf.bench.compare_reports`, and the
+  op-by-op table is printed so an absolute-time regression is visible
+  in the smoke output even when the machine-independent gates pass.
 
-On success the quick report refreshes ``BENCH_PR4.json`` so the checked
+On success the quick report refreshes ``BENCH_PR9.json`` so the checked
 -in trajectory follows the code.  Exit status 0 means the hot paths are
 healthy; it is wired into ``make bench-smoke`` (part of ``make test``).
 """
@@ -27,16 +33,25 @@ import json
 import sys
 from pathlib import Path
 
-from repro.perf.bench import SCHEMA, render, run_bench, write_report
+from repro.perf.bench import (
+    SCHEMA,
+    compare_reports,
+    render,
+    render_compare,
+    run_bench,
+    write_report,
+)
 
 REPO_ROOT = Path(__file__).resolve().parents[3]
-DEFAULT_REPORT = REPO_ROOT / "BENCH_PR4.json"
+DEFAULT_REPORT = REPO_ROOT / "BENCH_PR9.json"
 
-#: In-run speedup floors (the PR's acceptance thresholds).
+#: In-run speedup floors (the PRs' acceptance thresholds).
 FLOORS = {
     "logic_op": 5.0,
     "classify_svm_batch64": 10.0,
     "classify_bnn_batch64": 10.0,
+    "compiled_step_instruction": 10.0,
+    "compiled_intermittent_replay": 5.0,
 }
 
 #: A speedup below this fraction of the checked-in value is a regression.
@@ -66,9 +81,12 @@ def run_smoke(report_path: Path = DEFAULT_REPORT, refresh: bool = True) -> int:
         elif speedup < floor:
             failures.append(f"{op}: speedup {speedup:.2f}x below floor {floor}x")
     if prior is not None:
-        for entry in prior["results"]:
-            old = entry.get("speedup")
-            new = speedups.get(entry["op"])
+        comparison = compare_reports(prior, report)
+        print()
+        print(render_compare(comparison))
+        for entry in comparison["ops"]:
+            old = entry.get("old_speedup")
+            new = entry.get("new_speedup")
             if old is None or new is None:
                 continue
             if new < old * REGRESSION_FRACTION:

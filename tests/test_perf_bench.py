@@ -1,6 +1,6 @@
 """Schema checks for the checked-in benchmark trajectory.
 
-``BENCH_PR4.json`` is an artifact: ``make bench-smoke`` regenerates it
+``BENCH_PR9.json`` is an artifact: ``make bench-smoke`` regenerates it
 on every ``make test`` after its gates pass.  These tests validate its
 *shape* (schema ``repro.bench/v1``) and its recorded in-run speedups —
 they never time anything themselves, so they are stable on any machine.
@@ -16,12 +16,12 @@ import pytest
 from repro.perf.bench import BENCHMARKS, SCHEMA, BenchResult, render
 from repro.perf.smoke import FLOORS
 
-REPORT = Path(__file__).resolve().parents[1] / "BENCH_PR4.json"
+REPORT = Path(__file__).resolve().parents[1] / "BENCH_PR9.json"
 
 
 @pytest.fixture(scope="module")
 def report() -> dict:
-    assert REPORT.exists(), "BENCH_PR4.json must be checked in (make bench-smoke)"
+    assert REPORT.exists(), "BENCH_PR9.json must be checked in (make bench-smoke)"
     with open(REPORT, "r", encoding="utf-8") as f:
         return json.load(f)
 
@@ -70,6 +70,10 @@ def test_cache_section_counts_hits(report):
     # cache that never hits would mean the memo keys are broken.
     assert cache["kernel.hits"] > cache["kernel.misses"]
     assert cache["decode.hits"] > cache["decode.misses"]
+    # Regression guard for the PR 4 dead path: the traced-decode
+    # exercise must flow words through the disasm memo table.
+    assert cache["disasm.misses"] > 0
+    assert cache["disasm.hits"] > 0
 
 
 def test_render_handles_baseline_free_entries():
