@@ -1,9 +1,9 @@
-.PHONY: install test lint lint-smoke verify-smoke obs-smoke trace-smoke faults-smoke bench-smoke compiled-smoke crash-smoke harden-smoke bench experiments export examples all
+.PHONY: install test lint lint-smoke verify-smoke obs-smoke trace-smoke faults-smoke bench-smoke compiled-smoke crash-smoke harden-smoke env-smoke bench experiments export examples all
 
 install:
 	pip install -e . --no-build-isolation
 
-test: obs-smoke faults-smoke bench-smoke compiled-smoke crash-smoke harden-smoke lint verify-smoke
+test: obs-smoke faults-smoke bench-smoke compiled-smoke crash-smoke harden-smoke env-smoke lint verify-smoke
 	pytest tests/
 
 # Static checks: the CRAM program linter over every registered target,
@@ -73,6 +73,14 @@ harden-smoke:
 # must be byte-identical to the uninterrupted run.
 crash-smoke:
 	PYTHONPATH=src python -m repro.durability.smoke
+
+# Environment gate: constant-trace Breakdowns byte-identical to the
+# constant source (all technologies, interpreted + fused), emergent
+# outages from a scarce solar trace, adaptive >= fixed inferences per
+# trace family with degraded-mode tallies, SIGKILL+resume under a
+# fluctuating trace byte-identical, trace JSONL round trip exact.
+env-smoke:
+	PYTHONPATH=src python -m repro.env.smoke
 
 bench:
 	pytest benchmarks/ --benchmark-only

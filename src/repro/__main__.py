@@ -17,6 +17,10 @@
     python -m repro run fig9 --jobs 4    # parallel sweep, same bytes out
     python -m repro run fig9 --checkpoint-dir ckpt   # resumable sweep
     python -m repro resume ckpt          # continue a killed run
+    python -m repro env list             # synthetic harvest-trace families
+    python -m repro env describe solar --seed 1 --save solar.jsonl
+    python -m repro env replay svm-adult solar --adaptive --json
+    python -m repro env sweep            # adaptive vs fixed, per family
     python -m repro lint                 # statically verify programs
     python -m repro lint svm --json      # one target, JSON diagnostics
     python -m repro lint --asm prog.asm --rows 256 --cols 8
@@ -911,6 +915,116 @@ def cmd_profile(args) -> int:
     return 0 if exact else 1
 
 
+def _build_trace(spec: str, seed: int, watts: float):
+    """Resolve a trace argument: a JSONL file path, or a generator
+    family name (``constant`` takes ``--watts``; the rest ``--seed``)."""
+    import os
+
+    from repro.env import FAMILIES, HarvestTrace, constant
+
+    if os.path.exists(spec):
+        return HarvestTrace.load(spec)
+    family = spec.lower().replace("-", "_")
+    if family == "solar_diurnal":
+        family = "solar"
+    if family not in FAMILIES:
+        raise SystemExit(
+            f"unknown trace {spec!r}: not a file, and not one of "
+            + ", ".join(sorted(FAMILIES))
+        )
+    if family == "constant":
+        return constant(watts)
+    return FAMILIES[family](seed=seed)
+
+
+def _table_iv_workload(name: str):
+    from repro.ml.benchmarks import ALL_WORKLOADS
+
+    wanted = _slug(name)
+    workload = next(
+        (w for w in ALL_WORKLOADS if _slug(w.name) == wanted), None
+    )
+    if workload is None:
+        raise SystemExit(
+            f"unknown workload {name!r}; one of: "
+            + ", ".join(_slug(w.name) for w in ALL_WORKLOADS)
+        )
+    return workload
+
+
+def cmd_env(args) -> int:
+    """Harvest-environment tooling: trace catalog, stats, replay, sweep."""
+    import json
+
+    from repro.env import FAMILIES
+
+    if args.env_command == "list":
+        print("harvest trace families (python -m repro env describe <name>):")
+        for name, generator in sorted(FAMILIES.items()):
+            doc = (generator.__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:10s} {doc}")
+        return 0
+
+    if args.env_command == "describe":
+        trace = _build_trace(args.trace, args.seed, args.watts)
+        info = trace.describe()
+        if args.save is not None:
+            trace.save(args.save)
+            info["saved"] = args.save
+        if args.json:
+            print(json.dumps(info, indent=2, sort_keys=True))
+        else:
+            for key in sorted(info):
+                print(f"  {key:12s} {info[key]}")
+        return 0
+
+    if args.env_command == "replay":
+        from repro.devices.parameters import ALL_TECHNOLOGIES
+        from repro.env import AdaptivePolicy, replay
+
+        techs = {p.name.lower().replace(" ", "-"): p for p in ALL_TECHNOLOGIES}
+        params = techs.get(args.tech.lower())
+        if params is None:
+            print(
+                f"unknown technology {args.tech!r}; one of: "
+                + ", ".join(sorted(techs))
+            )
+            return 2
+        workload = _table_iv_workload(args.workload)
+        trace = _build_trace(args.trace, args.seed, args.watts)
+        policy = AdaptivePolicy() if args.adaptive else None
+        result = replay(
+            workload,
+            params,
+            trace,
+            adaptive=policy,
+            time_budget=args.budget,
+            max_inferences=args.max_inferences,
+            checkpoint_period=args.checkpoint_period,
+            leakage_amps=args.leakage,
+            esr_ohms=args.esr,
+        )
+        if args.json:
+            print(json.dumps(result.to_json_obj(), indent=2, sort_keys=True))
+        else:
+            obj = result.to_json_obj()
+            for key in sorted(obj):
+                print(f"  {key:12s} {obj[key]}")
+        return 0
+
+    if args.env_command == "sweep":
+        from repro.experiments import env_sweep
+
+        rows = env_sweep.run()
+        if args.json:
+            print(json.dumps(rows, indent=2, sort_keys=True))
+        else:
+            print(env_sweep.render(rows))
+        return 0 if all(r["adaptive_at_least_fixed"] for r in rows) else 1
+
+    return 2  # pragma: no cover
+
+
 def cmd_stats(path: str, top: int) -> int:
     from repro.obs.replay import render, replay
 
@@ -1229,6 +1343,101 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PORT",
         help="after profiling, serve /metrics and /profile until Ctrl-C",
     )
+    env_p = sub.add_parser(
+        "env",
+        help="harvest environments: trace catalog, stats, replay, sweep",
+    )
+    env_sub = env_p.add_subparsers(dest="env_command", required=True)
+    env_sub.add_parser("list", help="list the synthetic trace families")
+    describe_p = env_sub.add_parser(
+        "describe", help="summary statistics for a trace (family or file)"
+    )
+    describe_p.add_argument(
+        "trace",
+        help="trace family (constant, solar, rf_burst, kinetic) or a "
+        "repro.env.trace/v1 JSONL file",
+    )
+    describe_p.add_argument(
+        "--seed", type=int, default=0, help="generator seed (default 0)"
+    )
+    describe_p.add_argument(
+        "--watts",
+        type=float,
+        default=100e-6,
+        help="power level for the constant family (default 100e-6)",
+    )
+    describe_p.add_argument(
+        "--save", metavar="PATH", help="also write the trace as JSONL"
+    )
+    describe_p.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+    replay_p = env_sub.add_parser(
+        "replay",
+        help="replay a Table IV workload under a harvest trace",
+    )
+    replay_p.add_argument(
+        "workload", help="Table IV workload name (svm-adult, bnn-finn, ...)"
+    )
+    replay_p.add_argument(
+        "trace", help="trace family name or a JSONL trace file"
+    )
+    replay_p.add_argument(
+        "--tech",
+        default="modern-stt",
+        help="device technology (modern-stt, projected-stt, projected-she)",
+    )
+    replay_p.add_argument(
+        "--seed", type=int, default=0, help="generator seed (default 0)"
+    )
+    replay_p.add_argument(
+        "--watts",
+        type=float,
+        default=100e-6,
+        help="power level for the constant family (default 100e-6)",
+    )
+    replay_p.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="use the adaptive checkpoint policy (default: fixed cadence)",
+    )
+    replay_p.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="S",
+        help="time budget in simulated seconds (default: four trace spans)",
+    )
+    replay_p.add_argument(
+        "--max-inferences", type=int, default=64, metavar="N"
+    )
+    replay_p.add_argument(
+        "--checkpoint-period", type=int, default=1, metavar="N"
+    )
+    replay_p.add_argument(
+        "--leakage",
+        type=float,
+        default=0.0,
+        metavar="A",
+        help="capacitor leakage current in amps (default 0: ideal)",
+    )
+    replay_p.add_argument(
+        "--esr",
+        type=float,
+        default=0.0,
+        metavar="OHMS",
+        help="capacitor equivalent series resistance (default 0: ideal)",
+    )
+    replay_p.add_argument(
+        "--json", action="store_true", help="emit the result as JSON"
+    )
+    sweep_p = env_sub.add_parser(
+        "sweep",
+        help="adaptive vs fixed checkpointing across the trace families",
+    )
+    sweep_p.add_argument(
+        "--json", action="store_true", help="emit the rows as JSON"
+    )
     sub.add_parser("info", help="device technologies and gate designs")
     export_p = sub.add_parser("export", help="write every artifact as CSV")
     export_p.add_argument("directory", nargs="?", default="results")
@@ -1372,6 +1581,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_bench(args)
     if args.command == "profile":
         return cmd_profile(args)
+    if args.command == "env":
+        return cmd_env(args)
     if args.command == "info":
         return cmd_info()
     if args.command == "export":

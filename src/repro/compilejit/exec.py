@@ -316,6 +316,10 @@ def intermittent_eligible(run, obs, checkpointer) -> Optional[CompiledPlan]:
         or controller.sensor_pc.read() != _NONE
     ):
         return None
+    # The fused loop inlines *ideal* capacitor arithmetic; a leaky/ESR
+    # buffer must run the scalar engine, which prices the losses.
+    if not run.config.buffer.is_ideal:
+        return None
     plan = plan_for_mouse(run.mouse)
     if plan is None or not plan.replay_stable or plan.use_before_activate:
         return None
@@ -414,15 +418,18 @@ def run_intermittent_fused(run, plan: CompiledPlan, max_instructions: int):
         if commits_w == 0:
             pc_now = pcreg.read()
             if pc_now == run._stalled_pc:
+                position = trace_position_of(source, t)
+                where = f" ({position})" if position is not None else ""
                 raise NonTerminationError(
                     f"no forward progress: the instruction at pc "
                     f"{pc_now} drew {drawn_w:.3e} J without "
                     f"committing in two consecutive capacitor "
                     f"windows ({buffer.window_energy:.3e} J usable) "
                     "— reduce the active-column parallelism or "
-                    "enlarge the buffer",
+                    f"enlarge the buffer{where}",
                     breakdown=b,
                     instruction_energy=drawn_w,
+                    trace_position=position,
                 )
             run._stalled_pc = pc_now
         else:
@@ -449,7 +456,10 @@ def run_intermittent_fused(run, plan: CompiledPlan, max_instructions: int):
         word = None  # power_off cleared them
         instr = None
 
-    from repro.harvest.intermittent import NonTerminationError
+    from repro.harvest.intermittent import (
+        NonTerminationError,
+        trace_position_of,
+    )
 
     while True:
         if executed >= max_instructions:

@@ -27,15 +27,29 @@ def profile_eligible(run) -> bool:
     """A ProfileRun the fused loop can reproduce bit-for-bit.
 
     Requires: no telemetry sink, no host checkpointer, not resuming
-    mid-run, and a ConstantPowerSource (whose energy/time_to_harvest
-    are the closed forms the loop inlines).  A profiler is fine.
+    mid-run, no adaptive cadence, an ideal buffer, and a constant
+    source — either :class:`ConstantPowerSource` or a constant-trace
+    :class:`repro.env.TraceSource`, whose ``energy`` /
+    ``time_to_harvest`` fast paths are the exact closed forms the loop
+    inlines.  A profiler is fine.
     """
     from repro.harvest.source import ConstantPowerSource
 
     if run.checkpointer is not None or run._resumed:
         return False
-    if type(run.config.source) is not ConstantPowerSource:
+    if getattr(run, "adaptive", None) is not None:
         return False
+    if not run.config.buffer.is_ideal:
+        return False
+    source = run.config.source
+    if type(source) is not ConstantPowerSource:
+        from repro.env.trace import TraceSource
+
+        if not (
+            type(source) is TraceSource
+            and source.constant_watts is not None
+        ):
+            return False
     return run._resolve_obs() is None
 
 

@@ -64,6 +64,14 @@ class CrashPlan:
     commits.  The harvesting constants are scaled so the tiny campaign
     workloads still see hundreds of outages (a ~paper-sized buffer
     would make outages vanishingly rare at this instruction count).
+
+    ``trace_family`` switches the harvester from the constant source to
+    a synthetic :mod:`repro.env` trace (``constant`` / ``solar`` /
+    ``rf_burst``) seeded by ``trace_seed`` and scaled around
+    ``source_watts``, so kills and resumes are exercised under a
+    *fluctuating* power process; ``kinetic`` is rejected because its
+    dead tail fail-stops and a kill campaign needs a completable
+    reference run.
     """
 
     workload: str = "svm"
@@ -74,10 +82,48 @@ class CrashPlan:
     period: int = 16
     source_watts: float = 5e-9
     capacitance: float = 2e-10
+    trace_family: str = ""
+    trace_seed: int = 0
+
+    def _source(self):
+        if not self.trace_family:
+            return ConstantPowerSource(self.source_watts)
+        from repro.env.trace import (
+            TraceSource,
+            constant,
+            rf_burst,
+            solar_diurnal,
+        )
+
+        w = self.source_watts
+        if self.trace_family == "constant":
+            trace = constant(w)
+        elif self.trace_family == "solar":
+            # Positive night floor: every charge window terminates, so
+            # the campaign's reference run always completes.
+            trace = solar_diurnal(
+                seed=self.trace_seed,
+                peak_watts=2.0 * w,
+                floor_watts=0.25 * w,
+                day_length=0.05,
+            )
+        elif self.trace_family == "rf_burst":
+            trace = rf_burst(
+                seed=self.trace_seed,
+                burst_watts=4.0 * w,
+                idle_watts=0.25 * w,
+            )
+        else:
+            raise ValueError(
+                f"crash campaigns cannot run under trace family "
+                f"{self.trace_family!r} (need a source that never dies: "
+                "constant, solar or rf_burst)"
+            )
+        return TraceSource(trace)
 
     def config(self) -> HarvestingConfig:
         return HarvestingConfig(
-            source=ConstantPowerSource(self.source_watts),
+            source=self._source(),
             buffer=EnergyBuffer(
                 capacitance=self.capacitance, v_off=0.30, v_on=0.34
             ),

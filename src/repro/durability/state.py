@@ -104,12 +104,19 @@ def decode_breakdown(obj: dict) -> Breakdown:
 
 
 def encode_buffer(buffer: EnergyBuffer) -> dict:
-    return {
+    out = {
         "capacitance": buffer.capacitance,
         "v_off": buffer.v_off,
         "v_on": buffer.v_on,
         "voltage": buffer.voltage,
     }
+    # Non-ideality knobs travel only when set, so ideal-buffer payloads
+    # are byte-identical to those of earlier image generations.
+    if buffer.leakage_amps:
+        out["leakage_amps"] = buffer.leakage_amps
+    if buffer.esr_ohms:
+        out["esr_ohms"] = buffer.esr_ohms
+    return out
 
 
 def decode_buffer(obj: dict) -> EnergyBuffer:
@@ -126,9 +133,14 @@ def encode_source(source) -> dict:
             "depth": source.depth,
             "period": source.period,
         }
+    from repro.env.trace import HarvestTrace, TraceSource
+
+    if isinstance(source, TraceSource):
+        return {"type": "trace", "trace": source.trace.to_json_obj()}
     raise StateCaptureError(
         f"power source {type(source).__name__} is not serialisable; "
-        "use ConstantPowerSource or SolarProfileSource for resumable runs"
+        "use ConstantPowerSource, SolarProfileSource or TraceSource "
+        "for resumable runs"
     )
 
 
@@ -140,6 +152,10 @@ def decode_source(obj: dict):
         return SolarProfileSource(
             obj["mean_watts"], depth=obj["depth"], period=obj["period"]
         )
+    if kind == "trace":
+        from repro.env.trace import HarvestTrace, TraceSource
+
+        return TraceSource(HarvestTrace.from_json_obj(obj["trace"]))
     raise ValueError(f"unknown power-source type {kind!r}")
 
 

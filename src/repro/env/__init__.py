@@ -1,0 +1,44 @@
+"""Trace-driven harvest environments and graceful degradation.
+
+The paper's harvester is a constant — its single knob is the swept
+wattage of Figure 9.  This package supplies the deployment-side
+realism the roadmap names: replayable power *traces*
+(:mod:`repro.env.trace`), non-ideal storage (leakage/ESR knobs on
+:class:`repro.harvest.EnergyBuffer`), and an adaptive runtime policy
+(:mod:`repro.env.adaptive`) that degrades explicitly — skipped
+checkpoints, deferred commits, fail-stops — instead of silently.
+:mod:`repro.env.replay` scores policies per trace family, and
+``python -m repro env`` exposes list/describe/replay/sweep.
+"""
+
+from repro.env.adaptive import AdaptiveCheckpointer, AdaptivePolicy, DegradedMode
+from repro.env.replay import ReplayResult, compare, replay
+from repro.env.trace import (
+    FAMILIES,
+    TRACE_SCHEMA,
+    HarvestTrace,
+    TracePosition,
+    TraceSource,
+    constant,
+    kinetic,
+    rf_burst,
+    solar_diurnal,
+)
+
+__all__ = [
+    "AdaptiveCheckpointer",
+    "AdaptivePolicy",
+    "DegradedMode",
+    "FAMILIES",
+    "HarvestTrace",
+    "ReplayResult",
+    "TRACE_SCHEMA",
+    "TracePosition",
+    "TraceSource",
+    "compare",
+    "constant",
+    "kinetic",
+    "replay",
+    "rf_burst",
+    "solar_diurnal",
+]

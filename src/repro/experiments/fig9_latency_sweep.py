@@ -41,14 +41,28 @@ class SweepPoint:
 
 
 def _sweep_series(
-    tech: DeviceParameters, workload, powers: tuple[float, ...]
+    tech: DeviceParameters, workload, powers: tuple[float, ...],
+    source_factory=None,
 ) -> list[SweepPoint]:
-    """One (technology, benchmark) curve — the unit of parallel fan-out."""
+    """One (technology, benchmark) curve — the unit of parallel fan-out.
+
+    ``source_factory`` maps a sweep power (W) to a
+    :class:`~repro.harvest.source.PowerSource`; None keeps the paper's
+    constant source.  A trace-driven sweep passes e.g.
+    ``lambda w: TraceSource(solar_diurnal(peak_watts=2 * w))``.
+    """
+    from repro.harvest import buffer_for
+
     cost = InstructionCostModel(tech)
     profile = workload.profile(cost)
     points = []
     for power in powers:
-        config = HarvestingConfig.paper(tech, power)
+        if source_factory is None:
+            config = HarvestingConfig.paper(tech, power)
+        else:
+            config = HarvestingConfig(
+                source=source_factory(power), buffer=buffer_for(tech)
+            )
         breakdown = ProfileRun(profile, cost, config).run()
         points.append(
             SweepPoint(
@@ -69,6 +83,8 @@ def run(
     include_sonic: bool = True,
     jobs: int | None = None,
     checkpoint_dir: str | None = None,
+    source_factory=None,
+    source_tag: str = "constant",
 ) -> list[SweepPoint]:
     """Regenerate the sweep; ``jobs > 1`` fans the (technology,
     benchmark) curves across processes.  Each curve is a deterministic
@@ -98,12 +114,15 @@ def run(
                 "powers": list(powers),
                 "technologies": [t.name for t in technologies],
                 "benchmarks": [w.name for w in ALL_WORKLOADS],
+                "source": source_tag,
             },
         )
     series = run_resumable(
         [f"{tech.name}/{workload.name}" for tech, workload in pairs],
         [
-            lambda t=tech, w=workload: _sweep_series(t, w, powers)
+            lambda t=tech, w=workload: _sweep_series(
+                t, w, powers, source_factory
+            )
             for tech, workload in pairs
         ],
         store,

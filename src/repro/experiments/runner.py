@@ -19,6 +19,7 @@ import time
 
 from repro.experiments import (
     ablations,
+    env_sweep,
     fault_campaign,
     harden_frontier,
     robustness,
@@ -42,6 +43,7 @@ EXPERIMENTS = (
     ("Ablations (design-choice studies)", ablations.main),
     ("Robustness (device-variation Monte Carlo)", robustness.main),
     ("Faults (seeded injection campaigns)", fault_campaign.main),
+    ("Environments (trace-driven adaptive vs fixed)", env_sweep.main),
     ("Hardening frontier (yield vs energy overhead)", harden_frontier.main),
     ("Throughput (inferences/hour by harvester)", throughput.main),
     ("Accuracy (synthetic twins)", accuracy.main),

@@ -164,7 +164,13 @@ class FaultCampaign:
         seed: int = 0,
         telemetry=None,
         max_microsteps: int = 2_000_000,
+        outage_trace=None,
     ) -> None:
+        """``outage_trace`` — optional :class:`repro.env.HarvestTrace`;
+        its dropouts become a deterministic power-cut schedule applied
+        to every trial *in addition to* the plan's stochastic faults
+        (the schedule depends only on the trace, so the campaign stays
+        byte-reproducible)."""
         if trials < 1:
             raise ValueError("need at least one trial")
         self.workload = workload
@@ -173,6 +179,8 @@ class FaultCampaign:
         self.seed = seed
         self.telemetry = telemetry
         self.max_microsteps = max_microsteps
+        self.outage_trace = outage_trace
+        self._outage_steps: Optional[frozenset] = None
 
     def _resolve_obs(self):
         if self.telemetry is not None:
@@ -228,6 +236,14 @@ class FaultCampaign:
         obs = self._resolve_obs()
 
         golden = self.workload.build()
+        if self.outage_trace is not None:
+            from repro.faults.outages import outages_from_trace
+
+            self._outage_steps = frozenset(
+                outages_from_trace(
+                    self.outage_trace, golden.cost.cycle_time
+                )
+            )
         golden.run()
         golden_memory = golden.bank.snapshot()
         golden_values = self.workload.readout(golden)
@@ -352,7 +368,9 @@ class FaultCampaign:
     ) -> dict:
         rng = np.random.default_rng([self.seed, trial])
         mouse = self.workload.build()
-        injector = TrialInjector(self.plan, rng, telemetry=obs)
+        injector = TrialInjector(
+            self.plan, rng, telemetry=obs, outage_steps=self._outage_steps
+        )
         injector.attach(mouse)
         controller = mouse.controller
 

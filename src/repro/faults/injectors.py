@@ -237,10 +237,20 @@ class TrialInjector:
         plan: FaultPlan,
         rng: np.random.Generator,
         telemetry=None,
+        outage_steps=None,
     ) -> None:
+        """``outage_steps`` — optional set of global microstep indices
+        at which power is cut *deterministically*, independent of the
+        plan's stochastic outage rate; the campaign derives these from
+        a harvest trace's dropouts
+        (:func:`repro.faults.outages.outages_from_trace`)."""
         self.plan = plan
         self.rng = rng
         self.counters = FaultCounters()
+        self.outage_steps = (
+            None if outage_steps is None else frozenset(int(s) for s in outage_steps)
+        )
+        self._microstep = 0
         self._obs = telemetry if (telemetry is not None and telemetry.enabled) else None
         self.hook = ControllerFaultHook(
             plan, rng, counters=self.counters, telemetry=telemetry
@@ -260,13 +270,23 @@ class TrialInjector:
     # -- between-microstep injections -----------------------------------
 
     def after_microstep(self, mouse, phase) -> None:
-        """Stochastic adversarial outage at this microstep boundary."""
-        if self.plan.outage_rate <= 0.0:
+        """Stochastic and/or trace-scheduled outage at this microstep
+        boundary.  The RNG draw sequence with no schedule attached is
+        identical to the schedule-free code path, so existing seeded
+        campaigns reproduce byte-for-byte."""
+        step = self._microstep
+        self._microstep += 1
+        scheduled = self.outage_steps is not None and step in self.outage_steps
+        if self.plan.outage_rate <= 0.0 and not scheduled:
             return
         controller = mouse.controller
         if controller.halted or not controller.powered:
             return
-        if self.rng.random() < self.plan.outage_rate:
+        stochastic = (
+            self.plan.outage_rate > 0.0
+            and self.rng.random() < self.plan.outage_rate
+        )
+        if scheduled or stochastic:
             self.counters.injected["outage"] += 1
             self._emit(
                 FAULT_INJECTED,
@@ -274,6 +294,7 @@ class TrialInjector:
                 site="outage",
                 phase=phase.value,
                 pc=controller.pc.read(),
+                scheduled=scheduled,
             )
             controller.power_off()
             controller.power_on()

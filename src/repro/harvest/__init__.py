@@ -19,15 +19,18 @@ Two execution engines share the metric ledger:
 
 from repro.harvest.budget import BudgetPlan, PowerBudgetPlanner
 from repro.harvest.source import ConstantPowerSource, PowerSource, SolarProfileSource
-from repro.harvest.capacitor import EnergyBuffer
+from repro.harvest.capacitor import EnergyBuffer, EnergyDomainError, buffer_for
 from repro.harvest.converter import SwitchedCapacitorConverter, CONVERSION_RATIOS
 from repro.harvest.intermittent import (
+    DEGRADED_MODES,
+    ChargeWindowFailure,
     HarvestingConfig,
     IntermittentRun,
     InstructionProfile,
     NonTerminationError,
     ProfileRun,
     Segment,
+    charge_with_retry,
 )
 
 __all__ = [
@@ -37,12 +40,17 @@ __all__ = [
     "ConstantPowerSource",
     "SolarProfileSource",
     "EnergyBuffer",
+    "EnergyDomainError",
+    "buffer_for",
     "SwitchedCapacitorConverter",
     "CONVERSION_RATIOS",
+    "DEGRADED_MODES",
+    "ChargeWindowFailure",
     "HarvestingConfig",
     "IntermittentRun",
     "NonTerminationError",
     "ProfileRun",
     "InstructionProfile",
     "Segment",
+    "charge_with_retry",
 ]

@@ -21,6 +21,7 @@ instruction, and Restore on every restart, per the EH-model metrics.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -32,6 +33,33 @@ from repro.energy.model import InstructionCostModel
 from repro.harvest.capacitor import EnergyBuffer, buffer_for
 from repro.harvest.source import ConstantPowerSource, PowerSource
 
+#: Bounded retry-with-backoff for charge windows under a non-ideal
+#: buffer: each retry waits ``backoff``x longer than the closed-form
+#: estimate; after ``retries`` attempts without reaching ``v_on`` the
+#: charge fail-stops (:class:`ChargeWindowFailure`) instead of hanging.
+DEFAULT_CHARGE_RETRIES = 8
+DEFAULT_CHARGE_BACKOFF = 1.5
+
+#: Degraded-mode taxonomy keys (see :class:`repro.env.DegradedMode`):
+#: ``skipped_checkpoint`` — the adaptive cadence stretched the simulated
+#: backup period past the fixed baseline; ``deferred_commit`` — a due
+#: host NVImage write was postponed for lack of headroom; ``fail_stop``
+#: — a charge window could not reach the restart threshold.
+DEGRADED_MODES = ("skipped_checkpoint", "deferred_commit", "fail_stop")
+
+
+def _fresh_degraded() -> dict[str, int]:
+    return {mode: 0 for mode in DEGRADED_MODES}
+
+
+def trace_position_of(source, time: float):
+    """The source's trace position at ``time`` (None for sources
+    without one) — threaded into stall and fail-stop diagnoses."""
+    position = getattr(source, "position", None)
+    if callable(position):
+        return position(time)
+    return None
+
 
 class NonTerminationError(RuntimeError):
     """A single instruction needs more energy than one full capacitor
@@ -41,7 +69,9 @@ class NonTerminationError(RuntimeError):
     Carries the :class:`Breakdown` accumulated up to the diagnosis and
     the offending instruction's net energy draw, so callers can report
     *how far* the run got and *how much* the stuck instruction needs
-    relative to the window.
+    relative to the window.  Under a trace-driven source,
+    ``trace_position`` additionally records the sample index and
+    elapsed time where progress stopped.
     """
 
     def __init__(
@@ -50,10 +80,93 @@ class NonTerminationError(RuntimeError):
         *,
         breakdown: Optional[Breakdown] = None,
         instruction_energy: Optional[float] = None,
+        trace_position=None,
     ) -> None:
         super().__init__(message)
         self.breakdown = breakdown
         self.instruction_energy = instruction_energy
+        self.trace_position = trace_position
+
+
+class ChargeWindowFailure(RuntimeError):
+    """A charge window could not lift the buffer to the restart
+    threshold: the harvest trace is exhausted (infinite wait) or
+    leakage outran the harvester for the whole retry budget.  The
+    explicit fail-stop of the degraded-mode taxonomy — carries where
+    (trace position) and how hard (voltage, needed energy, retries) the
+    restart failed."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        voltage: Optional[float] = None,
+        needed: Optional[float] = None,
+        retries: int = 0,
+        trace_position=None,
+    ) -> None:
+        super().__init__(message)
+        self.voltage = voltage
+        self.needed = needed
+        self.retries = retries
+        self.trace_position = trace_position
+
+
+def charge_with_retry(
+    buffer: EnergyBuffer,
+    source: PowerSource,
+    time: float,
+    charge: "callable",
+    retries: int = DEFAULT_CHARGE_RETRIES,
+    backoff: float = DEFAULT_CHARGE_BACKOFF,
+) -> tuple[float, float, int]:
+    """Charge a (possibly leaky) buffer to ``v_on`` with bounded
+    retry-with-backoff.
+
+    The closed-form wait from ``time_to_harvest`` ignores leakage, so
+    each attempt may fall short; retries stretch the wait by
+    ``backoff``x per attempt.  ``charge(wait)`` is called once per
+    attempt to account the charging latency on the caller's ledger.
+    Returns ``(new_time, total_wait, attempts)``; raises
+    :class:`ChargeWindowFailure` when the trace can never supply the
+    energy or the retry budget is exhausted below ``v_on``.
+    """
+    total = 0.0
+    attempts = 0
+    while not buffer.ready_to_start:
+        needed = buffer.energy_to_reach(buffer.v_on)
+        wait = source.time_to_harvest(needed, start=time)
+        if not math.isfinite(wait):
+            raise ChargeWindowFailure(
+                f"harvest source can never supply the {needed:.3e} J "
+                f"needed to restart (buffer at {buffer.voltage:.4f} V, "
+                f"restart at {buffer.v_on:.4f} V)",
+                voltage=buffer.voltage,
+                needed=needed,
+                retries=attempts,
+                trace_position=trace_position_of(source, time),
+            )
+        if attempts >= retries:
+            raise ChargeWindowFailure(
+                f"charge window failed to reach the restart threshold "
+                f"after {attempts} attempts (buffer at "
+                f"{buffer.voltage:.4f} V of {buffer.v_on:.4f} V; leakage "
+                "outruns the harvester)",
+                voltage=buffer.voltage,
+                needed=needed,
+                retries=attempts,
+                trace_position=trace_position_of(source, time),
+            )
+        if attempts:
+            wait = wait * (backoff ** attempts)
+        harvested = source.energy(time, wait)
+        buffer.add_energy(harvested)
+        buffer.leak(wait)
+        time += wait
+        total += wait
+        charge(wait)
+        attempts += 1
+    return time, total, attempts
 
 
 @dataclass
@@ -70,6 +183,27 @@ class HarvestingConfig:
         return cls(
             source=ConstantPowerSource(source_watts),
             buffer=buffer_for(params),
+        )
+
+    @classmethod
+    def from_trace(
+        cls,
+        params: DeviceParameters,
+        trace,
+        *,
+        leakage_amps: float = 0.0,
+        esr_ohms: float = 0.0,
+    ) -> "HarvestingConfig":
+        """The paper's per-technology buffer driven by a
+        :class:`repro.env.HarvestTrace` (optionally non-ideal) instead
+        of the constant source."""
+        from repro.env.trace import TraceSource
+
+        return cls(
+            source=TraceSource(trace),
+            buffer=buffer_for(
+                params, leakage_amps=leakage_amps, esr_ohms=esr_ohms
+            ),
         )
 
 
@@ -117,6 +251,12 @@ class IntermittentRun:
             raise ValueError("vcap_sample_period must be >= 1")
         self.vcap_sample_period = vcap_sample_period
         self.checkpointer = checkpointer
+        #: Charge-window retry budget for non-ideal buffers (see
+        #: :func:`charge_with_retry`); an ideal buffer never retries.
+        self.charge_retries = DEFAULT_CHARGE_RETRIES
+        self.charge_backoff = DEFAULT_CHARGE_BACKOFF
+        #: Degraded-mode tallies (see :data:`DEGRADED_MODES`).
+        self.degraded = _fresh_degraded()
         self._obs = None  # resolved per run()
         # Resumable loop state, promoted from run() locals so a
         # checkpoint can capture it and an exact resume restore it.
@@ -203,6 +343,7 @@ class IntermittentRun:
         # the run would retry it forever (paper Section I).  Two
         # windows (not one) so a window merely truncated by earlier
         # work is never misdiagnosed.
+        nonideal = not buffer.is_ideal
         while not controller.halted:
             if self.executed >= max_instructions:
                 raise InstructionBudgetExceeded(
@@ -219,26 +360,34 @@ class IntermittentRun:
                 harvested = source.energy(self.time, cycle)
                 self.time += cycle
                 buffer.add_energy(harvested)
+                if nonideal:
+                    buffer.leak(cycle)
                 if (
                     obs is not None
                     and self.executed % self.vcap_sample_period == 0
                 ):
                     vcap.set(buffer.voltage, ts=self.time)
-            buffer.draw_energy(consumed)
+            if nonideal:
+                buffer.draw_energy(consumed, cycle)
+            else:
+                buffer.draw_energy(consumed)
             self._drawn_in_window += consumed
             if buffer.must_shut_down and not controller.halted:
                 if self._commits_in_window == 0:
                     pc = controller.pc.read()
                     if pc == self._stalled_pc:
+                        position = trace_position_of(source, self.time)
+                        where = f" ({position})" if position is not None else ""
                         raise NonTerminationError(
                             f"no forward progress: the instruction at pc "
                             f"{pc} drew {self._drawn_in_window:.3e} J without "
                             f"committing in two consecutive capacitor "
                             f"windows ({buffer.window_energy:.3e} J usable) "
                             "— reduce the active-column parallelism or "
-                            "enlarge the buffer",
+                            f"enlarge the buffer{where}",
                             breakdown=ledger.breakdown,
                             instruction_energy=self._drawn_in_window,
+                            trace_position=position,
                         )
                     self._stalled_pc = pc
                 else:
@@ -273,13 +422,63 @@ class IntermittentRun:
     def _charge_until_ready(self, first: bool = False) -> None:
         buffer = self.config.buffer
         source = self.config.source
+        obs = self._obs
+        if not buffer.is_ideal:
+            # Leaky/ESR buffer: the closed form underestimates, so
+            # charge with bounded retry-with-backoff and fail-stop when
+            # the restart threshold is unreachable.
+            start = self.time
+            try:
+                self.time, wait, _ = charge_with_retry(
+                    buffer,
+                    source,
+                    self.time,
+                    lambda w: self.mouse.ledger.charge(Category.CHARGING, 0.0, w),
+                    retries=self.charge_retries,
+                    backoff=self.charge_backoff,
+                )
+            except ChargeWindowFailure:
+                self.degraded["fail_stop"] += 1
+                if obs is not None:
+                    obs.counter("env.degraded.fail_stop").inc()
+                    obs.emit(
+                        "env.degraded",
+                        self.time,
+                        mode="fail_stop",
+                        voltage=buffer.voltage,
+                    )
+                raise
+            if obs is not None:
+                obs.histogram("harvest.off_time").observe(wait)
+                obs.emit("harvest.charge", start, dur=wait, initial=first)
+            return
         needed = buffer.energy_to_reach(buffer.v_on)
         wait = source.time_to_harvest(needed, start=self.time)
+        if not math.isfinite(wait):
+            # Trace exhausted: an ideal buffer cannot retry its way out
+            # of a dead harvester either — explicit fail-stop.
+            self.degraded["fail_stop"] += 1
+            if obs is not None:
+                obs.counter("env.degraded.fail_stop").inc()
+                obs.emit(
+                    "env.degraded",
+                    self.time,
+                    mode="fail_stop",
+                    voltage=buffer.voltage,
+                )
+            raise ChargeWindowFailure(
+                f"harvest source can never supply the {needed:.3e} J "
+                f"needed to restart (buffer at {buffer.voltage:.4f} V, "
+                f"restart at {buffer.v_on:.4f} V)",
+                voltage=buffer.voltage,
+                needed=needed,
+                retries=0,
+                trace_position=trace_position_of(source, self.time),
+            )
         start = self.time
         buffer.add_energy(source.energy(self.time, wait))
         self.time += wait
         self.mouse.ledger.charge(Category.CHARGING, 0.0, wait)
-        obs = self._obs
         if obs is not None:
             obs.histogram("harvest.off_time").observe(wait)
             obs.emit("harvest.charge", start, dur=wait, initial=first)
@@ -389,6 +588,7 @@ class ProfileRun:
         telemetry=None,
         checkpointer=None,
         profiler=None,
+        adaptive=None,
     ) -> None:
         """``checkpoint_period`` — checkpoint the PC every N instructions
         instead of every instruction (the Section IV-D frequency
@@ -406,6 +606,14 @@ class ProfileRun:
         every charge is then attributed to the current segment's label
         under a frame named after the profile, and the profiler's root
         equals the returned breakdown bit-exactly.
+
+        ``adaptive`` — optional :class:`repro.env.AdaptivePolicy`;
+        when set, the simulated checkpoint cadence stretches with
+        capacitor headroom (up to ``adaptive.max_period``) and snaps
+        back to ``checkpoint_period`` as the voltage sags, so every
+        burst that can actually hit the shutdown bound runs at the
+        fixed baseline cadence.  Skipped simulated checkpoints are
+        tallied in :attr:`degraded` (``skipped_checkpoint``).
         """
         if not 0.0 <= dead_fraction <= 1.0:
             raise ValueError("dead_fraction must be in [0, 1]")
@@ -419,6 +627,18 @@ class ProfileRun:
         self.telemetry = telemetry
         self.checkpointer = checkpointer
         self.profiler = profiler
+        self.adaptive = adaptive
+        #: Charge-window retry budget for non-ideal buffers.
+        self.charge_retries = (
+            adaptive.max_charge_retries if adaptive is not None
+            else DEFAULT_CHARGE_RETRIES
+        )
+        self.charge_backoff = (
+            adaptive.charge_backoff if adaptive is not None
+            else DEFAULT_CHARGE_BACKOFF
+        )
+        #: Degraded-mode tallies (see :data:`DEGRADED_MODES`).
+        self.degraded = _fresh_degraded()
         # Resumable progress cursor: segment index, instructions left in
         # that segment (None = segment not yet entered), simulated time,
         # and the ledger (exposed so a checkpoint can snapshot its
@@ -473,11 +693,56 @@ class ProfileRun:
         cycle = self.cost.cycle_time
         vcap = obs.gauge("harvest.vcap") if obs is not None else None
         checkpointer = self.checkpointer
+        nonideal = not buffer.is_ideal
+
+        def fail_stop() -> None:
+            self.degraded["fail_stop"] += 1
+            if obs is not None:
+                obs.counter("env.degraded.fail_stop").inc()
+                obs.emit(
+                    "env.degraded",
+                    self.time,
+                    mode="fail_stop",
+                    voltage=buffer.voltage,
+                )
 
         def charge_until_ready(initial: bool = False) -> None:
+            start = self.time
+            if nonideal:
+                # Closed-form wait underestimates under leakage:
+                # bounded retry-with-backoff, fail-stop when v_on is
+                # unreachable.
+                try:
+                    self.time, wait, _ = charge_with_retry(
+                        buffer,
+                        source,
+                        self.time,
+                        lambda w: ledger.charge(Category.CHARGING, 0.0, w),
+                        retries=self.charge_retries,
+                        backoff=self.charge_backoff,
+                    )
+                except ChargeWindowFailure:
+                    fail_stop()
+                    raise
+                if obs is not None:
+                    obs.histogram("harvest.off_time").observe(wait)
+                    obs.emit("harvest.charge", start, dur=wait, initial=initial)
+                return
             needed = buffer.energy_to_reach(buffer.v_on)
             wait = source.time_to_harvest(needed, start=self.time)
-            start = self.time
+            if not math.isfinite(wait):
+                # Trace exhausted — explicit fail-stop instead of a NaN
+                # voltage and a silent hang.
+                fail_stop()
+                raise ChargeWindowFailure(
+                    f"harvest source can never supply the {needed:.3e} J "
+                    f"needed to restart (buffer at {buffer.voltage:.4f} V, "
+                    f"restart at {buffer.v_on:.4f} V)",
+                    voltage=buffer.voltage,
+                    needed=needed,
+                    retries=0,
+                    trace_position=trace_position_of(source, self.time),
+                )
             buffer.add_energy(source.energy(self.time, wait))
             self.time += wait
             ledger.charge(Category.CHARGING, 0.0, wait)
@@ -501,7 +766,11 @@ class ProfileRun:
             harvested = source.energy(self.time, self.cost.restore_latency())
             self.time += self.cost.restore_latency()
             buffer.add_energy(harvested)
-            buffer.draw_energy(restore)
+            if nonideal:
+                buffer.draw_energy(restore, self.cost.restore_latency())
+                buffer.leak(self.cost.restore_latency())
+            else:
+                buffer.draw_energy(restore)
             if obs is not None:
                 obs.emit("harvest.restore", self.time, voltage=buffer.voltage)
 
@@ -512,7 +781,10 @@ class ProfileRun:
             self.remaining = None
         self._resumed = False
 
-        period = self.checkpoint_period
+        adaptive = self.adaptive
+        base_period = self.checkpoint_period
+        period = base_period
+        window = buffer.window_energy
         segments = self.profile.segments
         while self.seg_index < len(segments):
             segment = segments[self.seg_index]
@@ -526,33 +798,82 @@ class ProfileRun:
             backup_per_instr = segment.backup / period
             per_instr = segment.energy + backup_per_instr
             while self.remaining > 0:
+                if adaptive is not None:
+                    # Headroom-aware cadence: stretch the simulated
+                    # checkpoint period when the buffer is charged, snap
+                    # back to the fixed baseline as the voltage sags.
+                    frac = buffer.headroom / window if window > 0.0 else 0.0
+                    period = adaptive.period_for(frac, base_period)
+                    backup_per_instr = segment.backup / period
+                    per_instr = segment.energy + backup_per_instr
                 harvested_per_cycle = source.energy(self.time, cycle)
                 net = per_instr - harvested_per_cycle
+                if adaptive is not None and period > base_period and net > 0:
+                    # A stretched burst must never be the one that hits
+                    # the shutdown bound (its replay would then cost
+                    # more than the fixed baseline replays): require at
+                    # least one instruction of slack above the tighten
+                    # threshold, else run this burst at the baseline.
+                    slack = int(
+                        (buffer.headroom - adaptive.tighten_below * window)
+                        // net
+                    )
+                    if slack < 1:
+                        period = base_period
+                        backup_per_instr = segment.backup / period
+                        per_instr = segment.energy + backup_per_instr
+                        net = per_instr - harvested_per_cycle
                 if net <= 0:
                     # Source outruns consumption: the whole segment
                     # completes without an outage.
                     burst = self.remaining
                 else:
                     if net > buffer.window_energy:
+                        position = trace_position_of(source, self.time)
+                        where = (
+                            f" ({position})" if position is not None else ""
+                        )
                         raise NonTerminationError(
                             f"{self.profile.name}: instruction needs "
                             f"{net:.3e} J net but the capacitor window "
                             f"holds {buffer.window_energy:.3e} J — no "
                             "forward progress is possible; reduce the "
                             "active-column parallelism or enlarge the "
-                            "buffer",
+                            f"buffer{where}",
                             breakdown=ledger.breakdown,
                             instruction_energy=net,
+                            trace_position=position,
                         )
                     burst = min(
                         self.remaining, max(1, int(buffer.headroom // net))
                     )
+                    if adaptive is not None and period > base_period:
+                        # Cap the stretched burst at the tighten
+                        # threshold so the final stretch before any
+                        # outage runs at the baseline cadence.
+                        slack = int(
+                            (buffer.headroom - adaptive.tighten_below * window)
+                            // net
+                        )
+                        burst = min(burst, slack)
+                if adaptive is not None and period > base_period and burst > 0:
+                    skipped = burst // base_period - burst // period
+                    if skipped > 0:
+                        self.degraded["skipped_checkpoint"] += skipped
+                        if obs is not None:
+                            obs.counter(
+                                "env.degraded.skipped_checkpoint"
+                            ).inc(skipped)
                 consumed = burst * per_instr
                 burst_start = self.time
                 harvested = source.energy(self.time, burst * cycle)
                 self.time += burst * cycle
                 buffer.add_energy(harvested)
-                buffer.draw_energy(consumed)
+                if nonideal:
+                    buffer.draw_energy(consumed, burst * cycle)
+                    buffer.leak(burst * cycle)
+                else:
+                    buffer.draw_energy(consumed)
                 ledger.charge(
                     Category.COMPUTE, burst * segment.energy, burst * cycle
                 )
@@ -580,7 +901,11 @@ class ProfileRun:
                     harvested = source.energy(self.time, dead_latency)
                     self.time += dead_latency
                     buffer.add_energy(harvested)
-                    buffer.draw_energy(dead)
+                    if nonideal:
+                        buffer.draw_energy(dead, dead_latency)
+                        buffer.leak(dead_latency)
+                    else:
+                        buffer.draw_energy(dead)
                     ledger.charge(
                         Category.DEAD, segment.energy * replayed, dead_latency
                     )

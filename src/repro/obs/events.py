@@ -45,6 +45,11 @@ Kinds
     One hardening rewrite (:func:`repro.harden.harden_program`): the
     source ``program`` name, the placement counts (``tmr`` groups,
     ``verify`` marks), and the protection ``level`` applied.
+``env.degraded``
+    One graceful-degradation decision under a harvest environment
+    (:mod:`repro.env`): the ``mode`` from the degraded-mode taxonomy
+    (``skipped_checkpoint`` / ``deferred_commit`` / ``fail_stop``) plus
+    mode-specific detail (capacitor ``voltage``, skipped counts).
 ``checkpoint.commit``
     One durable NVImage write (:mod:`repro.durability`): the image
     ``seq`` number, the engine discriminator ``image_kind``
@@ -82,6 +87,7 @@ FAULT_RECOVERED = "fault.recovered"
 LINT_REPORT = "lint.report"
 VERIFY_REPORT = "verify.report"
 HARDEN_REPORT = "harden.report"
+ENV_DEGRADED = "env.degraded"
 CHECKPOINT_COMMIT = "checkpoint.commit"
 GAUGE = "gauge"
 SPAN = "span"
@@ -102,6 +108,7 @@ KNOWN_KINDS: dict[str, frozenset[str]] = {
     LINT_REPORT: frozenset({"program", "errors", "warnings"}),
     VERIFY_REPORT: frozenset({"program", "errors", "warnings"}),
     HARDEN_REPORT: frozenset({"program", "level", "tmr", "verify"}),
+    ENV_DEGRADED: frozenset({"mode"}),
     CHECKPOINT_COMMIT: frozenset({"seq", "image_kind"}),
     GAUGE: frozenset({"name", "value"}),
     SPAN: frozenset({"name", "dur"}),

@@ -183,6 +183,42 @@ def bench_intermittent_replay(quick: bool) -> BenchResult:
     )
 
 
+def bench_trace_replay(quick: bool) -> BenchResult:
+    """One harvested SVM ADULT execution under a looping solar trace —
+    the inner loop of the environment sweep.  The trace source pays a
+    prefix-sum/bisect lookup per charge window where the constant
+    source is closed-form, so this row tracks that overhead in ``bench
+    --compare`` diffs."""
+    from repro.devices.parameters import MODERN_STT
+    from repro.energy.model import InstructionCostModel
+    from repro.env import solar_diurnal
+    from repro.harvest import HarvestingConfig, ProfileRun
+
+    from repro.ml.benchmarks import SVM_ADULT
+
+    cost = InstructionCostModel(MODERN_STT)
+    profile = SVM_ADULT.profile(cost)
+    trace = solar_diurnal(seed=0, peak_watts=2e-4, floor_watts=4e-5)
+
+    def run_once():
+        config = HarvestingConfig.from_trace(MODERN_STT, trace)
+        ProfileRun(profile, cost, config).run()
+
+    reps = 3 if quick else 10
+    ns = _time_ns(run_once, reps)
+    return BenchResult(
+        op="trace_replay",
+        config={
+            "workload": SVM_ADULT.name,
+            "trace": trace.name,
+            "family": trace.family,
+            "technology": MODERN_STT.name,
+        },
+        reps=reps,
+        ns_per_op=ns,
+    )
+
+
 def bench_compiled_step_instruction(quick: bool) -> BenchResult:
     """Adder workload under the AOT-compiled plan executor vs the scalar
     microstep interpreter; ns per executed instruction.  The compiled
@@ -398,6 +434,7 @@ BENCHMARKS = (
     bench_compiled_step_instruction,
     bench_intermittent_replay,
     bench_compiled_intermittent_replay,
+    bench_trace_replay,
     bench_classify_svm,
     bench_classify_bnn,
 )

@@ -1,0 +1,137 @@
+"""Adaptive degradation policy and the headroom-aware checkpointer."""
+
+import dataclasses
+
+import pytest
+
+from repro.devices.parameters import MODERN_STT
+from repro.env import AdaptiveCheckpointer, AdaptivePolicy, DegradedMode
+from repro.durability import Checkpointer, CheckpointPolicy, NVImageStore
+from repro.faults.campaign import adder_workload
+from repro.harvest import (
+    ConstantPowerSource,
+    EnergyBuffer,
+    HarvestingConfig,
+    IntermittentRun,
+)
+from repro.harvest.intermittent import DEGRADED_MODES
+
+
+class TestAdaptivePolicy:
+    def test_nan_and_scarce_headroom_use_the_baseline(self):
+        policy = AdaptivePolicy(max_period=16, tighten_below=0.25)
+        assert policy.period_for(float("nan"), 3) == 3
+        assert policy.period_for(0.0, 3) == 3
+        assert policy.period_for(0.25, 3) == 3
+
+    def test_full_buffer_hits_the_ceiling(self):
+        policy = AdaptivePolicy(max_period=16)
+        assert policy.period_for(1.0, 2) == 16
+        assert policy.period_for(2.0, 2) == 16  # overcharged clamps too
+
+    def test_monotone_in_headroom(self):
+        policy = AdaptivePolicy(max_period=32, tighten_below=0.2)
+        periods = [policy.period_for(f / 100.0, 2) for f in range(101)]
+        assert periods == sorted(periods)
+        assert periods[0] == 2 and periods[-1] == 32
+
+    def test_base_beyond_ceiling_is_never_shrunk(self):
+        policy = AdaptivePolicy(max_period=4)
+        assert policy.period_for(0.9, 100) >= 100
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            AdaptivePolicy(max_period=0)
+        with pytest.raises(ValueError):
+            AdaptivePolicy(tighten_below=1.5)
+        with pytest.raises(ValueError):
+            AdaptivePolicy(defer_below=0.5, tighten_below=0.25)
+        with pytest.raises(ValueError):
+            AdaptivePolicy(max_charge_retries=-1)
+        with pytest.raises(ValueError):
+            AdaptivePolicy(charge_backoff=0.5)
+
+    def test_taxonomy_matches_engine_tallies(self):
+        assert {mode.value for mode in DegradedMode} == set(DEGRADED_MODES)
+        assert DegradedMode.SKIPPED_CHECKPOINT == "skipped_checkpoint"
+        assert DegradedMode.DEFERRED_COMMIT == "deferred_commit"
+        assert DegradedMode.FAIL_STOP == "fail_stop"
+
+
+def run_adder(checkpointer, watts=5e-8, capacitance=2e-9):
+    workload = adder_workload(MODERN_STT)
+    mouse = workload.build()
+    run = IntermittentRun(
+        mouse,
+        HarvestingConfig(
+            source=ConstantPowerSource(watts),
+            buffer=EnergyBuffer(
+                capacitance=capacitance, v_off=0.30, v_on=0.34
+            ),
+        ),
+        checkpointer=checkpointer,
+    )
+    breakdown = run.run()
+    return workload, run, breakdown
+
+
+class TestAdaptiveCheckpointer:
+    def test_imaging_is_passive_and_cadence_stretches(self, tmp_path):
+        plain_ckpt = Checkpointer(
+            NVImageStore(tmp_path / "plain"), CheckpointPolicy(period=4)
+        )
+        _, _, plain = run_adder(plain_ckpt)
+
+        adaptive_ckpt = AdaptiveCheckpointer(
+            Checkpointer(
+                NVImageStore(tmp_path / "adaptive"), CheckpointPolicy(period=4)
+            ),
+            AdaptivePolicy(max_period=64),
+        )
+        _, run, adaptive = run_adder(adaptive_ckpt)
+
+        # Host imaging never perturbs the simulated physics.
+        assert dataclasses.asdict(adaptive) == dataclasses.asdict(plain)
+        # The stretched cadence writes fewer host images...
+        assert adaptive_ckpt.commits < plain_ckpt.commits
+        # ...and what it gave up is tallied explicitly, never silent.
+        assert adaptive_ckpt.skipped > 0
+        assert run.degraded["skipped_checkpoint"] == adaptive_ckpt.skipped
+        assert run.degraded["deferred_commit"] == adaptive_ckpt.deferred
+
+    def test_final_halt_image_identical_to_plain(self, tmp_path):
+        plain_ckpt = Checkpointer(
+            NVImageStore(tmp_path / "plain"), CheckpointPolicy(period=4)
+        )
+        run_adder(plain_ckpt)
+        adaptive_ckpt = AdaptiveCheckpointer(
+            Checkpointer(
+                NVImageStore(tmp_path / "adaptive"), CheckpointPolicy(period=4)
+            )
+        )
+        run_adder(adaptive_ckpt)
+        plain_payload, _ = plain_ckpt.store.load()
+        adaptive_payload, _ = adaptive_ckpt.store.load()
+        assert adaptive_payload == plain_payload
+
+    def test_wrapper_mirrors_checkpointer_surface(self, tmp_path):
+        inner = Checkpointer(NVImageStore(tmp_path), CheckpointPolicy(period=4))
+        wrapper = AdaptiveCheckpointer(inner)
+        assert wrapper.store is inner.store
+        assert wrapper.commits == inner.commits == 0
+        wrapper._last_count = 7
+        assert inner._last_count == 7
+
+    def test_degraded_tallies_start_at_zero(self):
+        workload = adder_workload(MODERN_STT)
+        run = IntermittentRun(
+            workload.build(),
+            HarvestingConfig(
+                source=ConstantPowerSource(5e-9),
+                buffer=EnergyBuffer(
+                    capacitance=2e-10, v_off=0.30, v_on=0.34
+                ),
+            ),
+        )
+        assert set(run.degraded) == set(DEGRADED_MODES)
+        assert all(count == 0 for count in run.degraded.values())

@@ -1,0 +1,133 @@
+"""Trace-derived adversarial outage schedules through the fault rig."""
+
+import numpy as np
+import pytest
+
+from repro.devices.parameters import MODERN_STT
+from repro.env import constant, kinetic, solar_diurnal
+from repro.faults import (
+    FaultCampaign,
+    FaultPlan,
+    adder_workload,
+    outages_from_trace,
+    run_with_outages,
+)
+
+
+def snapshots_equal(a, b):
+    return all(np.array_equal(x, y) for x, y in zip(a, b))
+
+
+CYCLE_TIME = 1e-6
+
+
+class TestOutagesFromTrace:
+    def test_solar_dropouts_become_sorted_positive_cuts(self):
+        trace = solar_diurnal(seed=1, floor_watts=0.0)
+        cuts = outages_from_trace(trace, CYCLE_TIME)
+        assert cuts
+        assert cuts == sorted(set(cuts))
+        assert all(isinstance(c, int) and c > 0 for c in cuts)
+        assert len(cuts) <= 64
+
+    def test_constant_trace_yields_no_cuts(self):
+        assert outages_from_trace(constant(1e-4), CYCLE_TIME) == []
+
+    def test_looping_trace_repeats_up_to_cap(self):
+        trace = solar_diurnal(seed=1, floor_watts=0.0)
+        few = outages_from_trace(trace, CYCLE_TIME, max_cuts=3)
+        many = outages_from_trace(trace, CYCLE_TIME, max_cuts=64)
+        assert len(few) == 3
+        assert len(many) > len(few)
+        assert many[:3] == few
+
+    def test_deterministic(self):
+        trace = kinetic(seed=4)
+        assert outages_from_trace(trace, CYCLE_TIME) == outages_from_trace(
+            trace, CYCLE_TIME
+        )
+
+    def test_validation(self):
+        trace = solar_diurnal(seed=0)
+        with pytest.raises(ValueError):
+            outages_from_trace(trace, 0.0)
+        with pytest.raises(ValueError):
+            outages_from_trace(trace, CYCLE_TIME, threshold_fraction=1.0)
+        with pytest.raises(ValueError):
+            outages_from_trace(trace, CYCLE_TIME, max_cuts=0)
+
+
+class TestTraceScheduledSweep:
+    def test_trace_schedule_leaves_memory_bit_identical(self):
+        workload = adder_workload(MODERN_STT)
+        continuous = workload.build()
+        continuous.run()
+        swept = workload.build()
+        cuts = outages_from_trace(
+            micro_dropout_trace(
+                swept.cost.cycle_time, steps=(3, 60, 150, 300)
+            ),
+            swept.cost.cycle_time,
+        )
+        assert cuts  # the schedule is non-trivial
+        result = run_with_outages(swept, cut_after=cuts)
+        assert result.cuts > 0
+        assert snapshots_equal(
+            swept.bank.snapshot(), continuous.bank.snapshot()
+        )
+        assert workload.readout(swept) == workload.reference
+
+
+def micro_dropout_trace(cycle_time, steps=(50, 200)):
+    """A machine-timescale trace whose dropouts land inside a small
+    workload's ~500-microstep run (generator-family traces span tenths
+    of a second — far past the adder's few-microsecond lifetime)."""
+    from repro.env import HarvestTrace
+
+    step_duration = cycle_time / 5
+    times, watts = [0.0], [1e-4]
+    for step in steps:
+        times += [step * step_duration, (step + 30) * step_duration]
+        watts += [0.0, 1e-4]
+    return HarvestTrace(
+        name="micro-dropout", times=tuple(times), watts=tuple(watts)
+    )
+
+
+class TestCampaignWithTrace:
+    def test_report_byte_reproducible_and_outages_counted(self):
+        trace = micro_dropout_trace(
+            adder_workload(MODERN_STT).build().cost.cycle_time
+        )
+
+        def run_once():
+            campaign = FaultCampaign(
+                adder_workload(MODERN_STT),
+                FaultPlan(verify_retry=False),
+                trials=3,
+                seed=11,
+                outage_trace=trace,
+            )
+            return campaign.run(jobs=1)
+
+        first = run_once()
+        second = run_once()
+        assert first.to_json() == second.to_json()
+        # Scheduled (not stochastic: outage_rate is 0) cuts were injected
+        # and the Figure-7 protocol survived every one of them.
+        assert first.totals["injected"].get("outage", 0) > 0
+        assert all(
+            detail["memory_match"] and detail["value_match"]
+            for detail in first.details
+        )
+        assert first.outcomes.get("sdc", 0) == 0
+
+    def test_no_trace_means_no_scheduled_outages(self):
+        campaign = FaultCampaign(
+            adder_workload(MODERN_STT),
+            FaultPlan(verify_retry=False),
+            trials=2,
+            seed=11,
+        )
+        report = campaign.run(jobs=1)
+        assert report.totals["injected"].get("outage", 0) == 0

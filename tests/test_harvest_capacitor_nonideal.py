@@ -1,0 +1,122 @@
+"""Energy-domain guards, capacitor non-idealities, brownout semantics."""
+
+import math
+
+import pytest
+
+from repro.devices.parameters import ALL_TECHNOLOGIES, MODERN_STT
+from repro.harvest import EnergyBuffer, EnergyDomainError, buffer_for
+
+
+def fresh_buffer(**kwargs) -> EnergyBuffer:
+    return EnergyBuffer(capacitance=100e-6, v_off=0.32, v_on=0.34, **kwargs)
+
+
+class TestEnergyDomainGuards:
+    def test_add_rejects_nan_with_typed_error(self):
+        buffer = fresh_buffer()
+        with pytest.raises(EnergyDomainError, match="NaN"):
+            buffer.add_energy(math.nan)
+
+    def test_add_rejects_negative(self):
+        with pytest.raises(EnergyDomainError, match="negative"):
+            fresh_buffer().add_energy(-1e-9)
+
+    def test_draw_rejects_nan_and_negative(self):
+        buffer = fresh_buffer(voltage=0.34)
+        with pytest.raises(EnergyDomainError):
+            buffer.draw_energy(math.nan)
+        with pytest.raises(EnergyDomainError):
+            buffer.draw_energy(-1e-9)
+
+    def test_typed_error_is_a_value_error(self):
+        # Callers that caught ValueError before the taxonomy keep working.
+        assert issubclass(EnergyDomainError, ValueError)
+
+    def test_non_finite_configuration_rejected(self):
+        with pytest.raises(EnergyDomainError):
+            fresh_buffer(leakage_amps=math.nan)
+        with pytest.raises(EnergyDomainError):
+            fresh_buffer(esr_ohms=math.inf)
+
+    def test_buffer_for_rejects_unusable_switching_current(self):
+        import dataclasses
+
+        broken = dataclasses.replace(MODERN_STT, switching_current=0.0)
+        with pytest.raises(EnergyDomainError, match="switching current"):
+            buffer_for(broken)
+        nan_device = dataclasses.replace(
+            MODERN_STT, switching_current=math.nan
+        )
+        with pytest.raises(EnergyDomainError):
+            buffer_for(nan_device)
+
+    def test_buffer_for_every_technology_has_headroom(self):
+        for params in ALL_TECHNOLOGIES:
+            assert buffer_for(params).window_energy > 0.0
+
+
+class TestLeakage:
+    def test_explicit_euler_loss(self):
+        buffer = fresh_buffer(voltage=0.34, leakage_amps=1e-6)
+        before = buffer.energy
+        lost = buffer.leak(2.0)
+        assert lost == pytest.approx(0.34 * 1e-6 * 2.0)
+        assert buffer.energy == pytest.approx(before - lost)
+
+    def test_leak_clamps_at_stored_energy(self):
+        buffer = fresh_buffer(voltage=0.001, leakage_amps=1.0)
+        lost = buffer.leak(1e6)
+        assert lost == pytest.approx(0.5 * 100e-6 * 0.001**2)
+        assert buffer.voltage == 0.0
+
+    def test_ideal_buffer_leak_is_exact_noop(self):
+        buffer = fresh_buffer(voltage=0.33)
+        voltage = buffer.voltage
+        assert buffer.leak(100.0) == 0.0
+        assert buffer.voltage == voltage  # bit-identical, not just close
+
+    def test_leak_power_tracks_voltage(self):
+        buffer = fresh_buffer(voltage=0.34, leakage_amps=2e-6)
+        assert buffer.leak_power() == pytest.approx(0.34 * 2e-6)
+        assert fresh_buffer(voltage=0.34).leak_power() == 0.0
+
+
+class TestEsr:
+    def test_series_loss_added_to_draw(self):
+        lossy = fresh_buffer(voltage=0.34, esr_ohms=10.0)
+        ideal = fresh_buffer(voltage=0.34)
+        draw, dt = 1e-9, 1e-3
+        lossy.draw_energy(draw, dt)
+        ideal.draw_energy(draw, dt)
+        current = draw / (0.34 * dt)
+        extra = current * current * 10.0 * dt
+        assert ideal.energy - lossy.energy == pytest.approx(extra, rel=1e-9)
+
+    def test_zero_duration_skips_the_loss(self):
+        lossy = fresh_buffer(voltage=0.34, esr_ohms=10.0)
+        ideal = fresh_buffer(voltage=0.34)
+        lossy.draw_energy(1e-9)
+        ideal.draw_energy(1e-9)
+        assert lossy.voltage == ideal.voltage  # bit-identical
+
+
+class TestBrownoutBand:
+    def test_three_regimes(self):
+        dead = fresh_buffer(voltage=0.31)
+        brown = fresh_buffer(voltage=0.33)
+        ready = fresh_buffer(voltage=0.35)
+        assert dead.state == "dead" and dead.must_shut_down
+        assert brown.state == "brownout" and brown.in_brownout_band
+        assert ready.state == "ready" and ready.ready_to_start
+
+    def test_is_ideal_flag(self):
+        assert fresh_buffer().is_ideal
+        assert not fresh_buffer(leakage_amps=1e-9).is_ideal
+        assert not fresh_buffer(esr_ohms=0.1).is_ideal
+
+    def test_negative_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            fresh_buffer(leakage_amps=-1e-9)
+        with pytest.raises(ValueError):
+            fresh_buffer(esr_ohms=-0.1)
